@@ -1,0 +1,298 @@
+// Benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (regenerating the artifact end to end), the
+// ablation studies from DESIGN.md, and micro-benchmarks for the hot
+// paths (MVA solving, prediction, certification, storage commits,
+// cluster simulation).
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Per-experiment output is written by cmd/experiments; the benchmarks
+// here time the same drivers on reduced sweeps so `go test -bench`
+// terminates in minutes, not hours.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/certifier"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mva"
+	"repro/internal/sidb"
+	"repro/internal/workload"
+	"repro/internal/writeset"
+)
+
+// benchOpts returns reduced-size experiment options; the seed varies
+// per iteration so the figure-pair cache cannot short-circuit repeat
+// runs.
+func benchOpts(i int) experiments.Options {
+	return experiments.Options{
+		Replicas: []int{1, 4, 16},
+		Seed:     uint64(9000 + i),
+		Warmup:   10,
+		Measure:  40,
+	}
+}
+
+// benchExperiment times one full experiment driver.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := e.Run(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Tables.
+
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+
+// Figures 6-13: measured-vs-predicted scalability sweeps.
+
+func BenchmarkFigure6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFigure7(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFigure8(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFigure9(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFigure13(b *testing.B) { benchExperiment(b, "fig13") }
+
+// Figure 14 and the certifier analysis (§6.3).
+
+func BenchmarkFigure14(b *testing.B) {
+	e, _ := experiments.ByID("fig14")
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts(i)
+		opts.Measure = 120 // abort statistics need a longer window
+		r, err := e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCertifierAnalysis(b *testing.B) { benchExperiment(b, "certifier") }
+
+// Ablations (DESIGN.md §6).
+
+func BenchmarkAblationMVASolver(b *testing.B) { benchExperiment(b, "ablation-mva") }
+
+func BenchmarkAblationConflictWindow(b *testing.B) {
+	e, _ := experiments.ByID("ablation-cw")
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts(i)
+		opts.Measure = 120
+		if _, err := e.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWritesetCost(b *testing.B) { benchExperiment(b, "ablation-ws") }
+
+func BenchmarkAblationDiscipline(b *testing.B) { benchExperiment(b, "ablation-discipline") }
+
+// BenchmarkAblationCertifierCenter compares modeling the certifier as
+// a delay center (the paper's choice, justified in §6.3.2) against a
+// queueing center: the queueing variant folds the certifier service
+// into the replica demand, overstating contention for update-heavy
+// mixes.
+func BenchmarkAblationCertifierCenter(b *testing.B) {
+	m := workload.TPCWOrdering()
+	delay := core.NewParams(m)
+	queueing := delay
+	// Fold the certifier service into the per-update CPU demand (a
+	// queueing-center approximation) and remove the delay center.
+	queueing.CertDelay = 0
+	queueing.Mix.WC[workload.CPU] += core.DefaultCertDelay
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		a := core.PredictMM(delay, 16)
+		c := core.PredictMM(queueing, 16)
+		sink += a.Throughput - c.Throughput
+	}
+	if sink == 0 && b.N > 0 {
+		b.Log("delay-center and queueing-center models coincided (unexpected)")
+	}
+}
+
+// Micro-benchmarks.
+
+func BenchmarkMVAExactSolve(b *testing.B) {
+	centers := []mva.Center{{Kind: mva.Queueing}, {Kind: mva.Queueing}}
+	d := []float64{0.040, 0.015}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mva.Solve(centers, d, 1.0, 640)
+	}
+}
+
+func BenchmarkMVASchweitzerSolve(b *testing.B) {
+	centers := []mva.Center{{Kind: mva.Queueing}, {Kind: mva.Queueing}}
+	d := []float64{0.040, 0.015}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mva.SolveSchweitzer(centers, d, 1.0, 640, 0)
+	}
+}
+
+func BenchmarkMVATwoClassSolve(b *testing.B) {
+	centers := []mva.Center{{Kind: mva.Queueing}, {Kind: mva.Queueing}}
+	demands := [2][]float64{{0.040, 0.015}, {0.012, 0.006}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mva.SolveTwoClass(centers, demands, [2]float64{1, 1}, [2]int{200, 100})
+	}
+}
+
+func BenchmarkPredictMM16(b *testing.B) {
+	p := core.NewParams(workload.TPCWShopping())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.PredictMM(p, 16)
+	}
+}
+
+func BenchmarkPredictSM16(b *testing.B) {
+	p := core.NewParams(workload.TPCWOrdering())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.PredictSM(p, 16)
+	}
+}
+
+func BenchmarkCertify(b *testing.B) {
+	c := certifier.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ws := writeset.Writeset{Entries: []writeset.Entry{
+			{Key: writeset.Key{Table: "t", Row: int64(i)}, Value: "v"},
+		}}
+		if _, err := c.Certify(c.Version(), ws); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			c.GC(c.Version() - 64)
+		}
+	}
+}
+
+func BenchmarkSIDBUpdateCommit(b *testing.B) {
+	db := sidb.New()
+	if err := db.CreateTable("item"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tx := db.Begin()
+		if err := tx.Write("item", int64(i%4096), "value"); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		if i%8192 == 8191 {
+			db.GC()
+		}
+	}
+}
+
+func BenchmarkSIDBRead(b *testing.B) {
+	db := sidb.New()
+	if err := db.CreateTable("item"); err != nil {
+		b.Fatal(err)
+	}
+	seed := db.Begin()
+	for i := int64(0); i < 1024; i++ {
+		seed.Write("item", i, "value")
+	}
+	if _, _, err := seed.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tx := db.Begin()
+		if _, _, err := tx.Read("item", int64(i%1024)); err != nil {
+			b.Fatal(err)
+		}
+		tx.Abort()
+	}
+}
+
+func BenchmarkClusterSimMM16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := cluster.Run(cluster.Config{
+			Mix:      workload.TPCWShopping(),
+			Design:   core.MultiMaster,
+			Replicas: 16,
+			Seed:     uint64(i + 1),
+			Warmup:   5,
+			Measure:  20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProfilePipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Profile(TPCWShopping(), uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndCompare times the full §6 loop for one point:
+// predict and measure TPC-W shopping MM at 8 replicas.
+func BenchmarkEndToEndCompare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := Compare(TPCWShopping(), MultiMaster, []int{8}, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pts[0].ThroughputErr > 0.25 {
+			b.Fatalf("prediction error %.0f%%", pts[0].ThroughputErr*100)
+		}
+	}
+}
+
+func BenchmarkAblationPerClass(b *testing.B) {
+	e, _ := experiments.ByID("ablation-perclass")
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts(i)
+		opts.Measure = 90
+		if _, err := e.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictMMPerClass16(b *testing.B) {
+	p := core.NewParams(workload.TPCWShopping())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.PredictMMPerClass(p, 16)
+	}
+}

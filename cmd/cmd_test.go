@@ -1,0 +1,145 @@
+// Package cmd_test builds and exercises every command-line binary end
+// to end: each tool is compiled once into a temporary directory and
+// run with representative flags, checking output and exit codes. These
+// are the regression tests that keep the user-facing entry points of
+// the reproduction working.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildAll compiles the four binaries once per test binary run.
+func buildAll(t *testing.T) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"predict", "profiledb", "experiments", "replicadb"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./"+name)
+		cmd.Dir = "." // cmd/ directory
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+		bins[name] = out
+	}
+	return bins
+}
+
+// run executes a built binary and returns combined output.
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+// runExpectFailure executes a binary expecting a non-zero exit.
+func runExpectFailure(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %s unexpectedly succeeded:\n%s", filepath.Base(bin), strings.Join(args, " "), out)
+	}
+	return string(out)
+}
+
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildAll(t)
+
+	t.Run("predict basic", func(t *testing.T) {
+		out := run(t, bins["predict"], "-mix", "tpcw-shopping", "-design", "mm", "-replicas", "4")
+		if !strings.Contains(out, "multi-master") || !strings.Contains(out, "throughput") {
+			t.Fatalf("output:\n%s", out)
+		}
+	})
+
+	t.Run("predict capacity plan", func(t *testing.T) {
+		out := run(t, bins["predict"], "-mix", "tpcw-ordering", "-design", "sm", "-replicas", "8", "-target", "1000")
+		if !strings.Contains(out, "NOT reachable") {
+			t.Fatalf("impossible target not reported:\n%s", out)
+		}
+	})
+
+	t.Run("predict rejects unknown mix", func(t *testing.T) {
+		out := runExpectFailure(t, bins["predict"], "-mix", "nope")
+		if !strings.Contains(out, "unknown mix") {
+			t.Fatalf("output:\n%s", out)
+		}
+	})
+
+	t.Run("profiledb to predict params handoff", func(t *testing.T) {
+		params := filepath.Join(t.TempDir(), "params.json")
+		out := run(t, bins["profiledb"], "-mix", "rubis-bidding", "-out", params)
+		if !strings.Contains(out, "L(1) measured") {
+			t.Fatalf("output:\n%s", out)
+		}
+		if _, err := os.Stat(params); err != nil {
+			t.Fatal(err)
+		}
+		out = run(t, bins["predict"], "-params", params, "-design", "mm", "-replicas", "4")
+		if !strings.Contains(out, "RUBiS bidding") {
+			t.Fatalf("params file did not carry the mix:\n%s", out)
+		}
+	})
+
+	t.Run("experiments list and quick run", func(t *testing.T) {
+		out := run(t, bins["experiments"], "-list")
+		for _, id := range []string{"fig6", "fig14", "certifier", "wan", "ablation-hotspot"} {
+			if !strings.Contains(out, id) {
+				t.Fatalf("-list missing %s:\n%s", id, out)
+			}
+		}
+		out = run(t, bins["experiments"], "-exp", "table2,network")
+		if !strings.Contains(out, "TPC-W parameters") || !strings.Contains(out, "Gbit") {
+			t.Fatalf("output:\n%s", out)
+		}
+	})
+
+	t.Run("experiments csv", func(t *testing.T) {
+		out := run(t, bins["experiments"], "-exp", "fig6", "-quick", "-format", "csv")
+		if !strings.HasPrefix(out, "figure,series,replicas,measured,predicted,rel_error") {
+			t.Fatalf("csv output:\n%s", out)
+		}
+		if len(strings.Split(strings.TrimSpace(out), "\n")) < 9 {
+			t.Fatalf("too few csv rows:\n%s", out)
+		}
+	})
+
+	t.Run("experiments rejects unknown id", func(t *testing.T) {
+		out := runExpectFailure(t, bins["experiments"], "-exp", "fig99")
+		if !strings.Contains(out, "unknown experiment") {
+			t.Fatalf("output:\n%s", out)
+		}
+	})
+
+	t.Run("replicadb mm with paxos", func(t *testing.T) {
+		out := run(t, bins["replicadb"], "-design", "mm", "-replicas", "3", "-paxos",
+			"-clients", "4", "-txns", "20")
+		if !strings.Contains(out, "all replicas identical") {
+			t.Fatalf("convergence not reported:\n%s", out)
+		}
+		if !strings.Contains(out, "certifier:") {
+			t.Fatalf("certifier stats missing:\n%s", out)
+		}
+	})
+
+	t.Run("replicadb sm", func(t *testing.T) {
+		out := run(t, bins["replicadb"], "-design", "sm", "-replicas", "3",
+			"-mix", "rubis-bidding", "-clients", "4", "-txns", "20")
+		if !strings.Contains(out, "all replicas identical") {
+			t.Fatalf("output:\n%s", out)
+		}
+	})
+}

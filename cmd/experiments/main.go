@@ -1,0 +1,121 @@
+// Command experiments regenerates the paper's evaluation: every table
+// (2-5) and figure (6-14) of §6 plus the certifier sensitivity
+// analysis and the repository's ablation studies. Output is the same
+// rows/series the paper reports, with measured (simulated prototype)
+// and predicted (analytical model) columns and the prediction error.
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp fig6,fig7
+//	experiments -exp fig14 -measure 900
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expIDs   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		replicas = flag.String("replicas", "", "comma-separated replica counts (default 1,2,4,6,8,10,12,14,16)")
+		seed     = flag.Uint64("seed", 0, "measurement seed (0 = default)")
+		warmup   = flag.Float64("warmup", 0, "warm-up window in virtual seconds (0 = default)")
+		measure  = flag.Float64("measure", 0, "measurement window in virtual seconds (0 = default)")
+		profile  = flag.Bool("use-profiler", false, "derive model parameters by profiling instead of table inputs")
+		quick    = flag.Bool("quick", false, "fast mode: fewer replica points and short windows")
+		format   = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	opts := experiments.Options{
+		Seed:        *seed,
+		Warmup:      *warmup,
+		Measure:     *measure,
+		UseProfiler: *profile,
+	}
+	if *replicas != "" {
+		for _, part := range strings.Split(*replicas, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "experiments: bad replica count %q\n", part)
+				os.Exit(2)
+			}
+			opts.Replicas = append(opts.Replicas, n)
+		}
+	}
+	if *quick {
+		if len(opts.Replicas) == 0 {
+			opts.Replicas = []int{1, 4, 16}
+		}
+		if opts.Warmup == 0 {
+			opts.Warmup = 10
+		}
+		if opts.Measure == 0 {
+			opts.Measure = 60
+		}
+	}
+
+	var ids []string
+	if *expIDs == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*expIDs, ",")
+	}
+
+	for i, id := range ids {
+		e, ok := experiments.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		r, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "text":
+			if err := r.Render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: render %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(%s in %.1fs)\n", e.ID, time.Since(start).Seconds())
+		case "csv":
+			c, ok := r.(experiments.CSVRenderable)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: %s has no CSV form\n", e.ID)
+				os.Exit(1)
+			}
+			if err := c.RenderCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: render %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "experiments: unknown format %q (text|csv)\n", *format)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command predict evaluates the analytical models for a benchmark mix
+// and prints throughput, response time and abort-rate predictions
+// across replica counts — the capacity-planning front end of the
+// paper.
+//
+// Usage:
+//
+//	predict -mix tpcw-shopping -design mm -replicas 16
+//	predict -mix rubis-bidding -design both -replicas 8 -target 100
+//	predict -params params.json -design sm    # from profiledb -out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		mixID    = flag.String("mix", "tpcw-shopping", "workload mix id (tpcw-browsing|tpcw-shopping|tpcw-ordering|rubis-browsing|rubis-bidding)")
+		design   = flag.String("design", "both", "replication design: mm, sm or both")
+		replicas = flag.Int("replicas", 16, "maximum replica count")
+		target   = flag.Float64("target", 0, "optional target throughput (tps) for capacity planning")
+		profile  = flag.Bool("profile", false, "derive parameters by profiling the simulated standalone system instead of table inputs")
+		paramsIn = flag.String("params", "", "read parameters from a JSON file written by profiledb -out")
+		seed     = flag.Uint64("seed", 1, "profiling seed")
+	)
+	flag.Parse()
+
+	var params repro.Params
+	var mix repro.Mix
+	switch {
+	case *paramsIn != "":
+		f, err := os.Open(*paramsIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "predict: %v\n", err)
+			os.Exit(1)
+		}
+		params, err = core.ReadParams(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "predict: %v\n", err)
+			os.Exit(1)
+		}
+		mix = params.Mix
+	default:
+		var ok bool
+		mix, ok = workload.ByID(*mixID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "predict: unknown mix %q; available:\n", *mixID)
+			for _, m := range workload.All() {
+				fmt.Fprintf(os.Stderr, "  %s\n", m.ID())
+			}
+			os.Exit(2)
+		}
+		var err error
+		if *profile {
+			fmt.Println("profiling standalone system (4 calibration runs)...")
+			params, err = repro.Profile(mix, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "predict: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			params = repro.NewParams(mix)
+		}
+	}
+
+	fmt.Printf("workload: %s\n", mix)
+	fmt.Printf("L(1) = %.1f ms, A1 = %.4f%%\n", params.L1*1000, params.Mix.A1*100)
+	if rep := repro.CheckAssumptions(params, *replicas); !rep.OK() {
+		fmt.Println(rep)
+	}
+	fmt.Println()
+
+	designs := map[string][]repro.Design{
+		"mm":   {repro.MultiMaster},
+		"sm":   {repro.SingleMaster},
+		"both": {repro.MultiMaster, repro.SingleMaster},
+	}[*design]
+	if designs == nil {
+		fmt.Fprintf(os.Stderr, "predict: unknown design %q (mm|sm|both)\n", *design)
+		os.Exit(2)
+	}
+
+	for _, d := range designs {
+		fmt.Printf("== %s ==\n", d)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "N\tthroughput (tps)\tspeedup\tresponse (ms)\tabort\tutil cpu\tutil disk")
+		var x1 float64
+		for n := 1; n <= *replicas; n++ {
+			pred, err := repro.Predict(d, params, n)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "predict: %v\n", err)
+				os.Exit(1)
+			}
+			if n == 1 {
+				x1 = pred.Throughput
+			}
+			role := pred.Replica
+			if d == repro.SingleMaster {
+				role = pred.Master
+			}
+			fmt.Fprintf(w, "%d\t%.1f\t%.1fx\t%.0f\t%.3f%%\t%.0f%%\t%.0f%%\n",
+				n, pred.Throughput, pred.Speedup(x1), pred.ResponseTime*1000,
+				pred.AbortRate*100, role.UtilCPU*100, role.UtilDisk*100)
+		}
+		w.Flush()
+		if *target > 0 {
+			n, pred, ok := repro.CapacityPlan(params, d, *target, *replicas)
+			if ok {
+				fmt.Printf("capacity plan: %d replicas reach %.1f tps (target %.1f)\n",
+					n, pred.Throughput, *target)
+			} else {
+				fmt.Printf("capacity plan: target %.1f tps NOT reachable within %d replicas (max %.1f)\n",
+					*target, *replicas, pred.Throughput)
+			}
+		}
+		fmt.Println()
+	}
+}

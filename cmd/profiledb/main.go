@@ -1,0 +1,108 @@
+// Command profiledb runs the §4 standalone-profiling pipeline: it
+// plays the calibration workloads against the simulated standalone
+// database, derives every model parameter via the Utilization Law, and
+// prints them next to the ground-truth table values — plus a captured
+// transaction-log excerpt to show the statement-log format the
+// methodology consumes.
+//
+// Usage:
+//
+//	profiledb -mix tpcw-shopping
+//	profiledb -mix rubis-bidding -seed 7 -log 10
+//	profiledb -mix tpcw-ordering -out params.json   # feed cmd/predict -params
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/profiler"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		mixID    = flag.String("mix", "tpcw-shopping", "workload mix id")
+		seed     = flag.Uint64("seed", 1, "profiling seed")
+		logLines = flag.Int("log", 0, "also print the first N lines of the captured statement log")
+		outFile  = flag.String("out", "", "write the measured parameters as JSON for cmd/predict -params")
+	)
+	flag.Parse()
+
+	mix, ok := workload.ByID(*mixID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "profiledb: unknown mix %q\n", *mixID)
+		os.Exit(2)
+	}
+
+	fmt.Printf("profiling %s on the standalone system...\n\n", mix)
+	params, rep, err := profiler.Profile(mix, profiler.Options{Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profiledb: %v\n", err)
+		os.Exit(1)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "parameter\tmeasured\tground truth\terror")
+	row := func(name string, got, want float64, scale float64, unit string) {
+		fmt.Fprintf(w, "%s\t%.2f %s\t%.2f %s\t%.1f%%\n",
+			name, got*scale, unit, want*scale, unit,
+			stats.RelativeError(got, want)*100)
+	}
+	row("rc CPU", params.Mix.RC[workload.CPU], mix.RC[workload.CPU], 1000, "ms")
+	row("rc disk", params.Mix.RC[workload.Disk], mix.RC[workload.Disk], 1000, "ms")
+	if mix.Pw > 0 {
+		row("wc CPU", params.Mix.WC[workload.CPU], mix.WC[workload.CPU], 1000, "ms")
+		row("wc disk", params.Mix.WC[workload.Disk], mix.WC[workload.Disk], 1000, "ms")
+		row("ws CPU", params.Mix.WS[workload.CPU], mix.WS[workload.CPU], 1000, "ms")
+		row("ws disk", params.Mix.WS[workload.Disk], mix.WS[workload.Disk], 1000, "ms")
+	}
+	row("Pr", params.Mix.Pr, mix.Pr, 100, "%")
+	row("Pw", params.Mix.Pw, mix.Pw, 100, "%")
+	w.Flush()
+
+	fmt.Printf("\nL(1) measured: %.1f ms (update response time on standalone)\n", params.L1*1000)
+	fmt.Printf("A1 measured:   %.4f%% (aborted update attempts)\n", params.Mix.A1*100)
+	fmt.Printf("log counts:    %d read-only, %d update transactions over %d statements\n",
+		rep.TraceCounts.ReadOnlyTxns, rep.TraceCounts.UpdateTxns, rep.TraceCounts.Statements)
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profiledb: %v\n", err)
+			os.Exit(1)
+		}
+		if err := core.WriteParams(f, params); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "profiledb: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "profiledb: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote measured parameters to %s\n", *outFile)
+	}
+
+	if *logLines > 0 {
+		cat, err := workload.CatalogFor(mix)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profiledb: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ncaptured statement log (first %d lines):\n", *logLines)
+		tr := trace.Generate(cat, mix, mix.Clients, 50, *seed)
+		if len(tr.Entries) > *logLines {
+			tr.Entries = tr.Entries[:*logLines]
+		}
+		if err := trace.Encode(os.Stdout, tr); err != nil {
+			fmt.Fprintf(os.Stderr, "profiledb: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

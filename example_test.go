@@ -1,0 +1,56 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExamplePredictMM predicts multi-master scalability for the paper's
+// main workload from table parameters alone.
+func ExamplePredictMM() {
+	params := repro.NewParams(repro.TPCWShopping())
+	for _, n := range []int{1, 8, 16} {
+		pred := repro.PredictMM(params, n)
+		fmt.Printf("N=%-2d %.0f tps\n", n, pred.Throughput)
+	}
+	// Output:
+	// N=1  28 tps
+	// N=8  199 tps
+	// N=16 354 tps
+}
+
+// ExamplePredictSM shows the single-master design saturating on an
+// update-heavy mix: the master executes every update, so adding slaves
+// beyond the knee buys nothing.
+func ExamplePredictSM() {
+	params := repro.NewParams(repro.TPCWOrdering())
+	x4 := repro.PredictSM(params, 4).Throughput
+	x16 := repro.PredictSM(params, 16).Throughput
+	fmt.Printf("4 replicas: %.0f tps\n", x4)
+	fmt.Printf("16 replicas: %.0f tps (saturated)\n", x16)
+	// Output:
+	// 4 replicas: 148 tps
+	// 16 replicas: 137 tps (saturated)
+}
+
+// ExampleCapacityPlan answers the provisioning question directly: how
+// many replicas does a 250 tps target need?
+func ExampleCapacityPlan() {
+	params := repro.NewParams(repro.TPCWShopping())
+	n, pred, ok := repro.CapacityPlan(params, repro.MultiMaster, 250, 16)
+	fmt.Printf("reachable=%v with %d replicas (%.0f tps)\n", ok, n, pred.Throughput)
+	// Output:
+	// reachable=true with 11 replicas (262 tps)
+}
+
+// ExampleCheckAssumptions flags workloads outside the model's domain
+// (§3.4): here an update-dominated mix.
+func ExampleCheckAssumptions() {
+	mix := repro.TPCWShopping()
+	mix.Pw, mix.Pr = 0.7, 0.3
+	rep := repro.CheckAssumptions(repro.NewParams(mix), 8)
+	fmt.Println(rep.OK())
+	// Output:
+	// false
+}

@@ -1,0 +1,60 @@
+// Auction invariants: run the RUBiS auction application on the live
+// multi-master middleware with concurrent bidders and prove the
+// integrity properties that snapshot-isolation replication must
+// provide — the recorded highest bid always equals the maximum over
+// the bid records, buy-now never oversells, user ratings equal the sum
+// of their comments, and every replica converges to identical state.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/app"
+	"repro/internal/repl/mm"
+)
+
+func main() {
+	cluster, err := mm.New(mm.Options{
+		Replicas:            4,
+		ReplicatedCertifier: true,
+		EagerCertification:  true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	const (
+		items = 25
+		users = 40
+	)
+	site, err := app.NewRUBiS(cluster, cluster, items, users)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("auction site: %d items, %d users, 4 replicas, Paxos-replicated certifier\n", items, users)
+	fmt.Println("running 12 concurrent bidders, 30 interaction cycles each...")
+
+	inv, err := site.RunMixed(12, 30, 2026)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "integrity violation: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("\nintegrity audit passed on every replica:")
+	fmt.Printf("  items audited:       %d\n", inv.Items)
+	fmt.Printf("  bids recorded:       %d (every item's maxbid == max of its bids)\n", inv.Bids)
+	fmt.Printf("  comments recorded:   %d (every rating == sum of comments)\n", inv.Comments)
+	fmt.Printf("  sum of maxbids:      %d (identical on all 4 replicas)\n", inv.MaxBids)
+
+	commits, aborts := cluster.Certifier().Stats()
+	fmt.Printf("\ncertifier: %d commits, %d write-write aborts (retried by clients)\n", commits, aborts)
+	if aborts == 0 {
+		fmt.Println("note: contention was low this run; raise bidders or shrink items to see aborts")
+	}
+	removed := cluster.GC()
+	fmt.Printf("certification log GC reclaimed %d records after all replicas caught up\n", removed)
+}

@@ -1,0 +1,60 @@
+// Capacity planning: given a throughput target, how many replicas are
+// needed, and which replication design gets there cheaper? This is the
+// deployment question the paper's introduction motivates (capacity
+// planning and dynamic service provisioning) — answered here without
+// building the replicated system.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	const (
+		maxReplicas = 16
+	)
+	targets := []float64{50, 100, 200, 300}
+
+	for _, mixFn := range []func() repro.Mix{
+		repro.TPCWShopping,
+		repro.TPCWOrdering,
+		repro.RUBiSBidding,
+	} {
+		mix := mixFn()
+		params := repro.NewParams(mix)
+		fmt.Printf("== %s ==\n", mix)
+		fmt.Printf("%-12s  %-22s  %-22s\n", "target tps", "multi-master", "single-master")
+		for _, target := range targets {
+			row := fmt.Sprintf("%-12.0f", target)
+			for _, design := range []repro.Design{repro.MultiMaster, repro.SingleMaster} {
+				n, pred, ok := repro.CapacityPlan(params, design, target, maxReplicas)
+				if ok {
+					row += fmt.Sprintf("  %-22s", fmt.Sprintf("%d replicas (%.0f tps)", n, pred.Throughput))
+				} else {
+					row += fmt.Sprintf("  %-22s", fmt.Sprintf("unreachable (max %.0f)", pred.Throughput))
+				}
+			}
+			fmt.Println(row)
+		}
+
+		// Where does single-master stop paying off? Find its saturation
+		// point: the first N whose marginal throughput gain drops below
+		// 5%.
+		prev := repro.PredictSM(params, 1).Throughput
+		for n := 2; n <= maxReplicas; n++ {
+			x := repro.PredictSM(params, n).Throughput
+			if x < prev*1.05 {
+				fmt.Printf("single-master saturates at about %d replicas (%.0f tps): the master executes every update\n",
+					n-1, prev)
+				break
+			}
+			prev = x
+			if n == maxReplicas {
+				fmt.Printf("single-master still scaling at %d replicas\n", maxReplicas)
+			}
+		}
+		fmt.Println()
+	}
+}

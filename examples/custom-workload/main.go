@@ -1,0 +1,56 @@
+// Custom workload: apply the models to a workload that is not one of
+// the paper's benchmarks — here, a write-heavy telemetry-ingest
+// service — including the assumption checks that tell you when the
+// predictions degrade into upper bounds.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// Describe the workload the way §4 profiling would measure it on a
+	// standalone database. Times are in seconds.
+	ms := func(v float64) float64 { return v / 1000 }
+	mix := repro.Mix{
+		Benchmark: "custom",
+		Name:      "telemetry-ingest",
+		Pr:        0.30, // dashboards
+		Pw:        0.70, // ingest writes
+		Clients:   60,
+		Think:     0.5,
+		RC:        repro.DemandOf(ms(18.0), ms(9.0)), // dashboard query: CPU, disk
+		WC:        repro.DemandOf(ms(6.0), ms(11.0)), // ingest txn: disk-heavy
+		WS:        repro.DemandOf(ms(2.0), ms(8.5)),  // applying a writeset
+		UpdateOps: 4, DBUpdateSize: 500000,
+		A1: 0.0004,
+	}
+	if err := mix.Validate(); err != nil {
+		panic(err)
+	}
+	params := repro.NewParams(mix)
+
+	fmt.Printf("workload: %s\n", mix)
+	// With 70% updates this violates the read-dominated assumption;
+	// the model warns and predictions become optimistic bounds.
+	fmt.Println(repro.CheckAssumptions(params, 12))
+	fmt.Println()
+
+	fmt.Println("  N   multi-master        single-master")
+	var mm1, sm1 float64
+	for n := 1; n <= 12; n++ {
+		mm := repro.PredictMM(params, n)
+		sm := repro.PredictSM(params, n)
+		if n == 1 {
+			mm1, sm1 = mm.Throughput, sm.Throughput
+		}
+		fmt.Printf("  %-3d %7.1f tps (%4.1fx)  %7.1f tps (%4.1fx)\n",
+			n, mm.Throughput, mm.Throughput/mm1, sm.Throughput, sm.Throughput/sm1)
+	}
+
+	fmt.Println("\nwith writes dominating, neither design scales far: multi-master pays")
+	fmt.Println("(N-1) writeset applications per commit, single-master pins every")
+	fmt.Println("update on one node. The model quantifies both ceilings before you buy hardware.")
+}

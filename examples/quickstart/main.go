@@ -1,0 +1,47 @@
+// Quickstart: predict how the TPC-W shopping mix scales on a
+// multi-master replicated database before deploying any replicas,
+// using only the parameters a standalone database exposes.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// Model parameters come straight from the standalone measurements
+	// (Tables 2-3 of the paper); NewParams fills in the paper's
+	// middleware delays and estimates L(1).
+	mix := repro.TPCWShopping()
+	params := repro.NewParams(mix)
+
+	fmt.Printf("workload: %s\n", mix)
+	fmt.Printf("standalone update response time L(1) = %.0f ms\n\n", params.L1*1000)
+
+	// Check the model's domain before trusting the numbers (§3.4).
+	if rep := repro.CheckAssumptions(params, 16); !rep.OK() {
+		fmt.Println(rep)
+	}
+
+	fmt.Println("multi-master scalability prediction:")
+	fmt.Println("  N   throughput   speedup   response")
+	var x1 float64
+	for n := 1; n <= 16; n *= 2 {
+		pred := repro.PredictMM(params, n)
+		if n == 1 {
+			x1 = pred.Throughput
+		}
+		fmt.Printf("  %-3d %7.1f tps   %4.1fx    %5.0f ms\n",
+			n, pred.Throughput, pred.Speedup(x1), pred.ResponseTime*1000)
+	}
+
+	// The same workload saturates much earlier on a single-master
+	// system: the master executes every update.
+	fmt.Println("\nsingle-master comparison at 16 replicas:")
+	mm := repro.PredictMM(params, 16)
+	sm := repro.PredictSM(params, 16)
+	fmt.Printf("  multi-master : %6.1f tps\n", mm.Throughput)
+	fmt.Printf("  single-master: %6.1f tps (master CPU at %.0f%%)\n",
+		sm.Throughput, sm.Master.UtilCPU*100)
+}

@@ -1,0 +1,64 @@
+// TPC-W scalability study: the paper's full validation loop for one
+// workload — profile the standalone system (§4), predict the
+// replicated systems (§3), then measure the simulated prototypes (§6)
+// and report the prediction error, reproducing the Figure 6/8 story
+// for the shopping mix.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	mix := repro.TPCWShopping()
+
+	// Step 1 — profile the standalone database. Everything the model
+	// needs comes from these four calibration runs; no replicated
+	// deployment is involved.
+	fmt.Println("step 1: profiling the standalone system (§4)...")
+	params, err := repro.Profile(mix, 42)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("  rc = %.1f/%.1f ms, wc = %.1f/%.1f ms, ws = %.1f/%.1f ms (CPU/disk)\n",
+		params.Mix.RC[0]*1000, params.Mix.RC[1]*1000,
+		params.Mix.WC[0]*1000, params.Mix.WC[1]*1000,
+		params.Mix.WS[0]*1000, params.Mix.WS[1]*1000)
+	fmt.Printf("  L(1) = %.0f ms, A1 = %.4f%%\n\n", params.L1*1000, params.Mix.A1*100)
+
+	// Step 2+3 — predict, then validate against the simulated
+	// prototype cluster at each replica count.
+	for _, design := range []repro.Design{repro.MultiMaster, repro.SingleMaster} {
+		fmt.Printf("step 2/3: %s — predicted vs measured\n", design)
+		fmt.Println("  N   predicted X   measured X   err    predicted RT   measured RT")
+		for _, n := range []int{1, 2, 4, 8, 16} {
+			pred, err := repro.Predict(design, params, n)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			meas, err := repro.Measure(mix, design, n, 1000+uint64(n))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			errPct := 100 * abs(pred.Throughput-meas.Throughput) / meas.Throughput
+			fmt.Printf("  %-3d %8.1f tps %9.1f tps %5.1f%%  %9.0f ms  %9.0f ms\n",
+				n, pred.Throughput, meas.Throughput, errPct,
+				pred.ResponseTime*1000, meas.ResponseTime*1000)
+		}
+		fmt.Println()
+	}
+	fmt.Println("the paper's validation bar is 15% error; see EXPERIMENTS.md for the full sweep")
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

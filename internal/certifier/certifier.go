@@ -1,0 +1,255 @@
+// Package certifier implements the paper's certification service
+// (§5.1): a lightweight stateful service that maintains committed
+// writesets with their versions and decides update-transaction
+// commits under generalized snapshot isolation.
+//
+// A request carries the transaction's writeset and the version of its
+// snapshot. The certifier compares the writeset against the writesets
+// of all transactions that committed after that version; any overlap
+// is a system-wide write-write conflict and the transaction aborts,
+// otherwise it commits and receives the next global version.
+// Certification is deterministic, and an update transaction is
+// durably committed once its writeset is persistent at the certifier —
+// in this implementation, once a Paxos majority (leader + two backups,
+// §6.1) has accepted the log entry.
+package certifier
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/paxos"
+	"repro/internal/writeset"
+)
+
+// Record is one certified (committed) update transaction.
+type Record struct {
+	Version  int64
+	Writeset writeset.Writeset
+}
+
+// Outcome reports a certification decision.
+type Outcome struct {
+	// Committed is true when no write-write conflict was found.
+	Committed bool
+	// Version is the global version assigned to the transaction
+	// (valid only when Committed).
+	Version int64
+	// ConflictWith identifies the committed version that caused an
+	// abort (valid only when !Committed).
+	ConflictWith int64
+}
+
+// Certifier orders and certifies update transactions. It is safe for
+// concurrent use; certification requests serialize, which is what
+// makes the decision deterministic.
+type Certifier struct {
+	mu       sync.Mutex
+	records  []Record // ascending versions, possibly pruned below lowWater
+	lowWater int64    // all versions <= lowWater have been pruned
+	version  int64
+
+	// Replication (optional): the certification log is proposed to a
+	// Paxos group before a commit is acknowledged.
+	proposer *paxos.Proposer
+
+	commits int64
+	aborts  int64
+}
+
+// New creates an unreplicated certifier, useful for tests and the
+// single-master design (which needs none).
+func New() *Certifier {
+	return &Certifier{}
+}
+
+// NewReplicated creates a certifier whose log is replicated across
+// nodes in-process Paxos acceptors (the paper uses a leader and two
+// backups, so nodes is typically 3). It returns the certifier and the
+// transport, which tests use to inject failures.
+func NewReplicated(nodes int) (*Certifier, *paxos.LocalTransport, error) {
+	if nodes < 1 {
+		return nil, nil, fmt.Errorf("certifier: %d replication nodes", nodes)
+	}
+	accs := make([]*paxos.Acceptor, nodes)
+	ids := make([]int, nodes)
+	for i := range accs {
+		accs[i] = paxos.NewAcceptor(i)
+		ids[i] = i
+	}
+	tr := paxos.NewLocalTransport(accs...)
+	c := &Certifier{proposer: paxos.NewProposer(0, ids, tr)}
+	return c, tr, nil
+}
+
+// Version returns the latest committed global version.
+func (c *Certifier) Version() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// Stats returns the number of committed and aborted certification
+// requests.
+func (c *Certifier) Stats() (commits, aborts int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.commits, c.aborts
+}
+
+// Check performs the conflict test without committing: it reports
+// whether ws conflicts with any transaction committed after snapshot.
+// The replica proxy uses it for early certification of partial
+// writesets (§5.1).
+func (c *Certifier) Check(snapshot int64, ws writeset.Writeset) (conflict bool, with int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conflictLocked(snapshot, ws)
+}
+
+// conflictLocked scans records newer than snapshot for overlap.
+func (c *Certifier) conflictLocked(snapshot int64, ws writeset.Writeset) (bool, int64) {
+	if ws.Empty() {
+		return false, 0
+	}
+	// Records are sorted by version; binary search would work, but the
+	// suffix beyond any realistic snapshot is short because GC trims
+	// the log.
+	for i := len(c.records) - 1; i >= 0; i-- {
+		r := c.records[i]
+		if r.Version <= snapshot {
+			break
+		}
+		if r.Writeset.Conflicts(ws) {
+			return true, r.Version
+		}
+	}
+	return false, 0
+}
+
+// Certify decides an update transaction: commit (assigning the next
+// global version and persisting the writeset) or abort on conflict.
+// A snapshot older than the pruning horizon is an error: the certifier
+// can no longer certify against the full set of concurrent commits.
+func (c *Certifier) Certify(snapshot int64, ws writeset.Writeset) (Outcome, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ws.Empty() {
+		return Outcome{}, fmt.Errorf("certifier: empty writeset (read-only transactions commit locally)")
+	}
+	if snapshot < c.lowWater {
+		return Outcome{}, fmt.Errorf("certifier: snapshot %d below pruning horizon %d", snapshot, c.lowWater)
+	}
+	if conflict, with := c.conflictLocked(snapshot, ws); conflict {
+		c.aborts++
+		return Outcome{Committed: false, ConflictWith: with}, nil
+	}
+	rec := Record{Version: c.version + 1, Writeset: ws}
+	if c.proposer != nil {
+		// Persist through Paxos before acknowledging the commit.
+		val, err := encodeRecord(rec)
+		if err != nil {
+			return Outcome{}, err
+		}
+		if _, err := c.proposer.Propose(val); err != nil {
+			return Outcome{}, fmt.Errorf("certifier: replication failed: %w", err)
+		}
+	}
+	c.records = append(c.records, rec)
+	c.version = rec.Version
+	c.commits++
+	return Outcome{Committed: true, Version: rec.Version}, nil
+}
+
+// Since returns the committed records with versions strictly greater
+// than v, in version order — the update-propagation feed.
+func (c *Certifier) Since(v int64) []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Record, 0, 8)
+	for _, r := range c.records {
+		if r.Version > v {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// GC prunes records with versions at or below upTo. Callers must
+// guarantee every replica has applied those versions and no active
+// snapshot predates them.
+func (c *Certifier) GC(upTo int64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if upTo <= c.lowWater {
+		return 0
+	}
+	kept := c.records[:0]
+	removed := 0
+	for _, r := range c.records {
+		if r.Version <= upTo {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	c.records = kept
+	c.lowWater = upTo
+	return removed
+}
+
+// LogLen returns the number of retained records (after GC).
+func (c *Certifier) LogLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.records)
+}
+
+// encodeRecord serializes a record for the Paxos log.
+func encodeRecord(r Record) (paxos.Value, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return "", fmt.Errorf("certifier: encode: %w", err)
+	}
+	return paxos.Value(b), nil
+}
+
+// DecodeRecord parses a Paxos log entry back into a Record. No-op
+// recovery fillers decode to an empty record with Version 0.
+func DecodeRecord(v paxos.Value) (Record, error) {
+	if v == "" || v == "noop" {
+		return Record{}, nil
+	}
+	var r Record
+	if err := json.Unmarshal([]byte(v), &r); err != nil {
+		return Record{}, fmt.Errorf("certifier: decode: %w", err)
+	}
+	return r, nil
+}
+
+// Recover rebuilds a certifier's state from a recovered Paxos log, the
+// backup-promotion path after a leader failure. Entries must be the
+// chosen values by slot; no-ops are skipped.
+func Recover(log map[int]paxos.Value) (*Certifier, error) {
+	c := New()
+	for slot := 0; slot < len(log); slot++ {
+		v, ok := log[slot]
+		if !ok {
+			return nil, fmt.Errorf("certifier: recovered log has a hole at slot %d", slot)
+		}
+		rec, err := DecodeRecord(v)
+		if err != nil {
+			return nil, err
+		}
+		if rec.Version == 0 {
+			continue // no-op filler
+		}
+		c.records = append(c.records, rec)
+		if rec.Version > c.version {
+			c.version = rec.Version
+		}
+		c.commits++
+	}
+	return c, nil
+}

@@ -1,0 +1,367 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// short returns a config with reduced windows to keep tests fast while
+// staying statistically stable.
+func short(m workload.Mix, d core.Design, n int) Config {
+	return Config{Mix: m, Design: d, Replicas: n, Seed: 1234, Warmup: 20, Measure: 80}
+}
+
+func TestStandaloneMatchesModel(t *testing.T) {
+	for _, m := range workload.All() {
+		res, err := Run(short(m, core.Standalone, 1))
+		if err != nil {
+			t.Fatalf("%s: %v", m.ID(), err)
+		}
+		want := core.PredictStandalone(core.NewParams(m))
+		if e := stats.RelativeError(res.Throughput, want.Throughput); e > 0.10 {
+			t.Errorf("%s: measured X=%.1f vs model %.1f (err %.0f%%)",
+				m.ID(), res.Throughput, want.Throughput, e*100)
+		}
+	}
+}
+
+func TestMMThroughputWithinPaperMargin(t *testing.T) {
+	// The paper reports model-vs-measurement error below 15% across
+	// mixes and replica counts (§6.2.1).
+	for _, m := range workload.AllTPCW() {
+		p := core.NewParams(m)
+		for _, n := range []int{1, 4, 8, 16} {
+			res, err := Run(short(m, core.MultiMaster, n))
+			if err != nil {
+				t.Fatalf("%s N=%d: %v", m.ID(), n, err)
+			}
+			pred := core.PredictMM(p, n)
+			if e := stats.RelativeError(pred.Throughput, res.Throughput); e > 0.15 {
+				t.Errorf("%s N=%d: predicted %.1f vs measured %.1f tps (err %.0f%%)",
+					m.ID(), n, pred.Throughput, res.Throughput, e*100)
+			}
+		}
+	}
+}
+
+func TestSMThroughputWithinPaperMargin(t *testing.T) {
+	for _, m := range workload.AllTPCW() {
+		p := core.NewParams(m)
+		for _, n := range []int{1, 4, 8, 16} {
+			res, err := Run(short(m, core.SingleMaster, n))
+			if err != nil {
+				t.Fatalf("%s N=%d: %v", m.ID(), n, err)
+			}
+			pred := core.PredictSM(p, n)
+			if e := stats.RelativeError(pred.Throughput, res.Throughput); e > 0.15 {
+				t.Errorf("%s N=%d: predicted %.1f vs measured %.1f tps (err %.0f%%)",
+					m.ID(), n, pred.Throughput, res.Throughput, e*100)
+			}
+		}
+	}
+}
+
+func TestRUBiSWithinPaperMargin(t *testing.T) {
+	for _, m := range workload.AllRUBiS() {
+		p := core.NewParams(m)
+		for _, design := range []core.Design{core.MultiMaster, core.SingleMaster} {
+			for _, n := range []int{1, 6, 16} {
+				res, err := Run(short(m, design, n))
+				if err != nil {
+					t.Fatalf("%s %s N=%d: %v", m.ID(), design, n, err)
+				}
+				var pred core.Prediction
+				if design == core.MultiMaster {
+					pred = core.PredictMM(p, n)
+				} else {
+					pred = core.PredictSM(p, n)
+				}
+				if e := stats.RelativeError(pred.Throughput, res.Throughput); e > 0.15 {
+					t.Errorf("%s %s N=%d: predicted %.1f vs measured %.1f (err %.0f%%)",
+						m.ID(), design, n, pred.Throughput, res.Throughput, e*100)
+				}
+			}
+		}
+	}
+}
+
+func TestResponseTimeWithinMargin(t *testing.T) {
+	// Response-time prediction for the main workload (shopping mix).
+	m := workload.TPCWShopping()
+	p := core.NewParams(m)
+	for _, n := range []int{1, 8, 16} {
+		res, err := Run(short(m, core.MultiMaster, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := core.PredictMM(p, n)
+		if e := stats.RelativeError(pred.ResponseTime, res.ResponseTime); e > 0.20 {
+			t.Errorf("N=%d: predicted RT %.0fms vs measured %.0fms (err %.0f%%)",
+				n, pred.ResponseTime*1000, res.ResponseTime*1000, e*100)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := short(workload.TPCWShopping(), core.MultiMaster, 4)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.Commits != b.Commits || a.ResponseTime != b.ResponseTime {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSeedChangesRunButNotMuch(t *testing.T) {
+	cfg := short(workload.TPCWShopping(), core.MultiMaster, 2)
+	a, _ := Run(cfg)
+	cfg.Seed = 999
+	b, _ := Run(cfg)
+	if a.Commits == b.Commits {
+		t.Error("different seeds produced identical commit counts (suspicious)")
+	}
+	if stats.RelativeError(a.Throughput, b.Throughput) > 0.05 {
+		t.Errorf("throughput unstable across seeds: %.1f vs %.1f", a.Throughput, b.Throughput)
+	}
+}
+
+func TestReadsNeverAbort(t *testing.T) {
+	m := workload.RUBiSBrowsing()
+	res, err := Run(short(m, core.MultiMaster, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpdateAborts != 0 || res.AbortRate != 0 {
+		t.Errorf("read-only workload aborted: %+v", res)
+	}
+	if res.WriteThroughput != 0 {
+		t.Errorf("read-only workload committed updates: %v", res.WriteThroughput)
+	}
+}
+
+func TestSMMasterExecutesAllUpdates(t *testing.T) {
+	m := workload.TPCWOrdering()
+	res, err := Run(short(m, core.SingleMaster, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slaves apply writesets; only the master commits updates, so every
+	// slave's writeset count must equal the system's update commits.
+	for _, n := range res.Nodes[1:] {
+		diff := math.Abs(float64(n.Writesets - res.UpdateCommits))
+		// Writesets still in flight at the window edges allow slack.
+		if diff > 0.01*float64(res.UpdateCommits)+50 {
+			t.Errorf("slave %s applied %d writesets, updates committed %d",
+				n.Name, n.Writesets, res.UpdateCommits)
+		}
+	}
+}
+
+func TestMMWritesetFanout(t *testing.T) {
+	m := workload.TPCWOrdering()
+	n := 4
+	res, err := Run(short(m, core.MultiMaster, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied int64
+	for _, node := range res.Nodes {
+		applied += node.Writesets
+	}
+	want := res.UpdateCommits * int64(n-1)
+	if math.Abs(float64(applied-want)) > 0.02*float64(want)+100 {
+		t.Errorf("applied %d writesets, want about %d ((N-1) per commit)", applied, want)
+	}
+}
+
+func TestUtilizationLawHolds(t *testing.T) {
+	// Measured station utilization must match X * D within tolerance,
+	// tying the simulator to the model's Utilization Law (§4.1.1).
+	m := workload.RUBiSBrowsing()
+	res, err := Run(short(m, core.MultiMaster, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range res.Nodes {
+		wantCPU := node.Throughput * m.RC[workload.CPU]
+		if stats.RelativeError(node.UtilCPU, wantCPU) > 0.10 {
+			t.Errorf("%s: util CPU %.3f vs utilization law %.3f", node.Name, node.UtilCPU, wantCPU)
+		}
+	}
+}
+
+func TestHeapTableRaisesAborts(t *testing.T) {
+	// Shrinking the updatable-row pool must raise the abort rate
+	// (the Figure 14 mechanism).
+	m := workload.TPCWShopping()
+	big, err := Run(short(m, core.MultiMaster, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := short(m, core.MultiMaster, 8)
+	cfg.HeapTableSize = 2000
+	small, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.AbortRate <= big.AbortRate {
+		t.Errorf("small heap table did not raise aborts: %.4f vs %.4f",
+			small.AbortRate, big.AbortRate)
+	}
+	if small.Retries == 0 {
+		t.Error("aborted transactions were not retried")
+	}
+}
+
+func TestAbortRateGrowsWithReplicas(t *testing.T) {
+	m := workload.TPCWShopping()
+	rates := make([]float64, 0, 3)
+	for _, n := range []int{1, 8, 16} {
+		cfg := short(m, core.MultiMaster, n)
+		cfg.HeapTableSize = 5000 // force measurable aborts
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates = append(rates, res.AbortRate)
+	}
+	if !(rates[0] < rates[1] && rates[1] < rates[2]) {
+		t.Errorf("abort rate not increasing with replicas: %v", rates)
+	}
+}
+
+func TestSnapshotLagGrowsWithReplicas(t *testing.T) {
+	m := workload.TPCWOrdering()
+	small, _ := Run(short(m, core.MultiMaster, 2))
+	large, _ := Run(short(m, core.MultiMaster, 16))
+	if large.AvgSnapshotLag <= small.AvgSnapshotLag {
+		t.Errorf("snapshot staleness did not grow: %.2f vs %.2f",
+			small.AvgSnapshotLag, large.AvgSnapshotLag)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := workload.TPCWShopping()
+	cases := []Config{
+		{Mix: m, Design: core.MultiMaster, Replicas: -1},
+		{Mix: m, Design: core.Standalone, Replicas: 4},
+		{Mix: m, Design: core.MultiMaster, Replicas: 2, Measure: -5, Warmup: 1},
+		{Mix: workload.Mix{Pr: 2, Pw: -1}, Design: core.MultiMaster, Replicas: 2},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg := Config{Mix: workload.TPCWShopping(), Design: core.MultiMaster}
+	got := cfg.withDefaults()
+	if got.Replicas != 1 || got.Warmup == 0 || got.Measure == 0 {
+		t.Errorf("defaults not applied: %+v", got)
+	}
+	if got.LBDelay != core.DefaultLBDelay || got.CertDelay != core.DefaultCertDelay {
+		t.Errorf("middleware delays not defaulted: %+v", got)
+	}
+	if got.HeapTableSize != got.Mix.DBUpdateSize {
+		t.Errorf("heap table default: %+v", got)
+	}
+	sa := Config{Mix: workload.TPCWShopping(), Design: core.Standalone}.withDefaults()
+	if sa.LBDelay != 0 || sa.CertDelay != 0 {
+		t.Errorf("standalone should have no middleware delays: %+v", sa)
+	}
+}
+
+func TestThroughputSplitConsistent(t *testing.T) {
+	res, err := Run(short(workload.TPCWShopping(), core.MultiMaster, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.ReadThroughput + res.WriteThroughput
+	if math.Abs(sum-res.Throughput) > 1e-9 {
+		t.Errorf("read+write %v != total %v", sum, res.Throughput)
+	}
+	ratio := res.WriteThroughput / res.Throughput
+	if math.Abs(ratio-workload.TPCWShopping().Pw) > 0.02 {
+		t.Errorf("committed write fraction %.3f, want about %.2f", ratio, workload.TPCWShopping().Pw)
+	}
+}
+
+func TestResponseCIIsTight(t *testing.T) {
+	res, err := Run(short(workload.TPCWShopping(), core.MultiMaster, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResponseCI95 <= 0 {
+		t.Fatal("no confidence interval")
+	}
+	if res.ResponseCI95 > 0.10*res.ResponseTime {
+		t.Errorf("CI95 %.1fms too wide for RT %.1fms", res.ResponseCI95*1000, res.ResponseTime*1000)
+	}
+}
+
+func TestResponsePercentilesOrdered(t *testing.T) {
+	res, err := Run(short(workload.TPCWShopping(), core.MultiMaster, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.ResponseP50 > 0 && res.ResponseP50 <= res.ResponseP95 && res.ResponseP95 <= res.ResponseP99) {
+		t.Fatalf("percentiles disordered: p50=%v p95=%v p99=%v",
+			res.ResponseP50, res.ResponseP95, res.ResponseP99)
+	}
+	// The median of a right-skewed response distribution sits below
+	// the mean; the p99 above it.
+	if res.ResponseP50 > res.ResponseTime {
+		t.Errorf("p50 %v above mean %v", res.ResponseP50, res.ResponseTime)
+	}
+	if res.ResponseP99 < res.ResponseTime {
+		t.Errorf("p99 %v below mean %v", res.ResponseP99, res.ResponseTime)
+	}
+}
+
+func TestSMMasterRoleMatchesModel(t *testing.T) {
+	// Per-role validation: the simulated SM master's utilization must
+	// match the model's Master role metrics, not just system totals.
+	m := workload.TPCWOrdering()
+	res, err := Run(short(m, core.SingleMaster, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := core.PredictSM(core.NewParams(m), 8)
+	master := res.Nodes[0]
+	if e := stats.RelativeError(pred.Master.UtilCPU, master.UtilCPU); e > 0.15 {
+		t.Errorf("master CPU util: predicted %.2f vs measured %.2f (err %.0f%%)",
+			pred.Master.UtilCPU, master.UtilCPU, e*100)
+	}
+	// The ordering master saturates; both must agree it is pinned.
+	if master.UtilCPU < 0.9 {
+		t.Errorf("measured master CPU %.2f, expected saturation", master.UtilCPU)
+	}
+}
+
+func TestMMReplicaUtilizationMatchesModel(t *testing.T) {
+	m := workload.TPCWShopping()
+	res, err := Run(short(m, core.MultiMaster, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := core.PredictMM(core.NewParams(m), 8)
+	for _, node := range res.Nodes {
+		if e := stats.RelativeError(pred.Replica.UtilCPU, node.UtilCPU); e > 0.15 {
+			t.Errorf("%s: CPU util predicted %.2f vs measured %.2f", node.Name, pred.Replica.UtilCPU, node.UtilCPU)
+		}
+		if e := stats.RelativeError(pred.Replica.UtilDisk, node.UtilDisk); e > 0.15 {
+			t.Errorf("%s: disk util predicted %.2f vs measured %.2f", node.Name, pred.Replica.UtilDisk, node.UtilDisk)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// AssumptionReport records how a workload sits against the model's
+// stated assumptions (§3.4). Violations do not prevent prediction —
+// the paper notes the model then tends to predict an upper bound — but
+// callers are told which regime they are in.
+type AssumptionReport struct {
+	// Warnings lists human-readable assumption violations.
+	Warnings []string
+}
+
+// OK reports whether no assumption was flagged.
+func (r AssumptionReport) OK() bool { return len(r.Warnings) == 0 }
+
+// String joins the warnings for display.
+func (r AssumptionReport) String() string {
+	if r.OK() {
+		return "all model assumptions hold"
+	}
+	s := "model assumption warnings:"
+	for _, w := range r.Warnings {
+		s += "\n  - " + w
+	}
+	return s
+}
+
+// CheckAssumptions evaluates the §3.4 assumptions that are checkable
+// from parameters: small abort probability (assumption 4), a read
+// bound suited to e-commerce (assumption 1), and sane service demands.
+// The MVA-internal assumptions (exponential demands, perfect load
+// balancing) are inherent to the method and not re-checked here.
+func CheckAssumptions(p Params, maxReplicas int) AssumptionReport {
+	var rep AssumptionReport
+	m := p.Mix
+
+	if m.A1 > 0.01 {
+		rep.Warnings = append(rep.Warnings, fmt.Sprintf(
+			"standalone abort rate A1=%.2f%% exceeds 1%%; predictions become upper bounds (§3.4 assumption 4)", m.A1*100))
+	}
+	if maxReplicas > 1 && m.Pw > 0 {
+		pred := PredictMM(p, maxReplicas)
+		if pred.AbortRate > 0.10 {
+			rep.Warnings = append(rep.Warnings, fmt.Sprintf(
+				"predicted abort rate A_%d=%.1f%% exceeds 10%%; abort growth accelerates beyond the model (§6.3.3)", maxReplicas, pred.AbortRate*100))
+		}
+	}
+	if m.Pw > 0.5 {
+		rep.Warnings = append(rep.Warnings, fmt.Sprintf(
+			"update fraction Pw=%.0f%% exceeds 50%%; workload is not read-dominated (§3.4 assumption 1)", m.Pw*100))
+	}
+	for r := workload.Resource(0); r < workload.NumResources; r++ {
+		if m.Pw > 0 && m.WS[r] > m.WC[r] {
+			rep.Warnings = append(rep.Warnings, fmt.Sprintf(
+				"writeset demand exceeds update demand at %s; check profiling (§4.1.1)", r))
+		}
+	}
+	return rep
+}

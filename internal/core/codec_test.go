@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestParamsRoundTrip(t *testing.T) {
+	p := NewParams(workload.TPCWShopping())
+	p.MasterSpeedup = 2
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadParams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Mix.ID() != p.Mix.ID() || back.MasterSpeedup != 2 {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+	if math.Abs(back.L1-p.L1) > 1e-12 {
+		t.Fatalf("L1 changed: %v vs %v", back.L1, p.L1)
+	}
+	// Predictions from the round-tripped params are identical.
+	a := PredictMM(p, 8)
+	b := PredictMM(back, 8)
+	if a.Throughput != b.Throughput {
+		t.Fatalf("prediction drift: %v vs %v", a.Throughput, b.Throughput)
+	}
+}
+
+func TestWriteParamsRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	bad := NewParams(workload.TPCWShopping())
+	bad.L1 = -1
+	if err := WriteParams(&buf, bad); err == nil {
+		t.Fatal("invalid params written")
+	}
+}
+
+func TestReadParamsRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"version": 99, "params": {}}`,
+		`{"version": 1, "params": {"Mix": {"Pr": 2}}}`,
+		`{"version": 1, "unknown_field": 1}`,
+	}
+	for _, in := range cases {
+		if _, err := ReadParams(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestReadParamsValidatesContent(t *testing.T) {
+	p := NewParams(workload.RUBiSBrowsing())
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a field post-hoc.
+	s := strings.Replace(buf.String(), `"Clients": 50`, `"Clients": 0`, 1)
+	if _, err := ReadParams(strings.NewReader(s)); err == nil {
+		t.Fatal("invalid clients accepted")
+	}
+}

@@ -1,0 +1,517 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestNewParamsValidates(t *testing.T) {
+	for _, m := range workload.All() {
+		p := NewParams(m)
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", m.ID(), err)
+		}
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	p := NewParams(workload.TPCWShopping())
+	p.L1 = -1
+	if p.Validate() == nil {
+		t.Error("negative L1 accepted")
+	}
+	p = NewParams(workload.TPCWShopping())
+	p.LBDelay = -0.1
+	if p.Validate() == nil {
+		t.Error("negative delay accepted")
+	}
+	p = NewParams(workload.TPCWShopping())
+	p.L1 = 0
+	if p.Validate() == nil {
+		t.Error("missing L1 accepted for update workload")
+	}
+	p = Params{Mix: workload.Mix{Pr: 2}}
+	if p.Validate() == nil {
+		t.Error("invalid mix accepted")
+	}
+}
+
+func TestEstimateL1Positive(t *testing.T) {
+	for _, m := range workload.All() {
+		p := Params{Mix: m, LBDelay: DefaultLBDelay, CertDelay: DefaultCertDelay}
+		l1 := EstimateL1(p)
+		if m.Pw == 0 {
+			if l1 != 0 {
+				t.Errorf("%s: read-only L1 = %v, want 0", m.ID(), l1)
+			}
+			continue
+		}
+		if l1 <= 0 {
+			t.Errorf("%s: L1 = %v", m.ID(), l1)
+		}
+		// L1 must at least cover the raw update service demand.
+		if l1 < m.WC.Total() {
+			t.Errorf("%s: L1=%v below service demand %v", m.ID(), l1, m.WC.Total())
+		}
+	}
+}
+
+func TestStandalonePaperAnchors(t *testing.T) {
+	// §6.2.1: the browsing mix starts at 22 tps on one replica, the
+	// ordering mix at 45 tps. Allow 10% tolerance on the anchors.
+	cases := []struct {
+		mix  workload.Mix
+		want float64
+	}{
+		{workload.TPCWBrowsing(), 22},
+		{workload.TPCWOrdering(), 45},
+	}
+	for _, c := range cases {
+		got := PredictStandalone(NewParams(c.mix)).Throughput
+		if math.Abs(got-c.want)/c.want > 0.10 {
+			t.Errorf("%s standalone X = %.1f tps, paper anchor %v", c.mix.ID(), got, c.want)
+		}
+	}
+}
+
+func TestMMBrowsingNearLinearSpeedup(t *testing.T) {
+	// §6.2.1: browsing scales 15.7x at 16 replicas.
+	p := NewParams(workload.TPCWBrowsing())
+	x1 := PredictMM(p, 1).Throughput
+	x16 := PredictMM(p, 16).Throughput
+	speedup := x16 / x1
+	if speedup < 14.5 || speedup > 16 {
+		t.Errorf("browsing MM speedup = %.1f, paper reports 15.7", speedup)
+	}
+}
+
+func TestMMOrderingModestSpeedup(t *testing.T) {
+	// §6.2.1: ordering scales 6.7x at 16 replicas (45 -> 304 tps).
+	p := NewParams(workload.TPCWOrdering())
+	x1 := PredictMM(p, 1).Throughput
+	x16 := PredictMM(p, 16).Throughput
+	speedup := x16 / x1
+	if speedup < 5.5 || speedup > 8.5 {
+		t.Errorf("ordering MM speedup = %.1f, paper reports 6.7", speedup)
+	}
+	if x1 < 40 || x1 > 50 {
+		t.Errorf("ordering MM starts at %.1f tps, paper reports 45", x1)
+	}
+}
+
+func TestMMThroughputMonotonicForTPCW(t *testing.T) {
+	// Within the paper's replica range, MM throughput grows with N for
+	// the TPC-W mixes.
+	for _, m := range workload.AllTPCW() {
+		p := NewParams(m)
+		prev := 0.0
+		for n := 1; n <= 16; n++ {
+			x := PredictMM(p, n).Throughput
+			if x < prev {
+				t.Errorf("%s: MM throughput dropped at N=%d (%v -> %v)", m.ID(), n, prev, x)
+			}
+			prev = x
+		}
+	}
+}
+
+func TestMMResponseTimeGrowsWithUpdates(t *testing.T) {
+	// Figure 7: browsing response time is nearly flat; ordering rises.
+	br := NewParams(workload.TPCWBrowsing())
+	ord := NewParams(workload.TPCWOrdering())
+	brGrowth := PredictMM(br, 16).ResponseTime / PredictMM(br, 1).ResponseTime
+	ordGrowth := PredictMM(ord, 16).ResponseTime / PredictMM(ord, 1).ResponseTime
+	if brGrowth > 1.5 {
+		t.Errorf("browsing RT grew %.2fx, expected nearly flat", brGrowth)
+	}
+	if ordGrowth < 3 {
+		t.Errorf("ordering RT grew only %.2fx, expected sharp growth", ordGrowth)
+	}
+}
+
+func TestMMAbortRateGrowsWithReplicas(t *testing.T) {
+	p := NewParams(workload.TPCWShopping())
+	prev := 0.0
+	for n := 1; n <= 16; n++ {
+		a := PredictMM(p, n).AbortRate
+		if a < prev {
+			t.Errorf("abort rate dropped at N=%d: %v -> %v", n, prev, a)
+		}
+		if a < 0 || a >= 1 {
+			t.Errorf("abort rate out of range at N=%d: %v", n, a)
+		}
+		prev = a
+	}
+}
+
+func TestMMReadOnlyMixHasNoAbortsOrCertifierCost(t *testing.T) {
+	p := NewParams(workload.RUBiSBrowsing())
+	for _, n := range []int{1, 4, 16} {
+		pred := PredictMM(p, n)
+		if pred.AbortRate != 0 || pred.ConflictWindow != 0 {
+			t.Errorf("N=%d: read-only mix has abort=%v cw=%v", n, pred.AbortRate, pred.ConflictWindow)
+		}
+		if pred.WriteThroughput != 0 {
+			t.Errorf("N=%d: read-only mix writes %v tps", n, pred.WriteThroughput)
+		}
+	}
+	// Browsing RUBiS is perfectly linear: no writesets at all.
+	x1 := PredictMM(p, 1).Throughput
+	x16 := PredictMM(p, 16).Throughput
+	if math.Abs(x16-16*x1) > 1e-6*x16 {
+		t.Errorf("read-only MM not linear: %v vs 16*%v", x16, x1)
+	}
+}
+
+func TestMMLittlesLaw(t *testing.T) {
+	for _, m := range workload.All() {
+		p := NewParams(m)
+		for _, n := range []int{1, 4, 16} {
+			pred := PredictMM(p, n)
+			clients := float64(m.Clients * n)
+			rt := clients/pred.Throughput - m.Think
+			if math.Abs(rt-pred.ResponseTime) > 1e-6*(rt+1) {
+				t.Errorf("%s N=%d: RT=%v inconsistent with Little's law %v", m.ID(), n, pred.ResponseTime, rt)
+			}
+		}
+	}
+}
+
+func TestMMUtilizationBounds(t *testing.T) {
+	for _, m := range workload.All() {
+		p := NewParams(m)
+		for _, n := range []int{1, 8, 16} {
+			pred := PredictMM(p, n)
+			for _, u := range []float64{pred.Replica.UtilCPU, pred.Replica.UtilDisk} {
+				if u < 0 || u > 1+1e-9 {
+					t.Errorf("%s N=%d: utilization %v out of [0,1]", m.ID(), n, u)
+				}
+			}
+		}
+	}
+}
+
+func TestMMPanicsOnZeroReplicas(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PredictMM(p, 0) did not panic")
+		}
+	}()
+	PredictMM(NewParams(workload.TPCWShopping()), 0)
+}
+
+func TestMMRangeLengthAndOrder(t *testing.T) {
+	p := NewParams(workload.TPCWShopping())
+	preds := PredictMMRange(p, 8)
+	if len(preds) != 8 {
+		t.Fatalf("got %d predictions", len(preds))
+	}
+	for i, pr := range preds {
+		if pr.Replicas != i+1 {
+			t.Fatalf("prediction %d has N=%d", i, pr.Replicas)
+		}
+	}
+}
+
+func TestMMAblationFreezeAbort(t *testing.T) {
+	// Freezing A_N at A_1 must not lower throughput (less demand
+	// inflation) and must keep the abort rate at A_1.
+	p := NewParams(workload.TPCWOrdering())
+	frozen := PredictMMOpt(p, 16, MMOptions{FreezeAbort: true})
+	live := PredictMM(p, 16)
+	if frozen.AbortRate != clampAbort(p.Mix.A1) {
+		t.Errorf("frozen abort = %v, want A1 = %v", frozen.AbortRate, p.Mix.A1)
+	}
+	if frozen.Throughput < live.Throughput-1e-9 {
+		t.Errorf("freezing aborts reduced throughput: %v < %v", frozen.Throughput, live.Throughput)
+	}
+}
+
+func TestMMAblationDropWritesets(t *testing.T) {
+	// Without the propagation cost, the ordering mix scales much
+	// better; this is the term that limits its scalability (§6.2.1).
+	p := NewParams(workload.TPCWOrdering())
+	with := PredictMM(p, 16)
+	without := PredictMMOpt(p, 16, MMOptions{DropWritesets: true})
+	if without.Throughput < with.Throughput*1.3 {
+		t.Errorf("dropping writesets should help ordering at N=16: %v vs %v",
+			without.Throughput, with.Throughput)
+	}
+}
+
+func TestSMMatchesStandaloneAtOneReplica(t *testing.T) {
+	for _, m := range workload.All() {
+		p := NewParams(m)
+		sm := PredictSM(p, 1)
+		sa := PredictStandalone(p)
+		if math.Abs(sm.Throughput-sa.Throughput) > 0.05*sa.Throughput {
+			t.Errorf("%s: SM(1)=%v, standalone=%v", m.ID(), sm.Throughput, sa.Throughput)
+		}
+		if sm.Design != SingleMaster {
+			t.Errorf("%s: design = %s", m.ID(), sm.Design)
+		}
+	}
+}
+
+func TestSMBrowsingScalesLinearly(t *testing.T) {
+	// Figure 8: SM browsing scales linearly; the master's extra
+	// capacity absorbs reads.
+	p := NewParams(workload.TPCWBrowsing())
+	x1 := PredictSM(p, 1).Throughput
+	x16 := PredictSM(p, 16).Throughput
+	speedup := x16 / x1
+	if speedup < 13.5 {
+		t.Errorf("SM browsing speedup = %.1f, expected near-linear", speedup)
+	}
+}
+
+func TestSMOrderingSaturatesEarly(t *testing.T) {
+	// Figure 8: with 50% updates the master becomes the bottleneck and
+	// the system saturates around 4 replicas.
+	p := NewParams(workload.TPCWOrdering())
+	x4 := PredictSM(p, 4).Throughput
+	x8 := PredictSM(p, 8).Throughput
+	x16 := PredictSM(p, 16).Throughput
+	if x8 > x4*1.10 {
+		t.Errorf("SM ordering did not saturate by 4 replicas: X4=%v X8=%v", x4, x8)
+	}
+	if x16 > x4*1.10 {
+		t.Errorf("SM ordering grew past saturation: X4=%v X16=%v", x4, x16)
+	}
+	// And it saturates well below the MM system at 16 replicas.
+	mm16 := PredictMM(p, 16).Throughput
+	if x16 > 0.7*mm16 {
+		t.Errorf("SM ordering (%v) should trail MM (%v) at 16 replicas", x16, mm16)
+	}
+}
+
+func TestSMOrderingResponseTimeRisesSharply(t *testing.T) {
+	// Figure 9: ordering response time increases rapidly after 4
+	// replicas as clients queue at the master.
+	p := NewParams(workload.TPCWOrdering())
+	rt4 := PredictSM(p, 4).ResponseTime
+	rt16 := PredictSM(p, 16).ResponseTime
+	if rt16 < 3*rt4 {
+		t.Errorf("SM ordering RT did not blow up: %v -> %v", rt4, rt16)
+	}
+}
+
+func TestSMQueuedClientsOnlyWhenMasterBottleneck(t *testing.T) {
+	ord := PredictSM(NewParams(workload.TPCWOrdering()), 16)
+	if ord.QueuedAtMaster == 0 {
+		t.Error("ordering at 16 replicas should queue clients at the master")
+	}
+	if ord.ExtraMasterReadClients != 0 {
+		t.Error("ordering at 16 replicas should not offload reads to the master")
+	}
+	br := PredictSM(NewParams(workload.TPCWBrowsing()), 16)
+	if br.ExtraMasterReadClients == 0 {
+		t.Error("browsing at 16 replicas should use master's excess capacity for reads")
+	}
+	if br.QueuedAtMaster != 0 {
+		t.Error("browsing master is not a bottleneck")
+	}
+}
+
+func TestSMReadOnlyEqualsMM(t *testing.T) {
+	// With no updates both designs degenerate to N read-only replicas.
+	p := NewParams(workload.RUBiSBrowsing())
+	for _, n := range []int{1, 4, 16} {
+		sm := PredictSM(p, n).Throughput
+		mm := PredictMM(p, n).Throughput
+		if math.Abs(sm-mm) > 0.02*mm {
+			t.Errorf("N=%d: read-only SM=%v vs MM=%v", n, sm, mm)
+		}
+	}
+}
+
+func TestSMBiddingMasterBound(t *testing.T) {
+	// Figure 12: RUBiS bidding is bounded by the master; throughput
+	// flattens near 100 tps.
+	p := NewParams(workload.RUBiSBidding())
+	x4 := PredictSM(p, 4).Throughput
+	x16 := PredictSM(p, 16).Throughput
+	if x16 > x4*1.15 {
+		t.Errorf("bidding SM kept scaling: X4=%v X16=%v", x4, x16)
+	}
+}
+
+func TestSMThroughputSplitConsistent(t *testing.T) {
+	for _, m := range workload.All() {
+		p := NewParams(m)
+		for _, n := range []int{2, 8, 16} {
+			pred := PredictSM(p, n)
+			sum := pred.ReadThroughput + pred.WriteThroughput
+			if math.Abs(sum-pred.Throughput) > 1e-6*(sum+1) {
+				t.Errorf("%s N=%d: read+write=%v != total %v", m.ID(), n, sum, pred.Throughput)
+			}
+		}
+	}
+}
+
+func TestSMBalancedRatioNearWorkloadRatio(t *testing.T) {
+	// When the system is not saturated the committed ratio should be
+	// close to Pr:Pw.
+	p := NewParams(workload.TPCWShopping())
+	for _, n := range []int{2, 4, 8} {
+		pred := PredictSM(p, n)
+		if pred.WriteThroughput == 0 {
+			t.Fatalf("N=%d: no write throughput", n)
+		}
+		ratio := pred.ReadThroughput / pred.WriteThroughput
+		want := p.Mix.Pr / p.Mix.Pw
+		if math.Abs(ratio-want)/want > 0.25 {
+			t.Errorf("N=%d: read:write = %.2f, workload ratio %.2f", n, ratio, want)
+		}
+	}
+}
+
+func TestSMPanicsOnZeroReplicas(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PredictSM(p, 0) did not panic")
+		}
+	}()
+	PredictSM(NewParams(workload.TPCWShopping()), 0)
+}
+
+func TestSMRange(t *testing.T) {
+	preds := PredictSMRange(NewParams(workload.TPCWShopping()), 6)
+	if len(preds) != 6 {
+		t.Fatalf("got %d predictions", len(preds))
+	}
+	for i, pr := range preds {
+		if pr.Replicas != i+1 || pr.Design != SingleMaster {
+			t.Fatalf("prediction %d: %+v", i, pr)
+		}
+	}
+}
+
+func TestAbortFromConflictWindow(t *testing.T) {
+	// N=1 with CW=L1 must return exactly A1.
+	a1 := 0.01
+	if got := abortFromConflictWindow(a1, 0.1, 0.1, 1); math.Abs(got-a1) > 1e-12 {
+		t.Errorf("identity case: %v", got)
+	}
+	// Doubling the exponent roughly doubles small abort rates.
+	a2 := abortFromConflictWindow(a1, 0.1, 0.1, 2)
+	if a2 < 1.9*a1 || a2 > 2.1*a1 {
+		t.Errorf("A2 = %v, want about %v", a2, 2*a1)
+	}
+	// Degenerate inputs return A1.
+	if got := abortFromConflictWindow(0, 1, 1, 4); got != 0 {
+		t.Errorf("zero A1: %v", got)
+	}
+	if got := abortFromConflictWindow(a1, 0, 1, 4); got != a1 {
+		t.Errorf("zero CW: %v", got)
+	}
+	// Clamped at maxAbort.
+	if got := abortFromConflictWindow(0.5, 100, 0.001, 16); got != maxAbort {
+		t.Errorf("clamp: %v", got)
+	}
+}
+
+func TestAbortProbabilityStandaloneAndInverse(t *testing.T) {
+	const (
+		l1   = 0.1
+		rate = 20.0
+		u    = 3
+	)
+	for _, a1 := range []float64{0.0024, 0.0053, 0.0090} {
+		size := HeapTableSizeForAbort(a1, u, l1, rate)
+		if size <= 0 {
+			t.Fatalf("a1=%v: size=%d", a1, size)
+		}
+		back := AbortProbabilityStandalone(size, u, l1, rate)
+		if math.Abs(back-a1)/a1 > 0.05 {
+			t.Errorf("a1=%v: round-trip %v (size %d)", a1, back, size)
+		}
+	}
+	if AbortProbabilityStandalone(0, 1, 1, 1) != 0 {
+		t.Error("degenerate AbortProbabilityStandalone != 0")
+	}
+	if HeapTableSizeForAbort(0, 1, 1, 1) != 0 {
+		t.Error("degenerate HeapTableSizeForAbort != 0")
+	}
+}
+
+func TestFigure14AbortPredictions(t *testing.T) {
+	// Figure 14: for the shopping mix with artificially raised A1 of
+	// {0.24%, 0.53%, 0.90%}, measured A_16 on the MM prototype is
+	// {10%, 17%, 29%}. The model consistently under-estimates at the
+	// high end (the paper says so); accept a generous band around the
+	// measured anchors.
+	anchors := []struct {
+		a1       float64
+		measured float64
+	}{
+		{0.0024, 0.10},
+		{0.0053, 0.17},
+		{0.0090, 0.29},
+	}
+	m := workload.TPCWShopping()
+	for _, c := range anchors {
+		m.A1 = c.a1
+		p := NewParams(m)
+		a16 := PredictMM(p, 16).AbortRate
+		if a16 < c.measured*0.4 || a16 > c.measured*1.6 {
+			t.Errorf("A1=%.2f%%: predicted A16=%.1f%%, measured anchor %.0f%%",
+				c.a1*100, a16*100, c.measured*100)
+		}
+	}
+}
+
+func TestCheckAssumptions(t *testing.T) {
+	ok := CheckAssumptions(NewParams(workload.TPCWShopping()), 16)
+	if !ok.OK() {
+		t.Errorf("shopping mix should satisfy assumptions: %v", ok)
+	}
+	hot := workload.TPCWShopping()
+	hot.A1 = 0.02
+	rep := CheckAssumptions(NewParams(hot), 16)
+	if rep.OK() {
+		t.Error("2% A1 should trigger the small-abort warning")
+	}
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+	ord := CheckAssumptions(NewParams(workload.TPCWOrdering()), 1)
+	// Pw = 0.5 is the boundary; no warning expected for <= 0.5.
+	for _, w := range ord.Warnings {
+		t.Errorf("unexpected ordering warning: %s", w)
+	}
+}
+
+func TestPredictionHelpers(t *testing.T) {
+	p := PredictMM(NewParams(workload.TPCWShopping()), 4)
+	if p.Speedup(0) != 0 {
+		t.Error("Speedup(0) != 0")
+	}
+	if s := p.Speedup(p.Throughput / 4); math.Abs(s-4) > 1e-9 {
+		t.Errorf("Speedup = %v", s)
+	}
+	if p.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestMMCertifierDelayOnlyChargedToUpdates(t *testing.T) {
+	// Raising the certifier delay must not slow a read-only workload.
+	p := NewParams(workload.RUBiSBrowsing())
+	base := PredictMM(p, 8).Throughput
+	p.CertDelay = 1.0
+	slow := PredictMM(p, 8).Throughput
+	if math.Abs(base-slow) > 1e-9*base {
+		t.Errorf("certifier delay affected read-only workload: %v vs %v", base, slow)
+	}
+	// But it must slow an update-heavy workload's response time.
+	q := NewParams(workload.TPCWOrdering())
+	rtBase := PredictMM(q, 8).ResponseTime
+	q.CertDelay = 0.2
+	rtSlow := PredictMM(q, 8).ResponseTime
+	if rtSlow <= rtBase {
+		t.Errorf("certifier delay had no effect on updates: %v vs %v", rtSlow, rtBase)
+	}
+}

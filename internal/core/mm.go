@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mva"
+	"repro/internal/workload"
+)
+
+// mmDemands returns the per-resource multi-master service demand
+// (§3.3.2):
+//
+//	D_MM(N) = Pr·rc + Pw·wc/(1-A_N) + Pw·(N-1)·ws
+//
+// covering local reads, local updates inflated by retries, and the
+// (N-1)·W propagated writesets each replica applies per W local
+// commits.
+func mmDemands(m workload.Mix, n int, abortRate float64) []float64 {
+	d := make([]float64, workload.NumResources)
+	retry := 1.0
+	if m.Pw > 0 {
+		retry = 1 / (1 - abortRate)
+	}
+	for r := workload.Resource(0); r < workload.NumResources; r++ {
+		d[r] = m.Pr*m.RC[r] + m.Pw*m.WC[r]*retry + m.Pw*float64(n-1)*m.WS[r]
+	}
+	return d
+}
+
+// MMOptions tune the multi-master solver; the zero value gives the
+// paper's model. They exist for the sensitivity/ablation studies.
+type MMOptions struct {
+	// FreezeAbort pins A_N to A_1, disabling the conflict-window
+	// feedback (ablation: how much do replication-amplified aborts
+	// matter?).
+	FreezeAbort bool
+	// DropWritesets sets ws to zero, disabling the update-propagation
+	// cost term (ablation: how much does propagation limit scaling?).
+	DropWritesets bool
+}
+
+// PredictMM evaluates the multi-master model (§3.3.2) for n replicas.
+//
+// One replica is solved as a closed network of C clients over CPU and
+// disk queueing centers. The delay term is think time plus load
+// balancer delay plus the certifier delay weighted by the fraction of
+// transactions that visit the certifier (updates only). The conflict
+// window CW(N) at MVA iteration i+1 is the update transaction's
+// CPU+disk residence plus certification time observed at iteration i
+// (§4.1.1), from which A_N follows.
+func PredictMM(p Params, n int) Prediction {
+	return PredictMMOpt(p, n, MMOptions{})
+}
+
+// PredictMMOpt is PredictMM with explicit solver options.
+func PredictMMOpt(p Params, n int, opt MMOptions) Prediction {
+	if n < 1 {
+		panic(fmt.Sprintf("core: PredictMM with %d replicas", n))
+	}
+	m := p.Mix
+	if opt.DropWritesets {
+		m.WS = workload.Demand{}
+	}
+	l1 := p.L1
+	if l1 == 0 {
+		l1 = EstimateL1(p)
+	}
+
+	// Delay seen by a transaction outside the replica's queues: client
+	// think time, load balancer, and the certifier for updates.
+	think := m.Think + p.LBDelay + m.Pw*p.CertDelay
+
+	solver := mva.NewSingleClass(replicaCenters(), think)
+
+	abort := clampAbort(m.A1)
+	cw := l1 // initial conflict-window guess: the standalone window
+	for i := 0; i < m.Clients; i++ {
+		solver.SetDemands(mmDemands(m, n, abort))
+		solver.Step()
+		if m.Pw > 0 && !opt.FreezeAbort {
+			// Conflict window from this iteration feeds the next one:
+			// update residence at CPU+disk plus certification time.
+			cw = m.WC[workload.CPU]*(1+solver.Queue(0)) +
+				m.WC[workload.Disk]*(1+solver.Queue(1)) +
+				p.CertDelay
+			abort = abortFromConflictWindow(m.A1, cw, l1, n)
+		}
+	}
+
+	sol := solver.Solution()
+	demands := mmDemands(m, n, abort)
+
+	pred := Prediction{
+		Design:         MultiMaster,
+		Replicas:       n,
+		Throughput:     float64(n) * sol.Throughput,
+		AbortRate:      abort,
+		ConflictWindow: cw,
+	}
+	if m.Pw == 0 {
+		pred.ConflictWindow = 0
+		pred.AbortRate = 0
+	}
+	if sol.Throughput > 0 {
+		// Little's law over one replica's clients; response includes
+		// LB and certifier delays but not think time.
+		pred.ResponseTime = float64(m.Clients)/sol.Throughput - m.Think
+	}
+	pred.ReadThroughput = pred.Throughput * m.Pr
+	pred.WriteThroughput = pred.Throughput * m.Pw
+	pred.Replica = RoleMetrics{
+		Clients:    m.Clients,
+		Throughput: sol.Throughput,
+		// The conflict-window feedback changes demands between MVA
+		// steps, so the closing utilization can overshoot 1 by a hair;
+		// clamp to the physical range.
+		UtilCPU:     clampUtil(sol.Utilization[0]),
+		UtilDisk:    clampUtil(sol.Utilization[1]),
+		QueueCPU:    sol.Queue[0],
+		QueueDisk:   sol.Queue[1],
+		DemandCPU:   demands[0],
+		DemandDisk:  demands[1],
+		ResidenceMS: sol.Response * 1000,
+	}
+	return pred
+}
+
+// PredictMMRange evaluates the multi-master model for every replica
+// count from 1 to maxReplicas.
+func PredictMMRange(p Params, maxReplicas int) []Prediction {
+	out := make([]Prediction, 0, maxReplicas)
+	for n := 1; n <= maxReplicas; n++ {
+		out = append(out, PredictMM(p, n))
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+// Package core implements the paper's analytical models: throughput
+// and response-time prediction for multi-master (MM) and single-master
+// (SM) replicated databases under (generalized) snapshot isolation,
+// driven entirely by measurements taken on a standalone database
+// (Elnikety et al., EuroSys 2009, §3-§4).
+//
+// The models are closed queueing networks solved with Mean Value
+// Analysis. Each replica contributes a CPU and a disk queueing center;
+// client think time, the load balancer and the certifier are delay
+// centers. Update propagation appears as extra writeset service demand
+// ((N-1)·W writesets per multi-master replica, N·W per single-master
+// slave), and snapshot-isolation aborts inflate update demand by
+// 1/(1-A_N), where A_N is derived from the standalone abort rate A_1
+// through the conflict-window relation
+//
+//	(1 - A_N) = (1 - A_1)^(N·CW(N)/L(1)).
+//
+// Params collects every model input; Predict* produce Prediction
+// values comparable directly against measured (or simulated) systems.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Default middleware delays used by the paper's experimental setup
+// (§6.1, §6.3.1-6.3.2).
+const (
+	// DefaultLBDelay is the combined load balancer and LAN delay.
+	DefaultLBDelay = 0.001
+	// DefaultCertDelay is the certification delay: half the mean
+	// batched disk-write service time plus the service time itself
+	// (0.5·8ms + 8ms ≈ 12ms).
+	DefaultCertDelay = 0.012
+)
+
+// Params holds the model inputs measured on a standalone database
+// (§4) plus the middleware delay constants.
+type Params struct {
+	// Mix supplies Pr, Pw, client count per replica, think time and
+	// the measured service demands rc, wc, ws per resource, as well as
+	// the standalone abort probability A1.
+	Mix workload.Mix
+
+	// L1 is the measured average execution (response) time of an
+	// update transaction on the standalone database, the conflict
+	// window of a standalone system (§3.3.1). If zero, PredictMM and
+	// PredictSM estimate it with EstimateL1.
+	L1 float64
+
+	// LBDelay is the load balancer + network delay center value.
+	LBDelay float64
+
+	// CertDelay is the certifier delay center value (multi-master
+	// only; the single-master design has no certifier).
+	CertDelay float64
+
+	// MasterSpeedup scales the single-master master's speed: its
+	// service demands are divided by this factor. The paper suggests a
+	// more powerful master to mitigate the SM bottleneck (§6.2.1);
+	// zero or one models homogeneous machines.
+	MasterSpeedup float64
+}
+
+// NewParams builds Params for a mix with the paper's default
+// middleware delays and an L1 estimated from the standalone model.
+func NewParams(m workload.Mix) Params {
+	p := Params{
+		Mix:       m,
+		LBDelay:   DefaultLBDelay,
+		CertDelay: DefaultCertDelay,
+	}
+	p.L1 = EstimateL1(p)
+	return p
+}
+
+// Validate checks the parameters against the model's domain.
+func (p Params) Validate() error {
+	if err := p.Mix.Validate(); err != nil {
+		return err
+	}
+	if p.L1 < 0 {
+		return fmt.Errorf("core: negative L1 %v", p.L1)
+	}
+	if p.LBDelay < 0 || p.CertDelay < 0 {
+		return fmt.Errorf("core: negative middleware delay")
+	}
+	if p.Mix.Pw > 0 && p.L1 == 0 {
+		return fmt.Errorf("core: L1 required for update workloads (use NewParams or EstimateL1)")
+	}
+	return nil
+}
+
+// Design labels which replication design a prediction describes.
+type Design string
+
+const (
+	// Standalone is a single unreplicated database.
+	Standalone Design = "standalone"
+	// MultiMaster is the MM design: every replica executes reads and
+	// updates; a certifier resolves write-write conflicts (§3.3.2).
+	MultiMaster Design = "multi-master"
+	// SingleMaster is the SM design: the master executes all updates,
+	// slaves execute reads (§3.3.3).
+	SingleMaster Design = "single-master"
+)
+
+// RoleMetrics reports per-node steady-state metrics for one role
+// (an MM replica, the SM master, or an SM slave).
+type RoleMetrics struct {
+	Clients     int     // clients stationed at this node
+	Throughput  float64 // transactions per second committed by this node
+	UtilCPU     float64
+	UtilDisk    float64
+	QueueCPU    float64
+	QueueDisk   float64
+	DemandCPU   float64 // average per-transaction CPU demand at this node
+	DemandDisk  float64 // average per-transaction disk demand
+	ResidenceMS float64 // total residence time at this node, milliseconds
+}
+
+// Prediction is the model output for one (design, N) point.
+type Prediction struct {
+	Design   Design
+	Replicas int
+
+	Throughput   float64 // system throughput, transactions/second
+	ResponseTime float64 // average transaction response time, seconds
+
+	// AbortRate is A_N for multi-master, A'_N for single-master, and
+	// A_1 for standalone.
+	AbortRate float64
+	// ConflictWindow is CW(N) in seconds (MM) or the master execution
+	// time (SM).
+	ConflictWindow float64
+
+	// ReadThroughput and WriteThroughput split the system throughput
+	// by transaction class (ReadThroughput+WriteThroughput equals
+	// Throughput).
+	ReadThroughput  float64
+	WriteThroughput float64
+
+	// Replica describes a multi-master replica (or the standalone
+	// node); Master and Slave describe the single-master roles.
+	Replica RoleMetrics
+	Master  RoleMetrics
+	Slave   RoleMetrics
+
+	// ExtraMasterReadClients is the number of read clients the SM
+	// balancing algorithm moved to the master (E > 0 case of §3.3.3);
+	// QueuedAtMaster is the number of clients it moved from the slaves
+	// to queue at a bottlenecked master.
+	ExtraMasterReadClients int
+	QueuedAtMaster         int
+	// BalanceIterations counts Figure 3 loop iterations (0 when the
+	// initial split was already balanced).
+	BalanceIterations int
+}
+
+// Speedup returns the ratio of this prediction's throughput to the
+// given single-replica throughput.
+func (p Prediction) Speedup(singleReplica float64) float64 {
+	if singleReplica <= 0 {
+		return 0
+	}
+	return p.Throughput / singleReplica
+}
+
+// String renders the headline numbers.
+func (p Prediction) String() string {
+	return fmt.Sprintf("%s N=%d: X=%.1f tps, RT=%.1f ms, abort=%.3f%%",
+		p.Design, p.Replicas, p.Throughput, p.ResponseTime*1000, p.AbortRate*100)
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+// randomMix builds a valid workload mix from fuzz inputs, spanning
+// read-only to update-heavy workloads with sane demand magnitudes
+// (0.1-100 ms) and small abort rates.
+func randomMix(pwRaw, c, rc1, rc2, wc1, wc2, ws1, ws2 uint16) workload.Mix {
+	scale := func(v uint16) float64 { return (float64(v%1000) + 1) / 10000 } // 0.1-100ms
+	pw := float64(pwRaw%101) / 100
+	m := workload.Mix{
+		Benchmark: "fuzz", Name: "mix",
+		Pr: 1 - pw, Pw: pw,
+		Clients: int(c%120) + 1,
+		Think:   1.0,
+		RC:      workload.Demand{scale(rc1), scale(rc2)},
+		A1:      0.0001,
+	}
+	if pw > 0 {
+		m.WC = workload.Demand{scale(wc1), scale(wc2)}
+		m.WS = workload.Demand{scale(ws1) / 4, scale(ws2) / 4}
+		m.UpdateOps = 3
+		m.DBUpdateSize = 100000
+	}
+	return m
+}
+
+func finite(vals ...float64) bool {
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickMMPredictionsWellFormed(t *testing.T) {
+	f := func(pw, c, a, b, d, e, g, h uint16, nRaw uint8) bool {
+		m := randomMix(pw, c, a, b, d, e, g, h)
+		if m.Validate() != nil {
+			return true // skip (should not happen)
+		}
+		n := int(nRaw%16) + 1
+		p := NewParams(m)
+		pred := PredictMM(p, n)
+		if !finite(pred.Throughput, pred.ResponseTime, pred.AbortRate, pred.ConflictWindow) {
+			return false
+		}
+		// Abort probability in range, utilizations physical.
+		if pred.AbortRate >= 1 || pred.Replica.UtilCPU > 1+1e-9 || pred.Replica.UtilDisk > 1+1e-9 {
+			return false
+		}
+		// Little's law consistency.
+		clients := float64(m.Clients * n)
+		rt := clients/pred.Throughput - m.Think
+		if math.Abs(rt-pred.ResponseTime) > 1e-6*(math.Abs(rt)+1) {
+			return false
+		}
+		// Class split sums to the total.
+		return math.Abs(pred.ReadThroughput+pred.WriteThroughput-pred.Throughput) < 1e-9*(pred.Throughput+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSMPredictionsWellFormed(t *testing.T) {
+	f := func(pw, c, a, b, d, e, g, h uint16, nRaw uint8) bool {
+		m := randomMix(pw, c, a, b, d, e, g, h)
+		if m.Validate() != nil {
+			return true
+		}
+		n := int(nRaw%8) + 1 // SM is costlier to solve; keep N modest
+		p := NewParams(m)
+		pred := PredictSM(p, n)
+		if !finite(pred.Throughput, pred.ResponseTime, pred.AbortRate) {
+			return false
+		}
+		if pred.AbortRate >= 1 {
+			return false
+		}
+		return math.Abs(pred.ReadThroughput+pred.WriteThroughput-pred.Throughput) < 1e-6*(pred.Throughput+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMMBoundedByIdealScaling(t *testing.T) {
+	// MM throughput can never exceed N times an *ideal* standalone
+	// system (no aborts, no middleware delays): replication adds work
+	// (writesets, retries, certifier latency), it never removes any.
+	// Plain N*standalone is not a valid bound because the MM
+	// conflict-window feedback can land A_N slightly below the
+	// standalone A_1 at light load.
+	f := func(pw, c, a, b, d, e, g, h uint16, nRaw uint8) bool {
+		m := randomMix(pw, c, a, b, d, e, g, h)
+		if m.Validate() != nil {
+			return true
+		}
+		n := int(nRaw%16) + 1
+		p := NewParams(m)
+		ideal := m
+		ideal.A1 = 0
+		sa := PredictStandalone(Params{Mix: ideal}).Throughput
+		mm := PredictMM(p, n).Throughput
+		return mm <= float64(n)*sa*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSMBoundedByClosedLoopLimit(t *testing.T) {
+	// No N-times-standalone bound exists for SM: master/slave
+	// specialization can beat a mixed standalone on adversarial demand
+	// shapes (each node serves a single class, so it never pays the
+	// other class's resource profile). What always holds in a closed
+	// loop is X <= total clients / think time: every client completes
+	// at most one transaction per think cycle.
+	f := func(pw, c, a, b, d, e, g, h uint16, nRaw uint8) bool {
+		m := randomMix(pw, c, a, b, d, e, g, h)
+		if m.Validate() != nil {
+			return true
+		}
+		n := int(nRaw%8) + 1
+		p := NewParams(m)
+		sm := PredictSM(p, n).Throughput
+		// The integer client split can station up to (n-1)/2 extra
+		// clients beyond the nominal population; bound accordingly.
+		bound := float64(m.Clients*n+n) / m.Think
+		return sm <= bound*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickWritesetCostNeverHelps(t *testing.T) {
+	// Dropping the propagation cost can only raise MM throughput.
+	f := func(pw, c, a, b, d, e, g, h uint16, nRaw uint8) bool {
+		m := randomMix(pw, c, a, b, d, e, g, h)
+		if m.Validate() != nil {
+			return true
+		}
+		n := int(nRaw%16) + 1
+		p := NewParams(m)
+		with := PredictMM(p, n).Throughput
+		without := PredictMMOpt(p, n, MMOptions{DropWritesets: true}).Throughput
+		return without >= with-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAbortMonotoneInConflictWindow(t *testing.T) {
+	f := func(a1Raw, cwRaw, l1Raw uint16, nRaw uint8) bool {
+		a1 := float64(a1Raw%100) / 10000 // 0-1%
+		cw := (float64(cwRaw%1000) + 1) / 1000
+		l1 := (float64(l1Raw%1000) + 1) / 1000
+		n := int(nRaw%16) + 1
+		a := abortFromConflictWindow(a1, cw, l1, n)
+		b := abortFromConflictWindow(a1, cw*2, l1, n)
+		c := abortFromConflictWindow(a1, cw, l1, n+1)
+		if a < 0 || a > maxAbort {
+			return false
+		}
+		return b >= a-1e-15 && c >= a-1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMasterSpeedupMonotoneOnBenchmarks(t *testing.T) {
+	// A faster master can only help the single-master design. This is
+	// checked over the paper's benchmark mixes rather than adversarial
+	// fuzz inputs: Figure 3's balancing moves clients in units of N-1,
+	// and on degenerate mixes (Pw of a couple percent, a handful of
+	// write clients) that coarse step can overshoot the ratio and make
+	// the comparison noisy without saying anything about the model.
+	for _, m := range workload.All() {
+		if m.Pw == 0 {
+			continue
+		}
+		for _, n := range []int{2, 4, 8, 16} {
+			p := NewParams(m)
+			base := PredictSM(p, n).Throughput
+			p.MasterSpeedup = 2
+			fast := PredictSM(p, n).Throughput
+			if fast < base*0.99 {
+				t.Errorf("%s N=%d: 2x master lowered X: %.1f -> %.1f", m.ID(), n, base, fast)
+			}
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mva"
+	"repro/internal/workload"
+)
+
+// slaveDemand returns the per-committed-read-transaction demand at an
+// SM slave (§3.3.3):
+//
+//	D_slave(N) = rc + (Pw/Pr)·(N-1)·ws
+//
+// Each of the N-1 slaves processes N·R/(N-1) reads plus all N·W
+// propagated writesets, so the writeset work amortized per read is
+// (N-1)·(W/R)·ws.
+func slaveDemand(m workload.Mix, n int) []float64 {
+	d := make([]float64, workload.NumResources)
+	for r := workload.Resource(0); r < workload.NumResources; r++ {
+		d[r] = m.RC[r]
+		if m.Pr > 0 {
+			d[r] += m.Pw / m.Pr * float64(n-1) * m.WS[r]
+		}
+	}
+	return d
+}
+
+// masterSolution carries one master MVA evaluation.
+type masterSolution struct {
+	readThroughput  float64
+	writeThroughput float64
+	abort           float64 // converged A'_N
+	execTime        float64 // master update execution time (conflict window)
+	sol             mva.TwoClassSolution
+}
+
+// solveMaster evaluates the master node with readClients read-only
+// clients and writeClients update clients. The update class demand is
+// wc/(1-A'_N); A'_N is found by fixed point on the master's execution
+// time, mirroring how the paper measures it with a scaled update load
+// (§4.1.2): the master resolves conflicts like a standalone database
+// but at N times the update rate.
+func solveMaster(p Params, n, readClients, writeClients int) masterSolution {
+	m := p.Mix
+	l1 := p.L1
+	speed := p.MasterSpeedup
+	if speed <= 0 {
+		speed = 1
+	}
+	centers := replicaCenters()
+	think := [2]float64{m.Think + p.LBDelay, m.Think + p.LBDelay}
+	readDemand := []float64{m.RC[workload.CPU] / speed, m.RC[workload.Disk] / speed}
+
+	// Standalone committed update rate, the denominator of the
+	// rate-ratio abort exponent.
+	w1 := PredictStandalone(p).WriteThroughput
+
+	abort := clampAbort(m.A1)
+	var out masterSolution
+	for iter := 0; iter < 50; iter++ {
+		retry := 1.0
+		if m.Pw > 0 {
+			retry = 1 / (1 - abort)
+		}
+		writeDemand := []float64{m.WC[workload.CPU] * retry / speed, m.WC[workload.Disk] * retry / speed}
+		sol := mva.SolveTwoClass(centers,
+			[2][]float64{readDemand, writeDemand}, think,
+			[2]int{readClients, writeClients})
+
+		exec := m.WC[workload.CPU]/speed*(1+sol.Queue[0]) + m.WC[workload.Disk]/speed*(1+sol.Queue[1])
+		next := abort
+		if m.Pw > 0 && m.A1 > 0 && l1 > 0 && w1 > 0 {
+			next = abortFromRates(m.A1, exec, l1, sol.Throughput[1]/w1)
+		}
+		out = masterSolution{
+			readThroughput:  sol.Throughput[0],
+			writeThroughput: sol.Throughput[1],
+			abort:           next,
+			execTime:        exec,
+			sol:             sol,
+		}
+		if math.Abs(next-abort) < 1e-9 {
+			break
+		}
+		abort = next
+	}
+	return out
+}
+
+// solveSlave evaluates one slave with the given read clients.
+func solveSlave(p Params, n, clients int) mva.Solution {
+	return mva.Solve(replicaCenters(), slaveDemand(p.Mix, n), p.Mix.Think+p.LBDelay, clients)
+}
+
+// balanced reports whether read and write throughput match the
+// workload ratio Pr:Pw within tol (cross-multiplied to avoid division
+// by zero).
+func balanced(read, write, pr, pw, tol float64) bool {
+	return math.Abs(read*pw-write*pr) <= tol*(read*pw+write*pr+1e-12)
+}
+
+// PredictSM evaluates the single-master model (§3.3.3, Figure 3) for
+// n replicas (1 master + n-1 slaves).
+func PredictSM(p Params, n int) Prediction {
+	if n < 1 {
+		panic(fmt.Sprintf("core: PredictSM with %d replicas", n))
+	}
+	m := p.Mix
+
+	// Degenerate forms first.
+	if n == 1 {
+		return smSingleNode(p)
+	}
+	if m.Pw == 0 {
+		return smReadOnly(p, n)
+	}
+
+	totalClients := m.Clients * n
+	masterClients := int(math.Round(m.Pw * float64(totalClients)))
+	slaveClients := int(math.Round(m.Pr * float64(totalClients) / float64(n-1)))
+
+	ms := solveMaster(p, n, 0, masterClients)
+	sl := solveSlave(p, n, slaveClients)
+	readThput := float64(n-1) * sl.Throughput
+	writeThput := ms.writeThroughput
+
+	const tol = 0.02
+	pred := Prediction{Design: SingleMaster, Replicas: n}
+
+	switch {
+	case balanced(readThput, writeThput, m.Pr, m.Pw, tol):
+		// Initial split is already balanced.
+
+	case readThput*m.Pw < writeThput*m.Pr:
+		// Reads lag: the master has excess capacity. Move j read
+		// clients per slave onto the master (the E extra reads of
+		// §3.3.3), scanning j upward exactly like the Figure 3 loop.
+		// The target ratio may be unreachable when the static client
+		// split caps the write rate below its closed-loop share; in
+		// that case the best static solution is the j maximizing total
+		// throughput (the sum is concave in j), which is where the
+		// self-regulating closed loop settles.
+		bestJ, bestX := 0, readThput+writeThput
+		iters := 0
+		found := -1
+		for j := 1; j <= slaveClients; j++ {
+			iters++
+			msj := solveMaster(p, n, j*(n-1), masterClients)
+			slj := solveSlave(p, n, slaveClients-j)
+			r := float64(n-1)*slj.Throughput + msj.readThroughput
+			if x := r + msj.writeThroughput; x > bestX {
+				bestX, bestJ = x, j
+			}
+			if r*m.Pw >= msj.writeThroughput*m.Pr {
+				found = j
+				break
+			}
+		}
+		j := found
+		if j < 0 {
+			j = bestJ
+		}
+		ms = solveMaster(p, n, j*(n-1), masterClients)
+		sl = solveSlave(p, n, slaveClients-j)
+		readThput = float64(n-1)*sl.Throughput + ms.readThroughput
+		writeThput = ms.writeThroughput
+		pred.ExtraMasterReadClients = j * (n - 1)
+		pred.BalanceIterations = iters
+
+	default:
+		// Writes lag: the master is the bottleneck; clients pile up
+		// there, draining the slaves. Move j clients per slave into
+		// the master queue until the read rate drops to match.
+		lo, hi := 0, slaveClients
+		iters := 0
+		for lo < hi {
+			iters++
+			j := (lo + hi) / 2
+			msj := solveMaster(p, n, 0, masterClients+j*(n-1))
+			slj := solveSlave(p, n, slaveClients-j)
+			r := float64(n-1) * slj.Throughput
+			if r*m.Pw > msj.writeThroughput*m.Pr {
+				lo = j + 1
+			} else {
+				hi = j
+			}
+		}
+		j := lo
+		ms = solveMaster(p, n, 0, masterClients+j*(n-1))
+		sl = solveSlave(p, n, slaveClients-j)
+		readThput = float64(n-1) * sl.Throughput
+		writeThput = ms.writeThroughput
+		pred.QueuedAtMaster = j * (n - 1)
+		pred.BalanceIterations = iters
+	}
+
+	pred.Throughput = readThput + writeThput
+	pred.ReadThroughput = readThput
+	pred.WriteThroughput = writeThput
+	pred.AbortRate = ms.abort
+	pred.ConflictWindow = ms.execTime
+	if pred.Throughput > 0 {
+		// Little's law over all stationed clients (§3.2.2). The
+		// integer split can assign slightly more or fewer clients than
+		// the nominal N·C (rounding of Pw·C·N and the per-slave
+		// share), so use the population the networks were actually
+		// solved with; otherwise tiny configurations can even yield a
+		// negative response time.
+		assigned := masterClients + (n-1)*slaveClients
+		pred.ResponseTime = float64(assigned)/pred.Throughput - m.Think
+	}
+
+	masterReadClients := pred.ExtraMasterReadClients
+	slavePerNode := slaveClients - (pred.ExtraMasterReadClients+pred.QueuedAtMaster)/maxInt(1, n-1)
+	sd := slaveDemand(m, n)
+	retry := 1 / (1 - ms.abort)
+	pred.Master = RoleMetrics{
+		Clients:     masterClients + masterReadClients + pred.QueuedAtMaster,
+		Throughput:  ms.readThroughput + ms.writeThroughput,
+		UtilCPU:     ms.sol.Utilization[0],
+		UtilDisk:    ms.sol.Utilization[1],
+		QueueCPU:    ms.sol.Queue[0],
+		QueueDisk:   ms.sol.Queue[1],
+		DemandCPU:   m.WC[workload.CPU] * retry,
+		DemandDisk:  m.WC[workload.Disk] * retry,
+		ResidenceMS: (ms.sol.Response[0] + ms.sol.Response[1]) * 1000,
+	}
+	pred.Slave = RoleMetrics{
+		Clients:     slavePerNode,
+		Throughput:  sl.Throughput,
+		UtilCPU:     sl.Utilization[0],
+		UtilDisk:    sl.Utilization[1],
+		QueueCPU:    sl.Queue[0],
+		QueueDisk:   sl.Queue[1],
+		DemandCPU:   sd[0],
+		DemandDisk:  sd[1],
+		ResidenceMS: sl.Response * 1000,
+	}
+	return pred
+}
+
+// smSingleNode solves the N=1 single-master system: one node, no
+// slaves, updates abort at the standalone rate.
+func smSingleNode(p Params) Prediction {
+	base := PredictStandalone(p)
+	base.Design = SingleMaster
+	base.Master = base.Replica
+	base.Replica = RoleMetrics{}
+	return base
+}
+
+// smReadOnly solves the read-only special case (RUBiS browsing): with
+// no updates the master is just another read replica, so the system is
+// n identical read-only nodes.
+func smReadOnly(p Params, n int) Prediction {
+	m := p.Mix
+	demand := []float64{m.RC[workload.CPU], m.RC[workload.Disk]}
+	sol := mva.Solve(replicaCenters(), demand, m.Think+p.LBDelay, m.Clients)
+	pred := Prediction{
+		Design:         SingleMaster,
+		Replicas:       n,
+		Throughput:     float64(n) * sol.Throughput,
+		ReadThroughput: float64(n) * sol.Throughput,
+	}
+	if sol.Throughput > 0 {
+		pred.ResponseTime = float64(m.Clients)/sol.Throughput - m.Think
+	}
+	role := RoleMetrics{
+		Clients:     m.Clients,
+		Throughput:  sol.Throughput,
+		UtilCPU:     sol.Utilization[0],
+		UtilDisk:    sol.Utilization[1],
+		QueueCPU:    sol.Queue[0],
+		QueueDisk:   sol.Queue[1],
+		DemandCPU:   demand[0],
+		DemandDisk:  demand[1],
+		ResidenceMS: sol.Response * 1000,
+	}
+	pred.Master = role
+	pred.Slave = role
+	return pred
+}
+
+// PredictSMRange evaluates the single-master model for every replica
+// count from 1 to maxReplicas.
+func PredictSMRange(p Params, maxReplicas int) []Prediction {
+	out := make([]Prediction, 0, maxReplicas)
+	for n := 1; n <= maxReplicas; n++ {
+		out = append(out, PredictSM(p, n))
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

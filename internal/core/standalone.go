@@ -1,0 +1,88 @@
+package core
+
+import (
+	"repro/internal/mva"
+	"repro/internal/workload"
+)
+
+// replicaCenters is the queueing network of one database node: a CPU
+// and a disk queueing center. Delays (think time, load balancer,
+// certifier) are folded into the MVA think term by the callers.
+func replicaCenters() []mva.Center {
+	return []mva.Center{
+		{Name: "cpu", Kind: mva.Queueing},
+		{Name: "disk", Kind: mva.Queueing},
+	}
+}
+
+// standaloneDemands returns the average per-transaction demand vector
+// of the standalone database, D(1) = Pr·rc + Pw·wc/(1-A1) (§3.3.1).
+func standaloneDemands(m workload.Mix) []float64 {
+	return []float64{
+		m.StandaloneDemand(workload.CPU),
+		m.StandaloneDemand(workload.Disk),
+	}
+}
+
+// PredictStandalone evaluates the standalone database model (§3.3.1)
+// for the mix's client count: a closed network with the database's CPU
+// and disk and the clients' think time.
+func PredictStandalone(p Params) Prediction {
+	m := p.Mix
+	sol := mva.Solve(replicaCenters(), standaloneDemands(m), m.Think, m.Clients)
+	pred := Prediction{
+		Design:     Standalone,
+		Replicas:   1,
+		Throughput: sol.Throughput,
+		AbortRate:  m.A1,
+	}
+	if sol.Throughput > 0 {
+		pred.ResponseTime = float64(m.Clients)/sol.Throughput - m.Think
+	}
+	pred.ReadThroughput = sol.Throughput * m.Pr
+	pred.WriteThroughput = sol.Throughput * m.Pw
+	pred.ConflictWindow = updateResidence(m, sol.Queue, 1)
+	pred.Replica = RoleMetrics{
+		Clients:     m.Clients,
+		Throughput:  sol.Throughput,
+		UtilCPU:     sol.Utilization[0],
+		UtilDisk:    sol.Utilization[1],
+		QueueCPU:    sol.Queue[0],
+		QueueDisk:   sol.Queue[1],
+		DemandCPU:   standaloneDemands(m)[0],
+		DemandDisk:  standaloneDemands(m)[1],
+		ResidenceMS: sol.Response * 1000,
+	}
+	return pred
+}
+
+// updateResidence computes the residence time of one update
+// transaction attempt given the network's queue lengths: the update's
+// own demand at each resource inflated by the queues found there,
+// divided by the retry factor applied to demands. This is the L(1)
+// (standalone) and the CPU+disk part of CW(N) (§4.1.1).
+func updateResidence(m workload.Mix, queue []float64, retry float64) float64 {
+	if m.Pw == 0 {
+		return 0
+	}
+	if retry <= 0 {
+		retry = 1
+	}
+	r := m.WC[workload.CPU]*(1+queue[0]) + m.WC[workload.Disk]*(1+queue[1])
+	return r
+}
+
+// EstimateL1 predicts the standalone update-transaction execution time
+// L(1) from the mix parameters by solving the standalone model and
+// reading off the update class's residence time. Deployments that
+// profiled a live system should set Params.L1 from measurement
+// instead (§4.1.1); this estimator exists so the models remain usable
+// from table parameters alone.
+func EstimateL1(p Params) float64 {
+	m := p.Mix
+	if m.Pw == 0 {
+		return 0
+	}
+	sol := mva.Solve(replicaCenters(), standaloneDemands(m), m.Think, m.Clients)
+	return updateResidence(m, sol.Queue, 1/(1-m.A1))
+}

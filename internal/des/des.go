@@ -1,0 +1,114 @@
+// Package des is a deterministic discrete-event simulation kernel.
+//
+// The experimental validation of the paper compares model predictions
+// against a measured system. This repository's measured system is a
+// simulated prototype (see internal/cluster) built on this kernel:
+// replicas become FIFO service stations, middleware hops become
+// delays, and closed-loop clients drive the system in virtual time.
+// Everything is single-threaded and seeded, so every experiment is
+// exactly reproducible.
+//
+// The kernel is continuation-passing: a simulated process is a chain
+// of closures scheduled with After/At or enqueued on Stations.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in seconds.
+type Time = float64
+
+// event is one scheduled callback. seq breaks ties so that events at
+// identical times run in schedule order (deterministic FIFO).
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator. The zero value is not usable;
+// construct with New.
+type Sim struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	count  uint64 // events executed
+}
+
+// New returns an empty simulator at time zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Executed returns the number of events executed so far.
+func (s *Sim) Executed() uint64 { return s.count }
+
+// At schedules fn at absolute time t. Scheduling in the past panics:
+// it is always a bug in the caller.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d seconds from now. Negative delays panic.
+func (s *Sim) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", d))
+	}
+	s.At(s.now+d, fn)
+}
+
+// Step executes the next event and reports whether one existed.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.at
+	s.count++
+	e.fn()
+	return true
+}
+
+// Run executes events until the event queue drains or the next event
+// lies beyond the until time. The clock finishes at until if the
+// horizon was reached, otherwise at the last event time.
+func (s *Sim) Run(until Time) {
+	for len(s.events) > 0 && s.events[0].at <= until {
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (s *Sim) Pending() int { return len(s.events) }

@@ -1,0 +1,297 @@
+package des
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(2, func() { order = append(order, 2) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(3, func() { order = append(order, 3) })
+	s.Run(10)
+	if len(order) != 3 || !sort.IntsAreSorted(order) {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("clock = %v, want 10", s.Now())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run(5)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New()
+	var fired Time
+	s.At(4, func() {
+		s.After(2, func() { fired = s.Now() })
+	})
+	s.Run(100)
+	if fired != 6 {
+		t.Fatalf("After fired at %v, want 6", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(5, func() {})
+	s.Run(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestRunHorizonLeavesFutureEvents(t *testing.T) {
+	s := New()
+	ran := false
+	s.At(10, func() { ran = true })
+	s.Run(5)
+	if ran {
+		t.Fatal("event beyond horizon executed")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.Run(10)
+	if !ran {
+		t.Fatal("event at horizon not executed")
+	}
+}
+
+func TestStepAndExecutedCount(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	s.At(2, func() {})
+	if !s.Step() || !s.Step() {
+		t.Fatal("Step returned false with events pending")
+	}
+	if s.Step() {
+		t.Fatal("Step returned true with no events")
+	}
+	if s.Executed() != 2 {
+		t.Fatalf("Executed = %d", s.Executed())
+	}
+}
+
+func TestStationServesFIFO(t *testing.T) {
+	s := New()
+	st := NewStation(s, "cpu")
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		st.Submit(1, func() { order = append(order, i) })
+	}
+	s.Run(100)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("station not FIFO: %v", order)
+		}
+	}
+	if st.Completed() != 5 {
+		t.Fatalf("completed = %d", st.Completed())
+	}
+}
+
+func TestStationSerializesWork(t *testing.T) {
+	s := New()
+	st := NewStation(s, "cpu")
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		st.Submit(2, func() { finish = append(finish, s.Now()) })
+	}
+	s.Run(100)
+	want := []Time{2, 4, 6}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish times %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestStationUtilization(t *testing.T) {
+	s := New()
+	st := NewStation(s, "cpu")
+	st.Submit(3, func() {})
+	s.Run(10)
+	// Busy 3 of 10 seconds.
+	if got := st.Utilization(); math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.3", got)
+	}
+	if math.Abs(st.BusyTime()-3) > 1e-9 {
+		t.Fatalf("busy time = %v", st.BusyTime())
+	}
+}
+
+func TestStationResetStats(t *testing.T) {
+	s := New()
+	st := NewStation(s, "cpu")
+	st.Submit(5, func() {})
+	s.Run(5)
+	st.ResetStats()
+	s.Run(10)
+	if st.Utilization() != 0 {
+		t.Fatalf("post-reset utilization = %v", st.Utilization())
+	}
+	if st.Completed() != 0 {
+		t.Fatalf("post-reset completed = %d", st.Completed())
+	}
+}
+
+func TestStationZeroServiceJob(t *testing.T) {
+	s := New()
+	st := NewStation(s, "cpu")
+	done := false
+	st.Submit(0, func() { done = true })
+	s.Run(1)
+	if !done {
+		t.Fatal("zero-service job never completed")
+	}
+}
+
+func TestStationNegativeServicePanics(t *testing.T) {
+	s := New()
+	st := NewStation(s, "cpu")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative service did not panic")
+		}
+	}()
+	st.Submit(-1, func() {})
+}
+
+func TestStationContinuationResubmit(t *testing.T) {
+	// A job's continuation resubmitting to the same station must work.
+	s := New()
+	st := NewStation(s, "cpu")
+	hops := 0
+	var loop func()
+	loop = func() {
+		hops++
+		if hops < 5 {
+			st.Submit(1, loop)
+		}
+	}
+	st.Submit(1, loop)
+	s.Run(100)
+	if hops != 5 {
+		t.Fatalf("hops = %d", hops)
+	}
+	if s.Now() < 5 {
+		t.Fatalf("clock = %v, want >= 5", s.Now())
+	}
+}
+
+// TestClosedLoopMatchesMVA drives a closed machine-repairman system
+// and checks the measured throughput against the known exact MVA
+// solution; this is the end-to-end validation that the DES kernel and
+// the analytical solver describe the same system.
+func TestClosedLoopMatchesMVA(t *testing.T) {
+	const (
+		clients = 20
+		demand  = 0.040
+		think   = 1.0
+		warm    = 50.0
+		measure = 2000.0
+	)
+	s := New()
+	st := NewStation(s, "cpu")
+	rng := stats.NewRand(42)
+	completed := 0
+	counting := false
+
+	var cycle func()
+	cycle = func() {
+		s.After(rng.Exp(think), func() {
+			st.Submit(rng.Exp(demand), func() {
+				if counting {
+					completed++
+				}
+				cycle()
+			})
+		})
+	}
+	for i := 0; i < clients; i++ {
+		cycle()
+	}
+	s.Run(warm)
+	counting = true
+	st.ResetStats()
+	s.Run(warm + measure)
+
+	got := float64(completed) / measure
+
+	// Exact MVA for one queueing center: X(n) solved stepwise.
+	q := 0.0
+	x := 0.0
+	for n := 1; n <= clients; n++ {
+		r := demand * (1 + q)
+		x = float64(n) / (think + r)
+		q = x * r
+	}
+	if math.Abs(got-x)/x > 0.05 {
+		t.Fatalf("measured X = %.2f, MVA predicts %.2f", got, x)
+	}
+	// Utilization law cross-check.
+	if u := st.Utilization(); math.Abs(u-x*demand)/(x*demand) > 0.06 {
+		t.Fatalf("utilization %.3f vs utilization law %.3f", u, x*demand)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (float64, uint64) {
+		s := New()
+		st := NewStation(s, "cpu")
+		rng := stats.NewRand(7)
+		total := 0.0
+		var cycle func()
+		cycle = func() {
+			s.After(rng.Exp(0.5), func() {
+				st.Submit(rng.Exp(0.05), func() {
+					total += s.Now()
+					cycle()
+				})
+			})
+		}
+		for i := 0; i < 5; i++ {
+			cycle()
+		}
+		s.Run(500)
+		return total, s.Executed()
+	}
+	t1, e1 := run()
+	t2, e2 := run()
+	if t1 != t2 || e1 != e2 {
+		t.Fatalf("runs diverged: (%v,%v) vs (%v,%v)", t1, e1, t2, e2)
+	}
+}

@@ -1,0 +1,169 @@
+package des
+
+import (
+	"container/heap"
+
+	"repro/internal/stats"
+)
+
+// Queue is the common interface of the service stations: FIFO
+// (Station) and processor sharing (PSStation).
+type Queue interface {
+	Submit(service Time, done func())
+	ResetStats()
+	Utilization() float64
+	QueueLength() float64
+	Completed() int64
+}
+
+var (
+	_ Queue = (*Station)(nil)
+	_ Queue = (*PSStation)(nil)
+)
+
+// PSStation is an egalitarian processor-sharing service station: all n
+// resident jobs progress simultaneously at rate 1/n. This is the
+// discipline that matches both a time-shared database server and the
+// product-form (BCMP) assumptions behind the MVA models — with
+// class-dependent service demands, FIFO is not product-form but PS is,
+// so the simulated prototype uses PS for its CPU and disk.
+//
+// The implementation tracks progress in virtual fair-share time: a job
+// arriving when the station has delivered `attained` units of
+// per-job service finishes when attained reaches arrival-attained plus
+// its demand. Between events attained advances at rate 1/n.
+type PSStation struct {
+	Name string
+
+	sim      *Sim
+	attained float64 // virtual per-job service delivered so far
+	lastT    Time    // physical time of the last state update
+	jobs     psHeap
+	seq      uint64 // invalidates stale completion events
+
+	util      stats.TimeWeighted
+	qlen      stats.TimeWeighted
+	completed int64
+}
+
+// psJob is one resident job ordered by virtual finish time.
+type psJob struct {
+	finish float64 // attained value at which the job completes
+	order  uint64  // FIFO tie-break
+	done   func()
+}
+
+type psHeap []psJob
+
+func (h psHeap) Len() int { return len(h) }
+func (h psHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].order < h[j].order
+}
+func (h psHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *psHeap) Push(x interface{}) { *h = append(*h, x.(psJob)) }
+func (h *psHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	*h = old[:n-1]
+	return j
+}
+
+// NewPSStation creates a processor-sharing station.
+func NewPSStation(sim *Sim, name string) *PSStation {
+	st := &PSStation{Name: name, sim: sim, lastT: sim.Now()}
+	st.util.Update(sim.Now(), 0)
+	st.qlen.Update(sim.Now(), 0)
+	return st
+}
+
+// advance progresses virtual time to the simulator's now.
+func (st *PSStation) advance() {
+	now := st.sim.Now()
+	if n := len(st.jobs); n > 0 && now > st.lastT {
+		st.attained += (now - st.lastT) / float64(n)
+	}
+	st.lastT = now
+}
+
+// Submit adds a job with the given total service requirement; done
+// runs at completion. Zero-service jobs complete via the event queue
+// on the current tick.
+func (st *PSStation) Submit(service Time, done func()) {
+	if service < 0 {
+		panic("des: negative service time")
+	}
+	st.advance()
+	st.seq++
+	heap.Push(&st.jobs, psJob{finish: st.attained + service, order: st.seq, done: done})
+	st.qlen.Update(st.sim.Now(), float64(len(st.jobs)))
+	st.util.Update(st.sim.Now(), 1)
+	st.schedule()
+}
+
+// schedule arms the next completion event.
+func (st *PSStation) schedule() {
+	if len(st.jobs) == 0 {
+		return
+	}
+	st.seq++
+	mySeq := st.seq
+	dt := (st.jobs[0].finish - st.attained) * float64(len(st.jobs))
+	if dt < 0 {
+		dt = 0
+	}
+	st.sim.After(dt, func() {
+		if st.seq != mySeq {
+			return // state changed; a newer event supersedes this one
+		}
+		st.complete()
+	})
+}
+
+// complete pops every job whose virtual finish time has been reached.
+func (st *PSStation) complete() {
+	st.advance()
+	const eps = 1e-12
+	var finished []func()
+	for len(st.jobs) > 0 && st.jobs[0].finish <= st.attained+eps {
+		j := heap.Pop(&st.jobs).(psJob)
+		finished = append(finished, j.done)
+		st.completed++
+	}
+	now := st.sim.Now()
+	st.qlen.Update(now, float64(len(st.jobs)))
+	if len(st.jobs) == 0 {
+		st.util.Update(now, 0)
+	}
+	st.schedule()
+	for _, done := range finished {
+		done()
+	}
+}
+
+// ResetStats discards measurements gathered so far (warm-up).
+func (st *PSStation) ResetStats() {
+	now := st.sim.Now()
+	st.util.Reset(now)
+	st.qlen.Reset(now)
+	if len(st.jobs) > 0 {
+		st.util.Update(now, 1)
+		st.qlen.Update(now, float64(len(st.jobs)))
+	}
+	st.completed = 0
+}
+
+// Utilization returns the busy fraction since the last reset.
+func (st *PSStation) Utilization() float64 { return st.util.Mean(st.sim.Now()) }
+
+// QueueLength returns the time-average number of resident jobs.
+func (st *PSStation) QueueLength() float64 { return st.qlen.Mean(st.sim.Now()) }
+
+// Completed returns jobs finished since the last reset.
+func (st *PSStation) Completed() int64 { return st.completed }
+
+// Resident returns the current number of jobs in service.
+func (st *PSStation) Resident() int { return len(st.jobs) }

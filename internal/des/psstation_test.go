@@ -1,0 +1,231 @@
+package des
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mva"
+	"repro/internal/stats"
+)
+
+func TestPSSingleJobRunsAtFullRate(t *testing.T) {
+	s := New()
+	st := NewPSStation(s, "cpu")
+	var done Time = -1
+	st.Submit(2, func() { done = s.Now() })
+	s.Run(10)
+	if math.Abs(done-2) > 1e-9 {
+		t.Fatalf("single job finished at %v, want 2", done)
+	}
+}
+
+func TestPSTwoEqualJobsShare(t *testing.T) {
+	// Two jobs of 1s submitted together each run at rate 1/2 and both
+	// finish at t=2.
+	s := New()
+	st := NewPSStation(s, "cpu")
+	var t1, t2 Time = -1, -1
+	st.Submit(1, func() { t1 = s.Now() })
+	st.Submit(1, func() { t2 = s.Now() })
+	s.Run(10)
+	if math.Abs(t1-2) > 1e-9 || math.Abs(t2-2) > 1e-9 {
+		t.Fatalf("finish times %v %v, want 2 2", t1, t2)
+	}
+}
+
+func TestPSShortJobOvertakesLongJob(t *testing.T) {
+	// A 10s job is joined by a 0.1s job: under PS the short one exits
+	// quickly (0.2s of sharing), unlike FIFO.
+	s := New()
+	st := NewPSStation(s, "cpu")
+	var short Time = -1
+	st.Submit(10, func() {})
+	s.At(1, func() {
+		st.Submit(0.1, func() { short = s.Now() })
+	})
+	s.Run(100)
+	if math.Abs(short-1.2) > 1e-9 {
+		t.Fatalf("short job finished at %v, want 1.2", short)
+	}
+}
+
+func TestPSStaggeredArrivals(t *testing.T) {
+	// Job A (2s of work) starts at t=0; job B (2s) arrives at t=1.
+	// A runs alone 1s (1s done), then shares: both have work left
+	// (A: 1, B: 2); A finishes after 2 more seconds at t=3; B then
+	// runs alone its last 1s, finishing at t=4.
+	s := New()
+	st := NewPSStation(s, "cpu")
+	var ta, tb Time
+	st.Submit(2, func() { ta = s.Now() })
+	s.At(1, func() { st.Submit(2, func() { tb = s.Now() }) })
+	s.Run(100)
+	if math.Abs(ta-3) > 1e-9 {
+		t.Fatalf("A finished at %v, want 3", ta)
+	}
+	if math.Abs(tb-4) > 1e-9 {
+		t.Fatalf("B finished at %v, want 4", tb)
+	}
+}
+
+func TestPSZeroServiceJob(t *testing.T) {
+	s := New()
+	st := NewPSStation(s, "cpu")
+	fired := false
+	st.Submit(0, func() { fired = true })
+	s.Run(1)
+	if !fired {
+		t.Fatal("zero-service job never completed")
+	}
+}
+
+func TestPSNegativeServicePanics(t *testing.T) {
+	s := New()
+	st := NewPSStation(s, "cpu")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	st.Submit(-1, func() {})
+}
+
+func TestPSUtilizationAndQueue(t *testing.T) {
+	s := New()
+	st := NewPSStation(s, "cpu")
+	st.Submit(2, func() {})
+	st.Submit(2, func() {}) // both finish at t=4
+	s.Run(8)
+	if u := st.Utilization(); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	// Queue: 2 jobs for 4s out of 8s -> average 1.
+	if q := st.QueueLength(); math.Abs(q-1) > 1e-9 {
+		t.Fatalf("queue = %v, want 1", q)
+	}
+	if st.Completed() != 2 {
+		t.Fatalf("completed = %d", st.Completed())
+	}
+}
+
+func TestPSResetStatsKeepsResidents(t *testing.T) {
+	s := New()
+	st := NewPSStation(s, "cpu")
+	st.Submit(10, func() {})
+	s.Run(5)
+	st.ResetStats()
+	s.Run(9) // the job still has 1s of work left
+	// Still busy the whole post-reset window.
+	if u := st.Utilization(); math.Abs(u-1) > 1e-9 {
+		t.Fatalf("post-reset utilization = %v", u)
+	}
+	if st.Resident() != 1 {
+		t.Fatalf("resident = %d", st.Resident())
+	}
+}
+
+func TestPSCompletionOrderByRemainingWork(t *testing.T) {
+	s := New()
+	st := NewPSStation(s, "cpu")
+	var order []int
+	st.Submit(3, func() { order = append(order, 3) })
+	st.Submit(1, func() { order = append(order, 1) })
+	st.Submit(2, func() { order = append(order, 2) })
+	s.Run(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("completion order %v", order)
+	}
+}
+
+func TestPSClosedLoopMatchesMVAPerClass(t *testing.T) {
+	// Two job classes with very different demands through one PS
+	// station: per-class residence must scale with the class's own
+	// demand (R_c = D_c * (1 + Q)), which FIFO would violate. This is
+	// the property the simulated prototype relies on to reproduce the
+	// model's per-class response times.
+	const (
+		think   = 1.0
+		dShort  = 0.010
+		dLong   = 0.080
+		clients = 10 // per class
+		warm    = 100.0
+		measure = 4000.0
+	)
+	s := New()
+	st := NewPSStation(s, "cpu")
+	rng := stats.NewRand(77)
+	var rtShort, rtLong stats.Welford
+	counting := false
+
+	client := func(demand float64, rec *stats.Welford) {
+		var cycle func()
+		cycle = func() {
+			s.After(rng.Exp(think), func() {
+				start := s.Now()
+				st.Submit(rng.Exp(demand), func() {
+					if counting {
+						rec.Add(s.Now() - start)
+					}
+					cycle()
+				})
+			})
+		}
+		cycle()
+	}
+	for i := 0; i < clients; i++ {
+		client(dShort, &rtShort)
+		client(dLong, &rtLong)
+	}
+	s.Run(warm)
+	counting = true
+	st.ResetStats()
+	s.Run(warm + measure)
+
+	// The exact oracle is two-class closed MVA (PS is product-form
+	// with class-dependent demands; FIFO is not). The measured
+	// per-class residence times must match the MVA solution — this is
+	// the property the simulated prototype relies on to reproduce the
+	// model's per-class response times.
+	want := mva.SolveTwoClass(
+		[]mva.Center{{Name: "cpu", Kind: mva.Queueing}},
+		[2][]float64{{dShort}, {dLong}},
+		[2]float64{think, think},
+		[2]int{clients, clients},
+	)
+	if e := math.Abs(rtShort.Mean()-want.Response[0]) / want.Response[0]; e > 0.05 {
+		t.Fatalf("short-class residence %.4f vs MVA %.4f (err %.0f%%)",
+			rtShort.Mean(), want.Response[0], e*100)
+	}
+	if e := math.Abs(rtLong.Mean()-want.Response[1]) / want.Response[1]; e > 0.05 {
+		t.Fatalf("long-class residence %.4f vs MVA %.4f (err %.0f%%)",
+			rtLong.Mean(), want.Response[1], e*100)
+	}
+}
+
+func TestPSDeterministic(t *testing.T) {
+	run := func() (int64, float64) {
+		s := New()
+		st := NewPSStation(s, "cpu")
+		rng := stats.NewRand(3)
+		var sum float64
+		var cycle func()
+		cycle = func() {
+			s.After(rng.Exp(0.3), func() {
+				st.Submit(rng.Exp(0.05), func() {
+					sum += s.Now()
+					cycle()
+				})
+			})
+		}
+		for i := 0; i < 7; i++ {
+			cycle()
+		}
+		s.Run(300)
+		return st.Completed(), sum
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Fatalf("runs diverged: (%d,%v) vs (%d,%v)", c1, s1, c2, s2)
+	}
+}

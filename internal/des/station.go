@@ -1,0 +1,120 @@
+package des
+
+import "repro/internal/stats"
+
+// Station is a FIFO single-server queueing station (a CPU or a disk of
+// one replica). Jobs are served one at a time in arrival order; each
+// job carries its own service time, which the caller typically draws
+// from an exponential distribution to match the queueing model's
+// assumptions.
+type Station struct {
+	Name string
+
+	sim   *Sim
+	busy  bool
+	queue []job
+
+	// Measurement state. Reset discards the warm-up period.
+	util      stats.TimeWeighted
+	qlen      stats.TimeWeighted
+	completed int64
+	busySince Time
+	busyTotal Time
+	resetAt   Time
+}
+
+type job struct {
+	service Time
+	done    func()
+}
+
+// NewStation creates a station bound to the simulator.
+func NewStation(sim *Sim, name string) *Station {
+	st := &Station{Name: name, sim: sim}
+	st.util.Update(sim.Now(), 0)
+	st.qlen.Update(sim.Now(), 0)
+	return st
+}
+
+// Submit enqueues a job requiring the given service time; done runs
+// when the job completes. Zero service time still passes through the
+// queue (and thus through FIFO ordering) but consumes no server time.
+func (st *Station) Submit(service Time, done func()) {
+	if service < 0 {
+		panic("des: negative service time")
+	}
+	st.queue = append(st.queue, job{service: service, done: done})
+	st.qlen.Update(st.sim.Now(), float64(len(st.queue))+btof(st.busy))
+	if !st.busy {
+		st.startNext()
+	}
+}
+
+// startNext pops the queue head and serves it.
+func (st *Station) startNext() {
+	j := st.queue[0]
+	st.queue = st.queue[1:]
+	st.busy = true
+	st.busySince = st.sim.Now()
+	st.util.Update(st.sim.Now(), 1)
+	st.sim.After(j.service, func() {
+		now := st.sim.Now()
+		st.busy = false
+		st.busyTotal += now - st.busySince
+		st.util.Update(now, 0)
+		st.completed++
+		st.qlen.Update(now, float64(len(st.queue)))
+		if len(st.queue) > 0 {
+			st.startNext()
+		}
+		// Run the completion after the station has advanced so that a
+		// continuation resubmitting to this station sees a consistent
+		// state.
+		j.done()
+	})
+}
+
+// ResetStats discards measurements gathered so far (warm-up).
+func (st *Station) ResetStats() {
+	now := st.sim.Now()
+	st.util.Reset(now)
+	st.qlen.Reset(now)
+	st.completed = 0
+	st.busyTotal = 0
+	st.resetAt = now
+	if st.busy {
+		st.busySince = now
+	}
+}
+
+// Utilization returns the fraction of time the server was busy since
+// the last reset.
+func (st *Station) Utilization() float64 {
+	return st.util.Mean(st.sim.Now())
+}
+
+// QueueLength returns the time-average number of jobs at the station
+// (queued plus in service) since the last reset.
+func (st *Station) QueueLength() float64 {
+	return st.qlen.Mean(st.sim.Now())
+}
+
+// Completed returns the number of jobs finished since the last reset.
+func (st *Station) Completed() int64 { return st.completed }
+
+// BusyTime returns the cumulative service time since the last reset,
+// counting an in-progress job up to now.
+func (st *Station) BusyTime() Time {
+	t := st.busyTotal
+	if st.busy {
+		t += st.sim.Now() - st.busySince
+	}
+	return t
+}
+
+func btof(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mva"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// AblationMVASolver compares the exact MVA solver with the
+// Bard-Schweitzer approximation on the standalone network of every
+// mix: throughput accuracy and solver cost. The repository uses exact
+// MVA (the client populations are small); the approximation would
+// matter only for very large populations.
+func AblationMVASolver(o Options) (Renderable, error) {
+	t := Table{
+		ID:     "ablation-mva",
+		Title:  "ablation: exact MVA vs Bard-Schweitzer approximation (standalone network)",
+		Header: []string{"mix", "clients", "exact X (tps)", "schweitzer X (tps)", "err", "exact ns/solve", "schweitzer ns/solve"},
+	}
+	centers := []mva.Center{{Name: "cpu", Kind: mva.Queueing}, {Name: "disk", Kind: mva.Queueing}}
+	for _, m := range workload.All() {
+		demands := []float64{
+			m.StandaloneDemand(workload.CPU),
+			m.StandaloneDemand(workload.Disk),
+		}
+		// Large populations are where the approximation pays off;
+		// sweep the mix's own population and a 10x version.
+		for _, clients := range []int{m.Clients, m.Clients * 10} {
+			start := time.Now()
+			const reps = 200
+			var exact mva.Solution
+			for i := 0; i < reps; i++ {
+				exact = mva.Solve(centers, demands, m.Think, clients)
+			}
+			exactNS := time.Since(start).Nanoseconds() / reps
+
+			start = time.Now()
+			var approx mva.Solution
+			for i := 0; i < reps; i++ {
+				approx = mva.SolveSchweitzer(centers, demands, m.Think, clients, 0)
+			}
+			approxNS := time.Since(start).Nanoseconds() / reps
+
+			t.Rows = append(t.Rows, []string{
+				m.ID(),
+				fmt.Sprintf("%d", clients),
+				fmt.Sprintf("%.2f", exact.Throughput),
+				fmt.Sprintf("%.2f", approx.Throughput),
+				fmt.Sprintf("%.2f%%", stats.RelativeError(approx.Throughput, exact.Throughput)*100),
+				fmt.Sprintf("%d", exactNS),
+				fmt.Sprintf("%d", approxNS),
+			})
+		}
+	}
+	return t, nil
+}
+
+// AblationConflictWindow quantifies the conflict-window feedback
+// (§4.1.1): with the feedback disabled, A_N stays pinned at A_1 and
+// the model misses the replication-driven abort growth. Run at the
+// Figure 14 high-abort operating point where the difference is
+// visible.
+func AblationConflictWindow(o Options) (Renderable, error) {
+	o = o.withDefaults()
+	if o.Measure == 0 {
+		o.Measure = 600 // abort rates need long observation windows
+	}
+	t := Table{
+		ID:     "ablation-cw",
+		Title:  "ablation: conflict-window feedback (TPC-W shopping, A1=0.90%)",
+		Header: []string{"N", "measured A_N", "predicted A_N (feedback)", "predicted A_N (frozen)", "measured X", "pred X (feedback)", "pred X (frozen)"},
+	}
+	base := workload.TPCWShopping()
+	ideal := core.NewParams(base)
+	updateRate := core.PredictStandalone(ideal).WriteThroughput
+	const a1 = 0.0090
+	heap := core.HeapTableSizeForAbort(a1, base.UpdateOps, ideal.L1, updateRate)
+	mix := base
+	mix.A1 = a1
+	mix.DBUpdateSize = heap
+	params := core.NewParams(mix)
+
+	for _, n := range []int{1, 4, 8, 16} {
+		res, err := cluster.Run(cluster.Config{
+			Mix: mix, Design: core.MultiMaster, Replicas: n,
+			Seed: o.Seed + uint64(n), Warmup: o.Warmup, Measure: o.Measure,
+			HeapTableSize: heap,
+		})
+		if err != nil {
+			return nil, err
+		}
+		live := core.PredictMM(params, n)
+		frozen := core.PredictMMOpt(params, n, core.MMOptions{FreezeAbort: true})
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f%%", res.AbortRate*100),
+			fmt.Sprintf("%.1f%%", live.AbortRate*100),
+			fmt.Sprintf("%.1f%%", frozen.AbortRate*100),
+			fmt.Sprintf("%.1f", res.Throughput),
+			fmt.Sprintf("%.1f", live.Throughput),
+			fmt.Sprintf("%.1f", frozen.Throughput),
+		})
+	}
+	return t, nil
+}
+
+// AblationWritesetCost isolates the update-propagation term: with ws
+// forced to zero the ordering mix would scale almost linearly, showing
+// that writeset application cost — not aborts — is what limits MM
+// scalability for update-heavy mixes (§6.2.1).
+func AblationWritesetCost(o Options) (Renderable, error) {
+	o = o.withDefaults()
+	t := Table{
+		ID:     "ablation-ws",
+		Title:  "ablation: writeset propagation cost (MM predictions)",
+		Header: []string{"mix", "N", "X with ws", "X without ws", "propagation penalty"},
+	}
+	for _, m := range []workload.Mix{workload.TPCWOrdering(), workload.RUBiSBidding()} {
+		params := core.NewParams(m)
+		for _, n := range []int{4, 8, 16} {
+			with := core.PredictMM(params, n)
+			without := core.PredictMMOpt(params, n, core.MMOptions{DropWritesets: true})
+			t.Rows = append(t.Rows, []string{
+				m.ID(),
+				fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.1f", with.Throughput),
+				fmt.Sprintf("%.1f", without.Throughput),
+				fmt.Sprintf("%.0f%%", (1-with.Throughput/without.Throughput)*100),
+			})
+		}
+	}
+	return t, nil
+}
+
+// AblationDiscipline compares the simulated prototype under processor
+// sharing (the default; matches a time-shared database server and the
+// product-form assumptions of MVA) against FIFO stations. Mean
+// throughput barely moves, but FIFO drags every class's response time
+// to the same value, which breaks the per-class conflict-window
+// estimate.
+func AblationDiscipline(o Options) (Renderable, error) {
+	o = o.withDefaults()
+	t := Table{
+		ID:     "ablation-discipline",
+		Title:  "ablation: processor sharing vs FIFO stations (TPC-W shopping, MM)",
+		Header: []string{"N", "X ps", "X fifo", "read RT ps (ms)", "write RT ps (ms)", "read RT fifo (ms)", "write RT fifo (ms)", "model write RT (ms)"},
+	}
+	m := workload.TPCWShopping()
+	params := core.NewParams(m)
+	for _, n := range []int{1, 8, 16} {
+		run := func(fifo bool) (cluster.Result, error) {
+			return cluster.Run(cluster.Config{
+				Mix: m, Design: core.MultiMaster, Replicas: n,
+				Seed: o.Seed + uint64(n)*13, Warmup: o.Warmup, Measure: o.Measure,
+				FIFO: fifo,
+			})
+		}
+		ps, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		fifo, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		pred := core.PredictMM(params, n)
+		// Model per-class response: the update's own residence plus
+		// middleware delays.
+		modelWriteRT := pred.ConflictWindow + core.DefaultLBDelay
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", ps.Throughput),
+			fmt.Sprintf("%.1f", fifo.Throughput),
+			fmt.Sprintf("%.0f", ps.ReadResponse*1000),
+			fmt.Sprintf("%.0f", ps.WriteResponse*1000),
+			fmt.Sprintf("%.0f", fifo.ReadResponse*1000),
+			fmt.Sprintf("%.0f", fifo.WriteResponse*1000),
+			fmt.Sprintf("%.0f", modelWriteRT*1000),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSVRenderable is implemented by artifacts that can also emit
+// machine-readable CSV (for plotting the figures the paper draws).
+type CSVRenderable interface {
+	RenderCSV(w io.Writer) error
+}
+
+var (
+	_ CSVRenderable = Figure{}
+	_ CSVRenderable = Table{}
+)
+
+// RenderCSV emits one row per (series, replica count) with measured,
+// predicted and error columns — the long format plotting tools want.
+func (f Figure) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "series", "replicas", "measured", "predicted", "rel_error"}); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			rec := []string{
+				f.ID,
+				s.Label,
+				fmt.Sprintf("%d", p.Replicas),
+				fmt.Sprintf("%g", p.Measured),
+				fmt.Sprintf("%g", p.Predicted),
+				fmt.Sprintf("%g", p.Err()),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderCSV emits the table's header and rows verbatim.
+func (t Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderCSV concatenates the parts, separated by a blank line.
+func (m multi) RenderCSV(w io.Writer) error {
+	for i, r := range m {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		c, ok := r.(CSVRenderable)
+		if !ok {
+			return fmt.Errorf("experiments: artifact %d has no CSV form", i)
+		}
+		if err := c.RenderCSV(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§6): the workload parameter tables (2, 4), the
+// measured service demands (3, 5), the throughput and response-time
+// validation figures for both designs and both benchmarks (6-13), the
+// high-abort-rate study (14), and the certifier sensitivity analysis
+// (§6.3.2), plus the ablation studies DESIGN.md calls out.
+//
+// Each driver runs the simulated prototype ("measured") and the
+// analytical model ("predicted") and emits the same rows/series the
+// paper reports, together with the prediction error.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Options configure the experiment drivers.
+type Options struct {
+	// Replicas are the x-axis points; default 1..16 like the paper.
+	Replicas []int
+	// Seed drives all measurement randomness.
+	Seed uint64
+	// Warmup and Measure are per-run windows in virtual seconds; zero
+	// uses the cluster defaults.
+	Warmup  float64
+	Measure float64
+	// UseProfiler derives model parameters by profiling the simulated
+	// standalone system (§4) instead of using the table inputs. This
+	// exercises the paper's full pipeline but costs four extra
+	// calibration runs per mix.
+	UseProfiler bool
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if len(o.Replicas) == 0 {
+		o.Replicas = []int{1, 2, 4, 6, 8, 10, 12, 14, 16}
+	}
+	if o.Seed == 0 {
+		o.Seed = 20090401 // EuroSys'09, April 1-3
+	}
+	return o
+}
+
+// Point is one x-axis point of a figure: measured vs predicted.
+type Point struct {
+	Replicas  int
+	Measured  float64
+	Predicted float64
+}
+
+// Err returns the relative prediction error at this point.
+func (p Point) Err() float64 { return stats.RelativeError(p.Predicted, p.Measured) }
+
+// Series is one curve of a figure (e.g. "shopping").
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// MaxErr returns the largest relative prediction error in the series.
+func (s Series) MaxErr() float64 {
+	var max float64
+	for _, p := range s.Points {
+		if e := p.Err(); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Figure is a reproduced paper figure as measured/predicted series.
+type Figure struct {
+	ID     string // e.g. "fig6"
+	Title  string
+	Metric string // y-axis label
+	Series []Series
+}
+
+// MaxErr returns the largest relative prediction error in the figure.
+func (f Figure) MaxErr() float64 {
+	var max float64
+	for _, s := range f.Series {
+		if e := s.MaxErr(); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Render writes the figure as an aligned text table: one row per
+// replica count, measured and predicted columns per series.
+func (f Figure) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s [%s]\n", f.ID, f.Title, f.Metric)
+	// Header.
+	fmt.Fprintf(&b, "%-4s", "N")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " | %14s %14s %6s", s.Label+" meas", s.Label+" pred", "err")
+	}
+	b.WriteByte('\n')
+	if len(f.Series) > 0 {
+		for i, p := range f.Series[0].Points {
+			fmt.Fprintf(&b, "%-4d", p.Replicas)
+			for _, s := range f.Series {
+				pt := s.Points[i]
+				fmt.Fprintf(&b, " | %14.1f %14.1f %5.1f%%", pt.Measured, pt.Predicted, pt.Err()*100)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "max prediction error: %.1f%%\n", f.MaxErr()*100)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Table is a reproduced paper table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the table with aligned columns.
+func (t Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Renderable is anything an experiment produces.
+type Renderable interface {
+	Render(w io.Writer) error
+}
+
+// multi renders several artifacts in sequence.
+type multi []Renderable
+
+// Render implements Renderable.
+func (m multi) Render(w io.Writer) error {
+	for i, r := range m {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := r.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Experiment is a named, runnable reproduction target.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func(Options) (Renderable, error)
+}
+
+// All lists every reproduction target in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table2", "TPC-W workload parameters", func(o Options) (Renderable, error) { return Table2(), nil }},
+		{"table3", "TPC-W measured service demands (profiled vs paper)", Table3},
+		{"table4", "RUBiS workload parameters", func(o Options) (Renderable, error) { return Table4(), nil }},
+		{"table5", "RUBiS measured service demands (profiled vs paper)", Table5},
+		{"fig6", "TPC-W throughput on MM system", Figure6},
+		{"fig7", "TPC-W response time on MM system", Figure7},
+		{"fig8", "TPC-W throughput on SM system", Figure8},
+		{"fig9", "TPC-W response time on SM system", Figure9},
+		{"fig10", "RUBiS throughput on MM system", Figure10},
+		{"fig11", "RUBiS response time on MM system", Figure11},
+		{"fig12", "RUBiS throughput on SM system", Figure12},
+		{"fig13", "RUBiS response time on SM system", Figure13},
+		{"fig14", "TPC-W shopping MM abort probabilities", Figure14},
+		{"certifier", "certifier service analysis (§6.3.2)", Certifier},
+		{"network", "load balancer / network sensitivity (§6.3.1)", Network},
+		{"fast-master", "extension: faster master machine for SM (§6.2.1)", FastMaster},
+		{"wan", "sensitivity: LAN vs WAN middleware latency (§3.4 assumption 7)", WAN},
+		{"ablation-hotspot", "sensitivity: update hotspot vs uniform-access assumption", AblationHotspot},
+		{"ablation-openloop", "sensitivity: closed-loop clients vs open arrivals", AblationOpenLoop},
+		{"ablation-mva", "ablation: exact vs Bard-Schweitzer MVA", AblationMVASolver},
+		{"ablation-cw", "ablation: conflict-window feedback on/off", AblationConflictWindow},
+		{"ablation-ws", "ablation: writeset propagation cost on/off", AblationWritesetCost},
+		{"ablation-discipline", "ablation: PS vs FIFO replica scheduling", AblationDiscipline},
+		{"ablation-perclass", "ablation: aggregated vs mixed per-class MM model", AblationPerClass},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

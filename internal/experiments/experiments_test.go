@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fastOpts keeps test runs cheap while staying statistically usable.
+func fastOpts() Options {
+	return Options{
+		Replicas: []int{1, 4, 16},
+		Seed:     4242,
+		Warmup:   10,
+		Measure:  40,
+	}
+}
+
+func TestAllExperimentIDsUniqueAndFindable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Description == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+		got, ok := ByID(e.ID)
+		if !ok || got.ID != e.ID {
+			t.Errorf("ByID(%q) failed", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID found a phantom experiment")
+	}
+}
+
+func TestTable2And4Static(t *testing.T) {
+	t2 := Table2()
+	if len(t2.Rows) != 3 {
+		t.Fatalf("table2 rows = %d", len(t2.Rows))
+	}
+	if t2.Rows[1][0] != "shopping" || t2.Rows[1][2] != "20%" {
+		t.Fatalf("table2 shopping row: %v", t2.Rows[1])
+	}
+	t4 := Table4()
+	if len(t4.Rows) != 2 {
+		t.Fatalf("table4 rows = %d", len(t4.Rows))
+	}
+	var buf bytes.Buffer
+	if err := t2.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ordering") {
+		t.Fatal("render missing rows")
+	}
+}
+
+func TestFigure6WithinPaperMargin(t *testing.T) {
+	r, err := Figure6(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := r.(Figure)
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	if fig.MaxErr() > 0.15 {
+		t.Errorf("fig6 max error %.1f%% exceeds the paper's 15%%", fig.MaxErr()*100)
+	}
+	// Browsing scales near-linearly; ordering does not (§6.2.1).
+	browsing := fig.Series[0]
+	ordering := fig.Series[2]
+	bSpeed := browsing.Points[len(browsing.Points)-1].Measured / browsing.Points[0].Measured
+	oSpeed := ordering.Points[len(ordering.Points)-1].Measured / ordering.Points[0].Measured
+	if bSpeed < 14 {
+		t.Errorf("browsing speedup %.1f, want near-linear", bSpeed)
+	}
+	if oSpeed > 9 {
+		t.Errorf("ordering speedup %.1f, should be limited by propagation", oSpeed)
+	}
+}
+
+func TestFigure8SMSaturation(t *testing.T) {
+	r, err := Figure8(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := r.(Figure)
+	ordering := fig.Series[2]
+	// Ordering saturates: N=16 is not much above N=4.
+	x4 := ordering.Points[1].Measured
+	x16 := ordering.Points[2].Measured
+	if x16 > 1.2*x4 {
+		t.Errorf("SM ordering did not saturate: X4=%.1f X16=%.1f", x4, x16)
+	}
+	if fig.MaxErr() > 0.15 {
+		t.Errorf("fig8 max error %.1f%%", fig.MaxErr()*100)
+	}
+}
+
+func TestFigurePairsShareRuns(t *testing.T) {
+	// The cached sweep must make the response-time variant nearly
+	// free and identical across calls.
+	o := fastOpts()
+	r1, err := Figure7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Figure7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, f2 := r1.(Figure), r2.(Figure)
+	if f1.Series[0].Points[0].Measured != f2.Series[0].Points[0].Measured {
+		t.Fatal("cache returned different data")
+	}
+}
+
+func TestFigure10RUBiSShapes(t *testing.T) {
+	r, err := Figure10(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := r.(Figure)
+	browsing, bidding := fig.Series[0], fig.Series[1]
+	bSpeed := browsing.Points[len(browsing.Points)-1].Measured / browsing.Points[0].Measured
+	if bSpeed < 14.5 {
+		t.Errorf("RUBiS browsing speedup %.1f, want linear", bSpeed)
+	}
+	// Bidding is disk-propagation-bound: modest scalability (§6.2.2).
+	dSpeed := bidding.Points[len(bidding.Points)-1].Measured / bidding.Points[0].Measured
+	if dSpeed > 5 {
+		t.Errorf("RUBiS bidding speedup %.1f, should be modest", dSpeed)
+	}
+}
+
+func TestFigure14AbortTrends(t *testing.T) {
+	o := fastOpts()
+	o.Measure = 120
+	r, err := Figure14(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := r.(Figure)
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		last := s.Points[len(s.Points)-1]
+		first := s.Points[0]
+		if last.Measured <= first.Measured {
+			t.Errorf("%s: abort rate did not grow with replicas (%.2f -> %.2f)",
+				s.Label, first.Measured, last.Measured)
+		}
+	}
+	// Higher A1 yields higher A_16 (series ordering preserved).
+	a16 := func(i int) float64 {
+		pts := fig.Series[i].Points
+		return pts[len(pts)-1].Measured
+	}
+	if !(a16(0) < a16(1) && a16(1) < a16(2)) {
+		t.Errorf("A16 not ordered by A1: %.1f %.1f %.1f", a16(0), a16(1), a16(2))
+	}
+}
+
+func TestCertifierAnalysis(t *testing.T) {
+	r, err := Certifier(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := r.(Table)
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// At the paper's operating point (150 req/s) the mean delay is
+	// about 12 ms, and batching keeps delay bounded even at 50x that
+	// rate (the certifier never becomes the bottleneck).
+	var at150, at8000 float64
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "150":
+			at150 = parseMS(t, row[1])
+		case "8000":
+			at8000 = parseMS(t, row[1])
+		}
+	}
+	if at150 < 8 || at150 > 16 {
+		t.Errorf("delay at 150 req/s = %.1fms, want about 12ms", at150)
+	}
+	if at8000 > 20 {
+		t.Errorf("delay at 8000 req/s = %.1fms; batching should bound it", at8000)
+	}
+}
+
+func parseMS(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestAblationWritesetCost(t *testing.T) {
+	r, err := AblationWritesetCost(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := r.(Table)
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Ordering at N=16: the propagation penalty is large.
+	row := tbl.Rows[2]
+	if row[0] != "tpcw-ordering" || row[1] != "16" {
+		t.Fatalf("unexpected row: %v", row)
+	}
+	if !strings.Contains(row[4], "%") {
+		t.Fatalf("penalty cell: %v", row[4])
+	}
+}
+
+func TestAblationMVASolver(t *testing.T) {
+	r, err := AblationMVASolver(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := r.(Table)
+	if len(tbl.Rows) != len(tbl.Rows[:0])+10 {
+		t.Fatalf("rows = %d, want 10 (5 mixes x 2 populations)", len(tbl.Rows))
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigureRenderIncludesError(t *testing.T) {
+	fig := Figure{
+		ID: "figX", Title: "test", Metric: "tps",
+		Series: []Series{{
+			Label:  "mix",
+			Points: []Point{{Replicas: 1, Measured: 100, Predicted: 110}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "10.0%") || !strings.Contains(out, "max prediction error") {
+		t.Fatalf("render output:\n%s", out)
+	}
+}
+
+func TestMultiRender(t *testing.T) {
+	m := multi{Table2(), Table4()}
+	var buf bytes.Buffer
+	if err := m.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "TPC-W") || !strings.Contains(buf.String(), "RUBiS") {
+		t.Fatal("multi render incomplete")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if len(o.Replicas) == 0 || o.Seed == 0 {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+}
+
+func TestFigureRenderCSV(t *testing.T) {
+	fig := Figure{
+		ID: "figX",
+		Series: []Series{{
+			Label:  "mix",
+			Points: []Point{{Replicas: 2, Measured: 10, Predicted: 11}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := fig.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "figure,series,replicas,measured,predicted,rel_error\n") {
+		t.Fatalf("csv header: %q", out)
+	}
+	if !strings.Contains(out, "figX,mix,2,10,11,0.1") {
+		t.Fatalf("csv row: %q", out)
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2().RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 3 mixes
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+}
+
+func TestMultiRenderCSV(t *testing.T) {
+	m := multi{Table2(), Table4()}
+	var buf bytes.Buffer
+	if err := m.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "browsing") {
+		t.Fatal("multi csv incomplete")
+	}
+}

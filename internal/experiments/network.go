@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Network reproduces the §6.3.1 sensitivity analysis: the model folds
+// the load balancer and LAN into a 1 ms delay center, which is valid
+// only if the network is far from congestion. The driver computes the
+// writeset traffic each design generates at the predicted peak
+// throughput and compares it with gigabit-Ethernet capacity.
+//
+// In a multi-master system every commit ships its writeset to N-1
+// replicas; the certifier link carries one writeset per update. In a
+// single-master system the master ships each writeset to N-1 slaves
+// through the load balancer.
+func Network(o Options) (Renderable, error) {
+	o = o.withDefaults()
+	t := Table{
+		ID:    "network",
+		Title: "load balancer / network sensitivity (§6.3.1)",
+		Header: []string{
+			"mix", "design", "N", "X (tps)", "updates/s",
+			"per-link (Mbit/s)", "certifier link (Mbit/s)", "of 1 Gbit/s",
+		},
+	}
+	const gig = 1000.0 // Mbit/s
+	for _, m := range []workload.Mix{workload.TPCWOrdering(), workload.RUBiSBidding()} {
+		params := core.NewParams(m)
+		for _, design := range []core.Design{core.MultiMaster, core.SingleMaster} {
+			n := 16
+			var pred core.Prediction
+			if design == core.MultiMaster {
+				pred = core.PredictMM(params, n)
+			} else {
+				pred = core.PredictSM(params, n)
+			}
+			updates := pred.WriteThroughput
+			bitsPerWS := float64(m.WritesetBytes) * 8
+			// Busiest replica-facing link: one incoming writeset per
+			// remote commit. MM: (N-1)/N of all updates arrive at each
+			// replica; SM: all updates arrive at each slave.
+			perLink := updates * bitsPerWS / 1e6
+			if design == core.MultiMaster {
+				perLink = updates * float64(n-1) / float64(n) * bitsPerWS / 1e6
+			}
+			certLink := 0.0
+			if design == core.MultiMaster {
+				certLink = updates * bitsPerWS / 1e6
+			}
+			t.Rows = append(t.Rows, []string{
+				m.ID(), string(design), fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.0f", pred.Throughput),
+				fmt.Sprintf("%.0f", updates),
+				fmt.Sprintf("%.3f", perLink),
+				fmt.Sprintf("%.3f", certLink),
+				fmt.Sprintf("%.3f%%", perLink/gig*100),
+			})
+		}
+	}
+	return t, nil
+}
+
+// FastMaster explores the paper's §6.2.1 remark: "using a more
+// powerful machine as the master would mitigate this bottleneck and
+// improve system scalability." The single-master model is re-solved
+// with the master's service demands divided by a speed factor, showing
+// how much master hardware buys for the update-bound ordering mix.
+func FastMaster(o Options) (Renderable, error) {
+	o = o.withDefaults()
+	t := Table{
+		ID:     "fast-master",
+		Title:  "extension: single-master with a faster master machine (§6.2.1 remark)",
+		Header: []string{"mix", "master speed", "X @ 4", "X @ 8", "X @ 16", "saturation N"},
+	}
+	for _, m := range []workload.Mix{workload.TPCWOrdering(), workload.RUBiSBidding()} {
+		for _, speed := range []float64{1, 2, 4} {
+			params := core.NewParams(m)
+			params.MasterSpeedup = speed
+			var xs [3]float64
+			for i, n := range []int{4, 8, 16} {
+				xs[i] = core.PredictSM(params, n).Throughput
+			}
+			// Find where adding a replica stops paying 5%.
+			sat := 16
+			prev := core.PredictSM(params, 1).Throughput
+			for n := 2; n <= 16; n++ {
+				x := core.PredictSM(params, n).Throughput
+				if x < prev*1.05 {
+					sat = n - 1
+					break
+				}
+				prev = x
+			}
+			t.Rows = append(t.Rows, []string{
+				m.ID(),
+				fmt.Sprintf("%.0fx", speed),
+				fmt.Sprintf("%.0f", xs[0]),
+				fmt.Sprintf("%.0f", xs[1]),
+				fmt.Sprintf("%.0f", xs[2]),
+				fmt.Sprintf("%d", sat),
+			})
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func TestNetworkAnalysisFarFromCongestion(t *testing.T) {
+	r, err := Network(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := r.(Table)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// §6.3.1: writeset traffic is under 1 Mbit/s, orders of magnitude
+	// below gigabit capacity.
+	for _, row := range tbl.Rows {
+		mbit, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", row[5], err)
+		}
+		if mbit > 1.0 {
+			t.Errorf("%s %s: per-link %v Mbit/s exceeds the paper's 1 Mbit/s bound", row[0], row[1], mbit)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Gbit") {
+		t.Fatal("render missing capacity column")
+	}
+}
+
+func TestFastMasterExtension(t *testing.T) {
+	r, err := FastMaster(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := r.(Table)
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// A 2x master must raise the ordering mix's 16-replica throughput
+	// and push saturation later.
+	x16 := func(rowIdx int) float64 {
+		v, err := strconv.ParseFloat(tbl.Rows[rowIdx][4], 64)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return v
+	}
+	if x16(1) <= x16(0) {
+		t.Errorf("2x master did not help ordering: %v vs %v", x16(1), x16(0))
+	}
+	if x16(2) <= x16(1) {
+		t.Errorf("4x master did not beat 2x: %v vs %v", x16(2), x16(1))
+	}
+}
+
+func TestFastMasterModelMatchesSimulation(t *testing.T) {
+	// The heterogeneous-master extension must hold to the same
+	// model-vs-measurement standard as the paper's homogeneous
+	// configuration.
+	m := workload.TPCWOrdering()
+	params := core.NewParams(m)
+	params.MasterSpeedup = 2
+	for _, n := range []int{4, 8, 16} {
+		pred := core.PredictSM(params, n)
+		res, err := cluster.Run(cluster.Config{
+			Mix:           m,
+			Design:        core.SingleMaster,
+			Replicas:      n,
+			Seed:          77,
+			Warmup:        20,
+			Measure:       80,
+			MasterSpeedup: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := stats.RelativeError(pred.Throughput, res.Throughput); e > 0.15 {
+			t.Errorf("N=%d: predicted %.1f vs measured %.1f (err %.0f%%)",
+				n, pred.Throughput, res.Throughput, e*100)
+		}
+	}
+}
+
+func TestMasterSpeedupIgnoredForMM(t *testing.T) {
+	// The speedup parameter is single-master-only; MM predictions and
+	// simulations must be unaffected.
+	m := workload.TPCWShopping()
+	a := core.NewParams(m)
+	b := a
+	b.MasterSpeedup = 4
+	if core.PredictMM(a, 8).Throughput != core.PredictMM(b, 8).Throughput {
+		t.Error("MasterSpeedup leaked into the MM model")
+	}
+	resA, err := cluster.Run(cluster.Config{Mix: m, Design: core.MultiMaster, Replicas: 2, Seed: 9, Warmup: 5, Measure: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := cluster.Run(cluster.Config{Mix: m, Design: core.MultiMaster, Replicas: 2, Seed: 9, Warmup: 5, Measure: 20, MasterSpeedup: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Throughput != resB.Throughput {
+		t.Error("MasterSpeedup leaked into the MM simulation")
+	}
+}

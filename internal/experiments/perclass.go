@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// AblationPerClass compares the paper's aggregated-class multi-master
+// model against the mixed open/closed per-class formulation
+// (core.PredictMMPerClass). The aggregate model predicts only the mean
+// response time over all transactions; the per-class model separates
+// read-only from update latency, which the simulated prototype can
+// verify directly. Both must agree with measurement on throughput.
+func AblationPerClass(o Options) (Renderable, error) {
+	o = o.withDefaults()
+	t := Table{
+		ID:    "ablation-perclass",
+		Title: "ablation: aggregated vs mixed per-class MM model (TPC-W shopping)",
+		Header: []string{
+			"N", "measured X", "agg X", "perclass X",
+			"measured read RT", "perclass read RT",
+			"measured write RT", "perclass write RT", "RT err",
+		},
+	}
+	m := workload.TPCWShopping()
+	params := core.NewParams(m)
+	for _, n := range []int{1, 4, 8, 16} {
+		res, err := cluster.Run(cluster.Config{
+			Mix: m, Design: core.MultiMaster, Replicas: n,
+			Seed: o.Seed + uint64(n)*31, Warmup: o.Warmup, Measure: o.Measure,
+		})
+		if err != nil {
+			return nil, err
+		}
+		agg := core.PredictMM(params, n)
+		pc := core.PredictMMPerClass(params, n)
+		rtErr := stats.RelativeError(pc.ReadResponse, res.ReadResponse)
+		if e := stats.RelativeError(pc.WriteResponse, res.WriteResponse); e > rtErr {
+			rtErr = e
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", res.Throughput),
+			fmt.Sprintf("%.1f", agg.Throughput),
+			fmt.Sprintf("%.1f", pc.Throughput),
+			fmt.Sprintf("%.0f ms", res.ReadResponse*1000),
+			fmt.Sprintf("%.0f ms", pc.ReadResponse*1000),
+			fmt.Sprintf("%.0f ms", res.WriteResponse*1000),
+			fmt.Sprintf("%.0f ms", pc.WriteResponse*1000),
+			fmt.Sprintf("%.1f%%", rtErr*100),
+		})
+	}
+	return t, nil
+}

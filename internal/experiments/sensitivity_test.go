@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func pct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestAblationHotspotBreaksUniformAssumption(t *testing.T) {
+	o := fastOpts()
+	o.Measure = 120
+	r, err := AblationHotspot(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := r.(Table)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// theta=0 matches the model; high theta must blow past it.
+	uniform := pct(t, tbl.Rows[0][1])
+	model := pct(t, tbl.Rows[0][2])
+	if uniform > model*2 {
+		t.Errorf("uniform access should match the model: measured %v%% vs model %v%%", uniform, model)
+	}
+	skewed := pct(t, tbl.Rows[3][1])
+	if skewed < model*3 {
+		t.Errorf("theta=1.2 should shatter the uniform assumption: measured %v%% vs model %v%%", skewed, model)
+	}
+	// Abort rate must grow monotonically with skew.
+	prev := -1.0
+	for i, row := range tbl.Rows {
+		a := pct(t, row[1])
+		if a < prev {
+			t.Errorf("abort rate dropped at row %d: %v after %v", i, a, prev)
+		}
+		prev = a
+	}
+}
+
+func TestAblationHotspotModelStaysUpperBound(t *testing.T) {
+	o := fastOpts()
+	o.Measure = 120
+	r, err := AblationHotspot(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := r.(Table)
+	for _, row := range tbl.Rows {
+		if row[5] != "yes" {
+			t.Errorf("theta=%s: model throughput was not an upper bound", row[0])
+		}
+	}
+}
+
+func TestAblationOpenLoopShowsInstability(t *testing.T) {
+	o := fastOpts()
+	o.Measure = 120
+	r, err := AblationOpenLoop(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := r.(Table)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The sub-saturation open rows are stable; the 110% row is not.
+	for _, row := range tbl.Rows[:3] {
+		if strings.Contains(row[4], "UNSTABLE") {
+			t.Errorf("row %v should be stable", row)
+		}
+	}
+	last := tbl.Rows[3]
+	if !strings.Contains(last[4], "UNSTABLE") {
+		t.Errorf("supersaturated open system should be unstable: %v", last)
+	}
+	// Its response time dwarfs the stable open rows.
+	rt90, _ := strconv.ParseFloat(tbl.Rows[2][3], 64)
+	rt110, _ := strconv.ParseFloat(last[3], 64)
+	if rt110 < 5*rt90 {
+		t.Errorf("unstable RT %v should dwarf stable RT %v", rt110, rt90)
+	}
+}
+
+func TestWANSlowsSystemAndModelTracks(t *testing.T) {
+	o := fastOpts()
+	o.Measure = 60
+	r, err := WAN(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := r.(Table)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Measured response time grows with latency, throughput declines,
+	// and the model stays within the paper's 15% margin even in the
+	// WAN regime (the delays are modeled explicitly).
+	prevRT := -1.0
+	for _, row := range tbl.Rows {
+		rt, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt < prevRT {
+			t.Errorf("%s: response time fell with added latency (%v after %v)", row[0], rt, prevRT)
+		}
+		prevRT = rt
+		e, err := strconv.ParseFloat(strings.TrimSuffix(row[7], "%"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > 15 {
+			t.Errorf("%s: prediction error %.1f%%", row[0], e)
+		}
+	}
+	xLAN, _ := strconv.ParseFloat(tbl.Rows[0][3], 64)
+	xWAN, _ := strconv.ParseFloat(tbl.Rows[3][3], 64)
+	if xWAN >= xLAN {
+		t.Errorf("continental WAN should cost throughput: %v vs %v", xWAN, xLAN)
+	}
+}
+
+func TestAblationPerClassPredictsClassResponseTimes(t *testing.T) {
+	o := fastOpts()
+	o.Measure = 90
+	r, err := AblationPerClass(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := r.(Table)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		e, err := strconv.ParseFloat(strings.TrimSuffix(row[8], "%"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > 15 {
+			t.Errorf("N=%s: per-class RT error %.1f%% exceeds the paper's margin", row[0], e)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/profiler"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Table2 reproduces the TPC-W workload parameter table.
+func Table2() Table {
+	t := Table{
+		ID:     "table2",
+		Title:  "TPC-W parameters",
+		Header: []string{"Mix", "Read (Pr)", "Write (Pw)", "Clients per Replica (C)", "Think Time (Z)"},
+	}
+	for _, m := range workload.AllTPCW() {
+		t.Rows = append(t.Rows, parameterRow(m))
+	}
+	return t
+}
+
+// Table4 reproduces the RUBiS workload parameter table.
+func Table4() Table {
+	t := Table{
+		ID:     "table4",
+		Title:  "RUBiS parameters",
+		Header: []string{"Mix", "Read (Pr)", "Write (Pw)", "Clients per Replica (C)", "Think Time (Z)"},
+	}
+	for _, m := range workload.AllRUBiS() {
+		t.Rows = append(t.Rows, parameterRow(m))
+	}
+	return t
+}
+
+func parameterRow(m workload.Mix) []string {
+	return []string{
+		m.Name,
+		fmt.Sprintf("%.0f%%", m.Pr*100),
+		fmt.Sprintf("%.0f%%", m.Pw*100),
+		fmt.Sprintf("%d", m.Clients),
+		fmt.Sprintf("%.0f ms", m.Think*1000),
+	}
+}
+
+// Table3 reproduces the TPC-W measured service demand table by
+// profiling the simulated standalone database (§4.1.1) and comparing
+// against the paper values.
+func Table3(o Options) (Renderable, error) {
+	return demandTable("table3", "Measured service demands (ms) for TPC-W", workload.AllTPCW(), o)
+}
+
+// Table5 reproduces the RUBiS measured service demand table.
+func Table5(o Options) (Renderable, error) {
+	return demandTable("table5", "Measured service demands (ms) for RUBiS", workload.AllRUBiS(), o)
+}
+
+func demandTable(id, title string, mixes []workload.Mix, o Options) (Renderable, error) {
+	o = o.withDefaults()
+	t := Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"Mix", "Resource", "Read(rc)", "paper", "Write(wc)", "paper", "Writeset(ws)", "paper", "max err"},
+	}
+	for _, m := range mixes {
+		params, _, err := profiler.Profile(m, profiler.Options{
+			Seed: o.Seed + 31, Warmup: o.Warmup, Measure: o.Measure,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for r := workload.Resource(0); r < workload.NumResources; r++ {
+			maxErr := 0.0
+			rel := func(got, want float64) float64 {
+				if want == 0 {
+					return 0
+				}
+				e := stats.RelativeError(got, want)
+				if e > maxErr {
+					maxErr = e
+				}
+				return e
+			}
+			rel(params.Mix.RC[r], m.RC[r])
+			rel(params.Mix.WC[r], m.WC[r])
+			rel(params.Mix.WS[r], m.WS[r])
+			t.Rows = append(t.Rows, []string{
+				m.Name,
+				r.String(),
+				stats.FormatMS(params.Mix.RC[r]), stats.FormatMS(m.RC[r]),
+				stats.FormatMS(params.Mix.WC[r]), stats.FormatMS(m.WC[r]),
+				stats.FormatMS(params.Mix.WS[r]), stats.FormatMS(m.WS[r]),
+				fmt.Sprintf("%.1f%%", maxErr*100),
+			})
+		}
+	}
+	return t, nil
+}

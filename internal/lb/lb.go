@@ -1,0 +1,83 @@
+// Package lb provides the least-loaded load balancer both replicated
+// designs place in front of their replicas (§5). Load is the number of
+// outstanding transactions per replica; the balancer routes each new
+// transaction to a replica with minimal load among the eligible set.
+package lb
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrNoEligible reports that no replica matched the eligibility
+// predicate.
+var ErrNoEligible = errors.New("lb: no eligible replica")
+
+// Balancer tracks outstanding transactions per replica. It is safe
+// for concurrent use.
+type Balancer struct {
+	mu     sync.Mutex
+	counts []int
+}
+
+// New creates a balancer over n replicas. It panics if n <= 0.
+func New(n int) *Balancer {
+	if n <= 0 {
+		panic("lb: need at least one replica")
+	}
+	return &Balancer{counts: make([]int, n)}
+}
+
+// Acquire picks a least-loaded replica, increments its load, and
+// returns its index.
+func (b *Balancer) Acquire() int {
+	i, _ := b.AcquireWhere(func(int) bool { return true })
+	return i
+}
+
+// AcquireWhere picks the least-loaded replica among those for which
+// eligible returns true. Ties go to the lowest index, which keeps
+// routing deterministic for tests.
+func (b *Balancer) AcquireWhere(eligible func(i int) bool) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	best := -1
+	for i, c := range b.counts {
+		if !eligible(i) {
+			continue
+		}
+		if best == -1 || c < b.counts[best] {
+			best = i
+		}
+	}
+	if best == -1 {
+		return 0, ErrNoEligible
+	}
+	b.counts[best]++
+	return best, nil
+}
+
+// Release returns a transaction slot on replica i. Releasing below
+// zero panics: it means the caller double-released.
+func (b *Balancer) Release(i int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.counts[i] <= 0 {
+		panic("lb: release without acquire")
+	}
+	b.counts[i]--
+}
+
+// Load returns the current outstanding count of replica i.
+func (b *Balancer) Load(i int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.counts[i]
+}
+
+// Size returns the number of replicas.
+func (b *Balancer) Size() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.counts)
+}

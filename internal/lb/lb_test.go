@@ -1,0 +1,88 @@
+package lb
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAcquirePicksLeastLoaded(t *testing.T) {
+	b := New(3)
+	if b.Acquire() != 0 {
+		t.Fatal("first acquire should pick index 0")
+	}
+	if b.Acquire() != 1 || b.Acquire() != 2 {
+		t.Fatal("acquires did not spread")
+	}
+	// All at load 1; tie goes to 0.
+	if b.Acquire() != 0 {
+		t.Fatal("tie break wrong")
+	}
+	b.Release(1)
+	if b.Acquire() != 1 {
+		t.Fatal("release did not make replica 1 least loaded")
+	}
+}
+
+func TestAcquireWhere(t *testing.T) {
+	b := New(4)
+	idx, err := b.AcquireWhere(func(i int) bool { return i == 2 })
+	if err != nil || idx != 2 {
+		t.Fatalf("AcquireWhere = %d, %v", idx, err)
+	}
+	if _, err := b.AcquireWhere(func(int) bool { return false }); err != ErrNoEligible {
+		t.Fatalf("no eligible: %v", err)
+	}
+}
+
+func TestLoadAndSize(t *testing.T) {
+	b := New(2)
+	b.Acquire()
+	b.Acquire()
+	b.Acquire()
+	if b.Load(0) != 2 || b.Load(1) != 1 {
+		t.Fatalf("loads = %d, %d", b.Load(0), b.Load(1))
+	}
+	if b.Size() != 2 {
+		t.Fatalf("size = %d", b.Size())
+	}
+}
+
+func TestReleasePanicsOnUnderflow(t *testing.T) {
+	b := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	b.Release(0)
+}
+
+func TestNewPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestConcurrentBalance(t *testing.T) {
+	b := New(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				idx := b.Acquire()
+				b.Release(idx)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < 4; i++ {
+		if b.Load(i) != 0 {
+			t.Fatalf("replica %d load = %d after all released", i, b.Load(i))
+		}
+	}
+}

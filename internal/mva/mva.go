@@ -1,0 +1,185 @@
+// Package mva solves closed product-form queueing networks with Mean
+// Value Analysis (MVA), the algorithm the paper uses to evaluate its
+// analytical models (Lazowska et al., "Quantitative System
+// Performance", 1984).
+//
+// The package provides:
+//
+//   - an exact single-class solver with a stepwise API (one client
+//     added per Step), which the multi-master model needs because its
+//     service demands change between iterations as the conflict-window
+//     estimate is refreshed (§4.1.1 of the paper);
+//   - an exact two-class solver, needed by the single-master balancing
+//     algorithm (Figure 3) where read-only and update transactions
+//     place different demands on the master;
+//   - a Bard-Schweitzer approximate solver used as an ablation
+//     baseline.
+//
+// Centers are either queueing centers (a FIFO/PS service station whose
+// residence time inflates with queue length) or delay centers (pure
+// latency, no queueing). Think time is expressed as a delay center by
+// the callers; for convenience the solvers also accept a separate
+// think-time term Z as in the textbook formulation.
+package mva
+
+import "fmt"
+
+// Kind distinguishes queueing centers from delay centers.
+type Kind int
+
+const (
+	// Queueing marks a load-dependent service center: residence
+	// R = D * (1 + Q).
+	Queueing Kind = iota
+	// Delay marks a pure delay center: residence R = D regardless of
+	// population.
+	Delay
+)
+
+// String returns a readable center kind.
+func (k Kind) String() string {
+	switch k {
+	case Queueing:
+		return "queueing"
+	case Delay:
+		return "delay"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Center describes one service center of the network.
+type Center struct {
+	Name string
+	Kind Kind
+}
+
+// Solution reports the steady-state metrics of a solved network.
+type Solution struct {
+	Clients     int       // population the network was solved for
+	Throughput  float64   // system throughput X (jobs/unit time)
+	Response    float64   // total residence time across centers (excludes think time Z)
+	Residence   []float64 // per-center residence time R_m
+	Queue       []float64 // per-center mean queue length Q_m
+	Utilization []float64 // per-center utilization U_m = X * D_m (queueing centers)
+}
+
+// SingleClass is an exact single-class MVA solver with stepwise
+// population growth. Demands may be changed between steps, which the
+// paper's multi-master model exploits to feed the conflict-window
+// estimate from iteration i into the service demands of iteration i+1.
+type SingleClass struct {
+	centers []Center
+	think   float64
+	demands []float64
+	queue   []float64 // Q_m at current population
+	res     []float64 // R_m at current population
+	n       int
+	x       float64
+}
+
+// NewSingleClass creates a solver for the given centers and think time
+// Z. Initial demands are zero; call SetDemands before Step.
+func NewSingleClass(centers []Center, think float64) *SingleClass {
+	if len(centers) == 0 {
+		panic("mva: network needs at least one center")
+	}
+	if think < 0 {
+		panic("mva: negative think time")
+	}
+	return &SingleClass{
+		centers: append([]Center(nil), centers...),
+		think:   think,
+		demands: make([]float64, len(centers)),
+		queue:   make([]float64, len(centers)),
+		res:     make([]float64, len(centers)),
+	}
+}
+
+// SetDemands replaces the per-center service demands used by
+// subsequent Steps. It panics if the slice length does not match the
+// center count or any demand is negative.
+func (s *SingleClass) SetDemands(d []float64) {
+	if len(d) != len(s.centers) {
+		panic(fmt.Sprintf("mva: %d demands for %d centers", len(d), len(s.centers)))
+	}
+	for i, v := range d {
+		if v < 0 {
+			panic(fmt.Sprintf("mva: negative demand %v at center %d", v, i))
+		}
+		s.demands[i] = v
+	}
+}
+
+// Step adds one client to the network and recomputes the MVA
+// recursion for the new population.
+func (s *SingleClass) Step() {
+	s.n++
+	var total float64
+	for m, c := range s.centers {
+		if c.Kind == Delay {
+			s.res[m] = s.demands[m]
+		} else {
+			s.res[m] = s.demands[m] * (1 + s.queue[m])
+		}
+		total += s.res[m]
+	}
+	denom := s.think + total
+	if denom <= 0 {
+		// All demands and think time are zero: infinite throughput is
+		// meaningless; treat as zero-load network.
+		s.x = 0
+		return
+	}
+	s.x = float64(s.n) / denom
+	for m := range s.centers {
+		s.queue[m] = s.x * s.res[m]
+	}
+}
+
+// N returns the current population.
+func (s *SingleClass) N() int { return s.n }
+
+// Throughput returns the system throughput at the current population.
+func (s *SingleClass) Throughput() float64 { return s.x }
+
+// Residence returns center m's residence time at the current
+// population.
+func (s *SingleClass) Residence(m int) float64 { return s.res[m] }
+
+// Queue returns center m's mean queue length at the current
+// population.
+func (s *SingleClass) Queue(m int) float64 { return s.queue[m] }
+
+// Solution snapshots the solver state.
+func (s *SingleClass) Solution() Solution {
+	sol := Solution{
+		Clients:     s.n,
+		Throughput:  s.x,
+		Residence:   append([]float64(nil), s.res...),
+		Queue:       append([]float64(nil), s.queue...),
+		Utilization: make([]float64, len(s.centers)),
+	}
+	for m := range s.centers {
+		sol.Response += s.res[m]
+		if s.centers[m].Kind == Queueing {
+			sol.Utilization[m] = s.x * s.demands[m]
+		}
+	}
+	return sol
+}
+
+// Solve runs exact single-class MVA for a fixed demand vector and
+// population, returning the final solution. It is the convenience
+// entry point when no per-iteration demand feedback is needed.
+func Solve(centers []Center, demands []float64, think float64, clients int) Solution {
+	if clients < 0 {
+		panic("mva: negative population")
+	}
+	s := NewSingleClass(centers, think)
+	s.SetDemands(demands)
+	for i := 0; i < clients; i++ {
+		s.Step()
+	}
+	return s.Solution()
+}

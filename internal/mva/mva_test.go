@@ -1,0 +1,304 @@
+package mva
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSingleCenterNoThink(t *testing.T) {
+	// A closed network with one queueing center and no think time has
+	// throughput exactly 1/D for any population >= 1.
+	centers := []Center{{Name: "cpu", Kind: Queueing}}
+	for n := 1; n <= 20; n++ {
+		sol := Solve(centers, []float64{0.05}, 0, n)
+		if !almost(sol.Throughput, 20, 1e-9) {
+			t.Fatalf("n=%d: X = %v, want 20", n, sol.Throughput)
+		}
+		// All n clients are at the center.
+		if !almost(sol.Queue[0], float64(n), 1e-9) {
+			t.Fatalf("n=%d: Q = %v, want %d", n, sol.Queue[0], n)
+		}
+	}
+}
+
+func TestDelayOnlyNetwork(t *testing.T) {
+	// With only delay, X = n / (Z + D) exactly.
+	centers := []Center{{Name: "net", Kind: Delay}}
+	sol := Solve(centers, []float64{0.2}, 0.8, 10)
+	if !almost(sol.Throughput, 10, 1e-9) {
+		t.Fatalf("X = %v, want 10", sol.Throughput)
+	}
+	if !almost(sol.Response, 0.2, 1e-12) {
+		t.Fatalf("R = %v, want 0.2", sol.Response)
+	}
+}
+
+func TestMachineRepairmanBounds(t *testing.T) {
+	// Classic asymptotic bounds: X <= min(n/(Z+D), 1/Dmax).
+	centers := []Center{{Name: "cpu", Kind: Queueing}, {Name: "disk", Kind: Queueing}}
+	d := []float64{0.040, 0.015}
+	const z = 1.0
+	for n := 1; n <= 100; n++ {
+		sol := Solve(centers, d, z, n)
+		bound := math.Min(float64(n)/(z+d[0]+d[1]), 1/d[0])
+		if sol.Throughput > bound+1e-9 {
+			t.Fatalf("n=%d: X=%v exceeds bound %v", n, sol.Throughput, bound)
+		}
+		if sol.Throughput <= 0 {
+			t.Fatalf("n=%d: non-positive throughput", n)
+		}
+	}
+}
+
+func TestThroughputMonotonicInPopulation(t *testing.T) {
+	centers := []Center{{Kind: Queueing}, {Kind: Queueing}}
+	d := []float64{0.03, 0.02}
+	prev := 0.0
+	for n := 1; n <= 200; n++ {
+		sol := Solve(centers, d, 0.5, n)
+		if sol.Throughput < prev-1e-9 {
+			t.Fatalf("throughput decreased at n=%d: %v < %v", n, sol.Throughput, prev)
+		}
+		prev = sol.Throughput
+	}
+}
+
+func TestLittlesLawHolds(t *testing.T) {
+	// n = X * (Z + R) must hold exactly in MVA.
+	centers := []Center{{Kind: Queueing}, {Kind: Queueing}, {Kind: Delay}}
+	d := []float64{0.04, 0.015, 0.012}
+	const z = 1.0
+	for _, n := range []int{1, 5, 30, 120} {
+		sol := Solve(centers, d, z, n)
+		lhs := float64(n)
+		rhs := sol.Throughput * (z + sol.Response)
+		if !almost(lhs, rhs, 1e-6*lhs) {
+			t.Fatalf("n=%d: Little's law violated: %v vs %v", n, lhs, rhs)
+		}
+	}
+}
+
+func TestUtilizationLaw(t *testing.T) {
+	centers := []Center{{Kind: Queueing}, {Kind: Queueing}}
+	d := []float64{0.04, 0.01}
+	sol := Solve(centers, d, 1.0, 50)
+	for m := range centers {
+		want := sol.Throughput * d[m]
+		if !almost(sol.Utilization[m], want, 1e-12) {
+			t.Fatalf("center %d: U=%v want %v", m, sol.Utilization[m], want)
+		}
+		if sol.Utilization[m] > 1+1e-9 {
+			t.Fatalf("center %d: utilization %v exceeds 1", m, sol.Utilization[m])
+		}
+	}
+}
+
+func TestBottleneckSaturation(t *testing.T) {
+	// As n grows, X approaches 1/Dmax.
+	centers := []Center{{Kind: Queueing}, {Kind: Queueing}}
+	d := []float64{0.05, 0.02}
+	sol := Solve(centers, d, 1.0, 2000)
+	if !almost(sol.Throughput, 1/0.05, 1e-3) {
+		t.Fatalf("saturated X = %v, want about 20", sol.Throughput)
+	}
+	if sol.Utilization[0] < 0.999 {
+		t.Fatalf("bottleneck utilization %v, want about 1", sol.Utilization[0])
+	}
+}
+
+func TestStepwiseMatchesSolve(t *testing.T) {
+	centers := []Center{{Kind: Queueing}, {Kind: Queueing}, {Kind: Delay}}
+	d := []float64{0.03, 0.01, 0.005}
+	s := NewSingleClass(centers, 0.9)
+	s.SetDemands(d)
+	for i := 0; i < 40; i++ {
+		s.Step()
+	}
+	want := Solve(centers, d, 0.9, 40)
+	if !almost(s.Throughput(), want.Throughput, 1e-12) {
+		t.Fatalf("stepwise X=%v, Solve X=%v", s.Throughput(), want.Throughput)
+	}
+	for m := range centers {
+		if !almost(s.Queue(m), want.Queue[m], 1e-12) {
+			t.Fatalf("center %d queue mismatch", m)
+		}
+		if !almost(s.Residence(m), want.Residence[m], 1e-12) {
+			t.Fatalf("center %d residence mismatch", m)
+		}
+	}
+}
+
+func TestZeroPopulation(t *testing.T) {
+	centers := []Center{{Kind: Queueing}}
+	sol := Solve(centers, []float64{0.1}, 1, 0)
+	if sol.Throughput != 0 || sol.Clients != 0 {
+		t.Fatalf("empty network should be idle: %+v", sol)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	cases := []func(){
+		func() { Solve(nil, nil, 0, 1) },
+		func() { Solve([]Center{{}}, []float64{1, 2}, 0, 1) },
+		func() { Solve([]Center{{}}, []float64{-1}, 0, 1) },
+		func() { Solve([]Center{{}}, []float64{1}, -1, 1) },
+		func() { Solve([]Center{{}}, []float64{1}, 0, -1) },
+		func() { NewSingleClass([]Center{{}}, 0).SetDemands([]float64{1, 2}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTwoClassReducesToSingleClass(t *testing.T) {
+	// Two identical classes must behave like one class with the merged
+	// population.
+	centers := []Center{{Kind: Queueing}, {Kind: Queueing}, {Kind: Delay}}
+	d := []float64{0.04, 0.015, 0.01}
+	think := 1.0
+	for _, split := range [][2]int{{10, 10}, {1, 19}, {20, 0}} {
+		two := SolveTwoClass(centers, [2][]float64{d, d}, [2]float64{think, think}, split)
+		one := Solve(centers, d, think, split[0]+split[1])
+		xTwo := two.Throughput[0] + two.Throughput[1]
+		if !almost(xTwo, one.Throughput, 1e-9*one.Throughput) {
+			t.Fatalf("split %v: two-class X=%v, single X=%v", split, xTwo, one.Throughput)
+		}
+	}
+}
+
+func TestTwoClassZeroPopulationClass(t *testing.T) {
+	centers := []Center{{Kind: Queueing}}
+	d0 := []float64{0.05}
+	d1 := []float64{0.50}
+	sol := SolveTwoClass(centers, [2][]float64{d0, d1}, [2]float64{1, 1}, [2]int{10, 0})
+	if sol.Throughput[1] != 0 {
+		t.Fatalf("empty class has throughput %v", sol.Throughput[1])
+	}
+	one := Solve(centers, d0, 1, 10)
+	if !almost(sol.Throughput[0], one.Throughput, 1e-9) {
+		t.Fatalf("class 0 X=%v, want %v", sol.Throughput[0], one.Throughput)
+	}
+}
+
+func TestTwoClassLittlesLaw(t *testing.T) {
+	centers := []Center{{Kind: Queueing}, {Kind: Queueing}}
+	demands := [2][]float64{{0.04, 0.02}, {0.012, 0.008}}
+	think := [2]float64{1.0, 1.0}
+	pop := [2]int{30, 15}
+	sol := SolveTwoClass(centers, demands, think, pop)
+	for c := 0; c < 2; c++ {
+		lhs := float64(pop[c])
+		rhs := sol.Throughput[c] * (think[c] + sol.Response[c])
+		if !almost(lhs, rhs, 1e-6*lhs) {
+			t.Fatalf("class %d: Little's law violated: %v vs %v", c, lhs, rhs)
+		}
+	}
+}
+
+func TestTwoClassSlowClassSlowsFastClass(t *testing.T) {
+	// Adding population to a competing class must not raise the other
+	// class's throughput.
+	centers := []Center{{Kind: Queueing}}
+	demands := [2][]float64{{0.02}, {0.1}}
+	base := SolveTwoClass(centers, demands, [2]float64{1, 1}, [2]int{20, 0})
+	loaded := SolveTwoClass(centers, demands, [2]float64{1, 1}, [2]int{20, 10})
+	if loaded.Throughput[0] > base.Throughput[0]+1e-9 {
+		t.Fatalf("competition increased class-0 throughput: %v > %v",
+			loaded.Throughput[0], base.Throughput[0])
+	}
+}
+
+func TestSchweitzerMatchesExactClosely(t *testing.T) {
+	centers := []Center{{Kind: Queueing}, {Kind: Queueing}}
+	d := []float64{0.04, 0.015}
+	for _, n := range []int{1, 10, 50, 200} {
+		exact := Solve(centers, d, 1.0, n)
+		approx := SolveSchweitzer(centers, d, 1.0, n, 0)
+		rel := math.Abs(exact.Throughput-approx.Throughput) / exact.Throughput
+		if rel > 0.05 {
+			t.Fatalf("n=%d: Schweitzer off by %.1f%% (exact %v approx %v)",
+				n, rel*100, exact.Throughput, approx.Throughput)
+		}
+	}
+}
+
+func TestSchweitzerZeroPopulation(t *testing.T) {
+	sol := SolveSchweitzer([]Center{{Kind: Queueing}}, []float64{0.1}, 1, 0, 0)
+	if sol.Throughput != 0 {
+		t.Fatalf("X = %v for empty network", sol.Throughput)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Queueing.String() != "queueing" || Delay.String() != "delay" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatalf("unknown kind: %s", Kind(9))
+	}
+}
+
+func TestQuickThroughputBounds(t *testing.T) {
+	// Property: for random demands and populations, MVA respects the
+	// asymptotic bounds and produces non-negative queues.
+	f := func(d1, d2, zRaw uint16, nRaw uint8) bool {
+		d := []float64{float64(d1%1000+1) / 1e4, float64(d2%1000+1) / 1e4}
+		z := float64(zRaw%2000) / 1e3
+		n := int(nRaw%100) + 1
+		centers := []Center{{Kind: Queueing}, {Kind: Queueing}}
+		sol := Solve(centers, d, z, n)
+		dmax := math.Max(d[0], d[1])
+		bound := math.Min(float64(n)/(z+d[0]+d[1]), 1/dmax)
+		if sol.Throughput > bound*(1+1e-9) {
+			return false
+		}
+		for _, q := range sol.Queue {
+			if q < 0 {
+				return false
+			}
+		}
+		// Population conservation.
+		var held float64
+		for _, q := range sol.Queue {
+			held += q
+		}
+		held += sol.Throughput * z
+		return almost(held, float64(n), 1e-6*float64(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTwoClassConservation(t *testing.T) {
+	f := func(a, b uint8, d1, d2 uint16) bool {
+		pop := [2]int{int(a % 40), int(b % 40)}
+		d := [2][]float64{
+			{float64(d1%500+1) / 1e4, 0.01},
+			{float64(d2%500+1) / 1e4, 0.02},
+		}
+		centers := []Center{{Kind: Queueing}, {Kind: Queueing}}
+		think := [2]float64{1, 1}
+		sol := SolveTwoClass(centers, d, think, pop)
+		var held float64
+		for _, q := range sol.Queue {
+			held += q
+		}
+		held += sol.Throughput[0]*think[0] + sol.Throughput[1]*think[1]
+		want := float64(pop[0] + pop[1])
+		return almost(held, want, 1e-6*(want+1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

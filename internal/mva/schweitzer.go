@@ -1,0 +1,98 @@
+package mva
+
+import "math"
+
+// SolveSchweitzer runs the Bard-Schweitzer approximate MVA for a
+// single-class network.
+//
+// The approximation replaces the exact recursion's Q_m(n-1) with the
+// scaled estimate Q_m(n)*(n-1)/n and iterates to a fixed point. It
+// runs in O(iterations * centers) independent of population, which
+// makes it attractive for very large client counts; the repository
+// uses it as an ablation baseline against the exact solver (see
+// BenchmarkAblationMVASolver).
+//
+// tol is the convergence threshold on the queue-length vector;
+// non-positive tol defaults to 1e-10. The solver caps iterations at
+// 100000 to guarantee termination.
+func SolveSchweitzer(centers []Center, demands []float64, think float64, clients int, tol float64) Solution {
+	m := len(centers)
+	if m == 0 {
+		panic("mva: network needs at least one center")
+	}
+	if len(demands) != m {
+		panic("mva: demand/center length mismatch")
+	}
+	if clients < 0 {
+		panic("mva: negative population")
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	sol := Solution{
+		Clients:     clients,
+		Residence:   make([]float64, m),
+		Queue:       make([]float64, m),
+		Utilization: make([]float64, m),
+	}
+	if clients == 0 {
+		return sol
+	}
+
+	n := float64(clients)
+	q := make([]float64, m)
+	// Start from an even split of the population over queueing centers.
+	nq := 0
+	for _, c := range centers {
+		if c.Kind == Queueing {
+			nq++
+		}
+	}
+	for k, c := range centers {
+		if c.Kind == Queueing && nq > 0 {
+			q[k] = n / float64(nq)
+		}
+	}
+
+	res := make([]float64, m)
+	var x float64
+	for iter := 0; iter < 100000; iter++ {
+		var total float64
+		for k, c := range centers {
+			if c.Kind == Delay {
+				res[k] = demands[k]
+			} else {
+				res[k] = demands[k] * (1 + q[k]*(n-1)/n)
+			}
+			total += res[k]
+		}
+		denom := think + total
+		if denom <= 0 {
+			x = 0
+			break
+		}
+		x = n / denom
+		var maxDelta float64
+		for k := range centers {
+			nv := x * res[k]
+			if d := math.Abs(nv - q[k]); d > maxDelta {
+				maxDelta = d
+			}
+			q[k] = nv
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+
+	sol.Throughput = x
+	for k, c := range centers {
+		sol.Residence[k] = res[k]
+		sol.Queue[k] = q[k]
+		sol.Response += res[k]
+		if c.Kind == Queueing {
+			sol.Utilization[k] = x * demands[k]
+		}
+	}
+	return sol
+}

@@ -1,0 +1,126 @@
+package mva
+
+import "fmt"
+
+// TwoClassSolution reports per-class and per-center metrics of an
+// exact two-class MVA solution.
+type TwoClassSolution struct {
+	Population  [2]int       // solved population per class
+	Throughput  [2]float64   // per-class throughput
+	Response    [2]float64   // per-class total residence time (excludes think)
+	Residence   [2][]float64 // per-class, per-center residence time
+	Queue       []float64    // per-center total queue length
+	Utilization []float64    // per-center utilization summed over classes
+}
+
+// SolveTwoClass runs exact two-class MVA.
+//
+// demands[c][m] is class c's service demand at center m, think[c] is
+// class c's think time, pop[c] its population. The exact recursion
+// evaluates every population vector (i, j) with i <= pop[0],
+// j <= pop[1]; time and memory are O(pop[0]*pop[1]*len(centers)),
+// which is small for the client counts in the paper (tens to a few
+// hundred per class).
+func SolveTwoClass(centers []Center, demands [2][]float64, think [2]float64, pop [2]int) TwoClassSolution {
+	m := len(centers)
+	if m == 0 {
+		panic("mva: network needs at least one center")
+	}
+	for c := 0; c < 2; c++ {
+		if len(demands[c]) != m {
+			panic(fmt.Sprintf("mva: class %d has %d demands for %d centers", c, len(demands[c]), m))
+		}
+		if pop[c] < 0 {
+			panic("mva: negative population")
+		}
+		if think[c] < 0 {
+			panic("mva: negative think time")
+		}
+		for i, v := range demands[c] {
+			if v < 0 {
+				panic(fmt.Sprintf("mva: negative demand %v (class %d center %d)", v, c, i))
+			}
+		}
+	}
+
+	n0, n1 := pop[0], pop[1]
+	// queue[idx(i,j)*m + k] = Q_k at population (i, j).
+	idx := func(i, j int) int { return i*(n1+1) + j }
+	queue := make([]float64, (n0+1)*(n1+1)*m)
+
+	res := [2][]float64{make([]float64, m), make([]float64, m)}
+	var x [2]float64
+
+	for i := 0; i <= n0; i++ {
+		for j := 0; j <= n1; j++ {
+			if i == 0 && j == 0 {
+				continue
+			}
+			np := [2]int{i, j}
+			for c := 0; c < 2; c++ {
+				if np[c] == 0 {
+					x[c] = 0
+					for k := 0; k < m; k++ {
+						res[c][k] = 0
+					}
+					continue
+				}
+				// Population with one class-c customer removed.
+				pi, pj := i, j
+				if c == 0 {
+					pi--
+				} else {
+					pj--
+				}
+				prev := queue[idx(pi, pj)*m:]
+				var total float64
+				for k := 0; k < m; k++ {
+					if centers[k].Kind == Delay {
+						res[c][k] = demands[c][k]
+					} else {
+						res[c][k] = demands[c][k] * (1 + prev[k])
+					}
+					total += res[c][k]
+				}
+				denom := think[c] + total
+				if denom <= 0 {
+					x[c] = 0
+				} else {
+					x[c] = float64(np[c]) / denom
+				}
+			}
+			cur := queue[idx(i, j)*m:]
+			for k := 0; k < m; k++ {
+				cur[k] = x[0]*res[0][k] + x[1]*res[1][k]
+			}
+		}
+	}
+
+	sol := TwoClassSolution{
+		Population:  pop,
+		Throughput:  x,
+		Queue:       make([]float64, m),
+		Utilization: make([]float64, m),
+	}
+	final := queue[idx(n0, n1)*m:]
+	for c := 0; c < 2; c++ {
+		sol.Residence[c] = append([]float64(nil), res[c]...)
+		for k := 0; k < m; k++ {
+			sol.Response[c] += res[c][k]
+		}
+	}
+	for k := 0; k < m; k++ {
+		sol.Queue[k] = final[k]
+		if centers[k].Kind == Queueing {
+			sol.Utilization[k] = x[0]*demands[0][k] + x[1]*demands[1][k]
+		}
+	}
+	// Zero-population classes report zero response.
+	for c := 0; c < 2; c++ {
+		if pop[c] == 0 {
+			sol.Response[c] = 0
+			sol.Throughput[c] = 0
+		}
+	}
+	return sol
+}

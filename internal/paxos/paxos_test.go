@@ -1,0 +1,286 @@
+package paxos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// cluster builds n acceptors wired by a LocalTransport.
+func cluster(n int) ([]*Acceptor, []int, *LocalTransport) {
+	var accs []*Acceptor
+	var ids []int
+	for i := 0; i < n; i++ {
+		accs = append(accs, NewAcceptor(i))
+		ids = append(ids, i)
+	}
+	return accs, ids, NewLocalTransport(accs...)
+}
+
+func TestBallotOrdering(t *testing.T) {
+	a := Ballot{Round: 1, Proposer: 0}
+	b := Ballot{Round: 1, Proposer: 1}
+	c := Ballot{Round: 2, Proposer: 0}
+	if !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Fatal("ballot ordering broken")
+	}
+	if a.Less(a) {
+		t.Fatal("ballot less than itself")
+	}
+	if a.String() != "1.0" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestSingleProposerDecides(t *testing.T) {
+	_, ids, tr := cluster(3)
+	p := NewProposer(0, ids, tr)
+	for i := 0; i < 10; i++ {
+		v := Value(fmt.Sprintf("cmd-%d", i))
+		slot, err := p.Propose(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slot != i {
+			t.Fatalf("value %d landed in slot %d", i, slot)
+		}
+		got, ok := p.Chosen(slot)
+		if !ok || got != v {
+			t.Fatalf("slot %d: chosen %q %v", slot, got, ok)
+		}
+	}
+}
+
+func TestAcceptorPromiseBlocksOldBallots(t *testing.T) {
+	a := NewAcceptor(0)
+	high := Ballot{Round: 5, Proposer: 1}
+	low := Ballot{Round: 3, Proposer: 0}
+	if rep := a.Prepare(high, 0); !rep.OK {
+		t.Fatal("first prepare rejected")
+	}
+	if rep := a.Prepare(low, 0); rep.OK {
+		t.Fatal("old ballot prepared after newer promise")
+	}
+	if rep := a.Accept(low, 0, "x"); rep.OK {
+		t.Fatal("old ballot accepted after newer promise")
+	}
+	if rep := a.Accept(high, 0, "y"); !rep.OK {
+		t.Fatal("promised ballot rejected at accept")
+	}
+}
+
+func TestPrepareReturnsAcceptedValue(t *testing.T) {
+	a := NewAcceptor(0)
+	b1 := Ballot{Round: 1, Proposer: 0}
+	a.Prepare(b1, 3)
+	a.Accept(b1, 3, "first")
+	b2 := Ballot{Round: 2, Proposer: 1}
+	rep := a.Prepare(b2, 3)
+	if !rep.OK || !rep.HasAccepted || rep.AcceptedValue != "first" {
+		t.Fatalf("prepare did not surface accepted value: %+v", rep)
+	}
+}
+
+func TestValueSurvivesLeaderChange(t *testing.T) {
+	// Leader 0 decides slots 0..4, then dies. Leader 1 recovers and
+	// must observe exactly the same log.
+	_, ids, tr := cluster(3)
+	p0 := NewProposer(0, ids, tr)
+	want := map[int]Value{}
+	for i := 0; i < 5; i++ {
+		v := Value(fmt.Sprintf("v%d", i))
+		slot, err := p0.Propose(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[slot] = v
+	}
+	tr.SetDown(0, true) // old leader unreachable
+
+	p1 := NewProposer(1, ids, tr)
+	maxSlot := -1
+	for _, id := range []int{1, 2} {
+		a, err := tr.get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := a.MaxSlot(); s > maxSlot {
+			maxSlot = s
+		}
+	}
+	log, err := p1.Recover(maxSlot, "noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot, v := range want {
+		if log[slot] != v {
+			t.Fatalf("slot %d: recovered %q, want %q", slot, log[slot], v)
+		}
+	}
+}
+
+func TestNoMajorityFails(t *testing.T) {
+	_, ids, tr := cluster(3)
+	tr.SetDown(1, true)
+	tr.SetDown(2, true)
+	p := NewProposer(0, ids, tr)
+	if _, err := p.Propose("x"); !errors.Is(err, ErrNoMajority) {
+		t.Fatalf("expected ErrNoMajority, got %v", err)
+	}
+}
+
+func TestMinoritySeveredStillDecides(t *testing.T) {
+	_, ids, tr := cluster(3)
+	tr.SetDown(2, true)
+	p := NewProposer(0, ids, tr)
+	slot, err := p.Propose("survives")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := p.Chosen(slot); !ok || v != "survives" {
+		t.Fatalf("chosen = %q %v", v, ok)
+	}
+}
+
+func TestCompetingProposersAgree(t *testing.T) {
+	// Two proposers interleave proposals; for every slot both must
+	// observe the same decided value (the fundamental safety
+	// property).
+	_, ids, tr := cluster(3)
+	p0 := NewProposer(0, ids, tr)
+	p1 := NewProposer(1, ids, tr)
+	for i := 0; i < 10; i++ {
+		if _, err := p0.Propose(Value(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p1.Propose(Value(fmt.Sprintf("b%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compare overlapping views.
+	for slot := 0; slot < 10; slot++ {
+		v0, ok0 := p0.Chosen(slot)
+		v1, ok1 := p1.Chosen(slot)
+		if ok0 && ok1 && v0 != v1 {
+			t.Fatalf("slot %d: divergent decisions %q vs %q", slot, v0, v1)
+		}
+	}
+}
+
+func TestConcurrentProposersSafety(t *testing.T) {
+	// Hammer the cluster from several goroutines. Afterwards, replay
+	// the acceptors: every slot with a majority-accepted value must be
+	// consistent across the proposers' chosen maps.
+	_, ids, tr := cluster(3)
+	const workers = 4
+	const perWorker = 15
+	proposers := make([]*Proposer, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		proposers[w] = NewProposer(w%3, ids, tr)
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				_, err := proposers[w].Propose(Value(fmt.Sprintf("w%d-%d", w, i)))
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Cross-check all proposers agree wherever their knowledge
+	// overlaps.
+	maxSlot := 0
+	for _, p := range proposers {
+		if n := p.ChosenCount(); n > maxSlot {
+			maxSlot = n
+		}
+	}
+	for slot := 0; slot < maxSlot; slot++ {
+		var seen *Value
+		for _, p := range proposers {
+			if v, ok := p.Chosen(slot); ok {
+				if seen != nil && *seen != v {
+					t.Fatalf("slot %d: %q vs %q", slot, *seen, v)
+				}
+				val := v
+				seen = &val
+			}
+		}
+	}
+}
+
+func TestRecoverIdempotent(t *testing.T) {
+	_, ids, tr := cluster(3)
+	p := NewProposer(0, ids, tr)
+	p.Propose("a")
+	p.Propose("b")
+	log1, err := p.Recover(1, "noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log2, err := p.Recover(1, "noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log1) != len(log2) {
+		t.Fatalf("recover changed log size: %d vs %d", len(log1), len(log2))
+	}
+	for s, v := range log1 {
+		if log2[s] != v {
+			t.Fatalf("slot %d changed across recovers", s)
+		}
+	}
+}
+
+func TestUnknownNodeUnreachable(t *testing.T) {
+	_, _, tr := cluster(1)
+	if _, err := tr.Prepare(99, Ballot{}, 0); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("unknown node: %v", err)
+	}
+	if _, err := tr.Accept(99, Ballot{}, 0, "x"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("unknown node: %v", err)
+	}
+}
+
+func TestNodeRestore(t *testing.T) {
+	_, ids, tr := cluster(3)
+	tr.SetDown(2, true)
+	tr.SetDown(2, false)
+	p := NewProposer(0, ids, tr)
+	if _, err := p.Propose("x"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickProposeSequenceIsDense(t *testing.T) {
+	// Property: proposing k values in sequence from one proposer fills
+	// slots 0..k-1 with exactly those values in order.
+	f := func(n uint8) bool {
+		k := int(n%20) + 1
+		_, ids, tr := cluster(3)
+		p := NewProposer(0, ids, tr)
+		for i := 0; i < k; i++ {
+			slot, err := p.Propose(Value(fmt.Sprintf("%d", i)))
+			if err != nil || slot != i {
+				return false
+			}
+		}
+		for i := 0; i < k; i++ {
+			v, ok := p.Chosen(i)
+			if !ok || v != Value(fmt.Sprintf("%d", i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+package paxos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNoMajority reports that a quorum could not be assembled.
+var ErrNoMajority = errors.New("paxos: no majority")
+
+// ErrSlotTaken reports that the slot was already decided with a
+// different value (a competing proposer won it); the caller should
+// retry its value in a later slot.
+var ErrSlotTaken = errors.New("paxos: slot decided with another value")
+
+// Proposer drives consensus for a replicated log from one node. A
+// stable proposer that has completed a prepare round for its ballot
+// may run phase 2 directly for subsequent slots (multi-Paxos); when it
+// is preempted by a higher ballot it re-prepares with a higher round.
+type Proposer struct {
+	mu        sync.Mutex
+	id        int
+	peers     []int // acceptor ids, including self
+	transport Transport
+
+	ballot   Ballot
+	prepared map[int]bool // slots prepared under the current ballot
+	stable   bool         // ballot has majority promises (leadership)
+
+	chosen   map[int]Value
+	nextSlot int
+}
+
+// NewProposer creates a proposer for the given membership.
+func NewProposer(id int, peers []int, tr Transport) *Proposer {
+	return &Proposer{
+		id:        id,
+		peers:     append([]int(nil), peers...),
+		transport: tr,
+		ballot:    Ballot{Round: 1, Proposer: id},
+		prepared:  make(map[int]bool),
+		chosen:    make(map[int]Value),
+	}
+}
+
+// majority returns the quorum size.
+func (p *Proposer) majority() int { return len(p.peers)/2 + 1 }
+
+// Chosen returns the value decided for slot, if known locally.
+func (p *Proposer) Chosen(slot int) (Value, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.chosen[slot]
+	return v, ok
+}
+
+// ChosenCount returns the number of slots this proposer knows to be
+// decided.
+func (p *Proposer) ChosenCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.chosen)
+}
+
+// Propose reaches consensus on v in the next free slot and returns the
+// slot it was chosen in. If a competing value already owns the slot,
+// the proposer adopts it, records it, and retries v in the next slot.
+func (p *Proposer) Propose(v Value) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for attempts := 0; attempts < 1000; attempts++ {
+		slot := p.nextSlot
+		chosenValue, err := p.decideLocked(slot, v)
+		if err != nil {
+			return 0, err
+		}
+		p.chosen[slot] = chosenValue
+		p.nextSlot = slot + 1
+		if chosenValue == v {
+			return slot, nil
+		}
+		// Slot held a competing value; try the next slot for ours.
+	}
+	return 0, fmt.Errorf("paxos: proposer %d starved", p.id)
+}
+
+// Recover closes all slots up to and including maxSlot by proposing
+// no-op values where nothing was accepted, returning the recovered
+// log. New leaders call it to learn the previous leader's decisions.
+func (p *Proposer) Recover(maxSlot int, noop Value) (map[int]Value, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for slot := 0; slot <= maxSlot; slot++ {
+		if _, ok := p.chosen[slot]; ok {
+			continue
+		}
+		v, err := p.decideLocked(slot, noop)
+		if err != nil {
+			return nil, err
+		}
+		p.chosen[slot] = v
+	}
+	if p.nextSlot <= maxSlot {
+		p.nextSlot = maxSlot + 1
+	}
+	out := make(map[int]Value, len(p.chosen))
+	for s, v := range p.chosen {
+		out[s] = v
+	}
+	return out, nil
+}
+
+// decideLocked runs full Paxos for one slot and returns the value
+// actually chosen (ours, or one adopted from a previous round).
+func (p *Proposer) decideLocked(slot int, v Value) (Value, error) {
+	for round := 0; round < 100; round++ {
+		// Phase 1: skippable while the ballot is stable and the slot
+		// has not been prepared under it.
+		if !p.stable || !p.prepared[slot] {
+			adopted, err := p.prepareLocked(slot)
+			if err != nil {
+				return "", err
+			}
+			if adopted != nil {
+				v = *adopted
+			}
+		}
+		// Phase 2.
+		acks := 0
+		preempted := false
+		var higher Ballot
+		for _, peer := range p.peers {
+			rep, err := p.transport.Accept(peer, p.ballot, slot, v)
+			if err != nil {
+				continue
+			}
+			if rep.OK {
+				acks++
+			} else if p.ballot.Less(rep.Promised) {
+				preempted, higher = true, rep.Promised
+			}
+		}
+		if acks >= p.majority() {
+			return v, nil
+		}
+		if !preempted {
+			return "", fmt.Errorf("%w: %d/%d accepts for slot %d", ErrNoMajority, acks, len(p.peers), slot)
+		}
+		// Preempted: outbid and re-prepare.
+		p.stable = false
+		p.prepared = make(map[int]bool)
+		p.ballot = Ballot{Round: higher.Round + 1, Proposer: p.id}
+	}
+	return "", fmt.Errorf("paxos: livelock proposing slot %d", slot)
+}
+
+// prepareLocked runs phase 1 for a slot. It returns the value this
+// proposer is obliged to adopt (the accepted value with the highest
+// ballot among promises), or nil when free to propose its own.
+func (p *Proposer) prepareLocked(slot int) (*Value, error) {
+	for round := 0; round < 100; round++ {
+		promises := 0
+		var adopt *Value
+		var adoptBallot Ballot
+		preempted := false
+		var higher Ballot
+		for _, peer := range p.peers {
+			rep, err := p.transport.Prepare(peer, p.ballot, slot)
+			if err != nil {
+				continue
+			}
+			if !rep.OK {
+				if p.ballot.Less(rep.Promised) {
+					preempted, higher = true, rep.Promised
+				}
+				continue
+			}
+			promises++
+			if rep.HasAccepted && (adopt == nil || adoptBallot.Less(rep.AcceptedBallot)) {
+				val := rep.AcceptedValue
+				adopt, adoptBallot = &val, rep.AcceptedBallot
+			}
+		}
+		if promises >= p.majority() {
+			p.stable = true
+			p.prepared[slot] = true
+			return adopt, nil
+		}
+		if !preempted {
+			return nil, fmt.Errorf("%w: %d/%d promises for slot %d", ErrNoMajority, promises, len(p.peers), slot)
+		}
+		p.stable = false
+		p.prepared = make(map[int]bool)
+		p.ballot = Ballot{Round: higher.Round + 1, Proposer: p.id}
+	}
+	return nil, fmt.Errorf("paxos: livelock preparing slot %d", slot)
+}

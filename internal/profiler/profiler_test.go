@@ -1,0 +1,128 @@
+package profiler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// recoverTol is the accepted relative error between profiled and
+// ground-truth demands; the calibration runs are stochastic.
+const recoverTol = 0.08
+
+func demandsClose(t *testing.T, name string, got, want workload.Demand) {
+	t.Helper()
+	for r := workload.Resource(0); r < workload.NumResources; r++ {
+		if want[r] == 0 {
+			if got[r] > 1e-6 {
+				t.Errorf("%s[%s] = %v, want 0", name, r, got[r])
+			}
+			continue
+		}
+		if e := stats.RelativeError(got[r], want[r]); e > recoverTol {
+			t.Errorf("%s[%s] = %.4f, truth %.4f (err %.0f%%)", name, r, got[r]*1000, want[r]*1000, e*100)
+		}
+	}
+}
+
+func TestProfileRecoversTable3Shopping(t *testing.T) {
+	truth := workload.TPCWShopping()
+	params, rep, err := Profile(truth, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	demandsClose(t, "rc", params.Mix.RC, truth.RC)
+	demandsClose(t, "wc", params.Mix.WC, truth.WC)
+	demandsClose(t, "ws", params.Mix.WS, truth.WS)
+	if params.L1 <= 0 {
+		t.Fatalf("L1 = %v", params.L1)
+	}
+	if math.Abs(params.Mix.Pw-truth.Pw) > 0.02 {
+		t.Errorf("Pw = %v, truth %v", params.Mix.Pw, truth.Pw)
+	}
+	if rep.TraceCounts.Statements == 0 {
+		t.Error("trace counting did not run")
+	}
+	if err := params.Validate(); err != nil {
+		t.Errorf("profiled params invalid: %v", err)
+	}
+}
+
+func TestProfileReadOnlyMix(t *testing.T) {
+	truth := workload.RUBiSBrowsing()
+	params, _, err := Profile(truth, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	demandsClose(t, "rc", params.Mix.RC, truth.RC)
+	if params.Mix.WC.Total() != 0 || params.Mix.WS.Total() != 0 {
+		t.Error("read-only mix gained update demands")
+	}
+	if params.Mix.Pw != 0 {
+		t.Errorf("Pw = %v", params.Mix.Pw)
+	}
+}
+
+func TestProfiledParamsPredictLikeTruth(t *testing.T) {
+	// The whole point of the paper: predictions from profiled
+	// parameters must match predictions from the true parameters.
+	truth := workload.TPCWOrdering()
+	profiled, _, err := Profile(truth, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's own validation margin is 15%; SM at high replica
+	// counts is the most sensitive point (saturated master plus abort
+	// feedback), so that is the accuracy bar here too.
+	ideal := core.NewParams(truth)
+	for _, n := range []int{1, 4, 8, 16} {
+		a := core.PredictMM(profiled, n).Throughput
+		b := core.PredictMM(ideal, n).Throughput
+		if e := stats.RelativeError(a, b); e > 0.15 {
+			t.Errorf("MM N=%d: profiled-params prediction %.1f vs ideal %.1f (err %.0f%%)", n, a, b, e*100)
+		}
+		a = core.PredictSM(profiled, n).Throughput
+		b = core.PredictSM(ideal, n).Throughput
+		if e := stats.RelativeError(a, b); e > 0.15 {
+			t.Errorf("SM N=%d: profiled-params prediction %.1f vs ideal %.1f (err %.0f%%)", n, a, b, e*100)
+		}
+	}
+}
+
+func TestProfileRejectsInvalidMix(t *testing.T) {
+	bad := workload.TPCWShopping()
+	bad.Clients = 0
+	if _, _, err := Profile(bad, Options{}); err == nil {
+		t.Fatal("invalid mix accepted")
+	}
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	a, _, err := Profile(workload.TPCWBrowsing(), Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Profile(workload.TPCWBrowsing(), Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.L1 != b.L1 || a.Mix.RC != b.Mix.RC {
+		t.Fatal("profiling not deterministic for equal seeds")
+	}
+}
+
+func TestL1MatchesModelEstimate(t *testing.T) {
+	truth := workload.TPCWShopping()
+	params, _, err := Profile(truth, Options{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := core.EstimateL1(core.Params{Mix: truth})
+	if e := stats.RelativeError(params.L1, est); e > 0.15 {
+		t.Errorf("measured L1 %.1fms vs model estimate %.1fms (err %.0f%%)",
+			params.L1*1000, est*1000, e*100)
+	}
+}

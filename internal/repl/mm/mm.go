@@ -1,0 +1,293 @@
+// Package mm implements the multi-master replicated database of §5.1
+// (Tashkent-style): every replica executes both read-only and update
+// transactions against its local snapshot-isolated database; a proxy
+// extracts writesets eagerly, a replicated certifier detects
+// system-wide write-write conflicts and assigns global versions, and
+// committed writesets are propagated to all other replicas and applied
+// in commit order.
+//
+// Under generalized snapshot isolation a transaction's snapshot is the
+// latest version its replica has applied — possibly older than the
+// globally latest — so it is available without communication; the
+// certifier closes the gap at commit time.
+package mm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/certifier"
+	"repro/internal/lb"
+	"repro/internal/paxos"
+	"repro/internal/repl"
+	"repro/internal/sidb"
+	"repro/internal/writeset"
+)
+
+// Options configure a multi-master cluster.
+type Options struct {
+	// Replicas is the number of database replicas (>= 1).
+	Replicas int
+	// ReplicatedCertifier runs the certifier over a 3-node Paxos group
+	// (leader + two backups), as in the paper's deployment.
+	ReplicatedCertifier bool
+	// EagerCertification makes the proxy certify partial writesets on
+	// every write, aborting doomed transactions early (§5.1). Commit
+	// certification happens regardless.
+	EagerCertification bool
+}
+
+// replica is one database node plus its proxy state.
+type replica struct {
+	id int
+	db *sidb.DB
+
+	mu      sync.Mutex // serializes writeset application
+	applied int64      // highest version applied locally
+}
+
+// Cluster is a running multi-master system.
+type Cluster struct {
+	opts      Options
+	replicas  []*replica
+	cert      *certifier.Certifier
+	transport *paxos.LocalTransport // nil unless replicated
+	balancer  *lb.Balancer
+}
+
+// New creates a multi-master cluster.
+func New(opts Options) (*Cluster, error) {
+	if opts.Replicas < 1 {
+		return nil, fmt.Errorf("mm: %d replicas", opts.Replicas)
+	}
+	c := &Cluster{opts: opts, balancer: lb.New(opts.Replicas)}
+	for i := 0; i < opts.Replicas; i++ {
+		c.replicas = append(c.replicas, &replica{id: i, db: sidb.New()})
+	}
+	if opts.ReplicatedCertifier {
+		cert, tr, err := certifier.NewReplicated(3)
+		if err != nil {
+			return nil, err
+		}
+		c.cert, c.transport = cert, tr
+	} else {
+		c.cert = certifier.New()
+	}
+	return c, nil
+}
+
+// Replicas returns the replica count.
+func (c *Cluster) Replicas() int { return len(c.replicas) }
+
+// Certifier exposes the certification service (for stats and failure
+// injection in tests).
+func (c *Cluster) Certifier() *certifier.Certifier { return c.cert }
+
+// Transport returns the Paxos transport when the certifier is
+// replicated, else nil.
+func (c *Cluster) Transport() *paxos.LocalTransport { return c.transport }
+
+// CreateTable creates the table on every replica.
+func (c *Cluster) CreateTable(name string) error {
+	for _, r := range c.replicas {
+		if err := r.db.CreateTable(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load bulk-fills a table identically on every replica (initial load,
+// outside concurrency control).
+func (c *Cluster) Load(table string, rows int, value func(int64) string) error {
+	for _, r := range c.replicas {
+		if err := r.db.BulkLoad(table, rows, value); err != nil {
+			return err
+		}
+	}
+	// The load bumped each replica's local version identically; the
+	// certifier's global counter stays at zero, so the applied
+	// counters remain aligned at zero as well.
+	for _, r := range c.replicas {
+		r.applied = 0
+	}
+	return nil
+}
+
+// syncTo applies certified writesets up to the latest known version at
+// replica r, in version order.
+func (c *Cluster) syncTo(r *replica) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rec := range c.cert.Since(r.applied) {
+		// Replica-local version = load base + global version; since
+		// every replica loaded identically before traffic, applying at
+		// db.Version()+1 preserves order because records arrive in
+		// version order and r.applied tracks the global counter.
+		if err := r.db.ApplyWriteset(rec.Writeset, r.db.Version()+1); err != nil {
+			// Application of certified writesets cannot legally fail;
+			// a failure here is a programming error.
+			panic(fmt.Sprintf("mm: replica %d failed to apply version %d: %v", r.id, rec.Version, err))
+		}
+		r.applied = rec.Version
+	}
+}
+
+// Sync applies all outstanding writesets everywhere.
+func (c *Cluster) Sync() {
+	for _, r := range c.replicas {
+		c.syncTo(r)
+	}
+}
+
+// GC prunes the certification log up to the oldest version every
+// replica has applied. Since a fresh transaction's snapshot is its
+// replica's applied version, no live or future certification request
+// can reference a pruned version. It returns the number of log
+// records removed.
+func (c *Cluster) GC() int {
+	oldest := int64(1<<62 - 1)
+	for _, r := range c.replicas {
+		r.mu.Lock()
+		if r.applied < oldest {
+			oldest = r.applied
+		}
+		r.mu.Unlock()
+	}
+	if oldest <= 0 {
+		return 0
+	}
+	return c.cert.GC(oldest)
+}
+
+// TableDump snapshots a replica's table for convergence checks.
+func (c *Cluster) TableDump(replicaIdx int, table string) (map[int64]string, error) {
+	if replicaIdx < 0 || replicaIdx >= len(c.replicas) {
+		return nil, fmt.Errorf("mm: replica %d out of range", replicaIdx)
+	}
+	return c.replicas[replicaIdx].db.Dump(table)
+}
+
+// Txn is a client transaction proxied onto one replica.
+type Txn struct {
+	cluster  *Cluster
+	replica  *replica
+	inner    *sidb.Txn
+	snapshot int64 // global (certifier) version of the GSI snapshot
+	readOnly bool
+	done     bool
+}
+
+var _ repl.Txn = (*Txn)(nil)
+
+// BeginRead starts a read-only transaction at the least-loaded
+// replica.
+func (c *Cluster) BeginRead() (repl.Txn, error) { return c.begin(true) }
+
+// BeginUpdate starts an update transaction at the least-loaded
+// replica.
+func (c *Cluster) BeginUpdate() (repl.Txn, error) { return c.begin(false) }
+
+func (c *Cluster) begin(readOnly bool) (repl.Txn, error) {
+	idx := c.balancer.Acquire()
+	r := c.replicas[idx]
+	// GSI: the snapshot is whatever the replica has applied; no
+	// communication with the certifier is needed to begin. Taking the
+	// applied counter and the local snapshot under the application
+	// lock pins them to the same point in the version order — a
+	// writeset applied a moment later must count as concurrent.
+	r.mu.Lock()
+	snapshot := r.applied
+	inner := r.db.Begin()
+	r.mu.Unlock()
+	return &Txn{cluster: c, replica: r, inner: inner, snapshot: snapshot, readOnly: readOnly}, nil
+}
+
+// Read implements repl.Txn.
+func (t *Txn) Read(table string, row int64) (string, bool, error) {
+	return t.inner.Read(table, row)
+}
+
+// Write implements repl.Txn. With eager certification enabled the
+// partial writeset is checked against the certifier immediately and a
+// doomed transaction aborts early with repl.ErrAborted.
+func (t *Txn) Write(table string, row int64, value string) error {
+	if t.readOnly {
+		return repl.ErrReadOnlyTxn
+	}
+	if err := t.inner.Write(table, row, value); err != nil {
+		return err
+	}
+	if t.cluster.opts.EagerCertification {
+		partial := writeset.Writeset{Entries: []writeset.Entry{
+			{Key: writeset.Key{Table: table, Row: row}, Value: value},
+		}}
+		if conflict, _ := t.cluster.cert.Check(t.snapshot, partial); conflict {
+			return repl.ErrAborted
+		}
+	}
+	return nil
+}
+
+// Delete implements repl.Txn.
+func (t *Txn) Delete(table string, row int64) error {
+	if t.readOnly {
+		return repl.ErrReadOnlyTxn
+	}
+	return t.inner.Delete(table, row)
+}
+
+// Commit implements repl.Txn: read-only transactions commit locally;
+// update transactions extract their writeset, invoke the certifier
+// with (writeset, snapshot version), and on success the commit is
+// acknowledged once the writeset is durable at the certifier. The
+// writeset is then applied at every replica in commit order.
+func (t *Txn) Commit() error {
+	if t.done {
+		return sidb.ErrTxnDone
+	}
+	t.done = true
+	defer t.cluster.balancer.Release(t.replica.id)
+
+	ws := t.inner.Writeset()
+	if ws.Empty() {
+		// Read-only: commit immediately at the proxy (§5.1).
+		_, _, err := t.inner.Commit()
+		return err
+	}
+	snapshot := t.snapshot
+	outcome, err := t.cluster.cert.Certify(snapshot, ws)
+	if err != nil {
+		t.inner.Abort()
+		return err
+	}
+	if !outcome.Committed {
+		t.inner.Abort()
+		return fmt.Errorf("%w (conflicts with version %d)", repl.ErrAborted, outcome.ConflictWith)
+	}
+	// The transaction is durably committed. Discard the local
+	// speculative state and install the certified writeset in version
+	// order at the origin (and lazily everywhere else).
+	t.inner.Abort()
+	t.cluster.syncTo(t.replica)
+	// Propagate to the remaining replicas.
+	for _, r := range t.cluster.replicas {
+		if r != t.replica {
+			t.cluster.syncTo(r)
+		}
+	}
+	return nil
+}
+
+// Abort implements repl.Txn.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.inner.Abort()
+	t.cluster.balancer.Release(t.replica.id)
+}
+
+var _ repl.System = (*Cluster)(nil)
+var _ repl.Loader = (*Cluster)(nil)

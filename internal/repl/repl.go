@@ -1,0 +1,243 @@
+// Package repl defines the common surface of the two replicated
+// database designs (multi-master in repl/mm, single-master in repl/sm)
+// and a workload driver that exercises either through real concurrent
+// clients. These are the functional counterparts of the paper's
+// prototypes (§5); the performance counterparts live in
+// internal/cluster.
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ErrAborted reports a write-write conflict abort; the client should
+// retry the transaction, as the paper's servlets do.
+var ErrAborted = errors.New("repl: transaction aborted by certification")
+
+// ErrReadOnlyTxn reports a write attempted through a read-only
+// transaction handle.
+var ErrReadOnlyTxn = errors.New("repl: write on read-only transaction")
+
+// Txn is one client transaction against a replicated system.
+type Txn interface {
+	// Read returns the visible value of (table, row).
+	Read(table string, row int64) (string, bool, error)
+	// Write stages an update of (table, row).
+	Write(table string, row int64, value string) error
+	// Delete stages a row removal.
+	Delete(table string, row int64) error
+	// Commit finishes the transaction; ErrAborted signals a
+	// write-write conflict.
+	Commit() error
+	// Abort discards the transaction.
+	Abort()
+}
+
+// System is a replicated database as seen by the load driver.
+type System interface {
+	// BeginRead starts a read-only transaction (routed to any
+	// replica).
+	BeginRead() (Txn, error)
+	// BeginUpdate starts an update transaction (routed per design:
+	// any replica for MM, the master for SM).
+	BeginUpdate() (Txn, error)
+	// Sync blocks until every replica has applied all writesets
+	// committed so far.
+	Sync()
+	// Replicas returns the number of database replicas.
+	Replicas() int
+	// TableDump returns a canonical dump of one replica's table
+	// contents for convergence checks.
+	TableDump(replica int, table string) (map[int64]string, error)
+}
+
+// Loader populates tables; both designs implement it.
+type Loader interface {
+	// CreateTable makes an empty table on every replica.
+	CreateTable(name string) error
+	// Load fills table rows [0, rows) with value(row) on every
+	// replica, bypassing concurrency control (initial load).
+	Load(table string, rows int, value func(int64) string) error
+}
+
+// LoadCatalog creates and populates every table of a workload catalog
+// (scaled down by factor to keep tests fast; factor 1 loads full
+// size). Row values are deterministic.
+func LoadCatalog(l Loader, cat workload.Catalog, factor int) error {
+	if factor < 1 {
+		factor = 1
+	}
+	for _, name := range sortedTables(cat) {
+		rows := cat.Tables[name] / factor
+		if rows < 10 {
+			rows = 10
+		}
+		if err := l.CreateTable(name); err != nil {
+			return err
+		}
+		if err := l.Load(name, rows, func(r int64) string {
+			return fmt.Sprintf("%s-row-%d", name, r)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedTables returns catalog table names in deterministic order.
+func sortedTables(cat workload.Catalog) []string {
+	names := make([]string, 0, len(cat.Tables))
+	for n := range cat.Tables {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// DriveResult summarizes a workload run.
+type DriveResult struct {
+	Commits       int64
+	ReadCommits   int64
+	UpdateCommits int64
+	Aborts        int64 // update attempts that ended in ErrAborted
+	Errors        int64 // unexpected errors (should be zero)
+}
+
+// Drive runs clients concurrent closed-loop clients, each executing
+// txnsPerClient committed transactions drawn from the catalog at the
+// mix's read/update fractions against sys. Aborted updates are
+// retried until they commit. The row space of each template's table is
+// assumed loaded via LoadCatalog with the same factor.
+func Drive(sys System, cat workload.Catalog, mix workload.Mix, clients, txnsPerClient int, factor int, seed uint64) DriveResult {
+	if factor < 1 {
+		factor = 1
+	}
+	var res DriveResult
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	root := stats.NewRand(seed)
+	rngs := make([]*stats.Rand, clients)
+	for i := range rngs {
+		rngs[i] = root.Split()
+	}
+	for c := 0; c < clients; c++ {
+		rng := rngs[c]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local DriveResult
+			for i := 0; i < txnsPerClient; i++ {
+				tpl := cat.Pick(mix, rng)
+				rows := cat.Tables[tpl.Table] / factor
+				if rows < 10 {
+					rows = 10
+				}
+				if err := runTemplate(sys, tpl, rows, rng, &local); err != nil {
+					local.Errors++
+				}
+			}
+			mu.Lock()
+			res.Commits += local.Commits
+			res.ReadCommits += local.ReadCommits
+			res.UpdateCommits += local.UpdateCommits
+			res.Aborts += local.Aborts
+			res.Errors += local.Errors
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+// runTemplate executes one logical transaction until it commits.
+func runTemplate(sys System, tpl workload.TxnTemplate, rows int, rng *stats.Rand, res *DriveResult) error {
+	for {
+		var tx Txn
+		var err error
+		if tpl.ReadOnly {
+			tx, err = sys.BeginRead()
+		} else {
+			tx, err = sys.BeginUpdate()
+		}
+		if err != nil {
+			return err
+		}
+		for r := 0; r < tpl.ReadRows; r++ {
+			if _, _, err := tx.Read(tpl.Table, int64(rng.Intn(rows))); err != nil {
+				tx.Abort()
+				return err
+			}
+		}
+		aborted := false
+		for w := 0; w < tpl.Writes; w++ {
+			row := int64(rng.Intn(rows))
+			if err := tx.Write(tpl.Table, row, fmt.Sprintf("%s-%d", tpl.Name, rng.Uint64())); err != nil {
+				if errors.Is(err, ErrAborted) {
+					// Eager certification killed the transaction early.
+					tx.Abort()
+					res.Aborts++
+					aborted = true
+					break
+				}
+				tx.Abort()
+				return err
+			}
+		}
+		if aborted {
+			continue
+		}
+		switch err := tx.Commit(); {
+		case err == nil:
+			res.Commits++
+			if tpl.ReadOnly {
+				res.ReadCommits++
+			} else {
+				res.UpdateCommits++
+			}
+			return nil
+		case errors.Is(err, ErrAborted):
+			res.Aborts++
+			// Retry with a fresh snapshot.
+		default:
+			return err
+		}
+	}
+}
+
+// CheckConvergence verifies that all replicas hold identical contents
+// for the given tables, returning a descriptive error on divergence.
+func CheckConvergence(sys System, tables []string) error {
+	sys.Sync()
+	for _, table := range tables {
+		ref, err := sys.TableDump(0, table)
+		if err != nil {
+			return err
+		}
+		for r := 1; r < sys.Replicas(); r++ {
+			got, err := sys.TableDump(r, table)
+			if err != nil {
+				return err
+			}
+			if len(got) != len(ref) {
+				return fmt.Errorf("repl: table %q: replica %d has %d rows, replica 0 has %d",
+					table, r, len(got), len(ref))
+			}
+			for k, v := range ref {
+				if got[k] != v {
+					return fmt.Errorf("repl: table %q row %d: replica %d=%q, replica 0=%q",
+						table, k, r, got[k], v)
+				}
+			}
+		}
+	}
+	return nil
+}

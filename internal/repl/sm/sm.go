@@ -1,0 +1,291 @@
+// Package sm implements the single-master replicated database of §5.2
+// (Ganymed-style): the master database executes all update
+// transactions under ordinary first-committer-wins snapshot isolation;
+// slave databases are caches that execute read-only transactions and
+// apply the master's writesets in commit order through their slave
+// proxies — the only source of updates to a slave. The load balancer
+// dispatches updates to the master and reads to the least-loaded
+// replica, master included.
+//
+// No certifier is needed: the master's own concurrency control aborts
+// conflicting updates, which is what makes the single-master design
+// simpler to build (§2).
+package sm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/lb"
+	"repro/internal/repl"
+	"repro/internal/sidb"
+	"repro/internal/writeset"
+)
+
+// Options configure a single-master cluster.
+type Options struct {
+	// Replicas is the total node count: 1 master + Replicas-1 slaves.
+	Replicas int
+}
+
+// slave is one read-only replica plus its proxy state.
+type slave struct {
+	id int
+	db *sidb.DB
+
+	mu      sync.Mutex // serializes writeset application
+	applied int64      // highest master version applied
+}
+
+// Cluster is a running single-master system.
+type Cluster struct {
+	opts   Options
+	master *sidb.DB
+	slaves []*slave
+
+	// log retains committed master writesets for propagation, keyed
+	// densely by master version starting after the load base.
+	logMu sync.Mutex
+	log   map[int64]writeset.Writeset
+	base  int64 // master version after initial load
+
+	balancer *lb.Balancer // over all nodes: 0 = master, i>0 = slave i-1
+}
+
+// New creates a single-master cluster.
+func New(opts Options) (*Cluster, error) {
+	if opts.Replicas < 1 {
+		return nil, fmt.Errorf("sm: %d replicas", opts.Replicas)
+	}
+	c := &Cluster{
+		opts:     opts,
+		master:   sidb.New(),
+		log:      make(map[int64]writeset.Writeset),
+		balancer: lb.New(opts.Replicas),
+	}
+	for i := 1; i < opts.Replicas; i++ {
+		c.slaves = append(c.slaves, &slave{id: i, db: sidb.New()})
+	}
+	return c, nil
+}
+
+// Replicas returns the total node count.
+func (c *Cluster) Replicas() int { return 1 + len(c.slaves) }
+
+// CreateTable creates the table on the master and every slave.
+func (c *Cluster) CreateTable(name string) error {
+	if err := c.master.CreateTable(name); err != nil {
+		return err
+	}
+	for _, s := range c.slaves {
+		if err := s.db.CreateTable(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load bulk-fills a table identically everywhere (initial load).
+func (c *Cluster) Load(table string, rows int, value func(int64) string) error {
+	if err := c.master.BulkLoad(table, rows, value); err != nil {
+		return err
+	}
+	for _, s := range c.slaves {
+		if err := s.db.BulkLoad(table, rows, value); err != nil {
+			return err
+		}
+	}
+	c.logMu.Lock()
+	c.base = c.master.Version()
+	c.logMu.Unlock()
+	return nil
+}
+
+// record stores a committed writeset for propagation.
+func (c *Cluster) record(version int64, ws writeset.Writeset) {
+	c.logMu.Lock()
+	c.log[version] = ws
+	c.logMu.Unlock()
+}
+
+// next fetches the writeset for a version, if the master committed it.
+func (c *Cluster) next(version int64) (writeset.Writeset, bool) {
+	c.logMu.Lock()
+	defer c.logMu.Unlock()
+	ws, ok := c.log[version]
+	return ws, ok
+}
+
+// syncSlave applies the dense prefix of pending writesets at s. Master
+// versions are dense (every commit increments by one), so the slave
+// proxy applies version applied+base+1, +2, ... until it runs out.
+func (c *Cluster) syncSlave(s *slave) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		v := c.baseVersion() + s.applied + 1
+		ws, ok := c.next(v)
+		if !ok {
+			return
+		}
+		if err := s.db.ApplyWriteset(ws, s.db.Version()+1); err != nil {
+			panic(fmt.Sprintf("sm: slave %d failed to apply version %d: %v", s.id, v, err))
+		}
+		s.applied++
+	}
+}
+
+func (c *Cluster) baseVersion() int64 {
+	c.logMu.Lock()
+	defer c.logMu.Unlock()
+	return c.base
+}
+
+// Sync drains the propagation log into every slave.
+func (c *Cluster) Sync() {
+	for _, s := range c.slaves {
+		c.syncSlave(s)
+	}
+}
+
+// GCLog prunes propagated writesets every slave has applied, returning
+// the number of entries removed.
+func (c *Cluster) GCLog() int {
+	minApplied := int64(1<<62 - 1)
+	for _, s := range c.slaves {
+		s.mu.Lock()
+		if s.applied < minApplied {
+			minApplied = s.applied
+		}
+		s.mu.Unlock()
+	}
+	if len(c.slaves) == 0 {
+		minApplied = 0
+	}
+	c.logMu.Lock()
+	defer c.logMu.Unlock()
+	removed := 0
+	for v := range c.log {
+		if v <= c.base+minApplied {
+			delete(c.log, v)
+			removed++
+		}
+	}
+	return removed
+}
+
+// TableDump snapshots a node's table: index 0 is the master, i>0 the
+// (i-1)-th slave.
+func (c *Cluster) TableDump(node int, table string) (map[int64]string, error) {
+	var db *sidb.DB
+	switch {
+	case node == 0:
+		db = c.master
+	case node > 0 && node <= len(c.slaves):
+		db = c.slaves[node-1].db
+	default:
+		return nil, fmt.Errorf("sm: node %d out of range", node)
+	}
+	return db.Dump(table)
+}
+
+// Txn is a client transaction. Updates run on the master; reads run on
+// whichever node the balancer chose.
+type Txn struct {
+	cluster  *Cluster
+	node     int // balancer index
+	inner    *sidb.Txn
+	readOnly bool
+	done     bool
+}
+
+var _ repl.Txn = (*Txn)(nil)
+
+// BeginRead starts a read-only transaction on the least-loaded node
+// (master included, §5.2).
+func (c *Cluster) BeginRead() (repl.Txn, error) {
+	node := c.balancer.Acquire()
+	var inner *sidb.Txn
+	if node == 0 {
+		inner = c.master.Begin()
+	} else {
+		s := c.slaves[node-1]
+		s.mu.Lock()
+		inner = s.db.Begin()
+		s.mu.Unlock()
+	}
+	return &Txn{cluster: c, node: node, inner: inner, readOnly: true}, nil
+}
+
+// BeginUpdate starts an update transaction on the master.
+func (c *Cluster) BeginUpdate() (repl.Txn, error) {
+	node, err := c.balancer.AcquireWhere(func(i int) bool { return i == 0 })
+	if err != nil {
+		return nil, err
+	}
+	return &Txn{cluster: c, node: node, inner: c.master.Begin()}, nil
+}
+
+// Read implements repl.Txn.
+func (t *Txn) Read(table string, row int64) (string, bool, error) {
+	return t.inner.Read(table, row)
+}
+
+// Write implements repl.Txn. Slave proxies reject writes: they are
+// the only source of updates to their database.
+func (t *Txn) Write(table string, row int64, value string) error {
+	if t.readOnly {
+		return repl.ErrReadOnlyTxn
+	}
+	return t.inner.Write(table, row, value)
+}
+
+// Delete implements repl.Txn.
+func (t *Txn) Delete(table string, row int64) error {
+	if t.readOnly {
+		return repl.ErrReadOnlyTxn
+	}
+	return t.inner.Delete(table, row)
+}
+
+// Commit implements repl.Txn. Read-only transactions always commit.
+// Updates commit at the master under first-committer-wins; on success
+// the master proxy extracts the writeset (the trigger mechanism of
+// §5.2) and hands it to the load balancer for relay to the slaves.
+func (t *Txn) Commit() error {
+	if t.done {
+		return sidb.ErrTxnDone
+	}
+	t.done = true
+	defer t.cluster.balancer.Release(t.node)
+
+	ws, version, err := t.inner.Commit()
+	if err != nil {
+		if errors.Is(err, sidb.ErrConflict) {
+			return fmt.Errorf("%w (%v)", repl.ErrAborted, err)
+		}
+		return err
+	}
+	if ws.Empty() {
+		return nil
+	}
+	t.cluster.record(version, ws)
+	for _, s := range t.cluster.slaves {
+		t.cluster.syncSlave(s)
+	}
+	return nil
+}
+
+// Abort implements repl.Txn.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.inner.Abort()
+	t.cluster.balancer.Release(t.node)
+}
+
+var _ repl.System = (*Cluster)(nil)
+var _ repl.Loader = (*Cluster)(nil)

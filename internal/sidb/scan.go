@@ -1,0 +1,85 @@
+package sidb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/writeset"
+)
+
+// Scan returns every row of the table visible to the transaction's
+// snapshot (including the transaction's own writes), keyed by row id.
+// The result is a private copy.
+func (tx *Txn) Scan(tableName string) (map[int64]string, error) {
+	if tx.done {
+		return nil, ErrTxnDone
+	}
+	out := make(map[int64]string)
+	tx.db.mu.Lock()
+	t, exists := tx.db.tables[tableName]
+	if !exists {
+		tx.db.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, tableName)
+	}
+	for key, r := range t.rows {
+		if v, ok := r.visible(tx.snapshot); ok && !v.deleted {
+			out[key] = v.value
+		}
+	}
+	tx.db.mu.Unlock()
+
+	// Overlay the transaction's own pending writes.
+	for k, e := range tx.writes {
+		if k.Table != tableName {
+			continue
+		}
+		if e.Delete {
+			delete(out, k.Row)
+		} else {
+			out[k.Row] = e.Value
+		}
+	}
+	return out, nil
+}
+
+// ScanKeys returns the visible row ids of a table in ascending order.
+func (tx *Txn) ScanKeys(tableName string) ([]int64, error) {
+	rows, err := tx.Scan(tableName)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]int64, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys, nil
+}
+
+// Dump returns a consistent snapshot of a table's live contents using
+// a throwaway read-only transaction.
+func (db *DB) Dump(tableName string) (map[int64]string, error) {
+	tx := db.Begin()
+	defer tx.Abort()
+	return tx.Scan(tableName)
+}
+
+// BulkLoad fills rows [0, rows) of a table with value(row) in one
+// internally versioned installation, bypassing concurrency control.
+// It is the initial-load path replicas use before traffic starts.
+func (db *DB) BulkLoad(tableName string, rows int, value func(int64) string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[tableName]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoTable, tableName)
+	}
+	ws := writeset.Writeset{Entries: make([]writeset.Entry, 0, rows)}
+	for i := int64(0); i < int64(rows); i++ {
+		ws.Entries = append(ws.Entries, writeset.Entry{
+			Key:   writeset.Key{Table: tableName, Row: i},
+			Value: value(i),
+		})
+	}
+	db.installLocked(ws, db.version+1)
+	return nil
+}

@@ -1,0 +1,275 @@
+// Package sidb is an in-memory multi-version storage engine providing
+// snapshot isolation (SI) and generalized snapshot isolation (GSI),
+// the concurrency-control substrate of the paper's replicated systems.
+// It stands in for PostgreSQL running at the "serializable" (snapshot)
+// isolation level in the authors' prototypes (§5).
+//
+// Semantics implemented:
+//
+//   - Every transaction receives a snapshot: the version of the last
+//     committed state visible at begin time (Begin), or an explicitly
+//     older version for GSI replicas (BeginAt), and reads exclusively
+//     from it plus its own writes.
+//   - Read-only transactions always commit; they never block or abort
+//     and never cause update transactions to block or abort.
+//   - Update transactions commit only if no concurrent committed
+//     transaction wrote an overlapping row (first-committer-wins
+//     write-write conflict detection at row granularity).
+//   - Committing produces a Writeset that captures the transaction's
+//     effects for certification and update propagation, the way the
+//     prototype extracts writesets with triggers (§4.1.1).
+//   - ApplyWriteset installs a remote transaction's effects at an
+//     explicit global version, the slave/replica proxy path.
+//
+// The engine is safe for concurrent use.
+package sidb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/writeset"
+)
+
+// Common errors.
+var (
+	// ErrConflict reports a write-write conflict with a concurrently
+	// committed transaction; the transaction was aborted.
+	ErrConflict = errors.New("sidb: write-write conflict")
+	// ErrTxnDone reports use of a committed or aborted transaction.
+	ErrTxnDone = errors.New("sidb: transaction already finished")
+	// ErrNoTable reports an operation on an unknown table.
+	ErrNoTable = errors.New("sidb: no such table")
+	// ErrStaleVersion reports applying a writeset at a version not
+	// newer than the database's current version.
+	ErrStaleVersion = errors.New("sidb: writeset version not newer than database version")
+)
+
+// rowVersion is one committed version of a row.
+type rowVersion struct {
+	version int64
+	value   string
+	deleted bool
+}
+
+// row is a version chain, ascending by version.
+type row struct {
+	versions []rowVersion
+}
+
+// visible returns the newest version at or below snapshot.
+func (r *row) visible(snapshot int64) (rowVersion, bool) {
+	// Version chains are short (GC keeps them trimmed); scan from the
+	// newest end.
+	for i := len(r.versions) - 1; i >= 0; i-- {
+		if r.versions[i].version <= snapshot {
+			return r.versions[i], true
+		}
+	}
+	return rowVersion{}, false
+}
+
+// latest returns the newest committed version number of the row.
+func (r *row) latest() int64 {
+	if len(r.versions) == 0 {
+		return 0
+	}
+	return r.versions[len(r.versions)-1].version
+}
+
+// table is a named collection of rows keyed by int64.
+type table struct {
+	rows map[int64]*row
+}
+
+// DB is a snapshot-isolated multi-version database.
+type DB struct {
+	mu      sync.Mutex
+	tables  map[string]*table
+	version int64 // version of the latest committed state
+
+	active  map[int64]int // snapshot version -> number of active txns
+	commits int64
+	aborts  int64
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{
+		tables: make(map[string]*table),
+		active: make(map[int64]int),
+	}
+}
+
+// CreateTable adds an empty table; creating an existing table is an
+// error.
+func (db *DB) CreateTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return fmt.Errorf("sidb: table %q already exists", name)
+	}
+	db.tables[name] = &table{rows: make(map[int64]*row)}
+	return nil
+}
+
+// Tables returns the table names in sorted order.
+func (db *DB) Tables() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Version returns the version of the latest committed state.
+func (db *DB) Version() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.version
+}
+
+// Stats returns the number of committed and aborted update
+// transactions (read-only commits are not counted).
+func (db *DB) Stats() (commits, aborts int64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.commits, db.aborts
+}
+
+// Begin starts a transaction on the latest committed snapshot (SI).
+func (db *DB) Begin() *Txn {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.beginLocked(db.version)
+}
+
+// BeginAt starts a transaction on an explicit snapshot version, which
+// may be older than the latest (GSI). It is capped at the current
+// version: a replica cannot observe the future.
+func (db *DB) BeginAt(snapshot int64) *Txn {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if snapshot > db.version {
+		snapshot = db.version
+	}
+	if snapshot < 0 {
+		snapshot = 0
+	}
+	return db.beginLocked(snapshot)
+}
+
+func (db *DB) beginLocked(snapshot int64) *Txn {
+	db.active[snapshot]++
+	return &Txn{
+		db:       db,
+		snapshot: snapshot,
+		writes:   make(map[writeset.Key]writeset.Entry),
+	}
+}
+
+// oldestActiveLocked returns the oldest snapshot still in use, or the
+// current version when idle.
+func (db *DB) oldestActiveLocked() int64 {
+	oldest := db.version
+	for v := range db.active {
+		if v < oldest {
+			oldest = v
+		}
+	}
+	return oldest
+}
+
+// release marks a transaction's snapshot as no longer in use.
+func (db *DB) release(snapshot int64) {
+	if n := db.active[snapshot]; n <= 1 {
+		delete(db.active, snapshot)
+	} else {
+		db.active[snapshot] = n - 1
+	}
+}
+
+// ApplyWriteset installs a remote transaction's writeset at the given
+// global version. Versions must arrive in increasing order (the
+// replica proxy applies writesets in commit order); unknown tables are
+// created implicitly because a propagated writeset is authoritative.
+func (db *DB) ApplyWriteset(ws writeset.Writeset, version int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if version <= db.version {
+		return fmt.Errorf("%w: %d <= %d", ErrStaleVersion, version, db.version)
+	}
+	db.installLocked(ws, version)
+	return nil
+}
+
+// installLocked writes every entry of ws as version v and advances the
+// database version.
+func (db *DB) installLocked(ws writeset.Writeset, v int64) {
+	for _, e := range ws.Entries {
+		t, ok := db.tables[e.Key.Table]
+		if !ok {
+			t = &table{rows: make(map[int64]*row)}
+			db.tables[e.Key.Table] = t
+		}
+		r, ok := t.rows[e.Key.Row]
+		if !ok {
+			r = &row{}
+			t.rows[e.Key.Row] = r
+		}
+		r.versions = append(r.versions, rowVersion{version: v, value: e.Value, deleted: e.Delete})
+	}
+	db.version = v
+}
+
+// GC prunes row versions that no active or future snapshot can see:
+// for each row, versions strictly older than the newest version at or
+// below the oldest active snapshot are dropped. It returns the number
+// of versions removed.
+func (db *DB) GC() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	horizon := db.oldestActiveLocked()
+	removed := 0
+	for _, t := range db.tables {
+		for _, r := range t.rows {
+			keep := 0
+			// Find the newest version <= horizon; everything before it
+			// is invisible to every present and future snapshot.
+			for i := len(r.versions) - 1; i >= 0; i-- {
+				if r.versions[i].version <= horizon {
+					keep = i
+					break
+				}
+			}
+			if keep > 0 {
+				removed += keep
+				r.versions = append([]rowVersion(nil), r.versions[keep:]...)
+			}
+		}
+	}
+	return removed
+}
+
+// rowCount returns the number of live rows in a table (latest visible
+// version not deleted), for tests and loaders.
+func (db *DB) RowCount(tableName string) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoTable, tableName)
+	}
+	n := 0
+	for _, r := range t.rows {
+		if len(r.versions) > 0 && !r.versions[len(r.versions)-1].deleted {
+			n++
+		}
+	}
+	return n, nil
+}

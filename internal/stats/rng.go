@@ -1,0 +1,156 @@
+// Package stats provides deterministic random number streams and
+// online statistics used by the simulator, the workload generators and
+// the experiment harness.
+//
+// All randomness in the repository flows through Rand so that every
+// experiment is reproducible from a seed. The implementation is a
+// 64-bit SplitMix64 generator feeding an xorshift128+ state; both are
+// small, fast and well understood, and the package depends only on the
+// standard library.
+package stats
+
+import "math"
+
+// Rand is a deterministic pseudo-random number generator.
+//
+// The zero value is not usable; construct with NewRand. Rand is not
+// safe for concurrent use; give each simulated process its own stream
+// (see Split).
+type Rand struct {
+	s0, s1 uint64
+}
+
+// NewRand returns a generator seeded from seed. Distinct seeds yield
+// independent-looking streams; the seed is expanded through SplitMix64
+// so that small seeds (0, 1, 2...) are fine.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	r.s0 = splitmix64(&sm)
+	r.s1 = splitmix64(&sm)
+	// Avoid the all-zero state, which xorshift cannot leave.
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 0x9E3779B97F4A7C15
+	}
+	return r
+}
+
+// splitmix64 advances *x and returns the next SplitMix64 output.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9E3779B97F4A7C15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Split derives a new generator from r's stream. The child is
+// independent of subsequent draws from r, which makes it convenient to
+// hand one stream to each simulated client.
+func (r *Rand) Split() *Rand {
+	return NewRand(r.Uint64())
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	// xorshift128+
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	// Use the top 53 bits for a uniformly distributed mantissa.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("stats: Int63n called with n <= 0")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Exp returns an exponentially distributed sample with the given mean.
+// A zero or negative mean returns 0, which lets callers model constant
+// zero-cost steps without special cases.
+func (r *Rand) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	// Guard against log(0).
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Uniform returns a uniform sample in [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bernoulli returns true with probability p.
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// SampleWithoutReplacement returns k distinct values drawn uniformly
+// from [0, n). It panics if k > n or k < 0. For k much smaller than n
+// it uses rejection from a set, which is O(k) expected time.
+func (r *Rand) SampleWithoutReplacement(n, k int) []int {
+	if k < 0 || k > n {
+		panic("stats: SampleWithoutReplacement requires 0 <= k <= n")
+	}
+	if k == 0 {
+		return nil
+	}
+	if k*4 >= n {
+		// Dense case: partial Fisher-Yates.
+		p := r.Perm(n)
+		return p[:k]
+	}
+	seen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := r.Intn(n)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}

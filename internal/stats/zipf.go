@@ -1,0 +1,68 @@
+package stats
+
+import "math"
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^theta. It is used by the hotspot sensitivity experiments:
+// the paper's abort model assumes updatable rows are touched uniformly
+// (§3.4 assumption 4), and skewed access is exactly how that
+// assumption breaks in practice.
+//
+// The implementation inverts the CDF with binary search over
+// precomputed cumulative weights: O(n) setup, O(log n) per sample,
+// exact for any theta >= 0 (theta 0 is uniform).
+type Zipf struct {
+	cum []float64 // cumulative normalized weights
+}
+
+// NewZipf builds a sampler over n ranks with skew theta. It panics on
+// n <= 0 or negative theta.
+func NewZipf(n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf needs n > 0")
+	}
+	if theta < 0 {
+		panic("stats: negative Zipf skew")
+	}
+	cum := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), theta)
+		cum[i] = total
+	}
+	inv := 1 / total
+	for i := range cum {
+		cum[i] *= inv
+	}
+	cum[n-1] = 1 // guard against rounding
+	return &Zipf{cum: cum}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Sample draws one rank using r.
+func (z *Zipf) Sample(r *Rand) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cum) {
+		return 0
+	}
+	if i == 0 {
+		return z.cum[0]
+	}
+	return z.cum[i] - z.cum[i-1]
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfUniformWhenThetaZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	for i := 0; i < 10; i++ {
+		if math.Abs(z.Prob(i)-0.1) > 1e-12 {
+			t.Fatalf("theta=0 prob[%d] = %v", i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfProbabilitiesDecreasing(t *testing.T) {
+	z := NewZipf(100, 0.99)
+	for i := 1; i < 100; i++ {
+		if z.Prob(i) > z.Prob(i-1)+1e-15 {
+			t.Fatalf("prob increased at rank %d", i)
+		}
+	}
+	var sum float64
+	for i := 0; i < 100; i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestZipfSampleMatchesProb(t *testing.T) {
+	z := NewZipf(20, 1.0)
+	r := NewRand(1)
+	counts := make([]int, 20)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	for i := 0; i < 20; i++ {
+		got := float64(counts[i]) / n
+		want := z.Prob(i)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("rank %d: frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestZipfSkewConcentrates(t *testing.T) {
+	flat := NewZipf(1000, 0.2)
+	skew := NewZipf(1000, 1.2)
+	if skew.Prob(0) <= flat.Prob(0) {
+		t.Fatal("higher theta should concentrate mass on rank 0")
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	z := NewZipf(5, 0.9)
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := z.Sample(r)
+		if v < 0 || v >= 5 {
+			t.Fatalf("sample %d out of range", v)
+		}
+	}
+	if z.N() != 5 {
+		t.Fatalf("N = %d", z.N())
+	}
+	if z.Prob(-1) != 0 || z.Prob(5) != 0 {
+		t.Fatal("out-of-range prob not 0")
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(0, 1) },
+		func() { NewZipf(5, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

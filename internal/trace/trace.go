@@ -1,0 +1,379 @@
+// Package trace implements transaction-log capture and replay, the
+// workload-characterization front end of §4.1.1: the paper captures
+// the standalone database's statement log (full SQL text, a session
+// identifier, a start timestamp — e.g. PostgreSQL's log_statement
+// facilities) plus trigger-extracted writesets, and plays it back to
+// measure service demands.
+//
+// This package defines an equivalent log format, a generator that
+// synthesizes a log from a workload catalog (standing in for capture
+// on a production system), a text codec, counting utilities (Pr, Pw,
+// abort rate) and a replayer that executes the log against a
+// standalone sidb instance.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sidb"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// OpKind is the kind of logged statement.
+type OpKind int
+
+const (
+	// OpBegin starts a transaction.
+	OpBegin OpKind = iota
+	// OpSelect reads one row.
+	OpSelect
+	// OpUpdate writes one row.
+	OpUpdate
+	// OpDelete removes one row.
+	OpDelete
+	// OpCommit ends a transaction successfully.
+	OpCommit
+	// OpAbort records a client- or conflict-initiated rollback.
+	OpAbort
+)
+
+// String returns the SQL-ish verb.
+func (k OpKind) String() string {
+	switch k {
+	case OpBegin:
+		return "BEGIN"
+	case OpSelect:
+		return "SELECT"
+	case OpUpdate:
+		return "UPDATE"
+	case OpDelete:
+		return "DELETE"
+	case OpCommit:
+		return "COMMIT"
+	case OpAbort:
+		return "ROLLBACK"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Entry is one logged statement.
+type Entry struct {
+	Timestamp float64 // seconds since trace start
+	Session   int     // client/session identifier
+	Kind      OpKind
+	Table     string // SELECT/UPDATE/DELETE only
+	Row       int64  // SELECT/UPDATE/DELETE only
+	Value     string // UPDATE only (the after-image the trigger caught)
+}
+
+// Statement renders the entry the way a database log would show it.
+func (e Entry) Statement() string {
+	switch e.Kind {
+	case OpSelect:
+		return fmt.Sprintf("SELECT * FROM %s WHERE id = %d", e.Table, e.Row)
+	case OpUpdate:
+		return fmt.Sprintf("UPDATE %s SET val = '%s' WHERE id = %d", e.Table, e.Value, e.Row)
+	case OpDelete:
+		return fmt.Sprintf("DELETE FROM %s WHERE id = %d", e.Table, e.Row)
+	default:
+		return e.Kind.String()
+	}
+}
+
+// Trace is a captured transaction log.
+type Trace struct {
+	Entries []Entry
+}
+
+// Counts summarizes a trace the way §4.1.1 counts the log.
+type Counts struct {
+	ReadOnlyTxns int
+	UpdateTxns   int
+	AbortedTxns  int
+	Statements   int
+}
+
+// Pr returns the read-only fraction among committed transactions.
+func (c Counts) Pr() float64 {
+	total := c.ReadOnlyTxns + c.UpdateTxns
+	if total == 0 {
+		return 0
+	}
+	return float64(c.ReadOnlyTxns) / float64(total)
+}
+
+// Pw returns the update fraction among committed transactions.
+func (c Counts) Pw() float64 {
+	total := c.ReadOnlyTxns + c.UpdateTxns
+	if total == 0 {
+		return 0
+	}
+	return float64(c.UpdateTxns) / float64(total)
+}
+
+// A1 returns the measured abort probability: aborts over update
+// attempts (update commits + aborts).
+func (c Counts) A1() float64 {
+	attempts := c.UpdateTxns + c.AbortedTxns
+	if attempts == 0 {
+		return 0
+	}
+	return float64(c.AbortedTxns) / float64(attempts)
+}
+
+// Count tallies transactions per §4.1.1: a transaction is an update
+// transaction if it performed any UPDATE/DELETE before its COMMIT.
+func (t Trace) Count() Counts {
+	var c Counts
+	type state struct{ wrote bool }
+	sessions := map[int]*state{}
+	for _, e := range t.Entries {
+		c.Statements++
+		s := sessions[e.Session]
+		if s == nil {
+			s = &state{}
+			sessions[e.Session] = s
+		}
+		switch e.Kind {
+		case OpBegin:
+			s.wrote = false
+		case OpUpdate, OpDelete:
+			s.wrote = true
+		case OpCommit:
+			if s.wrote {
+				c.UpdateTxns++
+			} else {
+				c.ReadOnlyTxns++
+			}
+			s.wrote = false
+		case OpAbort:
+			c.AbortedTxns++
+			s.wrote = false
+		}
+	}
+	return c
+}
+
+// Generate synthesizes a trace of txns transactions drawn from the
+// catalog at the mix's fractions across the given number of client
+// sessions, with exponential think times setting the timestamps. It
+// stands in for capturing a live standalone system's log.
+func Generate(cat workload.Catalog, mix workload.Mix, sessions, txns int, seed uint64) Trace {
+	rng := stats.NewRand(seed)
+	clock := make([]float64, sessions)
+	var tr Trace
+	for i := 0; i < txns; i++ {
+		sess := i % sessions
+		clock[sess] += rng.Exp(mix.Think)
+		tpl := cat.Pick(mix, rng)
+		rows := cat.Tables[tpl.Table]
+		emit := func(kind OpKind, row int64, value string) {
+			tr.Entries = append(tr.Entries, Entry{
+				Timestamp: clock[sess],
+				Session:   sess,
+				Kind:      kind,
+				Table:     tpl.Table,
+				Row:       row,
+				Value:     value,
+			})
+			clock[sess] += 0.001 // statement pacing within the txn
+		}
+		tr.Entries = append(tr.Entries, Entry{Timestamp: clock[sess], Session: sess, Kind: OpBegin})
+		for r := 0; r < tpl.ReadRows; r++ {
+			emit(OpSelect, int64(rng.Intn(rows)), "")
+		}
+		for w := 0; w < tpl.Writes; w++ {
+			emit(OpUpdate, int64(rng.Intn(rows)), fmt.Sprintf("%s-%d", tpl.Name, i))
+		}
+		tr.Entries = append(tr.Entries, Entry{Timestamp: clock[sess], Session: sess, Kind: OpCommit})
+	}
+	return tr
+}
+
+// Encode writes the trace in the text log format, one line per
+// statement: "<ts> <session> <statement>".
+func Encode(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range t.Entries {
+		if _, err := fmt.Fprintf(bw, "%.6f %d %s\n", e.Timestamp, e.Session, e.Statement()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses the text log format back into a Trace.
+func Decode(r io.Reader) (Trace, error) {
+	var t Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := parseLine(line)
+		if err != nil {
+			return Trace{}, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		t.Entries = append(t.Entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return Trace{}, err
+	}
+	return t, nil
+}
+
+// parseLine parses one "<ts> <session> <statement>" line.
+func parseLine(line string) (Entry, error) {
+	fields := strings.SplitN(line, " ", 3)
+	if len(fields) != 3 {
+		return Entry{}, fmt.Errorf("malformed line %q", line)
+	}
+	ts, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return Entry{}, fmt.Errorf("bad timestamp: %w", err)
+	}
+	sess, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Entry{}, fmt.Errorf("bad session: %w", err)
+	}
+	e := Entry{Timestamp: ts, Session: sess}
+	stmt := fields[2]
+	switch {
+	case stmt == "BEGIN":
+		e.Kind = OpBegin
+	case stmt == "COMMIT":
+		e.Kind = OpCommit
+	case stmt == "ROLLBACK":
+		e.Kind = OpAbort
+	case strings.HasPrefix(stmt, "SELECT * FROM "):
+		e.Kind = OpSelect
+		if _, err := fmt.Sscanf(stmt, "SELECT * FROM %s WHERE id = %d", &e.Table, &e.Row); err != nil {
+			return Entry{}, fmt.Errorf("bad SELECT %q: %w", stmt, err)
+		}
+	case strings.HasPrefix(stmt, "DELETE FROM "):
+		e.Kind = OpDelete
+		if _, err := fmt.Sscanf(stmt, "DELETE FROM %s WHERE id = %d", &e.Table, &e.Row); err != nil {
+			return Entry{}, fmt.Errorf("bad DELETE %q: %w", stmt, err)
+		}
+	case strings.HasPrefix(stmt, "UPDATE "):
+		e.Kind = OpUpdate
+		rest := strings.TrimPrefix(stmt, "UPDATE ")
+		sp := strings.Index(rest, " SET val = '")
+		if sp < 0 {
+			return Entry{}, fmt.Errorf("bad UPDATE %q", stmt)
+		}
+		e.Table = rest[:sp]
+		rest = rest[sp+len(" SET val = '"):]
+		end := strings.LastIndex(rest, "' WHERE id = ")
+		if end < 0 {
+			return Entry{}, fmt.Errorf("bad UPDATE %q", stmt)
+		}
+		e.Value = rest[:end]
+		row, err := strconv.ParseInt(rest[end+len("' WHERE id = "):], 10, 64)
+		if err != nil {
+			return Entry{}, fmt.Errorf("bad UPDATE row: %w", err)
+		}
+		e.Row = row
+	default:
+		return Entry{}, fmt.Errorf("unknown statement %q", stmt)
+	}
+	return e, nil
+}
+
+// ReplayResult reports a replay against a standalone database.
+type ReplayResult struct {
+	Committed int
+	Aborted   int // write-write conflicts during replay
+	Writesets int // writesets extracted (committed update txns)
+}
+
+// Replay executes the trace against db in log order, maintaining one
+// open transaction per session. Conflicting transactions abort and are
+// counted (they are not retried: a replay reproduces the log, it does
+// not drive load). Tables referenced by the trace must exist.
+func Replay(db *sidb.DB, t Trace) (ReplayResult, error) {
+	var res ReplayResult
+	open := map[int]*sidb.Txn{}
+	for _, e := range t.Entries {
+		tx := open[e.Session]
+		switch e.Kind {
+		case OpBegin:
+			if tx != nil {
+				tx.Abort()
+			}
+			open[e.Session] = db.Begin()
+		case OpSelect:
+			if tx == nil {
+				continue
+			}
+			if _, _, err := tx.Read(e.Table, e.Row); err != nil {
+				return res, err
+			}
+		case OpUpdate:
+			if tx == nil {
+				continue
+			}
+			if err := tx.Write(e.Table, e.Row, e.Value); err != nil {
+				return res, err
+			}
+		case OpDelete:
+			if tx == nil {
+				continue
+			}
+			if err := tx.Delete(e.Table, e.Row); err != nil {
+				return res, err
+			}
+		case OpCommit:
+			if tx == nil {
+				continue
+			}
+			ws, _, err := tx.Commit()
+			switch {
+			case err == nil:
+				res.Committed++
+				if !ws.Empty() {
+					res.Writesets++
+				}
+			case isConflict(err):
+				res.Aborted++
+			default:
+				return res, err
+			}
+			delete(open, e.Session)
+		case OpAbort:
+			if tx != nil {
+				tx.Abort()
+				res.Aborted++
+				delete(open, e.Session)
+			}
+		}
+	}
+	for _, tx := range open {
+		tx.Abort()
+	}
+	return res, nil
+}
+
+func isConflict(err error) bool {
+	for err != nil {
+		if err == sidb.ErrConflict {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

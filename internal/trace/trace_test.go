@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sidb"
+	"repro/internal/workload"
+)
+
+func TestGenerateCountsMatchMix(t *testing.T) {
+	cat := workload.TPCWCatalog()
+	mix := workload.TPCWShopping()
+	tr := Generate(cat, mix, 10, 5000, 1)
+	c := tr.Count()
+	if c.ReadOnlyTxns+c.UpdateTxns != 5000 {
+		t.Fatalf("committed txns = %d", c.ReadOnlyTxns+c.UpdateTxns)
+	}
+	if math.Abs(c.Pw()-mix.Pw) > 0.02 {
+		t.Fatalf("Pw from log = %.3f, want about %.2f", c.Pw(), mix.Pw)
+	}
+	if math.Abs(c.Pr()+c.Pw()-1) > 1e-9 {
+		t.Fatalf("Pr+Pw = %v", c.Pr()+c.Pw())
+	}
+	if c.A1() != 0 {
+		t.Fatalf("generated trace has aborts: %v", c.A1())
+	}
+}
+
+func TestGenerateTimestampsMonotonicPerSession(t *testing.T) {
+	tr := Generate(workload.RUBiSCatalog(), workload.RUBiSBidding(), 5, 500, 2)
+	last := map[int]float64{}
+	for _, e := range tr.Entries {
+		if e.Timestamp < last[e.Session] {
+			t.Fatalf("session %d time went backwards: %v -> %v", e.Session, last[e.Session], e.Timestamp)
+		}
+		last[e.Session] = e.Timestamp
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cat := workload.TPCWCatalog()
+	tr := Generate(cat, workload.TPCWOrdering(), 4, 200, 3)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != len(tr.Entries) {
+		t.Fatalf("entries %d != %d", len(back.Entries), len(tr.Entries))
+	}
+	for i := range tr.Entries {
+		a, b := tr.Entries[i], back.Entries[i]
+		if a.Session != b.Session || a.Kind != b.Kind || a.Table != b.Table || a.Row != b.Row || a.Value != b.Value {
+			t.Fatalf("entry %d: %+v != %+v", i, a, b)
+		}
+		if math.Abs(a.Timestamp-b.Timestamp) > 1e-5 {
+			t.Fatalf("entry %d: timestamp %v != %v", i, a.Timestamp, b.Timestamp)
+		}
+	}
+}
+
+func TestDecodeSkipsCommentsAndBlank(t *testing.T) {
+	in := "# a comment\n\n0.5 1 BEGIN\n0.6 1 COMMIT\n"
+	tr, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) != 2 {
+		t.Fatalf("entries = %d", len(tr.Entries))
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"bad",
+		"x 1 BEGIN",
+		"0.5 y BEGIN",
+		"0.5 1 FROB item 3",
+		"0.5 1 UPDATE item WHERE id = 3",
+	} {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestStatementRendering(t *testing.T) {
+	e := Entry{Kind: OpUpdate, Table: "item", Row: 3, Value: "x'y"}
+	s := e.Statement()
+	if !strings.Contains(s, "UPDATE item SET") {
+		t.Fatalf("statement = %q", s)
+	}
+	if (Entry{Kind: OpBegin}).Statement() != "BEGIN" {
+		t.Fatal("BEGIN rendering")
+	}
+	if (Entry{Kind: OpAbort}).Statement() != "ROLLBACK" {
+		t.Fatal("ROLLBACK rendering")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpSelect.String() != "SELECT" || OpKind(99).String() != "OpKind(99)" {
+		t.Fatal("OpKind strings")
+	}
+}
+
+func TestReplayAppliesWrites(t *testing.T) {
+	db := sidb.New()
+	for _, tb := range []string{"item"} {
+		if err := db.CreateTable(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := Trace{Entries: []Entry{
+		{Session: 1, Kind: OpBegin},
+		{Session: 1, Kind: OpUpdate, Table: "item", Row: 1, Value: "hello"},
+		{Session: 1, Kind: OpCommit},
+		{Session: 2, Kind: OpBegin},
+		{Session: 2, Kind: OpSelect, Table: "item", Row: 1},
+		{Session: 2, Kind: OpCommit},
+	}}
+	res, err := Replay(db, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 2 || res.Writesets != 1 || res.Aborted != 0 {
+		t.Fatalf("replay = %+v", res)
+	}
+	tx := db.Begin()
+	v, ok, _ := tx.Read("item", 1)
+	tx.Abort()
+	if !ok || v != "hello" {
+		t.Fatalf("replayed value = %q %v", v, ok)
+	}
+}
+
+func TestReplayInterleavedConflict(t *testing.T) {
+	db := sidb.New()
+	db.CreateTable("item")
+	seed := db.Begin()
+	seed.Write("item", 1, "v0")
+	if _, _, err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Two sessions write the same row concurrently; the later commit
+	// must abort.
+	tr := Trace{Entries: []Entry{
+		{Session: 1, Kind: OpBegin},
+		{Session: 2, Kind: OpBegin},
+		{Session: 1, Kind: OpUpdate, Table: "item", Row: 1, Value: "a"},
+		{Session: 2, Kind: OpUpdate, Table: "item", Row: 1, Value: "b"},
+		{Session: 1, Kind: OpCommit},
+		{Session: 2, Kind: OpCommit},
+	}}
+	res, err := Replay(db, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 1 || res.Aborted != 1 {
+		t.Fatalf("replay = %+v", res)
+	}
+}
+
+func TestReplayExplicitRollback(t *testing.T) {
+	db := sidb.New()
+	db.CreateTable("item")
+	tr := Trace{Entries: []Entry{
+		{Session: 1, Kind: OpBegin},
+		{Session: 1, Kind: OpUpdate, Table: "item", Row: 1, Value: "x"},
+		{Session: 1, Kind: OpAbort},
+	}}
+	res, err := Replay(db, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted != 1 || res.Committed != 0 {
+		t.Fatalf("replay = %+v", res)
+	}
+	tx := db.Begin()
+	if _, ok, _ := tx.Read("item", 1); ok {
+		t.Fatal("rolled-back write visible")
+	}
+	tx.Abort()
+}
+
+func TestReplayGeneratedTraceEndToEnd(t *testing.T) {
+	cat := workload.TPCWCatalog()
+	mix := workload.TPCWShopping()
+	db := sidb.New()
+	for name := range cat.Tables {
+		if err := db.CreateTable(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := Generate(cat, mix, 8, 1000, 11)
+	res, err := Replay(db, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := tr.Count()
+	if res.Committed+res.Aborted != counts.ReadOnlyTxns+counts.UpdateTxns {
+		t.Fatalf("replay %d+%d vs trace %d", res.Committed, res.Aborted,
+			counts.ReadOnlyTxns+counts.UpdateTxns)
+	}
+	if res.Writesets == 0 {
+		t.Fatal("no writesets extracted")
+	}
+}

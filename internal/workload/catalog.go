@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// TxnTemplate describes one logical transaction type of a benchmark,
+// used by the live middleware prototypes and the trace generator to
+// issue real operations against the storage engine. The analytical
+// models never see templates; they work from the aggregate mix
+// parameters.
+type TxnTemplate struct {
+	Name     string
+	ReadOnly bool
+	Table    string  // primary table touched
+	ReadRows int     // rows read
+	Writes   int     // rows written (0 for read-only templates)
+	Weight   float64 // relative frequency within its class
+}
+
+// Catalog is the set of transaction templates of one benchmark, split
+// into the read-only and update classes so a Mix's Pr/Pw fractions can
+// be applied exactly.
+type Catalog struct {
+	Benchmark string
+	Reads     []TxnTemplate
+	Updates   []TxnTemplate
+	// Tables lists the logical tables the templates reference together
+	// with the number of rows each is populated with by the live
+	// engine's loader.
+	Tables map[string]int
+}
+
+// TPCWCatalog returns a compact transaction catalog for the TPC-W
+// online bookstore: the read-dominated browse interactions plus the
+// cart/order update interactions. Row counts follow the standard
+// scaling parameters (10,000 items; 100 EBs drive carts and orders).
+func TPCWCatalog() Catalog {
+	return Catalog{
+		Benchmark: "TPC-W",
+		Reads: []TxnTemplate{
+			{Name: "Home", ReadOnly: true, Table: "item", ReadRows: 6, Weight: 25},
+			{Name: "ProductDetail", ReadOnly: true, Table: "item", ReadRows: 2, Weight: 25},
+			{Name: "SearchResults", ReadOnly: true, Table: "item", ReadRows: 12, Weight: 20},
+			{Name: "NewProducts", ReadOnly: true, Table: "item", ReadRows: 10, Weight: 10},
+			{Name: "BestSellers", ReadOnly: true, Table: "order_line", ReadRows: 20, Weight: 10},
+			{Name: "OrderInquiry", ReadOnly: true, Table: "orders", ReadRows: 3, Weight: 10},
+		},
+		Updates: []TxnTemplate{
+			{Name: "ShoppingCart", Table: "cart_line", ReadRows: 3, Writes: 2, Weight: 50},
+			{Name: "BuyConfirm", Table: "orders", ReadRows: 4, Writes: 4, Weight: 30},
+			{Name: "AdminUpdate", Table: "item", ReadRows: 1, Writes: 1, Weight: 20},
+		},
+		Tables: map[string]int{
+			"item":       10000,
+			"customer":   28800,
+			"orders":     25920,
+			"order_line": 77760,
+			"cart_line":  30000,
+		},
+	}
+}
+
+// RUBiSCatalog returns a compact catalog for the RUBiS auction site
+// (1M users, 10,000 active items, 500,000 old items).
+func RUBiSCatalog() Catalog {
+	return Catalog{
+		Benchmark: "RUBiS",
+		Reads: []TxnTemplate{
+			{Name: "ViewItem", ReadOnly: true, Table: "items", ReadRows: 3, Weight: 30},
+			{Name: "SearchItemsByCategory", ReadOnly: true, Table: "items", ReadRows: 15, Weight: 25},
+			{Name: "ViewBidHistory", ReadOnly: true, Table: "bids", ReadRows: 10, Weight: 20},
+			{Name: "ViewUserInfo", ReadOnly: true, Table: "users", ReadRows: 2, Weight: 15},
+			{Name: "BrowseCategories", ReadOnly: true, Table: "categories", ReadRows: 8, Weight: 10},
+		},
+		Updates: []TxnTemplate{
+			{Name: "PlaceBid", Table: "bids", ReadRows: 2, Writes: 2, Weight: 55},
+			{Name: "BuyNow", Table: "items", ReadRows: 2, Writes: 2, Weight: 20},
+			{Name: "StoreComment", Table: "comments", ReadRows: 1, Writes: 2, Weight: 15},
+			{Name: "RegisterItem", Table: "items", ReadRows: 0, Writes: 1, Weight: 10},
+		},
+		Tables: map[string]int{
+			"users":      100000,
+			"items":      10000,
+			"old_items":  50000,
+			"bids":       200000,
+			"comments":   50000,
+			"categories": 20,
+		},
+	}
+}
+
+// CatalogFor returns the catalog matching a mix's benchmark.
+func CatalogFor(m Mix) (Catalog, error) {
+	switch m.Benchmark {
+	case "TPC-W":
+		return TPCWCatalog(), nil
+	case "RUBiS":
+		return RUBiSCatalog(), nil
+	default:
+		return Catalog{}, fmt.Errorf("workload: no catalog for benchmark %q", m.Benchmark)
+	}
+}
+
+// pick selects a template from ts proportionally to Weight.
+func pick(ts []TxnTemplate, r *stats.Rand) TxnTemplate {
+	var total float64
+	for _, t := range ts {
+		total += t.Weight
+	}
+	x := r.Float64() * total
+	for _, t := range ts {
+		x -= t.Weight
+		if x < 0 {
+			return t
+		}
+	}
+	return ts[len(ts)-1]
+}
+
+// PickRead draws a read-only template proportionally to its weight.
+// It panics if the catalog has no read templates.
+func (c Catalog) PickRead(r *stats.Rand) TxnTemplate {
+	if len(c.Reads) == 0 {
+		panic("workload: catalog has no read templates")
+	}
+	return pick(c.Reads, r)
+}
+
+// PickUpdate draws an update template proportionally to its weight.
+// It panics if the catalog has no update templates.
+func (c Catalog) PickUpdate(r *stats.Rand) TxnTemplate {
+	if len(c.Updates) == 0 {
+		panic("workload: catalog has no update templates")
+	}
+	return pick(c.Updates, r)
+}
+
+// Pick draws a template following the mix's read/update fractions.
+func (c Catalog) Pick(m Mix, r *stats.Rand) TxnTemplate {
+	if m.Pw > 0 && r.Bernoulli(m.Pw) {
+		return c.PickUpdate(r)
+	}
+	return c.PickRead(r)
+}
+
+// Validate checks weights, table references and row counts.
+func (c Catalog) Validate() error {
+	if len(c.Reads) == 0 {
+		return fmt.Errorf("workload: catalog %s has no read templates", c.Benchmark)
+	}
+	all := append(append([]TxnTemplate(nil), c.Reads...), c.Updates...)
+	for _, t := range all {
+		if t.Weight <= 0 {
+			return fmt.Errorf("workload: template %s has non-positive weight", t.Name)
+		}
+		if t.ReadOnly && t.Writes > 0 {
+			return fmt.Errorf("workload: read-only template %s writes rows", t.Name)
+		}
+		if !t.ReadOnly && t.Writes <= 0 {
+			return fmt.Errorf("workload: update template %s writes nothing", t.Name)
+		}
+		if _, ok := c.Tables[t.Table]; !ok {
+			return fmt.Errorf("workload: template %s references unknown table %q", t.Name, t.Table)
+		}
+	}
+	for name, rows := range c.Tables {
+		if rows <= 0 {
+			return fmt.Errorf("workload: table %q has %d rows", name, rows)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestAllMixesValidate(t *testing.T) {
+	for _, m := range All() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.ID(), err)
+		}
+	}
+}
+
+func TestTable2Parameters(t *testing.T) {
+	// Table 2 of the paper.
+	cases := []struct {
+		mix     Mix
+		pr, pw  float64
+		clients int
+	}{
+		{TPCWBrowsing(), 0.95, 0.05, 30},
+		{TPCWShopping(), 0.80, 0.20, 40},
+		{TPCWOrdering(), 0.50, 0.50, 50},
+	}
+	for _, c := range cases {
+		if c.mix.Pr != c.pr || c.mix.Pw != c.pw || c.mix.Clients != c.clients {
+			t.Errorf("%s: got Pr=%v Pw=%v C=%d", c.mix.ID(), c.mix.Pr, c.mix.Pw, c.mix.Clients)
+		}
+		if c.mix.Think != 1.0 {
+			t.Errorf("%s: think time %v, want 1s", c.mix.ID(), c.mix.Think)
+		}
+	}
+}
+
+func TestTable3ServiceDemands(t *testing.T) {
+	// Spot-check exact Table 3 values (stored in seconds).
+	sh := TPCWShopping()
+	if math.Abs(sh.RC[CPU]-0.04143) > 1e-9 {
+		t.Errorf("shopping rcCPU = %v", sh.RC[CPU])
+	}
+	if math.Abs(sh.WC[Disk]-0.00605) > 1e-9 {
+		t.Errorf("shopping wcDisk = %v", sh.WC[Disk])
+	}
+	if math.Abs(sh.WS[CPU]-0.00318) > 1e-9 {
+		t.Errorf("shopping wsCPU = %v", sh.WS[CPU])
+	}
+	ord := TPCWOrdering()
+	if math.Abs(ord.RC[CPU]-0.02246) > 1e-9 {
+		t.Errorf("ordering rcCPU = %v", ord.RC[CPU])
+	}
+}
+
+func TestTable4And5RUBiS(t *testing.T) {
+	br := RUBiSBrowsing()
+	if br.Pw != 0 || br.Pr != 1 {
+		t.Errorf("rubis browsing mix fractions: Pr=%v Pw=%v", br.Pr, br.Pw)
+	}
+	if br.WC.Total() != 0 {
+		t.Errorf("browsing mix should have no update demand")
+	}
+	bid := RUBiSBidding()
+	if math.Abs(bid.WC[Disk]-0.04861) > 1e-9 {
+		t.Errorf("bidding wcDisk = %v", bid.WC[Disk])
+	}
+	if math.Abs(bid.WS[Disk]-0.03528) > 1e-9 {
+		t.Errorf("bidding wsDisk = %v", bid.WS[Disk])
+	}
+	// §6.2.2: applying a writeset costs only slightly less than the
+	// original update, visible in the disk demands.
+	if bid.WS[Disk] >= bid.WC[Disk] {
+		t.Errorf("writeset disk demand should be below update demand")
+	}
+	if bid.WS[Disk] < bid.WC[Disk]/2 {
+		t.Errorf("bidding writesets should be nearly as expensive as updates")
+	}
+}
+
+func TestStandaloneDemand(t *testing.T) {
+	m := TPCWOrdering()
+	want := 0.5*0.02246 + 0.5*0.01348/(1-m.A1)
+	if got := m.StandaloneDemand(CPU); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StandaloneDemand(CPU) = %v, want %v", got, want)
+	}
+	// Read-only mix: no retry inflation even with A1 set.
+	br := RUBiSBrowsing()
+	if got := br.StandaloneDemand(Disk); math.Abs(got-br.RC[Disk]) > 1e-15 {
+		t.Errorf("read-only StandaloneDemand = %v", got)
+	}
+}
+
+func TestValidateCatchesBadMixes(t *testing.T) {
+	bad := TPCWShopping()
+	bad.Pw = 0.5 // Pr+Pw != 1
+	if bad.Validate() == nil {
+		t.Error("unbalanced fractions not rejected")
+	}
+	bad = TPCWShopping()
+	bad.Clients = 0
+	if bad.Validate() == nil {
+		t.Error("zero clients not rejected")
+	}
+	bad = TPCWShopping()
+	bad.RC[CPU] = -1
+	if bad.Validate() == nil {
+		t.Error("negative demand not rejected")
+	}
+	bad = TPCWShopping()
+	bad.A1 = 1.5
+	if bad.Validate() == nil {
+		t.Error("A1 out of range not rejected")
+	}
+	bad = TPCWShopping()
+	bad.UpdateOps = 0
+	if bad.Validate() == nil {
+		t.Error("missing abort parameters not rejected")
+	}
+}
+
+func TestByID(t *testing.T) {
+	m, ok := ByID("tpcw-shopping")
+	if !ok || m.Name != "shopping" {
+		t.Fatalf("ByID(tpcw-shopping) = %v, %v", m, ok)
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown ID found")
+	}
+}
+
+func TestIDAndString(t *testing.T) {
+	if got := RUBiSBidding().ID(); got != "rubis-bidding" {
+		t.Errorf("ID = %q", got)
+	}
+	s := TPCWBrowsing().String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestResourceString(t *testing.T) {
+	if CPU.String() != "CPU" || Disk.String() != "Disk" {
+		t.Error("resource names wrong")
+	}
+	if Resource(5).String() != "Resource(5)" {
+		t.Error("unknown resource name wrong")
+	}
+}
+
+func TestDemandArithmetic(t *testing.T) {
+	d := Demand{0.01, 0.02}
+	if math.Abs(d.Total()-0.03) > 1e-15 {
+		t.Errorf("Total = %v", d.Total())
+	}
+	s := d.Scale(2)
+	if s[CPU] != 0.02 || s[Disk] != 0.04 {
+		t.Errorf("Scale = %v", s)
+	}
+	a := d.Add(Demand{0.001, 0.002})
+	if math.Abs(a[CPU]-0.011) > 1e-15 || math.Abs(a[Disk]-0.022) > 1e-15 {
+		t.Errorf("Add = %v", a)
+	}
+}
+
+func TestCatalogsValidate(t *testing.T) {
+	for _, c := range []Catalog{TPCWCatalog(), RUBiSCatalog()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Benchmark, err)
+		}
+	}
+}
+
+func TestCatalogFor(t *testing.T) {
+	c, err := CatalogFor(TPCWShopping())
+	if err != nil || c.Benchmark != "TPC-W" {
+		t.Fatalf("CatalogFor TPC-W: %v %v", c.Benchmark, err)
+	}
+	c, err = CatalogFor(RUBiSBidding())
+	if err != nil || c.Benchmark != "RUBiS" {
+		t.Fatalf("CatalogFor RUBiS: %v %v", c.Benchmark, err)
+	}
+	if _, err := CatalogFor(Mix{Benchmark: "xyz"}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestPickRespectsMixFractions(t *testing.T) {
+	r := stats.NewRand(101)
+	c := TPCWCatalog()
+	m := TPCWShopping()
+	updates := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if !c.Pick(m, r).ReadOnly {
+			updates++
+		}
+	}
+	got := float64(updates) / n
+	if math.Abs(got-m.Pw) > 0.01 {
+		t.Errorf("update fraction = %v, want %v", got, m.Pw)
+	}
+}
+
+func TestPickReadOnlyMixNeverUpdates(t *testing.T) {
+	r := stats.NewRand(5)
+	c := RUBiSCatalog()
+	m := RUBiSBrowsing()
+	for i := 0; i < 10000; i++ {
+		if !c.Pick(m, r).ReadOnly {
+			t.Fatal("read-only mix drew an update template")
+		}
+	}
+}
+
+func TestPickWeightsRoughlyRespected(t *testing.T) {
+	r := stats.NewRand(7)
+	c := TPCWCatalog()
+	counts := map[string]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[c.PickUpdate(r).Name]++
+	}
+	// ShoppingCart has weight 50 of 100.
+	got := float64(counts["ShoppingCart"]) / n
+	if math.Abs(got-0.5) > 0.01 {
+		t.Errorf("ShoppingCart frequency = %v, want 0.5", got)
+	}
+}
+
+func TestPickPanicsOnEmptyClass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PickRead on empty catalog did not panic")
+		}
+	}()
+	Catalog{}.PickRead(stats.NewRand(1))
+}
+
+func TestCatalogValidateCatchesProblems(t *testing.T) {
+	c := TPCWCatalog()
+	c.Reads[0].Weight = 0
+	if c.Validate() == nil {
+		t.Error("zero weight accepted")
+	}
+	c = TPCWCatalog()
+	c.Updates[0].Writes = 0
+	if c.Validate() == nil {
+		t.Error("non-writing update accepted")
+	}
+	c = TPCWCatalog()
+	c.Reads[0].Table = "missing"
+	if c.Validate() == nil {
+		t.Error("unknown table accepted")
+	}
+	c = TPCWCatalog()
+	c.Tables["item"] = 0
+	if c.Validate() == nil {
+		t.Error("empty table accepted")
+	}
+	if (Catalog{Benchmark: "x"}).Validate() == nil {
+		t.Error("catalog without reads accepted")
+	}
+}

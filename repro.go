@@ -1,0 +1,208 @@
+// Package repro predicts the scalability of replicated databases from
+// standalone database profiling, reproducing Elnikety et al.,
+// "Predicting Replicated Database Scalability from Standalone Database
+// Profiling" (EuroSys 2009).
+//
+// The package is the public facade over the repository's internals:
+//
+//   - analytical models for multi-master and single-master replication
+//     under (generalized) snapshot isolation (internal/core), solved
+//     with exact MVA (internal/mva);
+//   - the §4 profiling methodology that measures every model input on
+//     a standalone system (internal/profiler, internal/trace);
+//   - a simulated prototype cluster that plays the role of the paper's
+//     16-node testbed for validation (internal/cluster on top of
+//     internal/des);
+//   - working middleware prototypes of both designs over a real
+//     snapshot-isolated storage engine with a Paxos-replicated
+//     certifier (internal/repl, internal/sidb, internal/certifier,
+//     internal/paxos).
+//
+// The typical pipeline is Profile (or NewParams from known
+// parameters), then PredictMM/PredictSM across replica counts, and
+// optionally Measure/Compare to validate against the simulated
+// prototype:
+//
+//	params := repro.NewParams(repro.TPCWShopping())
+//	for n := 1; n <= 16; n++ {
+//	    fmt.Println(repro.PredictMM(params, n))
+//	}
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/profiler"
+	"repro/internal/workload"
+)
+
+// Re-exported core types. The facade aliases them so applications
+// never import internal packages.
+type (
+	// Mix is a transactional workload with its model parameters.
+	Mix = workload.Mix
+	// Params are the model inputs measured on a standalone database.
+	Params = core.Params
+	// Prediction is a model output for one (design, N) point.
+	Prediction = core.Prediction
+	// Design selects the replication design.
+	Design = core.Design
+	// Measured is the outcome of a simulated prototype run.
+	Measured = cluster.Result
+	// AssumptionReport lists §3.4 assumption violations.
+	AssumptionReport = core.AssumptionReport
+)
+
+// Replication designs.
+const (
+	Standalone   = core.Standalone
+	MultiMaster  = core.MultiMaster
+	SingleMaster = core.SingleMaster
+)
+
+// Benchmark mixes (Tables 2-5 of the paper).
+var (
+	TPCWBrowsing  = workload.TPCWBrowsing
+	TPCWShopping  = workload.TPCWShopping
+	TPCWOrdering  = workload.TPCWOrdering
+	RUBiSBrowsing = workload.RUBiSBrowsing
+	RUBiSBidding  = workload.RUBiSBidding
+	AllMixes      = workload.All
+)
+
+// Demand is a per-resource service demand vector (CPU, disk) in
+// seconds.
+type Demand = workload.Demand
+
+// DemandOf builds a demand vector from CPU and disk service times in
+// seconds.
+func DemandOf(cpu, disk float64) Demand {
+	var d Demand
+	d[workload.CPU] = cpu
+	d[workload.Disk] = disk
+	return d
+}
+
+// NewParams builds model parameters from known mix parameters with
+// the paper's default middleware delays and an estimated L(1).
+func NewParams(m Mix) Params { return core.NewParams(m) }
+
+// Profile measures all model parameters on the standalone simulated
+// database following §4: separate calibration runs for rc, wc and ws
+// via the Utilization Law, plus a mixed run for L(1) and A1.
+func Profile(m Mix, seed uint64) (Params, error) {
+	p, _, err := profiler.Profile(m, profiler.Options{Seed: seed})
+	return p, err
+}
+
+// PredictStandalone evaluates the standalone model (§3.3.1).
+func PredictStandalone(p Params) Prediction { return core.PredictStandalone(p) }
+
+// PredictMM evaluates the multi-master model (§3.3.2) for n replicas.
+func PredictMM(p Params, n int) Prediction { return core.PredictMM(p, n) }
+
+// PredictSM evaluates the single-master model (§3.3.3) for n replicas
+// (1 master + n-1 slaves).
+func PredictSM(p Params, n int) Prediction { return core.PredictSM(p, n) }
+
+// Predict dispatches on design.
+func Predict(design Design, p Params, n int) (Prediction, error) {
+	switch design {
+	case Standalone:
+		return core.PredictStandalone(p), nil
+	case MultiMaster:
+		return core.PredictMM(p, n), nil
+	case SingleMaster:
+		return core.PredictSM(p, n), nil
+	default:
+		return Prediction{}, fmt.Errorf("repro: unknown design %q", design)
+	}
+}
+
+// CheckAssumptions reports which §3.4 model assumptions the workload
+// violates; predictions remain usable but become upper bounds.
+func CheckAssumptions(p Params, maxReplicas int) AssumptionReport {
+	return core.CheckAssumptions(p, maxReplicas)
+}
+
+// Measure runs the simulated prototype cluster — the stand-in for the
+// paper's real 16-node testbed — and returns its measurements.
+func Measure(m Mix, design Design, replicas int, seed uint64) (Measured, error) {
+	return cluster.Run(cluster.Config{
+		Mix:      m,
+		Design:   design,
+		Replicas: replicas,
+		Seed:     seed,
+	})
+}
+
+// ComparisonPoint pairs a prediction with a measurement at one replica
+// count.
+type ComparisonPoint struct {
+	Replicas      int
+	Predicted     Prediction
+	Measured      Measured
+	ThroughputErr float64 // relative error of predicted vs measured throughput
+	ResponseErr   float64 // relative error of predicted vs measured response time
+}
+
+// Compare predicts and measures a workload across replica counts, the
+// full validation loop of §6.
+func Compare(m Mix, design Design, replicas []int, seed uint64) ([]ComparisonPoint, error) {
+	params := NewParams(m)
+	out := make([]ComparisonPoint, 0, len(replicas))
+	for _, n := range replicas {
+		pred, err := Predict(design, params, n)
+		if err != nil {
+			return nil, err
+		}
+		meas, err := Measure(m, design, n, seed+uint64(n))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ComparisonPoint{
+			Replicas:      n,
+			Predicted:     pred,
+			Measured:      meas,
+			ThroughputErr: relErr(pred.Throughput, meas.Throughput),
+			ResponseErr:   relErr(pred.ResponseTime, meas.ResponseTime),
+		})
+	}
+	return out, nil
+}
+
+// relErr is |got-want|/|want| guarding the zero case.
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d / want
+}
+
+// CapacityPlan finds the smallest replica count whose predicted
+// throughput meets targetTPS under the given design, up to
+// maxReplicas. It reports the prediction at that count and whether the
+// target is reachable — the capacity-planning use case the paper's
+// introduction motivates.
+func CapacityPlan(p Params, design Design, targetTPS float64, maxReplicas int) (int, Prediction, bool) {
+	for n := 1; n <= maxReplicas; n++ {
+		pred, err := Predict(design, p, n)
+		if err != nil {
+			return 0, Prediction{}, false
+		}
+		if pred.Throughput >= targetTPS {
+			return n, pred, true
+		}
+	}
+	pred, _ := Predict(design, p, maxReplicas)
+	return maxReplicas, pred, false
+}

@@ -1,0 +1,116 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPredictDispatch(t *testing.T) {
+	p := NewParams(TPCWShopping())
+	for _, d := range []Design{Standalone, MultiMaster, SingleMaster} {
+		pred, err := Predict(d, p, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if pred.Throughput <= 0 {
+			t.Fatalf("%s: X = %v", d, pred.Throughput)
+		}
+	}
+	if _, err := Predict(Design("bogus"), p, 2); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+}
+
+func TestFacadeMatchesCore(t *testing.T) {
+	p := NewParams(TPCWOrdering())
+	if PredictMM(p, 8).Throughput <= PredictMM(p, 1).Throughput {
+		t.Fatal("MM throughput did not grow")
+	}
+	if PredictSM(p, 16).Throughput > PredictMM(p, 16).Throughput {
+		t.Fatal("SM should trail MM for the ordering mix")
+	}
+}
+
+func TestProfileFacade(t *testing.T) {
+	params, err := Profile(TPCWBrowsing(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := params.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	truth := TPCWBrowsing()
+	if math.Abs(params.Mix.RC[0]-truth.RC[0])/truth.RC[0] > 0.10 {
+		t.Fatalf("profiled rcCPU = %v, truth %v", params.Mix.RC[0], truth.RC[0])
+	}
+}
+
+func TestMeasureFacade(t *testing.T) {
+	res, err := Measure(TPCWShopping(), MultiMaster, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 || res.Replicas != 2 {
+		t.Fatalf("measure: %+v", res)
+	}
+}
+
+func TestCompareWithinPaperMargin(t *testing.T) {
+	points, err := Compare(TPCWShopping(), MultiMaster, []int{1, 8}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, pt := range points {
+		if pt.ThroughputErr > 0.15 {
+			t.Errorf("N=%d: throughput error %.0f%%", pt.Replicas, pt.ThroughputErr*100)
+		}
+	}
+}
+
+func TestCapacityPlan(t *testing.T) {
+	p := NewParams(TPCWShopping())
+	n, pred, ok := CapacityPlan(p, MultiMaster, 200, 16)
+	if !ok {
+		t.Fatal("200 tps should be reachable for shopping MM")
+	}
+	if pred.Throughput < 200 {
+		t.Fatalf("plan prediction %v below target", pred.Throughput)
+	}
+	// The previous count must be insufficient (minimality).
+	if n > 1 {
+		prev := PredictMM(p, n-1)
+		if prev.Throughput >= 200 {
+			t.Fatalf("plan not minimal: N-1=%d already gives %.1f", n-1, prev.Throughput)
+		}
+	}
+	// Unreachable target.
+	if _, _, ok := CapacityPlan(p, SingleMaster, 1e6, 4); ok {
+		t.Fatal("impossible target reported reachable")
+	}
+}
+
+func TestCheckAssumptionsFacade(t *testing.T) {
+	rep := CheckAssumptions(NewParams(TPCWShopping()), 16)
+	if !rep.OK() {
+		t.Fatalf("shopping should satisfy assumptions: %v", rep)
+	}
+}
+
+func TestAllMixesExported(t *testing.T) {
+	if len(AllMixes()) != 5 {
+		t.Fatalf("mixes = %d", len(AllMixes()))
+	}
+}
+
+func TestDemandOf(t *testing.T) {
+	d := DemandOf(0.01, 0.02)
+	if d[0] != 0.01 || d[1] != 0.02 {
+		t.Fatalf("DemandOf = %v", d)
+	}
+	if math.Abs(d.Total()-0.03) > 1e-15 {
+		t.Fatalf("Total = %v", d.Total())
+	}
+}
