@@ -198,6 +198,136 @@ func BenchmarkCertify(b *testing.B) {
 	}
 }
 
+// BenchmarkCertifyLongLog certifies update transactions whose snapshot
+// predates a long retained log (10k records, as after a slow replica
+// holds back GC). The indexed certifier must keep the per-request cost
+// independent of the retained-log length.
+func BenchmarkCertifyLongLog(b *testing.B) {
+	c := certifier.New()
+	for i := int64(0); i < 10000; i++ {
+		w := writeset.Writeset{Entries: []writeset.Entry{
+			{Key: writeset.Key{Table: "hist", Row: i}, Value: "v"},
+		}}
+		if _, err := c.Certify(c.Version(), w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := writeset.Writeset{Entries: []writeset.Entry{
+			{Key: writeset.Key{Table: "live", Row: int64(i)}, Value: "v"},
+		}}
+		if _, err := c.Certify(0, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCertifyReplicatedSequential is the group-commit baseline:
+// 64 certification requests, each paying its own Paxos round.
+func BenchmarkCertifyReplicatedSequential(b *testing.B) {
+	c, _, err := certifier.NewReplicated(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			w := writeset.Writeset{Entries: []writeset.Entry{
+				{Key: writeset.Key{Table: "t", Row: int64(i*64 + j)}, Value: "v"},
+			}}
+			if _, err := c.Certify(c.Version(), w); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if i%16 == 15 {
+			c.GC(c.Version() - 64)
+		}
+	}
+}
+
+// BenchmarkCertifyBatch is the same 64-request load as
+// BenchmarkCertifyReplicatedSequential, group-committed in one Paxos
+// round per batch.
+func BenchmarkCertifyBatch(b *testing.B) {
+	c, _, err := certifier.NewReplicated(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reqs := make([]certifier.Request, 64)
+		for j := range reqs {
+			reqs[j] = certifier.Request{
+				Snapshot: c.Version(),
+				Writeset: writeset.Writeset{Entries: []writeset.Entry{
+					{Key: writeset.Key{Table: "t", Row: int64(i*64 + j)}, Value: "v"},
+				}},
+			}
+		}
+		results, err := c.CertifyBatch(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil || !r.Outcome.Committed {
+				b.Fatalf("batch request failed: %+v", r)
+			}
+		}
+		if i%16 == 15 {
+			c.GC(c.Version() - 64)
+		}
+	}
+}
+
+// BenchmarkWritesetConflicts intersects two 16-row writesets, the
+// certifier's inner loop before the inverted index existed.
+func BenchmarkWritesetConflicts(b *testing.B) {
+	mk := func(base int64) writeset.Writeset {
+		bld := writeset.NewBuilder()
+		for i := int64(0); i < 16; i++ {
+			bld.Put(writeset.Key{Table: "item", Row: base + i}, "v")
+		}
+		return bld.Writeset()
+	}
+	x, y := mk(0), mk(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if x.Conflicts(y) {
+			b.Fatal("disjoint writesets reported conflicting")
+		}
+	}
+}
+
+// BenchmarkSIDBParallelReads drives read-only transactions from all
+// procs against one database — the dominant operation of the TPC-W
+// browsing mix. Sharded storage should scale this with GOMAXPROCS.
+func BenchmarkSIDBParallelReads(b *testing.B) {
+	db := sidb.New()
+	if err := db.CreateTable("item"); err != nil {
+		b.Fatal(err)
+	}
+	const rows = 65536
+	if err := db.BulkLoad("item", rows, func(i int64) string { return "value" }); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			tx := db.Begin()
+			if _, ok, err := tx.Read("item", i%rows); err != nil || !ok {
+				b.Errorf("read: %v %v", ok, err)
+				return
+			}
+			tx.Abort()
+			i += 7919
+		}
+	})
+}
+
 func BenchmarkSIDBUpdateCommit(b *testing.B) {
 	db := sidb.New()
 	if err := db.CreateTable("item"); err != nil {

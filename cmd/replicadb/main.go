@@ -33,6 +33,7 @@ func main() {
 		txns     = flag.Int("txns", 100, "committed transactions per client")
 		factor   = flag.Int("factor", 100, "table scale-down factor (1 = full benchmark size)")
 		paxos    = flag.Bool("paxos", false, "replicate the MM certifier over a 3-node Paxos group")
+		batch    = flag.Bool("groupcommit", false, "batch MM commit certification (one Paxos round per batch)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 	)
 	flag.Parse()
@@ -57,6 +58,7 @@ func main() {
 			Replicas:            *replicas,
 			ReplicatedCertifier: *paxos,
 			EagerCertification:  true,
+			GroupCommit:         *batch,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "replicadb: %v\n", err)
@@ -111,5 +113,8 @@ func main() {
 		commits, aborts := c.Certifier().Stats()
 		fmt.Printf("certifier: %d commits, %d aborts, version %d\n",
 			commits, aborts, c.Certifier().Version())
+		if slots := c.Certifier().ReplicationSlots(); slots > 0 {
+			fmt.Printf("certifier log: %d Paxos slots for %d commits\n", slots, commits)
+		}
 	}
 }

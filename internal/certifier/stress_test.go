@@ -1,0 +1,144 @@
+package certifier
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStressCertifyCheckGC drives concurrent Certify, Check, Since
+// and GC traffic against the indexed certifier. Run under -race it
+// validates the new index's synchronization; the invariant checks
+// validate that pruning never loses conflict history that a live
+// snapshot could still need.
+func TestStressCertifyCheckGC(t *testing.T) {
+	c := New()
+	const (
+		writers   = 8
+		checkers  = 4
+		perWorker = 400
+		keySpace  = 64
+	)
+	var writerWg, bgWg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		w := w
+		writerWg.Add(1)
+		go func() {
+			defer writerWg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := int64((w + i*writers) % keySpace)
+				for {
+					snap := c.Version()
+					out, err := c.Certify(snap, ws(key))
+					if err != nil {
+						// The GC goroutine may have advanced the horizon
+						// past our stale snapshot; retry with a fresh one.
+						continue
+					}
+					if out.Committed {
+						break
+					}
+					if out.ConflictWith <= snap {
+						t.Errorf("abort blamed version %d <= snapshot %d", out.ConflictWith, snap)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for r := 0; r < checkers; r++ {
+		r := r
+		bgWg.Add(1)
+		go func() {
+			defer bgWg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := c.Version()
+				conflict, with := c.Check(snap, ws(int64((r+i)%keySpace)))
+				if conflict && with <= snap {
+					t.Errorf("Check blamed version %d <= snapshot %d", with, snap)
+					return
+				}
+				if recs := c.Since(snap); len(recs) > 0 && recs[0].Version <= snap {
+					t.Errorf("Since(%d) returned version %d", snap, recs[0].Version)
+					return
+				}
+			}
+		}()
+	}
+	bgWg.Add(1)
+	go func() {
+		defer bgWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if v := c.Version() - 32; v > 0 {
+				c.GC(v)
+			}
+		}
+	}()
+
+	writerWg.Wait()
+	close(stop)
+	bgWg.Wait()
+
+	if got := c.Version(); got != writers*perWorker {
+		t.Fatalf("versions not dense under stress: %d != %d", got, writers*perWorker)
+	}
+	commits, _ := c.Stats()
+	if commits != writers*perWorker {
+		t.Fatalf("commit count %d != %d", commits, writers*perWorker)
+	}
+	if c.IndexSize() > keySpace {
+		t.Fatalf("index grew past the key space: %d > %d", c.IndexSize(), keySpace)
+	}
+}
+
+// TestStressBatcher runs the group-commit front end under heavy
+// concurrent conflicting load and cross-checks totals.
+func TestStressBatcher(t *testing.T) {
+	c := New()
+	b := NewBatcher(c, 16)
+	const workers = 12
+	const perWorker = 200
+	var wg sync.WaitGroup
+	var commits, aborts atomic.Int64
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := int64((w*perWorker + i) % 32)
+				out, err := b.Certify(c.Version(), ws(key))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if out.Committed {
+					commits.Add(1)
+				} else {
+					aborts.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	gotCommits, gotAborts := c.Stats()
+	if gotCommits != commits.Load() || gotAborts != aborts.Load() {
+		t.Fatalf("certifier stats %d/%d, clients observed %d/%d",
+			gotCommits, gotAborts, commits.Load(), aborts.Load())
+	}
+	if c.Version() != commits.Load() {
+		t.Fatalf("version %d != commits %d", c.Version(), commits.Load())
+	}
+}

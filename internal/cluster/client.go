@@ -157,7 +157,9 @@ func (s *system) runUpdate(rng *stats.Rand, n *node, finish func(bool)) {
 				finish(true)
 			}
 			if s.cfg.Design == core.MultiMaster && s.cfg.CertDelay > 0 {
-				s.sim.After(s.cfg.CertDelay, certify)
+				// Group commit amortizes the certifier's logging delay
+				// over CertBatch concurrent requests.
+				s.sim.After(s.cfg.CertDelay/float64(s.cfg.CertBatch), certify)
 			} else {
 				certify()
 			}

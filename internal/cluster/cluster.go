@@ -50,6 +50,14 @@ type Config struct {
 	LBDelay   float64
 	CertDelay float64
 
+	// CertBatch models group commit at the certifier: the certifier
+	// logs writesets in batches (§6.3), so with a batch factor of B
+	// the per-request share of the certification delay shrinks to
+	// CertDelay/B. Zero or one keeps the paper's per-request delay;
+	// the knob exists for what-if studies of a batching certifier and
+	// matches the functional repl/mm GroupCommit option.
+	CertBatch int
+
 	// HeapTableSize overrides the mix's DBUpdateSize row pool, used by
 	// the Figure 14 experiments to force high abort rates. Zero keeps
 	// the mix value.
@@ -99,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CertDelay == 0 && c.Design == core.MultiMaster {
 		c.CertDelay = core.DefaultCertDelay
+	}
+	if c.CertBatch < 1 {
+		c.CertBatch = 1
 	}
 	if c.HeapTableSize == 0 {
 		c.HeapTableSize = c.Mix.DBUpdateSize

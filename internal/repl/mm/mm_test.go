@@ -396,3 +396,58 @@ func TestClusterGCSafeWithLaggingReplica(t *testing.T) {
 		t.Fatal("stale conflicting transaction committed after GC")
 	}
 }
+
+func TestWorkloadWithGroupCommit(t *testing.T) {
+	// The full driver workload through the batching certifier, on top
+	// of a replicated Paxos group: decisions and convergence must be
+	// indistinguishable from the sequential path.
+	c := newCluster(t, 3, func(o *Options) {
+		o.ReplicatedCertifier = true
+		o.GroupCommit = true
+	})
+	cat := workload.TPCWCatalog()
+	if err := repl.LoadCatalog(c, cat, 1000); err != nil {
+		t.Fatal(err)
+	}
+	mix := workload.TPCWOrdering() // update-heavy: maximizes batching
+	res := repl.Drive(c, cat, mix, 8, 30, 1000, 11)
+	if res.Errors != 0 {
+		t.Fatalf("driver errors: %+v", res)
+	}
+	if res.Commits != 8*30 {
+		t.Fatalf("commits = %d", res.Commits)
+	}
+	if res.UpdateCommits == 0 {
+		t.Fatal("no updates committed")
+	}
+	if err := repl.CheckConvergence(c, c.db0Tables()); err != nil {
+		t.Fatal(err)
+	}
+	commits, _ := c.Certifier().Stats()
+	if commits != res.UpdateCommits {
+		t.Fatalf("certifier commits %d != driver update commits %d", commits, res.UpdateCommits)
+	}
+	// Group commit must never use more Paxos slots than commits.
+	if slots := c.Certifier().ReplicationSlots(); int64(slots) > commits {
+		t.Fatalf("%d slots for %d commits", slots, commits)
+	}
+}
+
+func TestGroupCommitConflictsStillAbort(t *testing.T) {
+	c := newCluster(t, 2, func(o *Options) { o.GroupCommit = true })
+	seedTable(t, c, "item", 10)
+	t1, _ := c.BeginUpdate()
+	t2, _ := c.BeginUpdate()
+	if err := t1.Write("item", 3, "one"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write("item", 3, "two"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); !errors.Is(err, repl.ErrAborted) {
+		t.Fatalf("conflicting commit through group commit: %v", err)
+	}
+}

@@ -9,24 +9,29 @@ import (
 
 // Scan returns every row of the table visible to the transaction's
 // snapshot (including the transaction's own writes), keyed by row id.
-// The result is a private copy.
+// The result is a private copy. Shards are visited one at a time
+// under their shared locks; snapshot visibility makes the union
+// consistent even though the locks are not held simultaneously.
 func (tx *Txn) Scan(tableName string) (map[int64]string, error) {
 	if tx.done {
 		return nil, ErrTxnDone
 	}
-	out := make(map[int64]string)
-	tx.db.mu.Lock()
-	t, exists := tx.db.tables[tableName]
-	if !exists {
-		tx.db.mu.Unlock()
+	if !tx.db.hasTable(tableName) {
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, tableName)
 	}
-	for key, r := range t.rows {
-		if v, ok := r.visible(tx.snapshot); ok && !v.deleted {
-			out[key] = v.value
+	out := make(map[int64]string)
+	for i := range tx.db.shards {
+		s := &tx.db.shards[i]
+		s.mu.RLock()
+		if t, ok := s.tables[tableName]; ok {
+			for key, r := range t.rows {
+				if v, ok := r.visible(tx.snapshot); ok && !v.deleted {
+					out[key] = v.value
+				}
+			}
 		}
+		s.mu.RUnlock()
 	}
-	tx.db.mu.Unlock()
 
 	// Overlay the transaction's own pending writes.
 	for k, e := range tx.writes {
@@ -68,18 +73,20 @@ func (db *DB) Dump(tableName string) (map[int64]string, error) {
 // internally versioned installation, bypassing concurrency control.
 // It is the initial-load path replicas use before traffic starts.
 func (db *DB) BulkLoad(tableName string, rows int, value func(int64) string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, ok := db.tables[tableName]; !ok {
+	if !db.hasTable(tableName) {
 		return fmt.Errorf("%w: %q", ErrNoTable, tableName)
 	}
-	ws := writeset.Writeset{Entries: make([]writeset.Entry, 0, rows)}
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	entries := make([]writeset.Entry, 0, rows)
 	for i := int64(0); i < int64(rows); i++ {
-		ws.Entries = append(ws.Entries, writeset.Entry{
+		entries = append(entries, writeset.Entry{
 			Key:   writeset.Key{Table: tableName, Row: i},
 			Value: value(i),
 		})
 	}
-	db.installLocked(ws, db.version+1)
+	v := db.version + 1
+	db.install(writeset.Writeset{Entries: entries}, v, false)
+	db.advance(v, false)
 	return nil
 }

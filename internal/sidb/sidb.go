@@ -21,7 +21,14 @@
 //   - ApplyWriteset installs a remote transaction's effects at an
 //     explicit global version, the slave/replica proxy path.
 //
-// The engine is safe for concurrent use.
+// The engine is safe for concurrent use. Rows are hash-partitioned
+// across shardCount shards, each guarded by its own RWMutex, so the
+// read-only transactions that dominate the TPC-W and RUBiS mixes
+// proceed in parallel and only ever share a read lock; update commits
+// serialize on a single commit mutex (version assignment must be
+// total), touching shard write locks only while installing their rows.
+// The version counter and active-snapshot table live under a small
+// dedicated lock of their own.
 package sidb
 
 import (
@@ -79,73 +86,123 @@ func (r *row) latest() int64 {
 	return r.versions[len(r.versions)-1].version
 }
 
-// table is a named collection of rows keyed by int64.
+// table is a shard's slice of a named table: the rows whose keys hash
+// into the shard.
 type table struct {
 	rows map[int64]*row
 }
 
+// shardCount is the number of row partitions. It is a power of two so
+// the hash reduces with a mask; 32 comfortably exceeds the core counts
+// the paper's 16-machine cluster models.
+const shardCount = 32
+
+// shard is one row partition with its own reader-writer lock.
+type shard struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+}
+
+// shardIndex hashes a row key onto its shard (FNV-1a over the table
+// name and row id).
+func shardIndex(k writeset.Key) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(k.Table); i++ {
+		h = (h ^ uint32(k.Table[i])) * 16777619
+	}
+	r := uint64(k.Row)
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint32(r&0xff)) * 16777619
+		r >>= 8
+	}
+	return int(h & (shardCount - 1))
+}
+
 // DB is a snapshot-isolated multi-version database.
 type DB struct {
-	mu      sync.Mutex
-	tables  map[string]*table
-	version int64 // version of the latest committed state
+	// commitMu serializes state mutation: update commits, writeset
+	// application, bulk loads and GC. Read-only transactions never
+	// take it.
+	commitMu sync.Mutex
 
-	active  map[int64]int // snapshot version -> number of active txns
+	shards [shardCount]shard
+
+	// tableMu guards the table registry; reads take it shared.
+	tableMu sync.RWMutex
+	tables  map[string]struct{}
+
+	// stateMu guards the version counter, the active-snapshot table
+	// and the commit/abort counters.
+	stateMu sync.Mutex
+	version int64 // version of the latest committed state
+	active  map[int64]int
 	commits int64
 	aborts  int64
 }
 
 // New creates an empty database.
 func New() *DB {
-	return &DB{
-		tables: make(map[string]*table),
+	db := &DB{
+		tables: make(map[string]struct{}),
 		active: make(map[int64]int),
 	}
+	for i := range db.shards {
+		db.shards[i].tables = make(map[string]*table)
+	}
+	return db
 }
 
 // CreateTable adds an empty table; creating an existing table is an
 // error.
 func (db *DB) CreateTable(name string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.tableMu.Lock()
+	defer db.tableMu.Unlock()
 	if _, ok := db.tables[name]; ok {
 		return fmt.Errorf("sidb: table %q already exists", name)
 	}
-	db.tables[name] = &table{rows: make(map[int64]*row)}
+	db.tables[name] = struct{}{}
 	return nil
+}
+
+// hasTable reports whether the table exists.
+func (db *DB) hasTable(name string) bool {
+	db.tableMu.RLock()
+	_, ok := db.tables[name]
+	db.tableMu.RUnlock()
+	return ok
 }
 
 // Tables returns the table names in sorted order.
 func (db *DB) Tables() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.tableMu.RLock()
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		names = append(names, n)
 	}
+	db.tableMu.RUnlock()
 	sort.Strings(names)
 	return names
 }
 
 // Version returns the version of the latest committed state.
 func (db *DB) Version() int64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.stateMu.Lock()
+	defer db.stateMu.Unlock()
 	return db.version
 }
 
 // Stats returns the number of committed and aborted update
 // transactions (read-only commits are not counted).
 func (db *DB) Stats() (commits, aborts int64) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.stateMu.Lock()
+	defer db.stateMu.Unlock()
 	return db.commits, db.aborts
 }
 
 // Begin starts a transaction on the latest committed snapshot (SI).
 func (db *DB) Begin() *Txn {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.stateMu.Lock()
+	defer db.stateMu.Unlock()
 	return db.beginLocked(db.version)
 }
 
@@ -153,8 +210,8 @@ func (db *DB) Begin() *Txn {
 // may be older than the latest (GSI). It is capped at the current
 // version: a replica cannot observe the future.
 func (db *DB) BeginAt(snapshot int64) *Txn {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.stateMu.Lock()
+	defer db.stateMu.Unlock()
 	if snapshot > db.version {
 		snapshot = db.version
 	}
@@ -174,7 +231,7 @@ func (db *DB) beginLocked(snapshot int64) *Txn {
 }
 
 // oldestActiveLocked returns the oldest snapshot still in use, or the
-// current version when idle.
+// current version when idle. The caller must hold stateMu.
 func (db *DB) oldestActiveLocked() int64 {
 	oldest := db.version
 	for v := range db.active {
@@ -187,6 +244,12 @@ func (db *DB) oldestActiveLocked() int64 {
 
 // release marks a transaction's snapshot as no longer in use.
 func (db *DB) release(snapshot int64) {
+	db.stateMu.Lock()
+	defer db.stateMu.Unlock()
+	db.releaseLocked(snapshot)
+}
+
+func (db *DB) releaseLocked(snapshot int64) {
 	if n := db.active[snapshot]; n <= 1 {
 		delete(db.active, snapshot)
 	} else {
@@ -194,28 +257,79 @@ func (db *DB) release(snapshot int64) {
 	}
 }
 
+// readRow returns the version chain state of one row under its
+// shard's read lock, reporting whether the row exists at all.
+func (db *DB) readRow(k writeset.Key, snapshot int64) (rowVersion, bool) {
+	s := &db.shards[shardIndex(k)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[k.Table]
+	if !ok {
+		return rowVersion{}, false
+	}
+	r, ok := t.rows[k.Row]
+	if !ok {
+		return rowVersion{}, false
+	}
+	return r.visible(snapshot)
+}
+
+// latestVersion returns the newest committed version of a row, 0 when
+// the row has never been written. Callers hold commitMu, so the chain
+// cannot change underfoot; the shard read lock is still taken to
+// order the read after any in-flight chain append.
+func (db *DB) latestVersion(k writeset.Key) int64 {
+	s := &db.shards[shardIndex(k)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[k.Table]
+	if !ok {
+		return 0
+	}
+	r, ok := t.rows[k.Row]
+	if !ok {
+		return 0
+	}
+	return r.latest()
+}
+
 // ApplyWriteset installs a remote transaction's writeset at the given
 // global version. Versions must arrive in increasing order (the
 // replica proxy applies writesets in commit order); unknown tables are
 // created implicitly because a propagated writeset is authoritative.
 func (db *DB) ApplyWriteset(ws writeset.Writeset, version int64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
 	if version <= db.version {
 		return fmt.Errorf("%w: %d <= %d", ErrStaleVersion, version, db.version)
 	}
-	db.installLocked(ws, version)
+	db.install(ws, version, true)
+	db.advance(version, false)
 	return nil
 }
 
-// installLocked writes every entry of ws as version v and advances the
-// database version.
-func (db *DB) installLocked(ws writeset.Writeset, v int64) {
+// install writes every entry of ws as version v. The caller must hold
+// commitMu, and must advance the version counter (under stateMu)
+// after install returns, so a concurrent reader's snapshot never
+// admits a half-installed commit. Shard write locks are taken per
+// entry.
+func (db *DB) install(ws writeset.Writeset, v int64, createTables bool) {
+	if createTables {
+		for _, e := range ws.Entries {
+			if !db.hasTable(e.Key.Table) {
+				db.tableMu.Lock()
+				db.tables[e.Key.Table] = struct{}{}
+				db.tableMu.Unlock()
+			}
+		}
+	}
 	for _, e := range ws.Entries {
-		t, ok := db.tables[e.Key.Table]
+		s := &db.shards[shardIndex(e.Key)]
+		s.mu.Lock()
+		t, ok := s.tables[e.Key.Table]
 		if !ok {
 			t = &table{rows: make(map[int64]*row)}
-			db.tables[e.Key.Table] = t
+			s.tables[e.Key.Table] = t
 		}
 		r, ok := t.rows[e.Key.Row]
 		if !ok {
@@ -223,8 +337,19 @@ func (db *DB) installLocked(ws writeset.Writeset, v int64) {
 			t.rows[e.Key.Row] = r
 		}
 		r.versions = append(r.versions, rowVersion{version: v, value: e.Value, deleted: e.Delete})
+		s.mu.Unlock()
 	}
+}
+
+// advance publishes v as the latest committed version, optionally
+// counting a commit. The caller must hold commitMu.
+func (db *DB) advance(v int64, countCommit bool) {
+	db.stateMu.Lock()
 	db.version = v
+	if countCommit {
+		db.commits++
+	}
+	db.stateMu.Unlock()
 }
 
 // GC prunes row versions that no active or future snapshot can see:
@@ -232,44 +357,63 @@ func (db *DB) installLocked(ws writeset.Writeset, v int64) {
 // below the oldest active snapshot are dropped. It returns the number
 // of versions removed.
 func (db *DB) GC() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	// stateMu is held for the whole prune: a BeginAt racing the GC
+	// could otherwise register a pre-horizon snapshot after the
+	// horizon was computed and then read pruned state. Holding it
+	// blocks Begin/Abort for the duration, which is what the seed's
+	// single mutex did too.
+	db.stateMu.Lock()
+	defer db.stateMu.Unlock()
 	horizon := db.oldestActiveLocked()
 	removed := 0
-	for _, t := range db.tables {
-		for _, r := range t.rows {
-			keep := 0
-			// Find the newest version <= horizon; everything before it
-			// is invisible to every present and future snapshot.
-			for i := len(r.versions) - 1; i >= 0; i-- {
-				if r.versions[i].version <= horizon {
-					keep = i
-					break
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.Lock()
+		for _, t := range s.tables {
+			for _, r := range t.rows {
+				keep := 0
+				// Find the newest version <= horizon; everything before
+				// it is invisible to every present and future snapshot.
+				for i := len(r.versions) - 1; i >= 0; i-- {
+					if r.versions[i].version <= horizon {
+						keep = i
+						break
+					}
+				}
+				if keep > 0 {
+					removed += keep
+					r.versions = append([]rowVersion(nil), r.versions[keep:]...)
 				}
 			}
-			if keep > 0 {
-				removed += keep
-				r.versions = append([]rowVersion(nil), r.versions[keep:]...)
-			}
 		}
+		s.mu.Unlock()
 	}
 	return removed
 }
 
-// rowCount returns the number of live rows in a table (latest visible
-// version not deleted), for tests and loaders.
+// RowCount returns the number of live rows in a table (latest visible
+// version not deleted), for tests and loaders. It holds commitMu so
+// the count never observes a half-installed commit.
 func (db *DB) RowCount(tableName string) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, ok := db.tables[tableName]
-	if !ok {
+	if !db.hasTable(tableName) {
 		return 0, fmt.Errorf("%w: %q", ErrNoTable, tableName)
 	}
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
 	n := 0
-	for _, r := range t.rows {
-		if len(r.versions) > 0 && !r.versions[len(r.versions)-1].deleted {
-			n++
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.RLock()
+		if t, ok := s.tables[tableName]; ok {
+			for _, r := range t.rows {
+				if len(r.versions) > 0 && !r.versions[len(r.versions)-1].deleted {
+					n++
+				}
+			}
 		}
+		s.mu.RUnlock()
 	}
 	return n, nil
 }

@@ -27,7 +27,8 @@ func (tx *Txn) ReadOnly() bool { return len(tx.writes) == 0 }
 // Read returns the value of (table, key) visible to the transaction:
 // its own write if present, else the newest committed version at or
 // below its snapshot. ok is false for rows absent or deleted in the
-// snapshot.
+// snapshot. Only the row's shard is locked (shared), so concurrent
+// readers over different shards do not contend at all.
 func (tx *Txn) Read(tableName string, key int64) (value string, ok bool, err error) {
 	if tx.done {
 		return "", false, ErrTxnDone
@@ -39,17 +40,10 @@ func (tx *Txn) Read(tableName string, key int64) (value string, ok bool, err err
 		}
 		return e.Value, true, nil
 	}
-	tx.db.mu.Lock()
-	defer tx.db.mu.Unlock()
-	t, exists := tx.db.tables[tableName]
-	if !exists {
+	if !tx.db.hasTable(tableName) {
 		return "", false, fmt.Errorf("%w: %q", ErrNoTable, tableName)
 	}
-	r, exists := t.rows[key]
-	if !exists {
-		return "", false, nil
-	}
-	v, visible := r.visible(tx.snapshot)
+	v, visible := tx.db.readRow(k, tx.snapshot)
 	if !visible || v.deleted {
 		return "", false, nil
 	}
@@ -62,10 +56,7 @@ func (tx *Txn) Write(tableName string, key int64, value string) error {
 	if tx.done {
 		return ErrTxnDone
 	}
-	tx.db.mu.Lock()
-	_, exists := tx.db.tables[tableName]
-	tx.db.mu.Unlock()
-	if !exists {
+	if !tx.db.hasTable(tableName) {
 		return fmt.Errorf("%w: %q", ErrNoTable, tableName)
 	}
 	tx.record(writeset.Entry{Key: writeset.Key{Table: tableName, Row: key}, Value: value})
@@ -77,10 +68,7 @@ func (tx *Txn) Delete(tableName string, key int64) error {
 	if tx.done {
 		return ErrTxnDone
 	}
-	tx.db.mu.Lock()
-	_, exists := tx.db.tables[tableName]
-	tx.db.mu.Unlock()
-	if !exists {
+	if !tx.db.hasTable(tableName) {
 		return fmt.Errorf("%w: %q", ErrNoTable, tableName)
 	}
 	tx.record(writeset.Entry{Key: writeset.Key{Table: tableName, Row: key}, Delete: true})
@@ -97,13 +85,15 @@ func (tx *Txn) record(e writeset.Entry) {
 
 // Writeset extracts the transaction's current writeset without
 // finishing the transaction — the proxy's "eager writeset extraction"
-// used for early certification (§5.1).
+// used for early certification (§5.1). No key set is precomputed:
+// the certifier's inverted index probes entries directly, so the
+// commit path never compares writesets pairwise.
 func (tx *Txn) Writeset() writeset.Writeset {
-	ws := writeset.Writeset{Entries: make([]writeset.Entry, 0, len(tx.order))}
+	entries := make([]writeset.Entry, 0, len(tx.order))
 	for _, k := range tx.order {
-		ws.Entries = append(ws.Entries, tx.writes[k])
+		entries = append(entries, tx.writes[k])
 	}
-	return ws
+	return writeset.Writeset{Entries: entries}
 }
 
 // Commit finishes the transaction under first-committer-wins SI.
@@ -121,30 +111,29 @@ func (tx *Txn) Commit() (writeset.Writeset, int64, error) {
 	tx.done = true
 	ws := tx.Writeset()
 
-	tx.db.mu.Lock()
-	defer tx.db.mu.Unlock()
-	defer tx.db.release(tx.snapshot)
-
 	if ws.Empty() {
+		tx.db.release(tx.snapshot)
 		return ws, tx.snapshot, nil
 	}
+	// Committers serialize on commitMu: the conflict check, version
+	// assignment and install form one atomic step with respect to
+	// every other state mutation. Read-only transactions are never
+	// behind this lock.
+	tx.db.commitMu.Lock()
+	defer tx.db.commitMu.Unlock()
+	defer tx.db.release(tx.snapshot)
+
 	for _, e := range ws.Entries {
-		t, ok := tx.db.tables[e.Key.Table]
-		if !ok {
-			continue
-		}
-		r, ok := t.rows[e.Key.Row]
-		if !ok {
-			continue
-		}
-		if r.latest() > tx.snapshot {
+		if tx.db.latestVersion(e.Key) > tx.snapshot {
+			tx.db.stateMu.Lock()
 			tx.db.aborts++
+			tx.db.stateMu.Unlock()
 			return writeset.Writeset{}, 0, fmt.Errorf("%w: row %s", ErrConflict, e.Key)
 		}
 	}
 	v := tx.db.version + 1
-	tx.db.installLocked(ws, v)
-	tx.db.commits++
+	tx.db.install(ws, v, false)
+	tx.db.advance(v, true)
 	return ws, v, nil
 }
 
@@ -159,18 +148,19 @@ func (tx *Txn) CommitAt(version int64) (writeset.Writeset, error) {
 	tx.done = true
 	ws := tx.Writeset()
 
-	tx.db.mu.Lock()
-	defer tx.db.mu.Unlock()
-	defer tx.db.release(tx.snapshot)
-
 	if ws.Empty() {
+		tx.db.release(tx.snapshot)
 		return ws, nil
 	}
+	tx.db.commitMu.Lock()
+	defer tx.db.commitMu.Unlock()
+	defer tx.db.release(tx.snapshot)
+
 	if version <= tx.db.version {
 		return writeset.Writeset{}, fmt.Errorf("%w: %d <= %d", ErrStaleVersion, version, tx.db.version)
 	}
-	tx.db.installLocked(ws, version)
-	tx.db.commits++
+	tx.db.install(ws, version, false)
+	tx.db.advance(version, true)
 	return ws, nil
 }
 
@@ -180,10 +170,10 @@ func (tx *Txn) Abort() {
 		return
 	}
 	tx.done = true
-	tx.db.mu.Lock()
-	defer tx.db.mu.Unlock()
-	tx.db.release(tx.snapshot)
+	tx.db.stateMu.Lock()
+	tx.db.releaseLocked(tx.snapshot)
 	if len(tx.writes) > 0 {
 		tx.db.aborts++
 	}
+	tx.db.stateMu.Unlock()
 }

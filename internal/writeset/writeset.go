@@ -30,8 +30,60 @@ type Entry struct {
 }
 
 // Writeset captures an update transaction's effects.
+//
+// A writeset is logically immutable once constructed. Writesets built
+// through New or Builder.Writeset carry a precomputed key set, which
+// makes Conflicts and the certifier's inverted index O(len) without
+// rebuilding hash maps per comparison; zero-value construction from an
+// Entries literal remains valid and falls back to building the set on
+// demand.
 type Writeset struct {
 	Entries []Entry
+
+	// keys is the cached key set, nil when the writeset was built from
+	// a literal. It is never mutated after construction, so copying the
+	// struct (and the map pointer with it) is safe.
+	keys map[Key]struct{}
+}
+
+// New constructs a writeset from entries and precomputes its key set.
+// The caller must not mutate entries afterwards.
+func New(entries []Entry) Writeset {
+	ws := Writeset{Entries: entries}
+	if len(entries) > 0 {
+		ws.keys = make(map[Key]struct{}, len(entries))
+		for _, e := range entries {
+			ws.keys[e.Key] = struct{}{}
+		}
+	}
+	return ws
+}
+
+// keySet returns the cached key set, building one if the writeset was
+// constructed from a literal.
+func (ws Writeset) keySet() map[Key]struct{} {
+	if ws.keys != nil {
+		return ws.keys
+	}
+	set := make(map[Key]struct{}, len(ws.Entries))
+	for _, e := range ws.Entries {
+		set[e.Key] = struct{}{}
+	}
+	return set
+}
+
+// Contains reports whether the writeset touches key.
+func (ws Writeset) Contains(key Key) bool {
+	if ws.keys != nil {
+		_, ok := ws.keys[key]
+		return ok
+	}
+	for _, e := range ws.Entries {
+		if e.Key == key {
+			return true
+		}
+	}
+	return false
 }
 
 // Empty reports whether the transaction modified nothing (i.e. it is
@@ -73,16 +125,27 @@ func (ws Writeset) Conflicts(other Writeset) bool {
 	if len(ws.Entries) == 0 || len(other.Entries) == 0 {
 		return false
 	}
-	small, large := ws, other
-	if len(small.Entries) > len(large.Entries) {
-		small, large = large, small
+	// Probe the side that already has a key set with the other side's
+	// entries; when both (or neither) have one, probe the larger set
+	// with the smaller entry list.
+	switch {
+	case ws.keys != nil && other.keys == nil:
+		return probe(other.Entries, ws.keys)
+	case ws.keys == nil && other.keys != nil:
+		return probe(ws.Entries, other.keys)
+	default:
+		small, large := ws, other
+		if len(small.Entries) > len(large.Entries) {
+			small, large = large, small
+		}
+		return probe(small.Entries, large.keySet())
 	}
-	seen := make(map[Key]struct{}, len(small.Entries))
-	for _, e := range small.Entries {
-		seen[e.Key] = struct{}{}
-	}
-	for _, e := range large.Entries {
-		if _, ok := seen[e.Key]; ok {
+}
+
+// probe reports whether any entry's key is in set.
+func probe(entries []Entry, set map[Key]struct{}) bool {
+	for _, e := range entries {
+		if _, ok := set[e.Key]; ok {
 			return true
 		}
 	}
@@ -133,11 +196,12 @@ func (b *Builder) Delete(key Key) {
 // Len returns the number of distinct rows recorded.
 func (b *Builder) Len() int { return len(b.entries) }
 
-// Writeset returns the accumulated writeset in first-write order.
+// Writeset returns the accumulated writeset in first-write order, with
+// its key set precomputed.
 func (b *Builder) Writeset() Writeset {
-	ws := Writeset{Entries: make([]Entry, 0, len(b.order))}
+	entries := make([]Entry, 0, len(b.order))
 	for _, k := range b.order {
-		ws.Entries = append(ws.Entries, b.entries[k])
+		entries = append(entries, b.entries[k])
 	}
-	return ws
+	return New(entries)
 }

@@ -154,3 +154,74 @@ func TestQuickConflictMatchesNaive(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNewPrecomputesKeySet(t *testing.T) {
+	ws := New([]Entry{
+		{Key: Key{Table: "a", Row: 1}, Value: "x"},
+		{Key: Key{Table: "b", Row: 2}, Value: "y"},
+	})
+	if ws.keys == nil {
+		t.Fatal("New did not precompute the key set")
+	}
+	if !ws.Contains(Key{Table: "a", Row: 1}) || ws.Contains(Key{Table: "a", Row: 2}) {
+		t.Fatal("Contains wrong")
+	}
+	// Copies share the cache (the map is never mutated).
+	cp := ws
+	if cp.keys == nil || !cp.Contains(Key{Table: "b", Row: 2}) {
+		t.Fatal("copy lost the cache")
+	}
+	if New(nil).keys != nil {
+		t.Fatal("empty writeset allocated a key set")
+	}
+}
+
+func TestBuilderWritesetCachesKeys(t *testing.T) {
+	b := NewBuilder()
+	b.Put(Key{Table: "t", Row: 1}, "v")
+	b.Delete(Key{Table: "t", Row: 2})
+	ws := b.Writeset()
+	if ws.keys == nil {
+		t.Fatal("Builder.Writeset did not precompute the key set")
+	}
+	if !ws.Contains(Key{Table: "t", Row: 2}) {
+		t.Fatal("deleted key missing from set")
+	}
+}
+
+func TestConflictsAllCacheCombinations(t *testing.T) {
+	mk := func(cached bool, rows ...int64) Writeset {
+		entries := make([]Entry, len(rows))
+		for i, r := range rows {
+			entries[i] = Entry{Key: Key{Table: "t", Row: r}, Value: "v"}
+		}
+		if cached {
+			return New(entries)
+		}
+		return Writeset{Entries: entries}
+	}
+	for _, aCached := range []bool{false, true} {
+		for _, bCached := range []bool{false, true} {
+			a := mk(aCached, 1, 2, 3)
+			b := mk(bCached, 3, 4)
+			c := mk(bCached, 4, 5)
+			if !a.Conflicts(b) || !b.Conflicts(a) {
+				t.Fatalf("cached=%v/%v: overlap missed", aCached, bCached)
+			}
+			if a.Conflicts(c) || c.Conflicts(a) {
+				t.Fatalf("cached=%v/%v: phantom conflict", aCached, bCached)
+			}
+			empty := Writeset{}
+			if a.Conflicts(empty) || empty.Conflicts(a) {
+				t.Fatalf("cached=%v/%v: empty conflicted", aCached, bCached)
+			}
+		}
+	}
+}
+
+func TestContainsUncached(t *testing.T) {
+	ws := Writeset{Entries: []Entry{{Key: Key{Table: "t", Row: 7}, Value: "v"}}}
+	if !ws.Contains(Key{Table: "t", Row: 7}) || ws.Contains(Key{Table: "t", Row: 8}) {
+		t.Fatal("uncached Contains wrong")
+	}
+}
