@@ -6,11 +6,16 @@
 package cmd_test
 
 import (
+	"errors"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // buildAll compiles the four binaries once per test binary run.
@@ -142,4 +147,143 @@ func TestCommandLineTools(t *testing.T) {
 			t.Fatalf("output:\n%s", out)
 		}
 	})
+}
+
+// runExpectUsage executes a binary expecting exit code 2 (flag
+// validation failure) and returns combined output.
+func runExpectUsage(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %s unexpectedly succeeded:\n%s", filepath.Base(bin), strings.Join(args, " "), out)
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+		t.Fatalf("%s %s: want exit 2, got %v:\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+// TestReplicadbFlagValidation pins the up-front flag-combination
+// checks: invalid invocations exit 2 with a usage message instead of
+// failing deep in setup.
+func TestReplicadbFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildAll(t)
+	bin := bins["replicadb"]
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"paxos with sm", []string{"-design", "sm", "-paxos"}, "-paxos requires -design mm"},
+		{"groupcommit with sm", []string{"-design", "sm", "-groupcommit"}, "-groupcommit requires -design mm"},
+		{"unknown design", []string{"-design", "nope"}, "unknown design"},
+		{"zero replicas", []string{"-replicas", "0"}, "-replicas must be >= 1"},
+		{"unknown mix", []string{"-mix", "nope"}, "unknown mix"},
+		{"serve without listen", []string{"serve", "-design", "mm", "-peers", "a:1,b:2"}, "requires -listen"},
+		{"serve without peers", []string{"serve", "-design", "mm", "-listen", "127.0.0.1:0"}, "requires -peers"},
+		{"serve id out of range", []string{"serve", "-design", "mm", "-listen", "127.0.0.1:0", "-peers", "a:1,b:2", "-id", "5"}, "out of range"},
+		{"serve groupcommit on sm", []string{"serve", "-design", "sm", "-listen", "127.0.0.1:0", "-peers", "a:1", "-groupcommit"}, "require -design mm"},
+		{"bench without servers", []string{"bench", "-design", "mm"}, "requires -servers"},
+		{"unknown mode", []string{"frobnicate"}, "unknown mode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := runExpectUsage(t, bin, tc.args...)
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("output missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}
+
+// reservePorts grabs n distinct loopback addresses by binding and
+// releasing listeners; the tiny reuse race is acceptable in tests.
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+// waitReachable polls an address until something accepts or the
+// deadline passes.
+func waitReachable(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, 250*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("server at %s never came up", addr)
+}
+
+// TestReplicadbNetworkedCluster is the acceptance path end to end:
+// a 3-replica multi-master cluster as 3 OS processes started via
+// `replicadb serve`, a `replicadb bench` client driving a TPC-W mix
+// over TCP, and convergence verified over the wire.
+func TestReplicadbNetworkedCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildAll(t)
+	bin := bins["replicadb"]
+	addrs := reservePorts(t, 3)
+	peers := strings.Join(addrs, ",")
+
+	var procs []*exec.Cmd
+	for i, addr := range addrs {
+		cmd := exec.Command(bin, "serve",
+			"-design", "mm",
+			"-id", strconv.Itoa(i),
+			"-listen", addr,
+			"-peers", peers)
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start replica %d: %v", i, err)
+		}
+		procs = append(procs, cmd)
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+		waitReachable(t, addr)
+	}
+
+	out := run(t, bin, "bench",
+		"-design", "mm",
+		"-servers", peers,
+		"-mix", "tpcw-shopping",
+		"-clients", "4", "-txns", "15", "-factor", "500")
+	for _, want := range []string{"over TCP", "all replicas identical", "latency: p50="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("bench output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Graceful shutdown on SIGTERM for one replica.
+	if err := procs[2].Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- procs[2].Wait() }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("replica 2 did not exit on SIGTERM")
+	}
 }

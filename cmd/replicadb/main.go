@@ -1,57 +1,160 @@
 // Command replicadb runs the live replicated-database middleware (the
-// functional prototypes of §5, not the performance simulation): it
-// builds a multi-master or single-master cluster over the in-memory
-// snapshot-isolation engine, loads the benchmark schema, drives
-// concurrent closed-loop clients through the load balancer, and
-// verifies that all replicas converged to identical contents.
+// functional prototypes of §5, not the performance simulation) in
+// three modes:
+//
+//   - the default in-process mode builds a multi-master or
+//     single-master cluster over the in-memory snapshot-isolation
+//     engine, drives concurrent closed-loop clients through the load
+//     balancer and verifies convergence;
+//   - "serve" runs ONE replica as a TCP server process, so an
+//     N-replica cluster is N processes connected by the wire protocol
+//     (replica 0 hosts the certifier for mm / is the master for sm);
+//   - "bench" drives a TPC-W / RUBiS mix against a running networked
+//     cluster through the pooled client and verifies convergence over
+//     the wire.
 //
 // Usage:
 //
 //	replicadb -design mm -replicas 4 -mix tpcw-shopping -txns 200
 //	replicadb -design sm -replicas 3 -mix rubis-bidding -clients 16
 //	replicadb -design mm -replicas 2 -paxos       # replicated certifier
+//
+//	replicadb serve -design mm -id 0 -listen 127.0.0.1:7000 \
+//	    -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//	replicadb bench -design mm \
+//	    -servers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 \
+//	    -mix tpcw-shopping -clients 8 -txns 100
+//
+// Flag combinations are validated up front; invalid ones exit 2 with
+// a usage message.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/repl"
 	"repro/internal/repl/mm"
 	"repro/internal/repl/sm"
+	"repro/internal/server"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
 func main() {
-	var (
-		design   = flag.String("design", "mm", "replication design: mm or sm")
-		replicas = flag.Int("replicas", 4, "number of database replicas")
-		mixID    = flag.String("mix", "tpcw-shopping", "workload mix id")
-		clients  = flag.Int("clients", 8, "concurrent clients")
-		txns     = flag.Int("txns", 100, "committed transactions per client")
-		factor   = flag.Int("factor", 100, "table scale-down factor (1 = full benchmark size)")
-		paxos    = flag.Bool("paxos", false, "replicate the MM certifier over a 3-node Paxos group")
-		batch    = flag.Bool("groupcommit", false, "batch MM commit certification (one Paxos round per batch)")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-	)
-	flag.Parse()
-
-	mix, ok := workload.ByID(*mixID)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "replicadb: unknown mix %q\n", *mixID)
+	args := os.Args[1:]
+	mode := "run"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		mode = args[0]
+		args = args[1:]
+	}
+	switch mode {
+	case "run":
+		runMain(args)
+	case "serve":
+		serveMain(args)
+	case "bench":
+		benchMain(args)
+	default:
+		fmt.Fprintf(os.Stderr, "replicadb: unknown mode %q (run|serve|bench)\n", mode)
 		os.Exit(2)
 	}
+}
+
+// usageExit prints a flag error plus the flag set's usage and exits 2,
+// the contract for invalid invocations.
+func usageExit(fs *flag.FlagSet, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "replicadb %s: %s\n", fs.Name(), fmt.Sprintf(format, args...))
+	fs.Usage()
+	os.Exit(2)
+}
+
+// fatal reports a runtime failure (exit 1, not a usage error).
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "replicadb: %s\n", fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+// mustMix resolves a mix id or exits 2 listing the valid ones.
+func mustMix(fs *flag.FlagSet, id string) workload.Mix {
+	mix, ok := workload.ByID(id)
+	if !ok {
+		ids := make([]string, 0, len(workload.All()))
+		for _, m := range workload.All() {
+			ids = append(ids, m.ID())
+		}
+		usageExit(fs, "unknown mix %q (valid: %s)", id, strings.Join(ids, ", "))
+	}
+	return mix
+}
+
+// printDriveResult renders commit counts and the per-class latency
+// percentiles shared by the in-process and networked drivers.
+func printDriveResult(res repl.DriveResult, elapsed time.Duration) {
+	fmt.Printf("\ncommitted %d transactions in %.2fs (%.0f tps wall-clock)\n",
+		res.Commits, elapsed.Seconds(), float64(res.Commits)/elapsed.Seconds())
+	fmt.Printf("  read-only: %d, updates: %d, certification aborts (retried): %d, errors: %d\n",
+		res.ReadCommits, res.UpdateCommits, res.Aborts, res.Errors)
+	printLatency("read-only", res.ReadLatency)
+	printLatency("update   ", res.UpdateLatency)
+}
+
+func printLatency(class string, l *stats.Latency) {
+	if l == nil || l.Count() == 0 {
+		return
+	}
+	fmt.Printf("  %s latency: %s\n", class, l.Summary())
+}
+
+// runMain is the original in-process mode.
+func runMain(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		design   = fs.String("design", "mm", "replication design: mm or sm")
+		replicas = fs.Int("replicas", 4, "number of database replicas")
+		mixID    = fs.String("mix", "tpcw-shopping", "workload mix id")
+		clients  = fs.Int("clients", 8, "concurrent clients")
+		txns     = fs.Int("txns", 100, "committed transactions per client")
+		factor   = fs.Int("factor", 100, "table scale-down factor (1 = full benchmark size)")
+		paxos    = fs.Bool("paxos", false, "replicate the MM certifier over a 3-node Paxos group")
+		batch    = fs.Bool("groupcommit", false, "batch MM commit certification (one Paxos round per batch)")
+		seed     = fs.Uint64("seed", 1, "workload seed")
+	)
+	fs.Parse(args)
+
+	// Validate the flag combination before building anything.
+	if *design != "mm" && *design != "sm" {
+		usageExit(fs, "unknown design %q (mm|sm)", *design)
+	}
+	if *design == "sm" && *paxos {
+		usageExit(fs, "-paxos requires -design mm (the single-master design has no certifier)")
+	}
+	if *design == "sm" && *batch {
+		usageExit(fs, "-groupcommit requires -design mm")
+	}
+	if *replicas < 1 {
+		usageExit(fs, "-replicas must be >= 1 (got %d)", *replicas)
+	}
+	if *clients < 1 || *txns < 1 {
+		usageExit(fs, "-clients and -txns must be >= 1")
+	}
+	if *factor < 1 {
+		usageExit(fs, "-factor must be >= 1 (got %d)", *factor)
+	}
+	mix := mustMix(fs, *mixID)
 	cat, err := workload.CatalogFor(mix)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "replicadb: %v\n", err)
-		os.Exit(1)
+		fatal("%v", err)
 	}
 
 	var sys repl.System
 	var loader repl.Loader
-	var tables []string
 	switch *design {
 	case "mm":
 		c, err := mm.New(mm.Options{
@@ -61,60 +164,207 @@ func main() {
 			GroupCommit:         *batch,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "replicadb: %v\n", err)
-			os.Exit(1)
+			fatal("%v", err)
 		}
 		sys, loader = c, c
 	case "sm":
 		c, err := sm.New(sm.Options{Replicas: *replicas})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "replicadb: %v\n", err)
-			os.Exit(1)
+			fatal("%v", err)
 		}
 		sys, loader = c, c
-	default:
-		fmt.Fprintf(os.Stderr, "replicadb: unknown design %q (mm|sm)\n", *design)
-		os.Exit(2)
 	}
 
 	fmt.Printf("loading %s schema (scale 1/%d) on %d replicas...\n", cat.Benchmark, *factor, *replicas)
 	if err := repl.LoadCatalog(loader, cat, *factor); err != nil {
-		fmt.Fprintf(os.Stderr, "replicadb: load: %v\n", err)
-		os.Exit(1)
-	}
-	for name := range cat.Tables {
-		tables = append(tables, name)
+		fatal("load: %v", err)
 	}
 
 	fmt.Printf("driving %d clients x %d transactions (%s mix: %.0f%% reads / %.0f%% updates)...\n",
 		*clients, *txns, mix.Name, mix.Pr*100, mix.Pw*100)
 	start := time.Now()
 	res := repl.Drive(sys, cat, mix, *clients, *txns, *factor, *seed)
-	elapsed := time.Since(start)
-
-	fmt.Printf("\ncommitted %d transactions in %.2fs (%.0f tps wall-clock)\n",
-		res.Commits, elapsed.Seconds(), float64(res.Commits)/elapsed.Seconds())
-	fmt.Printf("  read-only: %d, updates: %d, certification aborts (retried): %d, errors: %d\n",
-		res.ReadCommits, res.UpdateCommits, res.Aborts, res.Errors)
+	printDriveResult(res, time.Since(start))
 	if res.Errors > 0 {
-		fmt.Fprintln(os.Stderr, "replicadb: unexpected errors during the run")
-		os.Exit(1)
+		fatal("unexpected errors during the run")
 	}
 
 	fmt.Print("checking replica convergence... ")
-	if err := repl.CheckConvergence(sys, tables); err != nil {
+	if err := repl.CheckConvergence(sys, tableNames(cat)); err != nil {
 		fmt.Println("FAILED")
-		fmt.Fprintf(os.Stderr, "replicadb: %v\n", err)
-		os.Exit(1)
+		fatal("%v", err)
 	}
 	fmt.Println("ok: all replicas identical")
 
 	if c, ok := sys.(*mm.Cluster); ok {
-		commits, aborts := c.Certifier().Stats()
-		fmt.Printf("certifier: %d commits, %d aborts, version %d\n",
-			commits, aborts, c.Certifier().Version())
-		if slots := c.Certifier().ReplicationSlots(); slots > 0 {
-			fmt.Printf("certifier log: %d Paxos slots for %d commits\n", slots, commits)
+		if cert := c.Certifier(); cert != nil {
+			commits, aborts := cert.Stats()
+			fmt.Printf("certifier: %d commits, %d aborts, version %d\n",
+				commits, aborts, cert.Version())
+			if slots := cert.ReplicationSlots(); slots > 0 {
+				fmt.Printf("certifier log: %d Paxos slots for %d commits\n", slots, commits)
+			}
 		}
 	}
+}
+
+// serveMain runs one replica server process.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		design  = fs.String("design", "mm", "replication design: mm or sm")
+		id      = fs.Int("id", 0, "this replica's id (0 hosts the certifier / is the master)")
+		listen  = fs.String("listen", "", "TCP listen address, e.g. 127.0.0.1:7000 (required)")
+		peers   = fs.String("peers", "", "comma-separated replica addresses indexed by id (required; peers[0] is the primary)")
+		metrics = fs.String("metrics", "", "optional HTTP /metrics listen address")
+		batch   = fs.Bool("groupcommit", false, "batch commit certification on the certifier host (mm, id 0)")
+		eager   = fs.Bool("eager", false, "eager certification on writes (mm; remote probe per write on non-primary nodes)")
+	)
+	fs.Parse(args)
+
+	if *design != "mm" && *design != "sm" {
+		usageExit(fs, "unknown design %q (mm|sm)", *design)
+	}
+	if *listen == "" {
+		usageExit(fs, "serve requires -listen")
+	}
+	if *peers == "" {
+		usageExit(fs, "serve requires -peers (all replica addresses, indexed by id)")
+	}
+	peerList := splitAddrs(*peers)
+	if *id < 0 || *id >= len(peerList) {
+		usageExit(fs, "-id %d out of range for %d peers", *id, len(peerList))
+	}
+	if *design == "sm" && (*batch || *eager) {
+		usageExit(fs, "-groupcommit and -eager require -design mm")
+	}
+	if *batch && *id != 0 {
+		usageExit(fs, "-groupcommit only applies to the certifier host (id 0)")
+	}
+
+	opts := server.Options{
+		Design:      *design,
+		ID:          *id,
+		Listen:      *listen,
+		MetricsAddr: *metrics,
+		GroupCommit: *batch,
+		EagerCert:   *eager,
+		Replicas:    len(peerList),
+	}
+	if *id > 0 {
+		opts.Primary = peerList[0]
+	}
+	srv, err := server.New(opts)
+	if err != nil {
+		fatal("%v", err)
+	}
+	srv.Start()
+	role := "replica"
+	if *id == 0 {
+		if *design == "mm" {
+			role = "replica+certifier"
+		} else {
+			role = "master"
+		}
+	}
+	fmt.Printf("replicadb: serving %s %s %d on %s\n", *design, role, *id, srv.Addr())
+	if addr := srv.MetricsAddr(); addr != "" {
+		fmt.Printf("replicadb: metrics on http://%s/metrics\n", addr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("replicadb: shutting down")
+	if err := srv.Close(); err != nil {
+		fatal("shutdown: %v", err)
+	}
+}
+
+// benchMain drives a networked cluster through the pooled client.
+func benchMain(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		design   = fs.String("design", "mm", "replication design of the target cluster: mm or sm")
+		servers  = fs.String("servers", "", "comma-separated replica server addresses indexed by id (required)")
+		mixID    = fs.String("mix", "tpcw-shopping", "workload mix id")
+		clients  = fs.Int("clients", 8, "concurrent clients")
+		txns     = fs.Int("txns", 100, "committed transactions per client")
+		factor   = fs.Int("factor", 100, "table scale-down factor")
+		seed     = fs.Uint64("seed", 1, "workload seed")
+		load     = fs.Bool("load", true, "create and load the schema before driving")
+		converge = fs.Bool("converge", true, "verify replica convergence after the run")
+	)
+	fs.Parse(args)
+
+	if *design != "mm" && *design != "sm" {
+		usageExit(fs, "unknown design %q (mm|sm)", *design)
+	}
+	if *servers == "" {
+		usageExit(fs, "bench requires -servers")
+	}
+	if *clients < 1 || *txns < 1 {
+		usageExit(fs, "-clients and -txns must be >= 1")
+	}
+	if *factor < 1 {
+		usageExit(fs, "-factor must be >= 1 (got %d)", *factor)
+	}
+	mix := mustMix(fs, *mixID)
+	cat, err := workload.CatalogFor(mix)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	cl, err := client.New(client.Options{
+		Servers: splitAddrs(*servers),
+		Design:  *design,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer cl.Close()
+
+	if *load {
+		fmt.Printf("loading %s schema (scale 1/%d) over %d servers...\n", cat.Benchmark, *factor, cl.Replicas())
+		if err := repl.LoadCatalog(cl, cat, *factor); err != nil {
+			fatal("load: %v", err)
+		}
+	}
+
+	fmt.Printf("driving %d clients x %d transactions over TCP (%s mix: %.0f%% reads / %.0f%% updates)...\n",
+		*clients, *txns, mix.Name, mix.Pr*100, mix.Pw*100)
+	start := time.Now()
+	res := repl.Drive(cl, cat, mix, *clients, *txns, *factor, *seed)
+	printDriveResult(res, time.Since(start))
+	if res.Errors > 0 {
+		fatal("unexpected errors during the run")
+	}
+
+	if *converge {
+		fmt.Print("checking replica convergence... ")
+		if err := repl.CheckConvergence(cl, tableNames(cat)); err != nil {
+			fmt.Println("FAILED")
+			fatal("%v", err)
+		}
+		fmt.Println("ok: all replicas identical")
+	}
+}
+
+// splitAddrs splits a comma-separated address list, trimming blanks.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func tableNames(cat workload.Catalog) []string {
+	names := make([]string, 0, len(cat.Tables))
+	for name := range cat.Tables {
+		names = append(names, name)
+	}
+	return names
 }

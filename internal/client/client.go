@@ -1,0 +1,439 @@
+// Package client implements the connection-pooled network driver for
+// the replica servers in internal/server: it satisfies the same
+// repl.System and repl.Loader interfaces the in-process clusters do,
+// so the workload driver (repl.Drive), catalog loader and convergence
+// checker run unchanged over TCP.
+//
+// Routing mirrors the in-process load balancer: transactions go to the
+// least-loaded replica (updates pinned to the master for the
+// single-master design), one pooled connection is checked out per
+// transaction, and a replica that stops answering is marked down and
+// routed around until a later probe revives it — the behavior the
+// kill-one-replica test exercises.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/lb"
+	"repro/internal/repl"
+	"repro/internal/wire"
+)
+
+// Options configure the driver.
+type Options struct {
+	// Servers lists replica addresses indexed by replica id; index 0
+	// is the certifier host (mm) or the master (sm).
+	Servers []string
+	// Design selects update routing: "mm" sends updates to any
+	// replica, "sm" pins them to server 0.
+	Design string
+	// PoolSize caps retained idle connections per server (default 4).
+	PoolSize int
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// ProbeAfter is how long a server marked down is skipped before
+	// being optimistically re-probed (default 500ms).
+	ProbeAfter time.Duration
+}
+
+// Client is a pooled driver over a set of replica servers. It is safe
+// for concurrent use by many workload goroutines.
+type Client struct {
+	opts Options
+	bal  *lb.Balancer
+	reps []*replicaConns
+}
+
+// replicaConns is the per-replica pool plus down-state.
+type replicaConns struct {
+	pool *connPool
+
+	mu        sync.Mutex
+	downUntil time.Time
+}
+
+var _ repl.System = (*Client)(nil)
+var _ repl.Loader = (*Client)(nil)
+
+// New creates a driver over the given servers. No connections are
+// dialed until first use.
+func New(opts Options) (*Client, error) {
+	if len(opts.Servers) == 0 {
+		return nil, errors.New("client: no servers")
+	}
+	switch opts.Design {
+	case "mm", "sm":
+	default:
+		return nil, fmt.Errorf("client: unknown design %q (mm|sm)", opts.Design)
+	}
+	if opts.ProbeAfter <= 0 {
+		opts.ProbeAfter = 500 * time.Millisecond
+	}
+	c := &Client{opts: opts, bal: lb.New(len(opts.Servers))}
+	for _, addr := range opts.Servers {
+		c.reps = append(c.reps, &replicaConns{
+			pool: newConnPool(addr, opts.Design, -1, opts.DialTimeout, opts.PoolSize),
+		})
+	}
+	return c, nil
+}
+
+// Close releases every pooled connection.
+func (c *Client) Close() {
+	for _, r := range c.reps {
+		r.pool.closeAll()
+	}
+}
+
+// Replicas returns the number of replica servers.
+func (c *Client) Replicas() int { return len(c.reps) }
+
+// markDown records a replica failure for routing.
+func (c *Client) markDown(idx int) {
+	r := c.reps[idx]
+	r.mu.Lock()
+	r.downUntil = time.Now().Add(c.opts.ProbeAfter)
+	r.mu.Unlock()
+	c.bal.SetHealthy(idx, false)
+}
+
+// reviveDue optimistically re-admits down replicas whose probe
+// interval has passed; a still-dead replica is re-marked on the next
+// failed begin.
+func (c *Client) reviveDue() {
+	now := time.Now()
+	for i, r := range c.reps {
+		if c.bal.Healthy(i) {
+			continue
+		}
+		r.mu.Lock()
+		due := now.After(r.downUntil)
+		r.mu.Unlock()
+		if due {
+			c.bal.SetHealthy(i, true)
+		}
+	}
+}
+
+// BeginRead starts a read-only transaction on a least-loaded replica.
+func (c *Client) BeginRead() (repl.Txn, error) { return c.begin(true) }
+
+// BeginUpdate starts an update transaction (any replica for mm, the
+// master for sm).
+func (c *Client) BeginUpdate() (repl.Txn, error) { return c.begin(false) }
+
+func (c *Client) begin(readOnly bool) (repl.Txn, error) {
+	eligible := func(i int) bool {
+		if c.opts.Design == "sm" && !readOnly {
+			return i == 0
+		}
+		return true
+	}
+	c.reviveDue()
+	var lastErr error
+	for attempt := 0; attempt <= len(c.reps); attempt++ {
+		idx, err := c.bal.AcquireWhere(eligible)
+		if err != nil {
+			return nil, err
+		}
+		tx, err := c.beginOn(idx, readOnly)
+		if err == nil {
+			return tx, nil
+		}
+		c.bal.Release(idx)
+		lastErr = err
+		var pe *protocolError
+		if errors.As(err, &pe) {
+			// The server answered but refused; rerouting won't help.
+			return nil, err
+		}
+		c.markDown(idx)
+	}
+	return nil, fmt.Errorf("client: begin failed on every replica: %w", lastErr)
+}
+
+// protocolError is a server-level refusal (as opposed to a transport
+// failure, which triggers failover).
+type protocolError struct {
+	code uint8
+	msg  string
+}
+
+func (e *protocolError) Error() string { return e.msg }
+
+// beginOn opens a transaction on replica idx, draining stale pooled
+// connections as it goes.
+func (c *Client) beginOn(idx int, readOnly bool) (*Txn, error) {
+	pool := c.reps[idx].pool
+	var lastErr error
+	for attempt := 0; attempt <= pool.maxIdle+1; attempt++ {
+		conn, fresh, err := pool.get()
+		if err != nil {
+			return nil, err
+		}
+		reply, err := roundTrip(conn, &wire.Begin{ReadOnly: readOnly})
+		if err != nil {
+			pool.discard(conn)
+			lastErr = err
+			if fresh {
+				return nil, err
+			}
+			continue // stale pooled connection, try the next
+		}
+		switch m := reply.(type) {
+		case *wire.BeginOK:
+			return &Txn{client: c, idx: idx, conn: conn, readOnly: readOnly}, nil
+		case *wire.Err:
+			pool.put(conn)
+			return nil, &protocolError{code: m.Code, msg: fmt.Sprintf("client: begin on %s: %s", pool.addr, m.Msg)}
+		default:
+			pool.discard(conn)
+			return nil, fmt.Errorf("client: begin on %s: unexpected reply %T", pool.addr, reply)
+		}
+	}
+	return nil, fmt.Errorf("client: begin on %s: %w", pool.addr, lastErr)
+}
+
+// Txn is one transaction bound to one checked-out connection.
+type Txn struct {
+	client   *Client
+	idx      int
+	conn     *wconn
+	readOnly bool
+	done     bool
+}
+
+var _ repl.Txn = (*Txn)(nil)
+
+// fail tears the transaction down after a transport error: the
+// connection state is unknown, so it is discarded.
+func (t *Txn) fail(err error) error {
+	if !t.done {
+		t.done = true
+		t.client.reps[t.idx].pool.discard(t.conn)
+		t.client.bal.Release(t.idx)
+	}
+	return err
+}
+
+// finish returns the connection to the pool after a clean protocol
+// exchange ended the transaction.
+func (t *Txn) finish() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.client.reps[t.idx].pool.put(t.conn)
+	t.client.bal.Release(t.idx)
+}
+
+// errDone mirrors the engines' use-after-finish error.
+var errDone = errors.New("client: transaction already finished")
+
+func (t *Txn) exchange(req wire.Message) (wire.Message, error) {
+	if t.done {
+		return nil, errDone
+	}
+	reply, err := roundTrip(t.conn, req)
+	if err != nil {
+		return nil, t.fail(err)
+	}
+	return reply, nil
+}
+
+// mapErr converts a wire.Err into the repl sentinel errors the
+// workload driver expects.
+func mapErr(m *wire.Err) error {
+	switch m.Code {
+	case wire.CodeReadOnly:
+		return repl.ErrReadOnlyTxn
+	default:
+		return fmt.Errorf("client: %s", m.Msg)
+	}
+}
+
+// Read implements repl.Txn.
+func (t *Txn) Read(table string, row int64) (string, bool, error) {
+	reply, err := t.exchange(&wire.Read{Table: table, Row: row})
+	if err != nil {
+		return "", false, err
+	}
+	switch m := reply.(type) {
+	case *wire.ReadOK:
+		return m.Value, m.OK, nil
+	case *wire.Err:
+		return "", false, mapErr(m)
+	default:
+		return "", false, t.fail(fmt.Errorf("client: unexpected read reply %T", reply))
+	}
+}
+
+// Write implements repl.Txn. A CommitAborted reply means eager
+// certification already doomed the transaction.
+func (t *Txn) Write(table string, row int64, value string) error {
+	reply, err := t.exchange(&wire.Write{Table: table, Row: row, Value: value})
+	if err != nil {
+		return err
+	}
+	switch m := reply.(type) {
+	case *wire.WriteOK:
+		return nil
+	case *wire.CommitAborted:
+		return &repl.AbortedError{ConflictWith: m.ConflictWith}
+	case *wire.Err:
+		return mapErr(m)
+	default:
+		return t.fail(fmt.Errorf("client: unexpected write reply %T", reply))
+	}
+}
+
+// Delete implements repl.Txn.
+func (t *Txn) Delete(table string, row int64) error {
+	reply, err := t.exchange(&wire.Delete{Table: table, Row: row})
+	if err != nil {
+		return err
+	}
+	switch m := reply.(type) {
+	case *wire.WriteOK:
+		return nil
+	case *wire.Err:
+		return mapErr(m)
+	default:
+		return t.fail(fmt.Errorf("client: unexpected delete reply %T", reply))
+	}
+}
+
+// Commit implements repl.Txn.
+func (t *Txn) Commit() error {
+	reply, err := t.exchange(&wire.Commit{})
+	if err != nil {
+		return err
+	}
+	switch m := reply.(type) {
+	case *wire.CommitOK:
+		t.finish()
+		return nil
+	case *wire.CommitAborted:
+		t.finish()
+		return &repl.AbortedError{ConflictWith: m.ConflictWith}
+	case *wire.Err:
+		t.finish()
+		return mapErr(m)
+	default:
+		return t.fail(fmt.Errorf("client: unexpected commit reply %T", reply))
+	}
+}
+
+// Abort implements repl.Txn.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	reply, err := roundTrip(t.conn, &wire.Abort{})
+	if err != nil {
+		t.fail(err)
+		return
+	}
+	if _, ok := reply.(*wire.AbortOK); !ok {
+		t.fail(fmt.Errorf("client: unexpected abort reply %T", reply))
+		return
+	}
+	t.finish()
+}
+
+// Sync implements repl.System: every reachable replica is asked to
+// apply all writesets committed so far (each pulls from the certifier
+// host or master). Unreachable replicas are skipped — their table
+// dumps will fail loudly if anyone asks.
+func (c *Client) Sync() {
+	for _, r := range c.reps {
+		_, _ = r.pool.rpc(&wire.Sync{}, 0)
+	}
+}
+
+// TableDump implements repl.System.
+func (c *Client) TableDump(replica int, table string) (map[int64]string, error) {
+	if replica < 0 || replica >= len(c.reps) {
+		return nil, fmt.Errorf("client: replica %d out of range", replica)
+	}
+	reply, err := c.reps[replica].pool.rpc(&wire.Dump{Table: table}, 0)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := reply.(*wire.DumpOK)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected dump reply %T", reply)
+	}
+	out := make(map[int64]string, len(m.Rows))
+	for i, row := range m.Rows {
+		out[row] = m.Values[i]
+	}
+	return out, nil
+}
+
+// CreateTable implements repl.Loader: the table is created on every
+// replica.
+func (c *Client) CreateTable(name string) error {
+	for i, r := range c.reps {
+		if _, err := r.pool.rpc(&wire.CreateTable{Name: name}, 0); err != nil {
+			return fmt.Errorf("client: create %q on replica %d: %w", name, i, err)
+		}
+	}
+	return nil
+}
+
+// loadChunk bounds one Load frame; at typical row-value sizes a chunk
+// stays well under a kilobyte-per-row budget.
+const loadChunk = 512
+
+// Load implements repl.Loader: values are evaluated client-side once
+// and streamed in identical chunk sequences to every replica, which
+// keeps their local version counters aligned (the networked
+// equivalent of the in-process bulk load). Replicas load in parallel —
+// ordering only matters per replica — so wall time does not multiply
+// by the replica count.
+func (c *Client) Load(table string, rows int, value func(int64) string) error {
+	var chunks []*wire.Load
+	for start := 0; start < rows; start += loadChunk {
+		end := start + loadChunk
+		if end > rows {
+			end = rows
+		}
+		values := make([]string, 0, end-start)
+		for r := start; r < end; r++ {
+			values = append(values, value(int64(r)))
+		}
+		chunks = append(chunks, &wire.Load{Table: table, Start: int64(start), Values: values})
+	}
+	errs := make([]error, len(c.reps))
+	var wg sync.WaitGroup
+	for i, r := range c.reps {
+		wg.Add(1)
+		go func(i int, r *replicaConns) {
+			defer wg.Done()
+			for _, msg := range chunks {
+				if _, err := r.pool.rpc(msg, 0); err != nil {
+					errs[i] = fmt.Errorf("client: load %q rows [%d,%d) on replica %d: %w",
+						table, msg.Start, msg.Start+int64(len(msg.Values)), i, err)
+					return
+				}
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Addrs returns the configured server addresses (for logs).
+func (c *Client) Addrs() string {
+	addrs := make([]string, len(c.reps))
+	for i, r := range c.reps {
+		addrs[i] = r.pool.addr
+	}
+	return strings.Join(addrs, ",")
+}

@@ -1,0 +1,101 @@
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/certifier"
+	"repro/internal/wire"
+	"repro/internal/writeset"
+)
+
+// Link is a replica server's connection to its primary (the certifier
+// host in the mm design, the master in sm): remote certification, the
+// eager conflict probe, and writeset retrieval. It satisfies
+// mm.CertService, which is how a single-replica mm.Cluster becomes one
+// node of a multi-process cluster.
+//
+// A Link is safe for concurrent use; each call checks a connection out
+// of the underlying pool. Long-polling FetchSince calls hold their
+// connection for the duration of the poll, so give the propagation
+// loop its own Link rather than sharing the commit path's.
+type Link struct {
+	pool *connPool
+}
+
+// linkRPCDeadline bounds ordinary link RPCs so a one-way partition
+// (peer unreachable but the TCP connection not torn down) surfaces as
+// an error instead of parking the caller forever.
+const linkRPCDeadline = 30 * time.Second
+
+// NewLink creates a link from replica peerID to the primary at addr
+// serving the given design ("" skips the check). No connection is
+// dialed until first use.
+func NewLink(addr, design string, peerID int, dialTimeout time.Duration) *Link {
+	return &Link{pool: newConnPool(addr, design, int64(peerID), dialTimeout, 4)}
+}
+
+// Close drops the link's pooled connections and interrupts in-flight
+// polls by invalidating the pool.
+func (l *Link) Close() { l.pool.closeAll() }
+
+// Certify submits a commit-time certification request to the primary.
+func (l *Link) Certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error) {
+	reply, err := l.pool.rpc(&wire.Certify{Snapshot: snapshot, WS: ws}, linkRPCDeadline)
+	if err != nil {
+		return certifier.Outcome{}, err
+	}
+	m, ok := reply.(*wire.CertifyOK)
+	if !ok {
+		return certifier.Outcome{}, fmt.Errorf("client: unexpected certify reply %T", reply)
+	}
+	return certifier.Outcome{Committed: m.Committed, Version: m.Version, ConflictWith: m.ConflictWith}, nil
+}
+
+// Check probes a partial writeset for an already-certain conflict.
+// Transport failures degrade to "no conflict": the probe is an
+// optimization, commit-time certification remains authoritative.
+func (l *Link) Check(snapshot int64, ws writeset.Writeset) (conflict bool, with int64) {
+	reply, err := l.pool.rpc(&wire.Check{Snapshot: snapshot, WS: ws}, linkRPCDeadline)
+	if err != nil {
+		return false, 0
+	}
+	m, ok := reply.(*wire.CheckOK)
+	if !ok {
+		return false, 0
+	}
+	return m.Conflict, m.With
+}
+
+// Since returns every certified record with version > v, or nil when
+// the primary is unreachable (the caller simply makes no propagation
+// progress this round).
+func (l *Link) Since(v int64) []certifier.Record {
+	recs, err := l.FetchSince(v, 0)
+	if err != nil {
+		return nil
+	}
+	return recs
+}
+
+// FetchSince retrieves records with version > v; wait > 0 long-polls
+// at the primary until records arrive or the wait expires.
+func (l *Link) FetchSince(v int64, wait time.Duration) ([]certifier.Record, error) {
+	req := &wire.FetchSince{Version: v}
+	if wait > 0 {
+		req.WaitMillis = uint32(wait / time.Millisecond)
+	}
+	reply, err := l.pool.rpc(req, wait+linkRPCDeadline)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := reply.(*wire.Records)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected fetch reply %T", reply)
+	}
+	recs := make([]certifier.Record, len(m.Recs))
+	for i, r := range m.Recs {
+		recs[i] = certifier.Record{Version: r.Version, Writeset: r.WS}
+	}
+	return recs, nil
+}

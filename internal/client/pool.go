@@ -1,0 +1,216 @@
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// wconn is one established, handshaken protocol connection.
+type wconn struct {
+	nc net.Conn
+	wc *wire.Conn
+}
+
+func (c *wconn) close() {
+	_ = c.nc.Close()
+}
+
+// connPool hands out protocol connections to one server address:
+// checkout pops an idle connection or dials a new one, checkin returns
+// it for reuse. maxIdle only bounds how many idle connections are
+// retained; concurrency is naturally bounded by the callers (one
+// connection per in-flight transaction or RPC). Checked-out
+// connections stay tracked so closeAll can sever in-flight calls —
+// without that, a shutdown racing a blocked Recv (e.g. a long poll
+// across a one-way partition) would hang forever.
+type connPool struct {
+	addr        string
+	dialTimeout time.Duration
+	maxIdle     int
+	// wantDesign, when non-empty, is validated against the design the
+	// server announces in HelloOK, so a client configured for one
+	// design fails loudly at connect time instead of mysteriously
+	// mid-run when pointed at a cluster of the other design.
+	wantDesign string
+	// peerID is sent in the handshake: the replica id when this pool
+	// belongs to a server's peer link, -1 for ordinary clients.
+	peerID int64
+
+	mu     sync.Mutex
+	idle   []*wconn
+	active map[*wconn]struct{}
+	closed bool
+}
+
+func newConnPool(addr, wantDesign string, peerID int64, dialTimeout time.Duration, maxIdle int) *connPool {
+	if dialTimeout <= 0 {
+		dialTimeout = 2 * time.Second
+	}
+	if maxIdle <= 0 {
+		maxIdle = 4
+	}
+	return &connPool{
+		addr:        addr,
+		wantDesign:  wantDesign,
+		peerID:      peerID,
+		dialTimeout: dialTimeout,
+		maxIdle:     maxIdle,
+		active:      make(map[*wconn]struct{}),
+	}
+}
+
+// get returns a connection and whether it was freshly dialed. Pooled
+// connections may have gone stale (the server restarted or died);
+// callers retry IO failures on pooled connections and treat failures
+// on fresh ones as the server being down.
+func (p *connPool) get() (*wconn, bool, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false, fmt.Errorf("client: pool for %s is closed", p.addr)
+	}
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.active[c] = struct{}{}
+		p.mu.Unlock()
+		return c, false, nil
+	}
+	p.mu.Unlock()
+
+	nc, err := net.DialTimeout("tcp", p.addr, p.dialTimeout)
+	if err != nil {
+		return nil, true, err
+	}
+	c := &wconn{nc: nc, wc: wire.NewConn(nc)}
+	if err := handshake(c, p.wantDesign, p.peerID); err != nil {
+		c.close()
+		return nil, true, err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.close()
+		return nil, true, fmt.Errorf("client: pool for %s is closed", p.addr)
+	}
+	p.active[c] = struct{}{}
+	p.mu.Unlock()
+	return c, true, nil
+}
+
+// put returns a healthy connection for reuse; surplus ones are closed.
+func (p *connPool) put(c *wconn) {
+	p.mu.Lock()
+	delete(p.active, c)
+	if p.closed || len(p.idle) >= p.maxIdle {
+		p.mu.Unlock()
+		c.close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// discard drops a connection whose state is unknown (IO error or
+// unexpected reply).
+func (p *connPool) discard(c *wconn) {
+	p.mu.Lock()
+	delete(p.active, c)
+	p.mu.Unlock()
+	c.close()
+}
+
+// closeAll closes idle AND checked-out connections and refuses further
+// checkouts; blocked calls on active connections fail immediately.
+func (p *connPool) closeAll() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	active := make([]*wconn, 0, len(p.active))
+	for c := range p.active {
+		active = append(active, c)
+	}
+	p.closed = true
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.close()
+	}
+	for _, c := range active {
+		c.close()
+	}
+}
+
+// handshake runs the client side of the versioned Hello exchange and
+// checks the server serves the design the caller expects.
+func handshake(c *wconn, wantDesign string, peerID int64) error {
+	if err := c.wc.Send(&wire.Hello{Proto: wire.ProtoVersion, PeerID: peerID}); err != nil {
+		return err
+	}
+	msg, err := c.wc.Recv()
+	if err != nil {
+		return err
+	}
+	switch m := msg.(type) {
+	case *wire.HelloOK:
+		if m.Proto != wire.ProtoVersion {
+			return fmt.Errorf("%w: server %d, client %d", wire.ErrVersionMismatch, m.Proto, wire.ProtoVersion)
+		}
+		if wantDesign != "" && m.Design != wantDesign {
+			return fmt.Errorf("client: server replica %d serves design %q, client configured for %q",
+				m.ID, m.Design, wantDesign)
+		}
+		return nil
+	case *wire.Err:
+		return fmt.Errorf("client: handshake rejected: %s", m.Msg)
+	default:
+		return fmt.Errorf("client: unexpected handshake reply %T", msg)
+	}
+}
+
+// rpc runs one request/reply exchange on a pooled connection, retrying
+// once on a stale pooled connection. Err replies surface as errors.
+// A positive deadline bounds the whole exchange (used by long polls so
+// a one-way partition cannot park the caller forever).
+func (p *connPool) rpc(req wire.Message, deadline time.Duration) (wire.Message, error) {
+	var lastErr error
+	// Retry enough times to drain a pool full of stale connections
+	// plus one fresh dial.
+	for attempt := 0; attempt <= p.maxIdle+1; attempt++ {
+		c, fresh, err := p.get()
+		if err != nil {
+			return nil, err
+		}
+		if deadline > 0 {
+			_ = c.nc.SetDeadline(time.Now().Add(deadline))
+		}
+		reply, err := roundTrip(c, req)
+		if deadline > 0 {
+			_ = c.nc.SetDeadline(time.Time{})
+		}
+		if err != nil {
+			p.discard(c)
+			lastErr = err
+			if fresh {
+				return nil, err
+			}
+			continue
+		}
+		p.put(c)
+		if e, ok := reply.(*wire.Err); ok {
+			return nil, fmt.Errorf("client: %s: %s", p.addr, e.Msg)
+		}
+		return reply, nil
+	}
+	return nil, fmt.Errorf("client: rpc to %s failed: %w", p.addr, lastErr)
+}
+
+func roundTrip(c *wconn, req wire.Message) (wire.Message, error) {
+	if err := c.wc.Send(req); err != nil {
+		return nil, err
+	}
+	return c.wc.Recv()
+}

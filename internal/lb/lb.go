@@ -15,17 +15,25 @@ var ErrNoEligible = errors.New("lb: no eligible replica")
 
 // Balancer tracks outstanding transactions per replica. It is safe
 // for concurrent use.
+//
+// Replicas can additionally be marked unhealthy (SetHealthy), which
+// the networked client pool uses when a server stops answering:
+// acquisition prefers healthy replicas and falls back to unhealthy
+// ones only when no healthy replica is eligible, so a dead replica is
+// routed around without ever becoming unreachable for re-probing.
 type Balancer struct {
 	mu     sync.Mutex
 	counts []int
+	down   []bool
 }
 
-// New creates a balancer over n replicas. It panics if n <= 0.
+// New creates a balancer over n replicas, all healthy. It panics if
+// n <= 0.
 func New(n int) *Balancer {
 	if n <= 0 {
 		panic("lb: need at least one replica")
 	}
-	return &Balancer{counts: make([]int, n)}
+	return &Balancer{counts: make([]int, n), down: make([]bool, n)}
 }
 
 // Acquire picks a least-loaded replica, increments its load, and
@@ -35,19 +43,25 @@ func (b *Balancer) Acquire() int {
 	return i
 }
 
-// AcquireWhere picks the least-loaded replica among those for which
-// eligible returns true. Ties go to the lowest index, which keeps
-// routing deterministic for tests.
+// AcquireWhere picks the least-loaded healthy replica among those for
+// which eligible returns true, falling back to unhealthy eligible
+// replicas when no healthy one exists. Ties go to the lowest index,
+// which keeps routing deterministic for tests.
 func (b *Balancer) AcquireWhere(eligible func(i int) bool) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	best := -1
-	for i, c := range b.counts {
-		if !eligible(i) {
-			continue
+	for _, wantHealthy := range []bool{true, false} {
+		for i, c := range b.counts {
+			if b.down[i] == wantHealthy || !eligible(i) {
+				continue
+			}
+			if best == -1 || c < b.counts[best] {
+				best = i
+			}
 		}
-		if best == -1 || c < b.counts[best] {
-			best = i
+		if best != -1 {
+			break
 		}
 	}
 	if best == -1 {
@@ -55,6 +69,20 @@ func (b *Balancer) AcquireWhere(eligible func(i int) bool) (int, error) {
 	}
 	b.counts[best]++
 	return best, nil
+}
+
+// SetHealthy marks replica i healthy or unhealthy.
+func (b *Balancer) SetHealthy(i int, healthy bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.down[i] = !healthy
+}
+
+// Healthy reports whether replica i is currently marked healthy.
+func (b *Balancer) Healthy(i int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.down[i]
 }
 
 // Release returns a transaction slot on replica i. Releasing below

@@ -86,3 +86,30 @@ func TestConcurrentBalance(t *testing.T) {
 		}
 	}
 }
+
+func TestHealthRouting(t *testing.T) {
+	b := New(3)
+	b.SetHealthy(1, false)
+	if b.Healthy(1) || !b.Healthy(0) {
+		t.Fatal("health flags not recorded")
+	}
+	// With replica 1 down, acquisitions spread over 0 and 2 only.
+	seen := map[int]int{}
+	for i := 0; i < 6; i++ {
+		seen[b.Acquire()]++
+	}
+	if seen[1] != 0 || seen[0] != 3 || seen[2] != 3 {
+		t.Fatalf("acquired %v with replica 1 down", seen)
+	}
+	// With every replica down, acquisition falls back instead of failing.
+	b.SetHealthy(0, false)
+	b.SetHealthy(2, false)
+	if _, err := b.AcquireWhere(func(int) bool { return true }); err != nil {
+		t.Fatalf("all-down acquire failed: %v", err)
+	}
+	// Recovery restores normal preference.
+	b.SetHealthy(1, true)
+	if idx, _ := b.AcquireWhere(func(int) bool { return true }); idx != 1 {
+		t.Fatalf("healthy replica 1 not preferred, got %d", idx)
+	}
+}

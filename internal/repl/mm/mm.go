@@ -24,6 +24,24 @@ import (
 	"repro/internal/writeset"
 )
 
+// CertService is the certification surface the cluster depends on:
+// commit-time certification, the eager conflict probe, and writeset
+// retrieval for propagation. A local *certifier.Certifier satisfies it
+// directly; the networked server injects a remote implementation that
+// speaks the wire protocol to the certifier host, which is how a
+// single-replica Cluster becomes one node of a multi-process
+// multi-master system.
+type CertService interface {
+	// Certify submits a commit-time certification request.
+	Certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error)
+	// Check probes a partial writeset for an already-certain conflict
+	// (eager certification, §5.1) without committing anything.
+	Check(snapshot int64, ws writeset.Writeset) (conflict bool, with int64)
+	// Since returns every certified record with version > v in
+	// ascending version order.
+	Since(v int64) []certifier.Record
+}
+
 // Options configure a multi-master cluster.
 type Options struct {
 	// Replicas is the number of database replicas (>= 1).
@@ -44,6 +62,20 @@ type Options struct {
 	// MaxBatch caps one group commit; zero selects the certifier's
 	// default. Ignored unless GroupCommit is set.
 	MaxBatch int
+	// Cert injects an external certification service — typically a
+	// remote certifier reached over the wire protocol. When set,
+	// ReplicatedCertifier, GroupCommit and MaxBatch are ignored: the
+	// injected service owns those concerns.
+	Cert CertService
+	// AsyncApply acknowledges a commit as soon as its writeset is
+	// durable at the certifier, leaving application at the origin
+	// replica to the background propagation path (Sync/ApplyRecords)
+	// like every other replica — the paper's commit rule (§5.1).
+	// The networked server sets this on non-certifier nodes so a
+	// commit does not re-download the unapplied backlog its puller is
+	// already fetching; the trade is that the next transaction on the
+	// same replica may not yet see this commit (GSI allows that).
+	AsyncApply bool
 }
 
 // replica is one database node plus its proxy state.
@@ -59,7 +91,7 @@ type replica struct {
 type Cluster struct {
 	opts      Options
 	replicas  []*replica
-	cert      *certifier.Certifier
+	cert      CertService
 	batcher   *certifier.Batcher    // nil unless GroupCommit
 	transport *paxos.LocalTransport // nil unless replicated
 	balancer  *lb.Balancer
@@ -74,17 +106,24 @@ func New(opts Options) (*Cluster, error) {
 	for i := 0; i < opts.Replicas; i++ {
 		c.replicas = append(c.replicas, &replica{id: i, db: sidb.New()})
 	}
-	if opts.ReplicatedCertifier {
+	switch {
+	case opts.Cert != nil:
+		c.cert = opts.Cert
+	case opts.ReplicatedCertifier:
 		cert, tr, err := certifier.NewReplicated(3)
 		if err != nil {
 			return nil, err
 		}
 		c.cert, c.transport = cert, tr
-	} else {
-		c.cert = certifier.New()
-	}
-	if opts.GroupCommit {
-		c.batcher = certifier.NewBatcher(c.cert, opts.MaxBatch)
+		if opts.GroupCommit {
+			c.batcher = certifier.NewBatcher(cert, opts.MaxBatch)
+		}
+	default:
+		cert := certifier.New()
+		c.cert = cert
+		if opts.GroupCommit {
+			c.batcher = certifier.NewBatcher(cert, opts.MaxBatch)
+		}
 	}
 	return c, nil
 }
@@ -101,9 +140,17 @@ func (c *Cluster) certify(snapshot int64, ws writeset.Writeset) (certifier.Outco
 // Replicas returns the replica count.
 func (c *Cluster) Replicas() int { return len(c.replicas) }
 
-// Certifier exposes the certification service (for stats and failure
-// injection in tests).
-func (c *Cluster) Certifier() *certifier.Certifier { return c.cert }
+// Certifier exposes the local certification service for stats and
+// failure injection in tests, or nil when an external CertService was
+// injected via Options.Cert.
+func (c *Cluster) Certifier() *certifier.Certifier {
+	cert, _ := c.cert.(*certifier.Certifier)
+	return cert
+}
+
+// CertSvc exposes the certification service the cluster uses,
+// whatever its implementation.
+func (c *Cluster) CertSvc() CertService { return c.cert }
 
 // Transport returns the Paxos transport when the certifier is
 // replicated, else nil.
@@ -137,22 +184,16 @@ func (c *Cluster) Load(table string, rows int, value func(int64) string) error {
 }
 
 // syncTo applies certified writesets up to the latest known version at
-// replica r, in version order.
+// replica r, in version order. The fetch happens outside the
+// application lock: with an injected remote CertService, Since is a
+// network round trip, and holding r.mu across it would stall every
+// Begin on this replica for the duration (ApplyRecords' version guards
+// make the unlocked window safe against concurrent appliers).
 func (c *Cluster) syncTo(r *replica) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, rec := range c.cert.Since(r.applied) {
-		// Replica-local version = load base + global version; since
-		// every replica loaded identically before traffic, applying at
-		// db.Version()+1 preserves order because records arrive in
-		// version order and r.applied tracks the global counter.
-		if err := r.db.ApplyWriteset(rec.Writeset, r.db.Version()+1); err != nil {
-			// Application of certified writesets cannot legally fail;
-			// a failure here is a programming error.
-			panic(fmt.Sprintf("mm: replica %d failed to apply version %d: %v", r.id, rec.Version, err))
-		}
-		r.applied = rec.Version
-	}
+	v := r.applied
+	r.mu.Unlock()
+	c.ApplyRecords(r.id, c.cert.Since(v))
 }
 
 // Sync applies all outstanding writesets everywhere.
@@ -160,6 +201,57 @@ func (c *Cluster) Sync() {
 	for _, r := range c.replicas {
 		c.syncTo(r)
 	}
+}
+
+// Applied returns the global version replica ridx has applied. The
+// networked server's propagation loop uses it as the FetchSince
+// cursor.
+func (c *Cluster) Applied(ridx int) int64 {
+	r := c.replicas[ridx]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// ApplyRecords installs already-fetched certified records at replica
+// ridx in version order: records at or below the applied version are
+// skipped (duplicates from concurrent pulls are harmless) and a gap
+// stops the run (the missing versions will arrive through a later
+// pull). It returns the number of records applied.
+func (c *Cluster) ApplyRecords(ridx int, recs []certifier.Record) int {
+	r := c.replicas[ridx]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	applied := 0
+	for _, rec := range recs {
+		if rec.Version <= r.applied {
+			continue
+		}
+		if rec.Version != r.applied+1 {
+			break
+		}
+		if err := r.db.ApplyWriteset(rec.Writeset, r.db.Version()+1); err != nil {
+			panic(fmt.Sprintf("mm: replica %d failed to apply version %d: %v", r.id, rec.Version, err))
+		}
+		r.applied = rec.Version
+		applied++
+	}
+	return applied
+}
+
+// LoadRows bulk-installs explicit row values [start, start+len(values))
+// on every replica, bypassing concurrency control — the wire
+// protocol's chunked initial-load path. Chunks must arrive in the same
+// order on every replica of the networked cluster so local versions
+// stay aligned; like Load, this must finish before traffic starts.
+func (c *Cluster) LoadRows(table string, start int64, values []string) error {
+	ws := writeset.FromRows(table, start, values)
+	for _, r := range c.replicas {
+		if err := r.db.ApplyWriteset(ws, r.db.Version()+1); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // GC prunes the certification log up to the oldest version every
@@ -179,7 +271,12 @@ func (c *Cluster) GC() int {
 	if oldest <= 0 {
 		return 0
 	}
-	return c.cert.GC(oldest)
+	// A remote certification service is pruned by its own host; only
+	// a local certifier can be garbage-collected from here.
+	if gc, ok := c.cert.(interface{ GC(int64) int }); ok {
+		return gc.GC(oldest)
+	}
+	return 0
 }
 
 // TableDump snapshots a replica's table for convergence checks.
@@ -244,8 +341,8 @@ func (t *Txn) Write(table string, row int64, value string) error {
 		partial := writeset.Writeset{Entries: []writeset.Entry{
 			{Key: writeset.Key{Table: table, Row: row}, Value: value},
 		}}
-		if conflict, _ := t.cluster.cert.Check(t.snapshot, partial); conflict {
-			return repl.ErrAborted
+		if conflict, with := t.cluster.cert.Check(t.snapshot, partial); conflict {
+			return &repl.AbortedError{ConflictWith: with}
 		}
 	}
 	return nil
@@ -285,12 +382,16 @@ func (t *Txn) Commit() error {
 	}
 	if !outcome.Committed {
 		t.inner.Abort()
-		return fmt.Errorf("%w (conflicts with version %d)", repl.ErrAborted, outcome.ConflictWith)
+		return &repl.AbortedError{ConflictWith: outcome.ConflictWith}
 	}
 	// The transaction is durably committed. Discard the local
-	// speculative state and install the certified writeset in version
-	// order at the origin (and lazily everywhere else).
+	// speculative state; with AsyncApply the propagation path installs
+	// the writeset, otherwise install it in version order at the
+	// origin now (and lazily everywhere else).
 	t.inner.Abort()
+	if t.cluster.opts.AsyncApply {
+		return nil
+	}
 	t.cluster.syncTo(t.replica)
 	// Propagate to the remaining replicas.
 	for _, r := range t.cluster.replicas {

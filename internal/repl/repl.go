@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -22,6 +23,35 @@ var ErrAborted = errors.New("repl: transaction aborted by certification")
 // ErrReadOnlyTxn reports a write attempted through a read-only
 // transaction handle.
 var ErrReadOnlyTxn = errors.New("repl: write on read-only transaction")
+
+// AbortedError is an ErrAborted that carries the newest committed
+// version the transaction conflicted with, so the diagnostic survives
+// structured channels (like the wire protocol) instead of living only
+// in an error string. errors.Is(err, ErrAborted) matches it.
+type AbortedError struct {
+	ConflictWith int64
+}
+
+// Error implements error.
+func (e *AbortedError) Error() string {
+	if e.ConflictWith > 0 {
+		return fmt.Sprintf("%v (conflicts with version %d)", ErrAborted, e.ConflictWith)
+	}
+	return ErrAborted.Error()
+}
+
+// Unwrap makes errors.Is(err, ErrAborted) hold.
+func (e *AbortedError) Unwrap() error { return ErrAborted }
+
+// ConflictWith extracts the conflicting version from an abort error
+// chain, or 0 when the error does not carry one.
+func ConflictWith(err error) int64 {
+	var ae *AbortedError
+	if errors.As(err, &ae) {
+		return ae.ConflictWith
+	}
+	return 0
+}
 
 // Txn is one client transaction against a replicated system.
 type Txn interface {
@@ -110,6 +140,13 @@ type DriveResult struct {
 	UpdateCommits int64
 	Aborts        int64 // update attempts that ended in ErrAborted
 	Errors        int64 // unexpected errors (should be zero)
+
+	// ReadLatency and UpdateLatency are client-perceived latency
+	// histograms over committed logical transactions per class; an
+	// update transaction's latency includes its certification-abort
+	// retries, matching what the paper's emulated browsers observe.
+	ReadLatency   *stats.Latency
+	UpdateLatency *stats.Latency
 }
 
 // Drive runs clients concurrent closed-loop clients, each executing
@@ -121,7 +158,10 @@ func Drive(sys System, cat workload.Catalog, mix workload.Mix, clients, txnsPerC
 	if factor < 1 {
 		factor = 1
 	}
-	var res DriveResult
+	res := DriveResult{
+		ReadLatency:   stats.NewLatency(),
+		UpdateLatency: stats.NewLatency(),
+	}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	root := stats.NewRand(seed)
@@ -135,14 +175,22 @@ func Drive(sys System, cat workload.Catalog, mix workload.Mix, clients, txnsPerC
 		go func() {
 			defer wg.Done()
 			var local DriveResult
+			readLat, updateLat := stats.NewLatency(), stats.NewLatency()
 			for i := 0; i < txnsPerClient; i++ {
 				tpl := cat.Pick(mix, rng)
 				rows := cat.Tables[tpl.Table] / factor
 				if rows < 10 {
 					rows = 10
 				}
+				start := time.Now()
 				if err := runTemplate(sys, tpl, rows, rng, &local); err != nil {
 					local.Errors++
+					continue
+				}
+				if tpl.ReadOnly {
+					readLat.Record(time.Since(start))
+				} else {
+					updateLat.Record(time.Since(start))
 				}
 			}
 			mu.Lock()
@@ -151,6 +199,8 @@ func Drive(sys System, cat workload.Catalog, mix workload.Mix, clients, txnsPerC
 			res.UpdateCommits += local.UpdateCommits
 			res.Aborts += local.Aborts
 			res.Errors += local.Errors
+			res.ReadLatency.Merge(readLat)
+			res.UpdateLatency.Merge(updateLat)
 			mu.Unlock()
 		}()
 	}

@@ -44,11 +44,12 @@ type Cluster struct {
 	master *sidb.DB
 	slaves []*slave
 
-	// log retains committed master writesets for propagation, keyed
-	// densely by master version starting after the load base.
-	logMu sync.Mutex
-	log   map[int64]writeset.Writeset
-	base  int64 // master version after initial load
+	// wlog retains committed master writesets for propagation, keyed
+	// by absolute master version; base is the master version after
+	// the initial load (slave applied counters are relative to it).
+	wlog   *Log
+	baseMu sync.Mutex
+	base   int64
 
 	balancer *lb.Balancer // over all nodes: 0 = master, i>0 = slave i-1
 }
@@ -61,7 +62,7 @@ func New(opts Options) (*Cluster, error) {
 	c := &Cluster{
 		opts:     opts,
 		master:   sidb.New(),
-		log:      make(map[int64]writeset.Writeset),
+		wlog:     NewLog(),
 		balancer: lb.New(opts.Replicas),
 	}
 	for i := 1; i < opts.Replicas; i++ {
@@ -96,25 +97,15 @@ func (c *Cluster) Load(table string, rows int, value func(int64) string) error {
 			return err
 		}
 	}
-	c.logMu.Lock()
+	c.baseMu.Lock()
 	c.base = c.master.Version()
-	c.logMu.Unlock()
+	c.baseMu.Unlock()
 	return nil
 }
 
 // record stores a committed writeset for propagation.
 func (c *Cluster) record(version int64, ws writeset.Writeset) {
-	c.logMu.Lock()
-	c.log[version] = ws
-	c.logMu.Unlock()
-}
-
-// next fetches the writeset for a version, if the master committed it.
-func (c *Cluster) next(version int64) (writeset.Writeset, bool) {
-	c.logMu.Lock()
-	defer c.logMu.Unlock()
-	ws, ok := c.log[version]
-	return ws, ok
+	c.wlog.Append(version, ws)
 }
 
 // syncSlave applies the dense prefix of pending writesets at s. Master
@@ -125,7 +116,7 @@ func (c *Cluster) syncSlave(s *slave) {
 	defer s.mu.Unlock()
 	for {
 		v := c.baseVersion() + s.applied + 1
-		ws, ok := c.next(v)
+		ws, ok := c.wlog.Get(v)
 		if !ok {
 			return
 		}
@@ -137,8 +128,8 @@ func (c *Cluster) syncSlave(s *slave) {
 }
 
 func (c *Cluster) baseVersion() int64 {
-	c.logMu.Lock()
-	defer c.logMu.Unlock()
+	c.baseMu.Lock()
+	defer c.baseMu.Unlock()
 	return c.base
 }
 
@@ -163,16 +154,7 @@ func (c *Cluster) GCLog() int {
 	if len(c.slaves) == 0 {
 		minApplied = 0
 	}
-	c.logMu.Lock()
-	defer c.logMu.Unlock()
-	removed := 0
-	for v := range c.log {
-		if v <= c.base+minApplied {
-			delete(c.log, v)
-			removed++
-		}
-	}
-	return removed
+	return c.wlog.GCBelow(c.baseVersion() + minApplied)
 }
 
 // TableDump snapshots a node's table: index 0 is the master, i>0 the

@@ -1,0 +1,631 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/certifier"
+	"repro/internal/client"
+	"repro/internal/repl"
+	"repro/internal/repl/mm"
+	"repro/internal/repl/sm"
+	"repro/internal/sidb"
+	"repro/internal/writeset"
+)
+
+// errUnsupported marks operations this node does not serve (e.g.
+// certification on a non-host replica).
+var errUnsupported = errors.New("server: operation not supported by this node")
+
+// engine is the design-specific node behind a replica server: it owns
+// the local database, knows how to reach the primary, and serves the
+// primary-only operations when this node is the primary.
+type engine interface {
+	// begin opens a transaction for one connection.
+	begin(readOnly bool) (repl.Txn, error)
+	// createTable / loadRows / dump are the load and convergence paths.
+	createTable(name string) error
+	loadRows(table string, start int64, values []string) error
+	dump(table string) (map[int64]string, error)
+	// sync applies everything committed so far (one pull).
+	sync()
+	// applied is this node's applied version (global for mm, master
+	// version for sm).
+	applied() int64
+	// queueDepth is the number of certified writesets known about but
+	// not yet applied locally.
+	queueDepth() int64
+	// logLen is the number of writesets retained for propagation
+	// (certification log on the mm host, sm.Log on the sm master).
+	logLen() int
+	// certify / check / fetchSince serve peer requests; they fail with
+	// errUnsupported unless this node is the primary. peer is the
+	// requester's replica id (negative for non-peer clients):
+	// long-poll cursors are tracked per replica so the primary can
+	// garbage-collect what everyone applied.
+	certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error)
+	check(snapshot int64, ws writeset.Writeset) (bool, int64, error)
+	fetchSince(peer int64, v int64, wait time.Duration) ([]certifier.Record, error)
+	// peerGone drops a peer's propagation cursor when its connection
+	// dies (the next long poll re-adds it).
+	peerGone(peer int64)
+	// run is the background propagation loop (the peer link); it
+	// returns when stop closes.
+	run(stop <-chan struct{})
+	// close releases links to the primary.
+	close()
+}
+
+// pollInterval is the long-poll window of the propagation loop; it
+// bounds both shutdown latency and the staleness detection of a dead
+// primary.
+const pollInterval = 250 * time.Millisecond
+
+// versionNotify wakes long-polling peers when new versions commit.
+type versionNotify struct {
+	mu     sync.Mutex
+	latest int64
+	ch     chan struct{} // closed and replaced on every bump
+}
+
+func newVersionNotify() *versionNotify {
+	return &versionNotify{ch: make(chan struct{})}
+}
+
+// bump publishes version v, waking every waiter behind it.
+func (n *versionNotify) bump(v int64) {
+	n.mu.Lock()
+	if v > n.latest {
+		n.latest = v
+		close(n.ch)
+		n.ch = make(chan struct{})
+	}
+	n.mu.Unlock()
+}
+
+// waitBeyond blocks until a version > v has been published, the
+// timeout expires, or stop closes (so server shutdown interrupts
+// parked long polls instead of waiting out their timers).
+func (n *versionNotify) waitBeyond(v int64, timeout time.Duration, stop <-chan struct{}) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		n.mu.Lock()
+		if n.latest > v {
+			n.mu.Unlock()
+			return
+		}
+		ch := n.ch
+		n.mu.Unlock()
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return
+		case <-stop:
+			return
+		}
+	}
+}
+
+// peerCursors tracks, per peer replica (keyed by the replica id the
+// peer announced in its handshake, so reconnects and duplicate
+// connections collapse onto one cursor), the version that peer had
+// applied when it last long-polled. Once every expected peer
+// has an active cursor, the primary can prune writesets everyone has
+// applied — minus a safety lag, so certification requests from
+// transactions that began a little while ago still find the versions
+// they must be compared against (the same snapshot-below-horizon
+// hazard the in-process GC has).
+type peerCursors struct {
+	expected int   // pullers required before pruning may run
+	lag      int64 // retained margin below the horizon
+
+	mu      sync.Mutex
+	cursors map[int64]int64
+}
+
+// newPeerCursors tracks expected peers; a negative expected count
+// (unknown cluster size) disables pruning entirely.
+func newPeerCursors(expected int, lag int64) *peerCursors {
+	return &peerCursors{expected: expected, lag: lag, cursors: make(map[int64]int64)}
+}
+
+func (p *peerCursors) update(peer, v int64) {
+	if peer < 0 {
+		return // not a peer link (an ordinary client connection)
+	}
+	p.mu.Lock()
+	if v > p.cursors[peer] {
+		p.cursors[peer] = v
+	}
+	p.mu.Unlock()
+}
+
+func (p *peerCursors) drop(peer int64) {
+	if peer < 0 {
+		return
+	}
+	p.mu.Lock()
+	delete(p.cursors, peer)
+	p.mu.Unlock()
+}
+
+// horizon returns the safe pruning bound given the primary's own
+// applied version; ok is false while any expected peer lacks an
+// active cursor (a dead or unjoined replica conservatively blocks
+// pruning, exactly like the in-process GC).
+func (p *peerCursors) horizon(own int64) (int64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.expected < 0 || len(p.cursors) < p.expected {
+		return 0, false
+	}
+	h := own
+	for _, v := range p.cursors {
+		if v < h {
+			h = v
+		}
+	}
+	h -= p.lag
+	if h <= 0 {
+		return 0, false
+	}
+	return h, true
+}
+
+// hostCert is the certification service on the certifier host: the
+// local certifier, optionally behind the group-commit batcher, with
+// latency observation and long-poll wakeups. Both local transactions
+// (through the mm.Cluster) and remote Certify requests (through the
+// connection handler) flow through here, so group commit batches
+// across the whole cluster.
+type hostCert struct {
+	base    *certifier.Certifier
+	batcher *certifier.Batcher
+	notify  *versionNotify
+	m       *metrics
+}
+
+var _ mm.CertService = (*hostCert)(nil)
+
+func (h *hostCert) Certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error) {
+	start := time.Now()
+	var out certifier.Outcome
+	var err error
+	if h.batcher != nil {
+		out, err = h.batcher.Certify(snapshot, ws)
+	} else {
+		out, err = h.base.Certify(snapshot, ws)
+	}
+	h.m.observeCert(time.Since(start))
+	if err == nil && out.Committed {
+		h.notify.bump(out.Version)
+	}
+	return out, err
+}
+
+func (h *hostCert) Check(snapshot int64, ws writeset.Writeset) (bool, int64) {
+	return h.base.Check(snapshot, ws)
+}
+
+func (h *hostCert) Since(v int64) []certifier.Record { return h.base.Since(v) }
+
+// remoteCert instruments a Link to the certifier host with the local
+// certification-latency histogram (which then measures the full
+// network round trip).
+type remoteCert struct {
+	link *client.Link
+	m    *metrics
+}
+
+var _ mm.CertService = (*remoteCert)(nil)
+
+func (r *remoteCert) Certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error) {
+	start := time.Now()
+	out, err := r.link.Certify(snapshot, ws)
+	r.m.observeCert(time.Since(start))
+	return out, err
+}
+
+func (r *remoteCert) Check(snapshot int64, ws writeset.Writeset) (bool, int64) {
+	return r.link.Check(snapshot, ws)
+}
+
+func (r *remoteCert) Since(v int64) []certifier.Record { return r.link.Since(v) }
+
+// mmEngine is one multi-master node: a single-replica mm.Cluster whose
+// certification service is either hosted here (node 0) or reached over
+// a Link.
+type mmEngine struct {
+	cl       *mm.Cluster
+	stop     <-chan struct{}
+	host     *hostCert    // non-nil on the certifier host
+	cursors  *peerCursors // non-nil on the certifier host
+	link     *client.Link // non-nil elsewhere: the commit path's link
+	puller   *client.Link // non-nil elsewhere: the propagation link
+	lastSeen atomic.Int64 // newest version seen by the puller
+}
+
+func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, error) {
+	e := &mmEngine{stop: stop}
+	var svc mm.CertService
+	async := false
+	if opts.ID == 0 {
+		base := certifier.New()
+		var batcher *certifier.Batcher
+		if opts.GroupCommit {
+			batcher = certifier.NewBatcher(base, 0)
+		}
+		e.host = &hostCert{base: base, batcher: batcher, notify: newVersionNotify(), m: m}
+		e.cursors = newPeerCursors(opts.Replicas-1, int64(opts.GCLag))
+		svc = e.host
+	} else {
+		e.link = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
+		e.puller = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
+		svc = &remoteCert{link: e.link, m: m}
+		// The propagation loop applies writesets here; re-fetching the
+		// backlog synchronously on every commit would double the
+		// traffic for nothing.
+		async = true
+	}
+	cl, err := mm.New(mm.Options{
+		Replicas:           1,
+		EagerCertification: opts.EagerCert,
+		Cert:               svc,
+		AsyncApply:         async,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.cl = cl
+	return e, nil
+}
+
+func (e *mmEngine) begin(readOnly bool) (repl.Txn, error) {
+	if readOnly {
+		return e.cl.BeginRead()
+	}
+	return e.cl.BeginUpdate()
+}
+
+func (e *mmEngine) createTable(name string) error { return e.cl.CreateTable(name) }
+
+func (e *mmEngine) loadRows(table string, start int64, values []string) error {
+	return e.cl.LoadRows(table, start, values)
+}
+
+func (e *mmEngine) dump(table string) (map[int64]string, error) { return e.cl.TableDump(0, table) }
+
+func (e *mmEngine) sync() { e.cl.Sync() }
+
+func (e *mmEngine) applied() int64 { return e.cl.Applied(0) }
+
+func (e *mmEngine) queueDepth() int64 {
+	var latest int64
+	if e.host != nil {
+		latest = e.host.base.Version()
+	} else {
+		latest = e.lastSeen.Load()
+	}
+	if d := latest - e.applied(); d > 0 {
+		return d
+	}
+	return 0
+}
+
+func (e *mmEngine) certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error) {
+	if e.host == nil {
+		return certifier.Outcome{}, errUnsupported
+	}
+	return e.host.Certify(snapshot, ws)
+}
+
+func (e *mmEngine) check(snapshot int64, ws writeset.Writeset) (bool, int64, error) {
+	if e.host == nil {
+		return false, 0, errUnsupported
+	}
+	conflict, with := e.host.Check(snapshot, ws)
+	return conflict, with, nil
+}
+
+func (e *mmEngine) logLen() int {
+	if e.host == nil {
+		return 0
+	}
+	return e.host.base.LogLen()
+}
+
+func (e *mmEngine) fetchSince(peer int64, v int64, wait time.Duration) ([]certifier.Record, error) {
+	if e.host == nil {
+		return nil, errUnsupported
+	}
+	if wait > 0 {
+		// Long polls come from the dedicated propagation links, one
+		// per peer replica: their cursors tell the host what everyone
+		// has applied, which bounds certification-log GC.
+		e.cursors.update(peer, v)
+		e.maybeGC()
+		e.host.notify.waitBeyond(v, wait, e.stop)
+	}
+	return e.host.base.Since(v), nil
+}
+
+func (e *mmEngine) peerGone(peer int64) {
+	if e.cursors != nil {
+		e.cursors.drop(peer)
+	}
+}
+
+// maybeGC prunes the certification log up to what every replica
+// (including this one) has applied, minus the safety lag.
+func (e *mmEngine) maybeGC() {
+	if h, ok := e.cursors.horizon(e.applied()); ok {
+		e.host.base.GC(h)
+	}
+}
+
+// runPuller is the propagation loop shared by every non-primary node:
+// long-poll the primary for records past the local cursor, remember
+// the newest version seen (for the queue-depth metric), and apply.
+// Errors (primary unreachable) back off one poll interval.
+func runPuller(stop <-chan struct{}, puller *client.Link, cursor func() int64, lastSeen *atomic.Int64, apply func([]certifier.Record)) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		recs, err := puller.FetchSince(cursor(), pollInterval)
+		if err != nil {
+			select {
+			case <-stop:
+				return
+			case <-time.After(pollInterval):
+			}
+			continue
+		}
+		if len(recs) > 0 {
+			lastSeen.Store(recs[len(recs)-1].Version)
+			apply(recs)
+		}
+	}
+}
+
+// run is the writeset propagation loop. The certifier host applies
+// from its local log on commit wakeups; other nodes long-poll the host
+// over their dedicated peer link.
+func (e *mmEngine) run(stop <-chan struct{}) {
+	if e.host != nil {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.host.notify.waitBeyond(e.applied(), pollInterval, stop)
+			e.cl.Sync()
+		}
+	}
+	runPuller(stop, e.puller, e.applied, &e.lastSeen, func(recs []certifier.Record) {
+		e.cl.ApplyRecords(0, recs)
+	})
+}
+
+func (e *mmEngine) close() {
+	if e.link != nil {
+		e.link.Close()
+	}
+	if e.puller != nil {
+		e.puller.Close()
+	}
+}
+
+// smEngine is one single-master node: the master executes updates
+// under first-committer-wins snapshot isolation and feeds a
+// propagation log; slaves are read-only caches applying the master's
+// writesets in commit order over the peer link.
+type smEngine struct {
+	db       *sidb.DB
+	isMaster bool
+	stop     <-chan struct{}
+
+	// master state
+	wlog    *sm.Log
+	notify  *versionNotify
+	cursors *peerCursors
+
+	// slave state
+	link     *client.Link // sync pulls
+	puller   *client.Link // propagation loop
+	applyMu  sync.Mutex   // serializes writeset application
+	lastSeen atomic.Int64
+}
+
+func newSMEngine(opts Options, stop <-chan struct{}) *smEngine {
+	e := &smEngine{db: sidb.New(), isMaster: opts.ID == 0, stop: stop}
+	if e.isMaster {
+		e.wlog = sm.NewLog()
+		e.notify = newVersionNotify()
+		e.cursors = newPeerCursors(opts.Replicas-1, int64(opts.GCLag))
+	} else {
+		e.link = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
+		e.puller = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
+	}
+	return e
+}
+
+func (e *smEngine) begin(readOnly bool) (repl.Txn, error) {
+	if !readOnly && !e.isMaster {
+		// The slave proxy is the only source of updates to its
+		// database (§5.2); the client driver routes updates to the
+		// master, so reaching this is a routing bug, not a race.
+		return nil, fmt.Errorf("%w: updates must run on the master", errUnsupported)
+	}
+	return &smTxn{e: e, inner: e.db.Begin(), readOnly: readOnly}, nil
+}
+
+func (e *smEngine) createTable(name string) error { return e.db.CreateTable(name) }
+
+func (e *smEngine) loadRows(table string, start int64, values []string) error {
+	return e.db.ApplyWriteset(writeset.FromRows(table, start, values), e.db.Version()+1)
+}
+
+func (e *smEngine) dump(table string) (map[int64]string, error) { return e.db.Dump(table) }
+
+func (e *smEngine) sync() {
+	if e.isMaster {
+		return // the master is always current
+	}
+	recs, err := e.link.FetchSince(e.applied(), 0)
+	if err != nil {
+		return
+	}
+	e.apply(recs)
+}
+
+// apply installs master records in commit order. Master versions are
+// absolute and the slave loaded identically, so the slave's own
+// database version tracks the master version exactly.
+func (e *smEngine) apply(recs []certifier.Record) {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	for _, rec := range recs {
+		switch v := e.db.Version(); {
+		case rec.Version <= v:
+			continue
+		case rec.Version != v+1:
+			return // gap: wait for a later pull
+		}
+		if err := e.db.ApplyWriteset(rec.Writeset, rec.Version); err != nil {
+			panic(fmt.Sprintf("server: slave failed to apply version %d: %v", rec.Version, err))
+		}
+	}
+}
+
+func (e *smEngine) applied() int64 {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	return e.db.Version()
+}
+
+func (e *smEngine) queueDepth() int64 {
+	if e.isMaster {
+		return 0
+	}
+	if d := e.lastSeen.Load() - e.applied(); d > 0 {
+		return d
+	}
+	return 0
+}
+
+func (e *smEngine) certify(int64, writeset.Writeset) (certifier.Outcome, error) {
+	return certifier.Outcome{}, errUnsupported // sm needs no certifier (§2)
+}
+
+func (e *smEngine) check(int64, writeset.Writeset) (bool, int64, error) {
+	return false, 0, errUnsupported
+}
+
+func (e *smEngine) logLen() int {
+	if !e.isMaster {
+		return 0
+	}
+	return e.wlog.Len()
+}
+
+func (e *smEngine) fetchSince(peer int64, v int64, wait time.Duration) ([]certifier.Record, error) {
+	if !e.isMaster {
+		return nil, errUnsupported
+	}
+	if wait > 0 {
+		// A slave's long-poll cursor is the master version it has
+		// applied; the minimum across all slaves bounds log pruning.
+		e.cursors.update(peer, v)
+		if h, ok := e.cursors.horizon(e.db.Version()); ok {
+			e.wlog.GCBelow(h)
+		}
+		e.notify.waitBeyond(v, wait, e.stop)
+	}
+	return e.wlog.SinceDense(v), nil
+}
+
+func (e *smEngine) peerGone(peer int64) {
+	if e.cursors != nil {
+		e.cursors.drop(peer)
+	}
+}
+
+func (e *smEngine) run(stop <-chan struct{}) {
+	if e.isMaster {
+		return
+	}
+	runPuller(stop, e.puller, e.applied, &e.lastSeen, e.apply)
+}
+
+func (e *smEngine) close() {
+	if e.link != nil {
+		e.link.Close()
+	}
+	if e.puller != nil {
+		e.puller.Close()
+	}
+}
+
+// smTxn adapts a sidb transaction to repl.Txn with the master/slave
+// proxy rules.
+type smTxn struct {
+	e        *smEngine
+	inner    *sidb.Txn
+	readOnly bool
+	done     bool
+}
+
+var _ repl.Txn = (*smTxn)(nil)
+
+func (t *smTxn) Read(table string, row int64) (string, bool, error) {
+	return t.inner.Read(table, row)
+}
+
+func (t *smTxn) Write(table string, row int64, value string) error {
+	if t.readOnly {
+		return repl.ErrReadOnlyTxn
+	}
+	return t.inner.Write(table, row, value)
+}
+
+func (t *smTxn) Delete(table string, row int64) error {
+	if t.readOnly {
+		return repl.ErrReadOnlyTxn
+	}
+	return t.inner.Delete(table, row)
+}
+
+func (t *smTxn) Commit() error {
+	if t.done {
+		return sidb.ErrTxnDone
+	}
+	t.done = true
+	ws, version, err := t.inner.Commit()
+	if err != nil {
+		if errors.Is(err, sidb.ErrConflict) {
+			return fmt.Errorf("%w (%v)", repl.ErrAborted, err)
+		}
+		return err
+	}
+	if !ws.Empty() {
+		t.e.wlog.Append(version, ws)
+		t.e.notify.bump(version)
+	}
+	return nil
+}
+
+func (t *smTxn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.inner.Abort()
+}

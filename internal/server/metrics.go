@@ -1,0 +1,65 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// metrics holds the replica server's operational counters, exposed in
+// Prometheus text format on the optional metrics listener.
+type metrics struct {
+	design string
+	id     int
+
+	commits     atomic.Int64
+	aborts      atomic.Int64
+	activeConns atomic.Int64
+
+	certMu  sync.Mutex
+	certLat *stats.Latency
+}
+
+func newMetrics(design string, id int) *metrics {
+	return &metrics{design: design, id: id, certLat: stats.NewLatency()}
+}
+
+// observeCert records one certification round trip.
+func (m *metrics) observeCert(d time.Duration) {
+	m.certMu.Lock()
+	m.certLat.Record(d)
+	m.certMu.Unlock()
+}
+
+// handler serves the /metrics endpoint; eng supplies the live applied
+// version and writeset queue depth.
+func (m *metrics) handler(eng engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" && r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(w, "replicadb_info{design=%q,replica=\"%d\"} 1\n", m.design, m.id)
+		fmt.Fprintf(w, "replicadb_commits %d\n", m.commits.Load())
+		fmt.Fprintf(w, "replicadb_aborts %d\n", m.aborts.Load())
+		fmt.Fprintf(w, "replicadb_active_connections %d\n", m.activeConns.Load())
+		fmt.Fprintf(w, "replicadb_applied_version %d\n", eng.applied())
+		fmt.Fprintf(w, "replicadb_writeset_queue_depth %d\n", eng.queueDepth())
+		fmt.Fprintf(w, "replicadb_retained_writesets %d\n", eng.logLen())
+		m.certMu.Lock()
+		count := m.certLat.Count()
+		q50, q95, q99 := m.certLat.Quantile(0.50), m.certLat.Quantile(0.95), m.certLat.Quantile(0.99)
+		max := m.certLat.Max()
+		m.certMu.Unlock()
+		fmt.Fprintf(w, "replicadb_cert_latency_count %d\n", count)
+		fmt.Fprintf(w, "replicadb_cert_latency_seconds{quantile=\"0.50\"} %g\n", q50.Seconds())
+		fmt.Fprintf(w, "replicadb_cert_latency_seconds{quantile=\"0.95\"} %g\n", q95.Seconds())
+		fmt.Fprintf(w, "replicadb_cert_latency_seconds{quantile=\"0.99\"} %g\n", q99.Seconds())
+		fmt.Fprintf(w, "replicadb_cert_latency_seconds_max %g\n", max.Seconds())
+	})
+}

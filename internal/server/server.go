@@ -1,0 +1,475 @@
+// Package server implements the TCP replica server of the networked
+// deployment: each process fronts one database replica with the same
+// middleware the in-process prototypes use (a single-replica
+// mm.Cluster with a local or remote certifier, or a single-master
+// master/slave node), speaks the internal/wire protocol to clients,
+// and maintains peer links to the primary for remote certification and
+// writeset propagation — the paper's deployment shape (§5), where
+// replicas, the certifier and the clients are separate machines.
+//
+// Concurrency model: one goroutine per accepted connection with a
+// bounded accept loop, one background propagation goroutine (the peer
+// link), and an optional HTTP metrics listener. Close is graceful:
+// the listener stops, open connections are closed (aborting their
+// in-flight transactions), and every goroutine is joined.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/repl"
+	"repro/internal/sidb"
+	"repro/internal/wire"
+)
+
+// Options configure one replica server process.
+type Options struct {
+	// Design is the replication design this node serves: "mm" or "sm".
+	Design string
+	// ID is this node's replica id. Replica 0 is the primary: the
+	// certifier host under mm, the master under sm.
+	ID int
+	// Listen is the TCP listen address (host:port; port 0 picks one).
+	Listen string
+	// Primary is the address of replica 0; required when ID > 0,
+	// ignored when ID == 0.
+	Primary string
+	// MetricsAddr optionally serves /metrics over HTTP.
+	MetricsAddr string
+	// MaxConns bounds concurrently served connections (default 256);
+	// the accept loop stalls at the bound rather than rejecting.
+	MaxConns int
+	// Replicas is the total replica count of the cluster. On the
+	// primary it gates garbage collection of retained writesets: the
+	// log is pruned only once all Replicas-1 peers maintain active
+	// propagation cursors (0 disables pruning, retaining everything).
+	Replicas int
+	// GCLag is how many versions below the cluster-wide applied
+	// horizon the primary retains anyway, protecting certification
+	// requests from transactions that began before the horizon moved
+	// (default 256).
+	GCLag int
+	// GroupCommit batches commit certification on the certifier host
+	// (mm, ID 0 only).
+	GroupCommit bool
+	// EagerCert enables eager certification on writes (mm only; on a
+	// non-primary node every probe is a network round trip).
+	EagerCert bool
+	// DialTimeout bounds peer-link dials (default 2s).
+	DialTimeout time.Duration
+	// IdleTimeout closes connections that send nothing for this long
+	// (default 5m), so half-open peers cannot hold MaxConns slots
+	// forever; clients transparently redial pooled connections the
+	// server reaped.
+	IdleTimeout time.Duration
+}
+
+// Server is a running replica server.
+type Server struct {
+	opts Options
+	ln   net.Listener
+	eng  engine
+	m    *metrics
+
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	sem    chan struct{}
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	connID atomic.Int64
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// New validates the options, binds the listener(s) and builds the
+// node engine. The server does not accept traffic until Start.
+func New(opts Options) (*Server, error) {
+	if opts.Design != "mm" && opts.Design != "sm" {
+		return nil, fmt.Errorf("server: unknown design %q (mm|sm)", opts.Design)
+	}
+	if opts.ID < 0 {
+		return nil, fmt.Errorf("server: negative replica id %d", opts.ID)
+	}
+	if opts.ID > 0 && opts.Primary == "" {
+		return nil, errors.New("server: replica id > 0 requires the primary's address")
+	}
+	if opts.Listen == "" {
+		return nil, errors.New("server: listen address required")
+	}
+	if opts.MaxConns <= 0 {
+		opts.MaxConns = 256
+	}
+	if opts.GCLag <= 0 {
+		opts.GCLag = 256
+	}
+	if opts.IdleTimeout <= 0 {
+		opts.IdleTimeout = 5 * time.Minute
+	}
+
+	m := newMetrics(opts.Design, opts.ID)
+	stop := make(chan struct{})
+	var eng engine
+	var err error
+	switch opts.Design {
+	case "mm":
+		eng, err = newMMEngine(opts, m, stop)
+	case "sm":
+		eng = newSMEngine(opts, stop)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	ln, err := net.Listen("tcp", opts.Listen)
+	if err != nil {
+		eng.close()
+		return nil, err
+	}
+	s := &Server{
+		opts:  opts,
+		ln:    ln,
+		eng:   eng,
+		m:     m,
+		sem:   make(chan struct{}, opts.MaxConns),
+		stop:  stop,
+		conns: make(map[net.Conn]struct{}),
+	}
+	if opts.MetricsAddr != "" {
+		s.httpLn, err = net.Listen("tcp", opts.MetricsAddr)
+		if err != nil {
+			ln.Close()
+			eng.close()
+			return nil, err
+		}
+		s.httpSrv = &http.Server{Handler: m.handler(eng)}
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// MetricsAddr returns the bound metrics address, or "" when disabled.
+func (s *Server) MetricsAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// Start launches the accept loop, the propagation loop and the
+// metrics listener.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop()
+	}()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.eng.run(s.stop)
+	}()
+	if s.httpSrv != nil {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			_ = s.httpSrv.Serve(s.httpLn)
+		}()
+	}
+}
+
+// Close shuts the server down gracefully and joins every goroutine.
+// It is idempotent.
+func (s *Server) Close() error {
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for nc := range s.conns {
+		conns = append(conns, nc)
+	}
+	s.connMu.Unlock()
+
+	close(s.stop)
+	err := s.ln.Close()
+	if s.httpSrv != nil {
+		_ = s.httpSrv.Close()
+	}
+	for _, nc := range conns {
+		_ = nc.Close()
+	}
+	s.eng.close()
+	s.wg.Wait()
+	return err
+}
+
+// track registers a live connection; it reports false once the server
+// is closing so late accepts are dropped immediately.
+func (s *Server) track(nc net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[nc] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(nc net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, nc)
+	s.connMu.Unlock()
+}
+
+// acceptLoop accepts connections, each behind the MaxConns semaphore.
+func (s *Server) acceptLoop() {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.stop:
+			nc.Close()
+			return
+		}
+		if !s.track(nc) {
+			nc.Close()
+			<-s.sem
+			return
+		}
+		s.m.activeConns.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.untrack(nc)
+				nc.Close()
+				s.m.activeConns.Add(-1)
+				<-s.sem
+			}()
+			s.handleConn(nc)
+		}()
+	}
+}
+
+// handleConn runs the versioned handshake, then serves one request at
+// a time; the connection owns at most one open transaction, which is
+// aborted if the connection dies.
+func (s *Server) handleConn(nc net.Conn) {
+	wc := wire.NewConn(nc)
+	_ = nc.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+	msg, err := wc.Recv()
+	if err != nil {
+		return
+	}
+	hello, ok := msg.(*wire.Hello)
+	if !ok {
+		_ = wc.Send(&wire.Err{Code: wire.CodeBadRequest, Msg: "expected Hello"})
+		return
+	}
+	if hello.Proto != wire.ProtoVersion {
+		_ = wc.Send(&wire.Err{Code: wire.CodeBadRequest,
+			Msg: fmt.Sprintf("protocol version %d not supported (want %d)", hello.Proto, wire.ProtoVersion)})
+		return
+	}
+	if err := wc.Send(&wire.HelloOK{Proto: wire.ProtoVersion, Design: s.opts.Design, ID: int64(s.opts.ID)}); err != nil {
+		return
+	}
+
+	// Peer links announce their replica id; that keys their
+	// propagation cursor so reconnects collapse onto one cursor.
+	// Ordinary clients (PeerID < 0) get a unique negative key the
+	// cursor tracking ignores.
+	peer := hello.PeerID
+	if peer < 0 {
+		peer = -s.connID.Add(1)
+	}
+	defer s.eng.peerGone(peer)
+	var cur repl.Txn
+	defer func() {
+		if cur != nil {
+			cur.Abort()
+		}
+	}()
+	for {
+		_ = nc.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		msg, err := wc.Recv()
+		if err != nil {
+			return
+		}
+		reply := s.dispatch(peer, &cur, msg)
+		if err := wc.Send(reply); err != nil {
+			return
+		}
+	}
+}
+
+// maxFetchWait caps client-requested long polls so a hostile or buggy
+// peer cannot park a connection goroutine for arbitrarily long.
+const maxFetchWait = 5 * time.Second
+
+// dispatch executes one request against the node engine and builds the
+// reply. peer is the connection's cursor key (the announced replica id
+// for peer links, a negative value for clients); cur is its open
+// transaction slot.
+func (s *Server) dispatch(peer int64, cur *repl.Txn, msg wire.Message) wire.Message {
+	switch m := msg.(type) {
+	case *wire.Begin:
+		if *cur != nil {
+			return &wire.Err{Code: wire.CodeBadRequest, Msg: "transaction already open on this connection"}
+		}
+		tx, err := s.eng.begin(m.ReadOnly)
+		if err != nil {
+			return errReply(err)
+		}
+		*cur = tx
+		return &wire.BeginOK{Applied: s.eng.applied()}
+
+	case *wire.Read:
+		if *cur == nil {
+			return noTxn()
+		}
+		value, ok, err := (*cur).Read(m.Table, m.Row)
+		if err != nil {
+			return errReply(err)
+		}
+		return &wire.ReadOK{OK: ok, Value: value}
+
+	case *wire.Write:
+		if *cur == nil {
+			return noTxn()
+		}
+		if err := (*cur).Write(m.Table, m.Row, m.Value); err != nil {
+			return errReply(err)
+		}
+		return &wire.WriteOK{}
+
+	case *wire.Delete:
+		if *cur == nil {
+			return noTxn()
+		}
+		if err := (*cur).Delete(m.Table, m.Row); err != nil {
+			return errReply(err)
+		}
+		return &wire.WriteOK{}
+
+	case *wire.Commit:
+		if *cur == nil {
+			return noTxn()
+		}
+		err := (*cur).Commit()
+		*cur = nil
+		switch {
+		case err == nil:
+			s.m.commits.Add(1)
+			return &wire.CommitOK{Applied: s.eng.applied()}
+		case errors.Is(err, repl.ErrAborted):
+			s.m.aborts.Add(1)
+			return &wire.CommitAborted{ConflictWith: repl.ConflictWith(err)}
+		default:
+			return errReply(err)
+		}
+
+	case *wire.Abort:
+		if *cur != nil {
+			(*cur).Abort()
+			*cur = nil
+		}
+		return &wire.AbortOK{}
+
+	case *wire.Sync:
+		s.eng.sync()
+		return &wire.SyncOK{Applied: s.eng.applied()}
+
+	case *wire.CreateTable:
+		if err := s.eng.createTable(m.Name); err != nil {
+			return errReply(err)
+		}
+		return &wire.CreateTableOK{}
+
+	case *wire.Load:
+		if err := s.eng.loadRows(m.Table, m.Start, m.Values); err != nil {
+			return errReply(err)
+		}
+		return &wire.LoadOK{}
+
+	case *wire.Dump:
+		rows, err := s.eng.dump(m.Table)
+		if err != nil {
+			return errReply(err)
+		}
+		reply := &wire.DumpOK{Rows: make([]int64, 0, len(rows)), Values: make([]string, 0, len(rows))}
+		for r, v := range rows {
+			reply.Rows = append(reply.Rows, r)
+			reply.Values = append(reply.Values, v)
+		}
+		return reply
+
+	case *wire.Certify:
+		out, err := s.eng.certify(m.Snapshot, m.WS)
+		if err != nil {
+			return errReply(err)
+		}
+		return &wire.CertifyOK{Committed: out.Committed, Version: out.Version, ConflictWith: out.ConflictWith}
+
+	case *wire.Check:
+		conflict, with, err := s.eng.check(m.Snapshot, m.WS)
+		if err != nil {
+			return errReply(err)
+		}
+		return &wire.CheckOK{Conflict: conflict, With: with}
+
+	case *wire.FetchSince:
+		wait := time.Duration(m.WaitMillis) * time.Millisecond
+		if wait > maxFetchWait {
+			wait = maxFetchWait
+		}
+		recs, err := s.eng.fetchSince(peer, m.Version, wait)
+		if err != nil {
+			return errReply(err)
+		}
+		reply := &wire.Records{Recs: make([]wire.Record, len(recs))}
+		for i, r := range recs {
+			reply.Recs[i] = wire.Record{Version: r.Version, WS: r.Writeset}
+		}
+		return reply
+
+	default:
+		return &wire.Err{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("unexpected message %T", msg)}
+	}
+}
+
+func noTxn() wire.Message {
+	return &wire.Err{Code: wire.CodeBadRequest, Msg: "no transaction open on this connection"}
+}
+
+// errReply maps engine errors onto the wire.
+func errReply(err error) wire.Message {
+	switch {
+	case errors.Is(err, repl.ErrAborted):
+		return &wire.CommitAborted{ConflictWith: repl.ConflictWith(err)}
+	case errors.Is(err, repl.ErrReadOnlyTxn):
+		return &wire.Err{Code: wire.CodeReadOnly, Msg: err.Error()}
+	case errors.Is(err, sidb.ErrNoTable):
+		return &wire.Err{Code: wire.CodeNoTable, Msg: err.Error()}
+	case errors.Is(err, errUnsupported):
+		return &wire.Err{Code: wire.CodeUnsupported, Msg: err.Error()}
+	default:
+		return &wire.Err{Code: wire.CodeInternal, Msg: err.Error()}
+	}
+}

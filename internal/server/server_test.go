@@ -1,0 +1,427 @@
+package server_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// startCluster brings up n replica servers of the given design on
+// loopback ports and a pooled client over all of them. Cleanup tears
+// everything down.
+func startCluster(t *testing.T, design string, n int, tweak func(*server.Options)) ([]*server.Server, *client.Client) {
+	t.Helper()
+	servers := make([]*server.Server, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		opts := server.Options{
+			Design:   design,
+			ID:       i,
+			Listen:   "127.0.0.1:0",
+			Replicas: n,
+		}
+		if i > 0 {
+			opts.Primary = addrs[0]
+		}
+		if tweak != nil {
+			tweak(&opts)
+		}
+		srv, err := server.New(opts)
+		if err != nil {
+			t.Fatalf("server %d: %v", i, err)
+		}
+		srv.Start()
+		servers[i] = srv
+		addrs[i] = srv.Addr()
+		t.Cleanup(func() { srv.Close() })
+	}
+	cl, err := client.New(client.Options{
+		Servers:    addrs,
+		Design:     design,
+		ProbeAfter: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return servers, cl
+}
+
+// driveAndCheck loads the catalog, drives a workload through the
+// pooled client, and verifies convergence across all replicas.
+func driveAndCheck(t *testing.T, cl *client.Client, clients, txns int) repl.DriveResult {
+	t.Helper()
+	mix := workload.TPCWShopping()
+	cat, err := workload.CatalogFor(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const factor = 1000
+	if err := repl.LoadCatalog(cl, cat, factor); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res := repl.Drive(cl, cat, mix, clients, txns, factor, 1)
+	if res.Errors != 0 {
+		t.Fatalf("drive errors: %+v", res)
+	}
+	if res.Commits != int64(clients*txns) {
+		t.Fatalf("commits = %d, want %d", res.Commits, clients*txns)
+	}
+	tables := make([]string, 0, len(cat.Tables))
+	for name := range cat.Tables {
+		tables = append(tables, name)
+	}
+	if err := repl.CheckConvergence(cl, tables); err != nil {
+		t.Fatalf("convergence: %v", err)
+	}
+	return res
+}
+
+// TestLoopbackMM is the acceptance-path integration test: three
+// multi-master replica servers over real TCP in one process, a pooled
+// client driving a TPC-W mix, and all replicas converging.
+func TestLoopbackMM(t *testing.T) {
+	_, cl := startCluster(t, "mm", 3, nil)
+	res := driveAndCheck(t, cl, 4, 25)
+	if res.UpdateCommits == 0 || res.ReadCommits == 0 {
+		t.Fatalf("expected both classes to commit: %+v", res)
+	}
+	if res.ReadLatency.Count() != res.ReadCommits {
+		t.Fatalf("read latency count %d != read commits %d", res.ReadLatency.Count(), res.ReadCommits)
+	}
+	if res.UpdateLatency.Count() != res.UpdateCommits {
+		t.Fatalf("update latency count %d != update commits %d", res.UpdateLatency.Count(), res.UpdateCommits)
+	}
+	if res.UpdateLatency.Quantile(0.99) <= 0 {
+		t.Fatal("latency histogram empty")
+	}
+}
+
+// TestLoopbackMMGroupCommit runs the same cluster with group commit
+// batching on the certifier host.
+func TestLoopbackMMGroupCommit(t *testing.T) {
+	_, cl := startCluster(t, "mm", 3, func(o *server.Options) {
+		if o.ID == 0 {
+			o.GroupCommit = true
+		}
+	})
+	driveAndCheck(t, cl, 6, 20)
+}
+
+// TestLoopbackSM runs the single-master design: updates pinned to the
+// master over TCP, slaves fed through the propagation link.
+func TestLoopbackSM(t *testing.T) {
+	_, cl := startCluster(t, "sm", 3, nil)
+	driveAndCheck(t, cl, 4, 25)
+}
+
+// TestClientReconnect kills one replica under a live pooled client and
+// requires traffic to continue through the survivors, then checks the
+// pool re-dials rather than reusing dead connections.
+func TestClientReconnect(t *testing.T) {
+	servers, cl := startCluster(t, "mm", 3, nil)
+	mix := workload.TPCWShopping()
+	cat, err := workload.CatalogFor(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const factor = 1000
+	if err := repl.LoadCatalog(cl, cat, factor); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: all three replicas alive.
+	res := repl.Drive(cl, cat, mix, 4, 10, factor, 1)
+	if res.Errors != 0 {
+		t.Fatalf("phase 1 errors: %+v", res)
+	}
+	// Kill replica 2 (not the certifier host). Pooled connections to
+	// it are now stale; the client must discover that and route
+	// around.
+	if err := servers[2].Close(); err != nil {
+		t.Fatalf("close replica 2: %v", err)
+	}
+	res = repl.Drive(cl, cat, mix, 4, 10, factor, 2)
+	if res.Errors != 0 {
+		t.Fatalf("phase 2 errors after killing replica 2: %+v", res)
+	}
+	if res.Commits != 40 {
+		t.Fatalf("phase 2 commits = %d, want 40", res.Commits)
+	}
+	// Convergence across the survivors.
+	cl.Sync()
+	for _, table := range []string{"item", "customer"} {
+		ref, err := cl.TableDump(0, table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cl.TableDump(1, table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ref) != len(got) {
+			t.Fatalf("table %q: replica 0 has %d rows, replica 1 has %d", table, len(ref), len(got))
+		}
+		for k, v := range ref {
+			if got[k] != v {
+				t.Fatalf("table %q row %d diverged: %q vs %q", table, k, got[k], v)
+			}
+		}
+	}
+	// The dead replica must fail loudly when addressed directly.
+	if _, err := cl.TableDump(2, "item"); err == nil {
+		t.Fatal("dump from killed replica unexpectedly succeeded")
+	}
+}
+
+// TestSlaveRejectsUpdates pins the sm proxy rule: a slave refuses
+// update transactions at begin rather than failing later. The client
+// is (mis)configured with only the slave's address, so its "master"
+// routing lands on the slave.
+func TestSlaveRejectsUpdates(t *testing.T) {
+	servers, _ := startCluster(t, "sm", 2, nil)
+	slave, err := client.New(client.Options{
+		Servers: []string{servers[1].Addr()},
+		Design:  "sm",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slave.Close()
+	if _, err := slave.BeginUpdate(); err == nil || !strings.Contains(err.Error(), "master") {
+		t.Fatalf("slave accepted an update transaction (err=%v)", err)
+	}
+}
+
+// TestDesignMismatchRejected pins the handshake check: a client
+// configured for one design fails loudly at connect time when pointed
+// at a cluster of the other design.
+func TestDesignMismatchRejected(t *testing.T) {
+	servers, _ := startCluster(t, "sm", 1, nil)
+	wrong, err := client.New(client.Options{
+		Servers: []string{servers[0].Addr()},
+		Design:  "mm",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wrong.Close()
+	if _, err := wrong.BeginRead(); err == nil || !strings.Contains(err.Error(), "design") {
+		t.Fatalf("design mismatch not reported at connect time (err=%v)", err)
+	}
+}
+
+// TestMetricsEndpoint checks the /metrics listener carries the
+// operational counters.
+func TestMetricsEndpoint(t *testing.T) {
+	servers, cl := startCluster(t, "mm", 2, func(o *server.Options) {
+		o.MetricsAddr = "127.0.0.1:0"
+	})
+	driveAndCheck(t, cl, 2, 10)
+
+	for i, srv := range servers {
+		addr := srv.MetricsAddr()
+		if addr == "" {
+			t.Fatalf("server %d has no metrics listener", i)
+		}
+		body := httpGet(t, "http://"+addr+"/metrics")
+		for _, want := range []string{
+			"replicadb_commits", "replicadb_aborts", "replicadb_active_connections",
+			"replicadb_writeset_queue_depth", "replicadb_cert_latency_seconds",
+		} {
+			if !strings.Contains(body, want) {
+				t.Fatalf("server %d metrics missing %q:\n%s", i, want, body)
+			}
+		}
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestGracefulShutdown closes a server with open client connections
+// and an in-flight transaction; Close must not hang and the client
+// must see clean errors.
+func TestGracefulShutdown(t *testing.T) {
+	servers, cl := startCluster(t, "mm", 1, nil)
+	mix := workload.TPCWShopping()
+	cat, err := workload.CatalogFor(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repl.LoadCatalog(cl, cat, 1000); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := cl.BeginUpdate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write("item", 1, "dangling"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- servers[0].Close() }()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with an open transaction")
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit against a closed server succeeded")
+	}
+}
+
+// TestBoundedAccept verifies the accept loop enforces MaxConns: the
+// N+1th concurrent connection waits instead of being served.
+func TestBoundedAccept(t *testing.T) {
+	servers, _ := startCluster(t, "mm", 1, func(o *server.Options) {
+		o.MaxConns = 2
+	})
+	addr := servers[0].Addr()
+	open := func() (*client.Client, repl.Txn) {
+		c, err := client.New(client.Options{Servers: []string{addr}, Design: "mm", PoolSize: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx, err := c.BeginRead()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, tx
+	}
+	c1, tx1 := open()
+	defer c1.Close()
+	c2, tx2 := open()
+	defer c2.Close()
+
+	// Third connection: the dial succeeds (kernel backlog) but the
+	// handshake cannot complete until a slot frees.
+	c3 := make(chan error, 1)
+	go func() {
+		c, err := client.New(client.Options{
+			Servers: []string{addr}, Design: "mm", DialTimeout: 2 * time.Second,
+		})
+		if err != nil {
+			c3 <- err
+			return
+		}
+		defer c.Close()
+		tx, err := c.BeginRead()
+		if err == nil {
+			tx.Abort()
+		}
+		c3 <- err
+	}()
+	select {
+	case err := <-c3:
+		t.Fatalf("third connection served beyond MaxConns (err=%v)", err)
+	case <-time.After(300 * time.Millisecond):
+		// Expected: still blocked.
+	}
+	tx1.Abort()
+	tx2.Abort()
+	c1.Close()
+	c2.Close()
+	select {
+	case err := <-c3:
+		if err != nil {
+			t.Fatalf("third connection failed after slots freed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("third connection never served after slots freed")
+	}
+}
+
+// TestWireLevelValidation drives the server with raw protocol misuse.
+func TestWireLevelValidation(t *testing.T) {
+	servers, _ := startCluster(t, "mm", 1, nil)
+	nc, err := net.Dial("tcp", servers[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// Skipping the handshake: first frame must be Hello.
+	// Build a Begin frame by hand: length 2, type TBegin, readonly=1.
+	if _, err := nc.Write([]byte{0, 0, 0, 2, 4 /*TBegin*/, 1}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := nc.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 5 || buf[4] != 1 /*TErr*/ {
+		t.Fatalf("expected Err frame, got % x", buf[:n])
+	}
+}
+
+// TestCertLogGC verifies the certifier host prunes its retained
+// writeset log once every peer's propagation cursor has moved past
+// them (minus the safety lag), so a long-running serve process does
+// not grow without bound.
+func TestCertLogGC(t *testing.T) {
+	servers, cl := startCluster(t, "mm", 3, func(o *server.Options) {
+		o.GCLag = 4
+		if o.ID == 0 {
+			o.MetricsAddr = "127.0.0.1:0"
+		}
+	})
+	mix := workload.TPCWShopping()
+	cat, err := workload.CatalogFor(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repl.LoadCatalog(cl, cat, 1000); err != nil {
+		t.Fatal(err)
+	}
+	res := repl.Drive(cl, cat, mix, 4, 40, 1000, 1)
+	if res.Errors != 0 {
+		t.Fatalf("drive errors: %+v", res)
+	}
+	if res.UpdateCommits < 10 {
+		t.Fatalf("too few update commits (%d) to exercise GC", res.UpdateCommits)
+	}
+	// The pullers poll every <=250ms, carrying their applied cursors;
+	// within a few rounds the host must have pruned down to ~GCLag.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		body := httpGet(t, "http://"+servers[0].MetricsAddr()+"/metrics")
+		retained := int64(-1)
+		for _, line := range strings.Split(body, "\n") {
+			if n, err := fmt.Sscanf(line, "replicadb_retained_writesets %d", &retained); n == 1 && err == nil {
+				break
+			}
+		}
+		if retained >= 0 && retained <= 8 {
+			return // pruned to within the lag
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("certification log never pruned: retained=%d of %d commits", retained, res.UpdateCommits)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// Latency is an HDR-style log-linear histogram of durations, built for
+// client-perceived transaction latencies: constant-time recording, a
+// bounded relative error (the top five significand bits are kept, so
+// quantile estimates are within ~3% of the true value), and cheap
+// merging across concurrent recorders. Durations are bucketed in
+// nanoseconds; values below 32 ns are counted exactly.
+//
+// A Latency is not safe for concurrent use: each recorder keeps its
+// own and the results are folded together with Merge, the same pattern
+// Welford uses.
+type Latency struct {
+	counts []int64
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+const (
+	// latExact is the number of low values (0..latExact-1 ns) counted
+	// in their own buckets.
+	latExact = 32
+	// latSub is the number of linear sub-buckets per power of two
+	// above the exact range.
+	latSub = 32
+	// latBuckets covers every non-negative int64 nanosecond value:
+	// exponents 6..64 each contribute latSub sub-buckets.
+	latBuckets = latExact + (64-5)*latSub
+)
+
+// NewLatency returns an empty histogram.
+func NewLatency() *Latency {
+	return &Latency{counts: make([]int64, latBuckets)}
+}
+
+// latBucket maps a nanosecond value to its bucket index.
+func latBucket(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	u := uint64(ns)
+	if u < latExact {
+		return int(u)
+	}
+	e := bits.Len64(u) // 6..64 here
+	mant := int(u>>(uint(e)-6)) & (latSub - 1)
+	return latExact + (e-6)*latSub + mant
+}
+
+// latValue returns a representative (mid-bucket) nanosecond value for
+// bucket index b, the inverse of latBucket up to the bucket width.
+func latValue(b int) int64 {
+	if b < latExact {
+		return int64(b)
+	}
+	g := (b - latExact) / latSub
+	m := (b - latExact) % latSub
+	low := uint64(latSub+m) << uint(g)
+	width := uint64(1) << uint(g)
+	return int64(low + width/2)
+}
+
+// Record adds one observation.
+func (l *Latency) Record(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	l.counts[latBucket(ns)]++
+	l.count++
+	l.sum += ns
+	if l.count == 1 {
+		l.min, l.max = ns, ns
+		return
+	}
+	if ns < l.min {
+		l.min = ns
+	}
+	if ns > l.max {
+		l.max = ns
+	}
+}
+
+// Count returns the number of observations.
+func (l *Latency) Count() int64 { return l.count }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (l *Latency) Mean() time.Duration {
+	if l.count == 0 {
+		return 0
+	}
+	return time.Duration(l.sum / l.count)
+}
+
+// Min returns the smallest observation, or 0 with no observations.
+func (l *Latency) Min() time.Duration { return time.Duration(l.min) }
+
+// Max returns the largest observation, or 0 with no observations.
+func (l *Latency) Max() time.Duration { return time.Duration(l.max) }
+
+// Quantile estimates the q-quantile (0 <= q <= 1). The estimate is
+// clamped into [Min, Max], so Quantile(1) == Max exactly.
+func (l *Latency) Quantile(q float64) time.Duration {
+	if l.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(l.count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank >= l.count {
+		return time.Duration(l.max)
+	}
+	var cum int64
+	for b, c := range l.counts {
+		cum += c
+		if cum >= rank {
+			v := latValue(b)
+			if v < l.min {
+				v = l.min
+			}
+			if v > l.max {
+				v = l.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(l.max)
+}
+
+// Merge folds other into l, as if all of other's observations had been
+// recorded into l. A nil or empty other is a no-op.
+func (l *Latency) Merge(other *Latency) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	for b, c := range other.counts {
+		l.counts[b] += c
+	}
+	if l.count == 0 || other.min < l.min {
+		l.min = other.min
+	}
+	if l.count == 0 || other.max > l.max {
+		l.max = other.max
+	}
+	l.count += other.count
+	l.sum += other.sum
+}
+
+// Summary renders the standard percentile line used by the drivers,
+// e.g. "p50=1.2ms p95=3.4ms p99=8ms max=12ms (n=500)".
+func (l *Latency) Summary() string {
+	if l.count == 0 {
+		return "no observations"
+	}
+	return fmt.Sprintf("p50=%s p95=%s p99=%s max=%s (n=%d)",
+		round(l.Quantile(0.50)), round(l.Quantile(0.95)),
+		round(l.Quantile(0.99)), round(l.Max()), l.count)
+}
+
+// round trims a duration to a readable precision for summaries.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(100 * time.Nanosecond)
+	}
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestLatencyEmpty(t *testing.T) {
+	l := NewLatency()
+	if l.Count() != 0 || l.Quantile(0.5) != 0 || l.Max() != 0 || l.Mean() != 0 {
+		t.Fatalf("empty histogram not all-zero: %v", l.Summary())
+	}
+}
+
+func TestLatencyExactSmallValues(t *testing.T) {
+	l := NewLatency()
+	for ns := int64(0); ns < 32; ns++ {
+		l.Record(time.Duration(ns))
+	}
+	if got := l.Max(); got != 31 {
+		t.Fatalf("max = %v, want 31ns", got)
+	}
+	if got := l.Min(); got != 0 {
+		t.Fatalf("min = %v, want 0", got)
+	}
+	if got := l.Quantile(1); got != 31 {
+		t.Fatalf("p100 = %v, want 31ns", got)
+	}
+}
+
+// TestLatencyQuantileAccuracy checks the bounded relative error on a
+// known uniform distribution.
+func TestLatencyQuantileAccuracy(t *testing.T) {
+	l := NewLatency()
+	const n = 100000
+	for i := 1; i <= n; i++ {
+		l.Record(time.Duration(i) * time.Microsecond)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99} {
+		want := q * n * float64(time.Microsecond)
+		got := float64(l.Quantile(q))
+		if rel := abs(got-want) / want; rel > 0.05 {
+			t.Errorf("q=%.2f: got %v want %v (rel err %.3f)", q, time.Duration(got), time.Duration(want), rel)
+		}
+	}
+	if l.Quantile(1) != l.Max() {
+		t.Errorf("p100 %v != max %v", l.Quantile(1), l.Max())
+	}
+}
+
+func TestLatencyMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	whole, a, b := NewLatency(), NewLatency(), NewLatency()
+	for i := 0; i < 20000; i++ {
+		d := time.Duration(rng.Int63n(int64(3 * time.Second)))
+		whole.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(b)
+	a.Merge(nil)          // no-op
+	a.Merge(NewLatency()) // no-op
+	if a.Count() != whole.Count() || a.Min() != whole.Min() || a.Max() != whole.Max() || a.Mean() != whole.Mean() {
+		t.Fatalf("merge mismatch: %v vs %v", a.Summary(), whole.Summary())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q=%.2f: merged %v, sequential %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestLatencyMergeIntoEmpty(t *testing.T) {
+	a, b := NewLatency(), NewLatency()
+	b.Record(5 * time.Millisecond)
+	b.Record(10 * time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 2 || a.Min() != 5*time.Millisecond || a.Max() != 10*time.Millisecond {
+		t.Fatalf("merge into empty: %v", a.Summary())
+	}
+}
+
+func TestLatencyBucketRoundTrip(t *testing.T) {
+	for _, ns := range []int64{0, 1, 31, 32, 33, 63, 64, 1000, 1 << 20, 1<<40 + 12345, 1<<62 + 99} {
+		b := latBucket(ns)
+		v := latValue(b)
+		// The representative must be within one bucket width (~3%).
+		if ns >= 32 {
+			if rel := abs(float64(v-ns)) / float64(ns); rel > 1.0/latSub {
+				t.Errorf("ns=%d: bucket %d rep %d (rel err %.4f)", ns, b, v, rel)
+			}
+		} else if v != ns {
+			t.Errorf("exact range ns=%d: rep %d", ns, v)
+		}
+	}
+	if latBucket(-5) != 0 {
+		t.Error("negative values must clamp to bucket 0")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,560 @@
+package wire
+
+import "repro/internal/writeset"
+
+// MsgType identifies a frame's message.
+type MsgType uint8
+
+// Message type bytes. Gaps are left for future request/reply pairs;
+// values are part of the protocol and must not be renumbered.
+const (
+	TErr           MsgType = 1
+	THello         MsgType = 2
+	THelloOK       MsgType = 3
+	TBegin         MsgType = 4
+	TBeginOK       MsgType = 5
+	TRead          MsgType = 6
+	TReadOK        MsgType = 7
+	TWrite         MsgType = 8
+	TWriteOK       MsgType = 9
+	TDelete        MsgType = 10
+	TCommit        MsgType = 11
+	TCommitOK      MsgType = 12
+	TCommitAborted MsgType = 13
+	TAbort         MsgType = 14
+	TAbortOK       MsgType = 15
+	TSync          MsgType = 16
+	TSyncOK        MsgType = 17
+	TCreateTable   MsgType = 18
+	TCreateTableOK MsgType = 19
+	TLoad          MsgType = 20
+	TLoadOK        MsgType = 21
+	TDump          MsgType = 22
+	TDumpOK        MsgType = 23
+	TCertify       MsgType = 24
+	TCertifyOK     MsgType = 25
+	TCheck         MsgType = 26
+	TCheckOK       MsgType = 27
+	TFetchSince    MsgType = 28
+	TRecords       MsgType = 29
+)
+
+// Error codes carried by Err.
+const (
+	CodeInternal    uint8 = 1 // unexpected server-side failure
+	CodeBadRequest  uint8 = 2 // protocol misuse (e.g. Read without Begin)
+	CodeReadOnly    uint8 = 3 // write through a read-only transaction
+	CodeUnsupported uint8 = 4 // operation this node does not serve
+	CodeNoTable     uint8 = 5 // unknown table
+)
+
+// Message is one protocol message; concrete types below implement it.
+type Message interface {
+	msgType() MsgType
+	encode(b []byte) []byte
+	decode(d *decoder)
+}
+
+// newMessage returns a zero message for a type byte, or nil.
+func newMessage(t MsgType) Message {
+	switch t {
+	case TErr:
+		return &Err{}
+	case THello:
+		return &Hello{}
+	case THelloOK:
+		return &HelloOK{}
+	case TBegin:
+		return &Begin{}
+	case TBeginOK:
+		return &BeginOK{}
+	case TRead:
+		return &Read{}
+	case TReadOK:
+		return &ReadOK{}
+	case TWrite:
+		return &Write{}
+	case TWriteOK:
+		return &WriteOK{}
+	case TDelete:
+		return &Delete{}
+	case TCommit:
+		return &Commit{}
+	case TCommitOK:
+		return &CommitOK{}
+	case TCommitAborted:
+		return &CommitAborted{}
+	case TAbort:
+		return &Abort{}
+	case TAbortOK:
+		return &AbortOK{}
+	case TSync:
+		return &Sync{}
+	case TSyncOK:
+		return &SyncOK{}
+	case TCreateTable:
+		return &CreateTable{}
+	case TCreateTableOK:
+		return &CreateTableOK{}
+	case TLoad:
+		return &Load{}
+	case TLoadOK:
+		return &LoadOK{}
+	case TDump:
+		return &Dump{}
+	case TDumpOK:
+		return &DumpOK{}
+	case TCertify:
+		return &Certify{}
+	case TCertifyOK:
+		return &CertifyOK{}
+	case TCheck:
+		return &Check{}
+	case TCheckOK:
+		return &CheckOK{}
+	case TFetchSince:
+		return &FetchSince{}
+	case TRecords:
+		return &Records{}
+	default:
+		return nil
+	}
+}
+
+// Err is the generic failure reply.
+type Err struct {
+	Code uint8
+	Msg  string
+}
+
+func (*Err) msgType() MsgType { return TErr }
+func (m *Err) encode(b []byte) []byte {
+	b = append(b, m.Code)
+	return appendString(b, m.Msg)
+}
+func (m *Err) decode(d *decoder) {
+	m.Code = d.byte()
+	m.Msg = d.str()
+}
+
+// Hello opens every connection: magic, protocol version, and the
+// caller's identity. PeerID is the replica id of a peer link (so the
+// primary can key propagation cursors by replica, not by connection);
+// ordinary clients send -1.
+type Hello struct {
+	Proto  uint32
+	PeerID int64
+}
+
+func (*Hello) msgType() MsgType { return THello }
+func (m *Hello) encode(b []byte) []byte {
+	b = append(b, magic[:]...)
+	b = appendUvarint(b, uint64(m.Proto))
+	return appendVarint(b, m.PeerID)
+}
+func (m *Hello) decode(d *decoder) {
+	for i := range magic {
+		if d.byte() != magic[i] && d.err == nil {
+			d.err = ErrBadMagic
+		}
+	}
+	m.Proto = uint32(d.uvarint())
+	m.PeerID = d.varint()
+}
+
+// HelloOK acknowledges the handshake and identifies the server.
+type HelloOK struct {
+	Proto  uint32
+	Design string // "mm" or "sm"
+	ID     int64  // replica id
+}
+
+func (*HelloOK) msgType() MsgType { return THelloOK }
+func (m *HelloOK) encode(b []byte) []byte {
+	b = appendUvarint(b, uint64(m.Proto))
+	b = appendString(b, m.Design)
+	return appendVarint(b, m.ID)
+}
+func (m *HelloOK) decode(d *decoder) {
+	m.Proto = uint32(d.uvarint())
+	m.Design = d.str()
+	m.ID = d.varint()
+}
+
+// Begin starts a transaction on this connection (one at a time).
+type Begin struct {
+	ReadOnly bool
+}
+
+func (*Begin) msgType() MsgType         { return TBegin }
+func (m *Begin) encode(b []byte) []byte { return appendBool(b, m.ReadOnly) }
+func (m *Begin) decode(d *decoder)      { m.ReadOnly = d.bool() }
+
+// BeginOK acknowledges Begin; Applied is the replica's applied global
+// version at begin time (informational — the GSI snapshot).
+type BeginOK struct {
+	Applied int64
+}
+
+func (*BeginOK) msgType() MsgType         { return TBeginOK }
+func (m *BeginOK) encode(b []byte) []byte { return appendVarint(b, m.Applied) }
+func (m *BeginOK) decode(d *decoder)      { m.Applied = d.varint() }
+
+// Read asks for one row inside the connection's transaction.
+type Read struct {
+	Table string
+	Row   int64
+}
+
+func (*Read) msgType() MsgType { return TRead }
+func (m *Read) encode(b []byte) []byte {
+	b = appendString(b, m.Table)
+	return appendVarint(b, m.Row)
+}
+func (m *Read) decode(d *decoder) {
+	m.Table = d.str()
+	m.Row = d.varint()
+}
+
+// ReadOK returns the visible value; OK is false for absent rows.
+type ReadOK struct {
+	OK    bool
+	Value string
+}
+
+func (*ReadOK) msgType() MsgType { return TReadOK }
+func (m *ReadOK) encode(b []byte) []byte {
+	b = appendBool(b, m.OK)
+	return appendString(b, m.Value)
+}
+func (m *ReadOK) decode(d *decoder) {
+	m.OK = d.bool()
+	m.Value = d.str()
+}
+
+// Write stages an update inside the connection's transaction.
+type Write struct {
+	Table string
+	Row   int64
+	Value string
+}
+
+func (*Write) msgType() MsgType { return TWrite }
+func (m *Write) encode(b []byte) []byte {
+	b = appendString(b, m.Table)
+	b = appendVarint(b, m.Row)
+	return appendString(b, m.Value)
+}
+func (m *Write) decode(d *decoder) {
+	m.Table = d.str()
+	m.Row = d.varint()
+	m.Value = d.str()
+}
+
+// WriteOK acknowledges Write or Delete.
+type WriteOK struct{}
+
+func (*WriteOK) msgType() MsgType         { return TWriteOK }
+func (m *WriteOK) encode(b []byte) []byte { return b }
+func (m *WriteOK) decode(*decoder)        {}
+
+// Delete stages a row removal.
+type Delete struct {
+	Table string
+	Row   int64
+}
+
+func (*Delete) msgType() MsgType { return TDelete }
+func (m *Delete) encode(b []byte) []byte {
+	b = appendString(b, m.Table)
+	return appendVarint(b, m.Row)
+}
+func (m *Delete) decode(d *decoder) {
+	m.Table = d.str()
+	m.Row = d.varint()
+}
+
+// Commit finishes the connection's transaction.
+type Commit struct{}
+
+func (*Commit) msgType() MsgType         { return TCommit }
+func (m *Commit) encode(b []byte) []byte { return b }
+func (m *Commit) decode(*decoder)        {}
+
+// CommitOK reports a successful commit. Applied is the replica's
+// applied global version when the commit was acknowledged —
+// informational only: under asynchronous application it may still lag
+// the version the certifier assigned to this transaction.
+type CommitOK struct {
+	Applied int64
+}
+
+func (*CommitOK) msgType() MsgType         { return TCommitOK }
+func (m *CommitOK) encode(b []byte) []byte { return appendVarint(b, m.Applied) }
+func (m *CommitOK) decode(d *decoder)      { m.Applied = d.varint() }
+
+// CommitAborted reports a certification (write-write conflict) abort;
+// the client retries on a fresh snapshot.
+type CommitAborted struct {
+	ConflictWith int64
+}
+
+func (*CommitAborted) msgType() MsgType         { return TCommitAborted }
+func (m *CommitAborted) encode(b []byte) []byte { return appendVarint(b, m.ConflictWith) }
+func (m *CommitAborted) decode(d *decoder)      { m.ConflictWith = d.varint() }
+
+// Abort discards the connection's transaction.
+type Abort struct{}
+
+func (*Abort) msgType() MsgType         { return TAbort }
+func (m *Abort) encode(b []byte) []byte { return b }
+func (m *Abort) decode(*decoder)        {}
+
+// AbortOK acknowledges Abort.
+type AbortOK struct{}
+
+func (*AbortOK) msgType() MsgType         { return TAbortOK }
+func (m *AbortOK) encode(b []byte) []byte { return b }
+func (m *AbortOK) decode(*decoder)        {}
+
+// Sync asks the replica to apply every writeset committed so far.
+type Sync struct{}
+
+func (*Sync) msgType() MsgType         { return TSync }
+func (m *Sync) encode(b []byte) []byte { return b }
+func (m *Sync) decode(*decoder)        {}
+
+// SyncOK reports the applied version after the sync.
+type SyncOK struct {
+	Applied int64
+}
+
+func (*SyncOK) msgType() MsgType         { return TSyncOK }
+func (m *SyncOK) encode(b []byte) []byte { return appendVarint(b, m.Applied) }
+func (m *SyncOK) decode(d *decoder)      { m.Applied = d.varint() }
+
+// CreateTable makes an empty table (initial load path).
+type CreateTable struct {
+	Name string
+}
+
+func (*CreateTable) msgType() MsgType         { return TCreateTable }
+func (m *CreateTable) encode(b []byte) []byte { return appendString(b, m.Name) }
+func (m *CreateTable) decode(d *decoder)      { m.Name = d.str() }
+
+// CreateTableOK acknowledges CreateTable.
+type CreateTableOK struct{}
+
+func (*CreateTableOK) msgType() MsgType         { return TCreateTableOK }
+func (m *CreateTableOK) encode(b []byte) []byte { return b }
+func (m *CreateTableOK) decode(*decoder)        {}
+
+// Load bulk-installs one chunk of rows [Start, Start+len(Values)),
+// bypassing concurrency control — the initial load path. Chunks must
+// be sent in the same order to every replica so versions stay aligned.
+type Load struct {
+	Table  string
+	Start  int64
+	Values []string
+}
+
+func (*Load) msgType() MsgType { return TLoad }
+func (m *Load) encode(b []byte) []byte {
+	b = appendString(b, m.Table)
+	b = appendVarint(b, m.Start)
+	b = appendUvarint(b, uint64(len(m.Values)))
+	for _, v := range m.Values {
+		b = appendString(b, v)
+	}
+	return b
+}
+func (m *Load) decode(d *decoder) {
+	m.Table = d.str()
+	m.Start = d.varint()
+	n := d.uvarint()
+	if d.err != nil {
+		return
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail()
+		return
+	}
+	m.Values = make([]string, 0, prealloc(n))
+	for i := uint64(0); i < n; i++ {
+		m.Values = append(m.Values, d.str())
+	}
+}
+
+// LoadOK acknowledges one Load chunk.
+type LoadOK struct{}
+
+func (*LoadOK) msgType() MsgType         { return TLoadOK }
+func (m *LoadOK) encode(b []byte) []byte { return b }
+func (m *LoadOK) decode(*decoder)        {}
+
+// Dump asks for a full table snapshot (convergence checks).
+type Dump struct {
+	Table string
+}
+
+func (*Dump) msgType() MsgType         { return TDump }
+func (m *Dump) encode(b []byte) []byte { return appendString(b, m.Table) }
+func (m *Dump) decode(d *decoder)      { m.Table = d.str() }
+
+// DumpOK returns the table contents as parallel row/value slices.
+type DumpOK struct {
+	Rows   []int64
+	Values []string
+}
+
+func (*DumpOK) msgType() MsgType { return TDumpOK }
+func (m *DumpOK) encode(b []byte) []byte {
+	b = appendUvarint(b, uint64(len(m.Rows)))
+	for i, r := range m.Rows {
+		b = appendVarint(b, r)
+		b = appendString(b, m.Values[i])
+	}
+	return b
+}
+func (m *DumpOK) decode(d *decoder) {
+	n := d.uvarint()
+	if d.err != nil {
+		return
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail()
+		return
+	}
+	m.Rows = make([]int64, 0, prealloc(n))
+	m.Values = make([]string, 0, prealloc(n))
+	for i := uint64(0); i < n; i++ {
+		m.Rows = append(m.Rows, d.varint())
+		m.Values = append(m.Values, d.str())
+	}
+}
+
+// Certify submits a commit-time certification request to the
+// certifier host (replica 0 in the mm design).
+type Certify struct {
+	Snapshot int64
+	WS       writeset.Writeset
+}
+
+func (*Certify) msgType() MsgType { return TCertify }
+func (m *Certify) encode(b []byte) []byte {
+	b = appendVarint(b, m.Snapshot)
+	return appendWriteset(b, m.WS)
+}
+func (m *Certify) decode(d *decoder) {
+	m.Snapshot = d.varint()
+	m.WS = decodeWriteset(d)
+}
+
+// CertifyOK carries the certification outcome.
+type CertifyOK struct {
+	Committed    bool
+	Version      int64
+	ConflictWith int64
+}
+
+func (*CertifyOK) msgType() MsgType { return TCertifyOK }
+func (m *CertifyOK) encode(b []byte) []byte {
+	b = appendBool(b, m.Committed)
+	b = appendVarint(b, m.Version)
+	return appendVarint(b, m.ConflictWith)
+}
+func (m *CertifyOK) decode(d *decoder) {
+	m.Committed = d.bool()
+	m.Version = d.varint()
+	m.ConflictWith = d.varint()
+}
+
+// Check is the eager (non-binding) conflict probe of §5.1.
+type Check struct {
+	Snapshot int64
+	WS       writeset.Writeset
+}
+
+func (*Check) msgType() MsgType { return TCheck }
+func (m *Check) encode(b []byte) []byte {
+	b = appendVarint(b, m.Snapshot)
+	return appendWriteset(b, m.WS)
+}
+func (m *Check) decode(d *decoder) {
+	m.Snapshot = d.varint()
+	m.WS = decodeWriteset(d)
+}
+
+// CheckOK reports whether the partial writeset already conflicts.
+type CheckOK struct {
+	Conflict bool
+	With     int64
+}
+
+func (*CheckOK) msgType() MsgType { return TCheckOK }
+func (m *CheckOK) encode(b []byte) []byte {
+	b = appendBool(b, m.Conflict)
+	return appendVarint(b, m.With)
+}
+func (m *CheckOK) decode(d *decoder) {
+	m.Conflict = d.bool()
+	m.With = d.varint()
+}
+
+// FetchSince asks the certifier host (mm) or master (sm) for all
+// certified writesets with version > Version. WaitMillis > 0 turns the
+// request into a long poll: the server holds it until new records
+// arrive or the wait expires, which is how the peer links propagate
+// writesets without busy polling.
+type FetchSince struct {
+	Version    int64
+	WaitMillis uint32
+}
+
+func (*FetchSince) msgType() MsgType { return TFetchSince }
+func (m *FetchSince) encode(b []byte) []byte {
+	b = appendVarint(b, m.Version)
+	return appendUvarint(b, uint64(m.WaitMillis))
+}
+func (m *FetchSince) decode(d *decoder) {
+	m.Version = d.varint()
+	m.WaitMillis = uint32(d.uvarint())
+}
+
+// Record is one certified writeset with its global version.
+type Record struct {
+	Version int64
+	WS      writeset.Writeset
+}
+
+// Records answers FetchSince with an ascending run of records.
+type Records struct {
+	Recs []Record
+}
+
+func (*Records) msgType() MsgType { return TRecords }
+func (m *Records) encode(b []byte) []byte {
+	b = appendUvarint(b, uint64(len(m.Recs)))
+	for _, r := range m.Recs {
+		b = appendVarint(b, r.Version)
+		b = appendWriteset(b, r.WS)
+	}
+	return b
+}
+func (m *Records) decode(d *decoder) {
+	n := d.uvarint()
+	if d.err != nil {
+		return
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail()
+		return
+	}
+	m.Recs = make([]Record, 0, prealloc(n))
+	for i := uint64(0); i < n; i++ {
+		var r Record
+		r.Version = d.varint()
+		r.WS = decodeWriteset(d)
+		m.Recs = append(m.Recs, r)
+	}
+}

@@ -1,0 +1,283 @@
+// Package wire implements the length-prefixed binary protocol the
+// networked replica servers and their clients speak: transaction
+// operations (begin/read/write/delete/commit/abort), bulk loading and
+// dumping, remote certification, and writeset propagation
+// (FetchSince), the messages the paper's prototypes exchange between
+// proxies, the certifier and the load balancer (§5).
+//
+// Framing is versioned: every connection opens with a Hello carrying a
+// 4-byte magic and the protocol version, and the server refuses
+// mismatches before any other traffic. Each subsequent frame is
+//
+//	[4-byte big-endian length] [1-byte message type] [payload]
+//
+// where length counts the type byte plus the payload and is bounded by
+// MaxFrame. Encoding is allocation-conscious: a Conn reuses one read
+// and one write buffer, messages append themselves to the write buffer
+// in place, and integers use varints so typical transaction frames fit
+// in a few dozen bytes.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/writeset"
+)
+
+const (
+	// ProtoVersion is the protocol spoken by this build. Hello
+	// exchanges it; mismatches are rejected during the handshake.
+	ProtoVersion = 1
+
+	// MaxFrame bounds one frame (type byte + payload) to keep a
+	// misbehaving peer from forcing unbounded allocation.
+	MaxFrame = 16 << 20
+)
+
+// magic opens every Hello payload.
+var magic = [4]byte{'R', 'D', 'B', '1'}
+
+var (
+	// ErrFrameTooLarge reports a frame above MaxFrame.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	// ErrBadMagic reports a handshake from something that does not
+	// speak this protocol.
+	ErrBadMagic = errors.New("wire: bad magic in handshake")
+	// ErrVersionMismatch reports a peer speaking another protocol
+	// version.
+	ErrVersionMismatch = errors.New("wire: protocol version mismatch")
+	// ErrUnknownMessage reports an unrecognized message type byte.
+	ErrUnknownMessage = errors.New("wire: unknown message type")
+	// ErrTruncated reports a payload shorter than its message needs.
+	ErrTruncated = errors.New("wire: truncated payload")
+	// ErrTrailingBytes reports a payload longer than its message, a
+	// framing bug or corruption.
+	ErrTrailingBytes = errors.New("wire: trailing bytes in payload")
+)
+
+// Conn frames messages over an underlying byte stream. It is not safe
+// for concurrent use; callers own a connection for the duration of a
+// transaction or RPC, which is how the client pool hands them out.
+type Conn struct {
+	rw   io.ReadWriter
+	rbuf []byte
+	wbuf []byte
+	hdr  [4]byte
+}
+
+// NewConn wraps a byte stream (normally a *net.TCPConn).
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{rw: rw}
+}
+
+// Send encodes and writes one message as a single frame.
+func (c *Conn) Send(m Message) error {
+	c.wbuf = c.wbuf[:0]
+	c.wbuf = append(c.wbuf, 0, 0, 0, 0, byte(m.msgType()))
+	c.wbuf = m.encode(c.wbuf)
+	n := len(c.wbuf) - 4
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(c.wbuf[:4], uint32(n))
+	_, err := c.rw.Write(c.wbuf)
+	return err
+}
+
+// Recv reads one frame and decodes it into a typed message. The
+// returned message owns its data; the internal buffer is reused by the
+// next Recv.
+func (c *Conn) Recv() (Message, error) {
+	if _, err := io.ReadFull(c.rw, c.hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(c.hdr[:])
+	if n < 1 {
+		return nil, ErrTruncated
+	}
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if cap(c.rbuf) < int(n) {
+		c.rbuf = make([]byte, n)
+	}
+	c.rbuf = c.rbuf[:n]
+	if _, err := io.ReadFull(c.rw, c.rbuf); err != nil {
+		return nil, err
+	}
+	m := newMessage(MsgType(c.rbuf[0]))
+	if m == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownMessage, c.rbuf[0])
+	}
+	d := decoder{b: c.rbuf[1:]}
+	m.decode(&d)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, ErrTrailingBytes
+	}
+	return m, nil
+}
+
+// decoder consumes a payload with sticky error handling.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrTruncated
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.b) {
+		d.fail()
+		return false
+	}
+	v := d.b[d.off]
+	d.off++
+	return v != 0
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+// str copies a length-prefixed string out of the payload (the buffer
+// is reused, so retained strings must own their bytes).
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// Append helpers used by message encoders.
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendWriteset encodes a writeset: entry count, then per entry the
+// table, row, delete flag and value.
+func appendWriteset(b []byte, ws writeset.Writeset) []byte {
+	b = appendUvarint(b, uint64(len(ws.Entries)))
+	for _, e := range ws.Entries {
+		b = appendString(b, e.Key.Table)
+		b = appendVarint(b, e.Key.Row)
+		b = appendBool(b, e.Delete)
+		b = appendString(b, e.Value)
+	}
+	return b
+}
+
+// maxPrealloc bounds slice preallocation from attacker-controlled
+// element counts: a frame can claim millions of elements while
+// holding only a few bytes, and element types are much wider than
+// their 1-byte-minimum encodings. Decoders reserve at most this many
+// elements up front and let append grow the rest, so a lying count
+// fails at the truncated payload instead of amplifying into a huge
+// allocation.
+const maxPrealloc = 4096
+
+// prealloc returns the capacity to reserve for a claimed count.
+func prealloc(n uint64) int {
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return int(n)
+}
+
+// decodeWriteset is the inverse of appendWriteset; the result carries
+// a precomputed key set (writeset.New), ready for certification.
+func decodeWriteset(d *decoder) writeset.Writeset {
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return writeset.Writeset{}
+	}
+	if n > uint64(len(d.b)-d.off) { // each entry is >= 1 byte
+		d.fail()
+		return writeset.Writeset{}
+	}
+	entries := make([]writeset.Entry, 0, prealloc(n))
+	for i := uint64(0); i < n; i++ {
+		var e writeset.Entry
+		e.Key.Table = d.str()
+		e.Key.Row = d.varint()
+		e.Delete = d.bool()
+		e.Value = d.str()
+		if d.err != nil {
+			return writeset.Writeset{}
+		}
+		entries = append(entries, e)
+	}
+	return writeset.New(entries)
+}

@@ -1,0 +1,267 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+
+	"repro/internal/writeset"
+)
+
+// pipeConns returns two wire.Conns over an in-memory full-duplex pipe.
+func pipeConns(t *testing.T) (*Conn, *Conn, func()) {
+	t.Helper()
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b), func() { a.Close(); b.Close() }
+}
+
+// roundTrip sends m on one end of a pipe and returns what arrives at
+// the other.
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	ca, cb, done := pipeConns(t)
+	defer done()
+	errc := make(chan error, 1)
+	go func() { errc <- ca.Send(m) }()
+	got, err := cb.Recv()
+	if err != nil {
+		t.Fatalf("recv %T: %v", m, err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("send %T: %v", m, err)
+	}
+	return got
+}
+
+// wsEqual compares writesets by entries (the cached key set is an
+// internal detail reflect.DeepEqual must not see).
+func wsEqual(a, b writeset.Writeset) bool {
+	if len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	ws := writeset.New([]writeset.Entry{
+		{Key: writeset.Key{Table: "item", Row: 7}, Value: "v7"},
+		{Key: writeset.Key{Table: "order_line", Row: -3}, Delete: true},
+		{Key: writeset.Key{Table: "item", Row: 1 << 40}, Value: ""},
+	})
+	msgs := []Message{
+		&Err{Code: CodeReadOnly, Msg: "read only"},
+		&Hello{Proto: ProtoVersion},
+		&HelloOK{Proto: ProtoVersion, Design: "mm", ID: 2},
+		&Begin{ReadOnly: true},
+		&BeginOK{Applied: 42},
+		&Read{Table: "item", Row: 9},
+		&ReadOK{OK: true, Value: "hello"},
+		&ReadOK{OK: false},
+		&Write{Table: "item", Row: -1, Value: "x"},
+		&WriteOK{},
+		&Delete{Table: "customer", Row: 123456789},
+		&Commit{},
+		&CommitOK{Applied: 17},
+		&CommitAborted{ConflictWith: 16},
+		&Abort{},
+		&AbortOK{},
+		&Sync{},
+		&SyncOK{Applied: 5},
+		&CreateTable{Name: "item"},
+		&CreateTableOK{},
+		&Load{Table: "item", Start: 100, Values: []string{"a", "", "c"}},
+		&LoadOK{},
+		&Dump{Table: "item"},
+		&DumpOK{Rows: []int64{1, 2, 3}, Values: []string{"a", "b", "c"}},
+		&Certify{Snapshot: 12, WS: ws},
+		&CertifyOK{Committed: true, Version: 13},
+		&CertifyOK{Committed: false, ConflictWith: 12},
+		&Check{Snapshot: 3, WS: ws},
+		&CheckOK{Conflict: true, With: 4},
+		&FetchSince{Version: 9, WaitMillis: 250},
+		&Records{Recs: []Record{{Version: 10, WS: ws}, {Version: 11}}},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if got.msgType() != m.msgType() {
+			t.Fatalf("%T came back as %T", m, got)
+		}
+		switch want := m.(type) {
+		case *Certify:
+			g := got.(*Certify)
+			if g.Snapshot != want.Snapshot || !wsEqual(g.WS, want.WS) {
+				t.Fatalf("Certify mismatch: %+v vs %+v", g, want)
+			}
+		case *Check:
+			g := got.(*Check)
+			if g.Snapshot != want.Snapshot || !wsEqual(g.WS, want.WS) {
+				t.Fatalf("Check mismatch: %+v vs %+v", g, want)
+			}
+		case *Records:
+			g := got.(*Records)
+			if len(g.Recs) != len(want.Recs) {
+				t.Fatalf("Records len %d vs %d", len(g.Recs), len(want.Recs))
+			}
+			for i := range g.Recs {
+				if g.Recs[i].Version != want.Recs[i].Version || !wsEqual(g.Recs[i].WS, want.Recs[i].WS) {
+					t.Fatalf("Records[%d] mismatch", i)
+				}
+			}
+		default:
+			if !reflect.DeepEqual(got, m) {
+				t.Fatalf("%T mismatch: %+v vs %+v", m, got, m)
+			}
+		}
+	}
+}
+
+// TestRoundTripRandomWritesets is the fuzz-style encode/decode check:
+// random writesets of varying shapes must survive the wire intact and
+// arrive with a working key set.
+func TestRoundTripRandomWritesets(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tables := []string{"item", "customer", "orders", "bids", "weird table \x00 name"}
+	for iter := 0; iter < 200; iter++ {
+		n := rng.Intn(40)
+		entries := make([]writeset.Entry, 0, n)
+		for i := 0; i < n; i++ {
+			e := writeset.Entry{
+				Key:    writeset.Key{Table: tables[rng.Intn(len(tables))], Row: rng.Int63n(1<<50) - (1 << 49)},
+				Delete: rng.Intn(4) == 0,
+			}
+			if !e.Delete {
+				b := make([]byte, rng.Intn(64))
+				rng.Read(b)
+				e.Value = string(b)
+			}
+			entries = append(entries, e)
+		}
+		want := writeset.New(entries)
+		got := roundTrip(t, &Certify{Snapshot: rng.Int63n(1000), WS: want}).(*Certify)
+		if !wsEqual(got.WS, want) {
+			t.Fatalf("iter %d: writeset corrupted over the wire", iter)
+		}
+		// The decoded writeset must have a functional key set.
+		for _, e := range entries {
+			if !got.WS.Contains(e.Key) {
+				t.Fatalf("iter %d: decoded writeset missing key %v", iter, e.Key)
+			}
+		}
+	}
+}
+
+// sendRaw writes a hand-built frame (send errors surface as the
+// receiver's read error).
+func sendRaw(w io.Writer, frame []byte) {
+	_, _ = w.Write(frame)
+}
+
+func frame(payload []byte) []byte {
+	f := make([]byte, 4, 4+len(payload))
+	binary.BigEndian.PutUint32(f, uint32(len(payload)))
+	return append(f, payload...)
+}
+
+func TestRecvRejectsMalformedFrames(t *testing.T) {
+	cases := []struct {
+		name  string
+		frame []byte
+		want  error
+	}{
+		{"zero length", frame(nil), ErrTruncated},
+		{"oversized", func() []byte {
+			f := make([]byte, 4)
+			binary.BigEndian.PutUint32(f, MaxFrame+1)
+			return f
+		}(), ErrFrameTooLarge},
+		{"unknown type", frame([]byte{0xEE}), ErrUnknownMessage},
+		{"truncated payload", frame([]byte{byte(TRead), 2, 'i'}), ErrTruncated},
+		{"trailing bytes", frame([]byte{byte(TCommit), 1, 2, 3}), ErrTrailingBytes},
+		{"writeset count overflow", frame([]byte{byte(TCertify), 0 /*snapshot*/, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F /*huge count*/}), ErrTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := net.Pipe()
+			defer a.Close()
+			defer b.Close()
+			go sendRaw(a, tc.frame)
+			_, err := NewConn(b).Recv()
+			if err == nil || !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRecvTruncatedStream(t *testing.T) {
+	// A frame that promises more bytes than the stream delivers.
+	var buf bytes.Buffer
+	f := frame([]byte{byte(TCommit)})
+	buf.Write(f[:len(f)-1])
+	binary.BigEndian.PutUint32(f[:4], 10) // announce 10, deliver 1
+	c := NewConn(readWriter{&buf})
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+// readWriter adapts a Buffer (reads EOF once drained).
+type readWriter struct{ *bytes.Buffer }
+
+func TestHelloRejectsBadMagic(t *testing.T) {
+	payload := []byte{byte(THello), 'N', 'O', 'P', 'E', 1}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go sendRaw(a, frame(payload))
+	_, err := NewConn(b).Recv()
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestSendRejectsOversizedFrame(t *testing.T) {
+	var sink bytes.Buffer
+	c := NewConn(readWriter{&sink})
+	big := &Load{Table: "t", Values: []string{string(make([]byte, MaxFrame))}}
+	if err := c.Send(big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestManyFramesOneConn exercises buffer reuse across frames of
+// varying size on a single connection.
+func TestManyFramesOneConn(t *testing.T) {
+	ca, cb, done := pipeConns(t)
+	defer done()
+	const n = 100
+	go func() {
+		for i := 0; i < n; i++ {
+			v := fmt.Sprintf("value-%d-%s", i, string(make([]byte, i*13%97)))
+			if err := ca.Send(&Write{Table: "item", Row: int64(i), Value: v}); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		m, err := cb.Recv()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		w, ok := m.(*Write)
+		if !ok || w.Row != int64(i) {
+			t.Fatalf("frame %d: got %+v", i, m)
+		}
+	}
+}

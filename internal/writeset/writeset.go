@@ -59,6 +59,17 @@ func New(entries []Entry) Writeset {
 	return ws
 }
 
+// FromRows builds the writeset of a bulk row load: values[i] installed
+// at (table, start+i). Both the in-process clusters and the networked
+// servers use it for the chunked initial-load path.
+func FromRows(table string, start int64, values []string) Writeset {
+	entries := make([]Entry, len(values))
+	for i, v := range values {
+		entries[i] = Entry{Key: Key{Table: table, Row: start + int64(i)}, Value: v}
+	}
+	return New(entries)
+}
+
 // keySet returns the cached key set, building one if the writeset was
 // constructed from a literal.
 func (ws Writeset) keySet() map[Key]struct{} {
