@@ -189,6 +189,12 @@ func TestReplicadbFlagValidation(t *testing.T) {
 		{"serve id out of range", []string{"serve", "-design", "mm", "-listen", "127.0.0.1:0", "-peers", "a:1,b:2", "-id", "5"}, "out of range"},
 		{"serve groupcommit on sm", []string{"serve", "-design", "sm", "-listen", "127.0.0.1:0", "-peers", "a:1", "-groupcommit"}, "require -design mm"},
 		{"bench without servers", []string{"bench", "-design", "mm"}, "requires -servers"},
+		{"join with peers", []string{"serve", "-design", "mm", "-listen", "127.0.0.1:0", "-peers", "a:1", "-join", "b:2"}, "mutually exclusive"},
+		{"join with sm", []string{"serve", "-design", "sm", "-listen", "127.0.0.1:0", "-join", "b:2"}, "-join requires -design mm"},
+		{"autoscale on joiner", []string{"serve", "-design", "mm", "-listen", "127.0.0.1:0", "-join", "b:2", "-autoscale"}, "on the primary"},
+		{"autoscale on replica", []string{"serve", "-design", "mm", "-listen", "127.0.0.1:0", "-peers", "a:1,b:2", "-id", "1", "-autoscale"}, "-autoscale requires"},
+		{"autoscale bad bounds", []string{"serve", "-design", "mm", "-listen", "127.0.0.1:0", "-peers", "a:1", "-autoscale", "-min", "3", "-max", "2"}, "min <= max"},
+		{"bench watch on sm", []string{"bench", "-design", "sm", "-servers", "a:1", "-watch"}, "-watch requires -design mm"},
 		{"unknown mode", []string{"frobnicate"}, "unknown mode"},
 	}
 	for _, tc := range cases {
@@ -269,7 +275,7 @@ func TestReplicadbNetworkedCluster(t *testing.T) {
 		"-servers", peers,
 		"-mix", "tpcw-shopping",
 		"-clients", "4", "-txns", "15", "-factor", "500")
-	for _, want := range []string{"over TCP", "all replicas identical", "latency: p50="} {
+	for _, want := range []string{"over TCP", "all 3 replicas identical", "latency: p50="} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("bench output missing %q:\n%s", want, out)
 		}

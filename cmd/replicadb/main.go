@@ -30,6 +30,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/elastic"
 	"repro/internal/repl"
 	"repro/internal/repl/mm"
 	"repro/internal/repl/sm"
@@ -208,17 +210,26 @@ func runMain(args []string) {
 	}
 }
 
-// serveMain runs one replica server process.
+// serveMain runs one replica server process: a boot-time member of a
+// configured cluster (-id/-peers), an elastic joiner (-join), or the
+// primary with the prediction-driven autoscaler (-autoscale).
 func serveMain(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
 		design  = fs.String("design", "mm", "replication design: mm or sm")
 		id      = fs.Int("id", 0, "this replica's id (0 hosts the certifier / is the master)")
 		listen  = fs.String("listen", "", "TCP listen address, e.g. 127.0.0.1:7000 (required)")
-		peers   = fs.String("peers", "", "comma-separated replica addresses indexed by id (required; peers[0] is the primary)")
+		peers   = fs.String("peers", "", "comma-separated replica addresses indexed by id (peers[0] is the primary; required unless -join)")
+		join    = fs.String("join", "", "elastic join: primary address to join at startup (mm; the primary assigns the id and transfers a snapshot)")
 		metrics = fs.String("metrics", "", "optional HTTP /metrics listen address")
 		batch   = fs.Bool("groupcommit", false, "batch commit certification on the certifier host (mm, id 0)")
 		eager   = fs.Bool("eager", false, "eager certification on writes (mm; remote probe per write on non-primary nodes)")
+
+		autoscale = fs.Bool("autoscale", false, "run the MVA autoscaler on this primary (mm, id 0): spawn/retire loopback replicas to track the live load")
+		minRep    = fs.Int("min", 1, "autoscaler: minimum replica count")
+		maxRep    = fs.Int("max", 4, "autoscaler: maximum replica count")
+		profMix   = fs.String("profile-mix", "tpcw-shopping", "autoscaler: standalone profile supplying the model's service demands")
+		think     = fs.Float64("think", 0, "autoscaler: live client think time in seconds (0: the profile's)")
 	)
 	fs.Parse(args)
 
@@ -228,19 +239,41 @@ func serveMain(args []string) {
 	if *listen == "" {
 		usageExit(fs, "serve requires -listen")
 	}
-	if *peers == "" {
-		usageExit(fs, "serve requires -peers (all replica addresses, indexed by id)")
+	if *join != "" && *peers != "" {
+		usageExit(fs, "-join and -peers are mutually exclusive")
 	}
-	peerList := splitAddrs(*peers)
-	if *id < 0 || *id >= len(peerList) {
-		usageExit(fs, "-id %d out of range for %d peers", *id, len(peerList))
+	if *join != "" && *design != "mm" {
+		usageExit(fs, "-join requires -design mm (single-master clusters are fixed at boot)")
+	}
+	if *join != "" && *autoscale {
+		usageExit(fs, "-autoscale runs on the primary, not on a joiner")
+	}
+	var peerList []string
+	if *join == "" {
+		if *peers == "" {
+			usageExit(fs, "serve requires -peers (all replica addresses, indexed by id) or -join")
+		}
+		peerList = splitAddrs(*peers)
+		if *id < 0 || *id >= len(peerList) {
+			usageExit(fs, "-id %d out of range for %d peers", *id, len(peerList))
+		}
 	}
 	if *design == "sm" && (*batch || *eager) {
 		usageExit(fs, "-groupcommit and -eager require -design mm")
 	}
-	if *batch && *id != 0 {
+	if *batch && (*id != 0 || *join != "") {
 		usageExit(fs, "-groupcommit only applies to the certifier host (id 0)")
 	}
+	if *autoscale && (*design != "mm" || *id != 0) {
+		usageExit(fs, "-autoscale requires -design mm and -id 0 (the membership authority)")
+	}
+	if *autoscale && (*minRep < 1 || *maxRep < *minRep) {
+		usageExit(fs, "-min/-max must satisfy 1 <= min <= max (got %d/%d)", *minRep, *maxRep)
+	}
+	if *autoscale && *maxRep < len(peerList) {
+		usageExit(fs, "-max %d below the %d statically configured replicas (they are never scaled away)", *maxRep, len(peerList))
+	}
+	baseMix := mustMix(fs, *profMix)
 
 	opts := server.Options{
 		Design:      *design,
@@ -250,8 +283,12 @@ func serveMain(args []string) {
 		GroupCommit: *batch,
 		EagerCert:   *eager,
 		Replicas:    len(peerList),
+		Members:     peerList,
 	}
-	if *id > 0 {
+	if *join != "" {
+		opts.Join = true
+		opts.Primary = *join
+	} else if *id > 0 {
 		opts.Primary = peerList[0]
 	}
 	srv, err := server.New(opts)
@@ -260,25 +297,94 @@ func serveMain(args []string) {
 	}
 	srv.Start()
 	role := "replica"
-	if *id == 0 {
-		if *design == "mm" {
-			role = "replica+certifier"
-		} else {
-			role = "master"
-		}
+	switch {
+	case *join != "":
+		role = "elastic replica"
+	case *id == 0 && *design == "mm":
+		role = "replica+certifier"
+	case *id == 0:
+		role = "master"
 	}
-	fmt.Printf("replicadb: serving %s %s %d on %s\n", *design, role, *id, srv.Addr())
+	fmt.Printf("replicadb: serving %s %s on %s\n", *design, role, srv.Addr())
 	if addr := srv.MetricsAddr(); addr != "" {
 		fmt.Printf("replicadb: metrics on http://%s/metrics\n", addr)
+	}
+
+	var ctlStop chan struct{}
+	var scaler *elastic.LocalScaler
+	var src *elastic.WireSource
+	if *autoscale {
+		// The baseline is the statically configured cluster (never
+		// scaled away); only replicas spawned here are elastic.
+		baseline := len(peerList)
+		if baseline < 1 {
+			baseline = 1
+		}
+		scaler = elastic.NewLocalScaler(baseline, func() (elastic.Replica, error) {
+			rep, err := server.New(server.Options{
+				Design:  "mm",
+				Listen:  "127.0.0.1:0",
+				Join:    true,
+				Primary: srv.Addr(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			rep.Start()
+			fmt.Printf("replicadb: autoscaler added replica on %s\n", rep.Addr())
+			return rep, nil
+		})
+		src = elastic.NewWireSource(srv.Addr(), "mm", 2*time.Second)
+		ctl, err := elastic.NewController(elastic.Config{
+			Min: *minRep, Max: *maxRep,
+			Base:  baseMix,
+			Think: *think,
+		}, scaler, src)
+		if err != nil {
+			fatal("autoscaler: %v", err)
+		}
+		ctlStop = make(chan struct{})
+		go ctl.Run(ctlStop)
+		fmt.Printf("replicadb: autoscaling %d..%d replicas against the %s profile\n", *minRep, *maxRep, baseMix.ID())
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("replicadb: shutting down")
+	if ctlStop != nil {
+		close(ctlStop)
+		scaler.Close()
+		src.Close()
+	}
 	if err := srv.Close(); err != nil {
 		fatal("shutdown: %v", err)
 	}
+}
+
+// benchResult is the machine-readable record one bench run emits with
+// -json; BENCH_PR3.json aggregates these across scenarios.
+type benchResult struct {
+	Design        string  `json:"design"`
+	Mix           string  `json:"mix"`
+	Clients       int     `json:"clients"`
+	TxnsPerClient int     `json:"txns_per_client"`
+	Factor        int     `json:"factor"`
+	Seed          uint64  `json:"seed"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	TPS           float64 `json:"tps"`
+	Commits       int64   `json:"commits"`
+	ReadCommits   int64   `json:"read_commits"`
+	UpdateCommits int64   `json:"update_commits"`
+	Aborts        int64   `json:"aborts"`
+	Errors        int64   `json:"errors"`
+	ReadP50Ms     float64 `json:"read_p50_ms"`
+	ReadP99Ms     float64 `json:"read_p99_ms"`
+	UpdateP50Ms   float64 `json:"update_p50_ms"`
+	UpdateP99Ms   float64 `json:"update_p99_ms"`
+	ReplicasStart int     `json:"replicas_start"`
+	ReplicasEnd   int     `json:"replicas_end"`
+	Converged     bool    `json:"converged"`
 }
 
 // benchMain drives a networked cluster through the pooled client.
@@ -294,6 +400,8 @@ func benchMain(args []string) {
 		seed     = fs.Uint64("seed", 1, "workload seed")
 		load     = fs.Bool("load", true, "create and load the schema before driving")
 		converge = fs.Bool("converge", true, "verify replica convergence after the run")
+		watch    = fs.Bool("watch", false, "watch cluster membership and spread load onto replicas that join mid-run (mm)")
+		jsonOut  = fs.String("json", "", "write a machine-readable result to this file (\"-\" for stdout)")
 	)
 	fs.Parse(args)
 
@@ -309,6 +417,9 @@ func benchMain(args []string) {
 	if *factor < 1 {
 		usageExit(fs, "-factor must be >= 1 (got %d)", *factor)
 	}
+	if *watch && *design != "mm" {
+		usageExit(fs, "-watch requires -design mm")
+	}
 	mix := mustMix(fs, *mixID)
 	cat, err := workload.CatalogFor(mix)
 	if err != nil {
@@ -318,6 +429,7 @@ func benchMain(args []string) {
 	cl, err := client.New(client.Options{
 		Servers: splitAddrs(*servers),
 		Design:  *design,
+		Watch:   *watch,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -333,22 +445,64 @@ func benchMain(args []string) {
 
 	fmt.Printf("driving %d clients x %d transactions over TCP (%s mix: %.0f%% reads / %.0f%% updates)...\n",
 		*clients, *txns, mix.Name, mix.Pr*100, mix.Pw*100)
+	replicasStart := cl.Replicas()
 	start := time.Now()
 	res := repl.Drive(cl, cat, mix, *clients, *txns, *factor, *seed)
-	printDriveResult(res, time.Since(start))
+	elapsed := time.Since(start)
+	printDriveResult(res, elapsed)
 	if res.Errors > 0 {
 		fatal("unexpected errors during the run")
 	}
 
+	converged := false
 	if *converge {
 		fmt.Print("checking replica convergence... ")
 		if err := repl.CheckConvergence(cl, tableNames(cat)); err != nil {
 			fmt.Println("FAILED")
 			fatal("%v", err)
 		}
-		fmt.Println("ok: all replicas identical")
+		fmt.Printf("ok: all %d replicas identical\n", cl.Replicas())
+		converged = true
+	}
+
+	if *jsonOut != "" {
+		out := benchResult{
+			Design:        *design,
+			Mix:           mix.ID(),
+			Clients:       *clients,
+			TxnsPerClient: *txns,
+			Factor:        *factor,
+			Seed:          *seed,
+			ElapsedSec:    elapsed.Seconds(),
+			TPS:           float64(res.Commits) / elapsed.Seconds(),
+			Commits:       res.Commits,
+			ReadCommits:   res.ReadCommits,
+			UpdateCommits: res.UpdateCommits,
+			Aborts:        res.Aborts,
+			Errors:        res.Errors,
+			ReadP50Ms:     ms(res.ReadLatency.Quantile(0.50)),
+			ReadP99Ms:     ms(res.ReadLatency.Quantile(0.99)),
+			UpdateP50Ms:   ms(res.UpdateLatency.Quantile(0.50)),
+			UpdateP99Ms:   ms(res.UpdateLatency.Quantile(0.99)),
+			ReplicasStart: replicasStart,
+			ReplicasEnd:   cl.Replicas(),
+			Converged:     converged,
+		}
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal("json: %v", err)
+		}
+		buf = append(buf, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(buf)
+		} else if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fatal("json: %v", err)
+		}
 	}
 }
+
+// ms renders a duration in (fractional) milliseconds for JSON.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // splitAddrs splits a comma-separated address list, trimming blanks.
 func splitAddrs(s string) []string {

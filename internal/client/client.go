@@ -10,6 +10,14 @@
 // transaction, and a replica that stops answering is marked down and
 // routed around until a later probe revives it — the behavior the
 // kill-one-replica test exercises.
+//
+// Membership is elastic (mm design): with Options.Watch the client
+// polls the primary's member list and resizes its pool set live —
+// replicas that join start taking traffic, replicas that leave stop
+// receiving new transactions immediately. A replica that vanishes
+// mid-transaction surfaces as repl.ErrAborted on the next operation,
+// so closed-loop drivers retry the transaction on a surviving replica
+// exactly like a certification abort.
 package client
 
 import (
@@ -39,6 +47,12 @@ type Options struct {
 	// ProbeAfter is how long a server marked down is skipped before
 	// being optimistically re-probed (default 500ms).
 	ProbeAfter time.Duration
+	// Watch enables elastic membership: the client polls the
+	// primary's member list (mm only) and adds/retires replica pools
+	// as the cluster grows and shrinks.
+	Watch bool
+	// WatchInterval is the membership poll period (default 250ms).
+	WatchInterval time.Duration
 }
 
 // Client is a pooled driver over a set of replica servers. It is safe
@@ -46,11 +60,22 @@ type Options struct {
 type Client struct {
 	opts Options
 	bal  *lb.Balancer
-	reps []*replicaConns
+
+	// mu guards the slot table; slot indices are stable and shared
+	// with the balancer (departed replicas are tombstoned, never
+	// renumbered).
+	mu        sync.Mutex
+	reps      []*replicaConns
+	memberIdx map[int64]int // member id -> slot index
+	epoch     int64
+
+	stopWatch chan struct{}
+	watchWG   sync.WaitGroup
 }
 
 // replicaConns is the per-replica pool plus down-state.
 type replicaConns struct {
+	id   int64
 	pool *connPool
 
 	mu        sync.Mutex
@@ -71,31 +96,164 @@ func New(opts Options) (*Client, error) {
 	default:
 		return nil, fmt.Errorf("client: unknown design %q (mm|sm)", opts.Design)
 	}
+	if opts.Watch && opts.Design != "mm" {
+		return nil, errors.New("client: membership watching requires the mm design")
+	}
 	if opts.ProbeAfter <= 0 {
 		opts.ProbeAfter = 500 * time.Millisecond
 	}
-	c := &Client{opts: opts, bal: lb.New(len(opts.Servers))}
-	for _, addr := range opts.Servers {
+	if opts.WatchInterval <= 0 {
+		opts.WatchInterval = 250 * time.Millisecond
+	}
+	c := &Client{
+		opts:      opts,
+		bal:       lb.New(len(opts.Servers)),
+		memberIdx: make(map[int64]int),
+	}
+	for i, addr := range opts.Servers {
 		c.reps = append(c.reps, &replicaConns{
+			id:   int64(i),
 			pool: newConnPool(addr, opts.Design, -1, opts.DialTimeout, opts.PoolSize),
 		})
+		c.memberIdx[int64(i)] = i
+	}
+	if opts.Watch {
+		c.stopWatch = make(chan struct{})
+		c.watchWG.Add(1)
+		go func() {
+			defer c.watchWG.Done()
+			c.watchLoop()
+		}()
 	}
 	return c, nil
 }
 
-// Close releases every pooled connection.
+// Close stops the membership watcher and releases every pooled
+// connection.
 func (c *Client) Close() {
-	for _, r := range c.reps {
+	if c.stopWatch != nil {
+		close(c.stopWatch)
+		c.watchWG.Wait()
+		c.stopWatch = nil
+	}
+	for _, r := range c.slots() {
 		r.pool.closeAll()
 	}
 }
 
-// Replicas returns the number of replica servers.
-func (c *Client) Replicas() int { return len(c.reps) }
+// slots snapshots the slot table.
+func (c *Client) slots() []*replicaConns {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*replicaConns, len(c.reps))
+	copy(out, c.reps)
+	return out
+}
+
+// rep returns the replica at a slot index.
+func (c *Client) rep(i int) *replicaConns {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reps[i]
+}
+
+// liveSlots returns the non-departed replicas with their slot
+// indices, in slot order.
+func (c *Client) liveSlots() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.reps))
+	for i := range c.reps {
+		if !c.bal.Removed(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Replicas returns the number of live replica servers.
+func (c *Client) Replicas() int { return len(c.liveSlots()) }
+
+// watchLoop polls the primary's membership and reconciles the slot
+// table: new members get pools and balancer slots, departed members
+// are tombstoned (new transactions stop immediately; connections
+// already serving a transaction finish it — the server drains before
+// deregistering).
+func (c *Client) watchLoop() {
+	ticker := time.NewTicker(c.opts.WatchInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stopWatch:
+			return
+		case <-ticker.C:
+			c.pollMembership()
+		}
+	}
+}
+
+func (c *Client) pollMembership() {
+	primary := c.rep(0)
+	reply, err := primary.pool.rpc(&wire.Members{}, c.opts.WatchInterval+linkRPCDeadline)
+	if err != nil {
+		return // primary unreachable: keep the current view
+	}
+	m, ok := reply.(*wire.MembersOK)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	if m.Epoch == c.epoch {
+		c.mu.Unlock()
+		return
+	}
+	c.epoch = m.Epoch
+	current := make(map[int64]wire.Member, len(m.Members))
+	for _, mem := range m.Members {
+		current[mem.ID] = mem
+	}
+	// Tombstone departed members.
+	var retired []*replicaConns
+	for id, idx := range c.memberIdx {
+		if _, still := current[id]; still {
+			continue
+		}
+		if !c.bal.Removed(idx) {
+			c.bal.Remove(idx)
+			retired = append(retired, c.reps[idx])
+		}
+		delete(c.memberIdx, id)
+	}
+	// Admit joiners. The slot entry is appended before the balancer
+	// slot exists, so an index the balancer hands out always resolves.
+	for id, mem := range current {
+		if _, have := c.memberIdx[id]; have || mem.Addr == "" {
+			continue
+		}
+		rc := &replicaConns{
+			id:   id,
+			pool: newConnPool(mem.Addr, c.opts.Design, -1, c.opts.DialTimeout, c.opts.PoolSize),
+		}
+		c.reps = append(c.reps, rc)
+		idx := c.bal.Add()
+		c.memberIdx[id] = idx
+	}
+	c.mu.Unlock()
+	for _, rc := range retired {
+		rc.pool.retire()
+	}
+}
+
+// Epoch returns the last membership epoch the watcher observed.
+func (c *Client) Epoch() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
 
 // markDown records a replica failure for routing.
 func (c *Client) markDown(idx int) {
-	r := c.reps[idx]
+	r := c.rep(idx)
 	r.mu.Lock()
 	r.downUntil = time.Now().Add(c.opts.ProbeAfter)
 	r.mu.Unlock()
@@ -107,10 +265,11 @@ func (c *Client) markDown(idx int) {
 // failed begin.
 func (c *Client) reviveDue() {
 	now := time.Now()
-	for i, r := range c.reps {
+	for _, i := range c.liveSlots() {
 		if c.bal.Healthy(i) {
 			continue
 		}
+		r := c.rep(i)
 		r.mu.Lock()
 		due := now.After(r.downUntil)
 		r.mu.Unlock()
@@ -136,7 +295,8 @@ func (c *Client) begin(readOnly bool) (repl.Txn, error) {
 	}
 	c.reviveDue()
 	var lastErr error
-	for attempt := 0; attempt <= len(c.reps); attempt++ {
+	attempts := c.bal.Size() + 1
+	for attempt := 0; attempt <= attempts; attempt++ {
 		idx, err := c.bal.AcquireWhere(eligible)
 		if err != nil {
 			return nil, err
@@ -149,6 +309,12 @@ func (c *Client) begin(readOnly bool) (repl.Txn, error) {
 		lastErr = err
 		var pe *protocolError
 		if errors.As(err, &pe) {
+			if pe.code == wire.CodeDraining {
+				// The replica is leaving: stop routing to it and try
+				// another. The next membership poll retires it.
+				c.markDown(idx)
+				continue
+			}
 			// The server answered but refused; rerouting won't help.
 			return nil, err
 		}
@@ -169,7 +335,8 @@ func (e *protocolError) Error() string { return e.msg }
 // beginOn opens a transaction on replica idx, draining stale pooled
 // connections as it goes.
 func (c *Client) beginOn(idx int, readOnly bool) (*Txn, error) {
-	pool := c.reps[idx].pool
+	rep := c.rep(idx)
+	pool := rep.pool
 	var lastErr error
 	for attempt := 0; attempt <= pool.maxIdle+1; attempt++ {
 		conn, fresh, err := pool.get()
@@ -187,7 +354,7 @@ func (c *Client) beginOn(idx int, readOnly bool) (*Txn, error) {
 		}
 		switch m := reply.(type) {
 		case *wire.BeginOK:
-			return &Txn{client: c, idx: idx, conn: conn, readOnly: readOnly}, nil
+			return &Txn{client: c, idx: idx, rep: rep, conn: conn, readOnly: readOnly}, nil
 		case *wire.Err:
 			pool.put(conn)
 			return nil, &protocolError{code: m.Code, msg: fmt.Sprintf("client: begin on %s: %s", pool.addr, m.Msg)}
@@ -203,6 +370,7 @@ func (c *Client) beginOn(idx int, readOnly bool) (*Txn, error) {
 type Txn struct {
 	client   *Client
 	idx      int
+	rep      *replicaConns
 	conn     *wconn
 	readOnly bool
 	done     bool
@@ -211,14 +379,27 @@ type Txn struct {
 var _ repl.Txn = (*Txn)(nil)
 
 // fail tears the transaction down after a transport error: the
-// connection state is unknown, so it is discarded.
+// connection state is unknown, so it is discarded, and the replica is
+// marked down so new transactions route around it.
 func (t *Txn) fail(err error) error {
 	if !t.done {
 		t.done = true
-		t.client.reps[t.idx].pool.discard(t.conn)
+		t.rep.pool.discard(t.conn)
 		t.client.bal.Release(t.idx)
+		t.client.markDown(t.idx)
 	}
 	return err
+}
+
+// failAborted converts a mid-transaction transport failure into the
+// abort-and-retry path: the replica died or left under us, the
+// transaction never certified, so surfacing repl.ErrAborted makes
+// closed-loop drivers retry it on a surviving replica exactly like a
+// certification abort. Commit is excluded — its outcome is ambiguous
+// once the request may have reached the certifier.
+func (t *Txn) failAborted(err error) error {
+	t.fail(err)
+	return &repl.AbortedError{}
 }
 
 // finish returns the connection to the pool after a clean protocol
@@ -228,7 +409,7 @@ func (t *Txn) finish() {
 		return
 	}
 	t.done = true
-	t.client.reps[t.idx].pool.put(t.conn)
+	t.rep.pool.put(t.conn)
 	t.client.bal.Release(t.idx)
 }
 
@@ -241,7 +422,7 @@ func (t *Txn) exchange(req wire.Message) (wire.Message, error) {
 	}
 	reply, err := roundTrip(t.conn, req)
 	if err != nil {
-		return nil, t.fail(err)
+		return nil, t.failAborted(err)
 	}
 	return reply, nil
 }
@@ -308,11 +489,16 @@ func (t *Txn) Delete(table string, row int64) error {
 	}
 }
 
-// Commit implements repl.Txn.
+// Commit implements repl.Txn. A transport failure here surfaces as a
+// plain error, not ErrAborted: the commit may have certified before
+// the connection died, so a blind retry could double-apply.
 func (t *Txn) Commit() error {
-	reply, err := t.exchange(&wire.Commit{})
+	if t.done {
+		return errDone
+	}
+	reply, err := roundTrip(t.conn, &wire.Commit{})
 	if err != nil {
-		return err
+		return t.fail(err)
 	}
 	switch m := reply.(type) {
 	case *wire.CommitOK:
@@ -351,17 +537,19 @@ func (t *Txn) Abort() {
 // host or master). Unreachable replicas are skipped — their table
 // dumps will fail loudly if anyone asks.
 func (c *Client) Sync() {
-	for _, r := range c.reps {
-		_, _ = r.pool.rpc(&wire.Sync{}, 0)
+	for _, i := range c.liveSlots() {
+		_, _ = c.rep(i).pool.rpc(&wire.Sync{}, 0)
 	}
 }
 
-// TableDump implements repl.System.
+// TableDump implements repl.System over the live replicas (departed
+// ones no longer count).
 func (c *Client) TableDump(replica int, table string) (map[int64]string, error) {
-	if replica < 0 || replica >= len(c.reps) {
+	live := c.liveSlots()
+	if replica < 0 || replica >= len(live) {
 		return nil, fmt.Errorf("client: replica %d out of range", replica)
 	}
-	reply, err := c.reps[replica].pool.rpc(&wire.Dump{Table: table}, 0)
+	reply, err := c.rep(live[replica]).pool.rpc(&wire.Dump{Table: table}, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -379,8 +567,8 @@ func (c *Client) TableDump(replica int, table string) (map[int64]string, error) 
 // CreateTable implements repl.Loader: the table is created on every
 // replica.
 func (c *Client) CreateTable(name string) error {
-	for i, r := range c.reps {
-		if _, err := r.pool.rpc(&wire.CreateTable{Name: name}, 0); err != nil {
+	for _, i := range c.liveSlots() {
+		if _, err := c.rep(i).pool.rpc(&wire.CreateTable{Name: name}, 0); err != nil {
 			return fmt.Errorf("client: create %q on replica %d: %w", name, i, err)
 		}
 	}
@@ -410,9 +598,11 @@ func (c *Client) Load(table string, rows int, value func(int64) string) error {
 		}
 		chunks = append(chunks, &wire.Load{Table: table, Start: int64(start), Values: values})
 	}
-	errs := make([]error, len(c.reps))
+	live := c.liveSlots()
+	errs := make([]error, len(live))
 	var wg sync.WaitGroup
-	for i, r := range c.reps {
+	for i, slot := range live {
+		r := c.rep(slot)
 		wg.Add(1)
 		go func(i int, r *replicaConns) {
 			defer wg.Done()
@@ -429,11 +619,11 @@ func (c *Client) Load(table string, rows int, value func(int64) string) error {
 	return errors.Join(errs...)
 }
 
-// Addrs returns the configured server addresses (for logs).
+// Addrs returns the live server addresses (for logs).
 func (c *Client) Addrs() string {
-	addrs := make([]string, len(c.reps))
-	for i, r := range c.reps {
-		addrs[i] = r.pool.addr
+	var addrs []string
+	for _, i := range c.liveSlots() {
+		addrs = append(addrs, c.rep(i).pool.addr)
 	}
 	return strings.Join(addrs, ",")
 }

@@ -78,6 +78,106 @@ func (l *Link) Since(v int64) []certifier.Record {
 	return recs
 }
 
+// Join asks the primary to admit a new replica listening on addr
+// (protocol v2). It returns the assigned replica id, the membership
+// epoch and the member list after admission.
+func (l *Link) Join(addr string) (*wire.JoinOK, error) {
+	reply, err := l.pool.rpc(&wire.Join{Addr: addr}, linkRPCDeadline)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := reply.(*wire.JoinOK)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected join reply %T", reply)
+	}
+	return m, nil
+}
+
+// Leave deregisters replica id from the primary (protocol v2).
+func (l *Link) Leave(id int64) error {
+	reply, err := l.pool.rpc(&wire.Leave{ID: id}, linkRPCDeadline)
+	if err != nil {
+		return err
+	}
+	if _, ok := reply.(*wire.LeaveOK); !ok {
+		return fmt.Errorf("client: unexpected leave reply %T", reply)
+	}
+	return nil
+}
+
+// Snapshot fetches a consistent full-state snapshot from the primary
+// (protocol v2): every table at one applied version, streamed in
+// chunks. The whole stream runs on ONE checked-out connection — the
+// server pins the snapshot per connection, so switching connections
+// mid-stream would silently restart it at a different version. The
+// caller catches up from the returned version via FetchSince.
+func (l *Link) Snapshot() (version int64, tables map[string]map[int64]string, err error) {
+	c, _, err := l.pool.get()
+	if err != nil {
+		return 0, nil, err
+	}
+	tables = make(map[string]map[int64]string)
+	for {
+		_ = c.nc.SetDeadline(time.Now().Add(linkRPCDeadline))
+		reply, err := roundTrip(c, &wire.SnapshotReq{})
+		if err != nil {
+			l.pool.discard(c)
+			return 0, nil, err
+		}
+		m, ok := reply.(*wire.SnapshotOK)
+		if !ok {
+			l.pool.discard(c)
+			if e, isErr := reply.(*wire.Err); isErr {
+				return 0, nil, fmt.Errorf("client: snapshot refused: %s", e.Msg)
+			}
+			return 0, nil, fmt.Errorf("client: unexpected snapshot reply %T", reply)
+		}
+		version = m.Version
+		for _, t := range m.Tables {
+			rows := tables[t.Name]
+			if rows == nil {
+				rows = make(map[int64]string, len(t.Rows))
+				tables[t.Name] = rows
+			}
+			for i, r := range t.Rows {
+				rows[r] = t.Values[i]
+			}
+		}
+		if !m.More {
+			break
+		}
+	}
+	_ = c.nc.SetDeadline(time.Time{})
+	l.pool.put(c)
+	return version, tables, nil
+}
+
+// Members polls the primary's membership (protocol v2).
+func (l *Link) Members() (epoch int64, members []wire.Member, err error) {
+	reply, err := l.pool.rpc(&wire.Members{}, linkRPCDeadline)
+	if err != nil {
+		return 0, nil, err
+	}
+	m, ok := reply.(*wire.MembersOK)
+	if !ok {
+		return 0, nil, fmt.Errorf("client: unexpected members reply %T", reply)
+	}
+	return m.Epoch, m.Members, nil
+}
+
+// Stats polls a replica's cumulative serving counters (protocol v2).
+func (l *Link) Stats() (*wire.StatsOK, error) {
+	reply, err := l.pool.rpc(&wire.Stats{}, linkRPCDeadline)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := reply.(*wire.StatsOK)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected stats reply %T", reply)
+	}
+	return m, nil
+}
+
 // FetchSince retrieves records with version > v; wait > 0 long-polls
 // at the primary until records arrive or the wait expires.
 func (l *Link) FetchSince(v int64, wait time.Duration) ([]certifier.Record, error) {

@@ -40,10 +40,11 @@ type connPool struct {
 	// belongs to a server's peer link, -1 for ordinary clients.
 	peerID int64
 
-	mu     sync.Mutex
-	idle   []*wconn
-	active map[*wconn]struct{}
-	closed bool
+	mu      sync.Mutex
+	idle    []*wconn
+	active  map[*wconn]struct{}
+	closed  bool
+	retired bool
 }
 
 func newConnPool(addr, wantDesign string, peerID int64, dialTimeout time.Duration, maxIdle int) *connPool {
@@ -106,13 +107,28 @@ func (p *connPool) get() (*wconn, bool, error) {
 func (p *connPool) put(c *wconn) {
 	p.mu.Lock()
 	delete(p.active, c)
-	if p.closed || len(p.idle) >= p.maxIdle {
+	if p.closed || p.retired || len(p.idle) >= p.maxIdle {
 		p.mu.Unlock()
 		c.close()
 		return
 	}
 	p.idle = append(p.idle, c)
 	p.mu.Unlock()
+}
+
+// retire marks the pool for a replica that left the cluster: idle
+// connections close now, connections serving an in-flight transaction
+// finish it and close on return. Unlike closeAll, retire never severs
+// an active connection — the departing server drains those.
+func (p *connPool) retire() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.retired = true
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.close()
+	}
 }
 
 // discard drops a connection whose state is unknown (IO error or

@@ -1,0 +1,158 @@
+// Package elastic implements online cluster membership and
+// prediction-driven autoscaling for the replicated database: replicas
+// join and leave a running cluster (state transfer = consistent
+// snapshot + writeset catch-up over the existing propagation
+// protocol), a live profiler distills serving counters into the model
+// inputs of §4, and a controller runs the multi-master MVA model of
+// §3.3.2 over the live profile to decide how many replicas the
+// workload needs — closing the paper's loop from offline capacity
+// planning to an operational subsystem.
+package elastic
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// memberState is one cluster member as the primary tracks it.
+type memberState struct {
+	addr string
+	// static members come from the boot configuration (-peers); they
+	// are never evicted for inactivity, matching the pre-elastic
+	// behavior where a dead configured replica conservatively blocks
+	// log GC until an operator intervenes.
+	static bool
+	// lastSeen is the last time this member proved liveness: its join
+	// admission or its most recent propagation long-poll.
+	lastSeen time.Time
+}
+
+// Membership is the primary's authoritative member registry. Every
+// change bumps the epoch, which clients and peers use to detect
+// membership drift cheaply. It is safe for concurrent use.
+type Membership struct {
+	mu      sync.Mutex
+	epoch   int64
+	nextID  int64
+	members map[int64]*memberState
+}
+
+// NewMembership returns an empty registry at epoch 0.
+func NewMembership() *Membership {
+	return &Membership{members: make(map[int64]*memberState)}
+}
+
+// SeedStatic installs the boot-time member list (addresses indexed by
+// replica id, as given to -peers). Addresses may be empty when the
+// operator did not share them; the ids still reserve their slots so
+// joiners get fresh ids.
+func (m *Membership) SeedStatic(addrs []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, addr := range addrs {
+		id := int64(i)
+		m.members[id] = &memberState{addr: addr, static: true, lastSeen: time.Now()}
+		if id >= m.nextID {
+			m.nextID = id + 1
+		}
+	}
+	m.epoch++
+}
+
+// Join admits a new member and returns its assigned id, the epoch
+// after admission, and the member list including the joiner.
+func (m *Membership) Join(addr string, now time.Time) (id int64, epoch int64, members []wire.Member) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id = m.nextID
+	m.nextID++
+	m.members[id] = &memberState{addr: addr, lastSeen: now}
+	m.epoch++
+	return id, m.epoch, m.listLocked()
+}
+
+// Leave removes a member; it reports whether the id was present.
+func (m *Membership) Leave(id int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.members[id]; !ok {
+		return false
+	}
+	delete(m.members, id)
+	m.epoch++
+	return true
+}
+
+// Touch records liveness proof from member id (a propagation poll).
+func (m *Membership) Touch(id int64, now time.Time) {
+	m.mu.Lock()
+	if ms, ok := m.members[id]; ok {
+		ms.lastSeen = now
+	}
+	m.mu.Unlock()
+}
+
+// Contains reports whether id is a current member.
+func (m *Membership) Contains(id int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.members[id]
+	return ok
+}
+
+// Snapshot returns the current epoch and member list, sorted by id.
+func (m *Membership) Snapshot() (int64, []wire.Member) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch, m.listLocked()
+}
+
+// Peers returns the number of members excluding the primary (id 0) —
+// the count of propagation cursors the primary must see before it may
+// prune the certification log.
+func (m *Membership) Peers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for id := range m.members {
+		if id != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// EvictStale removes non-static members whose last liveness proof is
+// older than grace — a joiner that crashed mid-state-transfer, or a
+// replica that died without a Leave. Without eviction such a ghost
+// would block certification-log GC forever (its expected cursor never
+// arrives). It returns the evicted ids.
+func (m *Membership) EvictStale(now time.Time, grace time.Duration) []int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var evicted []int64
+	for id, ms := range m.members {
+		if ms.static || now.Sub(ms.lastSeen) <= grace {
+			continue
+		}
+		delete(m.members, id)
+		evicted = append(evicted, id)
+	}
+	if len(evicted) > 0 {
+		m.epoch++
+		sort.Slice(evicted, func(i, j int) bool { return evicted[i] < evicted[j] })
+	}
+	return evicted
+}
+
+func (m *Membership) listLocked() []wire.Member {
+	out := make([]wire.Member, 0, len(m.members))
+	for id, ms := range m.members {
+		out = append(out, wire.Member{ID: id, Addr: ms.addr})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

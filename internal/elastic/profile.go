@@ -1,0 +1,157 @@
+package elastic
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Sample is a cumulative snapshot of cluster-wide serving counters,
+// summed over every current member: per-class commit counts, summed
+// client-visible latencies, and certification aborts. Counters only
+// grow on a fixed membership; the profiler differences successive
+// samples into a windowed live profile and discards windows broken by
+// membership churn (a departed replica's counters vanish from the
+// sum).
+type Sample struct {
+	When          time.Time
+	ReadCommits   int64
+	UpdateCommits int64
+	Aborts        int64
+	ReadNs        int64
+	UpdateNs      int64
+	// Cohort identifies the member set the counters were summed over
+	// (e.g. the sorted polled addresses). Two samples are only
+	// comparable within one cohort: a member missing from the sum —
+	// departed, or just a dropped Stats poll — would otherwise first
+	// look like a regression and then, once it answers again, credit
+	// its whole cumulative history to a single window.
+	Cohort string
+}
+
+// Load is the windowed live workload profile the controller feeds to
+// the MVA model: measured rates, per-class mean latencies, the live
+// abort fraction, and a Little's-law estimate of the offered
+// closed-loop client population.
+type Load struct {
+	Interval   time.Duration
+	Throughput float64 // total commits/second
+	ReadRate   float64
+	UpdateRate float64
+	MeanRead   float64 // seconds
+	MeanUpdate float64 // seconds
+	AbortRate  float64 // aborts / (aborts + update commits)
+	// Clients estimates the concurrent closed-loop population N from
+	// Little's law, N = X·(R+Z): the live analogue of the per-replica
+	// client count C the paper's model takes as given (§3.2).
+	Clients float64
+}
+
+// Profiler turns cumulative samples into Load windows and MVA model
+// parameters. The service demands rc, wc, ws come from a standalone
+// calibration profile (§4.1.1, e.g. internal/profiler output or the
+// workload tables) — the paper's premise is that demands are
+// workload properties measurable without the replicated system —
+// while everything the live system can observe about itself (mix
+// fractions, abort rate, conflict window L1, offered population) is
+// refreshed from the samples.
+type Profiler struct {
+	base  workload.Mix
+	think float64
+	have  bool
+	prev  Sample
+}
+
+// NewProfiler creates a profiler over a standalone-calibrated base
+// mix. think overrides the mix's think time when positive (the live
+// deployment's clients may not match the benchmark's 1 s think).
+func NewProfiler(base workload.Mix, think float64) *Profiler {
+	if think <= 0 {
+		think = base.Think
+	}
+	return &Profiler{base: base, think: think}
+}
+
+// Reset forgets the previous sample (after membership churn).
+func (p *Profiler) Reset() { p.have = false }
+
+// Observe folds in one cumulative sample. It returns the Load over
+// the window since the previous sample, or ok=false when there is no
+// usable window yet: the first sample, a zero-length interval, a
+// cohort change (membership churn or a dropped per-member poll), or
+// a counter that moved backwards. Unusable windows are discarded and
+// the baseline reset.
+func (p *Profiler) Observe(s Sample) (Load, bool) {
+	prev, had := p.prev, p.have
+	p.prev, p.have = s, true
+	if !had || s.Cohort != prev.Cohort {
+		return Load{}, false
+	}
+	dt := s.When.Sub(prev.When)
+	dRead := s.ReadCommits - prev.ReadCommits
+	dUpdate := s.UpdateCommits - prev.UpdateCommits
+	dAborts := s.Aborts - prev.Aborts
+	dReadNs := s.ReadNs - prev.ReadNs
+	dUpdateNs := s.UpdateNs - prev.UpdateNs
+	if dt <= 0 || dRead < 0 || dUpdate < 0 || dAborts < 0 || dReadNs < 0 || dUpdateNs < 0 {
+		return Load{}, false
+	}
+	l := Load{
+		Interval:   dt,
+		ReadRate:   float64(dRead) / dt.Seconds(),
+		UpdateRate: float64(dUpdate) / dt.Seconds(),
+	}
+	l.Throughput = l.ReadRate + l.UpdateRate
+	if dRead > 0 {
+		l.MeanRead = float64(dReadNs) / float64(dRead) / 1e9
+	}
+	if dUpdate > 0 {
+		l.MeanUpdate = float64(dUpdateNs) / float64(dUpdate) / 1e9
+	}
+	if dAborts+dUpdate > 0 {
+		l.AbortRate = float64(dAborts) / float64(dAborts+dUpdate)
+	}
+	// Little's law over the closed loop: each client cycles through
+	// one transaction (mean response R, weighted by class) plus think.
+	if l.Throughput > 0 {
+		r := (l.MeanRead*l.ReadRate + l.MeanUpdate*l.UpdateRate) / l.Throughput
+		l.Clients = l.Throughput * (r + p.think)
+	}
+	return l, true
+}
+
+// maxAbort caps the live abort estimate fed to the model: the MVA
+// retry inflation 1/(1-A) diverges as A approaches 1, and a transient
+// measurement artifact must not be able to demand infinite capacity.
+const maxAbort = 0.5
+
+// Params builds the multi-master model inputs (§3.3.2) for a Load:
+// base demands with the live mix fractions, live abort probability
+// and live conflict window. Mix.Clients is left at the base value —
+// the controller overrides it per candidate replica count.
+func (p *Profiler) Params(l Load) core.Params {
+	mix := p.base
+	mix.Think = p.think
+	if l.Throughput > 0 {
+		mix.Pr = l.ReadRate / l.Throughput
+		mix.Pw = 1 - mix.Pr
+	}
+	if mix.Pw > 0 && l.AbortRate > 0 {
+		a := l.AbortRate
+		if a > maxAbort {
+			a = maxAbort
+		}
+		mix.A1 = a
+	}
+	params := core.Params{
+		Mix:       mix,
+		L1:        l.MeanUpdate,
+		LBDelay:   core.DefaultLBDelay,
+		CertDelay: core.DefaultCertDelay,
+	}
+	if params.L1 == 0 && mix.Pw > 0 {
+		params.L1 = core.EstimateL1(params)
+	}
+	return params
+}

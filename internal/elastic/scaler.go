@@ -1,0 +1,100 @@
+package elastic
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Replica is one elastically managed cluster member as the scaler
+// sees it. *server.Server satisfies it: Addr reports the listen
+// address, Leave drains and deregisters, Close tears the process
+// state down.
+type Replica interface {
+	Addr() string
+	Leave() error
+	Close() error
+}
+
+// LocalScaler manages a pool of spawned replicas on top of a fixed
+// baseline (the primary, plus any statically configured replicas the
+// scaler must never remove). Spawn is called to add a replica; it is
+// expected to run the full join protocol (Join, snapshot transfer,
+// catch-up) before returning, so a successful ScaleUp means a
+// serving replica.
+type LocalScaler struct {
+	spawn func() (Replica, error)
+
+	mu       sync.Mutex
+	baseline int
+	reps     []Replica
+	failures int
+}
+
+// NewLocalScaler creates a scaler over `baseline` unmanaged replicas
+// and a spawn function for elastic ones.
+func NewLocalScaler(baseline int, spawn func() (Replica, error)) *LocalScaler {
+	if baseline < 1 {
+		baseline = 1
+	}
+	return &LocalScaler{baseline: baseline, spawn: spawn}
+}
+
+// Replicas implements Scaler.
+func (s *LocalScaler) Replicas() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.baseline + len(s.reps)
+}
+
+// Failures counts spawn attempts that did not produce a serving
+// replica — the "failed state transfers" the acceptance criteria
+// require to be zero.
+func (s *LocalScaler) Failures() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failures
+}
+
+// ScaleUp implements Scaler: spawn one replica through the join
+// protocol.
+func (s *LocalScaler) ScaleUp() error {
+	r, err := s.spawn()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.failures++
+		return err
+	}
+	s.reps = append(s.reps, r)
+	return nil
+}
+
+// ScaleDown implements Scaler: drain and remove the newest spawned
+// replica. The baseline is never touched.
+func (s *LocalScaler) ScaleDown() error {
+	s.mu.Lock()
+	if len(s.reps) == 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("elastic: nothing to scale down (at baseline %d)", s.baseline)
+	}
+	r := s.reps[len(s.reps)-1]
+	s.reps = s.reps[:len(s.reps)-1]
+	s.mu.Unlock()
+	err := r.Leave()
+	if cerr := r.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Close drains and closes every spawned replica (newest first).
+func (s *LocalScaler) Close() {
+	s.mu.Lock()
+	reps := s.reps
+	s.reps = nil
+	s.mu.Unlock()
+	for i := len(reps) - 1; i >= 0; i-- {
+		_ = reps[i].Leave()
+		_ = reps[i].Close()
+	}
+}

@@ -16,15 +16,23 @@ var ErrNoEligible = errors.New("lb: no eligible replica")
 // Balancer tracks outstanding transactions per replica. It is safe
 // for concurrent use.
 //
+// Membership is elastic: Add appends a new replica slot and Remove
+// tombstones one. Slot indices are stable — removing a replica never
+// renumbers the others, so callers can keep using an index as a
+// replica identity. A removed slot is never acquired again, but
+// in-flight transactions may still Release it.
+//
 // Replicas can additionally be marked unhealthy (SetHealthy), which
 // the networked client pool uses when a server stops answering:
 // acquisition prefers healthy replicas and falls back to unhealthy
 // ones only when no healthy replica is eligible, so a dead replica is
 // routed around without ever becoming unreachable for re-probing.
 type Balancer struct {
-	mu     sync.Mutex
-	counts []int
-	down   []bool
+	mu      sync.Mutex
+	counts  []int
+	down    []bool
+	removed []bool
+	rr      int // rotating scan start for deterministic, unbiased ties
 }
 
 // New creates a balancer over n replicas, all healthy. It panics if
@@ -33,7 +41,40 @@ func New(n int) *Balancer {
 	if n <= 0 {
 		panic("lb: need at least one replica")
 	}
-	return &Balancer{counts: make([]int, n), down: make([]bool, n)}
+	return &Balancer{counts: make([]int, n), down: make([]bool, n), removed: make([]bool, n)}
+}
+
+// Add appends a new healthy replica slot and returns its index.
+func (b *Balancer) Add() int { return b.add(true) }
+
+// AddDown appends a new slot already marked unhealthy, so it receives
+// no traffic until SetHealthy — the window a joining replica needs to
+// install its state transfer before serving.
+func (b *Balancer) AddDown() int { return b.add(false) }
+
+func (b *Balancer) add(healthy bool) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.counts = append(b.counts, 0)
+	b.down = append(b.down, !healthy)
+	b.removed = append(b.removed, false)
+	return len(b.counts) - 1
+}
+
+// Remove tombstones replica i: it will never be acquired again, but
+// outstanding transactions may still Release it. Removing an already
+// removed slot is a no-op.
+func (b *Balancer) Remove(i int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.removed[i] = true
+}
+
+// Removed reports whether slot i has been tombstoned.
+func (b *Balancer) Removed(i int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.removed[i]
 }
 
 // Acquire picks a least-loaded replica, increments its load, and
@@ -45,18 +86,31 @@ func (b *Balancer) Acquire() int {
 
 // AcquireWhere picks the least-loaded healthy replica among those for
 // which eligible returns true, falling back to unhealthy eligible
-// replicas when no healthy one exists. Ties go to the lowest index,
-// which keeps routing deterministic for tests.
+// replicas when no healthy one exists. Removed slots are never
+// eligible.
+//
+// Ties rotate: the scan starts one slot further on every acquisition,
+// so equally loaded replicas take turns instead of the lowest index
+// always winning — after a removal, survivors above the hole would
+// otherwise see systematically less traffic than those below it. The
+// rotation is part of the balancer's own state, so routing remains
+// deterministic for a given call sequence.
 func (b *Balancer) AcquireWhere(eligible func(i int) bool) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	n := len(b.counts)
+	start := b.rr % n
 	best := -1
 	for _, wantHealthy := range []bool{true, false} {
-		for i, c := range b.counts {
-			if b.down[i] == wantHealthy || !eligible(i) {
+		for off := 0; off < n; off++ {
+			i := start + off
+			if i >= n {
+				i -= n
+			}
+			if b.removed[i] || b.down[i] == wantHealthy || !eligible(i) {
 				continue
 			}
-			if best == -1 || c < b.counts[best] {
+			if best == -1 || b.counts[i] < b.counts[best] {
 				best = i
 			}
 		}
@@ -68,6 +122,7 @@ func (b *Balancer) AcquireWhere(eligible func(i int) bool) (int, error) {
 		return 0, ErrNoEligible
 	}
 	b.counts[best]++
+	b.rr++
 	return best, nil
 }
 
@@ -103,9 +158,23 @@ func (b *Balancer) Load(i int) int {
 	return b.counts[i]
 }
 
-// Size returns the number of replicas.
+// Size returns the number of replica slots, including removed ones
+// (slot indices are stable).
 func (b *Balancer) Size() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.counts)
+}
+
+// Live returns the number of slots that have not been removed.
+func (b *Balancer) Live() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	live := 0
+	for _, r := range b.removed {
+		if !r {
+			live++
+		}
+	}
+	return live
 }

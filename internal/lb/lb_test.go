@@ -66,6 +66,98 @@ func TestNewPanicsOnZero(t *testing.T) {
 	New(0)
 }
 
+func TestAddGrowsMembership(t *testing.T) {
+	b := New(1)
+	if idx := b.Add(); idx != 1 {
+		t.Fatalf("Add = %d, want 1", idx)
+	}
+	if b.Size() != 2 || b.Live() != 2 {
+		t.Fatalf("size = %d live = %d", b.Size(), b.Live())
+	}
+	// The new slot starts empty and healthy, so it receives traffic.
+	seen := map[int]int{}
+	for i := 0; i < 4; i++ {
+		seen[b.Acquire()]++
+	}
+	if seen[0] != 2 || seen[1] != 2 {
+		t.Fatalf("acquires did not spread onto the added slot: %v", seen)
+	}
+}
+
+func TestRemoveTombstonesSlot(t *testing.T) {
+	b := New(3)
+	idx := b.Acquire() // outstanding txn on some replica
+	b.Remove(1)
+	if !b.Removed(1) || b.Removed(0) || b.Removed(2) {
+		t.Fatal("removed flags wrong")
+	}
+	if b.Size() != 3 || b.Live() != 2 {
+		t.Fatalf("size = %d live = %d", b.Size(), b.Live())
+	}
+	for i := 0; i < 10; i++ {
+		if got := b.Acquire(); got == 1 {
+			t.Fatal("acquired a removed slot")
+		}
+	}
+	// Indices are stable: releasing the pre-removal acquisition works.
+	b.Release(idx)
+	// Removing every slot leaves nothing eligible.
+	b.Remove(0)
+	b.Remove(2)
+	if _, err := b.AcquireWhere(func(int) bool { return true }); err != ErrNoEligible {
+		t.Fatalf("all-removed acquire: %v", err)
+	}
+}
+
+func TestRemovalDoesNotBiasLowIndices(t *testing.T) {
+	// Acquire-and-hold across a 4-replica set with slot 1 removed: the
+	// rotating tie-break must spread ties over all survivors instead of
+	// always favoring slot 0.
+	b := New(4)
+	b.Remove(1)
+	seen := map[int]int{}
+	for round := 0; round < 5; round++ {
+		held := make([]int, 0, 3)
+		for i := 0; i < 3; i++ {
+			idx := b.Acquire()
+			seen[idx]++
+			held = append(held, idx)
+		}
+		for _, idx := range held {
+			b.Release(idx)
+		}
+	}
+	if seen[1] != 0 {
+		t.Fatalf("removed slot acquired: %v", seen)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if seen[i] != 5 {
+			t.Fatalf("tie-break biased: %v", seen)
+		}
+	}
+}
+
+func TestRotationIsDeterministic(t *testing.T) {
+	runSeq := func() []int {
+		b := New(3)
+		out := make([]int, 0, 8)
+		for i := 0; i < 4; i++ {
+			out = append(out, b.Acquire())
+		}
+		b.Release(out[0])
+		for i := 0; i < 4; i++ {
+			out = append(out, b.Acquire())
+		}
+		return out
+	}
+	a, c := runSeq(), runSeq()
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("same call sequence diverged: %v vs %v", a, c)
+		}
+	}
+}
+
 func TestConcurrentBalance(t *testing.T) {
 	b := New(4)
 	var wg sync.WaitGroup

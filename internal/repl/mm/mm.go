@@ -85,16 +85,27 @@ type replica struct {
 
 	mu      sync.Mutex // serializes writeset application
 	applied int64      // highest version applied locally
+	// ready is false while an elastically added replica installs its
+	// state transfer; the propagation paths skip not-ready replicas
+	// (their database lacks the schema until the snapshot lands).
+	ready bool
 }
 
-// Cluster is a running multi-master system.
+// Cluster is a running multi-master system. Membership is elastic:
+// AddReplica clones the primary's state into a fresh node and admits
+// it into routing, RemoveReplica retires one (§5's cluster, grown and
+// shrunk online).
 type Cluster struct {
 	opts      Options
-	replicas  []*replica
 	cert      CertService
 	batcher   *certifier.Batcher    // nil unless GroupCommit
 	transport *paxos.LocalTransport // nil unless replicated
 	balancer  *lb.Balancer
+
+	// mu guards the slots slice itself; slot indices are stable and
+	// shared with the balancer (removed slots are tombstoned there).
+	mu    sync.RWMutex
+	slots []*replica
 }
 
 // New creates a multi-master cluster.
@@ -104,7 +115,7 @@ func New(opts Options) (*Cluster, error) {
 	}
 	c := &Cluster{opts: opts, balancer: lb.New(opts.Replicas)}
 	for i := 0; i < opts.Replicas; i++ {
-		c.replicas = append(c.replicas, &replica{id: i, db: sidb.New()})
+		c.slots = append(c.slots, &replica{id: i, db: sidb.New(), ready: true})
 	}
 	switch {
 	case opts.Cert != nil:
@@ -137,8 +148,38 @@ func (c *Cluster) certify(snapshot int64, ws writeset.Writeset) (certifier.Outco
 	return c.cert.Certify(snapshot, ws)
 }
 
-// Replicas returns the replica count.
-func (c *Cluster) Replicas() int { return len(c.replicas) }
+// live returns the current non-removed replicas in slot order.
+func (c *Cluster) live() []*replica {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*replica, 0, len(c.slots))
+	for i, r := range c.slots {
+		if !c.balancer.Removed(i) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// slot returns the replica at a balancer slot index.
+func (c *Cluster) slot(i int) *replica {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.slots[i]
+}
+
+// liveAt returns the i-th live replica (removal renumbers the live
+// view but never the slots).
+func (c *Cluster) liveAt(i int) (*replica, error) {
+	live := c.live()
+	if i < 0 || i >= len(live) {
+		return nil, fmt.Errorf("mm: replica %d out of range", i)
+	}
+	return live[i], nil
+}
+
+// Replicas returns the live replica count.
+func (c *Cluster) Replicas() int { return len(c.live()) }
 
 // Certifier exposes the local certification service for stats and
 // failure injection in tests, or nil when an external CertService was
@@ -158,7 +199,7 @@ func (c *Cluster) Transport() *paxos.LocalTransport { return c.transport }
 
 // CreateTable creates the table on every replica.
 func (c *Cluster) CreateTable(name string) error {
-	for _, r := range c.replicas {
+	for _, r := range c.live() {
 		if err := r.db.CreateTable(name); err != nil {
 			return err
 		}
@@ -169,7 +210,8 @@ func (c *Cluster) CreateTable(name string) error {
 // Load bulk-fills a table identically on every replica (initial load,
 // outside concurrency control).
 func (c *Cluster) Load(table string, rows int, value func(int64) string) error {
-	for _, r := range c.replicas {
+	live := c.live()
+	for _, r := range live {
 		if err := r.db.BulkLoad(table, rows, value); err != nil {
 			return err
 		}
@@ -177,7 +219,7 @@ func (c *Cluster) Load(table string, rows int, value func(int64) string) error {
 	// The load bumped each replica's local version identically; the
 	// certifier's global counter stays at zero, so the applied
 	// counters remain aligned at zero as well.
-	for _, r := range c.replicas {
+	for _, r := range live {
 		r.applied = 0
 	}
 	return nil
@@ -191,35 +233,49 @@ func (c *Cluster) Load(table string, rows int, value func(int64) string) error {
 // make the unlocked window safe against concurrent appliers).
 func (c *Cluster) syncTo(r *replica) {
 	r.mu.Lock()
+	ready := r.ready
 	v := r.applied
 	r.mu.Unlock()
-	c.ApplyRecords(r.id, c.cert.Since(v))
+	if !ready {
+		return // still installing its state transfer
+	}
+	c.applyTo(r, c.cert.Since(v))
 }
 
 // Sync applies all outstanding writesets everywhere.
 func (c *Cluster) Sync() {
-	for _, r := range c.replicas {
+	for _, r := range c.live() {
 		c.syncTo(r)
 	}
 }
 
-// Applied returns the global version replica ridx has applied. The
-// networked server's propagation loop uses it as the FetchSince
-// cursor.
+// Applied returns the global version the ridx-th live replica has
+// applied. The networked server's propagation loop uses it as the
+// FetchSince cursor.
 func (c *Cluster) Applied(ridx int) int64 {
-	r := c.replicas[ridx]
+	r, err := c.liveAt(ridx)
+	if err != nil {
+		panic(err)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.applied
 }
 
-// ApplyRecords installs already-fetched certified records at replica
-// ridx in version order: records at or below the applied version are
-// skipped (duplicates from concurrent pulls are harmless) and a gap
-// stops the run (the missing versions will arrive through a later
-// pull). It returns the number of records applied.
+// ApplyRecords installs already-fetched certified records at the
+// ridx-th live replica in version order: records at or below the
+// applied version are skipped (duplicates from concurrent pulls are
+// harmless) and a gap stops the run (the missing versions will arrive
+// through a later pull). It returns the number of records applied.
 func (c *Cluster) ApplyRecords(ridx int, recs []certifier.Record) int {
-	r := c.replicas[ridx]
+	r, err := c.liveAt(ridx)
+	if err != nil {
+		panic(err)
+	}
+	return c.applyTo(r, recs)
+}
+
+func (c *Cluster) applyTo(r *replica, recs []certifier.Record) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	applied := 0
@@ -246,7 +302,7 @@ func (c *Cluster) ApplyRecords(ridx int, recs []certifier.Record) int {
 // stay aligned; like Load, this must finish before traffic starts.
 func (c *Cluster) LoadRows(table string, start int64, values []string) error {
 	ws := writeset.FromRows(table, start, values)
-	for _, r := range c.replicas {
+	for _, r := range c.live() {
 		if err := r.db.ApplyWriteset(ws, r.db.Version()+1); err != nil {
 			return err
 		}
@@ -257,13 +313,17 @@ func (c *Cluster) LoadRows(table string, start int64, values []string) error {
 // GC prunes the certification log up to the oldest version every
 // replica has applied. Since a fresh transaction's snapshot is its
 // replica's applied version, no live or future certification request
-// can reference a pruned version. It returns the number of log
-// records removed.
+// can reference a pruned version. A replica mid-state-transfer pins
+// the log at zero (its snapshot version is not yet known); removed
+// replicas no longer count. It returns the number of log records
+// removed.
 func (c *Cluster) GC() int {
 	oldest := int64(1<<62 - 1)
-	for _, r := range c.replicas {
+	for _, r := range c.live() {
 		r.mu.Lock()
-		if r.applied < oldest {
+		if !r.ready {
+			oldest = 0
+		} else if r.applied < oldest {
 			oldest = r.applied
 		}
 		r.mu.Unlock()
@@ -279,12 +339,131 @@ func (c *Cluster) GC() int {
 	return 0
 }
 
-// TableDump snapshots a replica's table for convergence checks.
+// TableDump snapshots the ridx-th live replica's table for
+// convergence checks.
 func (c *Cluster) TableDump(replicaIdx int, table string) (map[int64]string, error) {
-	if replicaIdx < 0 || replicaIdx >= len(c.replicas) {
-		return nil, fmt.Errorf("mm: replica %d out of range", replicaIdx)
+	r, err := c.liveAt(replicaIdx)
+	if err != nil {
+		return nil, err
 	}
-	return c.replicas[replicaIdx].db.Dump(table)
+	return r.db.Dump(table)
+}
+
+// Snapshot captures a consistent full-state snapshot of the ridx-th
+// live replica: every table's contents plus the applied version they
+// are consistent at. Taking the application lock pins both to the
+// same point in the version order, so a joiner that installs the
+// snapshot and then replays certified records > version reconstructs
+// the replica exactly.
+func (c *Cluster) Snapshot(ridx int) (int64, map[string]map[int64]string, error) {
+	r, err := c.liveAt(ridx)
+	if err != nil {
+		return 0, nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tables := make(map[string]map[int64]string)
+	for _, name := range r.db.Tables() {
+		dump, err := r.db.Dump(name)
+		if err != nil {
+			return 0, nil, err
+		}
+		tables[name] = dump
+	}
+	return r.applied, tables, nil
+}
+
+// InstallSnapshot installs a snapshot into the ridx-th live replica
+// and marks it ready: tables are created, contents applied outside
+// concurrency control, and the applied counter set to the snapshot
+// version so catch-up resumes from there. It is the receiving half of
+// the join state transfer.
+func (c *Cluster) InstallSnapshot(ridx int, version int64, tables map[string]map[int64]string) error {
+	r, err := c.liveAt(ridx)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return installLocked(r, version, tables)
+}
+
+// installLocked installs snapshot contents into r and marks it ready;
+// r.mu must be held.
+func installLocked(r *replica, version int64, tables map[string]map[int64]string) error {
+	for name, rows := range tables {
+		if err := r.db.CreateTable(name); err != nil {
+			return err
+		}
+		entries := make([]writeset.Entry, 0, len(rows))
+		for row, value := range rows {
+			entries = append(entries, writeset.Entry{
+				Key:   writeset.Key{Table: name, Row: row},
+				Value: value,
+			})
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		if err := r.db.ApplyWriteset(writeset.New(entries), r.db.Version()+1); err != nil {
+			return err
+		}
+	}
+	r.applied = version
+	r.ready = true
+	return nil
+}
+
+// AddReplica grows the cluster by one: a fresh node receives a
+// consistent snapshot of the primary (slot 0), catches up on records
+// certified during the copy, and only then starts taking traffic. It
+// returns the new replica's slot index.
+func (c *Cluster) AddReplica() (int, error) {
+	r := &replica{db: sidb.New()}
+	c.mu.Lock()
+	idx := c.balancer.AddDown() // no traffic until the state transfer lands
+	r.id = idx
+	c.slots = append(c.slots, r)
+	c.mu.Unlock()
+
+	// The not-ready replica pins GC at zero (see GC), so every record
+	// after the snapshot version stays fetchable during the transfer.
+	version, tables, err := c.Snapshot(0)
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	err = installLocked(r, version, tables)
+	r.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+
+	c.syncTo(r) // writeset catch-up for commits during the copy
+	c.balancer.SetHealthy(idx, true)
+	return idx, nil
+}
+
+// RemoveReplica retires the replica at slot idx: the balancer stops
+// routing new transactions to it immediately; transactions already
+// running there finish normally (their commits certify and propagate
+// like any other). Slot 0 — the certifier-adjacent primary — cannot
+// be removed.
+func (c *Cluster) RemoveReplica(idx int) error {
+	if idx == 0 {
+		return fmt.Errorf("mm: replica 0 cannot be removed")
+	}
+	c.mu.RLock()
+	ok := idx > 0 && idx < len(c.slots)
+	c.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("mm: replica %d out of range", idx)
+	}
+	if c.balancer.Removed(idx) {
+		return fmt.Errorf("mm: replica %d already removed", idx)
+	}
+	c.balancer.Remove(idx)
+	return nil
 }
 
 // Txn is a client transaction proxied onto one replica.
@@ -309,7 +488,7 @@ func (c *Cluster) BeginUpdate() (repl.Txn, error) { return c.begin(false) }
 
 func (c *Cluster) begin(readOnly bool) (repl.Txn, error) {
 	idx := c.balancer.Acquire()
-	r := c.replicas[idx]
+	r := c.slot(idx)
 	// GSI: the snapshot is whatever the replica has applied; no
 	// communication with the certifier is needed to begin. Taking the
 	// applied counter and the local snapshot under the application
@@ -394,7 +573,7 @@ func (t *Txn) Commit() error {
 	}
 	t.cluster.syncTo(t.replica)
 	// Propagate to the remaining replicas.
-	for _, r := range t.cluster.replicas {
+	for _, r := range t.cluster.live() {
 		if r != t.replica {
 			t.cluster.syncTo(r)
 		}

@@ -240,7 +240,7 @@ func TestWorkloadConvergence(t *testing.T) {
 
 // db0Tables lists replica 0's tables for convergence checks.
 func (c *Cluster) db0Tables() []string {
-	return c.replicas[0].db.Tables()
+	return c.slot(0).db.Tables()
 }
 
 func TestWorkloadWithReplicatedCertifier(t *testing.T) {
@@ -450,4 +450,100 @@ func TestGroupCommitConflictsStillAbort(t *testing.T) {
 	if err := t2.Commit(); !errors.Is(err, repl.ErrAborted) {
 		t.Fatalf("conflicting commit through group commit: %v", err)
 	}
+}
+
+func TestAddReplicaClonesStateAndServes(t *testing.T) {
+	c := newCluster(t, 1)
+	seedTable(t, c, "item", 50)
+	// Commit past the load so the snapshot carries certified state.
+	tx, _ := c.BeginUpdate()
+	tx.Write("item", 7, "pre-join")
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	idx, err := c.AddReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 || c.Replicas() != 2 {
+		t.Fatalf("idx = %d replicas = %d", idx, c.Replicas())
+	}
+	dump, err := c.TableDump(1, "item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump[7] != "pre-join" || dump[3] != "init-3" {
+		t.Fatalf("snapshot not cloned: %q %q", dump[7], dump[3])
+	}
+
+	// Commits after the join propagate to the new replica too.
+	tx, _ = c.BeginUpdate()
+	tx.Write("item", 8, "post-join")
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	c.Sync()
+	if err := repl.CheckConvergence(c, []string{"item"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveReplicaStopsRoutingKeepsInFlight(t *testing.T) {
+	c := newCluster(t, 3)
+	seedTable(t, c, "item", 20)
+	// Hold a transaction on replica 1, then remove it.
+	var onOne repl.Txn
+	var held []repl.Txn
+	for i := 0; i < 6 && onOne == nil; i++ {
+		tx, _ := c.BeginUpdate()
+		if tx.(*Txn).replica.id == 1 {
+			onOne = tx
+		} else {
+			held = append(held, tx)
+		}
+	}
+	if onOne == nil {
+		t.Fatal("no transaction landed on replica 1")
+	}
+	for _, tx := range held {
+		tx.Abort()
+	}
+	if err := c.RemoveReplica(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveReplica(0); err == nil {
+		t.Fatal("primary removal allowed")
+	}
+	if err := c.RemoveReplica(1); err == nil {
+		t.Fatal("double removal allowed")
+	}
+	if c.Replicas() != 2 {
+		t.Fatalf("replicas = %d, want 2", c.Replicas())
+	}
+	// The in-flight transaction on the removed replica finishes.
+	if err := onOne.Write("item", 3, "from-removed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := onOne.Commit(); err != nil {
+		t.Fatalf("in-flight commit on removed replica: %v", err)
+	}
+	// New transactions never route to the removed slot.
+	for i := 0; i < 12; i++ {
+		tx, _ := c.BeginRead()
+		if tx.(*Txn).replica.id == 1 {
+			t.Fatal("routed to removed replica")
+		}
+		tx.Abort()
+	}
+	// Survivors converge, including the commit from the removed node,
+	// and GC is not blocked by the departed replica.
+	c.Sync()
+	if err := repl.CheckConvergence(c, []string{"item"}); err != nil {
+		t.Fatal(err)
+	}
+	if dump, _ := c.TableDump(0, "item"); dump[3] != "from-removed" {
+		t.Fatalf("in-flight commit lost: %q", dump[3])
+	}
+	c.GC()
 }

@@ -221,13 +221,24 @@ func runTemplate(sys System, tpl workload.TxnTemplate, rows int, rng *stats.Rand
 		if err != nil {
 			return err
 		}
+		aborted := false
 		for r := 0; r < tpl.ReadRows; r++ {
 			if _, _, err := tx.Read(tpl.Table, int64(rng.Intn(rows))); err != nil {
 				tx.Abort()
+				if errors.Is(err, ErrAborted) {
+					// The replica died or left mid-transaction; the
+					// networked driver surfaces that as an abort so the
+					// transaction retries on a surviving replica.
+					res.Aborts++
+					aborted = true
+					break
+				}
 				return err
 			}
 		}
-		aborted := false
+		if aborted {
+			continue
+		}
 		for w := 0; w < tpl.Writes; w++ {
 			row := int64(rng.Intn(rows))
 			if err := tx.Write(tpl.Table, row, fmt.Sprintf("%s-%d", tpl.Name, rng.Uint64())); err != nil {

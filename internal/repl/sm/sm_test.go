@@ -139,18 +139,29 @@ func TestSlaveReadSeesAppliedState(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Sync()
-	// Occupy master so the read goes to the slave.
-	hold, _ := c.BeginRead()
-	ro, _ := c.BeginRead()
-	if ro.(*Txn).node != 1 {
-		t.Fatal("read did not land on slave")
+	// Open reads until one lands on the slave (the rotating tie-break
+	// spreads them over both nodes within two begins).
+	var ro repl.Txn
+	var held []repl.Txn
+	for i := 0; i < 4 && ro == nil; i++ {
+		tx, _ := c.BeginRead()
+		if tx.(*Txn).node == 1 {
+			ro = tx
+		} else {
+			held = append(held, tx)
+		}
+	}
+	if ro == nil {
+		t.Fatal("read never landed on slave")
 	}
 	v, ok, err := ro.Read("item", 2)
 	if err != nil || !ok || v != "new" {
 		t.Fatalf("slave read = %q %v %v", v, ok, err)
 	}
 	ro.Commit()
-	hold.Abort()
+	for _, tx := range held {
+		tx.Abort()
+	}
 }
 
 func TestSingleNodeCluster(t *testing.T) {

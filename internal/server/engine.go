@@ -9,10 +9,12 @@ import (
 
 	"repro/internal/certifier"
 	"repro/internal/client"
+	"repro/internal/elastic"
 	"repro/internal/repl"
 	"repro/internal/repl/mm"
 	"repro/internal/repl/sm"
 	"repro/internal/sidb"
+	"repro/internal/wire"
 	"repro/internal/writeset"
 )
 
@@ -52,6 +54,22 @@ type engine interface {
 	// peerGone drops a peer's propagation cursor when its connection
 	// dies (the next long poll re-adds it).
 	peerGone(peer int64)
+	// join / leave / members are the elastic membership surface,
+	// served by the mm primary only (errUnsupported elsewhere).
+	join(addr string) (*wire.JoinOK, error)
+	leave(id int64) error
+	members() (int64, []wire.Member, error)
+	// snapshot captures a consistent full-state snapshot (applied
+	// version + all tables) for a joiner's state transfer.
+	snapshot() (int64, map[string]map[int64]string, error)
+	// touch records liveness proof from peer (a snapshot chunk
+	// request counts like a long poll: a joiner mid-transfer must not
+	// be evicted as stale).
+	touch(peer int64)
+	// installSnapshot is the joiner-side inverse of snapshot.
+	installSnapshot(version int64, tables map[string]map[int64]string) error
+	// selfLeave deregisters this node from its primary (drain path).
+	selfLeave(id int64) error
 	// run is the background propagation loop (the peer link); it
 	// returns when stop closes.
 	run(stop <-chan struct{})
@@ -120,16 +138,26 @@ func (n *versionNotify) waitBeyond(v int64, timeout time.Duration, stop <-chan s
 // they must be compared against (the same snapshot-below-horizon
 // hazard the in-process GC has).
 type peerCursors struct {
-	expected int   // pullers required before pruning may run
+	// expected returns the number of pullers required before pruning
+	// may run; it is a function because elastic membership changes it
+	// at runtime. A negative value (unknown cluster size) disables
+	// pruning entirely.
+	expected func() int
 	lag      int64 // retained margin below the horizon
 
 	mu      sync.Mutex
 	cursors map[int64]int64
 }
 
-// newPeerCursors tracks expected peers; a negative expected count
+// newPeerCursors tracks a fixed expected peer count; a negative count
 // (unknown cluster size) disables pruning entirely.
 func newPeerCursors(expected int, lag int64) *peerCursors {
+	return newDynamicPeerCursors(func() int { return expected }, lag)
+}
+
+// newDynamicPeerCursors tracks an expected peer count that may change
+// (elastic membership).
+func newDynamicPeerCursors(expected func() int, lag int64) *peerCursors {
 	return &peerCursors{expected: expected, lag: lag, cursors: make(map[int64]int64)}
 }
 
@@ -160,7 +188,8 @@ func (p *peerCursors) drop(peer int64) {
 func (p *peerCursors) horizon(own int64) (int64, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.expected < 0 || len(p.cursors) < p.expected {
+	expected := p.expected()
+	if expected < 0 || len(p.cursors) < expected {
 		return 0, false
 	}
 	h := own
@@ -247,10 +276,16 @@ type mmEngine struct {
 	link     *client.Link // non-nil elsewhere: the commit path's link
 	puller   *client.Link // non-nil elsewhere: the propagation link
 	lastSeen atomic.Int64 // newest version seen by the puller
+
+	// membership is the primary's authoritative member registry
+	// (nil on non-primary nodes); staleAfter is the liveness grace
+	// before a silent elastic member is evicted.
+	membership *elastic.Membership
+	staleAfter time.Duration
 }
 
 func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, error) {
-	e := &mmEngine{stop: stop}
+	e := &mmEngine{stop: stop, staleAfter: opts.StaleAfter}
 	var svc mm.CertService
 	async := false
 	if opts.ID == 0 {
@@ -260,7 +295,25 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 			batcher = certifier.NewBatcher(base, 0)
 		}
 		e.host = &hostCert{base: base, batcher: batcher, notify: newVersionNotify(), m: m}
-		e.cursors = newPeerCursors(opts.Replicas-1, int64(opts.GCLag))
+		e.membership = elastic.NewMembership()
+		switch {
+		case len(opts.Members) > 0:
+			e.membership.SeedStatic(opts.Members)
+		case opts.Replicas > 0:
+			// Addresses unknown (pre-elastic boot): reserve the ids so
+			// joiners get fresh ones and the peer count still gates GC.
+			e.membership.SeedStatic(make([]string, opts.Replicas))
+		default:
+			// Unknown cluster size: the primary alone, pruning disabled.
+			e.membership.SeedStatic(make([]string, 1))
+		}
+		gcDisabled := opts.Replicas <= 0 && len(opts.Members) == 0
+		e.cursors = newDynamicPeerCursors(func() int {
+			if gcDisabled {
+				return -1
+			}
+			return e.membership.Peers()
+		}, int64(opts.GCLag))
 		svc = e.host
 	} else {
 		e.link = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
@@ -345,8 +398,15 @@ func (e *mmEngine) fetchSince(peer int64, v int64, wait time.Duration) ([]certif
 	if wait > 0 {
 		// Long polls come from the dedicated propagation links, one
 		// per peer replica: their cursors tell the host what everyone
-		// has applied, which bounds certification-log GC.
-		e.cursors.update(peer, v)
+		// has applied, which bounds certification-log GC. They also
+		// prove the peer is alive, deferring stale-member eviction.
+		// Only current members get a cursor — an evicted or departed
+		// peer that keeps polling must not be able to stand in for a
+		// missing expected peer in the GC horizon count.
+		if e.membership.Contains(peer) {
+			e.cursors.update(peer, v)
+			e.membership.Touch(peer, time.Now())
+		}
 		e.maybeGC()
 		e.host.notify.waitBeyond(v, wait, e.stop)
 	}
@@ -357,6 +417,65 @@ func (e *mmEngine) peerGone(peer int64) {
 	if e.cursors != nil {
 		e.cursors.drop(peer)
 	}
+}
+
+// join admits a new replica (primary only): it is registered before
+// the snapshot is taken, so the certification log cannot be pruned
+// past anything the joiner will need — the joiner's expected cursor
+// blocks GC until its first long poll arrives (see docs/ELASTICITY.md
+// for the ordering argument).
+func (e *mmEngine) join(addr string) (*wire.JoinOK, error) {
+	if e.host == nil {
+		return nil, errUnsupported
+	}
+	id, epoch, members := e.membership.Join(addr, time.Now())
+	return &wire.JoinOK{ID: id, Epoch: epoch, Members: members}, nil
+}
+
+// leave deregisters a replica (primary only): its cursor stops gating
+// GC and clients drop it on their next membership poll.
+func (e *mmEngine) leave(id int64) error {
+	if e.host == nil {
+		return errUnsupported
+	}
+	if id == 0 {
+		return errors.New("server: the primary cannot leave the cluster")
+	}
+	e.membership.Leave(id)
+	e.cursors.drop(id)
+	return nil
+}
+
+func (e *mmEngine) members() (int64, []wire.Member, error) {
+	if e.membership == nil {
+		return 0, nil, errUnsupported
+	}
+	epoch, members := e.membership.Snapshot()
+	return epoch, members, nil
+}
+
+func (e *mmEngine) snapshot() (int64, map[string]map[int64]string, error) {
+	if e.host == nil {
+		return 0, nil, errUnsupported
+	}
+	return e.cl.Snapshot(0)
+}
+
+func (e *mmEngine) touch(peer int64) {
+	if e.membership != nil {
+		e.membership.Touch(peer, time.Now())
+	}
+}
+
+func (e *mmEngine) installSnapshot(version int64, tables map[string]map[int64]string) error {
+	return e.cl.InstallSnapshot(0, version, tables)
+}
+
+func (e *mmEngine) selfLeave(id int64) error {
+	if e.link == nil {
+		return errUnsupported
+	}
+	return e.link.Leave(id)
 }
 
 // maybeGC prunes the certification log up to what every replica
@@ -407,6 +526,13 @@ func (e *mmEngine) run(stop <-chan struct{}) {
 			}
 			e.host.notify.waitBeyond(e.applied(), pollInterval, stop)
 			e.cl.Sync()
+			// Evict elastic members that stopped proving liveness — a
+			// joiner that crashed mid-state-transfer, or a replica
+			// that died without a Leave. Their ghost cursors would
+			// otherwise block certification-log GC forever.
+			for _, id := range e.membership.EvictStale(time.Now(), e.staleAfter) {
+				e.cursors.drop(id)
+			}
 		}
 	}
 	runPuller(stop, e.puller, e.applied, &e.lastSeen, func(recs []certifier.Record) {
@@ -557,6 +683,24 @@ func (e *smEngine) peerGone(peer int64) {
 		e.cursors.drop(peer)
 	}
 }
+
+// The single-master design keeps its boot-time membership: the master
+// is a stateful bottleneck the paper scales by buying a bigger
+// machine (§6.2.1), not by elastic joins. All membership operations
+// answer errUnsupported.
+func (e *smEngine) join(string) (*wire.JoinOK, error) { return nil, errUnsupported }
+func (e *smEngine) leave(int64) error                 { return errUnsupported }
+func (e *smEngine) members() (int64, []wire.Member, error) {
+	return 0, nil, errUnsupported
+}
+func (e *smEngine) snapshot() (int64, map[string]map[int64]string, error) {
+	return 0, nil, errUnsupported
+}
+func (e *smEngine) touch(int64) {}
+func (e *smEngine) installSnapshot(int64, map[string]map[int64]string) error {
+	return errUnsupported
+}
+func (e *smEngine) selfLeave(int64) error { return errUnsupported }
 
 func (e *smEngine) run(stop <-chan struct{}) {
 	if e.isMaster {

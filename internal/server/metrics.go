@@ -8,10 +8,13 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/wire"
 )
 
 // metrics holds the replica server's operational counters, exposed in
-// Prometheus text format on the optional metrics listener.
+// Prometheus text format on the optional metrics listener and as
+// cumulative counters over the wire (Stats), which is what the
+// elastic controller's live profiler consumes.
 type metrics struct {
 	design string
 	id     int
@@ -19,13 +22,28 @@ type metrics struct {
 	commits     atomic.Int64
 	aborts      atomic.Int64
 	activeConns atomic.Int64
+	activeTxns  atomic.Int64
 
 	certMu  sync.Mutex
 	certLat *stats.Latency
+
+	// Per-class client-visible transaction latency (Begin to commit
+	// acknowledgement), the live counterpart of the histograms
+	// repl.Drive keeps client-side. Counts double as per-class commit
+	// counters.
+	txnMu     sync.Mutex
+	readLat   *stats.Latency
+	updateLat *stats.Latency
 }
 
 func newMetrics(design string, id int) *metrics {
-	return &metrics{design: design, id: id, certLat: stats.NewLatency()}
+	return &metrics{
+		design:    design,
+		id:        id,
+		certLat:   stats.NewLatency(),
+		readLat:   stats.NewLatency(),
+		updateLat: stats.NewLatency(),
+	}
 }
 
 // observeCert records one certification round trip.
@@ -33,6 +51,35 @@ func (m *metrics) observeCert(d time.Duration) {
 	m.certMu.Lock()
 	m.certLat.Record(d)
 	m.certMu.Unlock()
+}
+
+// observeTxn records one committed transaction's serving latency.
+func (m *metrics) observeTxn(readOnly bool, d time.Duration) {
+	m.txnMu.Lock()
+	if readOnly {
+		m.readLat.Record(d)
+	} else {
+		m.updateLat.Record(d)
+	}
+	m.txnMu.Unlock()
+}
+
+// statsOK snapshots the cumulative counters for a wire Stats reply.
+func (m *metrics) statsOK(eng engine) *wire.StatsOK {
+	m.txnMu.Lock()
+	rc, rns := m.readLat.Count(), m.readLat.Sum()
+	uc, uns := m.updateLat.Count(), m.updateLat.Sum()
+	m.txnMu.Unlock()
+	return &wire.StatsOK{
+		ReadCommits:   rc,
+		UpdateCommits: uc,
+		Aborts:        m.aborts.Load(),
+		ReadNs:        rns,
+		UpdateNs:      uns,
+		Applied:       eng.applied(),
+		QueueDepth:    eng.queueDepth(),
+		ActiveTxns:    m.activeTxns.Load(),
+	}
 }
 
 // handler serves the /metrics endpoint; eng supplies the live applied
@@ -48,9 +95,14 @@ func (m *metrics) handler(eng engine) http.Handler {
 		fmt.Fprintf(w, "replicadb_commits %d\n", m.commits.Load())
 		fmt.Fprintf(w, "replicadb_aborts %d\n", m.aborts.Load())
 		fmt.Fprintf(w, "replicadb_active_connections %d\n", m.activeConns.Load())
+		fmt.Fprintf(w, "replicadb_active_transactions %d\n", m.activeTxns.Load())
 		fmt.Fprintf(w, "replicadb_applied_version %d\n", eng.applied())
 		fmt.Fprintf(w, "replicadb_writeset_queue_depth %d\n", eng.queueDepth())
 		fmt.Fprintf(w, "replicadb_retained_writesets %d\n", eng.logLen())
+		if epoch, members, err := eng.members(); err == nil {
+			fmt.Fprintf(w, "replicadb_membership_epoch %d\n", epoch)
+			fmt.Fprintf(w, "replicadb_members %d\n", len(members))
+		}
 		m.certMu.Lock()
 		count := m.certLat.Count()
 		q50, q95, q99 := m.certLat.Quantile(0.50), m.certLat.Quantile(0.95), m.certLat.Quantile(0.99)
@@ -61,5 +113,13 @@ func (m *metrics) handler(eng engine) http.Handler {
 		fmt.Fprintf(w, "replicadb_cert_latency_seconds{quantile=\"0.95\"} %g\n", q95.Seconds())
 		fmt.Fprintf(w, "replicadb_cert_latency_seconds{quantile=\"0.99\"} %g\n", q99.Seconds())
 		fmt.Fprintf(w, "replicadb_cert_latency_seconds_max %g\n", max.Seconds())
+		m.txnMu.Lock()
+		fmt.Fprintf(w, "replicadb_read_commits %d\n", m.readLat.Count())
+		fmt.Fprintf(w, "replicadb_update_commits %d\n", m.updateLat.Count())
+		fmt.Fprintf(w, "replicadb_read_latency_seconds{quantile=\"0.50\"} %g\n", m.readLat.Quantile(0.50).Seconds())
+		fmt.Fprintf(w, "replicadb_read_latency_seconds{quantile=\"0.99\"} %g\n", m.readLat.Quantile(0.99).Seconds())
+		fmt.Fprintf(w, "replicadb_update_latency_seconds{quantile=\"0.50\"} %g\n", m.updateLat.Quantile(0.50).Seconds())
+		fmt.Fprintf(w, "replicadb_update_latency_seconds{quantile=\"0.99\"} %g\n", m.updateLat.Quantile(0.99).Seconds())
+		m.txnMu.Unlock()
 	})
 }

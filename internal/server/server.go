@@ -19,10 +19,12 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/repl"
 	"repro/internal/sidb"
 	"repro/internal/wire"
@@ -45,11 +47,31 @@ type Options struct {
 	// MaxConns bounds concurrently served connections (default 256);
 	// the accept loop stalls at the bound rather than rejecting.
 	MaxConns int
-	// Replicas is the total replica count of the cluster. On the
+	// Replicas is the boot-time replica count of the cluster. On the
 	// primary it gates garbage collection of retained writesets: the
 	// log is pruned only once all Replicas-1 peers maintain active
 	// propagation cursors (0 disables pruning, retaining everything).
+	// Elastic joins and leaves adjust the expectation at runtime.
 	Replicas int
+	// Members optionally lists the boot-time replica addresses
+	// indexed by id. The primary publishes them (plus elastic
+	// joiners) through the Members message so clients can resize
+	// their pools; without it only elastically joined replicas are
+	// discoverable.
+	Members []string
+	// Join, on an mm non-primary, asks the primary to admit this node
+	// at startup: the primary assigns the replica id (ID is ignored),
+	// transfers a consistent snapshot, and the node catches up over
+	// the ordinary propagation path before serving.
+	Join bool
+	// StaleAfter is how long the primary waits before evicting an
+	// elastic member that stopped proving liveness (default 5s) — a
+	// joiner that crashed mid-state-transfer would otherwise block
+	// certification-log GC forever.
+	StaleAfter time.Duration
+	// DrainTimeout bounds how long Leave waits for in-flight
+	// transactions to finish before giving up on them (default 5s).
+	DrainTimeout time.Duration
 	// GCLag is how many versions below the cluster-wide applied
 	// horizon the primary retains anyway, protecting certification
 	// requests from transactions that began before the horizon moved
@@ -80,10 +102,11 @@ type Server struct {
 	httpLn  net.Listener
 	httpSrv *http.Server
 
-	sem    chan struct{}
-	stop   chan struct{}
-	wg     sync.WaitGroup
-	connID atomic.Int64
+	sem      chan struct{}
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	connID   atomic.Int64
+	draining atomic.Bool
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -91,7 +114,11 @@ type Server struct {
 }
 
 // New validates the options, binds the listener(s) and builds the
-// node engine. The server does not accept traffic until Start.
+// node engine. A Join server additionally runs the join protocol
+// against the primary (admission, snapshot transfer, catch-up
+// cursor), so a non-nil return means a replica that is consistent up
+// to its snapshot version and ready to serve once Start launches its
+// propagation loop. The server does not accept traffic until Start.
 func New(opts Options) (*Server, error) {
 	if opts.Design != "mm" && opts.Design != "sm" {
 		return nil, fmt.Errorf("server: unknown design %q (mm|sm)", opts.Design)
@@ -99,7 +126,15 @@ func New(opts Options) (*Server, error) {
 	if opts.ID < 0 {
 		return nil, fmt.Errorf("server: negative replica id %d", opts.ID)
 	}
-	if opts.ID > 0 && opts.Primary == "" {
+	if opts.Join {
+		if opts.Design != "mm" {
+			return nil, errors.New("server: elastic join requires the mm design")
+		}
+		if opts.Primary == "" {
+			return nil, errors.New("server: elastic join requires the primary's address")
+		}
+	}
+	if !opts.Join && opts.ID > 0 && opts.Primary == "" {
 		return nil, errors.New("server: replica id > 0 requires the primary's address")
 	}
 	if opts.Listen == "" {
@@ -114,11 +149,32 @@ func New(opts Options) (*Server, error) {
 	if opts.IdleTimeout <= 0 {
 		opts.IdleTimeout = 5 * time.Minute
 	}
+	if opts.StaleAfter <= 0 {
+		opts.StaleAfter = 5 * time.Second
+	}
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = 5 * time.Second
+	}
+
+	// The listener binds before a join so the joiner can announce the
+	// address clients will reach it at (Listen may carry port 0).
+	ln, err := net.Listen("tcp", opts.Listen)
+	if err != nil {
+		return nil, err
+	}
+	var snapVersion int64
+	var snapTables map[string]map[int64]string
+	if opts.Join {
+		snapVersion, snapTables, err = runJoin(&opts, ln.Addr().String())
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
 
 	m := newMetrics(opts.Design, opts.ID)
 	stop := make(chan struct{})
 	var eng engine
-	var err error
 	switch opts.Design {
 	case "mm":
 		eng, err = newMMEngine(opts, m, stop)
@@ -126,14 +182,17 @@ func New(opts Options) (*Server, error) {
 		eng = newSMEngine(opts, stop)
 	}
 	if err != nil {
+		ln.Close()
 		return nil, err
+	}
+	if snapTables != nil {
+		if err := eng.installSnapshot(snapVersion, snapTables); err != nil {
+			ln.Close()
+			eng.close()
+			return nil, fmt.Errorf("server: installing snapshot: %w", err)
+		}
 	}
 
-	ln, err := net.Listen("tcp", opts.Listen)
-	if err != nil {
-		eng.close()
-		return nil, err
-	}
 	s := &Server{
 		opts:  opts,
 		ln:    ln,
@@ -153,6 +212,32 @@ func New(opts Options) (*Server, error) {
 		s.httpSrv = &http.Server{Handler: m.handler(eng)}
 	}
 	return s, nil
+}
+
+// runJoin performs the client half of the join protocol: admission
+// (which assigns the replica id and blocks certification-log GC until
+// this node starts pulling) followed by the chunked snapshot
+// transfer. The ordering matters — because admission precedes the
+// snapshot, every writeset certified after the snapshot version is
+// still retained when the propagation loop starts fetching from it.
+// The snapshot link announces the assigned id, so chunk requests
+// count as liveness proof and a transfer longer than StaleAfter does
+// not get the joiner evicted as stale.
+func runJoin(opts *Options, selfAddr string) (int64, map[string]map[int64]string, error) {
+	admit := client.NewLink(opts.Primary, opts.Design, -1, opts.DialTimeout)
+	jo, err := admit.Join(selfAddr)
+	admit.Close()
+	if err != nil {
+		return 0, nil, fmt.Errorf("server: join rejected by primary: %w", err)
+	}
+	opts.ID = int(jo.ID)
+	snapLink := client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
+	defer snapLink.Close()
+	version, tables, err := snapLink.Snapshot()
+	if err != nil {
+		return 0, nil, fmt.Errorf("server: snapshot transfer: %w", err)
+	}
+	return version, tables, nil
 }
 
 // Addr returns the bound listen address (useful with port 0).
@@ -186,6 +271,41 @@ func (s *Server) Start() {
 			_ = s.httpSrv.Serve(s.httpLn)
 		}()
 	}
+}
+
+// Leave gracefully departs the cluster: new transactions are refused
+// with CodeDraining (clients reroute to surviving replicas),
+// in-flight transactions get up to DrainTimeout to finish, and the
+// node deregisters from the primary so its propagation cursor stops
+// gating certification-log GC and clients drop it from their pools.
+// Call Close afterwards to release the process state. Leave is
+// idempotent; it returns an error if the deregistration failed or the
+// drain timed out (remaining transactions are then aborted by Close).
+func (s *Server) Leave() error {
+	if s.draining.Swap(true) {
+		return nil
+	}
+	// Deregister first: routing stops cluster-wide as soon as clients
+	// observe the epoch bump, while the draining flag already refuses
+	// anything that races in over existing connections.
+	var err error
+	if s.opts.ID == 0 {
+		err = errors.New("server: the primary cannot leave the cluster")
+	} else {
+		err = s.eng.selfLeave(int64(s.opts.ID))
+	}
+	deadline := time.Now().Add(s.opts.DrainTimeout)
+	for s.m.activeTxns.Load() > 0 {
+		if time.Now().After(deadline) {
+			drainErr := fmt.Errorf("server: drain timed out with %d transactions in flight", s.m.activeTxns.Load())
+			if err == nil {
+				err = drainErr
+			}
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return err
 }
 
 // Close shuts the server down gracefully and joins every goroutine.
@@ -267,6 +387,61 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// connState is one connection's serving state: its negotiated
+// protocol version, its cursor key, its single open transaction, and
+// an in-progress snapshot stream.
+type connState struct {
+	peer     int64
+	proto    uint32
+	cur      repl.Txn
+	readOnly bool
+	txStart  time.Time
+	snap     *snapshotStream
+}
+
+// snapshotStream is a pinned snapshot being streamed in chunks over
+// one connection. The whole state was captured consistently at
+// Version; chunking only bounds frame sizes.
+type snapshotStream struct {
+	version int64
+	tables  []wire.TableSnap // remaining contents, consumed front to back
+}
+
+// snapshotChunkBytes bounds the approximate payload of one SnapshotOK
+// chunk, comfortably under wire.MaxFrame so join state transfer works
+// for databases of any size (a single row larger than the remaining
+// frame budget still goes out alone and is only limited by MaxFrame).
+const snapshotChunkBytes = 4 << 20
+
+// next builds the next chunk, removing what it takes. More is set
+// while contents remain.
+func (ss *snapshotStream) next() *wire.SnapshotOK {
+	reply := &wire.SnapshotOK{Version: ss.version}
+	budget := snapshotChunkBytes
+	for budget > 0 && len(ss.tables) > 0 {
+		t := &ss.tables[0]
+		take := 0
+		for take < len(t.Rows) && budget > 0 {
+			budget -= 16 + len(t.Values[take])
+			take++
+		}
+		reply.Tables = append(reply.Tables, wire.TableSnap{
+			Name:   t.Name,
+			Rows:   t.Rows[:take],
+			Values: t.Values[:take],
+		})
+		budget -= len(t.Name) + 8
+		if take == len(t.Rows) {
+			ss.tables = ss.tables[1:]
+		} else {
+			t.Rows = t.Rows[take:]
+			t.Values = t.Values[take:]
+		}
+	}
+	reply.More = len(ss.tables) > 0
+	return reply
+}
+
 // handleConn runs the versioned handshake, then serves one request at
 // a time; the connection owns at most one open transaction, which is
 // aborted if the connection dies.
@@ -282,12 +457,14 @@ func (s *Server) handleConn(nc net.Conn) {
 		_ = wc.Send(&wire.Err{Code: wire.CodeBadRequest, Msg: "expected Hello"})
 		return
 	}
-	if hello.Proto != wire.ProtoVersion {
+	proto, err := wire.Negotiate(hello.Proto)
+	if err != nil {
 		_ = wc.Send(&wire.Err{Code: wire.CodeBadRequest,
-			Msg: fmt.Sprintf("protocol version %d not supported (want %d)", hello.Proto, wire.ProtoVersion)})
+			Msg: fmt.Sprintf("protocol version %d not supported (want %d-%d)",
+				hello.Proto, wire.MinProto, wire.ProtoVersion)})
 		return
 	}
-	if err := wc.Send(&wire.HelloOK{Proto: wire.ProtoVersion, Design: s.opts.Design, ID: int64(s.opts.ID)}); err != nil {
+	if err := wc.Send(&wire.HelloOK{Proto: proto, Design: s.opts.Design, ID: int64(s.opts.ID)}); err != nil {
 		return
 	}
 
@@ -299,11 +476,12 @@ func (s *Server) handleConn(nc net.Conn) {
 	if peer < 0 {
 		peer = -s.connID.Add(1)
 	}
+	st := &connState{peer: peer, proto: proto}
 	defer s.eng.peerGone(peer)
-	var cur repl.Txn
 	defer func() {
-		if cur != nil {
-			cur.Abort()
+		if st.cur != nil {
+			st.cur.Abort()
+			s.m.activeTxns.Add(-1)
 		}
 	}()
 	for {
@@ -312,7 +490,7 @@ func (s *Server) handleConn(nc net.Conn) {
 		if err != nil {
 			return
 		}
-		reply := s.dispatch(peer, &cur, msg)
+		reply := s.dispatch(st, msg)
 		if err := wc.Send(reply); err != nil {
 			return
 		}
@@ -323,60 +501,76 @@ func (s *Server) handleConn(nc net.Conn) {
 // peer cannot park a connection goroutine for arbitrarily long.
 const maxFetchWait = 5 * time.Second
 
-// dispatch executes one request against the node engine and builds the
-// reply. peer is the connection's cursor key (the announced replica id
-// for peer links, a negative value for clients); cur is its open
-// transaction slot.
-func (s *Server) dispatch(peer int64, cur *repl.Txn, msg wire.Message) wire.Message {
+// dispatch executes one request against the node engine and builds
+// the reply. st carries the connection's negotiated protocol, cursor
+// key (the announced replica id for peer links, a negative value for
+// clients) and open transaction slot.
+func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
+	if need := wire.MinProtoFor(msgType(msg)); st.proto < need {
+		// A membership message on a connection negotiated down to v1:
+		// refuse with a structured error instead of dropping the
+		// connection, so mixed-version clusters fail requests, not
+		// links.
+		return &wire.Err{Code: wire.CodeProto,
+			Msg: fmt.Sprintf("message %T requires protocol %d, connection negotiated %d", msg, need, st.proto)}
+	}
 	switch m := msg.(type) {
 	case *wire.Begin:
-		if *cur != nil {
+		if st.cur != nil {
 			return &wire.Err{Code: wire.CodeBadRequest, Msg: "transaction already open on this connection"}
+		}
+		if s.draining.Load() {
+			return &wire.Err{Code: wire.CodeDraining, Msg: "replica is draining for departure"}
 		}
 		tx, err := s.eng.begin(m.ReadOnly)
 		if err != nil {
 			return errReply(err)
 		}
-		*cur = tx
+		st.cur = tx
+		st.readOnly = m.ReadOnly
+		st.txStart = time.Now()
+		s.m.activeTxns.Add(1)
 		return &wire.BeginOK{Applied: s.eng.applied()}
 
 	case *wire.Read:
-		if *cur == nil {
+		if st.cur == nil {
 			return noTxn()
 		}
-		value, ok, err := (*cur).Read(m.Table, m.Row)
+		value, ok, err := st.cur.Read(m.Table, m.Row)
 		if err != nil {
 			return errReply(err)
 		}
 		return &wire.ReadOK{OK: ok, Value: value}
 
 	case *wire.Write:
-		if *cur == nil {
+		if st.cur == nil {
 			return noTxn()
 		}
-		if err := (*cur).Write(m.Table, m.Row, m.Value); err != nil {
+		if err := st.cur.Write(m.Table, m.Row, m.Value); err != nil {
 			return errReply(err)
 		}
 		return &wire.WriteOK{}
 
 	case *wire.Delete:
-		if *cur == nil {
+		if st.cur == nil {
 			return noTxn()
 		}
-		if err := (*cur).Delete(m.Table, m.Row); err != nil {
+		if err := st.cur.Delete(m.Table, m.Row); err != nil {
 			return errReply(err)
 		}
 		return &wire.WriteOK{}
 
 	case *wire.Commit:
-		if *cur == nil {
+		if st.cur == nil {
 			return noTxn()
 		}
-		err := (*cur).Commit()
-		*cur = nil
+		err := st.cur.Commit()
+		st.cur = nil
+		s.m.activeTxns.Add(-1)
 		switch {
 		case err == nil:
 			s.m.commits.Add(1)
+			s.m.observeTxn(st.readOnly, time.Since(st.txStart))
 			return &wire.CommitOK{Applied: s.eng.applied()}
 		case errors.Is(err, repl.ErrAborted):
 			s.m.aborts.Add(1)
@@ -386,9 +580,10 @@ func (s *Server) dispatch(peer int64, cur *repl.Txn, msg wire.Message) wire.Mess
 		}
 
 	case *wire.Abort:
-		if *cur != nil {
-			(*cur).Abort()
-			*cur = nil
+		if st.cur != nil {
+			st.cur.Abort()
+			st.cur = nil
+			s.m.activeTxns.Add(-1)
 		}
 		return &wire.AbortOK{}
 
@@ -439,7 +634,7 @@ func (s *Server) dispatch(peer int64, cur *repl.Txn, msg wire.Message) wire.Mess
 		if wait > maxFetchWait {
 			wait = maxFetchWait
 		}
-		recs, err := s.eng.fetchSince(peer, m.Version, wait)
+		recs, err := s.eng.fetchSince(st.peer, m.Version, wait)
 		if err != nil {
 			return errReply(err)
 		}
@@ -449,8 +644,79 @@ func (s *Server) dispatch(peer int64, cur *repl.Txn, msg wire.Message) wire.Mess
 		}
 		return reply
 
+	case *wire.Join:
+		jo, err := s.eng.join(m.Addr)
+		if err != nil {
+			return errReply(err)
+		}
+		return jo
+
+	case *wire.Leave:
+		if err := s.eng.leave(m.ID); err != nil {
+			return errReply(err)
+		}
+		return &wire.LeaveOK{}
+
+	case *wire.Members:
+		epoch, members, err := s.eng.members()
+		if err != nil {
+			return errReply(err)
+		}
+		return &wire.MembersOK{Epoch: epoch, Members: members}
+
+	case *wire.SnapshotReq:
+		s.eng.touch(st.peer) // a chunk request is liveness proof mid-transfer
+		if st.snap == nil {
+			version, tables, err := s.eng.snapshot()
+			if err != nil {
+				return errReply(err)
+			}
+			stream := &snapshotStream{version: version}
+			names := make([]string, 0, len(tables))
+			for name := range tables {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				rows := tables[name]
+				ts := wire.TableSnap{Name: name, Rows: make([]int64, 0, len(rows)), Values: make([]string, 0, len(rows))}
+				for r, v := range rows {
+					ts.Rows = append(ts.Rows, r)
+					ts.Values = append(ts.Values, v)
+				}
+				stream.tables = append(stream.tables, ts)
+			}
+			st.snap = stream
+		}
+		reply := st.snap.next()
+		if !reply.More {
+			st.snap = nil
+		}
+		return reply
+
+	case *wire.Stats:
+		return s.m.statsOK(s.eng)
+
 	default:
 		return &wire.Err{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("unexpected message %T", msg)}
+	}
+}
+
+// msgType extracts a message's type byte for protocol gating.
+func msgType(m wire.Message) wire.MsgType {
+	switch m.(type) {
+	case *wire.Join:
+		return wire.TJoin
+	case *wire.Leave:
+		return wire.TLeave
+	case *wire.SnapshotReq:
+		return wire.TSnapshotReq
+	case *wire.Members:
+		return wire.TMembers
+	case *wire.Stats:
+		return wire.TStats
+	default:
+		return 0 // v1 message: no gating needed
 	}
 }
 

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestSnapshotStreamChunking drives the chunker over contents larger
+// than one chunk budget: every row must come out exactly once, tables
+// may span chunks, empty tables still transfer (schema), and More is
+// set on every chunk but the last.
+func TestSnapshotStreamChunking(t *testing.T) {
+	const rows = 3000
+	value := strings.Repeat("v", 4096) // ~12MB total: 3+ chunks
+	big := wire.TableSnap{Name: "big"}
+	for r := int64(0); r < rows; r++ {
+		big.Rows = append(big.Rows, r)
+		big.Values = append(big.Values, value)
+	}
+	ss := &snapshotStream{version: 42, tables: []wire.TableSnap{
+		{Name: "aempty"},
+		big,
+		{Name: "small", Rows: []int64{1}, Values: []string{"x"}},
+	}}
+
+	got := make(map[string]map[int64]string)
+	chunks := 0
+	for {
+		chunk := ss.next()
+		chunks++
+		if chunk.Version != 42 {
+			t.Fatalf("chunk version = %d", chunk.Version)
+		}
+		for _, ts := range chunk.Tables {
+			m := got[ts.Name]
+			if m == nil {
+				m = make(map[int64]string)
+				got[ts.Name] = m
+			}
+			for i, r := range ts.Rows {
+				if _, dup := m[r]; dup {
+					t.Fatalf("row %d of %q sent twice", r, ts.Name)
+				}
+				m[r] = ts.Values[i]
+			}
+		}
+		if !chunk.More {
+			break
+		}
+		if chunks > 100 {
+			t.Fatal("stream never terminated")
+		}
+	}
+	if chunks < 3 {
+		t.Fatalf("12MB of state fit in %d chunk(s); chunking is not happening", chunks)
+	}
+	if len(got) != 3 {
+		t.Fatalf("tables transferred: %v", len(got))
+	}
+	if _, ok := got["aempty"]; !ok {
+		t.Fatal("empty table (schema) not transferred")
+	}
+	if len(got["big"]) != rows || got["small"][1] != "x" {
+		t.Fatalf("contents incomplete: big=%d small=%v", len(got["big"]), got["small"])
+	}
+	// A drained stream keeps answering empty final chunks harmlessly.
+	if extra := ss.next(); extra.More || len(extra.Tables) != 0 {
+		t.Fatalf("drained stream produced %+v", extra)
+	}
+}

@@ -92,6 +92,11 @@ func (l *Latency) Record(d time.Duration) {
 // Count returns the number of observations.
 func (l *Latency) Count() int64 { return l.count }
 
+// Sum returns the exact sum of all observations in nanoseconds. The
+// live profiler differences cumulative (Count, Sum) pairs between
+// samples to get windowed means without resetting the histogram.
+func (l *Latency) Sum() int64 { return l.sum }
+
 // Mean returns the arithmetic mean, or 0 with no observations.
 func (l *Latency) Mean() time.Duration {
 	if l.count == 0 {

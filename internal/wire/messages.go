@@ -37,6 +37,19 @@ const (
 	TCheckOK       MsgType = 27
 	TFetchSince    MsgType = 28
 	TRecords       MsgType = 29
+
+	// Protocol version 2: elastic membership (online join/leave,
+	// snapshot transfer, membership discovery, live stats).
+	TJoin        MsgType = 30
+	TJoinOK      MsgType = 31
+	TLeave       MsgType = 32
+	TLeaveOK     MsgType = 33
+	TSnapshotReq MsgType = 34
+	TSnapshotOK  MsgType = 35
+	TMembers     MsgType = 36
+	TMembersOK   MsgType = 37
+	TStats       MsgType = 38
+	TStatsOK     MsgType = 39
 )
 
 // Error codes carried by Err.
@@ -46,6 +59,8 @@ const (
 	CodeReadOnly    uint8 = 3 // write through a read-only transaction
 	CodeUnsupported uint8 = 4 // operation this node does not serve
 	CodeNoTable     uint8 = 5 // unknown table
+	CodeDraining    uint8 = 6 // replica is leaving; reroute and retry elsewhere
+	CodeProto       uint8 = 7 // message requires a newer negotiated protocol
 )
 
 // Message is one protocol message; concrete types below implement it.
@@ -116,6 +131,26 @@ func newMessage(t MsgType) Message {
 		return &FetchSince{}
 	case TRecords:
 		return &Records{}
+	case TJoin:
+		return &Join{}
+	case TJoinOK:
+		return &JoinOK{}
+	case TLeave:
+		return &Leave{}
+	case TLeaveOK:
+		return &LeaveOK{}
+	case TSnapshotReq:
+		return &SnapshotReq{}
+	case TSnapshotOK:
+		return &SnapshotOK{}
+	case TMembers:
+		return &Members{}
+	case TMembersOK:
+		return &MembersOK{}
+	case TStats:
+		return &Stats{}
+	case TStatsOK:
+		return &StatsOK{}
 	default:
 		return nil
 	}
@@ -557,4 +592,248 @@ func (m *Records) decode(d *decoder) {
 		r.WS = decodeWriteset(d)
 		m.Recs = append(m.Recs, r)
 	}
+}
+
+// Member is one cluster member as published by the primary: the
+// replica id and the address its server listens on.
+type Member struct {
+	ID   int64
+	Addr string
+}
+
+func appendMembers(b []byte, members []Member) []byte {
+	b = appendUvarint(b, uint64(len(members)))
+	for _, m := range members {
+		b = appendVarint(b, m.ID)
+		b = appendString(b, m.Addr)
+	}
+	return b
+}
+
+func decodeMembers(d *decoder) []Member {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail()
+		return nil
+	}
+	out := make([]Member, 0, prealloc(n))
+	for i := uint64(0); i < n; i++ {
+		var m Member
+		m.ID = d.varint()
+		m.Addr = d.str()
+		out = append(out, m)
+	}
+	return out
+}
+
+// Join asks the primary to admit a new replica into the cluster
+// (protocol v2). Addr is the address the joiner's own server listens
+// on, which the primary publishes to clients via Members. The primary
+// assigns the replica id, registers a propagation cursor expectation
+// (blocking certification-log GC until the joiner starts pulling) and
+// bumps the membership epoch.
+type Join struct {
+	Addr string
+}
+
+func (*Join) msgType() MsgType         { return TJoin }
+func (m *Join) encode(b []byte) []byte { return appendString(b, m.Addr) }
+func (m *Join) decode(d *decoder)      { m.Addr = d.str() }
+
+// JoinOK admits the joiner: its assigned replica id, the membership
+// epoch after admission, and the current member list (joiner
+// included).
+type JoinOK struct {
+	ID      int64
+	Epoch   int64
+	Members []Member
+}
+
+func (*JoinOK) msgType() MsgType { return TJoinOK }
+func (m *JoinOK) encode(b []byte) []byte {
+	b = appendVarint(b, m.ID)
+	b = appendVarint(b, m.Epoch)
+	return appendMembers(b, m.Members)
+}
+func (m *JoinOK) decode(d *decoder) {
+	m.ID = d.varint()
+	m.Epoch = d.varint()
+	m.Members = decodeMembers(d)
+}
+
+// Leave deregisters replica ID from the cluster (protocol v2): its
+// propagation cursor stops gating certification-log GC and clients
+// learn the departure through the next Members poll.
+type Leave struct {
+	ID int64
+}
+
+func (*Leave) msgType() MsgType         { return TLeave }
+func (m *Leave) encode(b []byte) []byte { return appendVarint(b, m.ID) }
+func (m *Leave) decode(d *decoder)      { m.ID = d.varint() }
+
+// LeaveOK acknowledges Leave.
+type LeaveOK struct{}
+
+func (*LeaveOK) msgType() MsgType         { return TLeaveOK }
+func (m *LeaveOK) encode(b []byte) []byte { return b }
+func (m *LeaveOK) decode(*decoder)        {}
+
+// SnapshotReq asks the primary for a consistent full-state snapshot
+// (protocol v2): every table's contents at one applied version. The
+// snapshot streams as a sequence of SnapshotOK chunks over ONE
+// connection — the server pins the whole snapshot on the first
+// request and each further SnapshotReq on the same connection fetches
+// the next chunk until More is false. The joiner installs the merged
+// chunks, then catches up from Version via FetchSince — the
+// state-transfer half of the join protocol.
+type SnapshotReq struct{}
+
+func (*SnapshotReq) msgType() MsgType         { return TSnapshotReq }
+func (m *SnapshotReq) encode(b []byte) []byte { return b }
+func (m *SnapshotReq) decode(*decoder)        {}
+
+// TableSnap is one table's full contents inside a snapshot.
+type TableSnap struct {
+	Name   string
+	Rows   []int64
+	Values []string
+}
+
+// SnapshotOK carries one chunk of the snapshot: the applied version
+// the whole snapshot is consistent at, a run of table contents (a
+// large table may span several chunks under the same Name), and
+// whether more chunks follow. Writesets certified after Version are
+// NOT included; the joiner fetches them with FetchSince(Version).
+type SnapshotOK struct {
+	Version int64
+	More    bool
+	Tables  []TableSnap
+}
+
+func (*SnapshotOK) msgType() MsgType { return TSnapshotOK }
+func (m *SnapshotOK) encode(b []byte) []byte {
+	b = appendVarint(b, m.Version)
+	b = appendBool(b, m.More)
+	b = appendUvarint(b, uint64(len(m.Tables)))
+	for _, t := range m.Tables {
+		b = appendString(b, t.Name)
+		b = appendUvarint(b, uint64(len(t.Rows)))
+		for i, r := range t.Rows {
+			b = appendVarint(b, r)
+			b = appendString(b, t.Values[i])
+		}
+	}
+	return b
+}
+func (m *SnapshotOK) decode(d *decoder) {
+	m.Version = d.varint()
+	m.More = d.bool()
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail()
+		return
+	}
+	m.Tables = make([]TableSnap, 0, prealloc(n))
+	for i := uint64(0); i < n; i++ {
+		var t TableSnap
+		t.Name = d.str()
+		rows := d.uvarint()
+		if d.err != nil {
+			return
+		}
+		if rows > uint64(len(d.b)-d.off) {
+			d.fail()
+			return
+		}
+		if rows > 0 {
+			t.Rows = make([]int64, 0, prealloc(rows))
+			t.Values = make([]string, 0, prealloc(rows))
+		}
+		for j := uint64(0); j < rows; j++ {
+			t.Rows = append(t.Rows, d.varint())
+			t.Values = append(t.Values, d.str())
+		}
+		m.Tables = append(m.Tables, t)
+	}
+}
+
+// Members asks the primary for the current membership (protocol v2).
+// Clients poll it to resize their connection pools when replicas join
+// or leave; the epoch lets them skip unchanged replies cheaply.
+type Members struct{}
+
+func (*Members) msgType() MsgType         { return TMembers }
+func (m *Members) encode(b []byte) []byte { return b }
+func (m *Members) decode(*decoder)        {}
+
+// MembersOK is the current membership and its epoch (bumped on every
+// join or leave).
+type MembersOK struct {
+	Epoch   int64
+	Members []Member
+}
+
+func (*MembersOK) msgType() MsgType { return TMembersOK }
+func (m *MembersOK) encode(b []byte) []byte {
+	b = appendVarint(b, m.Epoch)
+	return appendMembers(b, m.Members)
+}
+func (m *MembersOK) decode(d *decoder) {
+	m.Epoch = d.varint()
+	m.Members = decodeMembers(d)
+}
+
+// Stats asks a replica for its cumulative serving counters (protocol
+// v2). The elastic controller polls these and differences successive
+// samples into a live workload profile.
+type Stats struct{}
+
+func (*Stats) msgType() MsgType         { return TStats }
+func (m *Stats) encode(b []byte) []byte { return b }
+func (m *Stats) decode(*decoder)        {}
+
+// StatsOK carries one replica's cumulative counters: per-class commit
+// counts and summed client-visible latencies (nanoseconds), abort
+// count, the applied version and the propagation queue depth.
+type StatsOK struct {
+	ReadCommits   int64
+	UpdateCommits int64
+	Aborts        int64
+	ReadNs        int64
+	UpdateNs      int64
+	Applied       int64
+	QueueDepth    int64
+	ActiveTxns    int64
+}
+
+func (*StatsOK) msgType() MsgType { return TStatsOK }
+func (m *StatsOK) encode(b []byte) []byte {
+	b = appendVarint(b, m.ReadCommits)
+	b = appendVarint(b, m.UpdateCommits)
+	b = appendVarint(b, m.Aborts)
+	b = appendVarint(b, m.ReadNs)
+	b = appendVarint(b, m.UpdateNs)
+	b = appendVarint(b, m.Applied)
+	b = appendVarint(b, m.QueueDepth)
+	return appendVarint(b, m.ActiveTxns)
+}
+func (m *StatsOK) decode(d *decoder) {
+	m.ReadCommits = d.varint()
+	m.UpdateCommits = d.varint()
+	m.Aborts = d.varint()
+	m.ReadNs = d.varint()
+	m.UpdateNs = d.varint()
+	m.Applied = d.varint()
+	m.QueueDepth = d.varint()
+	m.ActiveTxns = d.varint()
 }

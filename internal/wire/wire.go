@@ -28,14 +28,51 @@ import (
 )
 
 const (
-	// ProtoVersion is the protocol spoken by this build. Hello
-	// exchanges it; mismatches are rejected during the handshake.
-	ProtoVersion = 1
+	// ProtoVersion is the newest protocol spoken by this build. Hello
+	// exchanges it; the server negotiates down to the client's version
+	// as long as it is at least MinProto. Version 2 added the elastic
+	// membership messages (Join/Leave/Snapshot/Members/Stats).
+	ProtoVersion = 2
+
+	// MinProto is the oldest protocol version this build still
+	// accepts. A v1 peer can run the full transaction, load and
+	// propagation surface; only the membership messages are refused
+	// (with a structured Err), so mixed-version clusters degrade
+	// cleanly instead of hanging.
+	MinProto = 1
 
 	// MaxFrame bounds one frame (type byte + payload) to keep a
 	// misbehaving peer from forcing unbounded allocation.
 	MaxFrame = 16 << 20
 )
+
+// Negotiate returns the protocol version a server speaking
+// [MinProto, ProtoVersion] should use with a client that announced
+// clientProto, or an error when no common version exists. The result
+// is min(clientProto, ProtoVersion).
+func Negotiate(clientProto uint32) (uint32, error) {
+	if clientProto < MinProto {
+		return 0, fmt.Errorf("%w: peer speaks %d, need at least %d",
+			ErrVersionMismatch, clientProto, MinProto)
+	}
+	if clientProto > ProtoVersion {
+		return ProtoVersion, nil
+	}
+	return clientProto, nil
+}
+
+// MinProtoFor returns the protocol version a message type requires.
+// The membership messages of the elastic subsystem need version 2;
+// everything else is part of the version-1 surface.
+func MinProtoFor(t MsgType) uint32 {
+	switch t {
+	case TJoin, TJoinOK, TLeave, TLeaveOK, TSnapshotReq, TSnapshotOK,
+		TMembers, TMembersOK, TStats, TStatsOK:
+		return 2
+	default:
+		return 1
+	}
+}
 
 // magic opens every Hello payload.
 var magic = [4]byte{'R', 'D', 'B', '1'}

@@ -91,6 +91,21 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&CheckOK{Conflict: true, With: 4},
 		&FetchSince{Version: 9, WaitMillis: 250},
 		&Records{Recs: []Record{{Version: 10, WS: ws}, {Version: 11}}},
+		&Join{Addr: "127.0.0.1:7003"},
+		&JoinOK{ID: 3, Epoch: 5, Members: []Member{{ID: 0, Addr: "a:1"}, {ID: 3, Addr: "b:2"}}},
+		&Leave{ID: 3},
+		&LeaveOK{},
+		&SnapshotReq{},
+		&SnapshotOK{Version: 40, More: true, Tables: []TableSnap{
+			{Name: "item", Rows: []int64{0, 1, 5}, Values: []string{"a", "", "c"}},
+			{Name: "empty"},
+		}},
+		&SnapshotOK{Version: 41},
+		&Members{},
+		&MembersOK{Epoch: 9, Members: []Member{{ID: 0, Addr: "a:1"}}},
+		&Stats{},
+		&StatsOK{ReadCommits: 10, UpdateCommits: 4, Aborts: 1, ReadNs: 1e9,
+			UpdateNs: 5e8, Applied: 44, QueueDepth: 2, ActiveTxns: 3},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -237,6 +252,42 @@ func TestSendRejectsOversizedFrame(t *testing.T) {
 	big := &Load{Table: "t", Values: []string{string(make([]byte, MaxFrame))}}
 	if err := c.Send(big); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		client uint32
+		want   uint32
+		ok     bool
+	}{
+		{MinProto, MinProto, true},
+		{ProtoVersion, ProtoVersion, true},
+		{ProtoVersion + 5, ProtoVersion, true}, // future client: serve our newest
+		{0, 0, false},                          // below MinProto: no common version
+	}
+	for _, tc := range cases {
+		got, err := Negotiate(tc.client)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Fatalf("Negotiate(%d) = %d, %v; want %d", tc.client, got, err, tc.want)
+		}
+		if !tc.ok && !errors.Is(err, ErrVersionMismatch) {
+			t.Fatalf("Negotiate(%d) err = %v, want ErrVersionMismatch", tc.client, err)
+		}
+	}
+}
+
+func TestMinProtoFor(t *testing.T) {
+	for _, tt := range []MsgType{TJoin, TJoinOK, TLeave, TLeaveOK, TSnapshotReq,
+		TSnapshotOK, TMembers, TMembersOK, TStats, TStatsOK} {
+		if MinProtoFor(tt) != 2 {
+			t.Fatalf("membership message %d should require protocol 2", tt)
+		}
+	}
+	for _, tt := range []MsgType{THello, TBegin, TCommit, TCertify, TFetchSince} {
+		if MinProtoFor(tt) != 1 {
+			t.Fatalf("v1 message %d should require protocol 1", tt)
+		}
 	}
 }
 
