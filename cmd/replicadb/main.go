@@ -224,6 +224,8 @@ func serveMain(args []string) {
 		metrics = fs.String("metrics", "", "optional HTTP /metrics listen address")
 		batch   = fs.Bool("groupcommit", false, "batch commit certification on the certifier host (mm, id 0)")
 		eager   = fs.Bool("eager", false, "eager certification on writes (mm; remote probe per write on non-primary nodes)")
+		walDir  = fs.String("wal-dir", "", "durable commits: write-ahead log directory (replayed on start; a restarted replica resumes via FetchSince)")
+		fsync   = fs.Bool("fsync", false, "fsync WAL commits (group commit) before acknowledging; requires -wal-dir")
 
 		autoscale = fs.Bool("autoscale", false, "run the MVA autoscaler on this primary (mm, id 0): spawn/retire loopback replicas to track the live load")
 		minRep    = fs.Int("min", 1, "autoscaler: minimum replica count")
@@ -273,6 +275,9 @@ func serveMain(args []string) {
 	if *autoscale && *maxRep < len(peerList) {
 		usageExit(fs, "-max %d below the %d statically configured replicas (they are never scaled away)", *maxRep, len(peerList))
 	}
+	if *fsync && *walDir == "" {
+		usageExit(fs, "-fsync requires -wal-dir")
+	}
 	baseMix := mustMix(fs, *profMix)
 
 	opts := server.Options{
@@ -284,6 +289,8 @@ func serveMain(args []string) {
 		EagerCert:   *eager,
 		Replicas:    len(peerList),
 		Members:     peerList,
+		WALDir:      *walDir,
+		Fsync:       *fsync,
 	}
 	if *join != "" {
 		opts.Join = true
@@ -306,6 +313,9 @@ func serveMain(args []string) {
 		role = "master"
 	}
 	fmt.Printf("replicadb: serving %s %s on %s\n", *design, role, srv.Addr())
+	if v, ok := srv.Resumed(); ok {
+		fmt.Printf("replicadb: resumed from WAL at version %d (catching up via FetchSince)\n", v)
+	}
 	if addr := srv.MetricsAddr(); addr != "" {
 		fmt.Printf("replicadb: metrics on http://%s/metrics\n", addr)
 	}

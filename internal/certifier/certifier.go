@@ -64,6 +64,19 @@ type Result struct {
 	Err     error
 }
 
+// Journal is the durability hook a write-ahead log implements: Append
+// stages freshly certified records (called under the certification
+// lock, so the journal receives them in version order — the property
+// recovery's dense-prefix guarantee rests on) and returns a sequence
+// token; Sync blocks until everything staged at or before the token is
+// durable. Sync is called outside the lock, which is what lets one
+// fsync group-commit every certification that raced into the same
+// window.
+type Journal interface {
+	Append(recs []Record) (seq int64, err error)
+	Sync(seq int64) error
+}
+
 // Certifier orders and certifies update transactions. It is safe for
 // concurrent use; certification requests serialize, which is what
 // makes the decision deterministic.
@@ -78,6 +91,17 @@ type Certifier struct {
 	// Paxos group before a commit is acknowledged.
 	proposer *paxos.Proposer
 
+	// journal (optional): certified records are staged under mu and
+	// synced before the commit is acknowledged. durable is the newest
+	// version whose journal sync has completed: records above it exist
+	// in memory but are withheld from Since, so a peer can never
+	// replicate a commit that a power loss could still erase here —
+	// the version would be reassigned on recovery and the peer, having
+	// already applied the old record at that version, would silently
+	// skip the new one forever.
+	journal Journal
+	durable int64
+
 	commits int64
 	aborts  int64
 }
@@ -86,6 +110,70 @@ type Certifier struct {
 // single-master design (which needs none).
 func New() *Certifier {
 	return &Certifier{index: make(map[writeset.Key]int64)}
+}
+
+// SetJournal attaches the durability journal: from now on every
+// certified record is staged in j (in version order, under the
+// certification lock) and synced before Certify or CertifyBatch
+// acknowledges the commit. Attach before serving traffic, and only to
+// an unreplicated certifier — a Paxos-replicated log is its own
+// persistence mechanism, and stacking a journal on top would open a
+// window (propose succeeded, journal failed) in which a version
+// already durable at the acceptors is abandoned and later reused.
+func (c *Certifier) SetJournal(j Journal) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.proposer != nil {
+		panic("certifier: SetJournal on a Paxos-replicated certifier")
+	}
+	c.journal = j
+	c.durable = c.version // recovered history is durable by definition
+}
+
+// markDurable publishes versions up to v as journal-durable. Journal
+// appends happen in version order and an fsync covers every byte
+// written before it, so a completed sync for v implies all versions
+// at or below v are durable too.
+func (c *Certifier) markDurable(v int64) {
+	c.mu.Lock()
+	if v > c.durable {
+		c.durable = v
+	}
+	c.mu.Unlock()
+}
+
+// NewFromRecords rebuilds a certifier from an already-recovered record
+// sequence — the WAL replay path, the journaled twin of Recover. base
+// is the version the recovered history starts from (the compaction
+// snapshot version); it becomes the pruning horizon, so the restarted
+// certifier rejects snapshots predating its retained log exactly like
+// one that GC'd to the same point.
+func NewFromRecords(recs []Record, base int64) *Certifier {
+	c := New()
+	c.records = append(c.records, recs...)
+	sort.Slice(c.records, func(i, j int) bool { return c.records[i].Version < c.records[j].Version })
+	for _, rec := range c.records {
+		for _, e := range rec.Writeset.Entries {
+			c.index[e.Key] = rec.Version
+		}
+		if rec.Version > c.version {
+			c.version = rec.Version
+		}
+		c.commits++
+	}
+	c.lowWater = base
+	if c.version < base {
+		c.version = base
+	}
+	return c
+}
+
+// LowWater returns the pruning horizon: all versions at or below it
+// have been garbage-collected (or compacted away before recovery).
+func (c *Certifier) LowWater() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lowWater
 }
 
 // NewReplicated creates a certifier whose log is replicated across
@@ -183,14 +271,18 @@ func (c *Certifier) applyLocked(rec Record) {
 // global version and persisting the writeset) or abort on conflict.
 // A snapshot older than the pruning horizon is an error: the certifier
 // can no longer certify against the full set of concurrent commits.
+// With a journal attached, a commit is acknowledged only after its
+// record is durable; journal staging happens under the lock (version
+// order) while the sync happens outside it (group commit).
 func (c *Certifier) Certify(snapshot int64, ws writeset.Writeset) (Outcome, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if err := c.admitLocked(snapshot, ws); err != nil {
+		c.mu.Unlock()
 		return Outcome{}, err
 	}
 	if conflict, with := c.conflictLocked(snapshot, ws); conflict {
 		c.aborts++
+		c.mu.Unlock()
 		return Outcome{Committed: false, ConflictWith: with}, nil
 	}
 	rec := Record{Version: c.version + 1, Writeset: ws}
@@ -198,13 +290,35 @@ func (c *Certifier) Certify(snapshot int64, ws writeset.Writeset) (Outcome, erro
 		// Persist through Paxos before acknowledging the commit.
 		val, err := encodeRecord(rec)
 		if err != nil {
+			c.mu.Unlock()
 			return Outcome{}, err
 		}
 		if _, err := c.proposer.Propose(val); err != nil {
+			c.mu.Unlock()
 			return Outcome{}, fmt.Errorf("certifier: replication failed: %w", err)
 		}
 	}
+	var seq int64
+	if c.journal != nil {
+		var err error
+		if seq, err = c.journal.Append([]Record{rec}); err != nil {
+			// Nothing applied, nothing durable: a clean refusal.
+			c.mu.Unlock()
+			return Outcome{}, fmt.Errorf("certifier: journal: %w", err)
+		}
+	}
 	c.applyLocked(rec)
+	c.mu.Unlock()
+	if c.journal != nil {
+		if err := c.journal.Sync(seq); err != nil {
+			// The record is certified in memory but its durability is
+			// unknown; withhold the acknowledgement. The durable
+			// watermark keeps it invisible to Since, so no peer can
+			// replicate it either.
+			return Outcome{}, fmt.Errorf("certifier: journal sync (commit outcome unknown): %w", err)
+		}
+		c.markDurable(rec.Version)
+	}
 	return Outcome{Committed: true, Version: rec.Version}, nil
 }
 
@@ -218,7 +332,6 @@ func (c *Certifier) Certify(snapshot int64, ws writeset.Writeset) (Outcome, erro
 // commit that was never made durable.
 func (c *Certifier) CertifyBatch(reqs []Request) ([]Result, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	results := make([]Result, len(reqs))
 	var staged []Record
 	overlay := make(map[writeset.Key]int64)
@@ -256,31 +369,57 @@ func (c *Certifier) CertifyBatch(reqs []Request) ([]Result, error) {
 	if len(staged) > 0 && c.proposer != nil {
 		val, err := encodeBatch(staged)
 		if err != nil {
+			c.mu.Unlock()
 			return nil, err
 		}
 		if _, err := c.proposer.Propose(val); err != nil {
+			c.mu.Unlock()
 			return nil, fmt.Errorf("certifier: replication failed: %w", err)
+		}
+	}
+	var seq int64
+	if len(staged) > 0 && c.journal != nil {
+		var err error
+		if seq, err = c.journal.Append(staged); err != nil {
+			// Nothing applied: the whole batch fails with no state
+			// change, exactly like a replication failure.
+			c.mu.Unlock()
+			return nil, fmt.Errorf("certifier: journal: %w", err)
 		}
 	}
 	for _, rec := range staged {
 		c.applyLocked(rec)
 	}
 	c.aborts += aborts
+	c.mu.Unlock()
+	if len(staged) > 0 && c.journal != nil {
+		if err := c.journal.Sync(seq); err != nil {
+			return nil, fmt.Errorf("certifier: journal sync (batch outcome unknown): %w", err)
+		}
+		c.markDurable(staged[len(staged)-1].Version)
+	}
 	return results, nil
 }
 
 // Since returns the committed records with versions strictly greater
 // than v, in version order — the update-propagation feed. Records are
-// sorted by version, so the suffix is located by binary search.
+// sorted by version, so the suffix is located by binary search. With
+// a journal attached, records whose sync has not completed are
+// withheld: propagation must never outrun durability.
 func (c *Certifier) Since(v int64) []Record {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	i := sort.Search(len(c.records), func(i int) bool { return c.records[i].Version > v })
-	if i == len(c.records) {
+	recs := c.records
+	if c.journal != nil {
+		end := sort.Search(len(recs), func(i int) bool { return recs[i].Version > c.durable })
+		recs = recs[:end]
+	}
+	i := sort.Search(len(recs), func(i int) bool { return recs[i].Version > v })
+	if i == len(recs) {
 		return nil
 	}
-	out := make([]Record, len(c.records)-i)
-	copy(out, c.records[i:])
+	out := make([]Record, len(recs)-i)
+	copy(out, recs[i:])
 	return out
 }
 

@@ -490,15 +490,18 @@ func (t *Txn) Delete(table string, row int64) error {
 }
 
 // Commit implements repl.Txn. A transport failure here surfaces as a
-// plain error, not ErrAborted: the commit may have certified before
-// the connection died, so a blind retry could double-apply.
+// typed repl.UnknownOutcomeError, not ErrAborted: the commit may have
+// certified (and, with durable replicas, persisted) before the
+// connection died, so a blind retry could double-apply. Drivers must
+// reconcile instead of retrying.
 func (t *Txn) Commit() error {
 	if t.done {
 		return errDone
 	}
 	reply, err := roundTrip(t.conn, &wire.Commit{})
 	if err != nil {
-		return t.fail(err)
+		t.fail(err)
+		return &repl.UnknownOutcomeError{Err: err}
 	}
 	switch m := reply.(type) {
 	case *wire.CommitOK:

@@ -1,0 +1,112 @@
+package mm
+
+import (
+	"testing"
+
+	"repro/internal/certifier"
+	"repro/internal/wal"
+)
+
+// TestDurableCommitsJournalBeforeAck: with Options.Durable every
+// certified writeset is in the journal by the time Commit returns, and
+// a restarted certifier rebuilt from that journal carries the full
+// log. Group commit batches the journal appends exactly as it batches
+// certification.
+func TestDurableCommitsJournalBeforeAck(t *testing.T) {
+	fs := wal.NewMemFS()
+	w, _, err := wal.Open(wal.Options{FS: fs, Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Options{
+		Replicas:    2,
+		GroupCommit: true,
+		Durable:     true,
+		Journal:     w,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load("t", 10, func(r int64) string { return "seed" }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		tx, err := c.BeginUpdate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Write("t", int64(i%10), "x"); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	c.Sync()
+	w.Close()
+
+	fs.PowerCycle(false) // power loss: only fsynced state survives
+	_, rec, err := wal.Open(wal.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := certifier.NewFromRecords(rec.Records, rec.Base)
+	if got, want := recovered.Version(), c.Certifier().Version(); got != want {
+		t.Fatalf("journal recovered version %d, live certifier %d", got, want)
+	}
+	if got, want := recovered.LogLen(), c.Certifier().LogLen(); got != want {
+		t.Fatalf("journal recovered %d records, live certifier %d", got, want)
+	}
+}
+
+// TestDurableRequiresJournal pins the option validation.
+func TestDurableRequiresJournal(t *testing.T) {
+	if _, err := New(Options{Replicas: 1, Durable: true}); err == nil {
+		t.Fatal("Durable without Journal accepted")
+	}
+}
+
+// TestDurableJournalFailureWithholdsAck: once the journal dies, update
+// commits must fail rather than acknowledge a non-durable commit;
+// read-only transactions are unaffected.
+func TestDurableJournalFailureWithholdsAck(t *testing.T) {
+	fs := wal.NewMemFS()
+	cfs := wal.NewCrashFS(fs, -1, 0)
+	w, _, err := wal.Open(wal.Options{FS: cfs, Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Options{Replicas: 1, Durable: true, Journal: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	w.Close() // the journal dies
+
+	tx, err := c.BeginUpdate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write("t", 1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit acknowledged with a dead journal")
+	}
+
+	ro, err := c.BeginRead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ro.Read("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatalf("read-only commit needs no journal: %v", err)
+	}
+}

@@ -76,6 +76,15 @@ type Options struct {
 	// already fetching; the trade is that the next transaction on the
 	// same replica may not yet see this commit (GSI allows that).
 	AsyncApply bool
+	// Durable journals every certified writeset through Journal before
+	// the commit is acknowledged (default off, preserving the purely
+	// in-memory behavior). Group commit composes: a batch is staged as
+	// one journal append and one sync. Ignored when Cert injects an
+	// external certification service — the remote host owns durability.
+	Durable bool
+	// Journal is the write-ahead log Durable commits flow through
+	// (typically a *wal.WAL); required when Durable is set.
+	Journal certifier.Journal
 }
 
 // replica is one database node plus its proxy state.
@@ -113,6 +122,17 @@ func New(opts Options) (*Cluster, error) {
 	if opts.Replicas < 1 {
 		return nil, fmt.Errorf("mm: %d replicas", opts.Replicas)
 	}
+	if opts.Durable && opts.Journal == nil && opts.Cert == nil {
+		return nil, fmt.Errorf("mm: Durable requires a Journal")
+	}
+	if opts.Durable && opts.ReplicatedCertifier {
+		// The two persistence paths have incompatible failure windows:
+		// a journal failure after a successful Paxos propose would
+		// abandon a version already in the replicated log, and the
+		// next commit would reuse it for a different writeset. One
+		// durability mechanism at a time.
+		return nil, fmt.Errorf("mm: Durable and ReplicatedCertifier are mutually exclusive (the Paxos log is its own persistence)")
+	}
 	c := &Cluster{opts: opts, balancer: lb.New(opts.Replicas)}
 	for i := 0; i < opts.Replicas; i++ {
 		c.slots = append(c.slots, &replica{id: i, db: sidb.New(), ready: true})
@@ -132,6 +152,9 @@ func New(opts Options) (*Cluster, error) {
 	default:
 		cert := certifier.New()
 		c.cert = cert
+		if opts.Durable {
+			cert.SetJournal(opts.Journal)
+		}
 		if opts.GroupCommit {
 			c.batcher = certifier.NewBatcher(cert, opts.MaxBatch)
 		}
@@ -349,20 +372,11 @@ func (c *Cluster) TableDump(replicaIdx int, table string) (map[int64]string, err
 	return r.db.Dump(table)
 }
 
-// Snapshot captures a consistent full-state snapshot of the ridx-th
-// live replica: every table's contents plus the applied version they
-// are consistent at. Taking the application lock pins both to the
-// same point in the version order, so a joiner that installs the
-// snapshot and then replays certified records > version reconstructs
-// the replica exactly.
-func (c *Cluster) Snapshot(ridx int) (int64, map[string]map[int64]string, error) {
-	r, err := c.liveAt(ridx)
-	if err != nil {
-		return 0, nil, err
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	tables := make(map[string]map[int64]string)
+// snapshotLocked dumps every table of r plus the applied version they
+// are consistent at; r.mu must be held, which pins both to the same
+// point in the version order.
+func snapshotLocked(r *replica) (applied int64, tables map[string]map[int64]string, err error) {
+	tables = make(map[string]map[int64]string)
 	for _, name := range r.db.Tables() {
 		dump, err := r.db.Dump(name)
 		if err != nil {
@@ -371,6 +385,21 @@ func (c *Cluster) Snapshot(ridx int) (int64, map[string]map[int64]string, error)
 		tables[name] = dump
 	}
 	return r.applied, tables, nil
+}
+
+// Snapshot captures a consistent full-state snapshot of the ridx-th
+// live replica: every table's contents plus the applied version they
+// are consistent at, so a joiner that installs the snapshot and then
+// replays certified records > version reconstructs the replica
+// exactly.
+func (c *Cluster) Snapshot(ridx int) (int64, map[string]map[int64]string, error) {
+	r, err := c.liveAt(ridx)
+	if err != nil {
+		return 0, nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return snapshotLocked(r)
 }
 
 // InstallSnapshot installs a snapshot into the ridx-th live replica
@@ -412,6 +441,43 @@ func installLocked(r *replica, version int64, tables map[string]map[int64]string
 	r.applied = version
 	r.ready = true
 	return nil
+}
+
+// RestoreDurable replays recovered durable state into the ridx-th
+// live replica: fn rebuilds the local database under the application
+// lock (typically a WAL replay followed by attaching the apply-time
+// journal hook), and applied seeds the global propagation cursor, so
+// catch-up resumes from the last journaled version over the ordinary
+// Since/FetchSince path instead of a full snapshot transfer.
+func (c *Cluster) RestoreDurable(ridx int, applied int64, fn func(db *sidb.DB) error) error {
+	r, err := c.liveAt(ridx)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := fn(r.db); err != nil {
+		return err
+	}
+	if applied > r.applied {
+		r.applied = applied
+	}
+	r.ready = true
+	return nil
+}
+
+// SnapshotDurable captures, atomically with writeset application, the
+// state WAL compaction embeds: the applied global version, the local
+// database version, and every table's contents.
+func (c *Cluster) SnapshotDurable(ridx int) (applied, local int64, tables map[string]map[int64]string, err error) {
+	r, err := c.liveAt(ridx)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	applied, tables, err = snapshotLocked(r)
+	return applied, r.db.Version(), tables, err
 }
 
 // AddReplica grows the cluster by one: a fresh node receives a

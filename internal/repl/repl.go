@@ -53,6 +53,26 @@ func ConflictWith(err error) int64 {
 	return 0
 }
 
+// UnknownOutcomeError reports a commit whose fate is unknown: the
+// transport died after the request may have reached the certifier, so
+// the transaction might be durably committed even though no
+// acknowledgement arrived. It deliberately does NOT match ErrAborted —
+// a driver that retried it blindly could apply the transaction twice
+// once commits are durable. Drivers should reconcile (re-read) or
+// surface the ambiguity instead.
+type UnknownOutcomeError struct {
+	// Err is the underlying transport failure.
+	Err error
+}
+
+// Error implements error.
+func (e *UnknownOutcomeError) Error() string {
+	return fmt.Sprintf("repl: commit outcome unknown (connection lost mid-commit): %v", e.Err)
+}
+
+// Unwrap exposes the transport failure for errors.Is/As.
+func (e *UnknownOutcomeError) Unwrap() error { return e.Err }
+
 // Txn is one client transaction against a replicated system.
 type Txn interface {
 	// Read returns the visible value of (table, row).

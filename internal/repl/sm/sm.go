@@ -23,10 +23,28 @@ import (
 	"repro/internal/writeset"
 )
 
+// Journal is the durability surface a single-master cluster needs
+// from a write-ahead log: the master's committed writesets are
+// journaled through the database's apply-time hook (AppendApply, in
+// commit order under the commit mutex) and Commit acknowledges only
+// after Sync(Seq()) reports them durable. *wal.WAL implements it.
+type Journal interface {
+	AppendApply(local int64, ws writeset.Writeset) error
+	Seq() int64
+	Sync(seq int64) error
+}
+
 // Options configure a single-master cluster.
 type Options struct {
 	// Replicas is the total node count: 1 master + Replicas-1 slaves.
 	Replicas int
+	// Durable journals every master commit through Journal before it
+	// is acknowledged (default off, preserving the in-memory behavior).
+	// The single-master design needs no certifier, so durability rides
+	// the master database's apply stream alone.
+	Durable bool
+	// Journal is the write-ahead log Durable commits flow through.
+	Journal Journal
 }
 
 // slave is one read-only replica plus its proxy state.
@@ -59,11 +77,20 @@ func New(opts Options) (*Cluster, error) {
 	if opts.Replicas < 1 {
 		return nil, fmt.Errorf("sm: %d replicas", opts.Replicas)
 	}
+	if opts.Durable && opts.Journal == nil {
+		return nil, fmt.Errorf("sm: Durable requires a Journal")
+	}
 	c := &Cluster{
 		opts:     opts,
 		master:   sidb.New(),
 		wlog:     NewLog(),
 		balancer: lb.New(opts.Replicas),
+	}
+	if opts.Durable {
+		j := opts.Journal
+		c.master.SetJournal(func(ws writeset.Writeset, version int64) error {
+			return j.AppendApply(version, ws)
+		})
 	}
 	for i := 1; i < opts.Replicas; i++ {
 		c.slaves = append(c.slaves, &slave{id: i, db: sidb.New()})
@@ -251,6 +278,19 @@ func (t *Txn) Commit() error {
 	}
 	if ws.Empty() {
 		return nil
+	}
+	if t.cluster.opts.Durable {
+		// The writeset was journaled by the apply hook inside the
+		// database commit; block on the group fsync before the commit
+		// is acknowledged (or propagated). A sync failure is
+		// fail-stop, like the slave-apply panics above: the commit is
+		// installed in the master's memory but would roll back on
+		// restart, so continuing would serve state the slaves never
+		// receive.
+		j := t.cluster.opts.Journal
+		if err := j.Sync(j.Seq()); err != nil {
+			panic(fmt.Sprintf("sm: WAL sync failed after commit install (version %d): %v", version, err))
+		}
 	}
 	t.cluster.record(version, ws)
 	for _, s := range t.cluster.slaves {

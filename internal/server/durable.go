@@ -1,0 +1,118 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/sidb"
+	"repro/internal/wal"
+	"repro/internal/writeset"
+)
+
+// durability is the per-node WAL state an engine carries when the
+// server runs with Options.WALDir set.
+type durability struct {
+	w            *wal.WAL
+	compactAfter int64
+	lastCursor   atomic.Int64
+	// lastCompact is the segment size right after the previous
+	// compaction attempt: re-attempting before meaningful growth would
+	// livelock on full-segment rewrites whenever compaction cannot
+	// shrink the log (blocked GC horizon, or a snapshot bigger than
+	// the bound).
+	lastCompact atomic.Int64
+}
+
+// openDurability opens (or creates) the node's WAL and replays it.
+// A joiner must start from an empty log: its state comes from the
+// snapshot transfer, and mixing a previous incarnation's replay with a
+// fresh snapshot would double-apply history.
+func openDurability(opts Options) (*durability, *wal.Recovered, error) {
+	w, rec, err := wal.Open(wal.Options{Dir: opts.WALDir, Fsync: opts.Fsync})
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: open wal: %w", err)
+	}
+	if opts.Join && (len(rec.Applies) > 0 || len(rec.Records) > 0 || rec.Snapshot != nil || len(rec.Tables) > 0) {
+		w.Close()
+		return nil, nil, fmt.Errorf("server: -join requires an empty WAL directory "+
+			"(found state at epoch %d — restart with -id/-peers to recover it instead)", rec.Epoch)
+	}
+	d := &durability{w: w, compactAfter: opts.WALCompactBytes}
+	return d, rec, nil
+}
+
+// applyHook returns the sidb journal hook that feeds the local apply
+// stream into the WAL. Attach it only after replay, or recovery would
+// re-journal its own restoration.
+func (d *durability) applyHook() func(ws writeset.Writeset, version int64) error {
+	return func(ws writeset.Writeset, version int64) error {
+		return d.w.AppendApply(version, ws)
+	}
+}
+
+// table journals a created table.
+func (d *durability) table(name string) error { return d.w.AppendTable(name) }
+
+// cursor journals the propagation cursor (the global version this
+// replica has applied), skipping repeats so an idle poll loop does not
+// grow the log. Cursor records are advisory: a crash before the latest
+// one costs a re-fetch of already-applied records, which ApplyRecords
+// tolerates.
+func (d *durability) cursor(global int64) {
+	if d.lastCursor.Swap(global) == global {
+		return
+	}
+	_ = d.w.AppendCursor(global)
+}
+
+// due reports whether the segment has outgrown the compaction bound
+// AND grown enough since the last attempt to be worth another
+// full-segment rewrite (an eighth of the bound), so a compaction that
+// cannot shrink the log backs off instead of rewriting it on every
+// poll tick.
+func (d *durability) due() bool {
+	if d.compactAfter <= 0 {
+		return false
+	}
+	size := d.w.Size()
+	return size >= d.compactAfter && size >= d.lastCompact.Load()+d.compactAfter/8
+}
+
+// compactSnapshot rewrites the WAL around a consistent full-state
+// snapshot. base bounds which certified records are dropped (on the
+// certifier host this is the peer-cursor GC horizon, never past what a
+// disconnected replica still needs); applied/local position the
+// snapshot itself; keepApplies bounds which local applies are dropped
+// (the sm master keeps its slave horizon's worth, everyone else drops
+// up to the snapshot).
+func (d *durability) compactSnapshot(base, applied, local, keepApplies int64, state map[string]map[int64]string) {
+	if base > applied {
+		base = applied
+	}
+	names := make([]string, 0, len(state))
+	for name := range state {
+		names = append(names, name)
+	}
+	_ = d.w.Compact(base, applied, local, keepApplies, names, state)
+	// Record the post-attempt size whether or not the rewrite shrank
+	// (or succeeded at all): due() only re-arms after real growth.
+	d.lastCompact.Store(d.w.Size())
+}
+
+// consistentDump captures one database's full contents plus the local
+// version they are consistent at, through a single read transaction —
+// the sm engines' compaction capture (the mm engines capture through
+// Cluster.SnapshotDurable, which also pins the global cursor).
+func consistentDump(db *sidb.DB) (local int64, state map[string]map[int64]string, err error) {
+	tx := db.Begin()
+	defer tx.Abort()
+	state = make(map[string]map[int64]string)
+	for _, name := range db.Tables() {
+		rows, err := tx.Scan(name)
+		if err != nil {
+			return 0, nil, err
+		}
+		state[name] = rows
+	}
+	return tx.Snapshot(), state, nil
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/repl/mm"
 	"repro/internal/repl/sm"
 	"repro/internal/sidb"
+	"repro/internal/wal"
 	"repro/internal/wire"
 	"repro/internal/writeset"
 )
@@ -70,6 +71,9 @@ type engine interface {
 	installSnapshot(version int64, tables map[string]map[int64]string) error
 	// selfLeave deregisters this node from its primary (drain path).
 	selfLeave(id int64) error
+	// resume reports the version durable state was recovered to at
+	// start (ok false when the node has no WAL or the log was fresh).
+	resume() (version int64, ok bool)
 	// run is the background propagation loop (the peer link); it
 	// returns when stop closes.
 	run(stop <-chan struct{})
@@ -276,6 +280,9 @@ type mmEngine struct {
 	link     *client.Link // non-nil elsewhere: the commit path's link
 	puller   *client.Link // non-nil elsewhere: the propagation link
 	lastSeen atomic.Int64 // newest version seen by the puller
+	dur      *durability  // non-nil when the node runs a WAL
+	resumed  int64        // version recovered from the WAL at start
+	resumeOK bool
 
 	// membership is the primary's authoritative member registry
 	// (nil on non-primary nodes); staleAfter is the liveness grace
@@ -286,10 +293,26 @@ type mmEngine struct {
 
 func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, error) {
 	e := &mmEngine{stop: stop, staleAfter: opts.StaleAfter}
+	var rec *wal.Recovered
+	if opts.WALDir != "" {
+		var err error
+		if e.dur, rec, err = openDurability(opts); err != nil {
+			return nil, err
+		}
+	}
 	var svc mm.CertService
 	async := false
 	if opts.ID == 0 {
+		// The certification log recovers from the WAL: the restarted
+		// certifier resumes at the last durably logged version, with
+		// the compaction base as its pruning horizon.
 		base := certifier.New()
+		if rec != nil {
+			base = certifier.NewFromRecords(rec.Records, rec.Base)
+		}
+		if e.dur != nil {
+			base.SetJournal(e.dur.w)
+		}
 		var batcher *certifier.Batcher
 		if opts.GroupCommit {
 			batcher = certifier.NewBatcher(base, 0)
@@ -331,11 +354,38 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 		AsyncApply:         async,
 	})
 	if err != nil {
+		if e.dur != nil {
+			e.dur.w.Close()
+		}
 		return nil, err
 	}
 	e.cl = cl
+	if rec != nil {
+		// Rebuild the local database from the apply stream, then (and
+		// only then) attach the journal hook — replay must not journal
+		// its own restoration. The recovered cursor seeds the
+		// propagation position: a restarted replica resumes FetchSince
+		// from here instead of transferring a snapshot.
+		d := e.dur
+		err := cl.RestoreDurable(0, rec.Cursor, func(db *sidb.DB) error {
+			if err := rec.Restore(db); err != nil {
+				return err
+			}
+			db.SetJournal(d.applyHook())
+			return nil
+		})
+		if err != nil {
+			d.w.Close()
+			return nil, fmt.Errorf("server: wal replay: %w", err)
+		}
+		if rec.Cursor > 0 || len(rec.Applies) > 0 || len(rec.Records) > 0 {
+			e.resumed, e.resumeOK = rec.Cursor, true
+		}
+	}
 	return e, nil
 }
+
+func (e *mmEngine) resume() (int64, bool) { return e.resumed, e.resumeOK }
 
 func (e *mmEngine) begin(readOnly bool) (repl.Txn, error) {
 	if readOnly {
@@ -344,7 +394,15 @@ func (e *mmEngine) begin(readOnly bool) (repl.Txn, error) {
 	return e.cl.BeginUpdate()
 }
 
-func (e *mmEngine) createTable(name string) error { return e.cl.CreateTable(name) }
+func (e *mmEngine) createTable(name string) error {
+	if err := e.cl.CreateTable(name); err != nil {
+		return err
+	}
+	if e.dur != nil {
+		return e.dur.table(name)
+	}
+	return nil
+}
 
 func (e *mmEngine) loadRows(table string, start int64, values []string) error {
 	return e.cl.LoadRows(table, start, values)
@@ -352,7 +410,10 @@ func (e *mmEngine) loadRows(table string, start int64, values []string) error {
 
 func (e *mmEngine) dump(table string) (map[int64]string, error) { return e.cl.TableDump(0, table) }
 
-func (e *mmEngine) sync() { e.cl.Sync() }
+func (e *mmEngine) sync() {
+	e.cl.Sync()
+	e.noteApplied()
+}
 
 func (e *mmEngine) applied() int64 { return e.cl.Applied(0) }
 
@@ -468,7 +529,21 @@ func (e *mmEngine) touch(peer int64) {
 }
 
 func (e *mmEngine) installSnapshot(version int64, tables map[string]map[int64]string) error {
-	return e.cl.InstallSnapshot(0, version, tables)
+	if err := e.cl.InstallSnapshot(0, version, tables); err != nil {
+		return err
+	}
+	if e.dur != nil {
+		// The installed rows were journaled through the apply hook;
+		// record the table set and the cursor so a restart resumes
+		// past the snapshot.
+		for name := range tables {
+			if err := e.dur.table(name); err != nil {
+				return err
+			}
+		}
+		e.dur.cursor(version)
+	}
+	return nil
 }
 
 func (e *mmEngine) selfLeave(id int64) error {
@@ -513,6 +588,34 @@ func runPuller(stop <-chan struct{}, puller *client.Link, cursor func() int64, l
 	}
 }
 
+// noteApplied journals the propagation cursor after applies landed and
+// compacts the WAL once the segment outgrows its bound.
+func (e *mmEngine) noteApplied() {
+	if e.dur == nil {
+		return
+	}
+	e.dur.cursor(e.applied())
+	if !e.dur.due() {
+		return
+	}
+	applied, local, state, err := e.cl.SnapshotDurable(0)
+	if err != nil {
+		return
+	}
+	// On the certifier host, drop certified history only up to the
+	// peer-cursor GC horizon: a disconnected replica's pending records
+	// must survive compaction so it can still FetchSince its way back.
+	base := applied
+	if e.cursors != nil {
+		h, ok := e.cursors.horizon(applied)
+		if !ok {
+			h = 0
+		}
+		base = h
+	}
+	e.dur.compactSnapshot(base, applied, local, local, state)
+}
+
 // run is the writeset propagation loop. The certifier host applies
 // from its local log on commit wakeups; other nodes long-poll the host
 // over their dedicated peer link.
@@ -525,7 +628,9 @@ func (e *mmEngine) run(stop <-chan struct{}) {
 			default:
 			}
 			e.host.notify.waitBeyond(e.applied(), pollInterval, stop)
-			e.cl.Sync()
+			if e.cl.Sync(); e.dur != nil {
+				e.noteApplied()
+			}
 			// Evict elastic members that stopped proving liveness — a
 			// joiner that crashed mid-state-transfer, or a replica
 			// that died without a Leave. Their ghost cursors would
@@ -536,7 +641,9 @@ func (e *mmEngine) run(stop <-chan struct{}) {
 		}
 	}
 	runPuller(stop, e.puller, e.applied, &e.lastSeen, func(recs []certifier.Record) {
-		e.cl.ApplyRecords(0, recs)
+		if e.cl.ApplyRecords(0, recs) > 0 {
+			e.noteApplied()
+		}
 	})
 }
 
@@ -546,6 +653,9 @@ func (e *mmEngine) close() {
 	}
 	if e.puller != nil {
 		e.puller.Close()
+	}
+	if e.dur != nil {
+		e.dur.w.Close()
 	}
 }
 
@@ -557,6 +667,9 @@ type smEngine struct {
 	db       *sidb.DB
 	isMaster bool
 	stop     <-chan struct{}
+	dur      *durability // non-nil when the node runs a WAL
+	resumed  int64       // version recovered from the WAL at start
+	resumeOK bool
 
 	// master state
 	wlog    *sm.Log
@@ -570,17 +683,40 @@ type smEngine struct {
 	lastSeen atomic.Int64
 }
 
-func newSMEngine(opts Options, stop <-chan struct{}) *smEngine {
+func newSMEngine(opts Options, stop <-chan struct{}) (*smEngine, error) {
 	e := &smEngine{db: sidb.New(), isMaster: opts.ID == 0, stop: stop}
+	var rec *wal.Recovered
+	if opts.WALDir != "" {
+		var err error
+		if e.dur, rec, err = openDurability(opts); err != nil {
+			return nil, err
+		}
+		if err := rec.Restore(e.db); err != nil {
+			e.dur.w.Close()
+			return nil, fmt.Errorf("server: wal replay: %w", err)
+		}
+		e.db.SetJournal(e.dur.applyHook())
+		if v := e.db.Version(); v > 0 {
+			e.resumed, e.resumeOK = v, true
+		}
+	}
 	if e.isMaster {
 		e.wlog = sm.NewLog()
 		e.notify = newVersionNotify()
 		e.cursors = newPeerCursors(opts.Replicas-1, int64(opts.GCLag))
+		if rec != nil {
+			// Rebuild the propagation log so restarted slaves resume
+			// their FetchSince cursors. Master versions are absolute,
+			// so the recovered apply stream is the log verbatim.
+			for _, a := range rec.Applies {
+				e.wlog.Append(a.Local, a.WS)
+			}
+		}
 	} else {
 		e.link = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
 		e.puller = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
 	}
-	return e
+	return e, nil
 }
 
 func (e *smEngine) begin(readOnly bool) (repl.Txn, error) {
@@ -593,7 +729,41 @@ func (e *smEngine) begin(readOnly bool) (repl.Txn, error) {
 	return &smTxn{e: e, inner: e.db.Begin(), readOnly: readOnly}, nil
 }
 
-func (e *smEngine) createTable(name string) error { return e.db.CreateTable(name) }
+func (e *smEngine) createTable(name string) error {
+	if err := e.db.CreateTable(name); err != nil {
+		return err
+	}
+	if e.dur != nil {
+		return e.dur.table(name)
+	}
+	return nil
+}
+
+// maybeCompact rewrites the WAL around a consistent dump once the
+// segment outgrows its bound. Master versions are absolute, so the
+// snapshot's local version doubles as the global one; on the master
+// the drop horizon additionally respects the slave cursors, exactly
+// like propagation-log GC.
+func (e *smEngine) maybeCompact() {
+	if e.dur == nil || !e.dur.due() {
+		return
+	}
+	local, state, err := consistentDump(e.db)
+	if err != nil {
+		return
+	}
+	base := local
+	if e.isMaster && e.cursors != nil {
+		h, ok := e.cursors.horizon(local)
+		if !ok {
+			h = 0
+		}
+		base = h
+	}
+	// The master's apply stream doubles as the propagation log: keep
+	// applies above the slave horizon, not just above the snapshot.
+	e.dur.compactSnapshot(base, local, local, base, state)
+}
 
 func (e *smEngine) loadRows(table string, start int64, values []string) error {
 	return e.db.ApplyWriteset(writeset.FromRows(table, start, values), e.db.Version()+1)
@@ -702,11 +872,27 @@ func (e *smEngine) installSnapshot(int64, map[string]map[int64]string) error {
 }
 func (e *smEngine) selfLeave(int64) error { return errUnsupported }
 
+func (e *smEngine) resume() (int64, bool) { return e.resumed, e.resumeOK }
+
 func (e *smEngine) run(stop <-chan struct{}) {
 	if e.isMaster {
-		return
+		if e.dur == nil {
+			return
+		}
+		// The master has no propagation loop; poll only for compaction.
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(pollInterval):
+				e.maybeCompact()
+			}
+		}
 	}
-	runPuller(stop, e.puller, e.applied, &e.lastSeen, e.apply)
+	runPuller(stop, e.puller, e.applied, &e.lastSeen, func(recs []certifier.Record) {
+		e.apply(recs)
+		e.maybeCompact()
+	})
 }
 
 func (e *smEngine) close() {
@@ -715,6 +901,9 @@ func (e *smEngine) close() {
 	}
 	if e.puller != nil {
 		e.puller.Close()
+	}
+	if e.dur != nil {
+		e.dur.w.Close()
 	}
 }
 
@@ -760,6 +949,24 @@ func (t *smTxn) Commit() error {
 		return err
 	}
 	if !ws.Empty() {
+		if d := t.e.dur; d != nil {
+			// The writeset was journaled by the database's apply hook
+			// inside Commit; block on the group fsync before the commit
+			// is acknowledged or propagated. A sync failure here is
+			// fail-stop: the commit is already installed in the master
+			// database but a restart would roll it back, so limping on
+			// would serve state the slaves can never receive (the
+			// fsync-gate lesson — crash, restart, recover the durable
+			// prefix).
+			if err := d.w.Sync(d.w.Seq()); err != nil {
+				if errors.Is(err, wal.ErrClosed) {
+					// Graceful shutdown racing the commit: no disk
+					// failure, just report the ambiguous outcome.
+					return fmt.Errorf("server: commit durability unknown (shutting down): %w", err)
+				}
+				panic(fmt.Sprintf("server: WAL sync failed after commit install (version %d): %v", version, err))
+			}
+		}
 		t.e.wlog.Append(version, ws)
 		t.e.notify.bump(version)
 	}

@@ -90,6 +90,22 @@ type Options struct {
 	// forever; clients transparently redial pooled connections the
 	// server reaped.
 	IdleTimeout time.Duration
+	// WALDir enables durable commits: the node journals its state into
+	// a write-ahead log in this directory, replays it on start, and —
+	// on the certifier host — acknowledges commits only once their
+	// writesets are logged. A restarted replica resumes propagation
+	// from its last journaled cursor over FetchSince instead of
+	// transferring a snapshot. Empty disables durability (the seed's
+	// in-memory behavior).
+	WALDir string
+	// Fsync makes WAL commits wait on a (group) fsync, surviving
+	// machine crashes rather than just process kills. Ignored without
+	// WALDir.
+	Fsync bool
+	// WALCompactBytes compacts the WAL around a full-state snapshot
+	// once the segment exceeds this size (default 64 MiB; < 0 disables
+	// compaction). Ignored without WALDir.
+	WALCompactBytes int64
 }
 
 // Server is a running replica server.
@@ -155,6 +171,9 @@ func New(opts Options) (*Server, error) {
 	if opts.DrainTimeout <= 0 {
 		opts.DrainTimeout = 5 * time.Second
 	}
+	if opts.WALCompactBytes == 0 {
+		opts.WALCompactBytes = 64 << 20
+	}
 
 	// The listener binds before a join so the joiner can announce the
 	// address clients will reach it at (Listen may carry port 0).
@@ -179,7 +198,7 @@ func New(opts Options) (*Server, error) {
 	case "mm":
 		eng, err = newMMEngine(opts, m, stop)
 	case "sm":
-		eng = newSMEngine(opts, stop)
+		eng, err = newSMEngine(opts, stop)
 	}
 	if err != nil {
 		ln.Close()
@@ -242,6 +261,10 @@ func runJoin(opts *Options, selfAddr string) (int64, map[string]map[int64]string
 
 // Addr returns the bound listen address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Resumed reports the version this node's durable state was recovered
+// to at start; ok is false when the node has no WAL or started fresh.
+func (s *Server) Resumed() (version int64, ok bool) { return s.eng.resume() }
 
 // MetricsAddr returns the bound metrics address, or "" when disabled.
 func (s *Server) MetricsAddr() string {

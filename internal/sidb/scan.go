@@ -86,7 +86,11 @@ func (db *DB) BulkLoad(tableName string, rows int, value func(int64) string) err
 		})
 	}
 	v := db.version + 1
-	db.install(writeset.Writeset{Entries: entries}, v, false)
+	ws := writeset.New(entries)
+	if err := db.journalInstall(ws, v); err != nil {
+		return err
+	}
+	db.install(ws, v, false)
 	db.advance(v, false)
 	return nil
 }

@@ -125,6 +125,14 @@ type DB struct {
 	// take it.
 	commitMu sync.Mutex
 
+	// journal, when set, observes every writeset about to be installed
+	// (local commits, applied remote writesets and bulk loads alike)
+	// with the version it will be installed at. It runs under commitMu,
+	// so invocations arrive in exact version order — the apply stream a
+	// write-ahead log replays to rebuild this database. A journal error
+	// aborts the installation.
+	journal func(ws writeset.Writeset, version int64) error
+
 	shards [shardCount]shard
 
 	// tableMu guards the table registry; reads take it shared.
@@ -150,6 +158,25 @@ func New() *DB {
 		db.shards[i].tables = make(map[string]*table)
 	}
 	return db
+}
+
+// SetJournal attaches the apply-time journal hook. Set it before the
+// database takes traffic (typically right after WAL replay); it is not
+// synchronized against in-flight commits.
+func (db *DB) SetJournal(j func(ws writeset.Writeset, version int64) error) {
+	db.journal = j
+}
+
+// journalInstall runs the journal hook for an imminent installation.
+// The caller holds commitMu.
+func (db *DB) journalInstall(ws writeset.Writeset, version int64) error {
+	if db.journal == nil {
+		return nil
+	}
+	if err := db.journal(ws, version); err != nil {
+		return fmt.Errorf("sidb: journal: %w", err)
+	}
+	return nil
 }
 
 // CreateTable adds an empty table; creating an existing table is an
@@ -302,6 +329,9 @@ func (db *DB) ApplyWriteset(ws writeset.Writeset, version int64) error {
 	defer db.commitMu.Unlock()
 	if version <= db.version {
 		return fmt.Errorf("%w: %d <= %d", ErrStaleVersion, version, db.version)
+	}
+	if err := db.journalInstall(ws, version); err != nil {
+		return err
 	}
 	db.install(ws, version, true)
 	db.advance(version, false)

@@ -132,6 +132,9 @@ func (tx *Txn) Commit() (writeset.Writeset, int64, error) {
 		}
 	}
 	v := tx.db.version + 1
+	if err := tx.db.journalInstall(ws, v); err != nil {
+		return writeset.Writeset{}, 0, err
+	}
 	tx.db.install(ws, v, false)
 	tx.db.advance(v, true)
 	return ws, v, nil
@@ -158,6 +161,9 @@ func (tx *Txn) CommitAt(version int64) (writeset.Writeset, error) {
 
 	if version <= tx.db.version {
 		return writeset.Writeset{}, fmt.Errorf("%w: %d <= %d", ErrStaleVersion, version, tx.db.version)
+	}
+	if err := tx.db.journalInstall(ws, version); err != nil {
+		return writeset.Writeset{}, err
 	}
 	tx.db.install(ws, version, false)
 	tx.db.advance(version, true)

@@ -1,0 +1,414 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FS is the slice of a filesystem the WAL needs: whole-file reads for
+// replay, append-mode writes with torn-tail truncation, and the
+// create/rename/sync-directory triple compaction uses to swap segments
+// atomically. Production code uses DirFS; the crash-injection harness
+// substitutes a MemFS wrapped in a CrashFS, which is what makes every
+// kill point deterministic and power-loss (dropped unsynced writes)
+// testable in-process.
+type FS interface {
+	// ReadFile returns the whole current contents of name, including
+	// bytes written but not yet synced (the process's own view);
+	// fs.ErrNotExist when absent.
+	ReadFile(name string) ([]byte, error)
+	// Create opens name for writing, truncating any previous contents.
+	Create(name string) (File, error)
+	// OpenAppend opens name for appending, first truncating it to size
+	// bytes (the torn-tail cut). The file must exist.
+	OpenAppend(name string, size int64) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name; removing a missing file is not an error.
+	Remove(name string) error
+	// SyncDir makes preceding Create/Rename/Remove calls durable.
+	SyncDir() error
+}
+
+// File is an open WAL segment.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync makes all written bytes durable.
+	Sync() error
+	Close() error
+}
+
+// dirFS is the production FS over one real directory.
+type dirFS struct {
+	dir string
+}
+
+// DirFS returns the production FS rooted at dir, creating it if
+// needed.
+func DirFS(dir string) (FS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	return &dirFS{dir: dir}, nil
+}
+
+func (d *dirFS) path(name string) string { return filepath.Join(d.dir, name) }
+
+func (d *dirFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(d.path(name))
+}
+
+func (d *dirFS) Create(name string) (File, error) {
+	return os.OpenFile(d.path(name), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+func (d *dirFS) OpenAppend(name string, size int64) (File, error) {
+	f, err := os.OpenFile(d.path(name), os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(size, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func (d *dirFS) Rename(oldname, newname string) error {
+	return os.Rename(d.path(oldname), d.path(newname))
+}
+
+func (d *dirFS) Remove(name string) error {
+	err := os.Remove(d.path(name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+func (d *dirFS) SyncDir() error {
+	f, err := os.Open(d.dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// inode is one MemFS file's content: the bytes a machine crash
+// preserves (synced) and the bytes still in the page cache (buf).
+// A process crash (SIGKILL) preserves both; power loss only synced.
+type inode struct {
+	synced []byte
+	buf    []byte
+}
+
+func (n *inode) all() []byte {
+	out := make([]byte, 0, len(n.synced)+len(n.buf))
+	out = append(out, n.synced...)
+	return append(out, n.buf...)
+}
+
+// MemFS is an in-memory FS that models durability precisely: file
+// contents become durable on File.Sync, directory entries (creates,
+// renames, removes) on SyncDir. PowerCycle simulates restarting the
+// machine after a crash, discarding whatever the chosen model says a
+// real disk would lose. It is safe for concurrent use.
+type MemFS struct {
+	mu sync.Mutex
+	// files is the live (volatile) directory view; durable is the view
+	// as of the last SyncDir. Both map to shared inodes.
+	files   map[string]*inode
+	durable map[string]*inode
+	syncs   int
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*inode), durable: make(map[string]*inode)}
+}
+
+// PowerCycle simulates a crash and restart. With keepUnsynced false it
+// models power loss: unsynced file bytes vanish and un-synced
+// directory operations roll back. With keepUnsynced true it models a
+// pure process kill: everything written survives, including directory
+// operations — the two extremes that bracket what a real crash
+// preserves.
+func (m *MemFS) PowerCycle(keepUnsynced bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if keepUnsynced {
+		for _, n := range m.files {
+			n.synced = n.all()
+			n.buf = nil
+		}
+		m.durable = make(map[string]*inode, len(m.files))
+		for name, n := range m.files {
+			m.durable[name] = n
+		}
+		return
+	}
+	m.files = make(map[string]*inode, len(m.durable))
+	for name, n := range m.durable {
+		n.buf = nil
+		m.files[name] = n
+	}
+}
+
+// Syncs returns the number of File.Sync calls issued so far (for
+// group-commit assertions).
+func (m *MemFS) Syncs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.syncs
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("memfs: %s: %w", name, fs.ErrNotExist)
+	}
+	return n.all(), nil
+}
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := &inode{}
+	m.files[name] = n
+	return &memFile{fs: m, n: n}, nil
+}
+
+func (m *MemFS) OpenAppend(name string, size int64) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("memfs: %s: %w", name, fs.ErrNotExist)
+	}
+	// Truncate to size: the torn tail is cut from the volatile view;
+	// the synced prefix shrinks too if the cut lands inside it.
+	all := n.all()
+	if int64(len(all)) > size {
+		all = all[:size]
+	}
+	if int64(len(n.synced)) > size {
+		n.synced = append([]byte(nil), all...)
+		n.buf = nil
+	} else {
+		n.buf = append([]byte(nil), all[len(n.synced):]...)
+	}
+	return &memFile{fs: m, n: n}, nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("memfs: %s: %w", oldname, fs.ErrNotExist)
+	}
+	delete(m.files, oldname)
+	m.files[newname] = n
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) SyncDir() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.durable = make(map[string]*inode, len(m.files))
+	for name, n := range m.files {
+		m.durable[name] = n
+	}
+	return nil
+}
+
+// memFile is an open MemFS file.
+type memFile struct {
+	fs *MemFS
+	n  *inode
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.n.buf = append(f.n.buf, p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.fs.syncs++
+	f.n.synced = f.n.all()
+	f.n.buf = nil
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }
+
+// ErrCrashed is returned by every CrashFS operation at and after its
+// armed kill point: the process is "dead", nothing more reaches disk.
+var ErrCrashed = errors.New("wal: simulated crash")
+
+// Op describes one mutating filesystem operation a CrashFS observed,
+// for locating semantic kill points in a recorded trace.
+type Op struct {
+	// Kind is "write", "sync", "create", "open-append", "rename",
+	// "remove" or "sync-dir".
+	Kind string
+	// Name is the file operated on ("" for sync-dir).
+	Name string
+	// Bytes is the write length (write ops only).
+	Bytes int
+}
+
+// CrashFS wraps an FS and kills the process model at an armed
+// operation index: the armed op (and everything after it) fails with
+// ErrCrashed. For write ops, Cut controls how many bytes of the armed
+// write still reach the file before the crash — the torn-write case.
+// Every mutating op is recorded, so a dry run (armed at -1) yields the
+// full op trace to sweep over.
+type CrashFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	ops     []Op
+	armAt   int // op index to crash at; -1 = never
+	cut     int // bytes of an armed write that still land
+	crashed bool
+}
+
+// NewCrashFS wraps inner, crashing at op index armAt (-1: never). cut
+// is the number of bytes of an armed write that still reach the file.
+func NewCrashFS(inner FS, armAt, cut int) *CrashFS {
+	return &CrashFS{inner: inner, armAt: armAt, cut: cut}
+}
+
+// Trace returns the operations observed so far.
+func (c *CrashFS) Trace() []Op {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Op(nil), c.ops...)
+}
+
+// Crashed reports whether the armed kill point has fired.
+func (c *CrashFS) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// step records an op and reports whether it must fail: the armed index
+// was reached now, or the crash already happened. For the armed write
+// op, cut bytes are reported to still land.
+func (c *CrashFS) step(op Op) (dead bool, cut int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return true, 0
+	}
+	idx := len(c.ops)
+	c.ops = append(c.ops, op)
+	if idx == c.armAt {
+		c.crashed = true
+		return true, c.cut
+	}
+	return false, 0
+}
+
+func (c *CrashFS) ReadFile(name string) ([]byte, error) {
+	// Reads are the restarted process's replay; they never crash.
+	return c.inner.ReadFile(name)
+}
+
+func (c *CrashFS) Create(name string) (File, error) {
+	if dead, _ := c.step(Op{Kind: "create", Name: name}); dead {
+		return nil, ErrCrashed
+	}
+	f, err := c.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{fs: c, name: name, f: f}, nil
+}
+
+func (c *CrashFS) OpenAppend(name string, size int64) (File, error) {
+	if dead, _ := c.step(Op{Kind: "open-append", Name: name}); dead {
+		return nil, ErrCrashed
+	}
+	f, err := c.inner.OpenAppend(name, size)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{fs: c, name: name, f: f}, nil
+}
+
+func (c *CrashFS) Rename(oldname, newname string) error {
+	if dead, _ := c.step(Op{Kind: "rename", Name: newname}); dead {
+		return ErrCrashed
+	}
+	return c.inner.Rename(oldname, newname)
+}
+
+func (c *CrashFS) Remove(name string) error {
+	if dead, _ := c.step(Op{Kind: "remove", Name: name}); dead {
+		return ErrCrashed
+	}
+	return c.inner.Remove(name)
+}
+
+func (c *CrashFS) SyncDir() error {
+	if dead, _ := c.step(Op{Kind: "sync-dir"}); dead {
+		return ErrCrashed
+	}
+	return c.inner.SyncDir()
+}
+
+// crashFile applies the kill switch to file writes and syncs.
+type crashFile struct {
+	fs   *CrashFS
+	name string
+	f    File
+}
+
+func (f *crashFile) Write(p []byte) (int, error) {
+	dead, cut := f.fs.step(Op{Kind: "write", Name: f.name, Bytes: len(p)})
+	if dead {
+		if cut > 0 {
+			if cut > len(p) {
+				cut = len(p)
+			}
+			// The torn write: a prefix still reaches the page cache.
+			_, _ = f.f.Write(p[:cut])
+		}
+		return 0, ErrCrashed
+	}
+	return f.f.Write(p)
+}
+
+func (f *crashFile) Sync() error {
+	if dead, _ := f.fs.step(Op{Kind: "sync", Name: f.name}); dead {
+		return ErrCrashed
+	}
+	return f.f.Sync()
+}
+
+func (f *crashFile) Close() error { return f.f.Close() }

@@ -1,0 +1,895 @@
+// Package wal implements the per-replica write-ahead log that makes
+// commits durable: a single append-only segment of length-prefixed,
+// CRC-framed records holding the certifier's decision log (certified
+// writesets with commit markers), the local database's apply stream,
+// and full-state snapshot markers written by compaction.
+//
+// Framing. Every record is one frame:
+//
+//	[u32 length] [u32 CRC32C(payload)] [payload]
+//
+// where payload is a kind byte followed by varint/string fields and
+// length counts the payload bytes. Replay stops at the first frame
+// that is short, oversized or fails its CRC — the torn tail a crash
+// mid-write leaves behind — and Open truncates the file there, so a
+// recovered log is always a valid prefix of what was written.
+//
+// Durability contract. Append stages certified writesets followed by a
+// commit marker in one write; Sync blocks until everything staged at
+// or before the returned sequence is fsynced. Concurrent commits share
+// fsyncs (group commit): whichever caller reaches the disk first syncs
+// everything written so far and the rest observe that they are already
+// durable, so one fsync amortizes over every commit that raced into
+// the same window — the same combining the certifier's Batcher does
+// for Paxos rounds, which Sync piggybacks on when group commit batches
+// many records into a single Append.
+//
+// Recovery semantics. A certified writeset counts as committed only
+// once a commit marker at or above its version is on disk; staged
+// writesets whose marker never made it are discarded, which is what
+// makes a torn group-commit batch atomic. The apply stream (KindApply)
+// replays the local database byte-for-byte; snapshot records replace
+// replay below their version after compaction.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/certifier"
+	"repro/internal/sidb"
+	"repro/internal/writeset"
+)
+
+// Record kinds.
+const (
+	// KindBeginEpoch opens a segment: {epoch, base}. Base is the global
+	// version the segment's history starts from (0 for a fresh log, the
+	// snapshot version after compaction).
+	KindBeginEpoch byte = 1
+	// KindWriteset stages one certified writeset: {version, writeset}.
+	// It is not committed until a KindCommit at or above version.
+	KindWriteset byte = 2
+	// KindCommit commits every staged writeset with version <= its
+	// {version} — the marker that makes a group-commit batch atomic.
+	KindCommit byte = 3
+	// KindSnapshot is a compaction marker: {global, local, full state}.
+	// Replay installs it instead of the applies it replaced.
+	KindSnapshot byte = 4
+	// KindApply journals one local database installation: {local
+	// version, writeset} — loads, snapshot installs and propagated
+	// writesets alike, in commitMu order.
+	KindApply byte = 5
+	// KindTable journals a table creation: {name}.
+	KindTable byte = 6
+	// KindCursor journals the propagation cursor: {global version this
+	// replica has applied}, written after a batch of applies lands.
+	KindCursor byte = 7
+)
+
+const (
+	segName = "wal.log"
+	tmpName = "wal.log.tmp"
+
+	// maxRecord bounds one frame; larger lengths in the file are
+	// treated as tail corruption.
+	maxRecord = 64 << 20
+
+	// headerSize is the per-frame overhead: u32 length + u32 CRC.
+	headerSize = 8
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed WAL.
+var ErrClosed = errors.New("wal: closed")
+
+// Options configure Open.
+type Options struct {
+	// Dir is the log directory; used when FS is nil.
+	Dir string
+	// FS overrides the filesystem (tests inject MemFS/CrashFS).
+	FS FS
+	// Fsync makes Sync issue real fsyncs, the machine-crash durability
+	// the paper's replicas get from their databases. Off, records still
+	// reach the OS on every append — surviving process kills — but a
+	// power loss can drop the unsynced tail.
+	Fsync bool
+}
+
+// Apply is one entry of the recovered local apply stream.
+type Apply struct {
+	// Local is the local database version the writeset was installed
+	// at.
+	Local int64
+	WS    writeset.Writeset
+}
+
+// Recovered is the state replayed from a WAL at Open.
+type Recovered struct {
+	// Epoch counts compactions; Base is the global version the log's
+	// history starts from (snapshot version after compaction).
+	Epoch int64
+	Base  int64
+	// Tables are the created table names, in creation order.
+	Tables []string
+	// Snapshot is the compacted full state at (SnapGlobal, SnapLocal),
+	// nil when the log has never been compacted.
+	Snapshot   map[string]map[int64]string
+	SnapGlobal int64
+	SnapLocal  int64
+	// Applies is the local apply stream after the snapshot, in
+	// installation order.
+	Applies []Apply
+	// Records are the committed certified writesets (version order,
+	// versions > Base); staged writesets without a commit marker are
+	// not included.
+	Records []certifier.Record
+	// Cursor is the highest propagation cursor on disk (global version
+	// this replica had applied), at least Base.
+	Cursor int64
+	// TornBytes is how much tail was truncated at Open.
+	TornBytes int64
+}
+
+// LastVersion returns the newest committed certified version in the
+// log, or Base when it holds none.
+func (r *Recovered) LastVersion() int64 {
+	if n := len(r.Records); n > 0 {
+		return r.Records[n-1].Version
+	}
+	return r.Base
+}
+
+// Restore rebuilds a local database from the recovered state: tables,
+// the compacted snapshot, then the apply stream at its recorded
+// versions. The database must be fresh.
+func (r *Recovered) Restore(db *sidb.DB) error {
+	for _, name := range r.Tables {
+		if err := db.CreateTable(name); err != nil {
+			return fmt.Errorf("wal: restore table: %w", err)
+		}
+	}
+	if r.Snapshot != nil {
+		var entries []writeset.Entry
+		for name, rows := range r.Snapshot {
+			for row, value := range rows {
+				entries = append(entries, writeset.Entry{
+					Key:   writeset.Key{Table: name, Row: row},
+					Value: value,
+				})
+			}
+		}
+		if len(entries) > 0 || r.SnapLocal > 0 {
+			if err := db.ApplyWriteset(writeset.New(entries), r.SnapLocal); err != nil {
+				return fmt.Errorf("wal: restore snapshot: %w", err)
+			}
+		}
+	}
+	for _, a := range r.Applies {
+		if a.Local <= db.Version() {
+			// Already covered by the snapshot (compaction may retain
+			// applies below it when they double as the single-master
+			// propagation log).
+			continue
+		}
+		if err := db.ApplyWriteset(a.WS, a.Local); err != nil {
+			return fmt.Errorf("wal: restore apply at %d: %w", a.Local, err)
+		}
+	}
+	return nil
+}
+
+// WAL is an open write-ahead log. Appends serialize on an internal
+// mutex; Sync is the group-commit rendezvous and may be called
+// concurrently.
+//
+// Lock order: mu before syncMu (Compact, Close); errMu is a leaf
+// taken alone. Sync holds only syncMu, so an in-flight fsync never
+// blocks appends and vice versa.
+type WAL struct {
+	fsys  FS
+	fsync bool
+
+	mu     sync.Mutex // serializes writes, compaction and close
+	f      File
+	size   int64
+	epoch  int64
+	base   int64
+	closed bool
+
+	seq atomic.Int64 // bumped per completed buffered write
+
+	errMu sync.Mutex
+	werr  error // sticky failure: the log is dead past it
+
+	syncMu sync.Mutex // serializes fsync and the compaction handle swap
+	synced int64      // highest seq known durable (under syncMu)
+}
+
+// stickyErr returns the first unrecoverable failure, if any.
+func (w *WAL) stickyErr() error {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	return w.werr
+}
+
+// fail records err as the WAL's sticky failure and returns it (the
+// first failure wins: later errors are usually its echoes).
+func (w *WAL) fail(err error) error {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	if w.werr == nil {
+		w.werr = err
+	}
+	return w.werr
+}
+
+// Open opens (or creates) the WAL in opts.Dir / opts.FS, truncates any
+// torn tail, and returns the recovered state alongside the writable
+// log positioned after the last valid record.
+func Open(opts Options) (*WAL, *Recovered, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		var err error
+		fsys, err = DirFS(opts.Dir)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	// A leftover tmp segment is a compaction that never renamed; the
+	// real segment is authoritative.
+	if err := fsys.Remove(tmpName); err != nil {
+		return nil, nil, fmt.Errorf("wal: remove stale tmp: %w", err)
+	}
+
+	w := &WAL{fsys: fsys, fsync: opts.Fsync}
+
+	data, err := fsys.ReadFile(segName)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// Fresh log: write the epoch header.
+		f, err := fsys.Create(segName)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: create: %w", err)
+		}
+		w.f, w.epoch, w.base = f, 1, 0
+		hdr := frame(encodeBeginEpoch(nil, 1, 0))
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: write epoch header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: sync epoch header: %w", err)
+		}
+		if err := fsys.SyncDir(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: sync dir: %w", err)
+		}
+		w.size = int64(len(hdr))
+		return w, &Recovered{Epoch: 1}, nil
+	case err != nil:
+		return nil, nil, fmt.Errorf("wal: read: %w", err)
+	}
+
+	rec, good := replay(data)
+	rec.TornBytes = int64(len(data)) - good
+	f, err := fsys.OpenAppend(segName, good)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: reopen: %w", err)
+	}
+	w.f, w.size = f, good
+	w.epoch, w.base = rec.Epoch, rec.Base
+	return w, rec, nil
+}
+
+// replay parses data, returning the recovered state and the byte
+// length of the valid prefix.
+func replay(data []byte) (*Recovered, int64) {
+	rec := &Recovered{Epoch: 1}
+	var staged []certifier.Record
+	off := 0
+	for {
+		payload, n := nextFrame(data[off:])
+		if payload == nil {
+			break
+		}
+		decodeInto(rec, &staged, payload)
+		off += n
+	}
+	sort.SliceStable(rec.Records, func(i, j int) bool {
+		return rec.Records[i].Version < rec.Records[j].Version
+	})
+	if rec.Cursor < rec.Base {
+		rec.Cursor = rec.Base
+	}
+	return rec, int64(off)
+}
+
+// nextFrame returns the next frame's payload and total size, or nil at
+// the (possibly torn) end of the log.
+func nextFrame(b []byte) ([]byte, int) {
+	if len(b) < headerSize {
+		return nil, 0
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n == 0 || n > maxRecord || int(n) > len(b)-headerSize {
+		return nil, 0
+	}
+	payload := b[headerSize : headerSize+int(n)]
+	if binary.BigEndian.Uint32(b[4:]) != crc32.Checksum(payload, crcTable) {
+		return nil, 0
+	}
+	return payload, headerSize + int(n)
+}
+
+// decodeInto applies one valid payload to the recovered state.
+// Malformed field encodings inside a CRC-valid frame decode to zero
+// values (they cannot occur from this writer; the fuzz target only
+// requires no panic and replay determinism).
+func decodeInto(rec *Recovered, staged *[]certifier.Record, payload []byte) {
+	d := &walDecoder{b: payload[1:]}
+	switch payload[0] {
+	case KindBeginEpoch:
+		rec.Epoch = d.varint()
+		rec.Base = d.varint()
+	case KindTable:
+		name := d.str()
+		for _, t := range rec.Tables {
+			if t == name {
+				return
+			}
+		}
+		rec.Tables = append(rec.Tables, name)
+	case KindWriteset:
+		v := d.varint()
+		ws := d.writeset()
+		if d.err == nil {
+			*staged = append(*staged, certifier.Record{Version: v, Writeset: ws})
+		}
+	case KindCommit:
+		v := d.varint()
+		if d.err != nil {
+			return
+		}
+		keep := (*staged)[:0]
+		for _, s := range *staged {
+			if s.Version <= v {
+				rec.Records = append(rec.Records, s)
+			} else {
+				keep = append(keep, s)
+			}
+		}
+		*staged = keep
+	case KindSnapshot:
+		global := d.varint()
+		local := d.varint()
+		nt := d.uvarint()
+		tables := make(map[string]map[int64]string)
+		for i := uint64(0); i < nt && d.err == nil; i++ {
+			name := d.str()
+			nr := d.uvarint()
+			rows := make(map[int64]string, clampPrealloc(nr))
+			for j := uint64(0); j < nr && d.err == nil; j++ {
+				row := d.varint()
+				rows[row] = d.str()
+			}
+			tables[name] = rows
+		}
+		if d.err != nil {
+			return
+		}
+		rec.Snapshot, rec.SnapGlobal, rec.SnapLocal = tables, global, local
+		// The snapshot supersedes everything replayed so far.
+		rec.Applies = nil
+		rec.Records = nil
+		*staged = nil
+		if rec.Cursor < global {
+			rec.Cursor = global
+		}
+	case KindApply:
+		v := d.varint()
+		ws := d.writeset()
+		if d.err == nil {
+			rec.Applies = append(rec.Applies, Apply{Local: v, WS: ws})
+		}
+	case KindCursor:
+		v := d.varint()
+		if d.err == nil && v > rec.Cursor {
+			rec.Cursor = v
+		}
+	}
+}
+
+// frame wraps a payload in its length+CRC header.
+func frame(payload []byte) []byte {
+	out := make([]byte, headerSize, headerSize+len(payload))
+	binary.BigEndian.PutUint32(out, uint32(len(payload)))
+	binary.BigEndian.PutUint32(out[4:], crc32.Checksum(payload, crcTable))
+	return append(out, payload...)
+}
+
+// appendFrame appends one framed payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// write appends buf to the segment under mu, returning the covering
+// sequence number for Sync.
+func (w *WAL) write(buf []byte) (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if err := w.stickyErr(); err != nil {
+		return 0, err
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		return 0, w.fail(fmt.Errorf("wal: write: %w", err))
+	}
+	w.size += int64(len(buf))
+	return w.seq.Add(1), nil
+}
+
+// Append stages recs (certified writesets in version order) followed
+// by one commit marker, in a single write. It implements the staging
+// half of certifier.Journal; call Sync with the returned sequence to
+// make the batch durable before acknowledging.
+func (w *WAL) Append(recs []certifier.Record) (int64, error) {
+	if len(recs) == 0 {
+		return w.seq.Load(), w.stickyErr()
+	}
+	buf := w.takeBuf()
+	max := int64(0)
+	for _, r := range recs {
+		buf = appendFrame(buf, encodeWriteset(nil, r.Version, r.Writeset))
+		if r.Version > max {
+			max = r.Version
+		}
+	}
+	buf = appendFrame(buf, encodeCommit(nil, max))
+	seq, err := w.write(buf)
+	w.putBuf(buf)
+	return seq, err
+}
+
+// AppendApply journals one local database installation (no sync: the
+// apply stream is lazily durable; acks ride the certified stream).
+func (w *WAL) AppendApply(local int64, ws writeset.Writeset) error {
+	buf := w.takeBuf()
+	buf = appendFrame(buf, encodeApply(nil, local, ws))
+	_, err := w.write(buf)
+	w.putBuf(buf)
+	return err
+}
+
+// AppendTable journals a table creation.
+func (w *WAL) AppendTable(name string) error {
+	buf := appendFrame(nil, encodeTable(nil, name))
+	_, err := w.write(buf)
+	return err
+}
+
+// AppendCursor journals the propagation cursor: the global version
+// this replica has applied. A restarted replica resumes FetchSince
+// from the highest cursor on disk.
+func (w *WAL) AppendCursor(global int64) error {
+	buf := appendFrame(nil, encodeCursor(nil, global))
+	_, err := w.write(buf)
+	return err
+}
+
+// takeBuf/putBuf reuse one append buffer across calls (appends already
+// serialize on mu, contention just falls back to allocating).
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func (w *WAL) takeBuf() []byte {
+	b := bufPool.Get().(*[]byte)
+	return (*b)[:0]
+}
+
+func (w *WAL) putBuf(b []byte) {
+	if cap(b) <= maxRecord {
+		bufPool.Put(&b)
+	}
+}
+
+// Sync blocks until every write at or before seq is durable. With
+// Options.Fsync off it is a no-op beyond surfacing sticky errors.
+// Concurrent callers share fsyncs: a single fsync covers every
+// sequence written before it started, so commits that raced into the
+// same window find their data already durable and return without
+// touching the disk — group commit.
+func (w *WAL) Sync(seq int64) error {
+	if !w.fsync {
+		return w.stickyErr()
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if err := w.stickyErr(); err != nil {
+		return err
+	}
+	if w.synced >= seq {
+		return nil // a racing caller's fsync already covered us
+	}
+	// Capture the covered sequence before fsync: everything written
+	// (seq is bumped after the write completes) is in the file by now.
+	// w.f is stable under syncMu — compaction swaps it only while
+	// holding this lock.
+	cover := w.seq.Load()
+	if err := w.f.Sync(); err != nil {
+		return w.fail(fmt.Errorf("wal: fsync: %w", err))
+	}
+	if cover > w.synced {
+		w.synced = cover
+	}
+	return nil
+}
+
+// Seq returns the sequence of the latest completed append, so
+// Sync(Seq()) is the barrier "everything journaled so far is durable"
+// — what a single-master commit waits on after its writeset was
+// journaled through the apply hook.
+func (w *WAL) Seq() int64 { return w.seq.Load() }
+
+// Size returns the current segment size in bytes (the compaction
+// trigger input).
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Epoch returns the current segment epoch.
+func (w *WAL) Epoch() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.epoch
+}
+
+// Compact rewrites the log around a full-state snapshot taken at
+// global version snapGlobal / local version snapLocal: the new segment
+// holds a fresh epoch header, the table set, the snapshot, and every
+// record of the old segment still needed — certified writesets (and
+// their markers and cursors) above base, applies above keepApplies.
+// base <= snapGlobal bounds which certified history is dropped: a
+// certifier host passes its peer-cursor GC horizon so a disconnected
+// replica's pending records survive compaction even though the
+// snapshot already contains their effects. keepApplies is normally
+// snapLocal (the snapshot supersedes the local stream below itself)
+// but a single-master node, whose apply stream doubles as the
+// propagation log, passes its slave horizon instead; Restore skips
+// retained applies the snapshot already covers. The swap is
+// crash-atomic: the new segment is fully written and synced as a tmp
+// file, renamed over the old one, and the directory synced; a crash
+// anywhere leaves either the complete old log or the complete new one.
+//
+// The snapshot must be captured before calling (under the engine's
+// apply lock); records that commit between the capture and the swap
+// are above the snapshot versions and therefore carried over.
+func (w *WAL) Compact(base, snapGlobal, snapLocal, keepApplies int64, tables []string, state map[string]map[int64]string) error {
+	if base > snapGlobal {
+		base = snapGlobal
+	}
+	if keepApplies > snapLocal {
+		keepApplies = snapLocal
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if err := w.stickyErr(); err != nil {
+		return err
+	}
+
+	old, err := w.fsys.ReadFile(segName)
+	if err != nil {
+		return fmt.Errorf("wal: compact read: %w", err)
+	}
+
+	var buf []byte
+	buf = appendFrame(buf, encodeBeginEpoch(nil, w.epoch+1, base))
+	for _, t := range tables {
+		buf = appendFrame(buf, encodeTable(nil, t))
+	}
+	buf = appendFrame(buf, encodeSnapshot(nil, snapGlobal, snapLocal, state))
+
+	// Carry over the still-needed tail of the old segment, frame by
+	// frame, bytes verbatim.
+	off := 0
+	for {
+		payload, n := nextFrame(old[off:])
+		if payload == nil {
+			break
+		}
+		if keepFrame(payload, base, keepApplies) {
+			buf = append(buf, old[off:off+n]...)
+		}
+		off += n
+	}
+
+	// Failures before the rename leave the old segment and its append
+	// handle fully intact: report them without poisoning the log, so a
+	// transient ENOSPC/EIO during the (space-doubling) tmp write only
+	// delays compaction instead of killing every future commit.
+	abandon := func(err error) error {
+		_ = w.fsys.Remove(tmpName)
+		return err
+	}
+	tmp, err := w.fsys.Create(tmpName)
+	if err != nil {
+		return abandon(fmt.Errorf("wal: compact create: %w", err))
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return abandon(fmt.Errorf("wal: compact write: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return abandon(fmt.Errorf("wal: compact sync: %w", err))
+	}
+	tmp.Close()
+	if err := w.fsys.Rename(tmpName, segName); err != nil {
+		return abandon(fmt.Errorf("wal: compact rename: %w", err))
+	}
+	// Past the rename the old segment is gone: failures here ARE fatal
+	// — continuing to append through the old handle would write to an
+	// unlinked file, silently dropping durability.
+	if err := w.fsys.SyncDir(); err != nil {
+		return w.fail(fmt.Errorf("wal: compact sync dir: %w", err))
+	}
+
+	// Switch appends to the new segment, holding syncMu so no fsync is
+	// in flight on the handle being retired. The tmp file was fully
+	// written and synced before the rename, so everything in the new
+	// segment is already durable: outstanding Sync callers are covered.
+	newF, err := w.fsys.OpenAppend(segName, int64(len(buf)))
+	if err != nil {
+		return w.fail(fmt.Errorf("wal: compact reopen: %w", err))
+	}
+	w.syncMu.Lock()
+	_ = w.f.Close()
+	w.f = newF
+	w.synced = w.seq.Load()
+	w.syncMu.Unlock()
+	w.size = int64(len(buf))
+	w.epoch++
+	w.base = base
+	return nil
+}
+
+// keepFrame reports whether an old-segment frame survives compaction.
+// Commit markers follow the writesets they cover: one at or below base
+// can only cover dropped writesets.
+func keepFrame(payload []byte, base, keepApplies int64) bool {
+	if len(payload) == 0 {
+		return false
+	}
+	d := &walDecoder{b: payload[1:]}
+	switch payload[0] {
+	case KindWriteset, KindCommit, KindCursor:
+		return d.varint() > base
+	case KindApply:
+		return d.varint() > keepApplies
+	case KindTable:
+		// A table created between the snapshot capture and the swap is
+		// in the old segment but not in the captured state; keep every
+		// table frame (replay dedups) so it cannot be lost.
+		return true
+	default: // old epoch header, old snapshot (rewritten fresh)
+		return false
+	}
+}
+
+// Close closes the segment. Later operations fail with ErrClosed.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.fail(ErrClosed)
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	return w.f.Close()
+}
+
+// --- record encodings ---
+
+func encodeBeginEpoch(b []byte, epoch, base int64) []byte {
+	b = append(b, KindBeginEpoch)
+	b = binary.AppendVarint(b, epoch)
+	return binary.AppendVarint(b, base)
+}
+
+func encodeTable(b []byte, name string) []byte {
+	b = append(b, KindTable)
+	return appendWALString(b, name)
+}
+
+func encodeWriteset(b []byte, version int64, ws writeset.Writeset) []byte {
+	b = append(b, KindWriteset)
+	b = binary.AppendVarint(b, version)
+	return appendWALWriteset(b, ws)
+}
+
+func encodeCommit(b []byte, version int64) []byte {
+	b = append(b, KindCommit)
+	return binary.AppendVarint(b, version)
+}
+
+func encodeApply(b []byte, local int64, ws writeset.Writeset) []byte {
+	b = append(b, KindApply)
+	b = binary.AppendVarint(b, local)
+	return appendWALWriteset(b, ws)
+}
+
+func encodeCursor(b []byte, global int64) []byte {
+	b = append(b, KindCursor)
+	return binary.AppendVarint(b, global)
+}
+
+func encodeSnapshot(b []byte, global, local int64, state map[string]map[int64]string) []byte {
+	b = append(b, KindSnapshot)
+	b = binary.AppendVarint(b, global)
+	b = binary.AppendVarint(b, local)
+	names := make([]string, 0, len(state))
+	for n := range state {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b = binary.AppendUvarint(b, uint64(len(names)))
+	for _, name := range names {
+		rows := state[name]
+		b = appendWALString(b, name)
+		b = binary.AppendUvarint(b, uint64(len(rows)))
+		ids := make([]int64, 0, len(rows))
+		for id := range rows {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			b = binary.AppendVarint(b, id)
+			b = appendWALString(b, rows[id])
+		}
+	}
+	return b
+}
+
+func appendWALString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendWALWriteset(b []byte, ws writeset.Writeset) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ws.Entries)))
+	for _, e := range ws.Entries {
+		b = appendWALString(b, e.Key.Table)
+		b = binary.AppendVarint(b, e.Key.Row)
+		if e.Delete {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendWALString(b, e.Value)
+	}
+	return b
+}
+
+// maxPrealloc bounds slice/map preallocation from counts read out of
+// the log, so a corrupt-but-CRC-valid count cannot force a huge
+// allocation.
+const maxPrealloc = 4096
+
+func clampPrealloc(n uint64) int {
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return int(n)
+}
+
+// walDecoder consumes a record payload with sticky error handling.
+type walDecoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *walDecoder) fail() {
+	if d.err == nil {
+		d.err = errors.New("wal: truncated record field")
+	}
+}
+
+func (d *walDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *walDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *walDecoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *walDecoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func (d *walDecoder) writeset() writeset.Writeset {
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return writeset.Writeset{}
+	}
+	if n > uint64(len(d.b)-d.off) { // each entry is >= 4 bytes
+		d.fail()
+		return writeset.Writeset{}
+	}
+	entries := make([]writeset.Entry, 0, clampPrealloc(n))
+	for i := uint64(0); i < n; i++ {
+		var e writeset.Entry
+		e.Key.Table = d.str()
+		e.Key.Row = d.varint()
+		e.Delete = d.byte() != 0
+		e.Value = d.str()
+		if d.err != nil {
+			return writeset.Writeset{}
+		}
+		entries = append(entries, e)
+	}
+	return writeset.New(entries)
+}
+
+var _ certifier.Journal = (*WAL)(nil)
