@@ -1,10 +1,13 @@
 package sm
 
 import (
+	"errors"
 	"testing"
 
+	"repro/internal/repl"
 	"repro/internal/sidb"
 	"repro/internal/wal"
+	"repro/internal/writeset"
 )
 
 // TestDurableMasterJournalsCommits: with Options.Durable the master's
@@ -74,5 +77,44 @@ func TestDurableMasterJournalsCommits(t *testing.T) {
 func TestDurableRequiresJournal(t *testing.T) {
 	if _, err := New(Options{Replicas: 1, Durable: true}); err == nil {
 		t.Fatal("Durable without Journal accepted")
+	}
+}
+
+// closedJournal models a WAL whose graceful Close raced an in-flight
+// commit: the append landed, but the group fsync reports ErrClosed.
+type closedJournal struct{}
+
+func (closedJournal) AppendApply(int64, writeset.Writeset) error { return nil }
+func (closedJournal) Seq() int64                                 { return 1 }
+func (closedJournal) Sync(int64) error                           { return wal.ErrClosed }
+
+// TestCommitDuringCloseReturnsAmbiguousOutcome: a Sync failing with
+// wal.ErrClosed is a clean-shutdown race, not a disk failure — Commit
+// must report the unknown outcome instead of panicking the process,
+// and must not look like an abort (a blind retry could double-apply).
+func TestCommitDuringCloseReturnsAmbiguousOutcome(t *testing.T) {
+	c, err := New(Options{Replicas: 1, Durable: true, Journal: closedJournal{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := c.BeginUpdate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write("t", 1, "v"); err != nil {
+		t.Fatal(err)
+	}
+	err = tx.Commit()
+	if err == nil {
+		t.Fatal("commit acknowledged although its durability is unknown")
+	}
+	if !errors.Is(err, wal.ErrClosed) {
+		t.Fatalf("commit error %v, want wal.ErrClosed in the chain", err)
+	}
+	if errors.Is(err, repl.ErrAborted) {
+		t.Fatalf("ambiguous outcome reported as an abort: %v", err)
 	}
 }

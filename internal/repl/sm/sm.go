@@ -20,6 +20,7 @@ import (
 	"repro/internal/lb"
 	"repro/internal/repl"
 	"repro/internal/sidb"
+	"repro/internal/wal"
 	"repro/internal/writeset"
 )
 
@@ -32,6 +33,25 @@ type Journal interface {
 	AppendApply(local int64, ws writeset.Writeset) error
 	Seq() int64
 	Sync(seq int64) error
+}
+
+// SyncCommit blocks on the journal's group fsync after a commit was
+// installed in the master database, gating the acknowledgement. A Sync
+// failing with wal.ErrClosed is a graceful Close racing the in-flight
+// commit — no disk failure, just an ambiguous outcome for the caller
+// to surface. Any other failure is fail-stop: the commit is installed
+// in memory but would roll back on restart, so limping on would serve
+// state the slaves can never receive. Both single-master commit paths
+// (the in-process Txn and the server's proxy) gate on this one helper
+// so their crash behavior cannot diverge.
+func SyncCommit(j Journal, version int64) error {
+	if err := j.Sync(j.Seq()); err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			return fmt.Errorf("sm: commit durability unknown (shutting down): %w", err)
+		}
+		panic(fmt.Sprintf("sm: WAL sync failed after commit install (version %d): %v", version, err))
+	}
+	return nil
 }
 
 // Options configure a single-master cluster.
@@ -282,14 +302,9 @@ func (t *Txn) Commit() error {
 	if t.cluster.opts.Durable {
 		// The writeset was journaled by the apply hook inside the
 		// database commit; block on the group fsync before the commit
-		// is acknowledged (or propagated). A sync failure is
-		// fail-stop, like the slave-apply panics above: the commit is
-		// installed in the master's memory but would roll back on
-		// restart, so continuing would serve state the slaves never
-		// receive.
-		j := t.cluster.opts.Journal
-		if err := j.Sync(j.Seq()); err != nil {
-			panic(fmt.Sprintf("sm: WAL sync failed after commit install (version %d): %v", version, err))
+		// is acknowledged (or propagated).
+		if err := SyncCommit(t.cluster.opts.Journal, version); err != nil {
+			return err
 		}
 	}
 	t.cluster.record(version, ws)

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/sidb"
@@ -15,6 +16,9 @@ type durability struct {
 	w            *wal.WAL
 	compactAfter int64
 	lastCursor   atomic.Int64
+	// compactMu makes a snapshot capture and the WAL rewrite around it
+	// one atomic unit (see maybeCompact).
+	compactMu sync.Mutex
 	// lastCompact is the segment size right after the previous
 	// compaction attempt: re-attempting before meaningful growth would
 	// livelock on full-segment rewrites whenever compaction cannot
@@ -50,8 +54,18 @@ func (d *durability) applyHook() func(ws writeset.Writeset, version int64) error
 	}
 }
 
-// table journals a created table.
-func (d *durability) table(name string) error { return d.w.AppendTable(name) }
+// sync blocks on the group fsync covering everything journaled so far.
+func (d *durability) sync() error { return d.w.Sync(d.w.Seq()) }
+
+// table journals a created table and blocks on the group fsync before
+// the caller acknowledges: DDL is acked to the client, so like a commit
+// it must not evaporate in a power loss.
+func (d *durability) table(name string) error {
+	if err := d.w.AppendTable(name); err != nil {
+		return err
+	}
+	return d.sync()
+}
 
 // cursor journals the propagation cursor (the global version this
 // replica has applied), skipping repeats so an idle poll loop does not
@@ -78,22 +92,42 @@ func (d *durability) due() bool {
 	return size >= d.compactAfter && size >= d.lastCompact.Load()+d.compactAfter/8
 }
 
-// compactSnapshot rewrites the WAL around a consistent full-state
-// snapshot. base bounds which certified records are dropped (on the
+// maybeCompact runs one capture-and-rewrite cycle when the segment has
+// outgrown its bound. capture produces a consistent full-state
+// snapshot: base bounds which certified records are dropped (on the
 // certifier host this is the peer-cursor GC horizon, never past what a
-// disconnected replica still needs); applied/local position the
+// disconnected replica still needs); snapGlobal/snapLocal position the
 // snapshot itself; keepApplies bounds which local applies are dropped
 // (the sm master keeps its slave horizon's worth, everyone else drops
 // up to the snapshot).
-func (d *durability) compactSnapshot(base, applied, local, keepApplies int64, state map[string]map[int64]string) {
-	if base > applied {
-		base = applied
+//
+// compactMu is held across BOTH the capture and the rewrite, making
+// them one atomic unit. Callers race (the propagation run loop and the
+// wire Sync handlers both land here), and without the lock a goroutine
+// holding an older capture could rewrite the segment after a competitor
+// compacted with a newer one: the rewrite drops the newer snapshot
+// frame while the applies it superseded are already gone, and a
+// retained cursor above the lost versions makes a restart resume
+// FetchSince past them — silently losing durably acked commits.
+// WAL.Compact rejects stale snapshots as a second line of defense.
+func (d *durability) maybeCompact(capture func() (base, snapGlobal, snapLocal, keepApplies int64, state map[string]map[int64]string, err error)) {
+	if !d.due() {
+		return
+	}
+	d.compactMu.Lock()
+	defer d.compactMu.Unlock()
+	if !d.due() {
+		return // a racing compaction already rewrote the segment
+	}
+	base, snapGlobal, snapLocal, keepApplies, state, err := capture()
+	if err != nil {
+		return
 	}
 	names := make([]string, 0, len(state))
 	for name := range state {
 		names = append(names, name)
 	}
-	_ = d.w.Compact(base, applied, local, keepApplies, names, state)
+	_ = d.w.Compact(base, snapGlobal, snapLocal, keepApplies, names, state)
 	// Record the post-attempt size whether or not the rewrite shrank
 	// (or succeeded at all): due() only re-arms after real growth.
 	d.lastCompact.Store(d.w.Size())

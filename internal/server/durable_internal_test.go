@@ -1,0 +1,104 @@
+package server
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+	"repro/internal/writeset"
+)
+
+// TestMaybeCompactSerializesCaptureAndRewrite pins the fix for the
+// concurrent-compaction data loss: noteApplied runs from both the
+// propagation run loop and the wire Sync handlers, so two goroutines
+// could capture snapshots out of order and the one holding the OLDER
+// capture could rewrite the WAL after its competitor compacted with a
+// newer one — dropping the newer snapshot while the applies it
+// superseded were already gone. maybeCompact must hold its lock across
+// BOTH the capture and the rewrite: a second caller may not start its
+// capture while the first is mid-compaction.
+func TestMaybeCompactSerializesCaptureAndRewrite(t *testing.T) {
+	fs := wal.NewMemFS()
+	w, _, err := wal.Open(wal.Options{FS: fs, Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &durability{w: w, compactAfter: 1} // any growth makes compaction due
+	for v := int64(1); v <= 4; v++ {
+		if err := w.AppendApply(v, writeset.FromRows("t", v, []string{"x"})); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	entered := make(chan struct{}) // the first capture has started
+	release := make(chan struct{}) // lets the first capture finish
+	var captures atomic.Int32
+
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		d.maybeCompact(func() (int64, int64, int64, int64, map[string]map[int64]string, error) {
+			captures.Add(1)
+			close(entered)
+			<-release
+			return 4, 4, 4, 4, map[string]map[int64]string{"t": {1: "new"}}, nil
+		})
+	}()
+	<-entered
+
+	// The racing caller: its capture would be older (version 2). It must
+	// block behind the first compaction, not interleave with it.
+	secondDone := make(chan struct{})
+	go func() {
+		defer close(secondDone)
+		d.maybeCompact(func() (int64, int64, int64, int64, map[string]map[int64]string, error) {
+			captures.Add(1)
+			return 2, 2, 2, 2, map[string]map[int64]string{"t": {1: "old"}}, nil
+		})
+	}()
+	time.Sleep(20 * time.Millisecond) // give an unserialized capture time to run
+	if n := captures.Load(); n != 1 {
+		t.Fatalf("second capture ran while the first was mid-compaction (%d captures)", n)
+	}
+	close(release)
+	<-firstDone
+	<-secondDone
+	w.Close()
+
+	// Whatever the second caller did once unblocked (skip on due(), or a
+	// stale rewrite the WAL rejects), the newer snapshot must survive.
+	fs.PowerCycle(true)
+	_, rec, err := wal.Open(wal.Options{FS: fs, Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapLocal != 4 || rec.Snapshot["t"][1] != "new" {
+		t.Fatalf("recovered snapshot local %d %+v, want the newer capture (local 4)", rec.SnapLocal, rec.Snapshot)
+	}
+}
+
+// TestCreateTableDurableBeforeAck: durability.table backs the
+// CreateTable acknowledgement, so it must block on the group fsync —
+// an acked table creation may not vanish in a power loss.
+func TestCreateTableDurableBeforeAck(t *testing.T) {
+	fs := wal.NewMemFS()
+	w, _, err := wal.Open(wal.Options{FS: fs, Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &durability{w: w}
+	if err := d.table("acked"); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	fs.PowerCycle(false) // power loss: unsynced bytes vanish
+	_, rec, err := wal.Open(wal.Options{FS: fs, Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Tables) != 1 || rec.Tables[0] != "acked" {
+		t.Fatalf("recovered tables %v, want [acked]", rec.Tables)
+	}
+}

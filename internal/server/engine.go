@@ -405,7 +405,16 @@ func (e *mmEngine) createTable(name string) error {
 }
 
 func (e *mmEngine) loadRows(table string, start int64, values []string) error {
-	return e.cl.LoadRows(table, start, values)
+	if err := e.cl.LoadRows(table, start, values); err != nil {
+		return err
+	}
+	if e.dur != nil {
+		// Loaded rows are acked but, unlike certified commits, not in
+		// the certifier log — FetchSince can never re-deliver them — so
+		// like DDL they must be durable before the ack.
+		return e.dur.sync()
+	}
+	return nil
 }
 
 func (e *mmEngine) dump(table string) (map[int64]string, error) { return e.cl.TableDump(0, table) }
@@ -535,13 +544,18 @@ func (e *mmEngine) installSnapshot(version int64, tables map[string]map[int64]st
 	if e.dur != nil {
 		// The installed rows were journaled through the apply hook;
 		// record the table set and the cursor so a restart resumes
-		// past the snapshot.
+		// past the snapshot. One fsync at the end covers the whole
+		// install before it is acknowledged (not d.table per name,
+		// which would fsync once per table).
 		for name := range tables {
-			if err := e.dur.table(name); err != nil {
+			if err := e.dur.w.AppendTable(name); err != nil {
 				return err
 			}
 		}
 		e.dur.cursor(version)
+		if err := e.dur.sync(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -588,32 +602,47 @@ func runPuller(stop <-chan struct{}, puller *client.Link, cursor func() int64, l
 	}
 }
 
-// noteApplied journals the propagation cursor after applies landed and
-// compacts the WAL once the segment outgrows its bound.
+// noteApplied journals the propagation cursor after applies landed —
+// a cheap append. Compaction is deliberately NOT triggered here:
+// noteApplied runs on the wire Sync request path, and a full-segment
+// rewrite (dump, rewrite, fsync, rename) would stall one unlucky
+// client for the whole of it. The background run loop compacts within
+// one poll interval instead (maybeCompactDurable).
 func (e *mmEngine) noteApplied() {
 	if e.dur == nil {
 		return
 	}
 	e.dur.cursor(e.applied())
-	if !e.dur.due() {
+}
+
+// maybeCompactDurable rewrites the WAL around a fresh consistent
+// snapshot once the segment outgrows its bound (background loops
+// only; see noteApplied). The capture and rewrite go through
+// durability.maybeCompact, which serializes them as one unit so
+// racing callers cannot regress the log.
+func (e *mmEngine) maybeCompactDurable() {
+	if e.dur == nil {
 		return
 	}
-	applied, local, state, err := e.cl.SnapshotDurable(0)
-	if err != nil {
-		return
-	}
-	// On the certifier host, drop certified history only up to the
-	// peer-cursor GC horizon: a disconnected replica's pending records
-	// must survive compaction so it can still FetchSince its way back.
-	base := applied
-	if e.cursors != nil {
-		h, ok := e.cursors.horizon(applied)
-		if !ok {
-			h = 0
+	e.dur.maybeCompact(func() (int64, int64, int64, int64, map[string]map[int64]string, error) {
+		applied, local, state, err := e.cl.SnapshotDurable(0)
+		if err != nil {
+			return 0, 0, 0, 0, nil, err
 		}
-		base = h
-	}
-	e.dur.compactSnapshot(base, applied, local, local, state)
+		// On the certifier host, drop certified history only up to the
+		// peer-cursor GC horizon: a disconnected replica's pending
+		// records must survive compaction so it can still FetchSince its
+		// way back.
+		base := applied
+		if e.cursors != nil {
+			h, ok := e.cursors.horizon(applied)
+			if !ok {
+				h = 0
+			}
+			base = h
+		}
+		return base, applied, local, local, state, nil
+	})
 }
 
 // run is the writeset propagation loop. The certifier host applies
@@ -630,6 +659,7 @@ func (e *mmEngine) run(stop <-chan struct{}) {
 			e.host.notify.waitBeyond(e.applied(), pollInterval, stop)
 			if e.cl.Sync(); e.dur != nil {
 				e.noteApplied()
+				e.maybeCompactDurable()
 			}
 			// Evict elastic members that stopped proving liveness — a
 			// joiner that crashed mid-state-transfer, or a replica
@@ -644,6 +674,10 @@ func (e *mmEngine) run(stop <-chan struct{}) {
 		if e.cl.ApplyRecords(0, recs) > 0 {
 			e.noteApplied()
 		}
+		// Compact whenever records arrived, even if a client's wire
+		// Sync handler won the race to apply them — otherwise a replica
+		// whose applies are always won that way would never compact.
+		e.maybeCompactDurable()
 	})
 }
 
@@ -743,30 +777,41 @@ func (e *smEngine) createTable(name string) error {
 // segment outgrows its bound. Master versions are absolute, so the
 // snapshot's local version doubles as the global one; on the master
 // the drop horizon additionally respects the slave cursors, exactly
-// like propagation-log GC.
+// like propagation-log GC. The capture and rewrite go through
+// durability.maybeCompact so racing callers cannot regress the log.
 func (e *smEngine) maybeCompact() {
-	if e.dur == nil || !e.dur.due() {
+	if e.dur == nil {
 		return
 	}
-	local, state, err := consistentDump(e.db)
-	if err != nil {
-		return
-	}
-	base := local
-	if e.isMaster && e.cursors != nil {
-		h, ok := e.cursors.horizon(local)
-		if !ok {
-			h = 0
+	e.dur.maybeCompact(func() (int64, int64, int64, int64, map[string]map[int64]string, error) {
+		local, state, err := consistentDump(e.db)
+		if err != nil {
+			return 0, 0, 0, 0, nil, err
 		}
-		base = h
-	}
-	// The master's apply stream doubles as the propagation log: keep
-	// applies above the slave horizon, not just above the snapshot.
-	e.dur.compactSnapshot(base, local, local, base, state)
+		base := local
+		if e.isMaster && e.cursors != nil {
+			h, ok := e.cursors.horizon(local)
+			if !ok {
+				h = 0
+			}
+			base = h
+		}
+		// The master's apply stream doubles as the propagation log: keep
+		// applies above the slave horizon, not just above the snapshot.
+		return base, local, local, base, state, nil
+	})
 }
 
 func (e *smEngine) loadRows(table string, start int64, values []string) error {
-	return e.db.ApplyWriteset(writeset.FromRows(table, start, values), e.db.Version()+1)
+	if err := e.db.ApplyWriteset(writeset.FromRows(table, start, values), e.db.Version()+1); err != nil {
+		return err
+	}
+	if e.dur != nil {
+		// Loaded rows are acked but not re-fetchable from the master's
+		// propagation log, so they must be durable before the ack.
+		return e.dur.sync()
+	}
+	return nil
 }
 
 func (e *smEngine) dump(table string) (map[int64]string, error) { return e.db.Dump(table) }
@@ -952,19 +997,11 @@ func (t *smTxn) Commit() error {
 		if d := t.e.dur; d != nil {
 			// The writeset was journaled by the database's apply hook
 			// inside Commit; block on the group fsync before the commit
-			// is acknowledged or propagated. A sync failure here is
-			// fail-stop: the commit is already installed in the master
-			// database but a restart would roll it back, so limping on
-			// would serve state the slaves can never receive (the
-			// fsync-gate lesson — crash, restart, recover the durable
-			// prefix).
-			if err := d.w.Sync(d.w.Seq()); err != nil {
-				if errors.Is(err, wal.ErrClosed) {
-					// Graceful shutdown racing the commit: no disk
-					// failure, just report the ambiguous outcome.
-					return fmt.Errorf("server: commit durability unknown (shutting down): %w", err)
-				}
-				panic(fmt.Sprintf("server: WAL sync failed after commit install (version %d): %v", version, err))
+			// is acknowledged or propagated (fail-stop on real disk
+			// failures, ambiguous outcome on a clean-shutdown race —
+			// see sm.SyncCommit).
+			if err := sm.SyncCommit(d.w, version); err != nil {
+				return err
 			}
 		}
 		t.e.wlog.Append(version, ws)

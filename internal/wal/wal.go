@@ -26,8 +26,11 @@
 //
 // Recovery semantics. A certified writeset counts as committed only
 // once a commit marker at or above its version is on disk; staged
-// writesets whose marker never made it are discarded, which is what
-// makes a torn group-commit batch atomic. The apply stream (KindApply)
+// writesets whose marker never made it are discarded AND truncated
+// from the segment, which is what makes a torn group-commit batch
+// atomic — recovery reuses their versions, so a stale staged frame
+// left on disk would be retroactively committed by the next marker at
+// a reused version and resurrect a never-acked writeset. The apply stream (KindApply)
 // replays the local database byte-for-byte; snapshot records replace
 // replay below their version after compaction.
 package wal
@@ -89,6 +92,13 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrClosed is returned by operations on a closed WAL.
 var ErrClosed = errors.New("wal: closed")
+
+// ErrStaleSnapshot is returned by Compact when the offered snapshot is
+// older than the one already in the segment: a concurrent compaction
+// won with a newer capture, and rewriting the log around the stale one
+// would drop durable history (the newer snapshot's frame is discarded
+// while the applies it superseded are already gone).
+var ErrStaleSnapshot = errors.New("wal: compact: snapshot older than the segment's current one")
 
 // Options configure Open.
 type Options struct {
@@ -197,12 +207,13 @@ type WAL struct {
 	fsys  FS
 	fsync bool
 
-	mu     sync.Mutex // serializes writes, compaction and close
-	f      File
-	size   int64
-	epoch  int64
-	base   int64
-	closed bool
+	mu        sync.Mutex // serializes writes, compaction and close
+	f         File
+	size      int64
+	epoch     int64
+	base      int64
+	snapLocal int64 // local version of the segment's snapshot (0: none)
+	closed    bool
 
 	seq atomic.Int64 // bumped per completed buffered write
 
@@ -286,23 +297,60 @@ func Open(opts Options) (*WAL, *Recovered, error) {
 		return nil, nil, fmt.Errorf("wal: reopen: %w", err)
 	}
 	w.f, w.size = f, good
-	w.epoch, w.base = rec.Epoch, rec.Base
+	w.epoch, w.base, w.snapLocal = rec.Epoch, rec.Base, rec.SnapLocal
 	return w, rec, nil
 }
 
 // replay parses data, returning the recovered state and the byte
-// length of the valid prefix.
+// length of the prefix to keep. The prefix excludes a trailing run of
+// frames containing staged writesets whose commit marker never landed
+// (a group-commit batch torn between its writeset frames and the
+// marker): recovery reuses their versions, so leaving those frames in
+// the segment would let the NEXT commit marker at a reused version
+// retroactively commit them on a later replay — resurrecting a
+// never-acked writeset as committed history ahead of the acked one.
+// Open truncates the file at the returned length, removing them.
+//
+// One pass over the segment: frames inside a possibly-uncovered staged
+// run are buffered (not decoded) until a commit marker or snapshot
+// settles the run — this writer appends each batch's writesets and
+// marker in a single write, so an unsettled run can only be the torn
+// tail — and a run still pending at the end of the log is dropped.
 func replay(data []byte) (*Recovered, int64) {
 	rec := &Recovered{Epoch: 1}
 	var staged []certifier.Record
-	off := 0
+	var pending [][]byte // frames since the first uncovered staged writeset
+	off, settled := 0, 0
 	for {
 		payload, n := nextFrame(data[off:])
 		if payload == nil {
 			break
 		}
-		decodeInto(rec, &staged, payload)
 		off += n
+		switch {
+		case payload[0] == KindWriteset:
+			pending = append(pending, payload)
+		case payload[0] == KindCommit || payload[0] == KindSnapshot:
+			// This writer's commit markers cover the whole batch staged
+			// before them (Append writes max(batch)); a snapshot
+			// supersedes staged state entirely. Either way the pending
+			// run is settled: decode it, then the settling frame.
+			for _, p := range pending {
+				decodeInto(rec, &staged, p)
+			}
+			pending = pending[:0]
+			decodeInto(rec, &staged, payload)
+			settled = off
+		case len(pending) > 0:
+			pending = append(pending, payload)
+		default:
+			decodeInto(rec, &staged, payload)
+			settled = off
+		}
+	}
+	good := int64(off)
+	if len(pending) > 0 {
+		good = int64(settled)
 	}
 	sort.SliceStable(rec.Records, func(i, j int) bool {
 		return rec.Records[i].Version < rec.Records[j].Version
@@ -310,7 +358,7 @@ func replay(data []byte) (*Recovered, int64) {
 	if rec.Cursor < rec.Base {
 		rec.Cursor = rec.Base
 	}
-	return rec, int64(off)
+	return rec, good
 }
 
 // nextFrame returns the next frame's payload and total size, or nil at
@@ -578,7 +626,10 @@ func (w *WAL) Epoch() int64 {
 //
 // The snapshot must be captured before calling (under the engine's
 // apply lock); records that commit between the capture and the swap
-// are above the snapshot versions and therefore carried over.
+// are above the snapshot versions and therefore carried over. A
+// snapshot below the segment's current one — a capture that raced a
+// competitor's compaction — is rejected with ErrStaleSnapshot rather
+// than regressing the log.
 func (w *WAL) Compact(base, snapGlobal, snapLocal, keepApplies int64, tables []string, state map[string]map[int64]string) error {
 	if base > snapGlobal {
 		base = snapGlobal
@@ -593,6 +644,9 @@ func (w *WAL) Compact(base, snapGlobal, snapLocal, keepApplies int64, tables []s
 	}
 	if err := w.stickyErr(); err != nil {
 		return err
+	}
+	if snapLocal < w.snapLocal {
+		return fmt.Errorf("%w (offered local %d, segment has %d)", ErrStaleSnapshot, snapLocal, w.snapLocal)
 	}
 
 	old, err := w.fsys.ReadFile(segName)
@@ -668,6 +722,7 @@ func (w *WAL) Compact(base, snapGlobal, snapLocal, keepApplies int64, tables []s
 	w.size = int64(len(buf))
 	w.epoch++
 	w.base = base
+	w.snapLocal = snapLocal
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"sync"
@@ -116,8 +117,79 @@ func TestStagedWithoutCommitMarkerDiscarded(t *testing.T) {
 	if len(rec.Records) != 1 || rec.Records[0].Version != 1 {
 		t.Fatalf("uncommitted staged record must be discarded, got %+v", rec.Records)
 	}
-	if rec.TornBytes != 0 {
-		t.Fatalf("a valid-but-uncommitted frame is not a torn tail (got %d torn bytes)", rec.TornBytes)
+	// The stale frame must also be truncated, not just skipped:
+	// recovery reuses its version, and a frame left on disk would be
+	// retroactively committed by the next marker at the reused version.
+	if rec.TornBytes == 0 {
+		t.Fatal("uncommitted staged frame left in the segment")
+	}
+}
+
+// TestTornBatchFrameCannotResurrect pins the full failure the
+// truncation prevents: a batch torn after its writeset frame but
+// before the commit marker, a restart that reuses the version for a
+// new acked commit, and a second restart — the never-acked writeset
+// must not reappear as committed history at the reused version.
+func TestTornBatchFrameCannotResurrect(t *testing.T) {
+	fs := NewMemFS()
+	w, _, err := Open(Options{FS: fs, Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := w.Append([]certifier.Record{{Version: 1, Writeset: ws("t", 1, "v1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(seq); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// The torn batch: a valid KindWriteset frame for version 2 lands,
+	// its commit marker does not. It was never acked.
+	data, err := fs.ReadFile(segName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.OpenAppend(segName, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(frame(encodeWriteset(nil, 2, ws("t", 9, "never-acked"))))
+	f.Sync()
+	f.Close()
+
+	// Restart 1: version 2 is free again and a new commit is acked at
+	// it.
+	fs.PowerCycle(true)
+	w2, rec, err := Open(Options{FS: fs, Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.LastVersion(); got != 1 {
+		t.Fatalf("recovered to version %d, want 1", got)
+	}
+	seq, err = w2.Append([]certifier.Record{{Version: 2, Writeset: ws("t", 1, "acked")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Sync(seq); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+
+	// Restart 2: exactly one record at version 2, the acked one. Before
+	// the truncation fix, the stale staged frame was re-committed by
+	// the new marker and served to peers ahead of the acked record.
+	_, rec = reopen(t, fs, true)
+	var at2 []certifier.Record
+	for _, r := range rec.Records {
+		if r.Version == 2 {
+			at2 = append(at2, r)
+		}
+	}
+	if len(at2) != 1 || at2[0].Writeset.Entries[0].Value != "acked" {
+		t.Fatalf("version 2 records %+v, want exactly the acked one", at2)
 	}
 }
 
@@ -303,6 +375,50 @@ func TestCompaction(t *testing.T) {
 	if db.Version() != 10 {
 		t.Fatalf("restored local version %d, want 10", db.Version())
 	}
+}
+
+// TestCompactRejectsStaleSnapshot pins the concurrent-compaction
+// backstop: once a segment holds a snapshot at local version L, a
+// Compact offering one below L (a capture taken before a competitor's
+// rewrite won the race) is rejected instead of regressing the log —
+// the rewrite would drop the newer snapshot frame while the applies it
+// superseded are already gone, losing durably acked commits.
+func TestCompactRejectsStaleSnapshot(t *testing.T) {
+	fs := NewMemFS()
+	w, _, err := Open(Options{FS: fs, Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AppendTable("t")
+	for v := int64(1); v <= 4; v++ {
+		if err := w.AppendApply(v, ws("t", v, fmt.Sprintf("v%d", v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newer := map[string]map[int64]string{"t": {1: "v1", 2: "v2", 3: "v3", 4: "v4"}}
+	if err := w.Compact(4, 4, 4, 4, []string{"t"}, newer); err != nil {
+		t.Fatal(err)
+	}
+	stale := map[string]map[int64]string{"t": {1: "v1", 2: "v2"}}
+	if err := w.Compact(2, 2, 2, 2, []string{"t"}, stale); !errors.Is(err, ErrStaleSnapshot) {
+		t.Fatalf("stale compact: err=%v, want ErrStaleSnapshot", err)
+	}
+	// Equal is idempotent, not stale.
+	if err := w.Compact(4, 4, 4, 4, []string{"t"}, newer); err != nil {
+		t.Fatalf("same-version compact rejected: %v", err)
+	}
+	w.Close()
+
+	// The guard survives a restart: the reopened segment remembers its
+	// snapshot version.
+	w2, rec := reopen(t, fs, true)
+	if rec.SnapLocal != 4 || rec.Snapshot["t"][4] != "v4" {
+		t.Fatalf("recovered snapshot local %d %+v, want 4 with v4", rec.SnapLocal, rec.Snapshot)
+	}
+	if err := w2.Compact(2, 2, 2, 2, []string{"t"}, stale); !errors.Is(err, ErrStaleSnapshot) {
+		t.Fatalf("stale compact after reopen: err=%v, want ErrStaleSnapshot", err)
+	}
+	w2.Close()
 }
 
 // TestCompactionCrashLeavesOldOrNewLog power-cycles at every
