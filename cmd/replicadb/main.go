@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -226,6 +227,7 @@ func serveMain(args []string) {
 		eager   = fs.Bool("eager", false, "eager certification on writes (mm; remote probe per write on non-primary nodes)")
 		walDir  = fs.String("wal-dir", "", "durable commits: write-ahead log directory (replayed on start; a restarted replica resumes via FetchSince)")
 		fsync   = fs.Bool("fsync", false, "fsync WAL commits (group commit) before acknowledging; requires -wal-dir")
+		workers = fs.Int("apply-workers", runtime.GOMAXPROCS(0), "parallel writeset appliers: non-conflicting propagated writesets install concurrently (1 = serial apply)")
 
 		autoscale = fs.Bool("autoscale", false, "run the MVA autoscaler on this primary (mm, id 0): spawn/retire loopback replicas to track the live load")
 		minRep    = fs.Int("min", 1, "autoscaler: minimum replica count")
@@ -278,19 +280,23 @@ func serveMain(args []string) {
 	if *fsync && *walDir == "" {
 		usageExit(fs, "-fsync requires -wal-dir")
 	}
+	if *workers < 1 {
+		usageExit(fs, "-apply-workers must be >= 1 (got %d; 1 disables parallel apply)", *workers)
+	}
 	baseMix := mustMix(fs, *profMix)
 
 	opts := server.Options{
-		Design:      *design,
-		ID:          *id,
-		Listen:      *listen,
-		MetricsAddr: *metrics,
-		GroupCommit: *batch,
-		EagerCert:   *eager,
-		Replicas:    len(peerList),
-		Members:     peerList,
-		WALDir:      *walDir,
-		Fsync:       *fsync,
+		Design:       *design,
+		ID:           *id,
+		Listen:       *listen,
+		MetricsAddr:  *metrics,
+		GroupCommit:  *batch,
+		EagerCert:    *eager,
+		Replicas:     len(peerList),
+		Members:      peerList,
+		WALDir:       *walDir,
+		Fsync:        *fsync,
+		ApplyWorkers: *workers,
 	}
 	if *join != "" {
 		opts.Join = true

@@ -15,11 +15,13 @@ package mm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/certifier"
 	"repro/internal/lb"
 	"repro/internal/paxos"
 	"repro/internal/repl"
+	"repro/internal/repl/pipeline"
 	"repro/internal/sidb"
 	"repro/internal/writeset"
 )
@@ -85,19 +87,31 @@ type Options struct {
 	// Journal is the write-ahead log Durable commits flow through
 	// (typically a *wal.WAL); required when Durable is set.
 	Journal certifier.Journal
+	// ApplyWorkers sizes each replica's conflict-aware parallel
+	// applier: non-conflicting remote writesets install concurrently
+	// across the database's lock shards, while versions still retire
+	// strictly in order. <= 1 preserves the serial behavior.
+	ApplyWorkers int
 }
 
-// replica is one database node plus its proxy state.
+// replica is one database node plus its proxy state. The pipeline
+// applier owns both the apply lock and the applied cursor (highest
+// global version applied locally).
 type replica struct {
 	id int
 	db *sidb.DB
-
-	mu      sync.Mutex // serializes writeset application
-	applied int64      // highest version applied locally
+	ap *pipeline.Applier
 	// ready is false while an elastically added replica installs its
 	// state transfer; the propagation paths skip not-ready replicas
 	// (their database lacks the schema until the snapshot lands).
-	ready bool
+	// Reading a stale false only delays propagation by one pull.
+	ready atomic.Bool
+}
+
+// newReplica builds one node with its apply stage.
+func newReplica(id, workers int) *replica {
+	db := sidb.New()
+	return &replica{id: id, db: db, ap: pipeline.NewApplier(db, workers)}
 }
 
 // Cluster is a running multi-master system. Membership is elastic:
@@ -135,7 +149,9 @@ func New(opts Options) (*Cluster, error) {
 	}
 	c := &Cluster{opts: opts, balancer: lb.New(opts.Replicas)}
 	for i := 0; i < opts.Replicas; i++ {
-		c.slots = append(c.slots, &replica{id: i, db: sidb.New(), ready: true})
+		r := newReplica(i, opts.ApplyWorkers)
+		r.ready.Store(true)
+		c.slots = append(c.slots, r)
 	}
 	switch {
 	case opts.Cert != nil:
@@ -243,7 +259,9 @@ func (c *Cluster) Load(table string, rows int, value func(int64) string) error {
 	// certifier's global counter stays at zero, so the applied
 	// counters remain aligned at zero as well.
 	for _, r := range live {
-		r.applied = 0
+		if err := r.ap.Reset(func(int64) (int64, error) { return 0, nil }); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -251,18 +269,14 @@ func (c *Cluster) Load(table string, rows int, value func(int64) string) error {
 // syncTo applies certified writesets up to the latest known version at
 // replica r, in version order. The fetch happens outside the
 // application lock: with an injected remote CertService, Since is a
-// network round trip, and holding r.mu across it would stall every
-// Begin on this replica for the duration (ApplyRecords' version guards
-// make the unlocked window safe against concurrent appliers).
+// network round trip, and holding the apply lock across it would stall
+// every Begin on this replica for the duration (the applier's version
+// guards make the unlocked window safe against concurrent appliers).
 func (c *Cluster) syncTo(r *replica) {
-	r.mu.Lock()
-	ready := r.ready
-	v := r.applied
-	r.mu.Unlock()
-	if !ready {
+	if !r.ready.Load() {
 		return // still installing its state transfer
 	}
-	c.applyTo(r, c.cert.Since(v))
+	r.ap.Apply(c.cert.Since(r.ap.Applied()))
 }
 
 // Sync applies all outstanding writesets everywhere.
@@ -280,9 +294,18 @@ func (c *Cluster) Applied(ridx int) int64 {
 	if err != nil {
 		panic(err)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.applied
+	return r.ap.Applied()
+}
+
+// Applier exposes the ridx-th live replica's apply stage — the
+// networked server feeds its propagation pipeline through it and
+// reports its stats.
+func (c *Cluster) Applier(ridx int) *pipeline.Applier {
+	r, err := c.liveAt(ridx)
+	if err != nil {
+		panic(err)
+	}
+	return r.ap
 }
 
 // ApplyRecords installs already-fetched certified records at the
@@ -295,27 +318,7 @@ func (c *Cluster) ApplyRecords(ridx int, recs []certifier.Record) int {
 	if err != nil {
 		panic(err)
 	}
-	return c.applyTo(r, recs)
-}
-
-func (c *Cluster) applyTo(r *replica, recs []certifier.Record) int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	applied := 0
-	for _, rec := range recs {
-		if rec.Version <= r.applied {
-			continue
-		}
-		if rec.Version != r.applied+1 {
-			break
-		}
-		if err := r.db.ApplyWriteset(rec.Writeset, r.db.Version()+1); err != nil {
-			panic(fmt.Sprintf("mm: replica %d failed to apply version %d: %v", r.id, rec.Version, err))
-		}
-		r.applied = rec.Version
-		applied++
-	}
-	return applied
+	return r.ap.Apply(recs)
 }
 
 // LoadRows bulk-installs explicit row values [start, start+len(values))
@@ -326,7 +329,10 @@ func (c *Cluster) applyTo(r *replica, recs []certifier.Record) int {
 func (c *Cluster) LoadRows(table string, start int64, values []string) error {
 	ws := writeset.FromRows(table, start, values)
 	for _, r := range c.live() {
-		if err := r.db.ApplyWriteset(ws, r.db.Version()+1); err != nil {
+		err := r.ap.Reset(func(cur int64) (int64, error) {
+			return cur, r.db.ApplyWriteset(ws, r.db.Version()+1)
+		})
+		if err != nil {
 			return err
 		}
 	}
@@ -343,13 +349,11 @@ func (c *Cluster) LoadRows(table string, start int64, values []string) error {
 func (c *Cluster) GC() int {
 	oldest := int64(1<<62 - 1)
 	for _, r := range c.live() {
-		r.mu.Lock()
-		if !r.ready {
+		if !r.ready.Load() {
 			oldest = 0
-		} else if r.applied < oldest {
-			oldest = r.applied
+		} else if v := r.ap.Applied(); v < oldest {
+			oldest = v
 		}
-		r.mu.Unlock()
 	}
 	if oldest <= 0 {
 		return 0
@@ -372,19 +376,19 @@ func (c *Cluster) TableDump(replicaIdx int, table string) (map[int64]string, err
 	return r.db.Dump(table)
 }
 
-// snapshotLocked dumps every table of r plus the applied version they
-// are consistent at; r.mu must be held, which pins both to the same
-// point in the version order.
-func snapshotLocked(r *replica) (applied int64, tables map[string]map[int64]string, err error) {
-	tables = make(map[string]map[int64]string)
-	for _, name := range r.db.Tables() {
-		dump, err := r.db.Dump(name)
+// dumpTables captures every table's contents; the caller pins the
+// database (the replica's apply lock) so the dump is consistent with
+// one point in the version order.
+func dumpTables(db *sidb.DB) (map[string]map[int64]string, error) {
+	tables := make(map[string]map[int64]string)
+	for _, name := range db.Tables() {
+		dump, err := db.Dump(name)
 		if err != nil {
-			return 0, nil, err
+			return nil, err
 		}
 		tables[name] = dump
 	}
-	return r.applied, tables, nil
+	return tables, nil
 }
 
 // Snapshot captures a consistent full-state snapshot of the ridx-th
@@ -397,14 +401,18 @@ func (c *Cluster) Snapshot(ridx int) (int64, map[string]map[int64]string, error)
 	if err != nil {
 		return 0, nil, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return snapshotLocked(r)
+	var applied int64
+	var tables map[string]map[int64]string
+	r.ap.Pin(func(v int64) {
+		applied = v
+		tables, err = dumpTables(r.db)
+	})
+	return applied, tables, err
 }
 
 // InstallSnapshot installs a snapshot into the ridx-th live replica
 // and marks it ready: tables are created, contents applied outside
-// concurrency control, and the applied counter set to the snapshot
+// concurrency control, and the applied cursor set to the snapshot
 // version so catch-up resumes from there. It is the receiving half of
 // the join state transfer.
 func (c *Cluster) InstallSnapshot(ridx int, version int64, tables map[string]map[int64]string) error {
@@ -412,34 +420,37 @@ func (c *Cluster) InstallSnapshot(ridx int, version int64, tables map[string]map
 	if err != nil {
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return installLocked(r, version, tables)
+	return installSnapshot(r, version, tables)
 }
 
-// installLocked installs snapshot contents into r and marks it ready;
-// r.mu must be held.
-func installLocked(r *replica, version int64, tables map[string]map[int64]string) error {
-	for name, rows := range tables {
-		if err := r.db.CreateTable(name); err != nil {
-			return err
+// installSnapshot installs snapshot contents into r under its apply
+// lock and marks it ready.
+func installSnapshot(r *replica, version int64, tables map[string]map[int64]string) error {
+	err := r.ap.Reset(func(int64) (int64, error) {
+		for name, rows := range tables {
+			if err := r.db.CreateTable(name); err != nil {
+				return 0, err
+			}
+			entries := make([]writeset.Entry, 0, len(rows))
+			for row, value := range rows {
+				entries = append(entries, writeset.Entry{
+					Key:   writeset.Key{Table: name, Row: row},
+					Value: value,
+				})
+			}
+			if len(entries) == 0 {
+				continue
+			}
+			if err := r.db.ApplyWriteset(writeset.New(entries), r.db.Version()+1); err != nil {
+				return 0, err
+			}
 		}
-		entries := make([]writeset.Entry, 0, len(rows))
-		for row, value := range rows {
-			entries = append(entries, writeset.Entry{
-				Key:   writeset.Key{Table: name, Row: row},
-				Value: value,
-			})
-		}
-		if len(entries) == 0 {
-			continue
-		}
-		if err := r.db.ApplyWriteset(writeset.New(entries), r.db.Version()+1); err != nil {
-			return err
-		}
+		return version, nil
+	})
+	if err != nil {
+		return err
 	}
-	r.applied = version
-	r.ready = true
+	r.ready.Store(true)
 	return nil
 }
 
@@ -454,15 +465,19 @@ func (c *Cluster) RestoreDurable(ridx int, applied int64, fn func(db *sidb.DB) e
 	if err != nil {
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := fn(r.db); err != nil {
+	err = r.ap.Reset(func(cur int64) (int64, error) {
+		if err := fn(r.db); err != nil {
+			return 0, err
+		}
+		if applied > cur {
+			cur = applied
+		}
+		return cur, nil
+	})
+	if err != nil {
 		return err
 	}
-	if applied > r.applied {
-		r.applied = applied
-	}
-	r.ready = true
+	r.ready.Store(true)
 	return nil
 }
 
@@ -474,10 +489,12 @@ func (c *Cluster) SnapshotDurable(ridx int) (applied, local int64, tables map[st
 	if err != nil {
 		return 0, 0, nil, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	applied, tables, err = snapshotLocked(r)
-	return applied, r.db.Version(), tables, err
+	r.ap.Pin(func(v int64) {
+		applied = v
+		local = r.db.Version()
+		tables, err = dumpTables(r.db)
+	})
+	return applied, local, tables, err
 }
 
 // AddReplica grows the cluster by one: a fresh node receives a
@@ -485,7 +502,7 @@ func (c *Cluster) SnapshotDurable(ridx int) (applied, local int64, tables map[st
 // certified during the copy, and only then starts taking traffic. It
 // returns the new replica's slot index.
 func (c *Cluster) AddReplica() (int, error) {
-	r := &replica{db: sidb.New()}
+	r := newReplica(0, c.opts.ApplyWorkers)
 	c.mu.Lock()
 	idx := c.balancer.AddDown() // no traffic until the state transfer lands
 	r.id = idx
@@ -498,10 +515,7 @@ func (c *Cluster) AddReplica() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	r.mu.Lock()
-	err = installLocked(r, version, tables)
-	r.mu.Unlock()
-	if err != nil {
+	if err := installSnapshot(r, version, tables); err != nil {
 		return 0, err
 	}
 
@@ -557,13 +571,15 @@ func (c *Cluster) begin(readOnly bool) (repl.Txn, error) {
 	r := c.slot(idx)
 	// GSI: the snapshot is whatever the replica has applied; no
 	// communication with the certifier is needed to begin. Taking the
-	// applied counter and the local snapshot under the application
-	// lock pins them to the same point in the version order — a
-	// writeset applied a moment later must count as concurrent.
-	r.mu.Lock()
-	snapshot := r.applied
-	inner := r.db.Begin()
-	r.mu.Unlock()
+	// applied cursor and the local snapshot under the apply lock pins
+	// them to the same point in the version order — a writeset applied
+	// a moment later must count as concurrent.
+	var snapshot int64
+	var inner *sidb.Txn
+	r.ap.Pin(func(applied int64) {
+		snapshot = applied
+		inner = r.db.Begin()
+	})
 	return &Txn{cluster: c, replica: r, inner: inner, snapshot: snapshot, readOnly: readOnly}, nil
 }
 

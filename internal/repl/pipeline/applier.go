@@ -1,0 +1,298 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/certifier"
+	"repro/internal/sidb"
+	"repro/internal/writeset"
+)
+
+// Applier is the apply stage of the replication pipeline: it installs
+// certified records into the local database strictly in version order
+// from the outside — the applied cursor is dense, duplicates are
+// skipped and a gap stops the run — while parallelizing the
+// installation work on the inside.
+//
+// Parallelism is conflict-aware: a dependency graph is built over the
+// batch using the writesets' precomputed key sets (record j depends on
+// the latest earlier record that wrote any of j's rows), and a bounded
+// worker pool installs records whose dependencies have retired. Two
+// writesets that share no row may install in either order — their row
+// version chains are disjoint, so the resulting database state is
+// byte-identical to serial apply — and sidb's shard locks let them
+// proceed on different cores. Version markers still retire strictly in
+// order: the database's version counter and the applied cursor advance
+// only once the whole dense run is installed, so Applied()/FetchSince
+// cursors, GC horizons and the WAL's version-dense-prefix invariant
+// are exactly what a serial applier would produce. Journaling happens
+// version-ordered ahead of the parallel stage (sidb.ApplyBatch fires
+// the journal hook for the full run before the first install starts).
+//
+// All mutation of the underlying database on an applying replica must
+// flow through one Applier: its lock is what serializes racing apply
+// paths (the propagation loop and wire Sync handlers), and Pin/Reset
+// give engines the same lock for snapshot pinning and state installs.
+type Applier struct {
+	db      *sidb.DB
+	workers int
+
+	mu      sync.Mutex
+	applied int64 // version cursor (global for mm, absolute master version for sm)
+
+	head    atomic.Int64 // newest version observed (fetched or certified)
+	total   atomic.Int64 // versions applied since start
+	pending atomic.Int64 // records admitted to the in-flight batch, not yet installed
+
+	// applied-versions/sec over a sliding window, sampled on read.
+	rateMu    sync.Mutex
+	rateAt    time.Time
+	rateTotal int64
+	rate      float64
+}
+
+// NewApplier wraps db with an apply stage running the given number of
+// workers; workers <= 1 applies serially (identical code path to the
+// pre-pipeline engines).
+func NewApplier(db *sidb.DB, workers int) *Applier {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Applier{db: db, workers: workers}
+}
+
+// DB returns the wrapped database.
+func (a *Applier) DB() *sidb.DB { return a.db }
+
+// Workers returns the configured worker count.
+func (a *Applier) Workers() int { return a.workers }
+
+// Applied returns the version cursor: every record at or below it has
+// been installed.
+func (a *Applier) Applied() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.applied
+}
+
+// Observe records that versions up to head exist upstream, feeding the
+// Lag gauge. Apply observes incoming batches itself; pullers call it
+// for fetches that could not apply yet (gaps).
+func (a *Applier) Observe(head int64) {
+	for {
+		cur := a.head.Load()
+		if head <= cur || a.head.CompareAndSwap(cur, head) {
+			return
+		}
+	}
+}
+
+// Pin runs f under the apply lock with the current applied cursor.
+// Nothing installs while f runs, so f can atomically pair the cursor
+// with database state — Begin-time snapshot pinning, consistent state
+// captures for joiners and WAL compaction.
+func (a *Applier) Pin(f func(applied int64)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f(a.applied)
+}
+
+// Reset runs f under the apply lock and moves the cursor to the
+// version f returns — the bulk-load, snapshot-install and WAL-restore
+// paths, which rebuild database state outside the record stream.
+func (a *Applier) Reset(f func(applied int64) (int64, error)) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v, err := f(a.applied)
+	if err != nil {
+		return err
+	}
+	a.applied = v
+	a.Observe(v)
+	return nil
+}
+
+// Apply installs already-fetched certified records in version order:
+// records at or below the cursor are skipped (duplicates from
+// concurrent pulls are harmless) and a gap stops the run (the missing
+// versions will arrive through a later pull). It returns the number of
+// records applied. An installation failure is a replication invariant
+// violation and panics, exactly like the per-engine apply loops it
+// replaces.
+func (a *Applier) Apply(recs []certifier.Record) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	a.Observe(recs[len(recs)-1].Version)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// Trim to the dense run starting right after the cursor.
+	i := 0
+	for i < len(recs) && recs[i].Version <= a.applied {
+		i++
+	}
+	run := recs[i:]
+	n := 0
+	for n < len(run) && run[n].Version == a.applied+int64(n)+1 {
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	run = run[:n]
+	wss := make([]writeset.Writeset, n)
+	for j, rec := range run {
+		wss[j] = rec.Writeset
+	}
+	a.pending.Store(int64(n))
+	defer a.pending.Store(0)
+	var sched func(install func(i int))
+	if a.workers > 1 && n > 1 {
+		sched = a.schedule(wss)
+	}
+	applied, err := a.db.ApplyBatch(wss, sched)
+	a.applied += int64(applied)
+	a.total.Add(int64(applied))
+	if err != nil {
+		panic(fmt.Sprintf("pipeline: failed to apply version %d: %v", a.applied+1, err))
+	}
+	return applied
+}
+
+// schedule builds the conflict-dependency schedule for one batch:
+// record j gets an edge from the latest earlier record that wrote any
+// row j writes (transitively ordering every pair of conflicting
+// records), and the returned function drains the resulting DAG with a
+// bounded worker pool. Install order across non-conflicting records is
+// unconstrained — they touch disjoint rows. A batch with no edges at
+// all (the common low-conflict case) skips the ready-queue machinery
+// entirely and stripes the records statically across the workers.
+func (a *Applier) schedule(wss []writeset.Writeset) func(install func(i int)) {
+	n := len(wss)
+	deps := make([]atomic.Int32, n)      // unretired dependencies per record
+	dependents := make([][]int32, n)     // edges out: who waits on me
+	last := make(map[writeset.Key]int32) // newest earlier writer per row
+	mark := make([]int32, n)             // dedupes edges per record (stamped j+1)
+	edges := 0
+	for j := int32(0); j < int32(n); j++ {
+		for _, e := range wss[j].Entries {
+			if i, ok := last[e.Key]; ok && i != j && mark[i] != j+1 {
+				mark[i] = j + 1
+				deps[j].Add(1)
+				dependents[i] = append(dependents[i], j)
+				edges++
+			}
+			last[e.Key] = j
+		}
+	}
+	if edges == 0 {
+		return func(install func(i int)) {
+			workers := a.workers
+			if workers > n {
+				workers = n
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < n; i += workers {
+						install(i)
+						a.pending.Add(-1)
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+	}
+	return func(install func(i int)) {
+		// Buffered to n, so sends never block and no worker can stall
+		// holding an unretired record.
+		ready := make(chan int32, n)
+		for j := int32(0); j < int32(n); j++ {
+			if deps[j].Load() == 0 {
+				ready <- j
+			}
+		}
+		var remaining atomic.Int32
+		remaining.Store(int32(n))
+		workers := a.workers
+		if workers > n {
+			workers = n
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range ready {
+					install(int(j))
+					a.pending.Add(-1)
+					// Release dependents only after the install returned:
+					// that is the ordering guarantee conflicting records
+					// rely on.
+					for _, d := range dependents[j] {
+						if deps[d].Add(-1) == 0 {
+							ready <- d
+						}
+					}
+					if remaining.Add(-1) == 0 {
+						// Everything installed; no further sends are
+						// possible, so closing wakes the other workers.
+						close(ready)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// ApplyStats is a point-in-time view of the apply stage, feeding
+// /metrics and the wire Stats reply.
+type ApplyStats struct {
+	Workers int
+	Applied int64   // version cursor
+	Total   int64   // versions applied since start (monotone)
+	Pending int64   // records admitted to the in-flight batch, not yet installed
+	Lag     int64   // newest observed version minus the cursor
+	Rate    float64 // applied versions/sec over the recent window
+}
+
+// Stats snapshots the apply stage.
+func (a *Applier) Stats() ApplyStats {
+	applied := a.Applied()
+	lag := a.head.Load() - applied
+	if lag < 0 {
+		lag = 0
+	}
+	return ApplyStats{
+		Workers: a.workers,
+		Applied: applied,
+		Total:   a.total.Load(),
+		Pending: a.pending.Load(),
+		Lag:     lag,
+		Rate:    a.sampleRate(),
+	}
+}
+
+// sampleRate computes applied versions/sec by differencing the total
+// counter between reads at least a second apart.
+func (a *Applier) sampleRate() float64 {
+	a.rateMu.Lock()
+	defer a.rateMu.Unlock()
+	now := time.Now()
+	total := a.total.Load()
+	if a.rateAt.IsZero() {
+		a.rateAt, a.rateTotal = now, total
+		return 0
+	}
+	if dt := now.Sub(a.rateAt); dt >= time.Second {
+		a.rate = float64(total-a.rateTotal) / dt.Seconds()
+		a.rateAt, a.rateTotal = now, total
+	}
+	return a.rate
+}

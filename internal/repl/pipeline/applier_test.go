@@ -1,0 +1,264 @@
+package pipeline_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/certifier"
+	"repro/internal/repl/pipeline"
+	"repro/internal/sidb"
+	"repro/internal/stats"
+	"repro/internal/writeset"
+)
+
+// genRecords certifies a deterministic stream of writesets and returns
+// the certified records plus the certifier that produced them. Row
+// keys are Zipf-distributed over keyspace rows across tables tables:
+// theta near 1 makes writesets collide constantly (high conflict),
+// theta 0 with a large keyspace makes them mostly disjoint.
+func genRecords(t testing.TB, count, wsLen, keyspace, tables int, theta float64, seed uint64) ([]certifier.Record, *certifier.Certifier) {
+	t.Helper()
+	cert := certifier.New()
+	rng := stats.NewRand(seed)
+	zipf := stats.NewZipf(keyspace, theta)
+	var recs []certifier.Record
+	for len(recs) < count {
+		entries := make([]writeset.Entry, 0, wsLen)
+		seen := make(map[writeset.Key]bool, wsLen)
+		for len(entries) < wsLen {
+			k := writeset.Key{
+				Table: fmt.Sprintf("t%d", rng.Intn(tables)),
+				Row:   int64(zipf.Sample(rng)),
+			}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			entries = append(entries, writeset.Entry{Key: k, Value: fmt.Sprintf("v%d-%d", len(recs), len(entries))})
+		}
+		// Certify at the latest version so nothing aborts: the conflict
+		// structure we want lives in the apply stage, not the certifier.
+		out, err := cert.Certify(cert.Version(), writeset.New(entries))
+		if err != nil || !out.Committed {
+			t.Fatalf("certify: %+v %v", out, err)
+		}
+		recs = append(recs, certifier.Record{Version: out.Version, Writeset: writeset.New(entries)})
+	}
+	return recs, cert
+}
+
+// applyAll drains recs into a fresh database through an applier with
+// the given worker count, in chunks (so batches have interesting
+// sizes), and returns the database.
+func applyAll(t testing.TB, recs []certifier.Record, workers, chunk int) (*sidb.DB, *pipeline.Applier) {
+	t.Helper()
+	db := sidb.New()
+	ap := pipeline.NewApplier(db, workers)
+	for i := 0; i < len(recs); i += chunk {
+		end := i + chunk
+		if end > len(recs) {
+			end = len(recs)
+		}
+		if n := ap.Apply(recs[i:end]); n != end-i {
+			t.Fatalf("applied %d of %d", n, end-i)
+		}
+	}
+	return db, ap
+}
+
+func dumpAll(t testing.TB, db *sidb.DB) map[string]map[int64]string {
+	t.Helper()
+	out := make(map[string]map[int64]string)
+	for _, name := range db.Tables() {
+		rows, err := db.Dump(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = rows
+	}
+	return out
+}
+
+// TestParallelApplyEquivalence is the reference-equivalence proof the
+// parallel applier ships under: on a high-conflict Zipf workload
+// (theta 0.95 over 64 rows, so nearly every batch carries chained
+// conflicts), a workers=8 applier must produce row-for-row identical
+// tables, the same database version and the same applied cursor as
+// serial apply — and both must agree with the certifier that produced
+// the stream. Run under -race this also proves the worker pool's
+// install ordering is properly synchronized.
+func TestParallelApplyEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		keyspace int
+		theta    float64
+	}{
+		{"high-conflict-zipf", 64, 0.95},
+		{"low-conflict", 1 << 16, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			recs, cert := genRecords(t, 500, 8, tc.keyspace, 3, tc.theta, 42)
+			serialDB, serialAp := applyAll(t, recs, 1, 37)
+			parDB, parAp := applyAll(t, recs, 8, 37)
+
+			if got, want := parAp.Applied(), serialAp.Applied(); got != want {
+				t.Fatalf("parallel cursor %d, serial %d", got, want)
+			}
+			if got, want := parAp.Applied(), cert.Version(); got != want {
+				t.Fatalf("cursor %d, certifier version %d", got, want)
+			}
+			if got, want := parDB.Version(), serialDB.Version(); got != want {
+				t.Fatalf("parallel db version %d, serial %d", got, want)
+			}
+			got, want := dumpAll(t, parDB), dumpAll(t, serialDB)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("parallel tables diverge from serial apply:\n got %v\nwant %v", got, want)
+			}
+		})
+	}
+}
+
+// TestParallelApplyConcurrentIngest hammers one applier from many
+// goroutines handing it overlapping slices of the same record stream —
+// the puller-vs-Sync-handler race the pipeline serializes. Every
+// record must apply exactly once and the result must equal serial
+// apply.
+func TestParallelApplyConcurrentIngest(t *testing.T) {
+	recs, _ := genRecords(t, 400, 4, 128, 2, 0.8, 7)
+	serialDB, _ := applyAll(t, recs, 1, len(recs))
+
+	db := sidb.New()
+	ap := pipeline.NewApplier(db, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine re-submits the whole stream in ragged
+			// chunks; duplicates and already-applied prefixes must be
+			// skipped, gaps must truncate.
+			chunk := 13 + 7*g
+			for i := 0; i < len(recs); i += chunk {
+				end := i + chunk
+				if end > len(recs) {
+					end = len(recs)
+				}
+				ap.Apply(recs[i:end])
+			}
+		}(g)
+	}
+	wg.Wait()
+	// One final pass closes any gap-truncated tail.
+	ap.Apply(recs)
+
+	if got, want := ap.Applied(), int64(len(recs)); got != want {
+		t.Fatalf("applied cursor %d, want %d", got, want)
+	}
+	if total := ap.Stats().Total; total != int64(len(recs)) {
+		t.Fatalf("total applied %d, want %d (records must apply exactly once)", total, len(recs))
+	}
+	if got, want := dumpAll(t, db), dumpAll(t, serialDB); !reflect.DeepEqual(got, want) {
+		t.Fatalf("concurrent ingest diverges from serial apply")
+	}
+}
+
+// TestApplierGapAndDuplicate pins the version-order gate: duplicates
+// are skipped, a gap truncates the run, and the skipped suffix applies
+// once the hole is filled.
+func TestApplierGapAndDuplicate(t *testing.T) {
+	recs, _ := genRecords(t, 10, 2, 1<<10, 1, 0, 3)
+	db := sidb.New()
+	ap := pipeline.NewApplier(db, 4)
+
+	if n := ap.Apply(recs[:4]); n != 4 {
+		t.Fatalf("applied %d, want 4", n)
+	}
+	// Duplicate prefix: nothing happens.
+	if n := ap.Apply(recs[:4]); n != 0 {
+		t.Fatalf("duplicate apply installed %d records", n)
+	}
+	// Gap: versions 6.. cannot apply before 5.
+	if n := ap.Apply(recs[5:]); n != 0 {
+		t.Fatalf("gapped apply installed %d records", n)
+	}
+	if lag := ap.Stats().Lag; lag != int64(len(recs)-4) {
+		t.Fatalf("lag %d, want %d (observed head minus cursor)", lag, len(recs)-4)
+	}
+	// Mixed batch with duplicates + the missing version: the dense run
+	// drains to the end.
+	if n := ap.Apply(recs); n != len(recs)-4 {
+		t.Fatalf("fill apply installed %d, want %d", n, len(recs)-4)
+	}
+	if got := ap.Applied(); got != int64(len(recs)) {
+		t.Fatalf("cursor %d, want %d", got, len(recs))
+	}
+}
+
+// TestApplierJournalOrder proves journaling stays version-ordered
+// ahead of the parallel stage: with a journal hook attached, a
+// workers=8 batch must journal every writeset in strictly ascending
+// version order before any install completes out of order could
+// disturb it.
+func TestApplierJournalOrder(t *testing.T) {
+	recs, _ := genRecords(t, 200, 4, 1<<12, 2, 0, 11)
+	db := sidb.New()
+	var mu sync.Mutex
+	var versions []int64
+	db.SetJournal(func(ws writeset.Writeset, version int64) error {
+		mu.Lock()
+		versions = append(versions, version)
+		mu.Unlock()
+		return nil
+	})
+	ap := pipeline.NewApplier(db, 8)
+	if n := ap.Apply(recs); n != len(recs) {
+		t.Fatalf("applied %d of %d", n, len(recs))
+	}
+	if len(versions) != len(recs) {
+		t.Fatalf("journaled %d writesets, want %d", len(versions), len(recs))
+	}
+	for i, v := range versions {
+		if v != int64(i)+1 {
+			t.Fatalf("journal order broken at %d: version %d", i, v)
+		}
+	}
+}
+
+// BenchmarkApplyRecords measures apply throughput (records/sec via
+// b.N) at different worker counts on low- and high-conflict mixes.
+// The CI smoke step runs it with -benchtime=1x so a regression to
+// serial-only apply fails loudly; BENCH_PR5.json records full runs.
+func BenchmarkApplyRecords(b *testing.B) {
+	const batch = 256
+	for _, mix := range []struct {
+		name     string
+		keyspace int
+		theta    float64
+	}{
+		{"low-conflict", 1 << 16, 0},
+		{"high-conflict", 64, 0.95},
+	} {
+		recs, _ := genRecords(b, 4096, 8, mix.keyspace, 3, mix.theta, 1)
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", mix.name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					db := sidb.New()
+					ap := pipeline.NewApplier(db, workers)
+					b.StartTimer()
+					for off := 0; off < len(recs); off += batch {
+						end := off + batch
+						if end > len(recs) {
+							end = len(recs)
+						}
+						ap.Apply(recs[off:end])
+					}
+				}
+				b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+			})
+		}
+	}
+}

@@ -1,30 +1,31 @@
-package server
+package pipeline_test
 
 import (
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/repl/pipeline"
 	"repro/internal/wal"
 	"repro/internal/writeset"
 )
 
 // TestMaybeCompactSerializesCaptureAndRewrite pins the fix for the
-// concurrent-compaction data loss: noteApplied runs from both the
-// propagation run loop and the wire Sync handlers, so two goroutines
-// could capture snapshots out of order and the one holding the OLDER
-// capture could rewrite the WAL after its competitor compacted with a
-// newer one — dropping the newer snapshot while the applies it
-// superseded were already gone. maybeCompact must hold its lock across
-// BOTH the capture and the rewrite: a second caller may not start its
-// capture while the first is mid-compaction.
+// concurrent-compaction data loss: cursor journaling runs from both
+// the propagation run loop and the wire Sync handlers, so two
+// goroutines could capture snapshots out of order and the one holding
+// the OLDER capture could rewrite the WAL after its competitor
+// compacted with a newer one — dropping the newer snapshot while the
+// applies it superseded were already gone. MaybeCompact must hold its
+// lock across BOTH the capture and the rewrite: a second caller may
+// not start its capture while the first is mid-compaction.
 func TestMaybeCompactSerializesCaptureAndRewrite(t *testing.T) {
 	fs := wal.NewMemFS()
 	w, _, err := wal.Open(wal.Options{FS: fs, Fsync: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := &durability{w: w, compactAfter: 1} // any growth makes compaction due
+	d := pipeline.NewDurability(w, 1) // any growth makes compaction due
 	for v := int64(1); v <= 4; v++ {
 		if err := w.AppendApply(v, writeset.FromRows("t", v, []string{"x"})); err != nil {
 			t.Fatal(err)
@@ -38,7 +39,7 @@ func TestMaybeCompactSerializesCaptureAndRewrite(t *testing.T) {
 	firstDone := make(chan struct{})
 	go func() {
 		defer close(firstDone)
-		d.maybeCompact(func() (int64, int64, int64, int64, map[string]map[int64]string, error) {
+		d.MaybeCompact(func() (int64, int64, int64, int64, map[string]map[int64]string, error) {
 			captures.Add(1)
 			close(entered)
 			<-release
@@ -52,7 +53,7 @@ func TestMaybeCompactSerializesCaptureAndRewrite(t *testing.T) {
 	secondDone := make(chan struct{})
 	go func() {
 		defer close(secondDone)
-		d.maybeCompact(func() (int64, int64, int64, int64, map[string]map[int64]string, error) {
+		d.MaybeCompact(func() (int64, int64, int64, int64, map[string]map[int64]string, error) {
 			captures.Add(1)
 			return 2, 2, 2, 2, map[string]map[int64]string{"t": {1: "old"}}, nil
 		})
@@ -78,7 +79,7 @@ func TestMaybeCompactSerializesCaptureAndRewrite(t *testing.T) {
 	}
 }
 
-// TestCreateTableDurableBeforeAck: durability.table backs the
+// TestCreateTableDurableBeforeAck: Durability.Table backs the
 // CreateTable acknowledgement, so it must block on the group fsync —
 // an acked table creation may not vanish in a power loss.
 func TestCreateTableDurableBeforeAck(t *testing.T) {
@@ -87,8 +88,8 @@ func TestCreateTableDurableBeforeAck(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := &durability{w: w}
-	if err := d.table("acked"); err != nil {
+	d := pipeline.NewDurability(w, 0)
+	if err := d.Table("acked"); err != nil {
 		t.Fatal(err)
 	}
 	w.Close()

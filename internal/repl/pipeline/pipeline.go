@@ -1,0 +1,250 @@
+// Package pipeline is the shared replication pipeline every engine in
+// this repository is built on. A replica — in-process or networked,
+// multi-master or single-master, durable or in-memory — moves every
+// committed writeset through the same four stages:
+//
+//	certify → journal → apply → ack/compact
+//
+// The stages are owned here, once; the engines inject the pieces that
+// differ and delete the loops they used to copy-paste:
+//
+//   - certify: a CertSource is the feed of certified records past a
+//     cursor. The mm certifier host injects its local certifier, remote
+//     mm replicas inject a wire FetchSince link, the sm master injects
+//     its propagation log. HostCert fronts the host-side certifier with
+//     group commit, latency observation and long-poll wakeups.
+//   - journal: Durability is the write-ahead-log stage — version-ordered
+//     appends ahead of apply, group fsync, advisory cursors, and
+//     serialized snapshot compaction. Nodes without a WAL simply carry
+//     none (the in-memory journal is its absence).
+//   - apply: Applier installs certified records into the local sidb
+//     database — in version order from the outside, conflict-aware
+//     parallel on the inside (see applier.go).
+//   - ack/compact: Notify wakes long-polling peers when versions
+//     commit; PeerCursors tracks what every peer applied, bounding both
+//     certification-log GC and WAL compaction; Puller is the
+//     propagation loop that long-polls a primary and feeds the applier.
+package pipeline
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/certifier"
+	"repro/internal/writeset"
+)
+
+// CertSource yields every certified record with version > v in
+// ascending version order — the propagation feed the apply stage
+// drains. The local certifier, the sm propagation log and the wire
+// FetchSince client all provide one.
+type CertSource interface {
+	Since(v int64) []certifier.Record
+}
+
+// Notify wakes long-polling peers when new versions commit.
+type Notify struct {
+	mu     sync.Mutex
+	latest int64
+	ch     chan struct{} // closed and replaced on every bump
+}
+
+// NewNotify returns a Notify with no version published yet.
+func NewNotify() *Notify {
+	return &Notify{ch: make(chan struct{})}
+}
+
+// Bump publishes version v, waking every waiter behind it.
+func (n *Notify) Bump(v int64) {
+	n.mu.Lock()
+	if v > n.latest {
+		n.latest = v
+		close(n.ch)
+		n.ch = make(chan struct{})
+	}
+	n.mu.Unlock()
+}
+
+// WaitBeyond blocks until a version > v has been published, the
+// timeout expires, or stop closes (so server shutdown interrupts
+// parked long polls instead of waiting out their timers).
+func (n *Notify) WaitBeyond(v int64, timeout time.Duration, stop <-chan struct{}) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		n.mu.Lock()
+		if n.latest > v {
+			n.mu.Unlock()
+			return
+		}
+		ch := n.ch
+		n.mu.Unlock()
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return
+		case <-stop:
+			return
+		}
+	}
+}
+
+// PeerCursors tracks, per peer replica (keyed by the replica id the
+// peer announced in its handshake, so reconnects and duplicate
+// connections collapse onto one cursor), the version that peer had
+// applied when it last long-polled. Once every expected peer has an
+// active cursor, the primary can prune writesets everyone has applied
+// — minus a safety lag, so certification requests from transactions
+// that began a little while ago still find the versions they must be
+// compared against (the same snapshot-below-horizon hazard the
+// in-process GC has).
+type PeerCursors struct {
+	// expected returns the number of pullers required before pruning
+	// may run; it is a function because elastic membership changes it
+	// at runtime. A negative value (unknown cluster size) disables
+	// pruning entirely.
+	expected func() int
+	lag      int64 // retained margin below the horizon
+
+	mu      sync.Mutex
+	cursors map[int64]int64
+}
+
+// NewPeerCursors tracks a fixed expected peer count; a negative count
+// (unknown cluster size) disables pruning entirely.
+func NewPeerCursors(expected int, lag int64) *PeerCursors {
+	return NewDynamicPeerCursors(func() int { return expected }, lag)
+}
+
+// NewDynamicPeerCursors tracks an expected peer count that may change
+// (elastic membership).
+func NewDynamicPeerCursors(expected func() int, lag int64) *PeerCursors {
+	return &PeerCursors{expected: expected, lag: lag, cursors: make(map[int64]int64)}
+}
+
+// Update advances a peer's cursor. Negative peer ids (ordinary client
+// connections, not peer links) are ignored.
+func (p *PeerCursors) Update(peer, v int64) {
+	if peer < 0 {
+		return
+	}
+	p.mu.Lock()
+	if v > p.cursors[peer] {
+		p.cursors[peer] = v
+	}
+	p.mu.Unlock()
+}
+
+// Drop removes a peer's cursor when its connection dies (the next
+// long poll re-adds it).
+func (p *PeerCursors) Drop(peer int64) {
+	if peer < 0 {
+		return
+	}
+	p.mu.Lock()
+	delete(p.cursors, peer)
+	p.mu.Unlock()
+}
+
+// Horizon returns the safe pruning bound given the primary's own
+// applied version; ok is false while any expected peer lacks an
+// active cursor (a dead or unjoined replica conservatively blocks
+// pruning, exactly like the in-process GC).
+func (p *PeerCursors) Horizon(own int64) (int64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	expected := p.expected()
+	if expected < 0 || len(p.cursors) < expected {
+		return 0, false
+	}
+	h := own
+	for _, v := range p.cursors {
+		if v < h {
+			h = v
+		}
+	}
+	h -= p.lag
+	if h <= 0 {
+		return 0, false
+	}
+	return h, true
+}
+
+// Puller is the propagation loop shared by every node that pulls
+// records from a primary: long-poll for records past the local
+// cursor, hand them to the pipeline's apply stage, back off one
+// interval on errors (primary unreachable).
+type Puller struct {
+	// Interval is the long-poll window; it bounds both shutdown
+	// latency and the staleness detection of a dead primary.
+	Interval time.Duration
+	// Cursor returns the version to fetch past (the applier's cursor).
+	Cursor func() int64
+	// Fetch long-polls the primary for records past v.
+	Fetch func(v int64, wait time.Duration) ([]certifier.Record, error)
+	// Ingest hands fetched records to the apply/ack stages.
+	Ingest func(recs []certifier.Record)
+}
+
+// Run executes the loop until stop closes.
+func (p *Puller) Run(stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		recs, err := p.Fetch(p.Cursor(), p.Interval)
+		if err != nil {
+			select {
+			case <-stop:
+				return
+			case <-time.After(p.Interval):
+			}
+			continue
+		}
+		if len(recs) > 0 {
+			p.Ingest(recs)
+		}
+	}
+}
+
+// HostCert is the certification stage on the certifier host: the
+// local certifier, optionally behind the group-commit batcher, with
+// latency observation and long-poll wakeups. Both local transactions
+// and remote Certify requests flow through here, so group commit
+// batches across the whole cluster.
+type HostCert struct {
+	Base    *certifier.Certifier
+	Batcher *certifier.Batcher // nil without group commit
+	Notify  *Notify
+	Observe func(time.Duration) // certification latency hook (may be nil)
+}
+
+// Certify submits one commit-time certification request, waking
+// long-pollers on commit.
+func (h *HostCert) Certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error) {
+	start := time.Now()
+	var out certifier.Outcome
+	var err error
+	if h.Batcher != nil {
+		out, err = h.Batcher.Certify(snapshot, ws)
+	} else {
+		out, err = h.Base.Certify(snapshot, ws)
+	}
+	if h.Observe != nil {
+		h.Observe(time.Since(start))
+	}
+	if err == nil && out.Committed {
+		h.Notify.Bump(out.Version)
+	}
+	return out, err
+}
+
+// Check probes a partial writeset for an already-certain conflict.
+func (h *HostCert) Check(snapshot int64, ws writeset.Writeset) (bool, int64) {
+	return h.Base.Check(snapshot, ws)
+}
+
+// Since implements CertSource.
+func (h *HostCert) Since(v int64) []certifier.Record { return h.Base.Since(v) }

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/lb"
 	"repro/internal/repl"
+	"repro/internal/repl/pipeline"
 	"repro/internal/sidb"
 	"repro/internal/wal"
 	"repro/internal/writeset"
@@ -65,15 +66,18 @@ type Options struct {
 	Durable bool
 	// Journal is the write-ahead log Durable commits flow through.
 	Journal Journal
+	// ApplyWorkers sizes each slave's conflict-aware parallel applier;
+	// <= 1 preserves the serial behavior.
+	ApplyWorkers int
 }
 
-// slave is one read-only replica plus its proxy state.
+// slave is one read-only replica plus its proxy state. The pipeline
+// applier owns the apply lock and the applied cursor, which holds the
+// absolute master version this slave has reached.
 type slave struct {
 	id int
 	db *sidb.DB
-
-	mu      sync.Mutex // serializes writeset application
-	applied int64      // highest master version applied
+	ap *pipeline.Applier
 }
 
 // Cluster is a running single-master system.
@@ -84,7 +88,8 @@ type Cluster struct {
 
 	// wlog retains committed master writesets for propagation, keyed
 	// by absolute master version; base is the master version after
-	// the initial load (slave applied counters are relative to it).
+	// the initial load (slave apply cursors are seeded to it and hold
+	// absolute master versions from then on).
 	wlog   *Log
 	baseMu sync.Mutex
 	base   int64
@@ -113,7 +118,8 @@ func New(opts Options) (*Cluster, error) {
 		})
 	}
 	for i := 1; i < opts.Replicas; i++ {
-		c.slaves = append(c.slaves, &slave{id: i, db: sidb.New()})
+		db := sidb.New()
+		c.slaves = append(c.slaves, &slave{id: i, db: db, ap: pipeline.NewApplier(db, opts.ApplyWorkers)})
 	}
 	return c, nil
 }
@@ -146,7 +152,15 @@ func (c *Cluster) Load(table string, rows int, value func(int64) string) error {
 	}
 	c.baseMu.Lock()
 	c.base = c.master.Version()
+	base := c.base
 	c.baseMu.Unlock()
+	// Slave cursors hold absolute master versions; the load is the
+	// starting point.
+	for _, s := range c.slaves {
+		if err := s.ap.Reset(func(int64) (int64, error) { return base, nil }); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -156,22 +170,10 @@ func (c *Cluster) record(version int64, ws writeset.Writeset) {
 }
 
 // syncSlave applies the dense prefix of pending writesets at s. Master
-// versions are dense (every commit increments by one), so the slave
-// proxy applies version applied+base+1, +2, ... until it runs out.
+// versions are dense (every commit increments by one), so the slave's
+// apply stage drains the contiguous run past its cursor.
 func (c *Cluster) syncSlave(s *slave) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for {
-		v := c.baseVersion() + s.applied + 1
-		ws, ok := c.wlog.Get(v)
-		if !ok {
-			return
-		}
-		if err := s.db.ApplyWriteset(ws, s.db.Version()+1); err != nil {
-			panic(fmt.Sprintf("sm: slave %d failed to apply version %d: %v", s.id, v, err))
-		}
-		s.applied++
-	}
+	s.ap.Apply(c.wlog.SinceDense(s.ap.Applied()))
 }
 
 func (c *Cluster) baseVersion() int64 {
@@ -192,16 +194,14 @@ func (c *Cluster) Sync() {
 func (c *Cluster) GCLog() int {
 	minApplied := int64(1<<62 - 1)
 	for _, s := range c.slaves {
-		s.mu.Lock()
-		if s.applied < minApplied {
-			minApplied = s.applied
+		if v := s.ap.Applied(); v < minApplied {
+			minApplied = v
 		}
-		s.mu.Unlock()
 	}
 	if len(c.slaves) == 0 {
-		minApplied = 0
+		minApplied = c.baseVersion()
 	}
-	return c.wlog.GCBelow(c.baseVersion() + minApplied)
+	return c.wlog.GCBelow(minApplied)
 }
 
 // TableDump snapshots a node's table: index 0 is the master, i>0 the
@@ -240,9 +240,7 @@ func (c *Cluster) BeginRead() (repl.Txn, error) {
 		inner = c.master.Begin()
 	} else {
 		s := c.slaves[node-1]
-		s.mu.Lock()
-		inner = s.db.Begin()
-		s.mu.Unlock()
+		s.ap.Pin(func(int64) { inner = s.db.Begin() })
 	}
 	return &Txn{cluster: c, node: node, inner: inner, readOnly: true}, nil
 }

@@ -2,36 +2,18 @@ package server
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 
+	"repro/internal/repl/pipeline"
 	"repro/internal/sidb"
 	"repro/internal/wal"
-	"repro/internal/writeset"
 )
 
-// durability is the per-node WAL state an engine carries when the
-// server runs with Options.WALDir set.
-type durability struct {
-	w            *wal.WAL
-	compactAfter int64
-	lastCursor   atomic.Int64
-	// compactMu makes a snapshot capture and the WAL rewrite around it
-	// one atomic unit (see maybeCompact).
-	compactMu sync.Mutex
-	// lastCompact is the segment size right after the previous
-	// compaction attempt: re-attempting before meaningful growth would
-	// livelock on full-segment rewrites whenever compaction cannot
-	// shrink the log (blocked GC horizon, or a snapshot bigger than
-	// the bound).
-	lastCompact atomic.Int64
-}
-
-// openDurability opens (or creates) the node's WAL and replays it.
-// A joiner must start from an empty log: its state comes from the
-// snapshot transfer, and mixing a previous incarnation's replay with a
-// fresh snapshot would double-apply history.
-func openDurability(opts Options) (*durability, *wal.Recovered, error) {
+// openDurability opens (or creates) the node's WAL, replays it, and
+// wraps it in the pipeline's journal stage. A joiner must start from
+// an empty log: its state comes from the snapshot transfer, and mixing
+// a previous incarnation's replay with a fresh snapshot would
+// double-apply history.
+func openDurability(opts Options) (*pipeline.Durability, *wal.Recovered, error) {
 	w, rec, err := wal.Open(wal.Options{Dir: opts.WALDir, Fsync: opts.Fsync})
 	if err != nil {
 		return nil, nil, fmt.Errorf("server: open wal: %w", err)
@@ -41,96 +23,7 @@ func openDurability(opts Options) (*durability, *wal.Recovered, error) {
 		return nil, nil, fmt.Errorf("server: -join requires an empty WAL directory "+
 			"(found state at epoch %d — restart with -id/-peers to recover it instead)", rec.Epoch)
 	}
-	d := &durability{w: w, compactAfter: opts.WALCompactBytes}
-	return d, rec, nil
-}
-
-// applyHook returns the sidb journal hook that feeds the local apply
-// stream into the WAL. Attach it only after replay, or recovery would
-// re-journal its own restoration.
-func (d *durability) applyHook() func(ws writeset.Writeset, version int64) error {
-	return func(ws writeset.Writeset, version int64) error {
-		return d.w.AppendApply(version, ws)
-	}
-}
-
-// sync blocks on the group fsync covering everything journaled so far.
-func (d *durability) sync() error { return d.w.Sync(d.w.Seq()) }
-
-// table journals a created table and blocks on the group fsync before
-// the caller acknowledges: DDL is acked to the client, so like a commit
-// it must not evaporate in a power loss.
-func (d *durability) table(name string) error {
-	if err := d.w.AppendTable(name); err != nil {
-		return err
-	}
-	return d.sync()
-}
-
-// cursor journals the propagation cursor (the global version this
-// replica has applied), skipping repeats so an idle poll loop does not
-// grow the log. Cursor records are advisory: a crash before the latest
-// one costs a re-fetch of already-applied records, which ApplyRecords
-// tolerates.
-func (d *durability) cursor(global int64) {
-	if d.lastCursor.Swap(global) == global {
-		return
-	}
-	_ = d.w.AppendCursor(global)
-}
-
-// due reports whether the segment has outgrown the compaction bound
-// AND grown enough since the last attempt to be worth another
-// full-segment rewrite (an eighth of the bound), so a compaction that
-// cannot shrink the log backs off instead of rewriting it on every
-// poll tick.
-func (d *durability) due() bool {
-	if d.compactAfter <= 0 {
-		return false
-	}
-	size := d.w.Size()
-	return size >= d.compactAfter && size >= d.lastCompact.Load()+d.compactAfter/8
-}
-
-// maybeCompact runs one capture-and-rewrite cycle when the segment has
-// outgrown its bound. capture produces a consistent full-state
-// snapshot: base bounds which certified records are dropped (on the
-// certifier host this is the peer-cursor GC horizon, never past what a
-// disconnected replica still needs); snapGlobal/snapLocal position the
-// snapshot itself; keepApplies bounds which local applies are dropped
-// (the sm master keeps its slave horizon's worth, everyone else drops
-// up to the snapshot).
-//
-// compactMu is held across BOTH the capture and the rewrite, making
-// them one atomic unit. Callers race (the propagation run loop and the
-// wire Sync handlers both land here), and without the lock a goroutine
-// holding an older capture could rewrite the segment after a competitor
-// compacted with a newer one: the rewrite drops the newer snapshot
-// frame while the applies it superseded are already gone, and a
-// retained cursor above the lost versions makes a restart resume
-// FetchSince past them — silently losing durably acked commits.
-// WAL.Compact rejects stale snapshots as a second line of defense.
-func (d *durability) maybeCompact(capture func() (base, snapGlobal, snapLocal, keepApplies int64, state map[string]map[int64]string, err error)) {
-	if !d.due() {
-		return
-	}
-	d.compactMu.Lock()
-	defer d.compactMu.Unlock()
-	if !d.due() {
-		return // a racing compaction already rewrote the segment
-	}
-	base, snapGlobal, snapLocal, keepApplies, state, err := capture()
-	if err != nil {
-		return
-	}
-	names := make([]string, 0, len(state))
-	for name := range state {
-		names = append(names, name)
-	}
-	_ = d.w.Compact(base, snapGlobal, snapLocal, keepApplies, names, state)
-	// Record the post-attempt size whether or not the rewrite shrank
-	// (or succeeded at all): due() only re-arms after real growth.
-	d.lastCompact.Store(d.w.Size())
+	return pipeline.NewDurability(w, opts.WALCompactBytes), rec, nil
 }
 
 // consistentDump captures one database's full contents plus the local

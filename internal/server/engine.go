@@ -3,8 +3,6 @@ package server
 import (
 	"errors"
 	"fmt"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/certifier"
@@ -12,6 +10,7 @@ import (
 	"repro/internal/elastic"
 	"repro/internal/repl"
 	"repro/internal/repl/mm"
+	"repro/internal/repl/pipeline"
 	"repro/internal/repl/sm"
 	"repro/internal/sidb"
 	"repro/internal/wal"
@@ -41,6 +40,9 @@ type engine interface {
 	// queueDepth is the number of certified writesets known about but
 	// not yet applied locally.
 	queueDepth() int64
+	// applyStats snapshots the apply stage (worker count, throughput,
+	// queue depth and lag) for /metrics and the wire Stats reply.
+	applyStats() pipeline.ApplyStats
 	// logLen is the number of writesets retained for propagation
 	// (certification log on the mm host, sm.Log on the sm master).
 	logLen() int
@@ -86,166 +88,6 @@ type engine interface {
 // primary.
 const pollInterval = 250 * time.Millisecond
 
-// versionNotify wakes long-polling peers when new versions commit.
-type versionNotify struct {
-	mu     sync.Mutex
-	latest int64
-	ch     chan struct{} // closed and replaced on every bump
-}
-
-func newVersionNotify() *versionNotify {
-	return &versionNotify{ch: make(chan struct{})}
-}
-
-// bump publishes version v, waking every waiter behind it.
-func (n *versionNotify) bump(v int64) {
-	n.mu.Lock()
-	if v > n.latest {
-		n.latest = v
-		close(n.ch)
-		n.ch = make(chan struct{})
-	}
-	n.mu.Unlock()
-}
-
-// waitBeyond blocks until a version > v has been published, the
-// timeout expires, or stop closes (so server shutdown interrupts
-// parked long polls instead of waiting out their timers).
-func (n *versionNotify) waitBeyond(v int64, timeout time.Duration, stop <-chan struct{}) {
-	deadline := time.NewTimer(timeout)
-	defer deadline.Stop()
-	for {
-		n.mu.Lock()
-		if n.latest > v {
-			n.mu.Unlock()
-			return
-		}
-		ch := n.ch
-		n.mu.Unlock()
-		select {
-		case <-ch:
-		case <-deadline.C:
-			return
-		case <-stop:
-			return
-		}
-	}
-}
-
-// peerCursors tracks, per peer replica (keyed by the replica id the
-// peer announced in its handshake, so reconnects and duplicate
-// connections collapse onto one cursor), the version that peer had
-// applied when it last long-polled. Once every expected peer
-// has an active cursor, the primary can prune writesets everyone has
-// applied — minus a safety lag, so certification requests from
-// transactions that began a little while ago still find the versions
-// they must be compared against (the same snapshot-below-horizon
-// hazard the in-process GC has).
-type peerCursors struct {
-	// expected returns the number of pullers required before pruning
-	// may run; it is a function because elastic membership changes it
-	// at runtime. A negative value (unknown cluster size) disables
-	// pruning entirely.
-	expected func() int
-	lag      int64 // retained margin below the horizon
-
-	mu      sync.Mutex
-	cursors map[int64]int64
-}
-
-// newPeerCursors tracks a fixed expected peer count; a negative count
-// (unknown cluster size) disables pruning entirely.
-func newPeerCursors(expected int, lag int64) *peerCursors {
-	return newDynamicPeerCursors(func() int { return expected }, lag)
-}
-
-// newDynamicPeerCursors tracks an expected peer count that may change
-// (elastic membership).
-func newDynamicPeerCursors(expected func() int, lag int64) *peerCursors {
-	return &peerCursors{expected: expected, lag: lag, cursors: make(map[int64]int64)}
-}
-
-func (p *peerCursors) update(peer, v int64) {
-	if peer < 0 {
-		return // not a peer link (an ordinary client connection)
-	}
-	p.mu.Lock()
-	if v > p.cursors[peer] {
-		p.cursors[peer] = v
-	}
-	p.mu.Unlock()
-}
-
-func (p *peerCursors) drop(peer int64) {
-	if peer < 0 {
-		return
-	}
-	p.mu.Lock()
-	delete(p.cursors, peer)
-	p.mu.Unlock()
-}
-
-// horizon returns the safe pruning bound given the primary's own
-// applied version; ok is false while any expected peer lacks an
-// active cursor (a dead or unjoined replica conservatively blocks
-// pruning, exactly like the in-process GC).
-func (p *peerCursors) horizon(own int64) (int64, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	expected := p.expected()
-	if expected < 0 || len(p.cursors) < expected {
-		return 0, false
-	}
-	h := own
-	for _, v := range p.cursors {
-		if v < h {
-			h = v
-		}
-	}
-	h -= p.lag
-	if h <= 0 {
-		return 0, false
-	}
-	return h, true
-}
-
-// hostCert is the certification service on the certifier host: the
-// local certifier, optionally behind the group-commit batcher, with
-// latency observation and long-poll wakeups. Both local transactions
-// (through the mm.Cluster) and remote Certify requests (through the
-// connection handler) flow through here, so group commit batches
-// across the whole cluster.
-type hostCert struct {
-	base    *certifier.Certifier
-	batcher *certifier.Batcher
-	notify  *versionNotify
-	m       *metrics
-}
-
-var _ mm.CertService = (*hostCert)(nil)
-
-func (h *hostCert) Certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error) {
-	start := time.Now()
-	var out certifier.Outcome
-	var err error
-	if h.batcher != nil {
-		out, err = h.batcher.Certify(snapshot, ws)
-	} else {
-		out, err = h.base.Certify(snapshot, ws)
-	}
-	h.m.observeCert(time.Since(start))
-	if err == nil && out.Committed {
-		h.notify.bump(out.Version)
-	}
-	return out, err
-}
-
-func (h *hostCert) Check(snapshot int64, ws writeset.Writeset) (bool, int64) {
-	return h.base.Check(snapshot, ws)
-}
-
-func (h *hostCert) Since(v int64) []certifier.Record { return h.base.Since(v) }
-
 // remoteCert instruments a Link to the certifier host with the local
 // certification-latency histogram (which then measures the full
 // network round trip).
@@ -271,17 +113,19 @@ func (r *remoteCert) Since(v int64) []certifier.Record { return r.link.Since(v) 
 
 // mmEngine is one multi-master node: a single-replica mm.Cluster whose
 // certification service is either hosted here (node 0) or reached over
-// a Link.
+// a Link. The commit/apply machinery — certify stage, apply stage,
+// propagation pull loop, peer cursors, journal — all comes from
+// internal/repl/pipeline; this engine only wires the stages together.
 type mmEngine struct {
 	cl       *mm.Cluster
+	ap       *pipeline.Applier // the local replica's apply stage
 	stop     <-chan struct{}
-	host     *hostCert    // non-nil on the certifier host
-	cursors  *peerCursors // non-nil on the certifier host
-	link     *client.Link // non-nil elsewhere: the commit path's link
-	puller   *client.Link // non-nil elsewhere: the propagation link
-	lastSeen atomic.Int64 // newest version seen by the puller
-	dur      *durability  // non-nil when the node runs a WAL
-	resumed  int64        // version recovered from the WAL at start
+	host     *pipeline.HostCert    // non-nil on the certifier host
+	cursors  *pipeline.PeerCursors // non-nil on the certifier host
+	link     *client.Link          // non-nil elsewhere: the commit path's link
+	puller   *client.Link          // non-nil elsewhere: the propagation link
+	dur      *pipeline.Durability  // non-nil when the node runs a WAL
+	resumed  int64                 // version recovered from the WAL at start
 	resumeOK bool
 
 	// membership is the primary's authoritative member registry
@@ -311,13 +155,13 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 			base = certifier.NewFromRecords(rec.Records, rec.Base)
 		}
 		if e.dur != nil {
-			base.SetJournal(e.dur.w)
+			base.SetJournal(e.dur.W)
 		}
 		var batcher *certifier.Batcher
 		if opts.GroupCommit {
 			batcher = certifier.NewBatcher(base, 0)
 		}
-		e.host = &hostCert{base: base, batcher: batcher, notify: newVersionNotify(), m: m}
+		e.host = &pipeline.HostCert{Base: base, Batcher: batcher, Notify: pipeline.NewNotify(), Observe: m.observeCert}
 		e.membership = elastic.NewMembership()
 		switch {
 		case len(opts.Members) > 0:
@@ -331,7 +175,7 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 			e.membership.SeedStatic(make([]string, 1))
 		}
 		gcDisabled := opts.Replicas <= 0 && len(opts.Members) == 0
-		e.cursors = newDynamicPeerCursors(func() int {
+		e.cursors = pipeline.NewDynamicPeerCursors(func() int {
 			if gcDisabled {
 				return -1
 			}
@@ -352,14 +196,16 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 		EagerCertification: opts.EagerCert,
 		Cert:               svc,
 		AsyncApply:         async,
+		ApplyWorkers:       opts.ApplyWorkers,
 	})
 	if err != nil {
 		if e.dur != nil {
-			e.dur.w.Close()
+			e.dur.W.Close()
 		}
 		return nil, err
 	}
 	e.cl = cl
+	e.ap = cl.Applier(0)
 	if rec != nil {
 		// Rebuild the local database from the apply stream, then (and
 		// only then) attach the journal hook — replay must not journal
@@ -371,11 +217,11 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 			if err := rec.Restore(db); err != nil {
 				return err
 			}
-			db.SetJournal(d.applyHook())
+			db.SetJournal(d.ApplyHook())
 			return nil
 		})
 		if err != nil {
-			d.w.Close()
+			d.W.Close()
 			return nil, fmt.Errorf("server: wal replay: %w", err)
 		}
 		if rec.Cursor > 0 || len(rec.Applies) > 0 || len(rec.Records) > 0 {
@@ -399,7 +245,7 @@ func (e *mmEngine) createTable(name string) error {
 		return err
 	}
 	if e.dur != nil {
-		return e.dur.table(name)
+		return e.dur.Table(name)
 	}
 	return nil
 }
@@ -412,31 +258,37 @@ func (e *mmEngine) loadRows(table string, start int64, values []string) error {
 		// Loaded rows are acked but, unlike certified commits, not in
 		// the certifier log — FetchSince can never re-deliver them — so
 		// like DDL they must be durable before the ack.
-		return e.dur.sync()
+		return e.dur.Sync()
 	}
 	return nil
 }
 
 func (e *mmEngine) dump(table string) (map[int64]string, error) { return e.cl.TableDump(0, table) }
 
+// sync drains the certify stage into the apply stage (one pull); the
+// wire Sync handlers and the propagation loop both land here, so all
+// application serializes on the pipeline applier's lock.
 func (e *mmEngine) sync() {
 	e.cl.Sync()
 	e.noteApplied()
 }
 
-func (e *mmEngine) applied() int64 { return e.cl.Applied(0) }
+func (e *mmEngine) applied() int64 { return e.ap.Applied() }
 
 func (e *mmEngine) queueDepth() int64 {
-	var latest int64
 	if e.host != nil {
-		latest = e.host.base.Version()
-	} else {
-		latest = e.lastSeen.Load()
+		// The host's backlog is whatever the certifier has committed
+		// that the local apply stage has not yet retired.
+		e.ap.Observe(e.host.Base.Version())
 	}
-	if d := latest - e.applied(); d > 0 {
-		return d
+	return e.ap.Stats().Lag
+}
+
+func (e *mmEngine) applyStats() pipeline.ApplyStats {
+	if e.host != nil {
+		e.ap.Observe(e.host.Base.Version())
 	}
-	return 0
+	return e.ap.Stats()
 }
 
 func (e *mmEngine) certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error) {
@@ -458,7 +310,7 @@ func (e *mmEngine) logLen() int {
 	if e.host == nil {
 		return 0
 	}
-	return e.host.base.LogLen()
+	return e.host.Base.LogLen()
 }
 
 func (e *mmEngine) fetchSince(peer int64, v int64, wait time.Duration) ([]certifier.Record, error) {
@@ -474,18 +326,18 @@ func (e *mmEngine) fetchSince(peer int64, v int64, wait time.Duration) ([]certif
 		// peer that keeps polling must not be able to stand in for a
 		// missing expected peer in the GC horizon count.
 		if e.membership.Contains(peer) {
-			e.cursors.update(peer, v)
+			e.cursors.Update(peer, v)
 			e.membership.Touch(peer, time.Now())
 		}
 		e.maybeGC()
-		e.host.notify.waitBeyond(v, wait, e.stop)
+		e.host.Notify.WaitBeyond(v, wait, e.stop)
 	}
-	return e.host.base.Since(v), nil
+	return e.host.Since(v), nil
 }
 
 func (e *mmEngine) peerGone(peer int64) {
 	if e.cursors != nil {
-		e.cursors.drop(peer)
+		e.cursors.Drop(peer)
 	}
 }
 
@@ -512,7 +364,7 @@ func (e *mmEngine) leave(id int64) error {
 		return errors.New("server: the primary cannot leave the cluster")
 	}
 	e.membership.Leave(id)
-	e.cursors.drop(id)
+	e.cursors.Drop(id)
 	return nil
 }
 
@@ -545,15 +397,15 @@ func (e *mmEngine) installSnapshot(version int64, tables map[string]map[int64]st
 		// The installed rows were journaled through the apply hook;
 		// record the table set and the cursor so a restart resumes
 		// past the snapshot. One fsync at the end covers the whole
-		// install before it is acknowledged (not d.table per name,
-		// which would fsync once per table).
+		// install before it is acknowledged (not one Table call per
+		// name, which would fsync once per table).
 		for name := range tables {
-			if err := e.dur.w.AppendTable(name); err != nil {
+			if err := e.dur.W.AppendTable(name); err != nil {
 				return err
 			}
 		}
-		e.dur.cursor(version)
-		if err := e.dur.sync(); err != nil {
+		e.dur.Cursor(version)
+		if err := e.dur.Sync(); err != nil {
 			return err
 		}
 	}
@@ -570,35 +422,16 @@ func (e *mmEngine) selfLeave(id int64) error {
 // maybeGC prunes the certification log up to what every replica
 // (including this one) has applied, minus the safety lag.
 func (e *mmEngine) maybeGC() {
-	if h, ok := e.cursors.horizon(e.applied()); ok {
-		e.host.base.GC(h)
+	if h, ok := e.cursors.Horizon(e.applied()); ok {
+		e.host.Base.GC(h)
 	}
 }
 
-// runPuller is the propagation loop shared by every non-primary node:
-// long-poll the primary for records past the local cursor, remember
-// the newest version seen (for the queue-depth metric), and apply.
-// Errors (primary unreachable) back off one poll interval.
-func runPuller(stop <-chan struct{}, puller *client.Link, cursor func() int64, lastSeen *atomic.Int64, apply func([]certifier.Record)) {
-	for {
-		select {
-		case <-stop:
-			return
-		default:
-		}
-		recs, err := puller.FetchSince(cursor(), pollInterval)
-		if err != nil {
-			select {
-			case <-stop:
-				return
-			case <-time.After(pollInterval):
-			}
-			continue
-		}
-		if len(recs) > 0 {
-			lastSeen.Store(recs[len(recs)-1].Version)
-			apply(recs)
-		}
+// ingest hands fetched records to the apply stage and journals the
+// cursor when any landed — the puller's sink.
+func (e *mmEngine) ingest(recs []certifier.Record) {
+	if e.cl.ApplyRecords(0, recs) > 0 {
+		e.noteApplied()
 	}
 }
 
@@ -612,7 +445,7 @@ func (e *mmEngine) noteApplied() {
 	if e.dur == nil {
 		return
 	}
-	e.dur.cursor(e.applied())
+	e.dur.Cursor(e.applied())
 }
 
 // maybeCompactDurable rewrites the WAL around a fresh consistent
@@ -624,7 +457,7 @@ func (e *mmEngine) maybeCompactDurable() {
 	if e.dur == nil {
 		return
 	}
-	e.dur.maybeCompact(func() (int64, int64, int64, int64, map[string]map[int64]string, error) {
+	e.dur.MaybeCompact(func() (int64, int64, int64, int64, map[string]map[int64]string, error) {
 		applied, local, state, err := e.cl.SnapshotDurable(0)
 		if err != nil {
 			return 0, 0, 0, 0, nil, err
@@ -635,7 +468,7 @@ func (e *mmEngine) maybeCompactDurable() {
 		// way back.
 		base := applied
 		if e.cursors != nil {
-			h, ok := e.cursors.horizon(applied)
+			h, ok := e.cursors.Horizon(applied)
 			if !ok {
 				h = 0
 			}
@@ -656,7 +489,7 @@ func (e *mmEngine) run(stop <-chan struct{}) {
 				return
 			default:
 			}
-			e.host.notify.waitBeyond(e.applied(), pollInterval, stop)
+			e.host.Notify.WaitBeyond(e.applied(), pollInterval, stop)
 			if e.cl.Sync(); e.dur != nil {
 				e.noteApplied()
 				e.maybeCompactDurable()
@@ -666,19 +499,24 @@ func (e *mmEngine) run(stop <-chan struct{}) {
 			// that died without a Leave. Their ghost cursors would
 			// otherwise block certification-log GC forever.
 			for _, id := range e.membership.EvictStale(time.Now(), e.staleAfter) {
-				e.cursors.drop(id)
+				e.cursors.Drop(id)
 			}
 		}
 	}
-	runPuller(stop, e.puller, e.applied, &e.lastSeen, func(recs []certifier.Record) {
-		if e.cl.ApplyRecords(0, recs) > 0 {
-			e.noteApplied()
-		}
-		// Compact whenever records arrived, even if a client's wire
-		// Sync handler won the race to apply them — otherwise a replica
-		// whose applies are always won that way would never compact.
-		e.maybeCompactDurable()
-	})
+	p := &pipeline.Puller{
+		Interval: pollInterval,
+		Cursor:   e.applied,
+		Fetch:    e.puller.FetchSince,
+		Ingest: func(recs []certifier.Record) {
+			e.ingest(recs)
+			// Compact whenever records arrived, even if a client's wire
+			// Sync handler won the race to apply them — otherwise a
+			// replica whose applies are always won that way would never
+			// compact.
+			e.maybeCompactDurable()
+		},
+	}
+	p.Run(stop)
 }
 
 func (e *mmEngine) close() {
@@ -689,32 +527,32 @@ func (e *mmEngine) close() {
 		e.puller.Close()
 	}
 	if e.dur != nil {
-		e.dur.w.Close()
+		e.dur.W.Close()
 	}
 }
 
 // smEngine is one single-master node: the master executes updates
 // under first-committer-wins snapshot isolation and feeds a
-// propagation log; slaves are read-only caches applying the master's
-// writesets in commit order over the peer link.
+// propagation log; slaves are read-only caches whose pipeline apply
+// stage installs the master's writesets in commit order over the peer
+// link.
 type smEngine struct {
 	db       *sidb.DB
 	isMaster bool
 	stop     <-chan struct{}
-	dur      *durability // non-nil when the node runs a WAL
-	resumed  int64       // version recovered from the WAL at start
+	dur      *pipeline.Durability // non-nil when the node runs a WAL
+	resumed  int64                // version recovered from the WAL at start
 	resumeOK bool
 
 	// master state
 	wlog    *sm.Log
-	notify  *versionNotify
-	cursors *peerCursors
+	notify  *pipeline.Notify
+	cursors *pipeline.PeerCursors
 
 	// slave state
-	link     *client.Link // sync pulls
-	puller   *client.Link // propagation loop
-	applyMu  sync.Mutex   // serializes writeset application
-	lastSeen atomic.Int64
+	ap     *pipeline.Applier // the slave's apply stage
+	link   *client.Link      // sync pulls
+	puller *client.Link      // propagation loop
 }
 
 func newSMEngine(opts Options, stop <-chan struct{}) (*smEngine, error) {
@@ -726,18 +564,18 @@ func newSMEngine(opts Options, stop <-chan struct{}) (*smEngine, error) {
 			return nil, err
 		}
 		if err := rec.Restore(e.db); err != nil {
-			e.dur.w.Close()
+			e.dur.W.Close()
 			return nil, fmt.Errorf("server: wal replay: %w", err)
 		}
-		e.db.SetJournal(e.dur.applyHook())
+		e.db.SetJournal(e.dur.ApplyHook())
 		if v := e.db.Version(); v > 0 {
 			e.resumed, e.resumeOK = v, true
 		}
 	}
 	if e.isMaster {
 		e.wlog = sm.NewLog()
-		e.notify = newVersionNotify()
-		e.cursors = newPeerCursors(opts.Replicas-1, int64(opts.GCLag))
+		e.notify = pipeline.NewNotify()
+		e.cursors = pipeline.NewPeerCursors(opts.Replicas-1, int64(opts.GCLag))
 		if rec != nil {
 			// Rebuild the propagation log so restarted slaves resume
 			// their FetchSince cursors. Master versions are absolute,
@@ -747,6 +585,13 @@ func newSMEngine(opts Options, stop <-chan struct{}) (*smEngine, error) {
 			}
 		}
 	} else {
+		// The slave cursor is the absolute master version, which the
+		// local database version tracks exactly (the slave loaded
+		// identically and applies in commit order).
+		e.ap = pipeline.NewApplier(e.db, opts.ApplyWorkers)
+		if err := e.ap.Reset(func(int64) (int64, error) { return e.db.Version(), nil }); err != nil {
+			return nil, err
+		}
 		e.link = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
 		e.puller = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
 	}
@@ -768,7 +613,7 @@ func (e *smEngine) createTable(name string) error {
 		return err
 	}
 	if e.dur != nil {
-		return e.dur.table(name)
+		return e.dur.Table(name)
 	}
 	return nil
 }
@@ -783,14 +628,14 @@ func (e *smEngine) maybeCompact() {
 	if e.dur == nil {
 		return
 	}
-	e.dur.maybeCompact(func() (int64, int64, int64, int64, map[string]map[int64]string, error) {
+	e.dur.MaybeCompact(func() (int64, int64, int64, int64, map[string]map[int64]string, error) {
 		local, state, err := consistentDump(e.db)
 		if err != nil {
 			return 0, 0, 0, 0, nil, err
 		}
 		base := local
 		if e.isMaster && e.cursors != nil {
-			h, ok := e.cursors.horizon(local)
+			h, ok := e.cursors.Horizon(local)
 			if !ok {
 				h = 0
 			}
@@ -803,19 +648,35 @@ func (e *smEngine) maybeCompact() {
 }
 
 func (e *smEngine) loadRows(table string, start int64, values []string) error {
-	if err := e.db.ApplyWriteset(writeset.FromRows(table, start, values), e.db.Version()+1); err != nil {
+	ws := writeset.FromRows(table, start, values)
+	if e.ap != nil {
+		// The slave's apply cursor tracks the database version, so the
+		// load moves both together under the apply lock.
+		err := e.ap.Reset(func(int64) (int64, error) {
+			if err := e.db.ApplyWriteset(ws, e.db.Version()+1); err != nil {
+				return 0, err
+			}
+			return e.db.Version(), nil
+		})
+		if err != nil {
+			return err
+		}
+	} else if err := e.db.ApplyWriteset(ws, e.db.Version()+1); err != nil {
 		return err
 	}
 	if e.dur != nil {
 		// Loaded rows are acked but not re-fetchable from the master's
 		// propagation log, so they must be durable before the ack.
-		return e.dur.sync()
+		return e.dur.Sync()
 	}
 	return nil
 }
 
 func (e *smEngine) dump(table string) (map[int64]string, error) { return e.db.Dump(table) }
 
+// sync drains the master's propagation feed into the slave's apply
+// stage (one pull); wire Sync handlers and the propagation loop both
+// land on the pipeline applier's lock.
 func (e *smEngine) sync() {
 	if e.isMaster {
 		return // the master is always current
@@ -824,42 +685,30 @@ func (e *smEngine) sync() {
 	if err != nil {
 		return
 	}
-	e.apply(recs)
-}
-
-// apply installs master records in commit order. Master versions are
-// absolute and the slave loaded identically, so the slave's own
-// database version tracks the master version exactly.
-func (e *smEngine) apply(recs []certifier.Record) {
-	e.applyMu.Lock()
-	defer e.applyMu.Unlock()
-	for _, rec := range recs {
-		switch v := e.db.Version(); {
-		case rec.Version <= v:
-			continue
-		case rec.Version != v+1:
-			return // gap: wait for a later pull
-		}
-		if err := e.db.ApplyWriteset(rec.Writeset, rec.Version); err != nil {
-			panic(fmt.Sprintf("server: slave failed to apply version %d: %v", rec.Version, err))
-		}
-	}
+	e.ap.Apply(recs)
 }
 
 func (e *smEngine) applied() int64 {
-	e.applyMu.Lock()
-	defer e.applyMu.Unlock()
-	return e.db.Version()
+	if e.isMaster {
+		return e.db.Version()
+	}
+	return e.ap.Applied()
 }
 
 func (e *smEngine) queueDepth() int64 {
 	if e.isMaster {
 		return 0
 	}
-	if d := e.lastSeen.Load() - e.applied(); d > 0 {
-		return d
+	return e.ap.Stats().Lag
+}
+
+func (e *smEngine) applyStats() pipeline.ApplyStats {
+	if e.isMaster {
+		// The master applies nothing; its commits land through its own
+		// concurrency control.
+		return pipeline.ApplyStats{Applied: e.db.Version()}
 	}
-	return 0
+	return e.ap.Stats()
 }
 
 func (e *smEngine) certify(int64, writeset.Writeset) (certifier.Outcome, error) {
@@ -884,18 +733,18 @@ func (e *smEngine) fetchSince(peer int64, v int64, wait time.Duration) ([]certif
 	if wait > 0 {
 		// A slave's long-poll cursor is the master version it has
 		// applied; the minimum across all slaves bounds log pruning.
-		e.cursors.update(peer, v)
-		if h, ok := e.cursors.horizon(e.db.Version()); ok {
+		e.cursors.Update(peer, v)
+		if h, ok := e.cursors.Horizon(e.db.Version()); ok {
 			e.wlog.GCBelow(h)
 		}
-		e.notify.waitBeyond(v, wait, e.stop)
+		e.notify.WaitBeyond(v, wait, e.stop)
 	}
 	return e.wlog.SinceDense(v), nil
 }
 
 func (e *smEngine) peerGone(peer int64) {
 	if e.cursors != nil {
-		e.cursors.drop(peer)
+		e.cursors.Drop(peer)
 	}
 }
 
@@ -934,10 +783,16 @@ func (e *smEngine) run(stop <-chan struct{}) {
 			}
 		}
 	}
-	runPuller(stop, e.puller, e.applied, &e.lastSeen, func(recs []certifier.Record) {
-		e.apply(recs)
-		e.maybeCompact()
-	})
+	p := &pipeline.Puller{
+		Interval: pollInterval,
+		Cursor:   e.applied,
+		Fetch:    e.puller.FetchSince,
+		Ingest: func(recs []certifier.Record) {
+			e.ap.Apply(recs)
+			e.maybeCompact()
+		},
+	}
+	p.Run(stop)
 }
 
 func (e *smEngine) close() {
@@ -948,7 +803,7 @@ func (e *smEngine) close() {
 		e.puller.Close()
 	}
 	if e.dur != nil {
-		e.dur.w.Close()
+		e.dur.W.Close()
 	}
 }
 
@@ -1000,12 +855,12 @@ func (t *smTxn) Commit() error {
 			// is acknowledged or propagated (fail-stop on real disk
 			// failures, ambiguous outcome on a clean-shutdown race —
 			// see sm.SyncCommit).
-			if err := sm.SyncCommit(d.w, version); err != nil {
+			if err := sm.SyncCommit(d.W, version); err != nil {
 				return err
 			}
 		}
 		t.e.wlog.Append(version, ws)
-		t.e.notify.bump(version)
+		t.e.notify.Bump(version)
 	}
 	return nil
 }

@@ -70,6 +70,7 @@ func (m *metrics) statsOK(eng engine) *wire.StatsOK {
 	rc, rns := m.readLat.Count(), m.readLat.Sum()
 	uc, uns := m.updateLat.Count(), m.updateLat.Sum()
 	m.txnMu.Unlock()
+	ap := eng.applyStats()
 	return &wire.StatsOK{
 		ReadCommits:   rc,
 		UpdateCommits: uc,
@@ -79,6 +80,8 @@ func (m *metrics) statsOK(eng engine) *wire.StatsOK {
 		Applied:       eng.applied(),
 		QueueDepth:    eng.queueDepth(),
 		ActiveTxns:    m.activeTxns.Load(),
+		AppliedTotal:  ap.Total,
+		ApplyLag:      ap.Lag,
 	}
 }
 
@@ -99,6 +102,12 @@ func (m *metrics) handler(eng engine) http.Handler {
 		fmt.Fprintf(w, "replicadb_applied_version %d\n", eng.applied())
 		fmt.Fprintf(w, "replicadb_writeset_queue_depth %d\n", eng.queueDepth())
 		fmt.Fprintf(w, "replicadb_retained_writesets %d\n", eng.logLen())
+		ap := eng.applyStats()
+		fmt.Fprintf(w, "replicadb_apply_workers %d\n", ap.Workers)
+		fmt.Fprintf(w, "replicadb_applied_versions_total %d\n", ap.Total)
+		fmt.Fprintf(w, "replicadb_apply_queue_depth %d\n", ap.Pending)
+		fmt.Fprintf(w, "replicadb_apply_lag %d\n", ap.Lag)
+		fmt.Fprintf(w, "replicadb_applied_versions_per_sec %g\n", ap.Rate)
 		if epoch, members, err := eng.members(); err == nil {
 			fmt.Fprintf(w, "replicadb_membership_epoch %d\n", epoch)
 			fmt.Fprintf(w, "replicadb_members %d\n", len(members))

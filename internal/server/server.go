@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -106,6 +107,12 @@ type Options struct {
 	// once the segment exceeds this size (default 64 MiB; < 0 disables
 	// compaction). Ignored without WALDir.
 	WALCompactBytes int64
+	// ApplyWorkers sizes the conflict-aware parallel applier that
+	// installs propagated writesets: non-conflicting writesets install
+	// concurrently across the database's lock shards while versions
+	// retire strictly in order. Defaults to GOMAXPROCS; 1 applies
+	// serially.
+	ApplyWorkers int
 }
 
 // Server is a running replica server.
@@ -173,6 +180,9 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.WALCompactBytes == 0 {
 		opts.WALCompactBytes = 64 << 20
+	}
+	if opts.ApplyWorkers <= 0 {
+		opts.ApplyWorkers = runtime.GOMAXPROCS(0)
 	}
 
 	// The listener binds before a join so the joiner can announce the

@@ -237,11 +237,44 @@ func TestMetricsEndpoint(t *testing.T) {
 		for _, want := range []string{
 			"replicadb_commits", "replicadb_aborts", "replicadb_active_connections",
 			"replicadb_writeset_queue_depth", "replicadb_cert_latency_seconds",
+			"replicadb_apply_workers", "replicadb_applied_versions_total",
+			"replicadb_apply_queue_depth", "replicadb_apply_lag",
+			"replicadb_applied_versions_per_sec",
 		} {
 			if !strings.Contains(body, want) {
 				t.Fatalf("server %d metrics missing %q:\n%s", i, want, body)
 			}
 		}
+	}
+}
+
+// TestStatsExposeApplyPipeline: the wire Stats reply carries the apply
+// stage's cumulative applied counter (and current lag) so pollers —
+// the elastic profiler, bench -watch — can difference successive
+// samples into applied-versions/sec the same way they difference
+// commit counts.
+func TestStatsExposeApplyPipeline(t *testing.T) {
+	servers, cl := startCluster(t, "mm", 2, nil)
+	driveAndCheck(t, cl, 2, 10)
+
+	// The convergence check synced every replica, so the non-primary's
+	// apply stage has installed every update through the pipeline.
+	link := client.NewLink(servers[1].Addr(), "mm", -1, time.Second)
+	defer link.Close()
+	st, err := link.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.AppliedTotal <= 0 {
+		t.Fatalf("replica 1 AppliedTotal = %d, want > 0 (updates were propagated): %+v", st.AppliedTotal, st)
+	}
+	if st.AppliedTotal != st.Applied {
+		// A fresh node with no loads: the cumulative counter equals the
+		// cursor exactly (every applied version went through the stage).
+		t.Fatalf("AppliedTotal %d != Applied %d", st.AppliedTotal, st.Applied)
+	}
+	if st.ApplyLag < 0 {
+		t.Fatalf("negative apply lag %d", st.ApplyLag)
 	}
 }
 

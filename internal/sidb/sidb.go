@@ -338,6 +338,60 @@ func (db *DB) ApplyWriteset(ws writeset.Writeset, version int64) error {
 	return nil
 }
 
+// ApplyBatch installs a run of writesets at the next consecutive
+// versions (current+1 .. current+len(wss)) as one atomic batch — the
+// parallel applier's entry point. The journal hook fires for every
+// writeset up front, in version order under commitMu, so a write-ahead
+// log observes exactly the stream a serial ApplyWriteset loop would
+// have produced. Installation is then delegated to run, which must
+// call install(i) exactly once for each i in [0, len(wss)) and may do
+// so from multiple goroutines, PROVIDED that for any two writesets
+// sharing a row key the lower-indexed install returns before the
+// higher-indexed one starts (row version chains are append-ordered
+// ascending). A nil run installs serially. The version counter
+// advances only after every install returned, so a concurrent reader's
+// snapshot never admits a half-installed batch.
+//
+// It returns how many writesets were applied: on a journal error the
+// already-journaled prefix is still installed (matching the serial
+// loop, where earlier records were already applied when a later
+// journal append failed) and the error is returned with the count.
+func (db *DB) ApplyBatch(wss []writeset.Writeset, run func(install func(i int))) (int, error) {
+	if len(wss) == 0 {
+		return 0, nil
+	}
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	// All writers hold commitMu, so the version counter is stable here
+	// without taking stateMu.
+	base := db.version
+	n := len(wss)
+	var jerr error
+	for i := 0; i < n; i++ {
+		if err := db.journalInstall(wss[i], base+int64(i)+1); err != nil {
+			jerr, n = err, i
+			break
+		}
+	}
+	if n == 0 {
+		return 0, jerr
+	}
+	if run == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			db.install(wss[i], base+int64(i)+1, true)
+		}
+	} else {
+		limit := n // journal may have truncated the batch
+		run(func(i int) {
+			if i < limit {
+				db.install(wss[i], base+int64(i)+1, true)
+			}
+		})
+	}
+	db.advance(base+int64(n), false)
+	return n, jerr
+}
+
 // install writes every entry of ws as version v. The caller must hold
 // commitMu, and must advance the version counter (under stateMu)
 // after install returns, so a concurrent reader's snapshot never

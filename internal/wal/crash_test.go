@@ -36,6 +36,7 @@ import (
 	"testing"
 
 	"repro/internal/certifier"
+	"repro/internal/repl/pipeline"
 	"repro/internal/sidb"
 	"repro/internal/writeset"
 )
@@ -94,8 +95,37 @@ type crashRun struct {
 func value(attempt int) string { return fmt.Sprintf("w%d", attempt) }
 
 // runCrashScript executes the workload with a crash armed at op index
-// armAt (-1 = never) and cut torn-write bytes.
+// armAt (-1 = never) and cut torn-write bytes, applying serially.
 func runCrashScript(t *testing.T, armAt, cut int) *crashRun {
+	t.Helper()
+	return runCrashScriptWorkers(t, armAt, cut, 1)
+}
+
+// tryApply drains recs through the pipeline applier, tolerating the
+// injected crash: after the CrashFS fired, the journal hook fails and
+// the applier's invariant panic is expected — anything else is a real
+// bug and re-panics. It returns how many records applied.
+func tryApply(cfs *CrashFS, ap *pipeline.Applier, recs []certifier.Record) int {
+	before := ap.Applied()
+	func() {
+		defer func() {
+			if e := recover(); e != nil && !cfs.Crashed() {
+				panic(e)
+			}
+		}()
+		ap.Apply(recs)
+	}()
+	return int(ap.Applied() - before)
+}
+
+// runCrashScriptWorkers executes the workload with the local apply
+// stream flowing through a pipeline applier with the given worker
+// count. workers == 1 produces exactly the serial harness's WAL
+// operation sequence (the named-point locators depend on that);
+// workers > 1 journals each group-commit batch version-ordered ahead
+// of the conflict-aware parallel install, which is precisely the
+// ordering claim TestCrashSweepParallel exists to break.
+func runCrashScriptWorkers(t *testing.T, armAt, cut, workers int) *crashRun {
 	t.Helper()
 	r := &crashRun{fs: NewMemFS()}
 	r.cfs = NewCrashFS(r.fs, armAt, cut)
@@ -112,6 +142,7 @@ func runCrashScript(t *testing.T, armAt, cut int) *crashRun {
 	db.SetJournal(func(ws writeset.Writeset, version int64) error {
 		return w.AppendApply(version, ws)
 	})
+	ap := pipeline.NewApplier(db, workers)
 	attempt := 0
 
 	submit := func(ws writeset.Writeset) {
@@ -121,13 +152,16 @@ func runCrashScript(t *testing.T, armAt, cut int) *crashRun {
 			r.inflight = append(r.inflight, ws)
 		}
 	}
-	// ack records an acknowledged commit and applies it locally in
-	// version order (journaling the apply, then the cursor — the
+	// ack records acknowledged commits and applies them locally in
+	// version order (journaling the applies, then the cursor — the
 	// cursor means "everything at or below me is applied").
-	ack := func(rec certifier.Record) {
-		r.acked = append(r.acked, rec)
-		if err := db.ApplyWriteset(rec.Writeset, db.Version()+1); err == nil {
-			_ = w.AppendCursor(rec.Version)
+	ack := func(recs ...certifier.Record) {
+		if len(recs) == 0 {
+			return // a batch whose requests all aborted
+		}
+		r.acked = append(r.acked, recs...)
+		if n := tryApply(r.cfs, ap, recs); n == len(recs) {
+			_ = w.AppendCursor(recs[n-1].Version)
 		}
 	}
 
@@ -183,9 +217,21 @@ func runCrashScript(t *testing.T, armAt, cut int) *crashRun {
 				// The whole batch is durable: everything leaves the
 				// in-flight set, commits ack and apply in version order.
 				r.inflight = r.inflight[:len(r.inflight)-st.n]
+				var committed []certifier.Record
 				for i, res := range results {
 					if res.Err == nil && res.Outcome.Committed {
-						ack(certifier.Record{Version: res.Outcome.Version, Writeset: reqs[i].Writeset})
+						committed = append(committed, certifier.Record{Version: res.Outcome.Version, Writeset: reqs[i].Writeset})
+					}
+				}
+				if workers > 1 {
+					// One applier batch: the parallel install the sweep
+					// is probing. A single cursor retires the batch.
+					ack(committed...)
+				} else {
+					// Record-at-a-time, preserving the serial harness's
+					// exact WAL operation sequence.
+					for _, rec := range committed {
+						ack(rec)
 					}
 				}
 			}
@@ -235,6 +281,14 @@ func consistentDumpForTest(db *sidb.DB) (int64, map[string]map[int64]string, err
 // records, database catch-up from the recovered log.
 func recoverNode(t *testing.T, fs *MemFS, keepUnsynced bool) (*Recovered, *certifier.Certifier, *sidb.DB) {
 	t.Helper()
+	return recoverNodeWorkers(t, fs, keepUnsynced, 1)
+}
+
+// recoverNodeWorkers is recoverNode with the catch-up apply running
+// through a pipeline applier at the given worker count — a restarted
+// replica's parallel catch-up.
+func recoverNodeWorkers(t *testing.T, fs *MemFS, keepUnsynced bool, workers int) (*Recovered, *certifier.Certifier, *sidb.DB) {
+	t.Helper()
 	fs.PowerCycle(keepUnsynced)
 	w, rec, err := Open(Options{FS: fs, Fsync: true})
 	if err != nil {
@@ -248,10 +302,13 @@ func recoverNode(t *testing.T, fs *MemFS, keepUnsynced bool) (*Recovered, *certi
 	}
 	// Catch up like a restarted replica: apply every certified record
 	// past the recovered cursor.
-	for _, r := range cert.Since(rec.Cursor) {
-		if err := db.ApplyWriteset(r.Writeset, db.Version()+1); err != nil {
-			t.Fatalf("catch-up apply %d: %v", r.Version, err)
-		}
+	ap := pipeline.NewApplier(db, workers)
+	if err := ap.Reset(func(int64) (int64, error) { return rec.Cursor, nil }); err != nil {
+		t.Fatal(err)
+	}
+	pending := cert.Since(rec.Cursor)
+	if n := ap.Apply(pending); n != len(pending) {
+		t.Fatalf("catch-up applied %d of %d records", n, len(pending))
 	}
 	return rec, cert, db
 }
@@ -326,7 +383,14 @@ func referenceNode(t *testing.T, upTo int64, base int64) (*certifier.Certifier, 
 // checkInvariants asserts the durability contract for one crash run.
 func checkInvariants(t *testing.T, label string, r *crashRun, keepUnsynced bool) {
 	t.Helper()
-	rec, cert, db := recoverNode(t, r.fs, keepUnsynced)
+	checkInvariantsWorkers(t, label, r, keepUnsynced, 1)
+}
+
+// checkInvariantsWorkers asserts the durability contract with the
+// recovery catch-up applying at the given worker count.
+func checkInvariantsWorkers(t *testing.T, label string, r *crashRun, keepUnsynced bool, workers int) {
+	t.Helper()
+	rec, cert, db := recoverNodeWorkers(t, r.fs, keepUnsynced, workers)
 
 	// (3) dense prefix above the compaction base.
 	for i, c := range rec.Records {
@@ -469,6 +533,46 @@ func TestCrashSweep(t *testing.T) {
 					t.Fatalf("%s: crash never fired", label)
 				}
 				checkInvariants(t, label, r, keep)
+			}
+		}
+	}
+}
+
+// TestCrashSweepParallel re-runs the full crash sweep with the apply
+// stage at workers=8, both during the live run (group-commit batches
+// install through the conflict-aware parallel applier) and during
+// recovery catch-up. The WAL ordering invariants — acked ⊆ recovered,
+// dense version prefix, recovered state equal to the never-crashed
+// reference — must be indistinguishable from serial apply: journaling
+// runs version-ordered ahead of the parallel stage and the version
+// counter retires batches whole, so no kill point may expose a torn
+// or reordered apply stream.
+func TestCrashSweepParallel(t *testing.T) {
+	const workers = 8
+	dry := runCrashScriptWorkers(t, -1, 0, workers)
+	if dry.cfs.Crashed() {
+		t.Fatal("dry run crashed")
+	}
+	trace := dry.cfs.Trace()
+	if len(trace) < 30 {
+		t.Fatalf("suspiciously small trace: %d ops", len(trace))
+	}
+	checkInvariantsWorkers(t, "dry", dry, true, workers)
+
+	for op, desc := range trace {
+		cuts := []int{0}
+		if desc.Kind == "write" && desc.Bytes > 1 {
+			cuts = append(cuts, desc.Bytes/2)
+		}
+		for _, cut := range cuts {
+			for _, keep := range []bool{false, true} {
+				label := fmt.Sprintf("op%d(%s %s %dB) cut=%d keep=%v workers=%d",
+					op, desc.Kind, desc.Name, desc.Bytes, cut, keep, workers)
+				r := runCrashScriptWorkers(t, op, cut, workers)
+				if !r.cfs.Crashed() {
+					t.Fatalf("%s: crash never fired", label)
+				}
+				checkInvariantsWorkers(t, label, r, keep, workers)
 			}
 		}
 	}

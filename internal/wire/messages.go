@@ -804,7 +804,14 @@ func (m *Stats) decode(*decoder)        {}
 
 // StatsOK carries one replica's cumulative counters: per-class commit
 // counts and summed client-visible latencies (nanoseconds), abort
-// count, the applied version and the propagation queue depth.
+// count, the applied version, the propagation queue depth, and the
+// apply stage's cumulative throughput counter and current lag.
+// AppliedTotal is monotone, so pollers difference successive samples
+// into applied-versions/sec the same way the elastic profiler
+// differences commit counts. (Stats consumers — the profiler, the
+// autoscaler and the bench watcher — are build-lockstep tools polling
+// their own cluster, which is what permits growing this message in
+// place.)
 type StatsOK struct {
 	ReadCommits   int64
 	UpdateCommits int64
@@ -814,6 +821,8 @@ type StatsOK struct {
 	Applied       int64
 	QueueDepth    int64
 	ActiveTxns    int64
+	AppliedTotal  int64
+	ApplyLag      int64
 }
 
 func (*StatsOK) msgType() MsgType { return TStatsOK }
@@ -825,7 +834,9 @@ func (m *StatsOK) encode(b []byte) []byte {
 	b = appendVarint(b, m.UpdateNs)
 	b = appendVarint(b, m.Applied)
 	b = appendVarint(b, m.QueueDepth)
-	return appendVarint(b, m.ActiveTxns)
+	b = appendVarint(b, m.ActiveTxns)
+	b = appendVarint(b, m.AppliedTotal)
+	return appendVarint(b, m.ApplyLag)
 }
 func (m *StatsOK) decode(d *decoder) {
 	m.ReadCommits = d.varint()
@@ -836,4 +847,6 @@ func (m *StatsOK) decode(d *decoder) {
 	m.Applied = d.varint()
 	m.QueueDepth = d.varint()
 	m.ActiveTxns = d.varint()
+	m.AppliedTotal = d.varint()
+	m.ApplyLag = d.varint()
 }

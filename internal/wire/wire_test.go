@@ -105,7 +105,8 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&MembersOK{Epoch: 9, Members: []Member{{ID: 0, Addr: "a:1"}}},
 		&Stats{},
 		&StatsOK{ReadCommits: 10, UpdateCommits: 4, Aborts: 1, ReadNs: 1e9,
-			UpdateNs: 5e8, Applied: 44, QueueDepth: 2, ActiveTxns: 3},
+			UpdateNs: 5e8, Applied: 44, QueueDepth: 2, ActiveTxns: 3,
+			AppliedTotal: 123, ApplyLag: 7},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
