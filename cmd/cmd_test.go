@@ -197,6 +197,10 @@ func TestReplicadbFlagValidation(t *testing.T) {
 		{"autoscale bad bounds", []string{"serve", "-design", "mm", "-listen", "127.0.0.1:0", "-peers", "a:1", "-autoscale", "-min", "3", "-max", "2"}, "min <= max"},
 		{"bench watch on sm", []string{"bench", "-design", "sm", "-servers", "a:1", "-watch"}, "-watch requires -design mm"},
 		{"fsync without wal-dir", []string{"serve", "-design", "mm", "-listen", "127.0.0.1:0", "-peers", "a:1", "-fsync"}, "-fsync requires -wal-dir"},
+		{"serve paxos with sm", []string{"serve", "-design", "sm", "-listen", "127.0.0.1:0", "-peers", "a:1", "-paxos"}, "-paxos requires -design mm"},
+		{"serve paxos with join", []string{"serve", "-design", "mm", "-listen", "127.0.0.1:0", "-join", "b:2", "-paxos"}, "-paxos and -join are mutually exclusive"},
+		{"serve paxos with autoscale", []string{"serve", "-design", "mm", "-listen", "127.0.0.1:0", "-peers", "a:1", "-paxos", "-autoscale"}, "not supported with -paxos"},
+		{"serve paxos bad elect-timeout", []string{"serve", "-design", "mm", "-listen", "127.0.0.1:0", "-peers", "a:1", "-paxos", "-elect-timeout", "-1s"}, "-elect-timeout must be positive"},
 		{"unknown mode", []string{"frobnicate"}, "unknown mode"},
 	}
 	for _, tc := range cases {
@@ -380,5 +384,98 @@ func TestReplicadbNetworkedCluster(t *testing.T) {
 	case <-done:
 	case <-time.After(10 * time.Second):
 		t.Fatal("replica 2 did not exit on SIGTERM")
+	}
+}
+
+// TestReplicadbPaxosLeaderKill is the "kill the leader" recipe from
+// the README as a test: a 3-process cluster with `-paxos -wal-dir
+// -fsync` elects a certification leader, serves a bench, loses the
+// leader to SIGKILL, elects a successor, and keeps serving with the
+// two survivors convergent.
+func TestReplicadbPaxosLeaderKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildAll(t)
+	bin := bins["replicadb"]
+	addrs := reservePorts(t, 3)
+	peers := strings.Join(addrs, ",")
+
+	logDir := t.TempDir()
+	logPath := func(i int) string { return filepath.Join(logDir, fmt.Sprintf("replica%d.log", i)) }
+	var procs [3]*exec.Cmd
+	for i, addr := range addrs {
+		logFile, err := os.Create(logPath(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(bin, "serve",
+			"-design", "mm",
+			"-id", strconv.Itoa(i),
+			"-listen", addr,
+			"-peers", peers,
+			"-paxos",
+			"-elect-timeout", "300ms",
+			"-wal-dir", t.TempDir(),
+			"-fsync")
+		cmd.Stdout, cmd.Stderr = logFile, logFile
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start replica %d: %v", i, err)
+		}
+		logFile.Close()
+		procs[i] = cmd
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+		waitReachable(t, addr)
+	}
+
+	// One process must announce leadership.
+	leaderOf := func(skip int) int {
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			for i := range procs {
+				if i == skip {
+					continue
+				}
+				b, _ := os.ReadFile(logPath(i))
+				if strings.Contains(string(b), "this node leads certification") {
+					return i
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Fatal("no process announced certification leadership")
+		return -1
+	}
+	lead := leaderOf(-1)
+
+	run(t, bin, "bench", "-design", "mm", "-servers", peers,
+		"-mix", "tpcw-shopping", "-clients", "4", "-txns", "10", "-factor", "500")
+
+	// SIGKILL the leader: no shutdown hooks — the survivors must elect.
+	if err := procs[lead].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	procs[lead].Wait()
+	// Truncating nothing: the old leader's log keeps its banner, so scan
+	// only the survivors for a fresh leadership announcement.
+	newLead := leaderOf(lead)
+	if newLead == lead {
+		t.Fatalf("dead leader %d announced leadership again", lead)
+	}
+
+	var survivors []string
+	for i, a := range addrs {
+		if i != lead {
+			survivors = append(survivors, a)
+		}
+	}
+	out := run(t, bin, "bench", "-design", "mm", "-servers", strings.Join(survivors, ","),
+		"-mix", "tpcw-shopping", "-clients", "4", "-txns", "10", "-factor", "500",
+		"-load=false")
+	if !strings.Contains(out, "all 2 replicas identical") {
+		t.Fatalf("post-failover convergence failed:\n%s", out)
 	}
 }

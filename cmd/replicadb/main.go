@@ -21,6 +21,9 @@
 //
 //	replicadb serve -design mm -id 0 -listen 127.0.0.1:7000 \
 //	    -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//	replicadb serve -design mm -id 0 -listen 127.0.0.1:7000 \
+//	    -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 \
+//	    -paxos -wal-dir /var/lib/replicadb/0   # leader failover + durability
 //	replicadb bench -design mm \
 //	    -servers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 \
 //	    -mix tpcw-shopping -clients 8 -txns 100
@@ -104,6 +107,13 @@ func printDriveResult(res repl.DriveResult, elapsed time.Duration) {
 		res.Commits, elapsed.Seconds(), float64(res.Commits)/elapsed.Seconds())
 	fmt.Printf("  read-only: %d, updates: %d, certification aborts (retried): %d, errors: %d\n",
 		res.ReadCommits, res.UpdateCommits, res.Aborts, res.Errors)
+	if res.Unknown > 0 {
+		fmt.Printf("  unknown-outcome commits (leadership moved mid-commit, not retried): %d\n",
+			res.Unknown)
+	}
+	if res.Errors > 0 && res.FirstError != "" {
+		fmt.Printf("  first error: %s\n", res.FirstError)
+	}
 	printLatency("read-only", res.ReadLatency)
 	printLatency("update   ", res.UpdateLatency)
 }
@@ -228,6 +238,8 @@ func serveMain(args []string) {
 		walDir  = fs.String("wal-dir", "", "durable commits: write-ahead log directory (replayed on start; a restarted replica resumes via FetchSince)")
 		fsync   = fs.Bool("fsync", false, "fsync WAL commits (group commit) before acknowledging; requires -wal-dir")
 		workers = fs.Int("apply-workers", runtime.GOMAXPROCS(0), "parallel writeset appliers: non-conflicting propagated writesets install concurrently (1 = serial apply)")
+		paxos   = fs.Bool("paxos", false, "replicate the certifier over the -peers group with leader election and automatic failover (mm; composes with -wal-dir/-fsync)")
+		electTO = fs.Duration("elect-timeout", time.Second, "paxos: how long a backup goes without leader progress before campaigning")
 
 		autoscale = fs.Bool("autoscale", false, "run the MVA autoscaler on this primary (mm, id 0): spawn/retire loopback replicas to track the live load")
 		minRep    = fs.Int("min", 1, "autoscaler: minimum replica count")
@@ -265,8 +277,26 @@ func serveMain(args []string) {
 	if *design == "sm" && (*batch || *eager) {
 		usageExit(fs, "-groupcommit and -eager require -design mm")
 	}
-	if *batch && (*id != 0 || *join != "") {
-		usageExit(fs, "-groupcommit only applies to the certifier host (id 0)")
+	if *paxos {
+		// -paxos deliberately composes with -wal-dir/-fsync: the quorum
+		// is the durability authority and the WAL doubles as the
+		// acceptor's persistent store, so a restarted node rejoins with
+		// its promises intact.
+		if *design != "mm" {
+			usageExit(fs, "-paxos requires -design mm (the single-master design has no certifier)")
+		}
+		if *join != "" {
+			usageExit(fs, "-paxos and -join are mutually exclusive (the replicated-certifier group is fixed at boot)")
+		}
+		if *autoscale {
+			usageExit(fs, "-autoscale is not supported with -paxos (the replicated-certifier group is fixed at boot)")
+		}
+		if *electTO <= 0 {
+			usageExit(fs, "-elect-timeout must be positive (got %s)", *electTO)
+		}
+	}
+	if *batch && !*paxos && (*id != 0 || *join != "") {
+		usageExit(fs, "-groupcommit only applies to the certifier host (id 0, or any node with -paxos)")
 	}
 	if *autoscale && (*design != "mm" || *id != 0) {
 		usageExit(fs, "-autoscale requires -design mm and -id 0 (the membership authority)")
@@ -298,10 +328,15 @@ func serveMain(args []string) {
 		Fsync:        *fsync,
 		ApplyWorkers: *workers,
 	}
+	if *paxos {
+		opts.Paxos = true
+		opts.PaxosPeers = peerList
+		opts.ElectTimeout = *electTO
+	}
 	if *join != "" {
 		opts.Join = true
 		opts.Primary = *join
-	} else if *id > 0 {
+	} else if *id > 0 && !*paxos {
 		opts.Primary = peerList[0]
 	}
 	srv, err := server.New(opts)
@@ -311,6 +346,8 @@ func serveMain(args []string) {
 	srv.Start()
 	role := "replica"
 	switch {
+	case *paxos:
+		role = "replicated-certifier replica"
 	case *join != "":
 		role = "elastic replica"
 	case *id == 0 && *design == "mm":
@@ -319,6 +356,29 @@ func serveMain(args []string) {
 		role = "master"
 	}
 	fmt.Printf("replicadb: serving %s %s on %s\n", *design, role, srv.Addr())
+	if *paxos {
+		fmt.Printf("replicadb: certification replicated over %d nodes (election timeout %s)\n",
+			len(peerList), *electTO)
+		// Announce the election outcome once it settles; kill the leader
+		// and the survivors print the handover the same way.
+		go func() {
+			wasLeading, hadLeader := false, -2
+			for {
+				leading, leader, epoch, ok := srv.Leader()
+				if !ok {
+					return
+				}
+				switch {
+				case leading && !wasLeading:
+					fmt.Printf("replicadb: this node leads certification (epoch %d.%d)\n", epoch.Round, epoch.Proposer)
+				case !leading && leader >= 0 && (leader != hadLeader || wasLeading):
+					fmt.Printf("replicadb: certifier leader is node %d (epoch %d.%d)\n", leader, epoch.Round, epoch.Proposer)
+				}
+				wasLeading, hadLeader = leading, leader
+				time.Sleep(200 * time.Millisecond)
+			}
+		}()
+	}
 	if v, ok := srv.Resumed(); ok {
 		fmt.Printf("replicadb: resumed from WAL at version %d (catching up via FetchSince)\n", v)
 	}
@@ -394,6 +454,7 @@ type benchResult struct {
 	UpdateCommits int64   `json:"update_commits"`
 	Aborts        int64   `json:"aborts"`
 	Errors        int64   `json:"errors"`
+	Unknown       int64   `json:"unknown_outcomes"`
 	ReadP50Ms     float64 `json:"read_p50_ms"`
 	ReadP99Ms     float64 `json:"read_p99_ms"`
 	UpdateP50Ms   float64 `json:"update_p50_ms"`
@@ -496,6 +557,7 @@ func benchMain(args []string) {
 			UpdateCommits: res.UpdateCommits,
 			Aborts:        res.Aborts,
 			Errors:        res.Errors,
+			Unknown:       res.Unknown,
 			ReadP50Ms:     ms(res.ReadLatency.Quantile(0.50)),
 			ReadP99Ms:     ms(res.ReadLatency.Quantile(0.99)),
 			UpdateP50Ms:   ms(res.UpdateLatency.Quantile(0.50)),

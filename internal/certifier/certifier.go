@@ -25,6 +25,7 @@ package certifier
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -32,6 +33,24 @@ import (
 	"repro/internal/paxos"
 	"repro/internal/writeset"
 )
+
+// NotLeaderError reports a certification request sent to a deposed
+// leader: a newer epoch exists and this node must stop acknowledging
+// commits. Callers redirect to the new leader (identified by the
+// epoch's proposer id) and retry.
+type NotLeaderError struct {
+	// Leader is the paxos proposer id of the deposing epoch.
+	Leader int
+	// Epoch is the ballot that deposed this node.
+	Epoch paxos.Ballot
+}
+
+func (e NotLeaderError) Error() string {
+	return fmt.Sprintf("certifier: not leader (deposed by node %d, epoch %s)", e.Leader, e.Epoch)
+}
+
+// noopValue fills recovered log holes; DecodeRecord(s) skip it.
+const noopValue paxos.Value = "noop"
 
 // Record is one certified (committed) update transaction.
 type Record struct {
@@ -99,8 +118,16 @@ type Certifier struct {
 	// the version would be reassigned on recovery and the peer, having
 	// already applied the old record at that version, would silently
 	// skip the new one forever.
-	journal Journal
-	durable int64
+	//
+	// With a proposer attached the roles invert: the Paxos majority is
+	// the durability authority (a commit is durable once accepted by a
+	// quorum) and the journal is a best-effort local cache that speeds
+	// up restart. A journal failure then detaches the journal (recorded
+	// in journalErr) instead of failing the commit, and Since never
+	// withholds — every applied record is already majority-durable.
+	journal    Journal
+	journalErr error
+	durable    int64
 
 	commits int64
 	aborts  int64
@@ -115,19 +142,36 @@ func New() *Certifier {
 // SetJournal attaches the durability journal: from now on every
 // certified record is staged in j (in version order, under the
 // certification lock) and synced before Certify or CertifyBatch
-// acknowledges the commit. Attach before serving traffic, and only to
-// an unreplicated certifier — a Paxos-replicated log is its own
-// persistence mechanism, and stacking a journal on top would open a
-// window (propose succeeded, journal failed) in which a version
-// already durable at the acceptors is abandoned and later reused.
+// acknowledges the commit. Attach before serving traffic.
+//
+// On an unreplicated certifier the journal IS the durability
+// authority: a journal failure refuses or withholds the commit. On a
+// Paxos-replicated certifier the acceptor majority is the authority —
+// a version the quorum accepted can never be reused — so the journal
+// is a restart cache: a failure detaches it (see JournalError) and the
+// commit is still acknowledged.
 func (c *Certifier) SetJournal(j Journal) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.proposer != nil {
-		panic("certifier: SetJournal on a Paxos-replicated certifier")
-	}
 	c.journal = j
+	c.journalErr = nil
 	c.durable = c.version // recovered history is durable by definition
+}
+
+// JournalError returns the error that detached the journal of a
+// replicated certifier, or nil while the journal is healthy.
+func (c *Certifier) JournalError() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.journalErr
+}
+
+// detachJournalLocked drops a failing journal on a replicated
+// certifier: the Paxos log holds every record, so losing the local
+// cache costs a slower restart, not correctness.
+func (c *Certifier) detachJournalLocked(err error) {
+	c.journal = nil
+	c.journalErr = err
 }
 
 // markDurable publishes versions up to v as journal-durable. Journal
@@ -194,6 +238,120 @@ func NewReplicated(nodes int) (*Certifier, *paxos.LocalTransport, error) {
 	c := New()
 	c.proposer = paxos.NewProposer(0, ids, tr)
 	return c, tr, nil
+}
+
+// NewReplicatedOver creates a certifier replicating through an
+// externally supplied transport — the networked deployment, where
+// acceptors live inside each replica's server. With fenced true the
+// proposer deposes itself on preemption (returning NotLeaderError from
+// Certify) instead of outbidding, which is what leader election
+// requires: a deposed leader can never ack a commit the new leader did
+// not learn.
+func NewReplicatedOver(id int, peers []int, tr paxos.Transport, fenced bool) *Certifier {
+	c := New()
+	p := paxos.NewProposer(id, peers, tr)
+	p.SetFenced(fenced)
+	c.proposer = p
+	return c
+}
+
+// Promote elects node id leader of the certification group and
+// rebuilds the certifier from the recovered Paxos log — the backup
+// promotion path after a leader failure. It returns the promoted
+// certifier and its epoch (the winning ballot). The fenced proposer it
+// installs guarantees the new leader is itself deposed cleanly when an
+// even newer epoch appears.
+func Promote(id int, peers []int, tr paxos.Transport) (*Certifier, paxos.Ballot, error) {
+	p := paxos.NewProposer(id, peers, tr)
+	p.SetFenced(true)
+	epoch, log, err := p.Campaign(noopValue)
+	if err != nil {
+		return nil, paxos.Ballot{}, fmt.Errorf("certifier: promote: %w", err)
+	}
+	c, err := Recover(log)
+	if err != nil {
+		return nil, paxos.Ballot{}, err
+	}
+	c.proposer = p
+	return c, epoch, nil
+}
+
+// Campaign re-elects an existing replicated certifier's proposer —
+// the warm-restart path, after the local state was rebuilt from a WAL
+// and reconciled with the Paxos log. It returns the new epoch.
+func (c *Certifier) Campaign() (paxos.Ballot, error) {
+	c.mu.Lock()
+	p := c.proposer
+	c.mu.Unlock()
+	if p == nil {
+		return paxos.Ballot{}, fmt.Errorf("certifier: campaign on an unreplicated certifier")
+	}
+	epoch, log, err := p.Campaign(noopValue)
+	if err != nil {
+		return paxos.Ballot{}, fmt.Errorf("certifier: campaign: %w", err)
+	}
+	if err := c.ReconcileLog(log); err != nil {
+		return paxos.Ballot{}, err
+	}
+	return epoch, nil
+}
+
+// ReconcileLog folds a recovered Paxos log into this certifier,
+// applying every record above the locally known version. A restarted
+// leader whose WAL lags the acceptor group (it crashed between a
+// successful propose and the journal sync) catches up here before
+// serving, so it can never reassign a version the quorum already
+// decided.
+func (c *Certifier) ReconcileLog(log map[int]paxos.Value) error {
+	var recs []Record
+	for _, v := range log {
+		rs, err := DecodeRecords(v)
+		if err != nil {
+			return err
+		}
+		for _, rec := range rs {
+			if rec.Version != 0 {
+				recs = append(recs, rec)
+			}
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Version < recs[j].Version })
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, rec := range recs {
+		if rec.Version <= c.version {
+			continue
+		}
+		c.applyLocked(rec)
+	}
+	c.durable = c.version
+	return nil
+}
+
+// Epoch returns the replicated certifier's current ballot (its epoch
+// while it leads), or the zero ballot when unreplicated.
+func (c *Certifier) Epoch() paxos.Ballot {
+	c.mu.Lock()
+	p := c.proposer
+	c.mu.Unlock()
+	if p == nil {
+		return paxos.Ballot{}
+	}
+	return p.CurrentBallot()
+}
+
+// Deposed reports whether this certifier's fenced proposer has been
+// preempted by a higher epoch (and by which ballot); always false on
+// an unreplicated certifier. A deposed certifier answers every
+// certification with NotLeaderError until re-elected via Campaign.
+func (c *Certifier) Deposed() (paxos.Ballot, bool) {
+	c.mu.Lock()
+	p := c.proposer
+	c.mu.Unlock()
+	if p == nil {
+		return paxos.Ballot{}, false
+	}
+	return p.Deposed()
 }
 
 // Version returns the latest committed global version.
@@ -286,40 +444,132 @@ func (c *Certifier) Certify(snapshot int64, ws writeset.Writeset) (Outcome, erro
 		return Outcome{Committed: false, ConflictWith: with}, nil
 	}
 	rec := Record{Version: c.version + 1, Writeset: ws}
-	if c.proposer != nil {
-		// Persist through Paxos before acknowledging the commit.
-		val, err := encodeRecord(rec)
-		if err != nil {
-			c.mu.Unlock()
-			return Outcome{}, err
-		}
-		if _, err := c.proposer.Propose(val); err != nil {
-			c.mu.Unlock()
-			return Outcome{}, fmt.Errorf("certifier: replication failed: %w", err)
+	replicated := c.proposer != nil
+	if replicated {
+		// Persist through Paxos before acknowledging the commit. A
+		// slot may turn out to hold a competing value — a deposed
+		// leader's in-flight proposal that reached only a minority and
+		// was resurrected by our prepare. That value is a chosen log
+		// entry the moment it is adopted, so it must be folded into
+		// this log (taking the version our record was about to use)
+		// and the conflict check redone before the record retries at
+		// the next slot; certifying around it would give two different
+		// records the same version, which is divergence.
+		for attempts := 0; ; attempts++ {
+			if attempts == 1000 {
+				c.mu.Unlock()
+				return Outcome{}, fmt.Errorf("certifier: proposer starved")
+			}
+			val, err := encodeRecord(rec)
+			if err != nil {
+				c.mu.Unlock()
+				return Outcome{}, err
+			}
+			_, chosen, err := c.proposer.ProposeNext(val)
+			if err != nil {
+				c.mu.Unlock()
+				return Outcome{}, replicationError(err)
+			}
+			if chosen == val {
+				break
+			}
+			if err := c.foldLocked(chosen); err != nil {
+				c.mu.Unlock()
+				return Outcome{}, err
+			}
+			if conflict, with := c.conflictLocked(snapshot, ws); conflict {
+				c.aborts++
+				c.mu.Unlock()
+				return Outcome{Committed: false, ConflictWith: with}, nil
+			}
+			rec.Version = c.version + 1
 		}
 	}
 	var seq int64
+	var j Journal
 	if c.journal != nil {
 		var err error
 		if seq, err = c.journal.Append([]Record{rec}); err != nil {
-			// Nothing applied, nothing durable: a clean refusal.
-			c.mu.Unlock()
-			return Outcome{}, fmt.Errorf("certifier: journal: %w", err)
+			if !replicated {
+				// Nothing applied, nothing durable: a clean refusal.
+				c.mu.Unlock()
+				return Outcome{}, fmt.Errorf("certifier: journal: %w", err)
+			}
+			// The quorum already holds the record; drop the cache.
+			c.detachJournalLocked(err)
+		} else {
+			j = c.journal
 		}
 	}
 	c.applyLocked(rec)
 	c.mu.Unlock()
-	if c.journal != nil {
-		if err := c.journal.Sync(seq); err != nil {
-			// The record is certified in memory but its durability is
-			// unknown; withhold the acknowledgement. The durable
-			// watermark keeps it invisible to Since, so no peer can
-			// replicate it either.
-			return Outcome{}, fmt.Errorf("certifier: journal sync (commit outcome unknown): %w", err)
+	if j != nil {
+		if err := j.Sync(seq); err != nil {
+			if !replicated {
+				// The record is certified in memory but its durability
+				// is unknown; withhold the acknowledgement. The durable
+				// watermark keeps it invisible to Since, so no peer can
+				// replicate it either.
+				return Outcome{}, fmt.Errorf("certifier: journal sync (commit outcome unknown): %w", err)
+			}
+			c.mu.Lock()
+			c.detachJournalLocked(err)
+			c.mu.Unlock()
+			return Outcome{Committed: true, Version: rec.Version}, nil
 		}
 		c.markDurable(rec.Version)
 	}
 	return Outcome{Committed: true, Version: rec.Version}, nil
+}
+
+// foldLocked installs the records of a competing value chosen at a
+// Paxos slot this certifier proposed into — a deposed leader's stale
+// minority accept resurrected by our own prepare (see Certify). They
+// are committed log entries exactly as recovery finds them: journaled
+// and applied ahead of anything certified afterwards. Noops and
+// records already in the log fold to nothing; a version gap is
+// refused, because applying around a hole would stall every replica's
+// applier.
+func (c *Certifier) foldLocked(v paxos.Value) error {
+	recs, err := DecodeRecords(v)
+	if err != nil {
+		return fmt.Errorf("certifier: fold adopted value: %w", err)
+	}
+	var folded []Record
+	for _, rec := range recs {
+		next := c.version + int64(len(folded)) + 1
+		if rec.Version == 0 || rec.Version < next {
+			continue
+		}
+		if rec.Version != next {
+			return fmt.Errorf("certifier: adopted value skips versions %d..%d", next, rec.Version-1)
+		}
+		folded = append(folded, rec)
+	}
+	if len(folded) == 0 {
+		return nil
+	}
+	if c.journal != nil {
+		if _, err := c.journal.Append(folded); err != nil {
+			// The quorum already holds these records; drop the cache.
+			c.detachJournalLocked(err)
+		}
+	}
+	for _, rec := range folded {
+		c.applyLocked(rec)
+	}
+	return nil
+}
+
+// replicationError converts a Propose failure into the caller-facing
+// error: a deposal becomes the structured NotLeaderError clients use
+// to find the new leader; anything else stays a replication failure.
+func replicationError(err error) error {
+	var dep paxos.DeposedError
+	if errors.As(err, &dep) {
+		return NotLeaderError{Leader: dep.By.Proposer, Epoch: dep.By}
+	}
+	return fmt.Errorf("certifier: replication failed: %w", err)
 }
 
 // CertifyBatch decides a batch of requests in order, as if each had
@@ -332,59 +582,88 @@ func (c *Certifier) Certify(snapshot int64, ws writeset.Writeset) (Outcome, erro
 // commit that was never made durable.
 func (c *Certifier) CertifyBatch(reqs []Request) ([]Result, error) {
 	c.mu.Lock()
-	results := make([]Result, len(reqs))
+	replicated := c.proposer != nil
+	var results []Result
 	var staged []Record
-	overlay := make(map[writeset.Key]int64)
-	version := c.version
 	var aborts int64
-	for i, req := range reqs {
-		if err := c.admitLocked(req.Snapshot, req.Writeset); err != nil {
-			results[i].Err = err
-			continue
+	for attempts := 0; ; attempts++ {
+		if attempts == 1000 {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("certifier: proposer starved")
 		}
-		// Conflict test against the committed index plus this batch's
-		// tentative commits.
-		newest := int64(0)
-		for _, e := range req.Writeset.Entries {
-			if v, ok := overlay[e.Key]; ok && v > req.Snapshot && v > newest {
-				newest = v
+		results = make([]Result, len(reqs))
+		staged = staged[:0]
+		overlay := make(map[writeset.Key]int64)
+		version := c.version
+		aborts = 0
+		for i, req := range reqs {
+			if err := c.admitLocked(req.Snapshot, req.Writeset); err != nil {
+				results[i].Err = err
+				continue
 			}
+			// Conflict test against the committed index plus this
+			// batch's tentative commits.
+			newest := int64(0)
+			for _, e := range req.Writeset.Entries {
+				if v, ok := overlay[e.Key]; ok && v > req.Snapshot && v > newest {
+					newest = v
+				}
+			}
+			if conflict, with := c.conflictLocked(req.Snapshot, req.Writeset); conflict && with > newest {
+				newest = with
+			}
+			if newest > 0 {
+				aborts++
+				results[i].Outcome = Outcome{Committed: false, ConflictWith: newest}
+				continue
+			}
+			version++
+			rec := Record{Version: version, Writeset: req.Writeset}
+			staged = append(staged, rec)
+			for _, e := range req.Writeset.Entries {
+				overlay[e.Key] = version
+			}
+			results[i].Outcome = Outcome{Committed: true, Version: version}
 		}
-		if conflict, with := c.conflictLocked(req.Snapshot, req.Writeset); conflict && with > newest {
-			newest = with
+		if len(staged) == 0 || !replicated {
+			break
 		}
-		if newest > 0 {
-			aborts++
-			results[i].Outcome = Outcome{Committed: false, ConflictWith: newest}
-			continue
-		}
-		version++
-		rec := Record{Version: version, Writeset: req.Writeset}
-		staged = append(staged, rec)
-		for _, e := range req.Writeset.Entries {
-			overlay[e.Key] = version
-		}
-		results[i].Outcome = Outcome{Committed: true, Version: version}
-	}
-	if len(staged) > 0 && c.proposer != nil {
 		val, err := encodeBatch(staged)
 		if err != nil {
 			c.mu.Unlock()
 			return nil, err
 		}
-		if _, err := c.proposer.Propose(val); err != nil {
+		_, chosen, err := c.proposer.ProposeNext(val)
+		if err != nil {
 			c.mu.Unlock()
-			return nil, fmt.Errorf("certifier: replication failed: %w", err)
+			return nil, replicationError(err)
+		}
+		if chosen == val {
+			break
+		}
+		// A competing value was chosen at our slot (see Certify): fold
+		// it in and re-stage the whole batch against the folded state —
+		// every version shifts, new conflicts may appear, and nothing
+		// has been acknowledged yet, so a full redo is safe.
+		if err := c.foldLocked(chosen); err != nil {
+			c.mu.Unlock()
+			return nil, err
 		}
 	}
 	var seq int64
+	var j Journal
 	if len(staged) > 0 && c.journal != nil {
 		var err error
 		if seq, err = c.journal.Append(staged); err != nil {
-			// Nothing applied: the whole batch fails with no state
-			// change, exactly like a replication failure.
-			c.mu.Unlock()
-			return nil, fmt.Errorf("certifier: journal: %w", err)
+			if !replicated {
+				// Nothing applied: the whole batch fails with no state
+				// change, exactly like a replication failure.
+				c.mu.Unlock()
+				return nil, fmt.Errorf("certifier: journal: %w", err)
+			}
+			c.detachJournalLocked(err)
+		} else {
+			j = c.journal
 		}
 	}
 	for _, rec := range staged {
@@ -392,9 +671,15 @@ func (c *Certifier) CertifyBatch(reqs []Request) ([]Result, error) {
 	}
 	c.aborts += aborts
 	c.mu.Unlock()
-	if len(staged) > 0 && c.journal != nil {
-		if err := c.journal.Sync(seq); err != nil {
-			return nil, fmt.Errorf("certifier: journal sync (batch outcome unknown): %w", err)
+	if j != nil {
+		if err := j.Sync(seq); err != nil {
+			if !replicated {
+				return nil, fmt.Errorf("certifier: journal sync (batch outcome unknown): %w", err)
+			}
+			c.mu.Lock()
+			c.detachJournalLocked(err)
+			c.mu.Unlock()
+			return results, nil
 		}
 		c.markDurable(staged[len(staged)-1].Version)
 	}
@@ -404,13 +689,15 @@ func (c *Certifier) CertifyBatch(reqs []Request) ([]Result, error) {
 // Since returns the committed records with versions strictly greater
 // than v, in version order — the update-propagation feed. Records are
 // sorted by version, so the suffix is located by binary search. With
-// a journal attached, records whose sync has not completed are
-// withheld: propagation must never outrun durability.
+// a journal attached to an unreplicated certifier, records whose sync
+// has not completed are withheld: propagation must never outrun
+// durability. A replicated certifier never withholds — every applied
+// record already survived a Paxos quorum.
 func (c *Certifier) Since(v int64) []Record {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	recs := c.records
-	if c.journal != nil {
+	if c.journal != nil && c.proposer == nil {
 		end := sort.Search(len(recs), func(i int) bool { return recs[i].Version > c.durable })
 		recs = recs[:end]
 	}
@@ -482,11 +769,20 @@ func encodeBatch(recs []Record) (paxos.Value, error) {
 	return paxos.Value(b), nil
 }
 
+// maxEncodedRecord bounds one Paxos log entry's encoding. Values
+// arrive over the network on the election path, so the decoders treat
+// anything larger as corruption instead of handing it to the JSON
+// parser.
+const maxEncodedRecord = 64 << 20
+
 // DecodeRecord parses a Paxos log entry back into a Record. No-op
 // recovery fillers decode to an empty record with Version 0.
 func DecodeRecord(v paxos.Value) (Record, error) {
-	if v == "" || v == "noop" {
+	if v == "" || v == noopValue {
 		return Record{}, nil
+	}
+	if len(v) > maxEncodedRecord {
+		return Record{}, fmt.Errorf("certifier: decode: %d-byte value exceeds %d", len(v), maxEncodedRecord)
 	}
 	var r Record
 	if err := json.Unmarshal([]byte(v), &r); err != nil {
@@ -499,8 +795,11 @@ func DecodeRecord(v paxos.Value) (Record, error) {
 // record or a group-committed batch. No-op fillers decode to an empty
 // slice.
 func DecodeRecords(v paxos.Value) ([]Record, error) {
-	if v == "" || v == "noop" {
+	if v == "" || v == noopValue {
 		return nil, nil
+	}
+	if len(v) > maxEncodedRecord {
+		return nil, fmt.Errorf("certifier: decode: %d-byte value exceeds %d", len(v), maxEncodedRecord)
 	}
 	if len(v) > 0 && v[0] == '[' {
 		var recs []Record

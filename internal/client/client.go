@@ -466,6 +466,11 @@ func (t *Txn) Write(table string, row int64, value string) error {
 		return nil
 	case *wire.CommitAborted:
 		return &repl.AbortedError{ConflictWith: m.ConflictWith}
+	case *wire.NotLeader:
+		// Certification leadership moved mid-transaction. Nothing has
+		// been proposed for this transaction yet, so unlike the same
+		// redirect at commit time this is a plain retry-safe abort.
+		return &repl.AbortedError{}
 	case *wire.Err:
 		return mapErr(m)
 	default:
@@ -482,6 +487,8 @@ func (t *Txn) Delete(table string, row int64) error {
 	switch m := reply.(type) {
 	case *wire.WriteOK:
 		return nil
+	case *wire.NotLeader:
+		return &repl.AbortedError{}
 	case *wire.Err:
 		return mapErr(m)
 	default:
@@ -494,6 +501,15 @@ func (t *Txn) Delete(table string, row int64) error {
 // certified (and, with durable replicas, persisted) before the
 // connection died, so a blind retry could double-apply. Drivers must
 // reconcile instead of retrying.
+//
+// A NotLeader redirect at commit time is ambiguous in the same way: a
+// replica deposed mid-proposal never acked, but a minority of
+// acceptors may hold its value, and the new leader's hole recovery is
+// allowed to choose it — the commit may land without an ack ever
+// existing. Only the deposed replica's fence knows it is closed; the
+// redirect cannot say whether the writeset was proposed before it
+// shut, so the client reports the ambiguity rather than invent an
+// abort.
 func (t *Txn) Commit() error {
 	if t.done {
 		return errDone
@@ -510,8 +526,16 @@ func (t *Txn) Commit() error {
 	case *wire.CommitAborted:
 		t.finish()
 		return &repl.AbortedError{ConflictWith: m.ConflictWith}
+	case *wire.NotLeader:
+		t.finish()
+		return &repl.UnknownOutcomeError{Err: NotLeaderError{
+			Leader: int(m.Leader), Epoch: m.Epoch, Addr: m.Addr,
+		}}
 	case *wire.Err:
 		t.finish()
+		if m.Code == wire.CodeNotLeader {
+			return &repl.UnknownOutcomeError{Err: mapErr(m)}
+		}
 		return mapErr(m)
 	default:
 		return t.fail(fmt.Errorf("client: unexpected commit reply %T", reply))
@@ -537,11 +561,40 @@ func (t *Txn) Abort() {
 
 // Sync implements repl.System: every reachable replica is asked to
 // apply all writesets committed so far (each pulls from the certifier
-// host or master). Unreachable replicas are skipped — their table
+// host or master). A backup's pull can transiently fail — a leader
+// election in progress, a ring connection riding over a dead member —
+// and the wire handler cannot distinguish "nothing new" from "could
+// not reach the log", so it acks either way. Agreement is therefore
+// verified here: Sync re-issues the request until every reachable
+// replica reports the same applied version (bounded, so a genuinely
+// wedged replica still surfaces through its table dump rather than
+// hanging the caller). Unreachable replicas are skipped — their table
 // dumps will fail loudly if anyone asks.
 func (c *Client) Sync() {
-	for _, i := range c.liveSlots() {
-		_, _ = c.rep(i).pool.rpc(&wire.Sync{}, 0)
+	deadline := time.Now().Add(8 * time.Second)
+	for {
+		agree := true
+		var v int64
+		seen := false
+		for _, i := range c.liveSlots() {
+			reply, err := c.rep(i).pool.rpc(&wire.Sync{}, 0)
+			if err != nil {
+				continue
+			}
+			ok, isOK := reply.(*wire.SyncOK)
+			if !isOK {
+				continue
+			}
+			if !seen {
+				v, seen = ok.Applied, true
+			} else if ok.Applied != v {
+				agree = false
+			}
+		}
+		if agree || time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
 	}
 }
 

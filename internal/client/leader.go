@@ -1,0 +1,276 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/certifier"
+	"repro/internal/wire"
+	"repro/internal/writeset"
+)
+
+// NotLeaderError reports that the contacted replica is not (or no
+// longer) the certifier leader. It carries the redirect: the paxos id
+// of the node the contacted replica believes leads, the epoch round
+// that deposed it, and — when the server knows it — the leader's
+// address. Addr may be empty (the v2 Err{CodeNotLeader} fallback
+// carries neither id nor address); callers then discover the leader
+// through the Members protocol.
+type NotLeaderError struct {
+	Leader int    // paxos id of the believed leader, -1 when unknown
+	Epoch  int64  // round of the deposing ballot, 0 when unknown
+	Addr   string // leader address, "" when the server does not know it
+}
+
+func (e NotLeaderError) Error() string {
+	if e.Leader < 0 {
+		return "client: replica is not the certifier leader"
+	}
+	return fmt.Sprintf("client: not leader (redirect to node %d, epoch round %d)", e.Leader, e.Epoch)
+}
+
+// LeaderRing fronts a replicated certifier group for a client or a
+// joining replica: every certification RPC goes to the current leader
+// guess, and a NotLeaderError moves the guess — to the address in the
+// redirect when the deposed node knows it, through the Members
+// protocol when it only knows the id, or to the next ring member when
+// it knows nothing. Redirect chasing is bounded and backed off with
+// jitter, so a cluster mid-election sees polite retries instead of a
+// redirect storm.
+//
+// LeaderRing satisfies mm.CertService (Certify/Check/Since) plus the
+// FetchSince long poll, so a server's peer link can point at the ring
+// instead of a fixed primary and survive failover transparently.
+type LeaderRing struct {
+	design      string
+	peerID      int
+	dialTimeout time.Duration
+
+	mu    sync.Mutex
+	links map[string]*Link // one per discovered address
+	ring  []string         // candidate addresses, seed order first
+	cur   int              // index of the current leader guess
+}
+
+// ErrNoLeader reports that the redirect budget ran out without
+// reaching a leader — the group is mid-election or partitioned away. A
+// server relaying a certification through its ring maps this onto a
+// leader-unknown NotLeader redirect, so a client's commit lands in the
+// unknown-outcome bucket instead of masquerading as an internal fault.
+var ErrNoLeader = errors.New("client: no reachable leader")
+
+// redirect chasing: one loop may follow at most maxRedirects hops,
+// sleeping a jittered, doubling delay between hops (bounded by
+// dialBackoffMax) to ride out an election in progress.
+const maxRedirects = 6
+
+// NewLeaderRing creates a ring over the seed addresses. The first seed
+// is the initial leader guess. No connection is dialed until first
+// use.
+func NewLeaderRing(addrs []string, design string, peerID int, dialTimeout time.Duration) *LeaderRing {
+	r := &LeaderRing{
+		design:      design,
+		peerID:      peerID,
+		dialTimeout: dialTimeout,
+		links:       make(map[string]*Link),
+	}
+	for _, a := range addrs {
+		if a != "" {
+			r.ring = append(r.ring, a)
+		}
+	}
+	return r
+}
+
+// Close drops every link in the ring.
+func (r *LeaderRing) Close() {
+	r.mu.Lock()
+	links := make([]*Link, 0, len(r.links))
+	for _, l := range r.links {
+		links = append(links, l)
+	}
+	r.links = make(map[string]*Link)
+	r.mu.Unlock()
+	for _, l := range links {
+		l.Close()
+	}
+}
+
+// LeaderAddr returns the current leader guess.
+func (r *LeaderRing) LeaderAddr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ring) == 0 {
+		return ""
+	}
+	return r.ring[r.cur]
+}
+
+// leader returns the link for the current guess, dialing lazily.
+func (r *LeaderRing) leader() (*Link, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ring) == 0 {
+		return nil, fmt.Errorf("client: leader ring has no addresses")
+	}
+	return r.linkForLocked(r.ring[r.cur]), nil
+}
+
+func (r *LeaderRing) linkForLocked(addr string) *Link {
+	l, ok := r.links[addr]
+	if !ok {
+		l = NewLink(addr, r.design, r.peerID, r.dialTimeout)
+		r.links[addr] = l
+	}
+	return l
+}
+
+// follow moves the leader guess after a NotLeaderError: directly to
+// the redirect address when present, via Members lookup when only the
+// id is known, and to the next ring member otherwise.
+func (r *LeaderRing) follow(from *Link, nle NotLeaderError) {
+	if nle.Addr != "" {
+		r.Point(nle.Addr)
+		return
+	}
+	if nle.Leader >= 0 {
+		// The deposed node knows who leads but not where; the Members
+		// protocol maps the id to an address.
+		if _, members, err := from.Members(); err == nil {
+			for _, m := range members {
+				if m.ID == int64(nle.Leader) && m.Addr != "" {
+					r.Point(m.Addr)
+					return
+				}
+			}
+		}
+	}
+	r.rotate()
+}
+
+// Point makes addr the leader guess, adding it to the ring if new.
+func (r *LeaderRing) Point(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, a := range r.ring {
+		if a == addr {
+			r.cur = i
+			return
+		}
+	}
+	r.ring = append(r.ring, addr)
+	r.cur = len(r.ring) - 1
+}
+
+// rotate moves the guess to the next ring member.
+func (r *LeaderRing) rotate() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.ring); n > 0 {
+		r.cur = (r.cur + 1) % n
+	}
+}
+
+// do runs op against the current leader guess, following redirects and
+// rotating past unreachable nodes, with jittered backoff between hops.
+func (r *LeaderRing) do(op func(l *Link) error) error {
+	var lastErr error
+	backoff := dialBackoffMin
+	for hop := 0; hop <= maxRedirects; hop++ {
+		if hop > 0 {
+			time.Sleep(jitter(backoff))
+			if backoff < dialBackoffMax {
+				backoff *= 2
+			}
+		}
+		l, err := r.leader()
+		if err != nil {
+			return err
+		}
+		err = op(l)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if nle, ok := asNotLeader(err); ok {
+			r.follow(l, nle)
+			continue
+		}
+		// Unreachable or failed outright: try the next ring member.
+		r.rotate()
+	}
+	return fmt.Errorf("%w after %d attempts: %w", ErrNoLeader, maxRedirects+1, lastErr)
+}
+
+// asNotLeader unwraps a NotLeaderError from an RPC error chain.
+func asNotLeader(err error) (NotLeaderError, bool) {
+	var nle NotLeaderError
+	ok := errors.As(err, &nle)
+	return nle, ok
+}
+
+// Certify submits a commit-time certification to the leader, following
+// redirects across a failover.
+func (r *LeaderRing) Certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error) {
+	var out certifier.Outcome
+	err := r.do(func(l *Link) error {
+		o, err := l.Certify(snapshot, ws)
+		if err != nil {
+			return err
+		}
+		out = o
+		return nil
+	})
+	return out, err
+}
+
+// Check probes for an already-certain conflict at the leader.
+// Transport failures degrade to "no conflict", like Link.Check.
+func (r *LeaderRing) Check(snapshot int64, ws writeset.Writeset) (conflict bool, with int64) {
+	_ = r.do(func(l *Link) error {
+		c, w := l.Check(snapshot, ws)
+		conflict, with = c, w
+		return nil
+	})
+	return conflict, with
+}
+
+// Since returns every certified record with version > v from the
+// leader, or nil when no leader is reachable.
+func (r *LeaderRing) Since(v int64) []certifier.Record {
+	recs, err := r.FetchSince(v, 0)
+	if err != nil {
+		return nil
+	}
+	return recs
+}
+
+// FetchSince retrieves records with version > v from the leader;
+// wait > 0 long-polls.
+func (r *LeaderRing) FetchSince(v int64, wait time.Duration) ([]certifier.Record, error) {
+	var recs []certifier.Record
+	err := r.do(func(l *Link) error {
+		rs, err := l.FetchSince(v, wait)
+		if err != nil {
+			return err
+		}
+		recs = rs
+		return nil
+	})
+	return recs, err
+}
+
+// Members polls membership from whichever ring member answers first.
+func (r *LeaderRing) Members() (epoch int64, members []wire.Member, err error) {
+	err = r.do(func(l *Link) error {
+		e, m, err := l.Members()
+		if err != nil {
+			return err
+		}
+		epoch, members = e, m
+		return nil
+	})
+	return epoch, members, err
+}

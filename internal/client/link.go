@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/certifier"
+	"repro/internal/paxos"
 	"repro/internal/wire"
 	"repro/internal/writeset"
 )
@@ -176,6 +177,64 @@ func (l *Link) Stats() (*wire.StatsOK, error) {
 		return nil, fmt.Errorf("client: unexpected stats reply %T", reply)
 	}
 	return m, nil
+}
+
+// PaxosPrepare relays a Paxos phase-1a request to the acceptor
+// embedded in the peer server (protocol v3).
+func (l *Link) PaxosPrepare(b paxos.Ballot, slot int) (paxos.PrepareReply, error) {
+	reply, err := l.pool.rpc(&wire.PaxosPrepare{
+		Round: int64(b.Round), Proposer: int64(b.Proposer), Slot: int64(slot),
+	}, linkRPCDeadline)
+	if err != nil {
+		return paxos.PrepareReply{}, err
+	}
+	m, ok := reply.(*wire.PaxosPrepareOK)
+	if !ok {
+		return paxos.PrepareReply{}, fmt.Errorf("client: unexpected prepare reply %T", reply)
+	}
+	return paxos.PrepareReply{
+		OK:             m.OK,
+		Promised:       paxos.Ballot{Round: int(m.PromisedRound), Proposer: int(m.PromisedProposer)},
+		AcceptedBallot: paxos.Ballot{Round: int(m.AcceptedRound), Proposer: int(m.AcceptedProposer)},
+		AcceptedValue:  paxos.Value(m.AcceptedValue),
+		HasAccepted:    m.HasAccepted,
+	}, nil
+}
+
+// PaxosAccept relays a Paxos phase-2a request to the acceptor embedded
+// in the peer server (protocol v3).
+func (l *Link) PaxosAccept(b paxos.Ballot, slot int, v paxos.Value) (paxos.AcceptReply, error) {
+	reply, err := l.pool.rpc(&wire.PaxosAccept{
+		Round: int64(b.Round), Proposer: int64(b.Proposer), Slot: int64(slot), Value: string(v),
+	}, linkRPCDeadline)
+	if err != nil {
+		return paxos.AcceptReply{}, err
+	}
+	m, ok := reply.(*wire.PaxosAcceptOK)
+	if !ok {
+		return paxos.AcceptReply{}, fmt.Errorf("client: unexpected accept reply %T", reply)
+	}
+	return paxos.AcceptReply{
+		OK:       m.OK,
+		Promised: paxos.Ballot{Round: int(m.PromisedRound), Proposer: int(m.PromisedProposer)},
+	}, nil
+}
+
+// PaxosLearn asks the peer's acceptor for its highest voted slot and
+// current promise (protocol v3), the first step of an election.
+func (l *Link) PaxosLearn() (paxos.LearnReply, error) {
+	reply, err := l.pool.rpc(&wire.PaxosLearn{}, linkRPCDeadline)
+	if err != nil {
+		return paxos.LearnReply{}, err
+	}
+	m, ok := reply.(*wire.PaxosLearnOK)
+	if !ok {
+		return paxos.LearnReply{}, fmt.Errorf("client: unexpected learn reply %T", reply)
+	}
+	return paxos.LearnReply{
+		MaxSlot:  int(m.MaxSlot),
+		Promised: paxos.Ballot{Round: int(m.PromisedRound), Proposer: int(m.PromisedProposer)},
+	}, nil
 }
 
 // FetchSince retrieves records with version > v; wait > 0 long-polls

@@ -2,12 +2,34 @@ package client
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
 
 	"repro/internal/wire"
 )
+
+// Dial backoff bounds. After a fresh dial (or handshake) fails, the
+// pool enters a cooldown that starts at dialBackoffMin and doubles per
+// consecutive failure up to dialBackoffMax; a successful dial resets
+// it. Retries inside one rpc call sleep the same jittered schedule, so
+// a dead replica costs one timed-out dial and then fails fast instead
+// of hammering the address from every caller at once.
+const (
+	dialBackoffMin = 50 * time.Millisecond
+	dialBackoffMax = 1 * time.Second
+)
+
+// jitter spreads a delay over [d/2, d] so callers backing off from the
+// same failure do not reconverge in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + rand.N(half+1)
+}
 
 // wconn is one established, handshaken protocol connection.
 type wconn struct {
@@ -45,6 +67,13 @@ type connPool struct {
 	active  map[*wconn]struct{}
 	closed  bool
 	retired bool
+	// Cooldown after a failed fresh dial: until cooldownUntil passes,
+	// get() fails immediately with the remembered error instead of
+	// dialing again. cooldownDur doubles per consecutive failure
+	// (bounded by dialBackoffMax) and resets on a successful dial.
+	cooldownUntil time.Time
+	cooldownDur   time.Duration
+	lastDialErr   error
 }
 
 func newConnPool(addr, wantDesign string, peerID int64, dialTimeout time.Duration, maxIdle int) *connPool {
@@ -81,18 +110,28 @@ func (p *connPool) get() (*wconn, bool, error) {
 		p.mu.Unlock()
 		return c, false, nil
 	}
+	if time.Now().Before(p.cooldownUntil) {
+		err := p.lastDialErr
+		p.mu.Unlock()
+		return nil, true, fmt.Errorf("client: %s cooling down after dial failure: %w", p.addr, err)
+	}
 	p.mu.Unlock()
 
 	nc, err := net.DialTimeout("tcp", p.addr, p.dialTimeout)
 	if err != nil {
+		p.noteDialFailure(err)
 		return nil, true, err
 	}
 	c := &wconn{nc: nc, wc: wire.NewConn(nc)}
 	if err := handshake(c, p.wantDesign, p.peerID); err != nil {
 		c.close()
+		p.noteDialFailure(err)
 		return nil, true, err
 	}
 	p.mu.Lock()
+	p.cooldownDur = 0
+	p.cooldownUntil = time.Time{}
+	p.lastDialErr = nil
 	if p.closed {
 		p.mu.Unlock()
 		c.close()
@@ -101,6 +140,24 @@ func (p *connPool) get() (*wconn, bool, error) {
 	p.active[c] = struct{}{}
 	p.mu.Unlock()
 	return c, true, nil
+}
+
+// noteDialFailure records a failed fresh dial and extends the
+// per-replica cooldown: doubling per consecutive failure, bounded by
+// dialBackoffMax, jittered so independent clients spread out.
+func (p *connPool) noteDialFailure(err error) {
+	p.mu.Lock()
+	if p.cooldownDur == 0 {
+		p.cooldownDur = dialBackoffMin
+	} else if p.cooldownDur < dialBackoffMax {
+		p.cooldownDur *= 2
+		if p.cooldownDur > dialBackoffMax {
+			p.cooldownDur = dialBackoffMax
+		}
+	}
+	p.cooldownUntil = time.Now().Add(jitter(p.cooldownDur))
+	p.lastDialErr = err
+	p.mu.Unlock()
 }
 
 // put returns a healthy connection for reuse; surplus ones are closed.
@@ -188,14 +245,24 @@ func handshake(c *wconn, wantDesign string, peerID int64) error {
 }
 
 // rpc runs one request/reply exchange on a pooled connection, retrying
-// once on a stale pooled connection. Err replies surface as errors.
-// A positive deadline bounds the whole exchange (used by long polls so
-// a one-way partition cannot park the caller forever).
+// stale pooled connections with a bounded, jittered exponential
+// backoff between attempts. Err replies surface as errors; NotLeader
+// replies (and their v2 Err{CodeNotLeader} fallback) surface as a
+// typed NotLeaderError so callers can follow the redirect. A positive
+// deadline bounds the whole exchange (used by long polls so a one-way
+// partition cannot park the caller forever).
 func (p *connPool) rpc(req wire.Message, deadline time.Duration) (wire.Message, error) {
 	var lastErr error
+	backoff := dialBackoffMin
 	// Retry enough times to drain a pool full of stale connections
 	// plus one fresh dial.
 	for attempt := 0; attempt <= p.maxIdle+1; attempt++ {
+		if attempt > 0 {
+			time.Sleep(jitter(backoff))
+			if backoff < dialBackoffMax {
+				backoff *= 2
+			}
+		}
 		c, fresh, err := p.get()
 		if err != nil {
 			return nil, err
@@ -216,8 +283,14 @@ func (p *connPool) rpc(req wire.Message, deadline time.Duration) (wire.Message, 
 			continue
 		}
 		p.put(c)
-		if e, ok := reply.(*wire.Err); ok {
-			return nil, fmt.Errorf("client: %s: %s", p.addr, e.Msg)
+		switch m := reply.(type) {
+		case *wire.NotLeader:
+			return nil, NotLeaderError{Leader: int(m.Leader), Epoch: m.Epoch, Addr: m.Addr}
+		case *wire.Err:
+			if m.Code == wire.CodeNotLeader {
+				return nil, NotLeaderError{Leader: -1}
+			}
+			return nil, fmt.Errorf("client: %s: %s", p.addr, m.Msg)
 		}
 		return reply, nil
 	}

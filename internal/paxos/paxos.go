@@ -46,17 +46,55 @@ type accepted struct {
 	has    bool
 }
 
+// AcceptedSlot is one slot's restored voting record, as a durable
+// acceptor store hands it back on recovery.
+type AcceptedSlot struct {
+	Ballot Ballot
+	Value  Value
+}
+
+// Persister durably records an acceptor's promises and votes BEFORE
+// the acceptor replies — the Paxos safety requirement that lets a
+// power-cycled acceptor rejoin without violating a promise it already
+// let a proposer act on. A persist failure aborts the reply: the
+// caller sees a transport-style error and the acceptor's in-memory
+// state is unchanged.
+type Persister interface {
+	// SavePromise persists a raised promise.
+	SavePromise(b Ballot) error
+	// SaveAccept persists a vote: the slot, its ballot and its value.
+	// The ballot doubles as a promise (accepting at b implies
+	// promising b), so recovery takes the max over both record kinds.
+	SaveAccept(slot int, b Ballot, v Value) error
+}
+
 // Acceptor is the persistent voting state of one node.
 type Acceptor struct {
 	mu       sync.Mutex
 	id       int
 	promised Ballot
 	slots    map[int]accepted
+	persist  Persister // nil: volatile (in-process tests)
 }
 
-// NewAcceptor creates an acceptor with the given id.
+// NewAcceptor creates a volatile acceptor with the given id.
 func NewAcceptor(id int) *Acceptor {
 	return &Acceptor{id: id, slots: make(map[int]accepted)}
+}
+
+// RestoreAcceptor rebuilds a durable acceptor from its persisted
+// state: the highest promise and the per-slot votes a store replayed.
+// Subsequent promises and votes are written through p before any
+// reply leaves this node.
+func RestoreAcceptor(id int, p Persister, promised Ballot, slots map[int]AcceptedSlot) *Acceptor {
+	a := &Acceptor{id: id, promised: promised, slots: make(map[int]accepted, len(slots)), persist: p}
+	for s, rec := range slots {
+		a.slots[s] = accepted{ballot: rec.Ballot, value: rec.Value, has: true}
+		if a.promised.Less(rec.Ballot) {
+			a.promised = rec.Ballot
+		}
+	}
+	return a
 }
 
 // PrepareReply answers a prepare request.
@@ -72,12 +110,19 @@ type PrepareReply struct {
 	HasAccepted    bool
 }
 
-// Prepare handles phase 1a for one slot.
-func (a *Acceptor) Prepare(b Ballot, slot int) PrepareReply {
+// Prepare handles phase 1a for one slot. A raised promise is persisted
+// before the reply; a persist failure surfaces as an error the caller
+// treats like an unreachable node (nothing was promised).
+func (a *Acceptor) Prepare(b Ballot, slot int) (PrepareReply, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if b.Less(a.promised) {
-		return PrepareReply{OK: false, Promised: a.promised}
+		return PrepareReply{OK: false, Promised: a.promised}, nil
+	}
+	if a.persist != nil && a.promised.Less(b) {
+		if err := a.persist.SavePromise(b); err != nil {
+			return PrepareReply{}, fmt.Errorf("paxos: acceptor %d persist promise: %w", a.id, err)
+		}
 	}
 	a.promised = b
 	acc := a.slots[slot]
@@ -87,7 +132,7 @@ func (a *Acceptor) Prepare(b Ballot, slot int) PrepareReply {
 		AcceptedBallot: acc.ballot,
 		AcceptedValue:  acc.value,
 		HasAccepted:    acc.has,
-	}
+	}, nil
 }
 
 // AcceptReply answers an accept request.
@@ -96,16 +141,23 @@ type AcceptReply struct {
 	Promised Ballot
 }
 
-// Accept handles phase 2a for one slot.
-func (a *Acceptor) Accept(b Ballot, slot int, v Value) AcceptReply {
+// Accept handles phase 2a for one slot. The vote is persisted before
+// the reply (and doubles as the promise record); a persist failure
+// surfaces as an error and leaves the in-memory state unchanged.
+func (a *Acceptor) Accept(b Ballot, slot int, v Value) (AcceptReply, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if b.Less(a.promised) {
-		return AcceptReply{OK: false, Promised: a.promised}
+		return AcceptReply{OK: false, Promised: a.promised}, nil
+	}
+	if a.persist != nil {
+		if err := a.persist.SaveAccept(slot, b, v); err != nil {
+			return AcceptReply{}, fmt.Errorf("paxos: acceptor %d persist accept: %w", a.id, err)
+		}
 	}
 	a.promised = b
 	a.slots[slot] = accepted{ballot: b, value: v, has: true}
-	return AcceptReply{OK: true, Promised: b}
+	return AcceptReply{OK: true, Promised: b}, nil
 }
 
 // MaxSlot returns the highest slot this acceptor has voted on, or -1.
@@ -121,12 +173,40 @@ func (a *Acceptor) MaxSlot() int {
 	return max
 }
 
+// Status reports the acceptor's highest voted slot and current
+// promise — what a campaigning proposer learns before picking a
+// ballot that outbids every live promise.
+func (a *Acceptor) Status() (maxSlot int, promised Ballot) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	maxSlot = -1
+	for s := range a.slots {
+		if s > maxSlot {
+			maxSlot = s
+		}
+	}
+	return maxSlot, a.promised
+}
+
+// LearnReply answers a learn (status) request during an election.
+type LearnReply struct {
+	// MaxSlot is the highest slot the acceptor voted on, or -1.
+	MaxSlot int
+	// Promised is the acceptor's current promise.
+	Promised Ballot
+}
+
 // Transport delivers acceptor calls, allowing tests to sever links.
+// The production implementation speaks the wire protocol's protocol-v3
+// Paxos frames to acceptors embedded in each replica server.
 type Transport interface {
 	// Prepare sends a prepare to the acceptor with the given id.
 	Prepare(to int, b Ballot, slot int) (PrepareReply, error)
 	// Accept sends an accept to the acceptor with the given id.
 	Accept(to int, b Ballot, slot int, v Value) (AcceptReply, error)
+	// Learn asks the acceptor with the given id for its status (highest
+	// voted slot, current promise) — the first step of an election.
+	Learn(to int) (LearnReply, error)
 }
 
 // ErrUnreachable reports a severed link.
@@ -175,7 +255,7 @@ func (t *LocalTransport) Prepare(to int, b Ballot, slot int) (PrepareReply, erro
 	if err != nil {
 		return PrepareReply{}, err
 	}
-	return a.Prepare(b, slot), nil
+	return a.Prepare(b, slot)
 }
 
 // Accept implements Transport.
@@ -184,5 +264,15 @@ func (t *LocalTransport) Accept(to int, b Ballot, slot int, v Value) (AcceptRepl
 	if err != nil {
 		return AcceptReply{}, err
 	}
-	return a.Accept(b, slot, v), nil
+	return a.Accept(b, slot, v)
+}
+
+// Learn implements Transport.
+func (t *LocalTransport) Learn(to int) (LearnReply, error) {
+	a, err := t.get(to)
+	if err != nil {
+		return LearnReply{}, err
+	}
+	maxSlot, promised := a.Status()
+	return LearnReply{MaxSlot: maxSlot, Promised: promised}, nil
 }

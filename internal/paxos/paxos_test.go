@@ -57,16 +57,16 @@ func TestAcceptorPromiseBlocksOldBallots(t *testing.T) {
 	a := NewAcceptor(0)
 	high := Ballot{Round: 5, Proposer: 1}
 	low := Ballot{Round: 3, Proposer: 0}
-	if rep := a.Prepare(high, 0); !rep.OK {
+	if rep, err := a.Prepare(high, 0); err != nil || !rep.OK {
 		t.Fatal("first prepare rejected")
 	}
-	if rep := a.Prepare(low, 0); rep.OK {
+	if rep, err := a.Prepare(low, 0); err != nil || rep.OK {
 		t.Fatal("old ballot prepared after newer promise")
 	}
-	if rep := a.Accept(low, 0, "x"); rep.OK {
+	if rep, err := a.Accept(low, 0, "x"); err != nil || rep.OK {
 		t.Fatal("old ballot accepted after newer promise")
 	}
-	if rep := a.Accept(high, 0, "y"); !rep.OK {
+	if rep, err := a.Accept(high, 0, "y"); err != nil || !rep.OK {
 		t.Fatal("promised ballot rejected at accept")
 	}
 }
@@ -77,9 +77,9 @@ func TestPrepareReturnsAcceptedValue(t *testing.T) {
 	a.Prepare(b1, 3)
 	a.Accept(b1, 3, "first")
 	b2 := Ballot{Round: 2, Proposer: 1}
-	rep := a.Prepare(b2, 3)
-	if !rep.OK || !rep.HasAccepted || rep.AcceptedValue != "first" {
-		t.Fatalf("prepare did not surface accepted value: %+v", rep)
+	rep, err := a.Prepare(b2, 3)
+	if err != nil || !rep.OK || !rep.HasAccepted || rep.AcceptedValue != "first" {
+		t.Fatalf("prepare did not surface accepted value: %+v (%v)", rep, err)
 	}
 }
 
@@ -256,6 +256,206 @@ func TestNodeRestore(t *testing.T) {
 	p := NewProposer(0, ids, tr)
 	if _, err := p.Propose("x"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestProposerContentionSameSlot(t *testing.T) {
+	// Two fresh proposers both target slot 0. Exactly one value wins
+	// the slot, and the loser adopts the winner's value before landing
+	// its own in a later slot — the convergence the election path
+	// depends on.
+	_, ids, tr := cluster(3)
+	p0 := NewProposer(0, ids, tr)
+	p1 := NewProposer(1, ids, tr)
+	s0, err := p0.Propose("winner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0 != 0 {
+		t.Fatalf("first proposal landed in slot %d", s0)
+	}
+	s1, err := p1.Propose("loser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == 0 {
+		t.Fatal("second proposer stole a decided slot")
+	}
+	v, ok := p1.Chosen(0)
+	if !ok || v != "winner" {
+		t.Fatalf("loser observed %q %v for slot 0, want the winner's value", v, ok)
+	}
+	if v, ok := p1.Chosen(s1); !ok || v != "loser" {
+		t.Fatalf("loser's value not chosen in slot %d: %q %v", s1, v, ok)
+	}
+	// Both proposers agree on every overlapping slot.
+	for slot := 0; slot <= s1; slot++ {
+		v0, ok0 := p0.Chosen(slot)
+		v1, ok1 := p1.Chosen(slot)
+		if ok0 && ok1 && v0 != v1 {
+			t.Fatalf("slot %d: divergent decisions %q vs %q", slot, v0, v1)
+		}
+	}
+}
+
+func TestCampaignElectsAndRecovers(t *testing.T) {
+	// Leader 0 decides a prefix and dies; 1 campaigns and must learn
+	// the full log under a strictly higher ballot.
+	_, ids, tr := cluster(3)
+	p0 := NewProposer(0, ids, tr)
+	p0.SetFenced(true)
+	want := map[int]Value{}
+	for i := 0; i < 5; i++ {
+		v := Value(fmt.Sprintf("v%d", i))
+		slot, err := p0.Propose(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[slot] = v
+	}
+	tr.SetDown(0, true)
+
+	p1 := NewProposer(1, ids, tr)
+	p1.SetFenced(true)
+	epoch, log, err := p1.Campaign("noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p0.CurrentBallot().Less(epoch) {
+		t.Fatalf("new epoch %s does not outbid old leader's %s", epoch, p0.CurrentBallot())
+	}
+	if epoch.Proposer != 1 {
+		t.Fatalf("epoch proposer = %d, want 1", epoch.Proposer)
+	}
+	for slot, v := range want {
+		if log[slot] != v {
+			t.Fatalf("slot %d: campaigned log has %q, want %q", slot, log[slot], v)
+		}
+	}
+	// The new leader keeps committing.
+	if _, err := p1.Propose("after-failover"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFencedLeaderDeposedCannotAck(t *testing.T) {
+	// A fenced leader preempted by a campaign must fail with
+	// DeposedError — never outbid its way back to acking.
+	_, ids, tr := cluster(3)
+	p0 := NewProposer(0, ids, tr)
+	p0.SetFenced(true)
+	if _, err := p0.Propose("pre"); err != nil {
+		t.Fatal(err)
+	}
+	p1 := NewProposer(1, ids, tr)
+	p1.SetFenced(true)
+	epoch, _, err := p1.Campaign("noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p0.Propose("stale")
+	var dep DeposedError
+	if !errors.As(err, &dep) {
+		t.Fatalf("deposed leader proposed: err = %v", err)
+	}
+	if dep.By.Less(epoch) && dep.By != epoch {
+		t.Fatalf("deposed by %s, want at least %s", dep.By, epoch)
+	}
+	// And it stays deposed on retry.
+	if _, err := p0.Propose("still-stale"); !errors.As(err, &dep) {
+		t.Fatalf("second propose after deposal: err = %v", err)
+	}
+	// Re-campaigning is the only way back.
+	if _, _, err := p0.Campaign("noop"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p0.Propose("back"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCampaignNeedsMajority(t *testing.T) {
+	_, ids, tr := cluster(3)
+	tr.SetDown(1, true)
+	tr.SetDown(2, true)
+	p := NewProposer(0, ids, tr)
+	if _, _, err := p.Campaign("noop"); !errors.Is(err, ErrNoMajority) {
+		t.Fatalf("campaign without majority: %v", err)
+	}
+}
+
+func TestLearnReportsStatus(t *testing.T) {
+	_, ids, tr := cluster(3)
+	p := NewProposer(0, ids, tr)
+	p.Propose("a")
+	p.Propose("b")
+	rep, err := tr.Learn(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxSlot != 1 {
+		t.Fatalf("MaxSlot = %d, want 1", rep.MaxSlot)
+	}
+	if rep.Promised != p.CurrentBallot() {
+		t.Fatalf("Promised = %s, want %s", rep.Promised, p.CurrentBallot())
+	}
+	if _, err := tr.Learn(99); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("unknown node: %v", err)
+	}
+}
+
+// failPersister fails every save after a budget of successes.
+type failPersister struct {
+	budget int
+}
+
+func (f *failPersister) SavePromise(Ballot) error { return f.save() }
+func (f *failPersister) SaveAccept(int, Ballot, Value) error {
+	return f.save()
+}
+func (f *failPersister) save() error {
+	if f.budget > 0 {
+		f.budget--
+		return nil
+	}
+	return errors.New("disk gone")
+}
+
+func TestPersistFailureAbortsReply(t *testing.T) {
+	// A persist failure must surface as an error and leave the
+	// in-memory acceptor unchanged — the promise was never made.
+	a := RestoreAcceptor(0, &failPersister{budget: 0}, Ballot{}, nil)
+	b := Ballot{Round: 3, Proposer: 1}
+	if _, err := a.Prepare(b, 0); err == nil {
+		t.Fatal("prepare succeeded despite persist failure")
+	}
+	if _, promised := a.Status(); promised != (Ballot{}) {
+		t.Fatalf("promise leaked into memory: %s", promised)
+	}
+	if _, err := a.Accept(b, 0, "x"); err == nil {
+		t.Fatal("accept succeeded despite persist failure")
+	}
+	if a.MaxSlot() != -1 {
+		t.Fatal("vote leaked into memory")
+	}
+}
+
+func TestRestoreAcceptorHonorsPromises(t *testing.T) {
+	// An acceptor restored from persisted state must still reject
+	// ballots below its old promise, and accepting implies promising.
+	slots := map[int]AcceptedSlot{
+		0: {Ballot: Ballot{Round: 4, Proposer: 2}, Value: "kept"},
+	}
+	a := RestoreAcceptor(0, &failPersister{budget: 100}, Ballot{Round: 2, Proposer: 0}, slots)
+	if rep, err := a.Prepare(Ballot{Round: 3, Proposer: 0}, 0); err != nil || rep.OK {
+		t.Fatalf("ballot below restored accept-implied promise got through: %+v (%v)", rep, err)
+	}
+	rep, err := a.Prepare(Ballot{Round: 5, Proposer: 1}, 0)
+	if err != nil || !rep.OK {
+		t.Fatalf("prepare above restored promise failed: %+v (%v)", rep, err)
+	}
+	if !rep.HasAccepted || rep.AcceptedValue != "kept" {
+		t.Fatalf("restored vote not surfaced: %+v", rep)
 	}
 }
 

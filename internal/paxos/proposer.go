@@ -14,19 +14,36 @@ var ErrNoMajority = errors.New("paxos: no majority")
 // retry its value in a later slot.
 var ErrSlotTaken = errors.New("paxos: slot decided with another value")
 
+// DeposedError reports that a fenced proposer saw a higher ballot: a
+// new leader has been elected and this proposer must stop acking
+// commits. The ballot that deposed it identifies the usurper's epoch.
+type DeposedError struct {
+	By Ballot
+}
+
+func (e DeposedError) Error() string {
+	return fmt.Sprintf("paxos: proposer deposed by ballot %s", e.By)
+}
+
 // Proposer drives consensus for a replicated log from one node. A
 // stable proposer that has completed a prepare round for its ballot
 // may run phase 2 directly for subsequent slots (multi-Paxos); when it
-// is preempted by a higher ballot it re-prepares with a higher round.
+// is preempted by a higher ballot it re-prepares with a higher round —
+// unless it is fenced, in which case preemption deposes it permanently
+// (until the next Campaign) so a stale leader can never ack a commit a
+// newer leader did not learn.
 type Proposer struct {
 	mu        sync.Mutex
 	id        int
 	peers     []int // acceptor ids, including self
 	transport Transport
 
-	ballot   Ballot
-	prepared map[int]bool // slots prepared under the current ballot
-	stable   bool         // ballot has majority promises (leadership)
+	ballot    Ballot
+	prepared  map[int]bool // slots prepared under the current ballot
+	stable    bool         // ballot has majority promises (leadership)
+	fenced    bool         // preemption deposes instead of outbidding
+	deposed   bool
+	deposedBy Ballot
 
 	chosen   map[int]Value
 	nextSlot int
@@ -46,6 +63,99 @@ func NewProposer(id int, peers []int, tr Transport) *Proposer {
 
 // majority returns the quorum size.
 func (p *Proposer) majority() int { return len(p.peers)/2 + 1 }
+
+// SetFenced switches the proposer between outbidding on preemption
+// (false, the in-process default) and deposing itself (true, what a
+// replicated certifier leader needs for epoch fencing).
+func (p *Proposer) SetFenced(fenced bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fenced = fenced
+}
+
+// CurrentBallot returns the proposer's current ballot — its epoch once
+// it leads.
+func (p *Proposer) CurrentBallot() Ballot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ballot
+}
+
+// Deposed reports whether a fenced proposer has been preempted, and by
+// which ballot. A deposed proposer refuses every propose until the
+// next Campaign.
+func (p *Proposer) Deposed() (Ballot, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.deposedBy, p.deposed
+}
+
+// Campaign elects this proposer leader: it learns the acceptors' state
+// from a majority, picks a ballot that outbids every promise it saw,
+// and recovers all slots up to the highest voted one (closing holes
+// with noop). It returns the winning ballot — the new epoch — and the
+// recovered log. Campaign clears a deposed state: it is the only way a
+// fenced, deposed proposer comes back.
+func (p *Proposer) Campaign(noop Value) (Ballot, map[int]Value, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	learned := 0
+	maxSlot := -1
+	var maxPromised Ballot
+	for _, peer := range p.peers {
+		rep, err := p.transport.Learn(peer)
+		if err != nil {
+			continue
+		}
+		learned++
+		if rep.MaxSlot > maxSlot {
+			maxSlot = rep.MaxSlot
+		}
+		if maxPromised.Less(rep.Promised) {
+			maxPromised = rep.Promised
+		}
+	}
+	if learned < p.majority() {
+		return Ballot{}, nil, fmt.Errorf("%w: %d/%d acceptors answered learn", ErrNoMajority, learned, len(p.peers))
+	}
+	// Outbid every promise a majority reported. Learn replies can be
+	// stale by the time we prepare, so preemption during recovery still
+	// bumps the round further (campaigns may outbid even when fenced).
+	round := maxPromised.Round + 1
+	if round <= p.ballot.Round {
+		round = p.ballot.Round + 1
+	}
+	p.ballot = Ballot{Round: round, Proposer: p.id}
+	p.stable = false
+	p.prepared = make(map[int]bool)
+	p.deposed = false
+	for slot := 0; slot <= maxSlot; slot++ {
+		if _, ok := p.chosen[slot]; ok {
+			continue
+		}
+		v, err := p.decideLocked(slot, noop, true)
+		if err != nil {
+			return Ballot{}, nil, err
+		}
+		p.chosen[slot] = v
+	}
+	if p.nextSlot <= maxSlot {
+		p.nextSlot = maxSlot + 1
+	}
+	// Make leadership stable even when the log is empty (cold cluster):
+	// prepare slot nextSlot so the first Propose runs phase 2 only and
+	// the ballot is known to hold majority promises.
+	if !p.stable {
+		if _, err := p.prepareLocked(p.nextSlot, true); err != nil {
+			return Ballot{}, nil, err
+		}
+	}
+	out := make(map[int]Value, len(p.chosen))
+	for s, v := range p.chosen {
+		out[s] = v
+	}
+	return p.ballot, out, nil
+}
 
 // Chosen returns the value decided for slot, if known locally.
 func (p *Proposer) Chosen(slot int) (Value, bool) {
@@ -67,22 +177,38 @@ func (p *Proposer) ChosenCount() int {
 // slot it was chosen in. If a competing value already owns the slot,
 // the proposer adopts it, records it, and retries v in the next slot.
 func (p *Proposer) Propose(v Value) (int, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	for attempts := 0; attempts < 1000; attempts++ {
-		slot := p.nextSlot
-		chosenValue, err := p.decideLocked(slot, v)
+		slot, chosen, err := p.ProposeNext(v)
 		if err != nil {
 			return 0, err
 		}
-		p.chosen[slot] = chosenValue
-		p.nextSlot = slot + 1
-		if chosenValue == v {
+		if chosen == v {
 			return slot, nil
 		}
 		// Slot held a competing value; try the next slot for ours.
 	}
 	return 0, fmt.Errorf("paxos: proposer %d starved", p.id)
+}
+
+// ProposeNext runs one slot's worth of Propose: it offers v at the
+// next unused slot and returns the value actually chosen there, which
+// is v itself or a competing value the prepare phase was obliged to
+// adopt — typically a deposed leader's in-flight proposal that reached
+// only a minority of acceptors and is resurrected by our phase 1.
+// Callers replicating a state machine must fold an adopted value into
+// their state before retrying, exactly as they would a recovered log
+// entry: it is a chosen log entry from the moment this method returns.
+func (p *Proposer) ProposeNext(v Value) (int, Value, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	slot := p.nextSlot
+	chosen, err := p.decideLocked(slot, v, false)
+	if err != nil {
+		return 0, "", err
+	}
+	p.chosen[slot] = chosen
+	p.nextSlot = slot + 1
+	return slot, chosen, nil
 }
 
 // Recover closes all slots up to and including maxSlot by proposing
@@ -95,7 +221,7 @@ func (p *Proposer) Recover(maxSlot int, noop Value) (map[int]Value, error) {
 		if _, ok := p.chosen[slot]; ok {
 			continue
 		}
-		v, err := p.decideLocked(slot, noop)
+		v, err := p.decideLocked(slot, noop, false)
 		if err != nil {
 			return nil, err
 		}
@@ -111,14 +237,29 @@ func (p *Proposer) Recover(maxSlot int, noop Value) (map[int]Value, error) {
 	return out, nil
 }
 
+// depose records that a higher ballot preempted a fenced proposer.
+func (p *Proposer) deposeLocked(by Ballot) error {
+	p.stable = false
+	p.deposed = true
+	if p.deposedBy.Less(by) {
+		p.deposedBy = by
+	}
+	return DeposedError{By: p.deposedBy}
+}
+
 // decideLocked runs full Paxos for one slot and returns the value
-// actually chosen (ours, or one adopted from a previous round).
-func (p *Proposer) decideLocked(slot int, v Value) (Value, error) {
+// actually chosen (ours, or one adopted from a previous round). With
+// campaigning true, preemption always outbids; otherwise a fenced
+// proposer is deposed instead.
+func (p *Proposer) decideLocked(slot int, v Value, campaigning bool) (Value, error) {
+	if p.deposed && !campaigning {
+		return "", DeposedError{By: p.deposedBy}
+	}
 	for round := 0; round < 100; round++ {
 		// Phase 1: skippable while the ballot is stable and the slot
 		// has not been prepared under it.
 		if !p.stable || !p.prepared[slot] {
-			adopted, err := p.prepareLocked(slot)
+			adopted, err := p.prepareLocked(slot, campaigning)
 			if err != nil {
 				return "", err
 			}
@@ -147,6 +288,9 @@ func (p *Proposer) decideLocked(slot int, v Value) (Value, error) {
 		if !preempted {
 			return "", fmt.Errorf("%w: %d/%d accepts for slot %d", ErrNoMajority, acks, len(p.peers), slot)
 		}
+		if p.fenced && !campaigning {
+			return "", p.deposeLocked(higher)
+		}
 		// Preempted: outbid and re-prepare.
 		p.stable = false
 		p.prepared = make(map[int]bool)
@@ -158,7 +302,7 @@ func (p *Proposer) decideLocked(slot int, v Value) (Value, error) {
 // prepareLocked runs phase 1 for a slot. It returns the value this
 // proposer is obliged to adopt (the accepted value with the highest
 // ballot among promises), or nil when free to propose its own.
-func (p *Proposer) prepareLocked(slot int) (*Value, error) {
+func (p *Proposer) prepareLocked(slot int, campaigning bool) (*Value, error) {
 	for round := 0; round < 100; round++ {
 		promises := 0
 		var adopt *Value
@@ -189,6 +333,9 @@ func (p *Proposer) prepareLocked(slot int) (*Value, error) {
 		}
 		if !preempted {
 			return nil, fmt.Errorf("%w: %d/%d promises for slot %d", ErrNoMajority, promises, len(p.peers), slot)
+		}
+		if p.fenced && !campaigning {
+			return nil, p.deposeLocked(higher)
 		}
 		p.stable = false
 		p.prepared = make(map[int]bool)

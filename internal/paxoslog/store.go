@@ -1,0 +1,242 @@
+// Package paxoslog persists a Paxos acceptor's promises and votes
+// through the WAL's filesystem seam, so a power-cycled certifier
+// replica rejoins the acceptor group without violating a promise it
+// already let a proposer act on. The paper replicates the certifier
+// with Paxos for fault-tolerance (§5.1); classic Paxos requires each
+// acceptor to record its state on stable storage before answering, and
+// this package is that stable storage.
+//
+// Framing mirrors internal/wal: every record is one frame
+//
+//	[u32 length] [u32 CRC32C(payload)] [payload]
+//
+// where payload is a kind byte followed by varints. Replay stops at
+// the first short, oversized or CRC-failing frame — the torn tail a
+// crash mid-write leaves behind — and Open truncates the file there,
+// so a recovered store is always a valid prefix of what was written.
+// Because the in-memory acceptor only replies after a persist
+// succeeds, a truncated tail can only drop promises and votes the
+// acceptor never answered for.
+package paxoslog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"sync"
+
+	"repro/internal/paxos"
+	"repro/internal/wal"
+)
+
+// Record kinds.
+const (
+	// kindPromise records a raised promise: {round, proposer}.
+	kindPromise byte = 1
+	// kindAccept records a vote: {slot, round, proposer, value}. The
+	// ballot doubles as a promise (voting at b implies promising b).
+	kindAccept byte = 2
+)
+
+const (
+	// FileName is the acceptor store's file inside its FS.
+	FileName = "acceptor.log"
+
+	// maxRecord bounds one frame; larger lengths in the file are
+	// treated as tail corruption.
+	maxRecord = 64 << 20
+
+	// headerSize is the per-frame overhead: u32 length + u32 CRC.
+	headerSize = 8
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by saves on a closed store.
+var ErrClosed = errors.New("paxoslog: closed")
+
+// Store is a durable paxos.Persister over one append-only file. Saves
+// return only after the record is written (and, with fsync on, synced)
+// so the acceptor's persist-then-reply contract holds.
+type Store struct {
+	mu    sync.Mutex
+	fs    wal.FS
+	f     wal.File
+	fsync bool
+	buf   []byte
+	err   error // sticky: a failed save poisons the store
+}
+
+// Open replays (or creates) the acceptor store in fsys and returns the
+// store plus the restored state: the highest promise seen and the
+// latest vote per slot — exactly what paxos.RestoreAcceptor takes.
+func Open(fsys wal.FS, fsync bool) (*Store, paxos.Ballot, map[int]paxos.AcceptedSlot, error) {
+	data, err := fsys.ReadFile(FileName)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		f, err := fsys.Create(FileName)
+		if err != nil {
+			return nil, paxos.Ballot{}, nil, fmt.Errorf("paxoslog: create: %w", err)
+		}
+		if err := fsys.SyncDir(); err != nil {
+			f.Close()
+			return nil, paxos.Ballot{}, nil, fmt.Errorf("paxoslog: sync dir: %w", err)
+		}
+		return &Store{fs: fsys, f: f, fsync: fsync}, paxos.Ballot{}, map[int]paxos.AcceptedSlot{}, nil
+	case err != nil:
+		return nil, paxos.Ballot{}, nil, fmt.Errorf("paxoslog: read: %w", err)
+	}
+
+	promised, slots, valid := replay(data)
+	// Reopen for append, cutting any torn tail.
+	f, err := fsys.OpenAppend(FileName, int64(valid))
+	if err != nil {
+		return nil, paxos.Ballot{}, nil, fmt.Errorf("paxoslog: open append: %w", err)
+	}
+	return &Store{fs: fsys, f: f, fsync: fsync}, promised, slots, nil
+}
+
+// replay scans frames, returning the restored state and the byte
+// offset of the first invalid frame (the truncation point).
+func replay(data []byte) (paxos.Ballot, map[int]paxos.AcceptedSlot, int) {
+	var promised paxos.Ballot
+	slots := make(map[int]paxos.AcceptedSlot)
+	off := 0
+	for {
+		if len(data)-off < headerSize {
+			return promised, slots, off
+		}
+		n := binary.BigEndian.Uint32(data[off:])
+		crc := binary.BigEndian.Uint32(data[off+4:])
+		if n == 0 || n > maxRecord || int(n) > len(data)-off-headerSize {
+			return promised, slots, off
+		}
+		payload := data[off+headerSize : off+headerSize+int(n)]
+		if crc32.Checksum(payload, crcTable) != crc {
+			return promised, slots, off
+		}
+		b, slot, v, ok := decodePayload(payload)
+		if !ok {
+			return promised, slots, off
+		}
+		if promised.Less(b) {
+			promised = b
+		}
+		if payload[0] == kindAccept {
+			rec, exists := slots[slot]
+			if !exists || rec.Ballot.Less(b) {
+				slots[slot] = paxos.AcceptedSlot{Ballot: b, Value: v}
+			}
+		}
+		off += headerSize + int(n)
+	}
+}
+
+// decodePayload parses one record payload. For promises slot/value are
+// zero.
+func decodePayload(p []byte) (b paxos.Ballot, slot int, v paxos.Value, ok bool) {
+	kind := p[0]
+	rest := p[1:]
+	next := func() (int64, bool) {
+		x, n := binary.Varint(rest)
+		if n <= 0 {
+			return 0, false
+		}
+		rest = rest[n:]
+		return x, true
+	}
+	switch kind {
+	case kindPromise:
+		round, ok1 := next()
+		prop, ok2 := next()
+		if !ok1 || !ok2 || len(rest) != 0 {
+			return b, 0, "", false
+		}
+		return paxos.Ballot{Round: int(round), Proposer: int(prop)}, 0, "", true
+	case kindAccept:
+		s, ok0 := next()
+		round, ok1 := next()
+		prop, ok2 := next()
+		if !ok0 || !ok1 || !ok2 {
+			return b, 0, "", false
+		}
+		vlen, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return b, 0, "", false
+		}
+		rest = rest[n:]
+		if vlen != uint64(len(rest)) {
+			return b, 0, "", false
+		}
+		return paxos.Ballot{Round: int(round), Proposer: int(prop)}, int(s), paxos.Value(rest), true
+	default:
+		return b, 0, "", false
+	}
+}
+
+// SavePromise implements paxos.Persister.
+func (s *Store) SavePromise(b paxos.Ballot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	payload := s.buf[:0]
+	payload = append(payload, kindPromise)
+	payload = binary.AppendVarint(payload, int64(b.Round))
+	payload = binary.AppendVarint(payload, int64(b.Proposer))
+	return s.appendLocked(payload)
+}
+
+// SaveAccept implements paxos.Persister.
+func (s *Store) SaveAccept(slot int, b paxos.Ballot, v paxos.Value) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	payload := s.buf[:0]
+	payload = append(payload, kindAccept)
+	payload = binary.AppendVarint(payload, int64(slot))
+	payload = binary.AppendVarint(payload, int64(b.Round))
+	payload = binary.AppendVarint(payload, int64(b.Proposer))
+	payload = binary.AppendUvarint(payload, uint64(len(v)))
+	payload = append(payload, v...)
+	return s.appendLocked(payload)
+}
+
+// appendLocked frames and writes one payload, syncing when configured.
+// The frame is written in a single Write call so a crash tears at most
+// one record, which replay's CRC check cuts cleanly.
+func (s *Store) appendLocked(payload []byte) error {
+	if s.err != nil {
+		return s.err
+	}
+	frame := make([]byte, headerSize+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+	copy(frame[headerSize:], payload)
+	s.buf = payload // recycle the scratch buffer
+	if _, err := s.f.Write(frame); err != nil {
+		s.err = fmt.Errorf("paxoslog: write: %w", err)
+		return s.err
+	}
+	if s.fsync {
+		if err := s.f.Sync(); err != nil {
+			s.err = fmt.Errorf("paxoslog: sync: %w", err)
+			return s.err
+		}
+	}
+	return nil
+}
+
+// Close closes the store; further saves fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = ErrClosed
+	}
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

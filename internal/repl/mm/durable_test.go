@@ -62,6 +62,76 @@ func TestDurableCommitsJournalBeforeAck(t *testing.T) {
 	}
 }
 
+// TestDurableComposesWithReplicatedCertifier: Durable and
+// ReplicatedCertifier run together — every commit goes through a Paxos
+// round AND lands in the journal, a restart from the journal alone
+// recovers the full log, and because the quorum (not the journal) is
+// the durability authority, a dead journal detaches instead of
+// withholding acks.
+func TestDurableComposesWithReplicatedCertifier(t *testing.T) {
+	fs := wal.NewMemFS()
+	w, _, err := wal.Open(wal.Options{FS: fs, Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Options{
+		Replicas:            2,
+		ReplicatedCertifier: true,
+		GroupCommit:         true,
+		Durable:             true,
+		Journal:             w,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load("t", 10, func(r int64) string { return "seed" }); err != nil {
+		t.Fatal(err)
+	}
+	commit := func(i int) {
+		t.Helper()
+		tx, err := c.BeginUpdate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Write("t", int64(i%10), "x"); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		commit(i)
+	}
+	c.Sync()
+	w.Close()
+
+	fs.PowerCycle(false)
+	_, rec, err := wal.Open(wal.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := certifier.NewFromRecords(rec.Records, rec.Base)
+	if got, want := recovered.Version(), c.Certifier().Version(); got != want {
+		t.Fatalf("journal recovered version %d, live certifier %d", got, want)
+	}
+	if got, want := recovered.LogLen(), c.Certifier().LogLen(); got != want {
+		t.Fatalf("journal recovered %d records, live certifier %d", got, want)
+	}
+
+	// The journal is already closed: with replication the commit must
+	// still be acknowledged (the quorum is the authority) and the dead
+	// journal detaches.
+	commit(100)
+	if c.Certifier().JournalError() == nil {
+		t.Fatal("dead journal did not detach")
+	}
+	commit(101)
+}
+
 // TestDurableRequiresJournal pins the option validation.
 func TestDurableRequiresJournal(t *testing.T) {
 	if _, err := New(Options{Replicas: 1, Durable: true}); err == nil {

@@ -81,7 +81,10 @@ type Options struct {
 	// Durable journals every certified writeset through Journal before
 	// the commit is acknowledged (default off, preserving the purely
 	// in-memory behavior). Group commit composes: a batch is staged as
-	// one journal append and one sync. Ignored when Cert injects an
+	// one journal append and one sync. ReplicatedCertifier composes
+	// too: the Paxos quorum is then the durability authority and the
+	// journal becomes a local restart cache whose failures detach it
+	// rather than failing commits. Ignored when Cert injects an
 	// external certification service — the remote host owns durability.
 	Durable bool
 	// Journal is the write-ahead log Durable commits flow through
@@ -139,14 +142,6 @@ func New(opts Options) (*Cluster, error) {
 	if opts.Durable && opts.Journal == nil && opts.Cert == nil {
 		return nil, fmt.Errorf("mm: Durable requires a Journal")
 	}
-	if opts.Durable && opts.ReplicatedCertifier {
-		// The two persistence paths have incompatible failure windows:
-		// a journal failure after a successful Paxos propose would
-		// abandon a version already in the replicated log, and the
-		// next commit would reuse it for a different writeset. One
-		// durability mechanism at a time.
-		return nil, fmt.Errorf("mm: Durable and ReplicatedCertifier are mutually exclusive (the Paxos log is its own persistence)")
-	}
 	c := &Cluster{opts: opts, balancer: lb.New(opts.Replicas)}
 	for i := 0; i < opts.Replicas; i++ {
 		r := newReplica(i, opts.ApplyWorkers)
@@ -162,6 +157,12 @@ func New(opts Options) (*Cluster, error) {
 			return nil, err
 		}
 		c.cert, c.transport = cert, tr
+		if opts.Durable {
+			// The Paxos quorum is the durability authority; the journal
+			// rides along as a local restart cache and detaches on
+			// failure instead of blocking commits.
+			cert.SetJournal(opts.Journal)
+		}
 		if opts.GroupCommit {
 			c.batcher = certifier.NewBatcher(cert, opts.MaxBatch)
 		}

@@ -161,6 +161,20 @@ type DriveResult struct {
 	Aborts        int64 // update attempts that ended in ErrAborted
 	Errors        int64 // unexpected errors (should be zero)
 
+	// Unknown counts transactions whose commit outcome is ambiguous
+	// (UnknownOutcomeError): the request may have reached the
+	// certifier before the connection died or the leader was deposed,
+	// so the transaction may or may not be durably committed. A
+	// closed-loop driver cannot retry these blindly (double-apply)
+	// nor treat them as failures of the system under test — they are
+	// the unavoidable residue of killing a replica with commits in
+	// flight — so they are reported separately from Errors.
+	Unknown int64
+
+	// FirstError samples the first unexpected error a client hit, so
+	// a nonzero Errors count is diagnosable instead of a bare number.
+	FirstError string
+
 	// ReadLatency and UpdateLatency are client-perceived latency
 	// histograms over committed logical transactions per class; an
 	// update transaction's latency includes its certification-abort
@@ -204,7 +218,15 @@ func Drive(sys System, cat workload.Catalog, mix workload.Mix, clients, txnsPerC
 				}
 				start := time.Now()
 				if err := runTemplate(sys, tpl, rows, rng, &local); err != nil {
-					local.Errors++
+					var uo *UnknownOutcomeError
+					if errors.As(err, &uo) {
+						local.Unknown++
+					} else {
+						local.Errors++
+						if local.FirstError == "" {
+							local.FirstError = err.Error()
+						}
+					}
 					continue
 				}
 				if tpl.ReadOnly {
@@ -219,6 +241,10 @@ func Drive(sys System, cat workload.Catalog, mix workload.Mix, clients, txnsPerC
 			res.UpdateCommits += local.UpdateCommits
 			res.Aborts += local.Aborts
 			res.Errors += local.Errors
+			res.Unknown += local.Unknown
+			if res.FirstError == "" {
+				res.FirstError = local.FirstError
+			}
 			res.ReadLatency.Merge(readLat)
 			res.UpdateLatency.Merge(updateLat)
 			mu.Unlock()

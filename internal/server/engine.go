@@ -3,11 +3,13 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/certifier"
 	"repro/internal/client"
 	"repro/internal/elastic"
+	"repro/internal/paxos"
 	"repro/internal/repl"
 	"repro/internal/repl/mm"
 	"repro/internal/repl/pipeline"
@@ -73,6 +75,14 @@ type engine interface {
 	installSnapshot(version int64, tables map[string]map[int64]string) error
 	// selfLeave deregisters this node from its primary (drain path).
 	selfLeave(id int64) error
+	// paxosPrepare / paxosAccept / paxosLearn serve the embedded Paxos
+	// acceptor (protocol v3); errUnsupported unless this node runs one.
+	paxosPrepare(b paxos.Ballot, slot int) (paxos.PrepareReply, error)
+	paxosAccept(b paxos.Ballot, slot int, v paxos.Value) (paxos.AcceptReply, error)
+	paxosLearn() (paxos.LearnReply, error)
+	// leaderAddr maps a paxos id to its replica address for NotLeader
+	// redirects ("" when unknown or Paxos is disabled).
+	leaderAddr(id int) string
 	// resume reports the version durable state was recovered to at
 	// start (ok false when the node has no WAL or the log was fresh).
 	resume() (version int64, ok bool)
@@ -88,28 +98,29 @@ type engine interface {
 // primary.
 const pollInterval = 250 * time.Millisecond
 
-// remoteCert instruments a Link to the certifier host with the local
+// remoteCert instruments a remote certification service (a Link to
+// the certifier host, or a LeaderRing under Paxos) with the local
 // certification-latency histogram (which then measures the full
 // network round trip).
 type remoteCert struct {
-	link *client.Link
-	m    *metrics
+	svc mm.CertService
+	m   *metrics
 }
 
 var _ mm.CertService = (*remoteCert)(nil)
 
 func (r *remoteCert) Certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error) {
 	start := time.Now()
-	out, err := r.link.Certify(snapshot, ws)
+	out, err := r.svc.Certify(snapshot, ws)
 	r.m.observeCert(time.Since(start))
 	return out, err
 }
 
 func (r *remoteCert) Check(snapshot int64, ws writeset.Writeset) (bool, int64) {
-	return r.link.Check(snapshot, ws)
+	return r.svc.Check(snapshot, ws)
 }
 
-func (r *remoteCert) Since(v int64) []certifier.Record { return r.link.Since(v) }
+func (r *remoteCert) Since(v int64) []certifier.Record { return r.svc.Since(v) }
 
 // mmEngine is one multi-master node: a single-replica mm.Cluster whose
 // certification service is either hosted here (node 0) or reached over
@@ -120,13 +131,28 @@ type mmEngine struct {
 	cl       *mm.Cluster
 	ap       *pipeline.Applier // the local replica's apply stage
 	stop     <-chan struct{}
-	host     *pipeline.HostCert    // non-nil on the certifier host
 	cursors  *pipeline.PeerCursors // non-nil on the certifier host
 	link     *client.Link          // non-nil elsewhere: the commit path's link
 	puller   *client.Link          // non-nil elsewhere: the propagation link
 	dur      *pipeline.Durability  // non-nil when the node runs a WAL
 	resumed  int64                 // version recovered from the WAL at start
 	resumeOK bool
+
+	// host is the hosted certification service: non-nil on the static
+	// certifier host (node 0 without Paxos), and on whichever node
+	// currently leads under Paxos. hostMu guards the role swaps; read
+	// through hostCert().
+	hostMu sync.RWMutex
+	host   *pipeline.HostCert
+
+	// Replicated certification (nil without Options.Paxos): the
+	// embedded acceptor + transport + leader ring, the switchable
+	// certification service the cluster commits through, and what
+	// promoteSelf needs to rebuild a host.
+	px          *paxosNode
+	sw          *switchCert
+	m           *metrics
+	groupCommit bool
 
 	// membership is the primary's authoritative member registry
 	// (nil on non-primary nodes); staleAfter is the liveness grace
@@ -146,7 +172,34 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 	}
 	var svc mm.CertService
 	async := false
-	if opts.ID == 0 {
+	if opts.Paxos {
+		// Replicated certification: this node hosts a Paxos acceptor
+		// and starts as a backup; leadership comes only from winning an
+		// election in the role loop (node 0 campaigns immediately on a
+		// cold cluster). Until then the commit path follows the leader
+		// ring, and certification requests answer NotLeader.
+		px, err := newPaxosNode(opts)
+		if err != nil {
+			if e.dur != nil {
+				e.dur.W.Close()
+			}
+			return nil, err
+		}
+		e.px = px
+		e.m = m
+		e.groupCommit = opts.GroupCommit
+		e.membership = elastic.NewMembership()
+		e.membership.SeedStatic(opts.PaxosPeers)
+		e.cursors = pipeline.NewDynamicPeerCursors(func() int {
+			return e.membership.Peers()
+		}, int64(opts.GCLag))
+		e.sw = &switchCert{}
+		e.sw.set(&remoteCert{svc: px.ring, m: m})
+		svc = e.sw
+		// The role loop applies the log (as leader) or pulls it (as
+		// backup); commits must not synchronously re-fetch the backlog.
+		async = true
+	} else if opts.ID == 0 {
 		// The certification log recovers from the WAL: the restarted
 		// certifier resumes at the last durably logged version, with
 		// the compaction base as its pruning horizon.
@@ -185,7 +238,7 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 	} else {
 		e.link = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
 		e.puller = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
-		svc = &remoteCert{link: e.link, m: m}
+		svc = &remoteCert{svc: e.link, m: m}
 		// The propagation loop applies writesets here; re-fetching the
 		// backlog synchronously on every commit would double the
 		// traffic for nothing.
@@ -276,45 +329,58 @@ func (e *mmEngine) sync() {
 func (e *mmEngine) applied() int64 { return e.ap.Applied() }
 
 func (e *mmEngine) queueDepth() int64 {
-	if e.host != nil {
+	if h := e.hostCert(); h != nil {
 		// The host's backlog is whatever the certifier has committed
 		// that the local apply stage has not yet retired.
-		e.ap.Observe(e.host.Base.Version())
+		e.ap.Observe(h.Base.Version())
 	}
 	return e.ap.Stats().Lag
 }
 
 func (e *mmEngine) applyStats() pipeline.ApplyStats {
-	if e.host != nil {
-		e.ap.Observe(e.host.Base.Version())
+	if h := e.hostCert(); h != nil {
+		e.ap.Observe(h.Base.Version())
 	}
 	return e.ap.Stats()
 }
 
 func (e *mmEngine) certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error) {
-	if e.host == nil {
+	h := e.hostCert()
+	if h == nil {
+		if e.px != nil {
+			return certifier.Outcome{}, e.px.notLeaderErr()
+		}
 		return certifier.Outcome{}, errUnsupported
 	}
-	return e.host.Certify(snapshot, ws)
+	return h.Certify(snapshot, ws)
 }
 
 func (e *mmEngine) check(snapshot int64, ws writeset.Writeset) (bool, int64, error) {
-	if e.host == nil {
+	h := e.hostCert()
+	if h == nil {
+		if e.px != nil {
+			return false, 0, e.px.notLeaderErr()
+		}
 		return false, 0, errUnsupported
 	}
-	conflict, with := e.host.Check(snapshot, ws)
+	conflict, with := h.Check(snapshot, ws)
 	return conflict, with, nil
 }
 
 func (e *mmEngine) logLen() int {
-	if e.host == nil {
+	h := e.hostCert()
+	if h == nil {
 		return 0
 	}
-	return e.host.Base.LogLen()
+	return h.Base.LogLen()
 }
 
 func (e *mmEngine) fetchSince(peer int64, v int64, wait time.Duration) ([]certifier.Record, error) {
-	if e.host == nil {
+	h := e.hostCert()
+	if h == nil {
+		if e.px != nil {
+			return nil, e.px.notLeaderErr()
+		}
 		return nil, errUnsupported
 	}
 	if wait > 0 {
@@ -330,9 +396,9 @@ func (e *mmEngine) fetchSince(peer int64, v int64, wait time.Duration) ([]certif
 			e.membership.Touch(peer, time.Now())
 		}
 		e.maybeGC()
-		e.host.Notify.WaitBeyond(v, wait, e.stop)
+		h.Notify.WaitBeyond(v, wait, e.stop)
 	}
-	return e.host.Since(v), nil
+	return h.Since(v), nil
 }
 
 func (e *mmEngine) peerGone(peer int64) {
@@ -347,7 +413,13 @@ func (e *mmEngine) peerGone(peer int64) {
 // blocks GC until its first long poll arrives (see docs/ELASTICITY.md
 // for the ordering argument).
 func (e *mmEngine) join(addr string) (*wire.JoinOK, error) {
-	if e.host == nil {
+	if e.px != nil {
+		// The Paxos group's membership is fixed at boot: elastic joins
+		// would have to change the acceptor set, which this deployment
+		// does not support.
+		return nil, fmt.Errorf("%w: elastic join is not supported with a replicated certifier", errUnsupported)
+	}
+	if e.hostCert() == nil {
 		return nil, errUnsupported
 	}
 	id, epoch, members := e.membership.Join(addr, time.Now())
@@ -357,7 +429,10 @@ func (e *mmEngine) join(addr string) (*wire.JoinOK, error) {
 // leave deregisters a replica (primary only): its cursor stops gating
 // GC and clients drop it on their next membership poll.
 func (e *mmEngine) leave(id int64) error {
-	if e.host == nil {
+	if e.px != nil {
+		return fmt.Errorf("%w: the replicated-certifier group is fixed at boot", errUnsupported)
+	}
+	if e.hostCert() == nil {
 		return errUnsupported
 	}
 	if id == 0 {
@@ -377,7 +452,7 @@ func (e *mmEngine) members() (int64, []wire.Member, error) {
 }
 
 func (e *mmEngine) snapshot() (int64, map[string]map[int64]string, error) {
-	if e.host == nil {
+	if e.hostCert() == nil {
 		return 0, nil, errUnsupported
 	}
 	return e.cl.Snapshot(0)
@@ -422,8 +497,12 @@ func (e *mmEngine) selfLeave(id int64) error {
 // maybeGC prunes the certification log up to what every replica
 // (including this one) has applied, minus the safety lag.
 func (e *mmEngine) maybeGC() {
+	hc := e.hostCert()
+	if hc == nil {
+		return
+	}
 	if h, ok := e.cursors.Horizon(e.applied()); ok {
-		e.host.Base.GC(h)
+		hc.Base.GC(h)
 	}
 }
 
@@ -482,6 +561,10 @@ func (e *mmEngine) maybeCompactDurable() {
 // from its local log on commit wakeups; other nodes long-poll the host
 // over their dedicated peer link.
 func (e *mmEngine) run(stop <-chan struct{}) {
+	if e.px != nil {
+		e.runPaxos(stop)
+		return
+	}
 	if e.host != nil {
 		for {
 			select {
@@ -526,9 +609,41 @@ func (e *mmEngine) close() {
 	if e.puller != nil {
 		e.puller.Close()
 	}
+	if e.px != nil {
+		e.px.close()
+	}
 	if e.dur != nil {
 		e.dur.W.Close()
 	}
+}
+
+func (e *mmEngine) paxosPrepare(b paxos.Ballot, slot int) (paxos.PrepareReply, error) {
+	if e.px == nil {
+		return paxos.PrepareReply{}, errUnsupported
+	}
+	return e.px.acc.Prepare(b, slot)
+}
+
+func (e *mmEngine) paxosAccept(b paxos.Ballot, slot int, v paxos.Value) (paxos.AcceptReply, error) {
+	if e.px == nil {
+		return paxos.AcceptReply{}, errUnsupported
+	}
+	return e.px.acc.Accept(b, slot, v)
+}
+
+func (e *mmEngine) paxosLearn() (paxos.LearnReply, error) {
+	if e.px == nil {
+		return paxos.LearnReply{}, errUnsupported
+	}
+	maxSlot, promised := e.px.acc.Status()
+	return paxos.LearnReply{MaxSlot: maxSlot, Promised: promised}, nil
+}
+
+func (e *mmEngine) leaderAddr(id int) string {
+	if e.px == nil {
+		return ""
+	}
+	return e.px.addrOf(id)
 }
 
 // smEngine is one single-master node: the master executes updates
@@ -765,6 +880,19 @@ func (e *smEngine) installSnapshot(int64, map[string]map[int64]string) error {
 	return errUnsupported
 }
 func (e *smEngine) selfLeave(int64) error { return errUnsupported }
+
+// The single-master design replicates through its master, not a Paxos
+// group; every acceptor RPC answers errUnsupported.
+func (e *smEngine) paxosPrepare(paxos.Ballot, int) (paxos.PrepareReply, error) {
+	return paxos.PrepareReply{}, errUnsupported
+}
+func (e *smEngine) paxosAccept(paxos.Ballot, int, paxos.Value) (paxos.AcceptReply, error) {
+	return paxos.AcceptReply{}, errUnsupported
+}
+func (e *smEngine) paxosLearn() (paxos.LearnReply, error) {
+	return paxos.LearnReply{}, errUnsupported
+}
+func (e *smEngine) leaderAddr(int) string { return "" }
 
 func (e *smEngine) resume() (int64, bool) { return e.resumed, e.resumeOK }
 

@@ -25,7 +25,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/certifier"
 	"repro/internal/client"
+	"repro/internal/paxos"
 	"repro/internal/repl"
 	"repro/internal/sidb"
 	"repro/internal/wire"
@@ -113,6 +115,22 @@ type Options struct {
 	// retire strictly in order. Defaults to GOMAXPROCS; 1 applies
 	// serially.
 	ApplyWorkers int
+	// Paxos turns certification into a replicated state machine (mm
+	// only): this node embeds a Paxos acceptor, the group elects a
+	// certification leader with epoch fencing, and leadership fails
+	// over automatically when the leader dies. Composes with WALDir /
+	// Fsync — the acceptor state then persists next to the WAL, so a
+	// restarted node rejoins with its promises and votes intact.
+	Paxos bool
+	// PaxosPeers lists every group member's client address indexed by
+	// replica id, including this node's own. Required with Paxos; the
+	// group size is len(PaxosPeers) and elections need a reachable
+	// majority.
+	PaxosPeers []string
+	// ElectTimeout is how long a backup goes without leader progress
+	// before campaigning (default 1s); node id waits an extra
+	// id*ElectTimeout/2 so elections stagger instead of colliding.
+	ElectTimeout time.Duration
 }
 
 // Server is a running replica server.
@@ -157,7 +175,21 @@ func New(opts Options) (*Server, error) {
 			return nil, errors.New("server: elastic join requires the primary's address")
 		}
 	}
-	if !opts.Join && opts.ID > 0 && opts.Primary == "" {
+	if opts.Paxos {
+		if opts.Design != "mm" {
+			return nil, errors.New("server: a replicated certifier requires the mm design")
+		}
+		if len(opts.PaxosPeers) == 0 {
+			return nil, errors.New("server: a replicated certifier requires the peer address list")
+		}
+		if opts.ID >= len(opts.PaxosPeers) {
+			return nil, fmt.Errorf("server: replica id %d outside the %d-member paxos group", opts.ID, len(opts.PaxosPeers))
+		}
+		if opts.Join {
+			return nil, errors.New("server: elastic join is not supported with a replicated certifier (the group is fixed at boot)")
+		}
+	}
+	if !opts.Join && opts.ID > 0 && opts.Primary == "" && !opts.Paxos {
 		return nil, errors.New("server: replica id > 0 requires the primary's address")
 	}
 	if opts.Listen == "" {
@@ -183,6 +215,9 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.ApplyWorkers <= 0 {
 		opts.ApplyWorkers = runtime.GOMAXPROCS(0)
+	}
+	if opts.ElectTimeout <= 0 {
+		opts.ElectTimeout = time.Second
 	}
 
 	// The listener binds before a join so the joiner can announce the
@@ -271,6 +306,19 @@ func runJoin(opts *Options, selfAddr string) (int64, map[string]map[int64]string
 
 // Addr returns the bound listen address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Leader reports this node's view of the replicated certifier: whether
+// it currently leads, its best guess of the leader id (-1 unknown) and
+// the highest epoch it has seen. ok is false when the node does not run
+// a replicated certifier.
+func (s *Server) Leader() (leading bool, leader int, epoch paxos.Ballot, ok bool) {
+	e, isMM := s.eng.(*mmEngine)
+	if !isMM || e.px == nil {
+		return false, -1, paxos.Ballot{}, false
+	}
+	leading, leader, epoch = e.px.view()
+	return leading, leader, epoch, true
+}
 
 // Resumed reports the version this node's durable state was recovered
 // to at start; ok is false when the node has no WAL or started fresh.
@@ -557,7 +605,7 @@ func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
 		}
 		tx, err := s.eng.begin(m.ReadOnly)
 		if err != nil {
-			return errReply(err)
+			return s.errReply(st, err)
 		}
 		st.cur = tx
 		st.readOnly = m.ReadOnly
@@ -571,7 +619,7 @@ func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
 		}
 		value, ok, err := st.cur.Read(m.Table, m.Row)
 		if err != nil {
-			return errReply(err)
+			return s.errReply(st, err)
 		}
 		return &wire.ReadOK{OK: ok, Value: value}
 
@@ -580,7 +628,7 @@ func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
 			return noTxn()
 		}
 		if err := st.cur.Write(m.Table, m.Row, m.Value); err != nil {
-			return errReply(err)
+			return s.errReply(st, err)
 		}
 		return &wire.WriteOK{}
 
@@ -589,7 +637,7 @@ func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
 			return noTxn()
 		}
 		if err := st.cur.Delete(m.Table, m.Row); err != nil {
-			return errReply(err)
+			return s.errReply(st, err)
 		}
 		return &wire.WriteOK{}
 
@@ -609,7 +657,7 @@ func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
 			s.m.aborts.Add(1)
 			return &wire.CommitAborted{ConflictWith: repl.ConflictWith(err)}
 		default:
-			return errReply(err)
+			return s.errReply(st, err)
 		}
 
 	case *wire.Abort:
@@ -626,20 +674,20 @@ func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
 
 	case *wire.CreateTable:
 		if err := s.eng.createTable(m.Name); err != nil {
-			return errReply(err)
+			return s.errReply(st, err)
 		}
 		return &wire.CreateTableOK{}
 
 	case *wire.Load:
 		if err := s.eng.loadRows(m.Table, m.Start, m.Values); err != nil {
-			return errReply(err)
+			return s.errReply(st, err)
 		}
 		return &wire.LoadOK{}
 
 	case *wire.Dump:
 		rows, err := s.eng.dump(m.Table)
 		if err != nil {
-			return errReply(err)
+			return s.errReply(st, err)
 		}
 		reply := &wire.DumpOK{Rows: make([]int64, 0, len(rows)), Values: make([]string, 0, len(rows))}
 		for r, v := range rows {
@@ -651,14 +699,14 @@ func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
 	case *wire.Certify:
 		out, err := s.eng.certify(m.Snapshot, m.WS)
 		if err != nil {
-			return errReply(err)
+			return s.errReply(st, err)
 		}
 		return &wire.CertifyOK{Committed: out.Committed, Version: out.Version, ConflictWith: out.ConflictWith}
 
 	case *wire.Check:
 		conflict, with, err := s.eng.check(m.Snapshot, m.WS)
 		if err != nil {
-			return errReply(err)
+			return s.errReply(st, err)
 		}
 		return &wire.CheckOK{Conflict: conflict, With: with}
 
@@ -669,7 +717,7 @@ func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
 		}
 		recs, err := s.eng.fetchSince(st.peer, m.Version, wait)
 		if err != nil {
-			return errReply(err)
+			return s.errReply(st, err)
 		}
 		reply := &wire.Records{Recs: make([]wire.Record, len(recs))}
 		for i, r := range recs {
@@ -677,23 +725,60 @@ func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
 		}
 		return reply
 
+	case *wire.PaxosPrepare:
+		rep, err := s.eng.paxosPrepare(paxos.Ballot{Round: int(m.Round), Proposer: int(m.Proposer)}, int(m.Slot))
+		if err != nil {
+			return s.errReply(st, err)
+		}
+		return &wire.PaxosPrepareOK{
+			OK:               rep.OK,
+			PromisedRound:    int64(rep.Promised.Round),
+			PromisedProposer: int64(rep.Promised.Proposer),
+			AcceptedRound:    int64(rep.AcceptedBallot.Round),
+			AcceptedProposer: int64(rep.AcceptedBallot.Proposer),
+			AcceptedValue:    string(rep.AcceptedValue),
+			HasAccepted:      rep.HasAccepted,
+		}
+
+	case *wire.PaxosAccept:
+		rep, err := s.eng.paxosAccept(paxos.Ballot{Round: int(m.Round), Proposer: int(m.Proposer)}, int(m.Slot), paxos.Value(m.Value))
+		if err != nil {
+			return s.errReply(st, err)
+		}
+		return &wire.PaxosAcceptOK{
+			OK:               rep.OK,
+			PromisedRound:    int64(rep.Promised.Round),
+			PromisedProposer: int64(rep.Promised.Proposer),
+		}
+
+	case *wire.PaxosLearn:
+		rep, err := s.eng.paxosLearn()
+		if err != nil {
+			return s.errReply(st, err)
+		}
+		return &wire.PaxosLearnOK{
+			MaxSlot:          int64(rep.MaxSlot),
+			PromisedRound:    int64(rep.Promised.Round),
+			PromisedProposer: int64(rep.Promised.Proposer),
+		}
+
 	case *wire.Join:
 		jo, err := s.eng.join(m.Addr)
 		if err != nil {
-			return errReply(err)
+			return s.errReply(st, err)
 		}
 		return jo
 
 	case *wire.Leave:
 		if err := s.eng.leave(m.ID); err != nil {
-			return errReply(err)
+			return s.errReply(st, err)
 		}
 		return &wire.LeaveOK{}
 
 	case *wire.Members:
 		epoch, members, err := s.eng.members()
 		if err != nil {
-			return errReply(err)
+			return s.errReply(st, err)
 		}
 		return &wire.MembersOK{Epoch: epoch, Members: members}
 
@@ -702,7 +787,7 @@ func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
 		if st.snap == nil {
 			version, tables, err := s.eng.snapshot()
 			if err != nil {
-				return errReply(err)
+				return s.errReply(st, err)
 			}
 			stream := &snapshotStream{version: version}
 			names := make([]string, 0, len(tables))
@@ -748,6 +833,12 @@ func msgType(m wire.Message) wire.MsgType {
 		return wire.TMembers
 	case *wire.Stats:
 		return wire.TStats
+	case *wire.PaxosPrepare:
+		return wire.TPaxosPrepare
+	case *wire.PaxosAccept:
+		return wire.TPaxosAccept
+	case *wire.PaxosLearn:
+		return wire.TPaxosLearn
 	default:
 		return 0 // v1 message: no gating needed
 	}
@@ -771,4 +862,41 @@ func errReply(err error) wire.Message {
 	default:
 		return &wire.Err{Code: wire.CodeInternal, Msg: err.Error()}
 	}
+}
+
+// errReply maps engine errors onto the wire for one connection,
+// turning not-leader errors into structured redirects: a NotLeader
+// frame (with the leader's address when this node knows it) on
+// protocol-v3 connections, the CodeNotLeader error on older ones.
+func (s *Server) errReply(st *connState, err error) wire.Message {
+	var cnl certifier.NotLeaderError
+	if errors.As(err, &cnl) {
+		return s.notLeaderReply(st, cnl.Leader, int64(cnl.Epoch.Round))
+	}
+	var lnl client.NotLeaderError
+	if errors.As(err, &lnl) {
+		// A backup relaying through the ring saw a redirect itself;
+		// forward it so the client re-aims at the same place.
+		return s.notLeaderReply(st, lnl.Leader, lnl.Epoch)
+	}
+	if errors.Is(err, client.ErrNoLeader) {
+		// The relay ran out its redirect budget mid-election: there is
+		// no leader to name, but the failure is a leadership gap, not
+		// an internal fault — redirect with the leader unknown so a
+		// commit caught in the gap counts as unknown-outcome.
+		return s.notLeaderReply(st, -1, 0)
+	}
+	return errReply(err)
+}
+
+func (s *Server) notLeaderReply(st *connState, leader int, epoch int64) wire.Message {
+	if st.proto >= 3 {
+		return &wire.NotLeader{
+			Leader: int64(leader),
+			Epoch:  epoch,
+			Addr:   s.eng.leaderAddr(leader),
+		}
+	}
+	return &wire.Err{Code: wire.CodeNotLeader,
+		Msg: fmt.Sprintf("replica is not the certifier leader (leader %d, epoch round %d)", leader, epoch)}
 }

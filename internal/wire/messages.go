@@ -50,6 +50,17 @@ const (
 	TMembersOK   MsgType = 37
 	TStats       MsgType = 38
 	TStatsOK     MsgType = 39
+
+	// Protocol version 3: replicated certification. Paxos phase frames
+	// let acceptors run inside each replica's server, and NotLeader is
+	// the structured redirect a deposed certifier leader answers with.
+	TPaxosPrepare   MsgType = 40
+	TPaxosPrepareOK MsgType = 41
+	TPaxosAccept    MsgType = 42
+	TPaxosAcceptOK  MsgType = 43
+	TPaxosLearn     MsgType = 44
+	TPaxosLearnOK   MsgType = 45
+	TNotLeader      MsgType = 46
 )
 
 // Error codes carried by Err.
@@ -61,6 +72,7 @@ const (
 	CodeNoTable     uint8 = 5 // unknown table
 	CodeDraining    uint8 = 6 // replica is leaving; reroute and retry elsewhere
 	CodeProto       uint8 = 7 // message requires a newer negotiated protocol
+	CodeNotLeader   uint8 = 8 // certifier leadership moved; v2 fallback for NotLeader
 )
 
 // Message is one protocol message; concrete types below implement it.
@@ -151,6 +163,20 @@ func newMessage(t MsgType) Message {
 		return &Stats{}
 	case TStatsOK:
 		return &StatsOK{}
+	case TPaxosPrepare:
+		return &PaxosPrepare{}
+	case TPaxosPrepareOK:
+		return &PaxosPrepareOK{}
+	case TPaxosAccept:
+		return &PaxosAccept{}
+	case TPaxosAcceptOK:
+		return &PaxosAcceptOK{}
+	case TPaxosLearn:
+		return &PaxosLearn{}
+	case TPaxosLearnOK:
+		return &PaxosLearnOK{}
+	case TNotLeader:
+		return &NotLeader{}
 	default:
 		return nil
 	}
@@ -849,4 +875,149 @@ func (m *StatsOK) decode(d *decoder) {
 	m.ActiveTxns = d.varint()
 	m.AppliedTotal = d.varint()
 	m.ApplyLag = d.varint()
+}
+
+// PaxosPrepare is phase 1a of the replicated certification log
+// (protocol v3), addressed to the acceptor embedded in this server.
+type PaxosPrepare struct {
+	Round    int64
+	Proposer int64
+	Slot     int64
+}
+
+func (*PaxosPrepare) msgType() MsgType { return TPaxosPrepare }
+func (m *PaxosPrepare) encode(b []byte) []byte {
+	b = appendVarint(b, m.Round)
+	b = appendVarint(b, m.Proposer)
+	return appendVarint(b, m.Slot)
+}
+func (m *PaxosPrepare) decode(d *decoder) {
+	m.Round = d.varint()
+	m.Proposer = d.varint()
+	m.Slot = d.varint()
+}
+
+// PaxosPrepareOK answers PaxosPrepare: the acceptor's promise after
+// the call and any value it already accepted for the slot.
+type PaxosPrepareOK struct {
+	OK               bool
+	PromisedRound    int64
+	PromisedProposer int64
+	AcceptedRound    int64
+	AcceptedProposer int64
+	AcceptedValue    string
+	HasAccepted      bool
+}
+
+func (*PaxosPrepareOK) msgType() MsgType { return TPaxosPrepareOK }
+func (m *PaxosPrepareOK) encode(b []byte) []byte {
+	b = appendBool(b, m.OK)
+	b = appendVarint(b, m.PromisedRound)
+	b = appendVarint(b, m.PromisedProposer)
+	b = appendVarint(b, m.AcceptedRound)
+	b = appendVarint(b, m.AcceptedProposer)
+	b = appendString(b, m.AcceptedValue)
+	return appendBool(b, m.HasAccepted)
+}
+func (m *PaxosPrepareOK) decode(d *decoder) {
+	m.OK = d.bool()
+	m.PromisedRound = d.varint()
+	m.PromisedProposer = d.varint()
+	m.AcceptedRound = d.varint()
+	m.AcceptedProposer = d.varint()
+	m.AcceptedValue = d.str()
+	m.HasAccepted = d.bool()
+}
+
+// PaxosAccept is phase 2a: vote for value in slot under the ballot.
+type PaxosAccept struct {
+	Round    int64
+	Proposer int64
+	Slot     int64
+	Value    string
+}
+
+func (*PaxosAccept) msgType() MsgType { return TPaxosAccept }
+func (m *PaxosAccept) encode(b []byte) []byte {
+	b = appendVarint(b, m.Round)
+	b = appendVarint(b, m.Proposer)
+	b = appendVarint(b, m.Slot)
+	return appendString(b, m.Value)
+}
+func (m *PaxosAccept) decode(d *decoder) {
+	m.Round = d.varint()
+	m.Proposer = d.varint()
+	m.Slot = d.varint()
+	m.Value = d.str()
+}
+
+// PaxosAcceptOK answers PaxosAccept.
+type PaxosAcceptOK struct {
+	OK               bool
+	PromisedRound    int64
+	PromisedProposer int64
+}
+
+func (*PaxosAcceptOK) msgType() MsgType { return TPaxosAcceptOK }
+func (m *PaxosAcceptOK) encode(b []byte) []byte {
+	b = appendBool(b, m.OK)
+	b = appendVarint(b, m.PromisedRound)
+	return appendVarint(b, m.PromisedProposer)
+}
+func (m *PaxosAcceptOK) decode(d *decoder) {
+	m.OK = d.bool()
+	m.PromisedRound = d.varint()
+	m.PromisedProposer = d.varint()
+}
+
+// PaxosLearn asks the acceptor for its status — the first step of a
+// leader election.
+type PaxosLearn struct{}
+
+func (*PaxosLearn) msgType() MsgType         { return TPaxosLearn }
+func (m *PaxosLearn) encode(b []byte) []byte { return b }
+func (m *PaxosLearn) decode(*decoder)        {}
+
+// PaxosLearnOK answers PaxosLearn: the highest voted slot (-1 when
+// none) and the acceptor's current promise.
+type PaxosLearnOK struct {
+	MaxSlot          int64
+	PromisedRound    int64
+	PromisedProposer int64
+}
+
+func (*PaxosLearnOK) msgType() MsgType { return TPaxosLearnOK }
+func (m *PaxosLearnOK) encode(b []byte) []byte {
+	b = appendVarint(b, m.MaxSlot)
+	b = appendVarint(b, m.PromisedRound)
+	return appendVarint(b, m.PromisedProposer)
+}
+func (m *PaxosLearnOK) decode(d *decoder) {
+	m.MaxSlot = d.varint()
+	m.PromisedRound = d.varint()
+	m.PromisedProposer = d.varint()
+}
+
+// NotLeader is the structured redirect a deposed certifier leader
+// answers certification requests with (protocol v3; v2 peers get
+// Err{CodeNotLeader}): the paxos id of the node that deposed it, the
+// deposing epoch (round of the winning ballot), and that node's
+// address when known ("" otherwise — the client falls back to the
+// Members protocol).
+type NotLeader struct {
+	Leader int64
+	Epoch  int64
+	Addr   string
+}
+
+func (*NotLeader) msgType() MsgType { return TNotLeader }
+func (m *NotLeader) encode(b []byte) []byte {
+	b = appendVarint(b, m.Leader)
+	b = appendVarint(b, m.Epoch)
+	return appendString(b, m.Addr)
+}
+func (m *NotLeader) decode(d *decoder) {
+	m.Leader = d.varint()
+	m.Epoch = d.varint()
+	m.Addr = d.str()
 }

@@ -31,8 +31,10 @@ const (
 	// ProtoVersion is the newest protocol spoken by this build. Hello
 	// exchanges it; the server negotiates down to the client's version
 	// as long as it is at least MinProto. Version 2 added the elastic
-	// membership messages (Join/Leave/Snapshot/Members/Stats).
-	ProtoVersion = 2
+	// membership messages (Join/Leave/Snapshot/Members/Stats); version
+	// 3 adds replicated certification (Paxos Prepare/Accept/Learn
+	// frames and the NotLeader redirect).
+	ProtoVersion = 3
 
 	// MinProto is the oldest protocol version this build still
 	// accepts. A v1 peer can run the full transaction, load and
@@ -62,10 +64,14 @@ func Negotiate(clientProto uint32) (uint32, error) {
 }
 
 // MinProtoFor returns the protocol version a message type requires.
-// The membership messages of the elastic subsystem need version 2;
-// everything else is part of the version-1 surface.
+// The membership messages of the elastic subsystem need version 2 and
+// the replicated-certification messages need version 3; everything
+// else is part of the version-1 surface.
 func MinProtoFor(t MsgType) uint32 {
 	switch t {
+	case TPaxosPrepare, TPaxosPrepareOK, TPaxosAccept, TPaxosAcceptOK,
+		TPaxosLearn, TPaxosLearnOK, TNotLeader:
+		return 3
 	case TJoin, TJoinOK, TLeave, TLeaveOK, TSnapshotReq, TSnapshotOK,
 		TMembers, TMembersOK, TStats, TStatsOK:
 		return 2

@@ -107,6 +107,16 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&StatsOK{ReadCommits: 10, UpdateCommits: 4, Aborts: 1, ReadNs: 1e9,
 			UpdateNs: 5e8, Applied: 44, QueueDepth: 2, ActiveTxns: 3,
 			AppliedTotal: 123, ApplyLag: 7},
+		&PaxosPrepare{Round: 3, Proposer: 1, Slot: 12},
+		&PaxosPrepareOK{OK: true, PromisedRound: 3, PromisedProposer: 1,
+			AcceptedRound: 2, AcceptedProposer: 0, AcceptedValue: `{"Version":1}`, HasAccepted: true},
+		&PaxosPrepareOK{OK: false, PromisedRound: 9, PromisedProposer: 2},
+		&PaxosAccept{Round: 3, Proposer: 1, Slot: 12, Value: `{"Version":1}`},
+		&PaxosAcceptOK{OK: true, PromisedRound: 3, PromisedProposer: 1},
+		&PaxosLearn{},
+		&PaxosLearnOK{MaxSlot: -1, PromisedRound: 0, PromisedProposer: 0},
+		&PaxosLearnOK{MaxSlot: 41, PromisedRound: 7, PromisedProposer: 2},
+		&NotLeader{Leader: 2, Epoch: 7, Addr: "127.0.0.1:7002"},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -283,6 +293,12 @@ func TestMinProtoFor(t *testing.T) {
 		TSnapshotOK, TMembers, TMembersOK, TStats, TStatsOK} {
 		if MinProtoFor(tt) != 2 {
 			t.Fatalf("membership message %d should require protocol 2", tt)
+		}
+	}
+	for _, tt := range []MsgType{TPaxosPrepare, TPaxosPrepareOK, TPaxosAccept,
+		TPaxosAcceptOK, TPaxosLearn, TPaxosLearnOK, TNotLeader} {
+		if MinProtoFor(tt) != 3 {
+			t.Fatalf("replication message %d should require protocol 3", tt)
 		}
 	}
 	for _, tt := range []MsgType{THello, TBegin, TCommit, TCertify, TFetchSince} {
