@@ -47,6 +47,7 @@ import (
 	"repro/internal/elastic"
 	"repro/internal/repl"
 	"repro/internal/repl/mm"
+	"repro/internal/repl/pipeline"
 	"repro/internal/repl/sm"
 	"repro/internal/server"
 	"repro/internal/stats"
@@ -241,11 +242,15 @@ func serveMain(args []string) {
 		paxos   = fs.Bool("paxos", false, "replicate the certifier over the -peers group with leader election and automatic failover (mm; composes with -wal-dir/-fsync)")
 		electTO = fs.Duration("elect-timeout", time.Second, "paxos: how long a backup goes without leader progress before campaigning")
 
-		autoscale = fs.Bool("autoscale", false, "run the MVA autoscaler on this primary (mm, id 0): spawn/retire loopback replicas to track the live load")
-		minRep    = fs.Int("min", 1, "autoscaler: minimum replica count")
-		maxRep    = fs.Int("max", 4, "autoscaler: maximum replica count")
-		profMix   = fs.String("profile-mix", "tpcw-shopping", "autoscaler: standalone profile supplying the model's service demands")
-		think     = fs.Float64("think", 0, "autoscaler: live client think time in seconds (0: the profile's)")
+		notrace = fs.Bool("notrace", false, "disable commit-path stage tracing (per-stage histograms, /debug/slowtxns)")
+		slowMs  = fs.Int("slow-ms", 0, "slow-transaction threshold in milliseconds for /debug/slowtxns (0: default 50ms)")
+
+		autoscale  = fs.Bool("autoscale", false, "run the MVA autoscaler on this primary (mm, id 0): spawn/retire loopback replicas to track the live load")
+		modelcheck = fs.Bool("modelcheck", false, "continuously evaluate the MVA model against this cluster and export replicadb_model_* residual gauges (mm, id 0)")
+		minRep     = fs.Int("min", 1, "autoscaler: minimum replica count")
+		maxRep     = fs.Int("max", 4, "autoscaler: maximum replica count")
+		profMix    = fs.String("profile-mix", "tpcw-shopping", "autoscaler: standalone profile supplying the model's service demands")
+		think      = fs.Float64("think", 0, "autoscaler: live client think time in seconds (0: the profile's)")
 	)
 	fs.Parse(args)
 
@@ -310,6 +315,12 @@ func serveMain(args []string) {
 	if *fsync && *walDir == "" {
 		usageExit(fs, "-fsync requires -wal-dir")
 	}
+	if *slowMs < 0 {
+		usageExit(fs, "-slow-ms must be >= 0 (got %d)", *slowMs)
+	}
+	if *modelcheck && (*design != "mm" || *id != 0) {
+		usageExit(fs, "-modelcheck requires -design mm and -id 0 (the model predicts the multi-master design and needs the membership authority)")
+	}
 	if *workers < 1 {
 		usageExit(fs, "-apply-workers must be >= 1 (got %d; 1 disables parallel apply)", *workers)
 	}
@@ -327,6 +338,8 @@ func serveMain(args []string) {
 		WALDir:       *walDir,
 		Fsync:        *fsync,
 		ApplyWorkers: *workers,
+		DisableTrace: *notrace,
+		SlowTxn:      time.Duration(*slowMs) * time.Millisecond,
 	}
 	if *paxos {
 		opts.Paxos = true
@@ -424,6 +437,16 @@ func serveMain(args []string) {
 		fmt.Printf("replicadb: autoscaling %d..%d replicas against the %s profile\n", *minRep, *maxRep, baseMix.ID())
 	}
 
+	var monStop chan struct{}
+	var monSrc *elastic.WireSource
+	if *modelcheck {
+		monSrc = elastic.NewWireSource(srv.Addr(), "mm", 2*time.Second)
+		mon := elastic.NewMonitor(srv.Registry(), baseMix, *think, monSrc)
+		monStop = make(chan struct{})
+		go mon.Run(time.Second, monStop)
+		fmt.Printf("replicadb: exporting MVA model residuals against the %s profile\n", baseMix.ID())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
@@ -432,6 +455,10 @@ func serveMain(args []string) {
 		close(ctlStop)
 		scaler.Close()
 		src.Close()
+	}
+	if monStop != nil {
+		close(monStop)
+		monSrc.Close()
 	}
 	if err := srv.Close(); err != nil {
 		fatal("shutdown: %v", err)
@@ -462,6 +489,70 @@ type benchResult struct {
 	ReplicasStart int     `json:"replicas_start"`
 	ReplicasEnd   int     `json:"replicas_end"`
 	Converged     bool    `json:"converged"`
+	// StageMeanUs is the cluster-wide mean per-writeset latency of each
+	// commit-path stage over the run, in microseconds (absent when the
+	// target cluster runs with tracing disabled).
+	StageMeanUs map[string]float64 `json:"stage_mean_us,omitempty"`
+	// Model holds the MVA residual evaluated over the run's window.
+	Model *elastic.ModelError `json:"model,omitempty"`
+}
+
+// benchWindow samples the cluster's cumulative counters before and
+// after the drive and folds the window into the stage breakdown and
+// the model residual. Either can come back empty: a cohort change
+// (replica joined mid-run) discards the window, and an untraced
+// cluster reports no stage counters.
+type benchWindow struct {
+	src  *elastic.WireSource
+	prof *elastic.Profiler
+	ok   bool
+}
+
+func openBenchWindow(primary string, design string, mix workload.Mix) *benchWindow {
+	// The bench driver is a zero-think closed loop (clients fire the
+	// next transaction immediately), unlike the paper's 1 s-think TPC-W
+	// clients the mix describes — so the model must be evaluated at
+	// think 0 or Little's law inflates the population ~4000x.
+	mix.Think = 0
+	w := &benchWindow{
+		src:  elastic.NewWireSource(primary, design, 2*time.Second),
+		prof: elastic.NewProfiler(mix, 0),
+	}
+	if s, err := w.src.Sample(); err == nil {
+		w.prof.Observe(s)
+		w.ok = true
+	}
+	return w
+}
+
+func (w *benchWindow) close(out *benchResult, design string) {
+	defer w.src.Close()
+	if !w.ok {
+		return
+	}
+	s, err := w.src.Sample()
+	if err != nil {
+		return
+	}
+	load, ok := w.prof.Observe(s)
+	if !ok {
+		return
+	}
+	stages := make(map[string]float64, pipeline.NumStages)
+	for i, mean := range load.StageMeans {
+		if mean > 0 {
+			stages[pipeline.StageNames[i]] = mean * 1e6
+		}
+	}
+	if len(stages) > 0 {
+		out.StageMeanUs = stages
+	}
+	// The residual only speaks for the multi-master model.
+	if design == "mm" {
+		if me, ok := elastic.EvalModel(w.prof, load, load.Members); ok {
+			out.Model = &me
+		}
+	}
 }
 
 // benchMain drives a networked cluster through the pooled client.
@@ -522,6 +613,10 @@ func benchMain(args []string) {
 
 	fmt.Printf("driving %d clients x %d transactions over TCP (%s mix: %.0f%% reads / %.0f%% updates)...\n",
 		*clients, *txns, mix.Name, mix.Pr*100, mix.Pw*100)
+	var bw *benchWindow
+	if *jsonOut != "" {
+		bw = openBenchWindow(splitAddrs(*servers)[0], *design, mix)
+	}
 	replicasStart := cl.Replicas()
 	start := time.Now()
 	res := repl.Drive(cl, cat, mix, *clients, *txns, *factor, *seed)
@@ -566,6 +661,7 @@ func benchMain(args []string) {
 			ReplicasEnd:   cl.Replicas(),
 			Converged:     converged,
 		}
+		bw.close(&out, *design)
 		buf, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			fatal("json: %v", err)

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/paxos"
 	"repro/internal/writeset"
@@ -129,6 +130,10 @@ type Certifier struct {
 	journalErr error
 	durable    int64
 
+	// stageObs (optional) receives the duration of each internal
+	// certification sub-stage, for commit-path tracing.
+	stageObs func(stage string, versions []int64, d time.Duration)
+
 	commits int64
 	aborts  int64
 }
@@ -156,6 +161,26 @@ func (c *Certifier) SetJournal(j Journal) {
 	c.journal = j
 	c.journalErr = nil
 	c.durable = c.version // recovered history is durable by definition
+}
+
+// SetStageObserver attaches a callback invoked with the duration of
+// each internal certification sub-stage — "paxos" (proposal rounds),
+// "journal" (log append), "fsync" (group-commit sync wait) — and the
+// certified versions the duration covers. Some invocations happen
+// under the certification lock, so the callback must be fast and
+// must never call back into the certifier. Attach before serving
+// traffic.
+func (c *Certifier) SetStageObserver(f func(stage string, versions []int64, d time.Duration)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stageObs = f
+}
+
+// observeStage reports one sub-stage to the attached observer.
+func (c *Certifier) observeStage(stage string, versions []int64, d time.Duration) {
+	if c.stageObs != nil && len(versions) > 0 {
+		c.stageObs(stage, versions, d)
+	}
 }
 
 // JournalError returns the error that detached the journal of a
@@ -446,6 +471,7 @@ func (c *Certifier) Certify(snapshot int64, ws writeset.Writeset) (Outcome, erro
 	rec := Record{Version: c.version + 1, Writeset: ws}
 	replicated := c.proposer != nil
 	if replicated {
+		paxosStart := time.Now()
 		// Persist through Paxos before acknowledging the commit. A
 		// slot may turn out to hold a competing value — a deposed
 		// leader's in-flight proposal that reached only a minority and
@@ -484,11 +510,13 @@ func (c *Certifier) Certify(snapshot int64, ws writeset.Writeset) (Outcome, erro
 			}
 			rec.Version = c.version + 1
 		}
+		c.observeStage("paxos", []int64{rec.Version}, time.Since(paxosStart))
 	}
 	var seq int64
 	var j Journal
 	if c.journal != nil {
 		var err error
+		appendStart := time.Now()
 		if seq, err = c.journal.Append([]Record{rec}); err != nil {
 			if !replicated {
 				// Nothing applied, nothing durable: a clean refusal.
@@ -499,11 +527,13 @@ func (c *Certifier) Certify(snapshot int64, ws writeset.Writeset) (Outcome, erro
 			c.detachJournalLocked(err)
 		} else {
 			j = c.journal
+			c.observeStage("journal", []int64{rec.Version}, time.Since(appendStart))
 		}
 	}
 	c.applyLocked(rec)
 	c.mu.Unlock()
 	if j != nil {
+		syncStart := time.Now()
 		if err := j.Sync(seq); err != nil {
 			if !replicated {
 				// The record is certified in memory but its durability
@@ -517,6 +547,7 @@ func (c *Certifier) Certify(snapshot int64, ws writeset.Writeset) (Outcome, erro
 			c.mu.Unlock()
 			return Outcome{Committed: true, Version: rec.Version}, nil
 		}
+		c.observeStage("fsync", []int64{rec.Version}, time.Since(syncStart))
 		c.markDurable(rec.Version)
 	}
 	return Outcome{Committed: true, Version: rec.Version}, nil
@@ -586,6 +617,7 @@ func (c *Certifier) CertifyBatch(reqs []Request) ([]Result, error) {
 	var results []Result
 	var staged []Record
 	var aborts int64
+	var paxosTime time.Duration
 	for attempts := 0; ; attempts++ {
 		if attempts == 1000 {
 			c.mu.Unlock()
@@ -633,7 +665,9 @@ func (c *Certifier) CertifyBatch(reqs []Request) ([]Result, error) {
 			c.mu.Unlock()
 			return nil, err
 		}
+		proposeStart := time.Now()
 		_, chosen, err := c.proposer.ProposeNext(val)
+		paxosTime += time.Since(proposeStart)
 		if err != nil {
 			c.mu.Unlock()
 			return nil, replicationError(err)
@@ -650,10 +684,14 @@ func (c *Certifier) CertifyBatch(reqs []Request) ([]Result, error) {
 			return nil, err
 		}
 	}
+	if paxosTime > 0 {
+		c.observeStageBatch("paxos", staged, paxosTime)
+	}
 	var seq int64
 	var j Journal
 	if len(staged) > 0 && c.journal != nil {
 		var err error
+		appendStart := time.Now()
 		if seq, err = c.journal.Append(staged); err != nil {
 			if !replicated {
 				// Nothing applied: the whole batch fails with no state
@@ -664,6 +702,7 @@ func (c *Certifier) CertifyBatch(reqs []Request) ([]Result, error) {
 			c.detachJournalLocked(err)
 		} else {
 			j = c.journal
+			c.observeStageBatch("journal", staged, time.Since(appendStart))
 		}
 	}
 	for _, rec := range staged {
@@ -672,6 +711,7 @@ func (c *Certifier) CertifyBatch(reqs []Request) ([]Result, error) {
 	c.aborts += aborts
 	c.mu.Unlock()
 	if j != nil {
+		syncStart := time.Now()
 		if err := j.Sync(seq); err != nil {
 			if !replicated {
 				return nil, fmt.Errorf("certifier: journal sync (batch outcome unknown): %w", err)
@@ -681,9 +721,23 @@ func (c *Certifier) CertifyBatch(reqs []Request) ([]Result, error) {
 			c.mu.Unlock()
 			return results, nil
 		}
+		c.observeStageBatch("fsync", staged, time.Since(syncStart))
 		c.markDurable(staged[len(staged)-1].Version)
 	}
 	return results, nil
+}
+
+// observeStageBatch reports one sub-stage covering a staged batch,
+// allocating the version list only when an observer is attached.
+func (c *Certifier) observeStageBatch(stage string, recs []Record, d time.Duration) {
+	if c.stageObs == nil || len(recs) == 0 {
+		return
+	}
+	vs := make([]int64, len(recs))
+	for i, r := range recs {
+		vs[i] = r.Version
+	}
+	c.stageObs(stage, vs, d)
 }
 
 // Since returns the committed records with versions strictly greater

@@ -21,6 +21,14 @@ type Sample struct {
 	Aborts        int64
 	ReadNs        int64
 	UpdateNs      int64
+	// Members is the number of replicas the counters were summed over
+	// — the N the model residual exporter evaluates PredictMM at.
+	Members int
+	// StageCounts / StageNs are the cluster-summed commit-path stage
+	// breakdown (pipeline.Stage* order: certify, paxos, journal,
+	// fsync, apply, ack). Zero everywhere when tracing is disabled.
+	StageCounts [6]int64
+	StageNs     [6]int64
 	// Cohort identifies the member set the counters were summed over
 	// (e.g. the sorted polled addresses). Two samples are only
 	// comparable within one cohort: a member missing from the sum —
@@ -46,6 +54,12 @@ type Load struct {
 	// Little's law, N = X·(R+Z): the live analogue of the per-replica
 	// client count C the paper's model takes as given (§3.2).
 	Clients float64
+	// Members is the replica count the window's counters covered.
+	Members int
+	// StageMeans holds the windowed mean per-writeset latency of each
+	// commit-path stage in seconds (pipeline.Stage* order); zero for
+	// stages with no observations this window (or tracing disabled).
+	StageMeans [6]float64
 }
 
 // Profiler turns cumulative samples into Load windows and MVA model
@@ -117,6 +131,17 @@ func (p *Profiler) Observe(s Sample) (Load, bool) {
 	if l.Throughput > 0 {
 		r := (l.MeanRead*l.ReadRate + l.MeanUpdate*l.UpdateRate) / l.Throughput
 		l.Clients = l.Throughput * (r + p.think)
+	}
+	l.Members = s.Members
+	// Stage means are advisory: a stage counter moving backwards (a
+	// restarted replica inside an otherwise stable cohort) zeroes that
+	// stage rather than discarding the whole window.
+	for i := range l.StageMeans {
+		dc := s.StageCounts[i] - prev.StageCounts[i]
+		dns := s.StageNs[i] - prev.StageNs[i]
+		if dc > 0 && dns >= 0 {
+			l.StageMeans[i] = float64(dns) / float64(dc) / 1e9
+		}
 	}
 	return l, true
 }

@@ -1,0 +1,173 @@
+package elastic
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// ModelError compares one live Load window against the MVA model's
+// prediction for the same offered population and replica count — the
+// live analogue of the paper's validation experiments (§5): how far
+// off would the model have been if asked to predict the window we
+// just measured?
+type ModelError struct {
+	Replicas int     `json:"replicas"`
+	Clients  float64 `json:"clients"`
+
+	PredictedTPS float64 `json:"predicted_tps"`
+	ObservedTPS  float64 `json:"observed_tps"`
+	// TPSError is the signed relative throughput residual
+	// (predicted-observed)/observed; positive means the model is
+	// optimistic.
+	TPSError float64 `json:"tps_error"`
+
+	PredictedLatency float64 `json:"predicted_latency_seconds"`
+	ObservedLatency  float64 `json:"observed_latency_seconds"`
+	LatencyError     float64 `json:"latency_error"`
+
+	PredictedAbort float64 `json:"predicted_abort_rate"`
+	ObservedAbort  float64 `json:"observed_abort_rate"`
+}
+
+// EvalModel evaluates the MVA model against one observed Load window
+// on a cluster of `replicas` nodes, using the profiler's calibrated
+// base demands refreshed with the window's live mix — exactly the
+// parameters the autoscaler's Decide would use, so the residual
+// reported here is the error of the model actually steering the
+// cluster. ok=false when the window carries nothing to compare (no
+// throughput, or no replica count).
+func EvalModel(p *Profiler, l Load, replicas int) (ModelError, bool) {
+	if replicas < 1 || l.Throughput <= 0 || l.Clients <= 0 {
+		return ModelError{}, false
+	}
+	params := p.Params(l)
+	per := int(math.Ceil(l.Clients / float64(replicas)))
+	if per < 1 {
+		per = 1
+	}
+	if per > maxModelClients {
+		per = maxModelClients
+	}
+	params.Mix.Clients = per
+	pred := core.PredictMM(params, replicas)
+
+	me := ModelError{
+		Replicas:         replicas,
+		Clients:          l.Clients,
+		PredictedTPS:     pred.Throughput,
+		ObservedTPS:      l.Throughput,
+		PredictedLatency: pred.ResponseTime,
+		PredictedAbort:   pred.AbortRate,
+		ObservedAbort:    l.AbortRate,
+	}
+	me.ObservedLatency = (l.MeanRead*l.ReadRate + l.MeanUpdate*l.UpdateRate) / l.Throughput
+	me.TPSError = (me.PredictedTPS - me.ObservedTPS) / me.ObservedTPS
+	if me.ObservedLatency > 0 {
+		me.LatencyError = (me.PredictedLatency - me.ObservedLatency) / me.ObservedLatency
+	}
+	return me, true
+}
+
+// Monitor continuously evaluates the MVA model against the live
+// cluster and exports the prediction and its residual as gauges —
+// `replicadb_model_*` on /metrics. It runs its own profiler over its
+// own source so it can watch a cluster whether or not the autoscaler
+// is engaged.
+type Monitor struct {
+	prof *Profiler
+	src  Source
+
+	predTPS, obsTPS, errTPS       *obs.Gauge
+	predLat, obsLat, errLat       *obs.Gauge
+	predAbort, obsAbort, replicas *obs.Gauge
+
+	mu   sync.Mutex
+	last ModelError
+	ok   bool
+}
+
+// NewMonitor builds a monitor over a calibrated base mix and a stats
+// source, registering its gauges on reg. think overrides the base
+// mix's think time when positive.
+func NewMonitor(reg *obs.Registry, base workload.Mix, think float64, src Source) *Monitor {
+	m := &Monitor{prof: NewProfiler(base, think), src: src}
+	m.predTPS = reg.Gauge("replicadb_model_predicted_tps",
+		"MVA-predicted system throughput for the last observed window.")
+	m.obsTPS = reg.Gauge("replicadb_model_observed_tps",
+		"Observed system throughput over the last window.")
+	m.errTPS = reg.Gauge("replicadb_model_tps_error",
+		"Signed relative throughput residual (predicted-observed)/observed.")
+	m.predLat = reg.Gauge("replicadb_model_predicted_latency_seconds",
+		"MVA-predicted mean transaction response time.")
+	m.obsLat = reg.Gauge("replicadb_model_observed_latency_seconds",
+		"Observed mean transaction response time over the last window.")
+	m.errLat = reg.Gauge("replicadb_model_latency_error",
+		"Signed relative latency residual (predicted-observed)/observed.")
+	m.predAbort = reg.Gauge("replicadb_model_predicted_abort_rate",
+		"MVA-predicted abort probability.")
+	m.obsAbort = reg.Gauge("replicadb_model_observed_abort_rate",
+		"Observed abort fraction over the last window.")
+	m.replicas = reg.Gauge("replicadb_model_replicas",
+		"Replica count the model was evaluated at.")
+	return m
+}
+
+// Step takes one sample and, when it closes a usable window, refreshes
+// the exported residual. It returns the evaluation for callers that
+// want it (the bench watcher records the final one).
+func (m *Monitor) Step() (ModelError, bool) {
+	s, err := m.src.Sample()
+	if err != nil {
+		return ModelError{}, false
+	}
+	load, ok := m.prof.Observe(s)
+	if !ok {
+		return ModelError{}, false
+	}
+	me, ok := EvalModel(m.prof, load, load.Members)
+	if !ok {
+		return ModelError{}, false
+	}
+	m.predTPS.Set(me.PredictedTPS)
+	m.obsTPS.Set(me.ObservedTPS)
+	m.errTPS.Set(me.TPSError)
+	m.predLat.Set(me.PredictedLatency)
+	m.obsLat.Set(me.ObservedLatency)
+	m.errLat.Set(me.LatencyError)
+	m.predAbort.Set(me.PredictedAbort)
+	m.obsAbort.Set(me.ObservedAbort)
+	m.replicas.Set(float64(me.Replicas))
+	m.mu.Lock()
+	m.last, m.ok = me, true
+	m.mu.Unlock()
+	return me, true
+}
+
+// Last returns the most recent evaluation, if any window completed.
+func (m *Monitor) Last() (ModelError, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.last, m.ok
+}
+
+// Run evaluates the model every interval until stop closes.
+func (m *Monitor) Run(interval time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			m.Step()
+		}
+	}
+}

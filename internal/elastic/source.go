@@ -76,6 +76,11 @@ func (s *WireSource) Sample() (Sample, error) {
 		out.Aborts += st.Aborts
 		out.ReadNs += st.ReadNs
 		out.UpdateNs += st.UpdateNs
+		for i := range out.StageCounts {
+			out.StageCounts[i] += st.StageCounts[i]
+			out.StageNs[i] += st.StageNs[i]
+		}
+		out.Members++
 	}
 	sort.Strings(polled)
 	out.Cohort = strings.Join(polled, ",")

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/profiler"
+	"repro/internal/workload"
+)
+
+// TestModelErrorGate is the CI acceptance gate for MVA prediction
+// accuracy: it replays a fixed TPC-W matrix (every mix at several
+// replica counts) against the deterministic simulated prototype, with
+// the model's demands calibrated by the standalone profiler — the
+// same calibrate-then-predict pipeline the live residual exporter
+// (elastic.Monitor) and the autoscaler run — and fails if any point's
+// relative throughput error drifts past the paper's 15% envelope.
+// Fixed seeds make this reproducible: a failure means the model or
+// the prototype changed, not the weather.
+func TestModelErrorGate(t *testing.T) {
+	const (
+		seed    = 20260808
+		warmup  = 10
+		measure = 40
+		bound   = 0.15
+	)
+	replicas := []int{1, 2, 4, 8}
+
+	worst := 0.0
+	for _, mix := range workload.AllTPCW() {
+		params, _, err := profiler.Profile(mix, profiler.Options{
+			Seed: seed + 7, Warmup: warmup, Measure: measure,
+		})
+		if err != nil {
+			t.Fatalf("%s: profile: %v", mix.ID(), err)
+		}
+		for _, n := range replicas {
+			res, err := cluster.Run(cluster.Config{
+				Mix:      mix,
+				Design:   core.MultiMaster,
+				Replicas: n,
+				Seed:     seed + uint64(n)*1000003,
+				Warmup:   warmup,
+				Measure:  measure,
+			})
+			if err != nil {
+				t.Fatalf("%s N=%d: %v", mix.ID(), n, err)
+			}
+			pred := core.PredictMM(params, n)
+			if res.Throughput <= 0 {
+				t.Fatalf("%s N=%d: no measured throughput", mix.ID(), n)
+			}
+			rel := (pred.Throughput - res.Throughput) / res.Throughput
+			if rel < 0 {
+				rel = -rel
+			}
+			t.Logf("%s N=%d: measured %.1f tps, predicted %.1f tps, error %.1f%%",
+				mix.ID(), n, res.Throughput, pred.Throughput, rel*100)
+			if rel > worst {
+				worst = rel
+			}
+			if rel > bound {
+				t.Errorf("%s N=%d: throughput error %.1f%% exceeds the %.0f%% gate",
+					mix.ID(), n, rel*100, bound*100)
+			}
+		}
+	}
+	t.Logf("worst-case throughput error %.1f%% (gate %.0f%%)", worst*100, bound*100)
+}

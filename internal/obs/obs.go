@@ -1,0 +1,442 @@
+// Package obs is the repo's metrics registry: the one place every
+// package registers counters, gauges and histograms, and the one
+// place that knows how to render them in the Prometheus text
+// exposition format (text/plain; version=0.0.4).
+//
+// The registry is deliberately small and dependency-free. Instruments
+// are lock-free on the hot path (atomics), registration takes a lock,
+// and exposition walks the registered families in sorted name order so
+// scrapes are stable. Histograms use explicit bucket bounds and
+// produce mergeable snapshots, which is what lets per-node stage
+// histograms fold into a cluster-wide view.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one constant key=value pair attached to an instrument.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for a single label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// renderLabels turns labels into the `{k="v",...}` exposition suffix,
+// or "" with no labels. Order is preserved as given.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// mergeLabels appends extra labels inside an already-rendered label
+// set: mergeLabels(`{stage="ack"}`, `le="0.1"`) → `{stage="ack",le="0.1"}`.
+func mergeLabels(rendered, extra string) string {
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// Sample is one exposition line: a fully suffixed series name (e.g.
+// "x_bucket"), a rendered label set, and a value.
+type Sample struct {
+	Suffix string // appended to the family name ("" for the plain series)
+	Labels string // rendered label set, "" or `{k="v",...}`
+	Value  float64
+}
+
+// collector produces the current samples for one instrument.
+type collector interface {
+	collect() []Sample
+}
+
+// family groups every instrument registered under one metric name; the
+// exposition emits one HELP/TYPE header per family.
+type family struct {
+	name string
+	help string
+	typ  string
+	mu   sync.Mutex
+	cols []collector
+	seen map[string]bool // rendered label sets, to reject duplicates
+}
+
+// Registry holds registered instruments and renders them.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register attaches a collector to the named family, creating it on
+// first use. Conflicting types or duplicate label sets panic: both are
+// programming errors and would corrupt the exposition.
+func (r *Registry) register(name, help, typ, labels string, c collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, seen: make(map[string]bool)}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.typ, typ))
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.seen[labels] {
+		panic(fmt.Sprintf("obs: duplicate registration of %s%s", name, labels))
+	}
+	f.seen[labels] = true
+	f.cols = append(f.cols, c)
+}
+
+// Counter is a monotonically increasing integer counter.
+type Counter struct {
+	labels string
+	v      atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the exposition to stay monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) collect() []Sample {
+	return []Sample{{Labels: c.labels, Value: float64(c.v.Load())}}
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{labels: renderLabels(labels)}
+	r.register(name, help, "counter", c.labels, c)
+	return c
+}
+
+// Gauge is a settable float value.
+type Gauge struct {
+	labels string
+	bits   atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the current value (not atomic across racing Adds with
+// Set, but fine for single-writer gauges).
+func (g *Gauge) Add(d float64) { g.Set(g.Value() + d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) collect() []Sample {
+	return []Sample{{Labels: g.labels, Value: g.Value()}}
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{labels: renderLabels(labels)}
+	r.register(name, help, "gauge", g.labels, g)
+	return g
+}
+
+// gaugeFunc samples a callback at scrape time.
+type gaugeFunc struct {
+	labels string
+	f      func() float64
+}
+
+func (g *gaugeFunc) collect() []Sample {
+	return []Sample{{Labels: g.labels, Value: g.f()}}
+}
+
+// GaugeFunc registers a gauge whose value is read from f at scrape
+// time — the natural fit for values some other structure already
+// tracks (applied version, queue depth, membership size).
+func (r *Registry) GaugeFunc(name, help string, f func() float64, labels ...Label) {
+	g := &gaugeFunc{labels: renderLabels(labels), f: f}
+	r.register(name, help, "gauge", g.labels, g)
+}
+
+// funcCollector adapts a sample-producing callback into a family —
+// the escape hatch for series backed by external state (e.g. the
+// stats.Latency histograms the drivers already keep).
+type funcCollector struct{ f func() []Sample }
+
+func (c funcCollector) collect() []Sample { return c.f() }
+
+// CollectFunc registers a callback that produces fully formed samples
+// for the named family at scrape time. typ is the exposition TYPE
+// ("counter", "gauge", "histogram", "summary", "untyped"). The labels
+// argument only guards against duplicate registration; the callback is
+// responsible for rendering label sets on its samples.
+func (r *Registry) CollectFunc(name, help, typ string, f func() []Sample, labels ...Label) {
+	r.register(name, help, typ, renderLabels(labels), funcCollector{f})
+}
+
+// DefBuckets returns the default latency bucket bounds in seconds:
+// exponential from 25µs to ~13s (factor 2), a range that spans a
+// cached in-memory certify (~µs) through a multi-second fsync stall.
+func DefBuckets() []float64 {
+	b := make([]float64, 20)
+	v := 25e-6
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}
+
+// Histogram is a fixed-bucket histogram with atomic counts. Bounds are
+// upper bucket edges in ascending order; a +Inf bucket is implicit.
+// Observe is lock-free and safe for concurrent use.
+type Histogram struct {
+	labels  string
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1, last is the +Inf overflow
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 sum of observations (seconds)
+}
+
+// Histogram registers and returns a histogram. bounds must be sorted
+// ascending; nil selects DefBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets()
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	h := &Histogram{
+		labels: renderLabels(labels),
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.register(name, help, "histogram", h.labels, h)
+	return h
+}
+
+// Observe records one observation (in seconds).
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records one duration observation.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	return s
+}
+
+func (h *Histogram) collect() []Sample {
+	return h.Snapshot().samples(h.labels)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, usable for
+// merging across nodes and quantile estimation.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper edges, ascending (+Inf implicit)
+	Counts []uint64  // per-bucket (not cumulative), len(Bounds)+1
+	Count  uint64
+	Sum    float64
+}
+
+// Merge folds other into s. The bucket layouts must match.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) error {
+	if len(other.Bounds) != len(s.Bounds) {
+		return fmt.Errorf("obs: merge with mismatched bucket count %d != %d", len(other.Bounds), len(s.Bounds))
+	}
+	for i, b := range other.Bounds {
+		if b != s.Bounds[i] {
+			return fmt.Errorf("obs: merge with mismatched bound %v != %v", b, s.Bounds[i])
+		}
+	}
+	for i, c := range other.Counts {
+		s.Counts[i] += c
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+	return nil
+}
+
+// Quantile estimates the q-quantile by linear interpolation within the
+// containing bucket. Observations in the +Inf bucket report the top
+// finite bound.
+func (s *HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		prev := float64(cum)
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			if i >= len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			frac := (rank - prev) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(s.Bounds[i]-lo)
+		}
+	}
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// samples renders the snapshot as exposition lines with cumulative
+// bucket counts.
+func (s HistogramSnapshot) samples(labels string) []Sample {
+	out := make([]Sample, 0, len(s.Counts)+2)
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = formatFloat(s.Bounds[i])
+		}
+		out = append(out, Sample{
+			Suffix: "_bucket",
+			Labels: mergeLabels(labels, `le="`+le+`"`),
+			Value:  float64(cum),
+		})
+	}
+	out = append(out,
+		Sample{Suffix: "_sum", Labels: labels, Value: s.Sum},
+		Sample{Suffix: "_count", Labels: labels, Value: float64(s.Count)},
+	)
+	return out
+}
+
+// formatFloat renders a float the way the exposition format expects:
+// shortest representation that round-trips.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format, families sorted by name.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.mu.Lock()
+		cols := make([]collector, len(f.cols))
+		copy(cols, f.cols)
+		f.mu.Unlock()
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, c := range cols {
+			for _, s := range c.collect() {
+				fmt.Fprintf(w, "%s%s%s %s\n", f.name, s.Suffix, s.Labels, formatFloat(s.Value))
+			}
+		}
+	}
+}
+
+// Handler serves the exposition over HTTP.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.WriteText(w)
+	})
+}

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "a counter", L("kind", "read"))
+	c.Add(3)
+	c.Inc()
+	g := r.Gauge("y", "a gauge")
+	g.Set(2.5)
+	r.GaugeFunc("z", "a func gauge", func() float64 { return 7 })
+
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP x_total a counter",
+		"# TYPE x_total counter",
+		`x_total{kind="read"} 4`,
+		"# TYPE y gauge",
+		"y 2.5",
+		"z 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families must appear in sorted name order.
+	if strings.Index(out, "x_total") > strings.Index(out, "# TYPE y") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1}, L("stage", "certify"))
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // first bucket
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.05) // second bucket
+	}
+	h.Observe(5) // +Inf
+
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{stage="certify",le="0.01"} 90`,
+		`lat_seconds_bucket{stage="certify",le="0.1"} 99`,
+		`lat_seconds_bucket{stage="certify",le="1"} 99`,
+		`lat_seconds_bucket{stage="certify",le="+Inf"} 100`,
+		`lat_seconds_count{stage="certify"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got <= 0 || got > 0.01 {
+		t.Errorf("p50 = %v, want in (0, 0.01]", got)
+	}
+	if got := s.Quantile(0.95); got <= 0.01 || got > 0.1 {
+		t.Errorf("p95 = %v, want in (0.01, 0.1]", got)
+	}
+	// +Inf observations report the top finite bound.
+	if got := s.Quantile(1); got != 1 {
+		t.Errorf("p100 = %v, want 1", got)
+	}
+}
+
+func TestHistogramBoundaryLandsInLowerBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b_seconds", "", []float64{0.1, 1})
+	h.Observe(0.1) // le="0.1" is inclusive
+	s := h.Snapshot()
+	if s.Counts[0] != 1 {
+		t.Fatalf("boundary observation landed in bucket %v, want first", s.Counts)
+	}
+}
+
+func TestHistogramSnapshotMerge(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("m_seconds", "", []float64{0.01, 0.1}, L("node", "a"))
+	b := r.Histogram("m_seconds", "", []float64{0.01, 0.1}, L("node", "b"))
+	a.Observe(0.005)
+	a.Observe(0.05)
+	b.Observe(0.05)
+	b.Observe(7)
+
+	s := a.Snapshot()
+	if err := s.Merge(b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 4 {
+		t.Errorf("merged count = %d, want 4", s.Count)
+	}
+	if want := 0.005 + 0.05 + 0.05 + 7; math.Abs(s.Sum-want) > 1e-9 {
+		t.Errorf("merged sum = %v, want %v", s.Sum, want)
+	}
+	if s.Counts[1] != 2 {
+		t.Errorf("merged bucket counts = %v", s.Counts)
+	}
+
+	bad := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: make([]uint64, 3)}
+	if err := s.Merge(bad); err == nil {
+		t.Error("merge with mismatched bounds should fail")
+	}
+}
+
+func TestCollectFunc(t *testing.T) {
+	r := NewRegistry()
+	r.CollectFunc("q_seconds", "quantiles", "gauge", func() []Sample {
+		return []Sample{
+			{Labels: `{q="0.5"}`, Value: 0.001},
+			{Labels: `{q="0.99"}`, Value: 0.25},
+		}
+	})
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	if !strings.Contains(out, `q_seconds{q="0.5"} 0.001`) || !strings.Contains(out, `q_seconds{q="0.99"} 0.25`) {
+		t.Errorf("collect func samples missing:\n%s", out)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "")
+}
+
+func TestConflictingTypePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_total", "", L("a", "1"))
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting type registration did not panic")
+		}
+	}()
+	r.Gauge("t_total", "", L("a", "2"))
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("c_seconds", "", nil)
+	cnt := r.Counter("c_total", "")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.ObserveDuration(50 * time.Microsecond)
+				cnt.Inc()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			r.WriteText(&b)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Count(); got != 4000 {
+		t.Errorf("count = %d, want 4000", got)
+	}
+	if got := cnt.Value(); got != 4000 {
+		t.Errorf("counter = %d, want 4000", got)
+	}
+	s := h.Snapshot()
+	if math.Abs(s.Sum-4000*50e-6) > 1e-6 {
+		t.Errorf("sum = %v, want %v", s.Sum, 4000*50e-6)
+	}
+}
+
+func TestDefBucketsAscending(t *testing.T) {
+	b := DefBuckets()
+	if len(b) == 0 {
+		t.Fatal("no default buckets")
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("default buckets not ascending at %d: %v", i, b)
+		}
+	}
+	if b[0] > 50e-6 || b[len(b)-1] < 5 {
+		t.Errorf("default bucket range [%v, %v] too narrow", b[0], b[len(b)-1])
+	}
+}

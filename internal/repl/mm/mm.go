@@ -553,6 +553,7 @@ type Txn struct {
 	replica  *replica
 	inner    *sidb.Txn
 	snapshot int64 // global (certifier) version of the GSI snapshot
+	version  int64 // global version assigned at commit (0 until then)
 	readOnly bool
 	done     bool
 }
@@ -646,6 +647,7 @@ func (t *Txn) Commit() error {
 		t.inner.Abort()
 		return &repl.AbortedError{ConflictWith: outcome.ConflictWith}
 	}
+	t.version = outcome.Version
 	// The transaction is durably committed. Discard the local
 	// speculative state; with AsyncApply the propagation path installs
 	// the writeset, otherwise install it in version order at the
@@ -663,6 +665,12 @@ func (t *Txn) Commit() error {
 	}
 	return nil
 }
+
+// CommitVersion returns the global version a successful update commit
+// was assigned, or 0 for read-only transactions and before Commit —
+// the hook the networked server uses to stamp the ack stage on the
+// transaction's trace span.
+func (t *Txn) CommitVersion() int64 { return t.version }
 
 // Abort implements repl.Txn.
 func (t *Txn) Abort() {

@@ -52,6 +52,8 @@ type Applier struct {
 	rateAt    time.Time
 	rateTotal int64
 	rate      float64
+
+	tracer *Tracer // commit-path stage tracer (may be nil)
 }
 
 // NewApplier wraps db with an apply stage running the given number of
@@ -66,6 +68,10 @@ func NewApplier(db *sidb.DB, workers int) *Applier {
 
 // DB returns the wrapped database.
 func (a *Applier) DB() *sidb.DB { return a.db }
+
+// SetTracer attaches the stage tracer; Apply stamps batch install
+// times on it. Set once at wiring time, before the applier runs.
+func (a *Applier) SetTracer(t *Tracer) { a.tracer = t }
 
 // Workers returns the configured worker count.
 func (a *Applier) Workers() int { return a.workers }
@@ -153,11 +159,20 @@ func (a *Applier) Apply(recs []certifier.Record) int {
 	if a.workers > 1 && n > 1 {
 		sched = a.schedule(wss)
 	}
+	from := a.applied
+	var t0 time.Time
+	if a.tracer != nil {
+		t0 = time.Now()
+	}
 	applied, err := a.db.ApplyBatch(wss, sched)
 	a.applied += int64(applied)
 	a.total.Add(int64(applied))
 	if err != nil {
 		panic(fmt.Sprintf("pipeline: failed to apply version %d: %v", a.applied+1, err))
+	}
+	if a.tracer != nil {
+		end := time.Now()
+		a.tracer.ApplyBatch(from, a.applied, end.Sub(t0), end)
 	}
 	return applied
 }

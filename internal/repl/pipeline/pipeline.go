@@ -219,6 +219,7 @@ type HostCert struct {
 	Batcher *certifier.Batcher // nil without group commit
 	Notify  *Notify
 	Observe func(time.Duration) // certification latency hook (may be nil)
+	Tracer  *Tracer             // commit-path stage tracer (may be nil)
 }
 
 // Certify submits one commit-time certification request, waking
@@ -236,6 +237,7 @@ func (h *HostCert) Certify(snapshot int64, ws writeset.Writeset) (certifier.Outc
 		h.Observe(time.Since(start))
 	}
 	if err == nil && out.Committed {
+		h.Tracer.CommitSpan(out.Version, len(ws.Entries), start, time.Now())
 		h.Notify.Bump(out.Version)
 	}
 	return out, err

@@ -80,6 +80,10 @@ type engine interface {
 	paxosPrepare(b paxos.Ballot, slot int) (paxos.PrepareReply, error)
 	paxosAccept(b paxos.Ballot, slot int, v paxos.Value) (paxos.AcceptReply, error)
 	paxosLearn() (paxos.LearnReply, error)
+	// epochInfo reports the certifier election epoch (Paxos ballot
+	// round, 0 when unreplicated) and whether this node currently
+	// hosts the certification service — the /metrics failover gauges.
+	epochInfo() (int64, bool)
 	// leaderAddr maps a paxos id to its replica address for NotLeader
 	// redirects ("" when unknown or Paxos is disabled).
 	leaderAddr(id int) string
@@ -89,7 +93,14 @@ type engine interface {
 	// run is the background propagation loop (the peer link); it
 	// returns when stop closes.
 	run(stop <-chan struct{})
-	// close releases links to the primary.
+	// disconnect closes the network links to the primary and peers,
+	// failing any in-flight RPC immediately so run can observe stop.
+	// It must precede close: run may still be ingesting records when
+	// disconnect returns, but it no longer can after it exits.
+	disconnect()
+	// close releases local durable resources (WAL, paxos store). Only
+	// safe once run and every connection handler have returned —
+	// closing the WAL under an in-flight apply panics the pipeline.
 	close()
 }
 
@@ -105,6 +116,7 @@ const pollInterval = 250 * time.Millisecond
 type remoteCert struct {
 	svc mm.CertService
 	m   *metrics
+	t   *pipeline.Tracer
 }
 
 var _ mm.CertService = (*remoteCert)(nil)
@@ -113,6 +125,11 @@ func (r *remoteCert) Certify(snapshot int64, ws writeset.Writeset) (certifier.Ou
 	start := time.Now()
 	out, err := r.svc.Certify(snapshot, ws)
 	r.m.observeCert(time.Since(start))
+	if err == nil && out.Committed {
+		// The commit span at a non-host node: the certify stage spans
+		// the full network round trip to the certifier host.
+		r.t.CommitSpan(out.Version, len(ws.Entries), start, time.Now())
+	}
 	return out, err
 }
 
@@ -162,7 +179,7 @@ type mmEngine struct {
 }
 
 func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, error) {
-	e := &mmEngine{stop: stop, staleAfter: opts.StaleAfter}
+	e := &mmEngine{stop: stop, staleAfter: opts.StaleAfter, m: m}
 	var rec *wal.Recovered
 	if opts.WALDir != "" {
 		var err error
@@ -186,7 +203,6 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 			return nil, err
 		}
 		e.px = px
-		e.m = m
 		e.groupCommit = opts.GroupCommit
 		e.membership = elastic.NewMembership()
 		e.membership.SeedStatic(opts.PaxosPeers)
@@ -194,7 +210,7 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 			return e.membership.Peers()
 		}, int64(opts.GCLag))
 		e.sw = &switchCert{}
-		e.sw.set(&remoteCert{svc: px.ring, m: m})
+		e.sw.set(&remoteCert{svc: px.ring, m: m, t: m.tracer})
 		svc = e.sw
 		// The role loop applies the log (as leader) or pulls it (as
 		// backup); commits must not synchronously re-fetch the backlog.
@@ -210,11 +226,12 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 		if e.dur != nil {
 			base.SetJournal(e.dur.W)
 		}
+		base.SetStageObserver(m.tracer.CertStages())
 		var batcher *certifier.Batcher
 		if opts.GroupCommit {
 			batcher = certifier.NewBatcher(base, 0)
 		}
-		e.host = &pipeline.HostCert{Base: base, Batcher: batcher, Notify: pipeline.NewNotify(), Observe: m.observeCert}
+		e.host = &pipeline.HostCert{Base: base, Batcher: batcher, Notify: pipeline.NewNotify(), Observe: m.observeCert, Tracer: m.tracer}
 		e.membership = elastic.NewMembership()
 		switch {
 		case len(opts.Members) > 0:
@@ -238,7 +255,7 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 	} else {
 		e.link = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
 		e.puller = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
-		svc = &remoteCert{svc: e.link, m: m}
+		svc = &remoteCert{svc: e.link, m: m, t: m.tracer}
 		// The propagation loop applies writesets here; re-fetching the
 		// backlog synchronously on every commit would double the
 		// traffic for nothing.
@@ -259,6 +276,7 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 	}
 	e.cl = cl
 	e.ap = cl.Applier(0)
+	e.ap.SetTracer(m.tracer)
 	if rec != nil {
 		// Rebuild the local database from the apply stream, then (and
 		// only then) attach the journal hook — replay must not journal
@@ -285,6 +303,14 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 }
 
 func (e *mmEngine) resume() (int64, bool) { return e.resumed, e.resumeOK }
+
+func (e *mmEngine) epochInfo() (int64, bool) {
+	if e.px != nil {
+		leading, _, epoch := e.px.view()
+		return int64(epoch.Round), leading
+	}
+	return 0, e.hostCert() != nil
+}
 
 func (e *mmEngine) begin(readOnly bool) (repl.Txn, error) {
 	if readOnly {
@@ -509,6 +535,11 @@ func (e *mmEngine) maybeGC() {
 // ingest hands fetched records to the apply stage and journals the
 // cursor when any landed — the puller's sink.
 func (e *mmEngine) ingest(recs []certifier.Record) {
+	if len(recs) > 0 {
+		// Propagation-side span, sampled once per fetched batch.
+		last := recs[len(recs)-1]
+		e.m.tracer.PropagateSpan(last.Version, len(last.Writeset.Entries), time.Now())
+	}
 	if e.cl.ApplyRecords(0, recs) > 0 {
 		e.noteApplied()
 	}
@@ -602,13 +633,19 @@ func (e *mmEngine) run(stop <-chan struct{}) {
 	p.Run(stop)
 }
 
-func (e *mmEngine) close() {
+func (e *mmEngine) disconnect() {
 	if e.link != nil {
 		e.link.Close()
 	}
 	if e.puller != nil {
 		e.puller.Close()
 	}
+	if e.px != nil {
+		e.px.disconnect()
+	}
+}
+
+func (e *mmEngine) close() {
 	if e.px != nil {
 		e.px.close()
 	}
@@ -668,10 +705,12 @@ type smEngine struct {
 	ap     *pipeline.Applier // the slave's apply stage
 	link   *client.Link      // sync pulls
 	puller *client.Link      // propagation loop
+
+	m *metrics // node instruments (stage tracer)
 }
 
-func newSMEngine(opts Options, stop <-chan struct{}) (*smEngine, error) {
-	e := &smEngine{db: sidb.New(), isMaster: opts.ID == 0, stop: stop}
+func newSMEngine(opts Options, m *metrics, stop <-chan struct{}) (*smEngine, error) {
+	e := &smEngine{db: sidb.New(), isMaster: opts.ID == 0, stop: stop, m: m}
 	var rec *wal.Recovered
 	if opts.WALDir != "" {
 		var err error
@@ -704,6 +743,7 @@ func newSMEngine(opts Options, stop <-chan struct{}) (*smEngine, error) {
 		// local database version tracks exactly (the slave loaded
 		// identically and applies in commit order).
 		e.ap = pipeline.NewApplier(e.db, opts.ApplyWorkers)
+		e.ap.SetTracer(m.tracer)
 		if err := e.ap.Reset(func(int64) (int64, error) { return e.db.Version(), nil }); err != nil {
 			return nil, err
 		}
@@ -712,6 +752,8 @@ func newSMEngine(opts Options, stop <-chan struct{}) (*smEngine, error) {
 	}
 	return e, nil
 }
+
+func (e *smEngine) epochInfo() (int64, bool) { return 0, e.isMaster }
 
 func (e *smEngine) begin(readOnly bool) (repl.Txn, error) {
 	if !readOnly && !e.isMaster {
@@ -916,6 +958,10 @@ func (e *smEngine) run(stop <-chan struct{}) {
 		Cursor:   e.applied,
 		Fetch:    e.puller.FetchSince,
 		Ingest: func(recs []certifier.Record) {
+			if len(recs) > 0 {
+				last := recs[len(recs)-1]
+				e.m.tracer.PropagateSpan(last.Version, len(last.Writeset.Entries), time.Now())
+			}
 			e.ap.Apply(recs)
 			e.maybeCompact()
 		},
@@ -923,13 +969,16 @@ func (e *smEngine) run(stop <-chan struct{}) {
 	p.Run(stop)
 }
 
-func (e *smEngine) close() {
+func (e *smEngine) disconnect() {
 	if e.link != nil {
 		e.link.Close()
 	}
 	if e.puller != nil {
 		e.puller.Close()
 	}
+}
+
+func (e *smEngine) close() {
 	if e.dur != nil {
 		e.dur.W.Close()
 	}
@@ -940,6 +989,7 @@ func (e *smEngine) close() {
 type smTxn struct {
 	e        *smEngine
 	inner    *sidb.Txn
+	version  int64 // master version assigned at commit (0 until then)
 	readOnly bool
 	done     bool
 }
@@ -977,21 +1027,28 @@ func (t *smTxn) Commit() error {
 		return err
 	}
 	if !ws.Empty() {
+		t.version = version
 		if d := t.e.dur; d != nil {
 			// The writeset was journaled by the database's apply hook
 			// inside Commit; block on the group fsync before the commit
 			// is acknowledged or propagated (fail-stop on real disk
 			// failures, ambiguous outcome on a clean-shutdown race —
 			// see sm.SyncCommit).
+			syncStart := time.Now()
 			if err := sm.SyncCommit(d.W, version); err != nil {
 				return err
 			}
+			t.e.m.tracer.ObserveStage(pipeline.StageFsync, time.Since(syncStart), 1)
 		}
 		t.e.wlog.Append(version, ws)
 		t.e.notify.Bump(version)
 	}
 	return nil
 }
+
+// CommitVersion returns the master version a successful update commit
+// was assigned, or 0 for read-only transactions and before Commit.
+func (t *smTxn) CommitVersion() int64 { return t.version }
 
 func (t *smTxn) Abort() {
 	if t.done {

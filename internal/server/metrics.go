@@ -1,26 +1,38 @@
 package server
 
 import (
-	"fmt"
+	"encoding/json"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/repl/pipeline"
 	"repro/internal/stats"
 	"repro/internal/wire"
 )
 
-// metrics holds the replica server's operational counters, exposed in
-// Prometheus text format on the optional metrics listener and as
-// cumulative counters over the wire (Stats), which is what the
-// elastic controller's live profiler consumes.
+// metrics holds the replica server's operational instruments: every
+// counter, gauge and histogram registers on one obs.Registry, which
+// renders the /metrics exposition; the commit-path stage tracer hangs
+// off the same struct so the pipeline, the certifier and the dispatch
+// loop all stamp the same spans. The cumulative counters also feed
+// the wire Stats reply, which is what the elastic controller's live
+// profiler consumes.
 type metrics struct {
 	design string
 	id     int
 
-	commits     atomic.Int64
-	aborts      atomic.Int64
+	reg    *obs.Registry
+	tracer *pipeline.Tracer // nil when tracing is disabled
+
+	commits            *obs.Counter
+	aborts             *obs.Counter
+	notLeaderRedirects *obs.Counter
+	unknownOutcomes    *obs.Counter
+
 	activeConns atomic.Int64
 	activeTxns  atomic.Int64
 
@@ -36,14 +48,157 @@ type metrics struct {
 	updateLat *stats.Latency
 }
 
-func newMetrics(design string, id int) *metrics {
-	return &metrics{
+// latBounds are the explicit bucket bounds (in nanoseconds) the
+// stats.Latency-backed series expose, mirroring obs.DefBuckets.
+var latBounds = func() []int64 {
+	secs := obs.DefBuckets()
+	ns := make([]int64, len(secs))
+	for i, s := range secs {
+		ns[i] = int64(s * 1e9)
+	}
+	return ns
+}()
+
+func newMetrics(design string, id int, disableTrace bool, slowTxn time.Duration) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
 		design:    design,
 		id:        id,
+		reg:       reg,
 		certLat:   stats.NewLatency(),
 		readLat:   stats.NewLatency(),
 		updateLat: stats.NewLatency(),
 	}
+	if !disableTrace {
+		m.tracer = pipeline.NewTracer(reg, slowTxn)
+	}
+	reg.GaugeFunc("replicadb_info", "Static build/identity info.",
+		func() float64 { return 1 },
+		obs.L("design", design), obs.L("replica", strconv.Itoa(id)))
+	m.commits = reg.Counter("replicadb_commits", "Committed transactions (all classes).")
+	m.aborts = reg.Counter("replicadb_aborts", "Certification aborts observed by this node.")
+	m.notLeaderRedirects = reg.Counter("replicadb_not_leader_redirects",
+		"Requests answered with a NotLeader redirect.")
+	m.unknownOutcomes = reg.Counter("replicadb_commit_unknown_outcomes",
+		"Commits that failed without a definite verdict (outcome unknown to the client).")
+	reg.GaugeFunc("replicadb_active_connections", "Open client connections.",
+		func() float64 { return float64(m.activeConns.Load()) })
+	reg.GaugeFunc("replicadb_active_transactions", "Transactions in progress.",
+		func() float64 { return float64(m.activeTxns.Load()) })
+
+	m.latencySeries("replicadb_cert_latency_seconds",
+		"Certification round-trip latency (summary quantiles).",
+		"replicadb_cert_latency_histogram_seconds",
+		"Certification round-trip latency (bucketed).",
+		&m.certMu, func() *stats.Latency { return m.certLat })
+	m.latencySeries("replicadb_read_latency_seconds",
+		"Read-only transaction serving latency (summary quantiles).",
+		"replicadb_read_latency_histogram_seconds",
+		"Read-only transaction serving latency (bucketed).",
+		&m.txnMu, func() *stats.Latency { return m.readLat })
+	m.latencySeries("replicadb_update_latency_seconds",
+		"Update transaction serving latency (summary quantiles).",
+		"replicadb_update_latency_histogram_seconds",
+		"Update transaction serving latency (bucketed).",
+		&m.txnMu, func() *stats.Latency { return m.updateLat })
+	reg.GaugeFunc("replicadb_read_commits", "Committed read-only transactions.",
+		func() float64 { m.txnMu.Lock(); defer m.txnMu.Unlock(); return float64(m.readLat.Count()) })
+	reg.GaugeFunc("replicadb_update_commits", "Committed update transactions.",
+		func() float64 { m.txnMu.Lock(); defer m.txnMu.Unlock(); return float64(m.updateLat.Count()) })
+	reg.GaugeFunc("replicadb_cert_latency_count", "Certification round trips recorded.",
+		func() float64 { m.certMu.Lock(); defer m.certMu.Unlock(); return float64(m.certLat.Count()) })
+	reg.GaugeFunc("replicadb_cert_latency_max_seconds", "Largest certification round trip.",
+		func() float64 { m.certMu.Lock(); defer m.certMu.Unlock(); return m.certLat.Max().Seconds() })
+	return m
+}
+
+// latencySeries registers one stats.Latency-backed latency series as
+// both a Prometheus summary (p50/p95/p99 quantiles + sum + count,
+// keeping the pre-registry series names) and an explicit-bucket
+// histogram family — the drivers keep recording into the HDR
+// histogram once; the registry renders both shapes from it at scrape
+// time.
+func (m *metrics) latencySeries(summaryName, summaryHelp, histName, histHelp string, mu *sync.Mutex, lat func() *stats.Latency) {
+	m.reg.CollectFunc(summaryName, summaryHelp, "summary", func() []obs.Sample {
+		mu.Lock()
+		l := lat()
+		q50, q95, q99 := l.Quantile(0.50), l.Quantile(0.95), l.Quantile(0.99)
+		count, sum := l.Count(), l.Sum()
+		mu.Unlock()
+		return []obs.Sample{
+			{Labels: `{quantile="0.5"}`, Value: q50.Seconds()},
+			{Labels: `{quantile="0.95"}`, Value: q95.Seconds()},
+			{Labels: `{quantile="0.99"}`, Value: q99.Seconds()},
+			{Suffix: "_sum", Value: float64(sum) / 1e9},
+			{Suffix: "_count", Value: float64(count)},
+		}
+	})
+	m.reg.CollectFunc(histName, histHelp, "histogram", func() []obs.Sample {
+		mu.Lock()
+		l := lat()
+		cum := l.Cumulative(latBounds)
+		count, sum := l.Count(), l.Sum()
+		mu.Unlock()
+		out := make([]obs.Sample, 0, len(cum)+3)
+		for i, c := range cum {
+			le := strconv.FormatFloat(float64(latBounds[i])/1e9, 'g', -1, 64)
+			out = append(out, obs.Sample{Suffix: "_bucket", Labels: `{le="` + le + `"}`, Value: float64(c)})
+		}
+		out = append(out,
+			obs.Sample{Suffix: "_bucket", Labels: `{le="+Inf"}`, Value: float64(count)},
+			obs.Sample{Suffix: "_sum", Value: float64(sum) / 1e9},
+			obs.Sample{Suffix: "_count", Value: float64(count)},
+		)
+		return out
+	})
+}
+
+// bindEngine registers the engine-backed gauges; called once the
+// engine exists (the engine itself is built with the metrics struct
+// in hand, so this is a second wiring phase).
+func (m *metrics) bindEngine(eng engine) {
+	reg := m.reg
+	reg.GaugeFunc("replicadb_applied_version", "This node's applied version.",
+		func() float64 { return float64(eng.applied()) })
+	reg.GaugeFunc("replicadb_writeset_queue_depth", "Certified writesets not yet applied locally.",
+		func() float64 { return float64(eng.queueDepth()) })
+	reg.GaugeFunc("replicadb_retained_writesets", "Writesets retained for propagation.",
+		func() float64 { return float64(eng.logLen()) })
+	reg.GaugeFunc("replicadb_apply_workers", "Apply-stage worker count.",
+		func() float64 { return float64(eng.applyStats().Workers) })
+	reg.GaugeFunc("replicadb_applied_versions_total", "Versions applied since start.",
+		func() float64 { return float64(eng.applyStats().Total) })
+	reg.GaugeFunc("replicadb_apply_queue_depth", "Records admitted to the in-flight apply batch.",
+		func() float64 { return float64(eng.applyStats().Pending) })
+	reg.GaugeFunc("replicadb_apply_lag", "Newest observed version minus the applied cursor.",
+		func() float64 { return float64(eng.applyStats().Lag) })
+	reg.GaugeFunc("replicadb_applied_versions_per_sec", "Apply throughput over the recent window.",
+		func() float64 { return eng.applyStats().Rate })
+	reg.GaugeFunc("replicadb_certifier_epoch", "Certifier election epoch (Paxos ballot round).",
+		func() float64 { e, _ := eng.epochInfo(); return float64(e) })
+	reg.GaugeFunc("replicadb_certifier_leading", "1 when this node hosts the certifier.",
+		func() float64 {
+			if _, leading := eng.epochInfo(); leading {
+				return 1
+			}
+			return 0
+		})
+	reg.CollectFunc("replicadb_membership_epoch", "Elastic membership epoch.", "gauge",
+		func() []obs.Sample {
+			epoch, _, err := eng.members()
+			if err != nil {
+				return nil
+			}
+			return []obs.Sample{{Value: float64(epoch)}}
+		})
+	reg.CollectFunc("replicadb_members", "Cluster members known to this node.", "gauge",
+		func() []obs.Sample {
+			_, members, err := eng.members()
+			if err != nil {
+				return nil
+			}
+			return []obs.Sample{{Value: float64(len(members))}}
+		})
 }
 
 // observeCert records one certification round trip.
@@ -64,17 +219,18 @@ func (m *metrics) observeTxn(readOnly bool, d time.Duration) {
 	m.txnMu.Unlock()
 }
 
-// statsOK snapshots the cumulative counters for a wire Stats reply.
+// statsOK snapshots the cumulative counters for a wire Stats reply,
+// including the per-stage commit-path breakdown when tracing is on.
 func (m *metrics) statsOK(eng engine) *wire.StatsOK {
 	m.txnMu.Lock()
 	rc, rns := m.readLat.Count(), m.readLat.Sum()
 	uc, uns := m.updateLat.Count(), m.updateLat.Sum()
 	m.txnMu.Unlock()
 	ap := eng.applyStats()
-	return &wire.StatsOK{
+	ok := &wire.StatsOK{
 		ReadCommits:   rc,
 		UpdateCommits: uc,
-		Aborts:        m.aborts.Load(),
+		Aborts:        m.aborts.Value(),
 		ReadNs:        rns,
 		UpdateNs:      uns,
 		Applied:       eng.applied(),
@@ -83,52 +239,70 @@ func (m *metrics) statsOK(eng engine) *wire.StatsOK {
 		AppliedTotal:  ap.Total,
 		ApplyLag:      ap.Lag,
 	}
+	counts, nanos := m.tracer.StageTotals()
+	ok.StageCounts, ok.StageNs = counts, nanos
+	return ok
 }
 
-// handler serves the /metrics endpoint; eng supplies the live applied
-// version and writeset queue depth.
+// handler serves the metrics listener: the Prometheus exposition on
+// /metrics (and /), the slow-transaction log on /debug/slowtxns.
 func (m *metrics) handler(eng engine) http.Handler {
+	exposition := m.reg.Handler()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/metrics" && r.URL.Path != "/" {
+		switch r.URL.Path {
+		case "/metrics", "/":
+			exposition.ServeHTTP(w, r)
+		case "/debug/slowtxns":
+			m.serveSlowTxns(w)
+		default:
 			http.NotFound(w, r)
-			return
 		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		fmt.Fprintf(w, "replicadb_info{design=%q,replica=\"%d\"} 1\n", m.design, m.id)
-		fmt.Fprintf(w, "replicadb_commits %d\n", m.commits.Load())
-		fmt.Fprintf(w, "replicadb_aborts %d\n", m.aborts.Load())
-		fmt.Fprintf(w, "replicadb_active_connections %d\n", m.activeConns.Load())
-		fmt.Fprintf(w, "replicadb_active_transactions %d\n", m.activeTxns.Load())
-		fmt.Fprintf(w, "replicadb_applied_version %d\n", eng.applied())
-		fmt.Fprintf(w, "replicadb_writeset_queue_depth %d\n", eng.queueDepth())
-		fmt.Fprintf(w, "replicadb_retained_writesets %d\n", eng.logLen())
-		ap := eng.applyStats()
-		fmt.Fprintf(w, "replicadb_apply_workers %d\n", ap.Workers)
-		fmt.Fprintf(w, "replicadb_applied_versions_total %d\n", ap.Total)
-		fmt.Fprintf(w, "replicadb_apply_queue_depth %d\n", ap.Pending)
-		fmt.Fprintf(w, "replicadb_apply_lag %d\n", ap.Lag)
-		fmt.Fprintf(w, "replicadb_applied_versions_per_sec %g\n", ap.Rate)
-		if epoch, members, err := eng.members(); err == nil {
-			fmt.Fprintf(w, "replicadb_membership_epoch %d\n", epoch)
-			fmt.Fprintf(w, "replicadb_members %d\n", len(members))
-		}
-		m.certMu.Lock()
-		count := m.certLat.Count()
-		q50, q95, q99 := m.certLat.Quantile(0.50), m.certLat.Quantile(0.95), m.certLat.Quantile(0.99)
-		max := m.certLat.Max()
-		m.certMu.Unlock()
-		fmt.Fprintf(w, "replicadb_cert_latency_count %d\n", count)
-		fmt.Fprintf(w, "replicadb_cert_latency_seconds{quantile=\"0.50\"} %g\n", q50.Seconds())
-		fmt.Fprintf(w, "replicadb_cert_latency_seconds{quantile=\"0.95\"} %g\n", q95.Seconds())
-		fmt.Fprintf(w, "replicadb_cert_latency_seconds{quantile=\"0.99\"} %g\n", q99.Seconds())
-		fmt.Fprintf(w, "replicadb_cert_latency_seconds_max %g\n", max.Seconds())
-		m.txnMu.Lock()
-		fmt.Fprintf(w, "replicadb_read_commits %d\n", m.readLat.Count())
-		fmt.Fprintf(w, "replicadb_update_commits %d\n", m.updateLat.Count())
-		fmt.Fprintf(w, "replicadb_read_latency_seconds{quantile=\"0.50\"} %g\n", m.readLat.Quantile(0.50).Seconds())
-		fmt.Fprintf(w, "replicadb_read_latency_seconds{quantile=\"0.99\"} %g\n", m.readLat.Quantile(0.99).Seconds())
-		fmt.Fprintf(w, "replicadb_update_latency_seconds{quantile=\"0.50\"} %g\n", m.updateLat.Quantile(0.50).Seconds())
-		fmt.Fprintf(w, "replicadb_update_latency_seconds{quantile=\"0.99\"} %g\n", m.updateLat.Quantile(0.99).Seconds())
-		m.txnMu.Unlock()
 	})
+}
+
+// slowTxnEntry is the JSON shape of one slow-transaction span.
+type slowTxnEntry struct {
+	Version int64            `json:"version"`
+	Kind    string           `json:"kind"`
+	Keys    int              `json:"keys"`
+	Start   time.Time        `json:"start"`
+	TotalUs int64            `json:"total_us"`
+	Stages  map[string]int64 `json:"stages_us"`
+}
+
+// serveSlowTxns renders the slowest recent commit-path spans, slowest
+// first, with per-stage microsecond breakdowns.
+func (m *metrics) serveSlowTxns(w http.ResponseWriter) {
+	if m.tracer == nil {
+		http.Error(w, "tracing disabled", http.StatusNotFound)
+		return
+	}
+	spans := m.tracer.Slow()
+	out := struct {
+		ThresholdUs int64          `json:"threshold_us"`
+		Spans       []slowTxnEntry `json:"spans"`
+	}{
+		ThresholdUs: m.tracer.SlowThreshold().Microseconds(),
+		Spans:       make([]slowTxnEntry, 0, len(spans)),
+	}
+	for _, sp := range spans {
+		e := slowTxnEntry{
+			Version: sp.Version,
+			Kind:    sp.Kind,
+			Keys:    sp.Keys,
+			Start:   sp.Start,
+			TotalUs: sp.Total().Microseconds(),
+			Stages:  make(map[string]int64, pipeline.NumStages),
+		}
+		for i, d := range sp.Stages {
+			if d > 0 {
+				e.Stages[pipeline.StageNames[i]] = d.Microseconds()
+			}
+		}
+		out.Spans = append(out.Spans, e)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
 }

@@ -118,9 +118,12 @@ func newPaxosNode(opts Options) (*paxosNode, error) {
 	return px, nil
 }
 
-func (px *paxosNode) close() {
+func (px *paxosNode) disconnect() {
 	px.tr.Close()
 	px.ring.Close()
+}
+
+func (px *paxosNode) close() {
 	if px.store != nil {
 		px.store.Close()
 	}
@@ -187,11 +190,12 @@ func (e *mmEngine) promoteSelf() error {
 	if e.dur != nil {
 		cert.SetJournal(e.dur.W)
 	}
+	cert.SetStageObserver(e.m.tracer.CertStages())
 	var batcher *certifier.Batcher
 	if e.groupCommit {
 		batcher = certifier.NewBatcher(cert, 0)
 	}
-	h := &pipeline.HostCert{Base: cert, Notify: pipeline.NewNotify(), Batcher: batcher, Observe: e.m.observeCert}
+	h := &pipeline.HostCert{Base: cert, Notify: pipeline.NewNotify(), Batcher: batcher, Observe: e.m.observeCert, Tracer: e.m.tracer}
 	e.hostMu.Lock()
 	e.host = h
 	e.hostMu.Unlock()
@@ -209,7 +213,7 @@ func (e *mmEngine) stepDown(by paxos.Ballot) {
 	e.hostMu.Lock()
 	e.host = nil
 	e.hostMu.Unlock()
-	e.sw.set(&remoteCert{svc: e.px.ring, m: e.m})
+	e.sw.set(&remoteCert{svc: e.px.ring, m: e.m, t: e.m.tracer})
 	e.px.setFollower(by.Proposer, by)
 	if addr := e.px.addrOf(by.Proposer); addr != "" {
 		e.px.ring.Point(addr)

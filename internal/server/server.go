@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/certifier"
 	"repro/internal/client"
+	"repro/internal/obs"
 	"repro/internal/paxos"
 	"repro/internal/repl"
 	"repro/internal/sidb"
@@ -131,6 +132,13 @@ type Options struct {
 	// before campaigning (default 1s); node id waits an extra
 	// id*ElectTimeout/2 so elections stagger instead of colliding.
 	ElectTimeout time.Duration
+	// DisableTrace turns off commit-path stage tracing (span assembly,
+	// per-stage histograms, the slow-transaction log). Tracing is on
+	// by default; this exists to measure its overhead.
+	DisableTrace bool
+	// SlowTxn is the slow-transaction threshold for /debug/slowtxns
+	// (default pipeline.DefaultSlowTxn).
+	SlowTxn time.Duration
 }
 
 // Server is a running replica server.
@@ -236,22 +244,24 @@ func New(opts Options) (*Server, error) {
 		}
 	}
 
-	m := newMetrics(opts.Design, opts.ID)
+	m := newMetrics(opts.Design, opts.ID, opts.DisableTrace, opts.SlowTxn)
 	stop := make(chan struct{})
 	var eng engine
 	switch opts.Design {
 	case "mm":
 		eng, err = newMMEngine(opts, m, stop)
 	case "sm":
-		eng, err = newSMEngine(opts, stop)
+		eng, err = newSMEngine(opts, m, stop)
 	}
 	if err != nil {
 		ln.Close()
 		return nil, err
 	}
+	m.bindEngine(eng)
 	if snapTables != nil {
 		if err := eng.installSnapshot(snapVersion, snapTables); err != nil {
 			ln.Close()
+			eng.disconnect()
 			eng.close()
 			return nil, fmt.Errorf("server: installing snapshot: %w", err)
 		}
@@ -270,6 +280,7 @@ func New(opts Options) (*Server, error) {
 		s.httpLn, err = net.Listen("tcp", opts.MetricsAddr)
 		if err != nil {
 			ln.Close()
+			eng.disconnect()
 			eng.close()
 			return nil, err
 		}
@@ -323,6 +334,11 @@ func (s *Server) Leader() (leading bool, leader int, epoch paxos.Ballot, ok bool
 // Resumed reports the version this node's durable state was recovered
 // to at start; ok is false when the node has no WAL or started fresh.
 func (s *Server) Resumed() (version int64, ok bool) { return s.eng.resume() }
+
+// Registry returns the node's metrics registry. External components
+// (the model-residual exporter) register their gauges here so they
+// appear on this node's /metrics exposition.
+func (s *Server) Registry() *obs.Registry { return s.m.reg }
 
 // MetricsAddr returns the bound metrics address, or "" when disabled.
 func (s *Server) MetricsAddr() string {
@@ -412,8 +428,12 @@ func (s *Server) Close() error {
 	for _, nc := range conns {
 		_ = nc.Close()
 	}
-	s.eng.close()
+	// Fail the propagation loop's in-flight RPCs first, then join every
+	// goroutine, and only then release the WAL: closing it while the
+	// role loop is still ingesting a fetched batch panics the applier.
+	s.eng.disconnect()
 	s.wg.Wait()
+	s.eng.close()
 	return err
 }
 
@@ -645,19 +665,32 @@ func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
 		if st.cur == nil {
 			return noTxn()
 		}
-		err := st.cur.Commit()
+		cur := st.cur
+		err := cur.Commit()
 		st.cur = nil
 		s.m.activeTxns.Add(-1)
 		switch {
 		case err == nil:
 			s.m.commits.Add(1)
 			s.m.observeTxn(st.readOnly, time.Since(st.txStart))
+			if cv, ok := cur.(interface{ CommitVersion() int64 }); ok {
+				// Ack stamp: certification verdict to the client-visible
+				// commit acknowledgement.
+				s.m.tracer.Ack(cv.CommitVersion(), time.Now())
+			}
 			return &wire.CommitOK{Applied: s.eng.applied()}
 		case errors.Is(err, repl.ErrAborted):
 			s.m.aborts.Add(1)
 			return &wire.CommitAborted{ConflictWith: repl.ConflictWith(err)}
 		default:
-			return s.errReply(st, err)
+			reply := s.errReply(st, err)
+			if !isNotLeaderReply(reply) {
+				// The commit failed without a verdict: the client must
+				// treat the outcome as unknown (a redirect is counted
+				// separately — the new leader still decides it).
+				s.m.unknownOutcomes.Inc()
+			}
+			return reply
 		}
 
 	case *wire.Abort:
@@ -889,7 +922,20 @@ func (s *Server) errReply(st *connState, err error) wire.Message {
 	return errReply(err)
 }
 
+// isNotLeaderReply reports whether a reply is a NotLeader redirect in
+// either protocol encoding.
+func isNotLeaderReply(msg wire.Message) bool {
+	switch t := msg.(type) {
+	case *wire.NotLeader:
+		return true
+	case *wire.Err:
+		return t.Code == wire.CodeNotLeader
+	}
+	return false
+}
+
 func (s *Server) notLeaderReply(st *connState, leader int, epoch int64) wire.Message {
+	s.m.notLeaderRedirects.Inc()
 	if st.proto >= 3 {
 		return &wire.NotLeader{
 			Leader: int64(leader),

@@ -166,6 +166,40 @@ func (l *Latency) Merge(other *Latency) {
 	l.sum += other.sum
 }
 
+// Cumulative buckets the recorded observations under the given upper
+// bounds (nanoseconds, ascending): result[i] counts observations whose
+// representative bucket value is <= bounds[i]. Together with Count and
+// Sum this is exactly the shape of a Prometheus histogram with
+// explicit buckets, which is how the drivers' HDR histograms surface
+// on /metrics without re-recording every observation twice. The
+// mapping inherits the histogram's ~3% relative value error.
+func (l *Latency) Cumulative(bounds []int64) []int64 {
+	out := make([]int64, len(bounds))
+	if l.count == 0 || len(bounds) == 0 {
+		return out
+	}
+	i := 0
+	var cum int64
+	for b, c := range l.counts {
+		if c == 0 {
+			continue
+		}
+		v := latValue(b)
+		for i < len(bounds) && v > bounds[i] {
+			out[i] = cum
+			i++
+		}
+		if i == len(bounds) {
+			break
+		}
+		cum += c
+	}
+	for ; i < len(bounds); i++ {
+		out[i] = cum
+	}
+	return out
+}
+
 // Summary renders the standard percentile line used by the drivers,
 // e.g. "p50=1.2ms p95=3.4ms p99=8ms max=12ms (n=500)".
 func (l *Latency) Summary() string {

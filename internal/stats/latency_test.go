@@ -108,3 +108,28 @@ func abs(x float64) float64 {
 	}
 	return x
 }
+
+func TestLatencyCumulative(t *testing.T) {
+	l := NewLatency()
+	for i := 0; i < 10; i++ {
+		l.Record(10 * time.Microsecond)
+	}
+	for i := 0; i < 5; i++ {
+		l.Record(10 * time.Millisecond)
+	}
+	l.Record(10 * time.Second)
+	bounds := []int64{int64(time.Millisecond), int64(time.Second), int64(time.Minute)}
+	got := l.Cumulative(bounds)
+	if got[0] != 10 {
+		t.Errorf("<=1ms count = %d, want 10", got[0])
+	}
+	if got[1] != 15 {
+		t.Errorf("<=1s count = %d, want 15", got[1])
+	}
+	if got[2] != 16 {
+		t.Errorf("<=1m count = %d, want 16", got[2])
+	}
+	if empty := NewLatency().Cumulative(bounds); empty[2] != 0 {
+		t.Errorf("empty cumulative = %v, want zeros", empty)
+	}
+}

@@ -849,6 +849,13 @@ type StatsOK struct {
 	ActiveTxns    int64
 	AppliedTotal  int64
 	ApplyLag      int64
+	// StageCounts / StageNs are the commit-path stage breakdown:
+	// cumulative observation counts and summed nanoseconds, indexed
+	// by pipeline stage order (certify, paxos, journal, fsync, apply,
+	// ack — pipeline.Stage* constants). Zero everywhere when tracing
+	// is disabled at the replica.
+	StageCounts [6]int64
+	StageNs     [6]int64
 }
 
 func (*StatsOK) msgType() MsgType { return TStatsOK }
@@ -862,7 +869,14 @@ func (m *StatsOK) encode(b []byte) []byte {
 	b = appendVarint(b, m.QueueDepth)
 	b = appendVarint(b, m.ActiveTxns)
 	b = appendVarint(b, m.AppliedTotal)
-	return appendVarint(b, m.ApplyLag)
+	b = appendVarint(b, m.ApplyLag)
+	for _, c := range m.StageCounts {
+		b = appendVarint(b, c)
+	}
+	for _, ns := range m.StageNs {
+		b = appendVarint(b, ns)
+	}
+	return b
 }
 func (m *StatsOK) decode(d *decoder) {
 	m.ReadCommits = d.varint()
@@ -875,6 +889,12 @@ func (m *StatsOK) decode(d *decoder) {
 	m.ActiveTxns = d.varint()
 	m.AppliedTotal = d.varint()
 	m.ApplyLag = d.varint()
+	for i := range m.StageCounts {
+		m.StageCounts[i] = d.varint()
+	}
+	for i := range m.StageNs {
+		m.StageNs[i] = d.varint()
+	}
 }
 
 // PaxosPrepare is phase 1a of the replicated certification log

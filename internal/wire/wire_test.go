@@ -106,7 +106,10 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&Stats{},
 		&StatsOK{ReadCommits: 10, UpdateCommits: 4, Aborts: 1, ReadNs: 1e9,
 			UpdateNs: 5e8, Applied: 44, QueueDepth: 2, ActiveTxns: 3,
-			AppliedTotal: 123, ApplyLag: 7},
+			AppliedTotal: 123, ApplyLag: 7,
+			StageCounts: [6]int64{100, 0, 90, 90, 80, 100},
+			StageNs:     [6]int64{5e6, 0, 2e6, 9e6, 1e6, 3e5}},
+		&StatsOK{}, // tracing disabled: all stage fields zero
 		&PaxosPrepare{Round: 3, Proposer: 1, Slot: 12},
 		&PaxosPrepareOK{OK: true, PromisedRound: 3, PromisedProposer: 1,
 			AcceptedRound: 2, AcceptedProposer: 0, AcceptedValue: `{"Version":1}`, HasAccepted: true},
@@ -227,6 +230,30 @@ func TestRecvRejectsMalformedFrames(t *testing.T) {
 				t.Fatalf("err = %v, want %v", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestStatsOKTruncatedStages chops bytes off an encoded StatsOK frame:
+// every prefix that cuts into the stage breakdown must fail with
+// ErrTruncated, never decode into a short message.
+func TestStatsOKTruncatedStages(t *testing.T) {
+	full := &StatsOK{ReadCommits: 10, UpdateCommits: 4, Aborts: 1, ReadNs: 1e9,
+		UpdateNs: 5e8, Applied: 44, QueueDepth: 2, ActiveTxns: 3,
+		AppliedTotal: 123, ApplyLag: 7,
+		StageCounts: [6]int64{100, 11, 90, 90, 80, 100},
+		StageNs:     [6]int64{5e6, 4e4, 2e6, 9e6, 1e6, 3e5}}
+	payload := full.encode([]byte{byte(TStatsOK)})
+	// The stage fields are the final 12 varints; every one is non-zero
+	// above, so each drops at least one byte when truncated.
+	for cut := 1; cut <= 12; cut++ {
+		a, b := net.Pipe()
+		go sendRaw(a, frame(payload[:len(payload)-cut]))
+		_, err := NewConn(b).Recv()
+		a.Close()
+		b.Close()
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d bytes: err = %v, want ErrTruncated", cut, err)
+		}
 	}
 }
 
