@@ -6,9 +6,12 @@
 package cmd_test
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -17,6 +20,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // buildAll compiles the four binaries once per test binary run.
@@ -245,6 +250,60 @@ func waitReachable(t *testing.T, addr string) {
 	t.Fatalf("server at %s never came up", addr)
 }
 
+// statusOut mirrors the fields of `replicadb status -json` the e2e
+// tests assert on; unmatched JSON keys are ignored by encoding/json,
+// so the report may grow without breaking these tests.
+type statusOut struct {
+	Design     string `json:"design"`
+	Leader     int64  `json:"leader"`
+	Epoch      int64  `json:"epoch"`
+	MaxApplied int64  `json:"max_applied"`
+	Up         int    `json:"replicas_up"`
+	Polled     int    `json:"replicas_polled"`
+	Replicas   []struct {
+		Addr     string `json:"addr"`
+		ID       int64  `json:"id"`
+		Leading  bool   `json:"leading"`
+		Applied  int64  `json:"applied"`
+		Behind   int64  `json:"versions_behind"`
+		LagCount int64  `json:"repl_lag_count"`
+		Error    string `json:"error"`
+	} `json:"replicas"`
+	StageMeanUs map[string]float64 `json:"stage_mean_us"`
+}
+
+// statusJSON runs `replicadb status -json` against the given servers
+// and decodes the report.
+func statusJSON(t *testing.T, bin, servers string, extra ...string) statusOut {
+	t.Helper()
+	args := append([]string{"status", "-design", "mm", "-servers", servers, "-json"}, extra...)
+	out := run(t, bin, args...)
+	var rep statusOut
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("status -json did not emit JSON: %v\n%s", err, out)
+	}
+	return rep
+}
+
+// httpGet fetches one debug endpoint from a node's metrics listener.
+func httpGet(t *testing.T, url string) (string, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", url, resp.StatusCode, body)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
 // TestReplicadbCrashRecovery is the durability acceptance path across
 // OS processes: a 2-replica multi-master cluster serves with WALs, a
 // bench drives committed load, replica 1 is SIGKILLed, more commits
@@ -335,14 +394,17 @@ func TestReplicadbCrashRecovery(t *testing.T) {
 // TestReplicadbNetworkedCluster is the acceptance path end to end:
 // a 3-replica multi-master cluster as 3 OS processes started via
 // `replicadb serve`, a `replicadb bench` client driving a TPC-W mix
-// over TCP, and convergence verified over the wire.
+// over TCP, convergence verified over the wire, `replicadb status`
+// reporting leadership and replication lag, and every node's /metrics
+// exposition scraped and validated.
 func TestReplicadbNetworkedCluster(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries; skipped in -short mode")
 	}
 	bins := buildAll(t)
 	bin := bins["replicadb"]
-	addrs := reservePorts(t, 3)
+	ports := reservePorts(t, 6)
+	addrs, metricsAddrs := ports[:3], ports[3:]
 	peers := strings.Join(addrs, ",")
 
 	var procs []*exec.Cmd
@@ -351,7 +413,8 @@ func TestReplicadbNetworkedCluster(t *testing.T) {
 			"-design", "mm",
 			"-id", strconv.Itoa(i),
 			"-listen", addr,
-			"-peers", peers)
+			"-peers", peers,
+			"-metrics", metricsAddrs[i])
 		if err := cmd.Start(); err != nil {
 			t.Fatalf("start replica %d: %v", i, err)
 		}
@@ -372,6 +435,90 @@ func TestReplicadbNetworkedCluster(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("bench output missing %q:\n%s", want, out)
 		}
+	}
+
+	// `replicadb status -json` against the live cluster: without Paxos,
+	// node 0 hosts certification, every replica has applied the bench's
+	// versions, and the commit-to-visible lag histograms have counted
+	// remotely applied writesets.
+	rep := statusJSON(t, bin, peers)
+	if rep.Design != "mm" || rep.Up != 3 || len(rep.Replicas) != 3 {
+		t.Fatalf("status = %+v", rep)
+	}
+	if rep.Leader != 0 {
+		t.Fatalf("leader = %d, want the static certifier host 0", rep.Leader)
+	}
+	if rep.MaxApplied <= 0 {
+		t.Fatalf("max_applied = %d after a committed bench", rep.MaxApplied)
+	}
+	var lagged int
+	for _, r := range rep.Replicas {
+		if r.Error != "" {
+			t.Fatalf("replica %s down: %s", r.Addr, r.Error)
+		}
+		if r.Behind < 0 || r.Applied <= 0 {
+			t.Fatalf("replica %s apply state = %+v", r.Addr, r)
+		}
+		if r.LagCount > 0 {
+			lagged++
+		}
+	}
+	if lagged == 0 {
+		t.Fatalf("no replica observed replication lag: %+v", rep.Replicas)
+	}
+	if len(rep.StageMeanUs) == 0 {
+		t.Fatalf("status report missing stage means: %+v", rep)
+	}
+
+	// Scrape /metrics from every node and validate the exposition
+	// parses; the lag histogram family must exist everywhere and have
+	// counted applies on at least one node. The merged cluster view must
+	// also carry the summed counts.
+	var merged obs.RegistrySnapshot
+	var scrapedLag float64
+	for i, maddr := range metricsAddrs {
+		body, ctype := httpGet(t, "http://"+maddr+"/metrics")
+		if !strings.HasPrefix(ctype, "text/plain") {
+			t.Fatalf("node %d /metrics content-type = %q", i, ctype)
+		}
+		snap, err := obs.ParseText(strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("node %d exposition invalid: %v\n%s", i, err, body)
+		}
+		f := snap.Family("replicadb_replication_lag_seconds")
+		if f == nil || f.Type != "histogram" {
+			t.Fatalf("node %d lag family = %+v", i, f)
+		}
+		for _, sm := range f.Samples {
+			if sm.Suffix == "_count" {
+				scrapedLag += sm.Value
+			}
+		}
+		if err := merged.Merge(snap); err != nil {
+			t.Fatalf("merging node %d scrape: %v", i, err)
+		}
+	}
+	if scrapedLag == 0 {
+		t.Fatal("no node's scraped lag histogram counted an apply")
+	}
+	mf := merged.Family("replicadb_replication_lag_seconds")
+	var mergedLag float64
+	for _, sm := range mf.Samples {
+		if sm.Suffix == "_count" {
+			mergedLag += sm.Value
+		}
+	}
+	if mergedLag != scrapedLag {
+		t.Fatalf("merged lag count = %v, want %v", mergedLag, scrapedLag)
+	}
+
+	// The event journal endpoint answers machine-readable JSON.
+	body, ctype := httpGet(t, "http://"+metricsAddrs[0]+"/debug/events")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/debug/events content-type = %q", ctype)
+	}
+	if !json.Valid([]byte(body)) {
+		t.Fatalf("/debug/events not JSON:\n%s", body)
 	}
 
 	// Graceful shutdown on SIGTERM for one replica.
@@ -398,7 +545,8 @@ func TestReplicadbPaxosLeaderKill(t *testing.T) {
 	}
 	bins := buildAll(t)
 	bin := bins["replicadb"]
-	addrs := reservePorts(t, 3)
+	ports := reservePorts(t, 6)
+	addrs, metricsAddrs := ports[:3], ports[3:]
 	peers := strings.Join(addrs, ",")
 
 	logDir := t.TempDir()
@@ -414,6 +562,7 @@ func TestReplicadbPaxosLeaderKill(t *testing.T) {
 			"-id", strconv.Itoa(i),
 			"-listen", addr,
 			"-peers", peers,
+			"-metrics", metricsAddrs[i],
 			"-paxos",
 			"-elect-timeout", "300ms",
 			"-wal-dir", t.TempDir(),
@@ -477,5 +626,33 @@ func TestReplicadbPaxosLeaderKill(t *testing.T) {
 		"-load=false")
 	if !strings.Contains(out, "all 2 replicas identical") {
 		t.Fatalf("post-failover convergence failed:\n%s", out)
+	}
+
+	// `replicadb status -json` against the survivors must report the
+	// new leader under a fresh election epoch.
+	rep := statusJSON(t, bin, strings.Join(survivors, ","))
+	if rep.Up != 2 {
+		t.Fatalf("replicas_up = %d after losing one of three, want 2", rep.Up)
+	}
+	if rep.Leader != int64(newLead) {
+		t.Fatalf("status leader = %d, want re-elected node %d", rep.Leader, newLead)
+	}
+	if rep.Epoch < 1 {
+		t.Fatalf("epoch = %d after a re-election, want >= 1", rep.Epoch)
+	}
+	for _, r := range rep.Replicas {
+		if r.Error == "" && r.ID == int64(lead) {
+			t.Fatalf("dead leader %d still answering status: %+v", lead, r)
+		}
+	}
+
+	// The new leader's event journal must have recorded its own
+	// election, visible on /debug/events.
+	events, ctype := httpGet(t, "http://"+metricsAddrs[newLead]+"/debug/events")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/debug/events content-type = %q", ctype)
+	}
+	if !strings.Contains(events, "leader_elected") {
+		t.Fatalf("new leader's journal has no leader_elected event:\n%s", events)
 	}
 }

@@ -11,7 +11,10 @@
 //     (replica 0 hosts the certifier for mm / is the master for sm);
 //   - "bench" drives a TPC-W / RUBiS mix against a running networked
 //     cluster through the pooled client and verifies convergence over
-//     the wire.
+//     the wire;
+//   - "status" polls a running cluster and renders the operator
+//     dashboard: leadership, per-replica apply and replication lag,
+//     commit-path stage means, and the live MVA model residual.
 //
 // Usage:
 //
@@ -39,12 +42,15 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/client"
 	"repro/internal/elastic"
+	"repro/internal/obs/events"
 	"repro/internal/repl"
 	"repro/internal/repl/mm"
 	"repro/internal/repl/pipeline"
@@ -68,8 +74,10 @@ func main() {
 		serveMain(args)
 	case "bench":
 		benchMain(args)
+	case "status":
+		statusMain(args)
 	default:
-		fmt.Fprintf(os.Stderr, "replicadb: unknown mode %q (run|serve|bench)\n", mode)
+		fmt.Fprintf(os.Stderr, "replicadb: unknown mode %q (run|serve|bench|status)\n", mode)
 		os.Exit(2)
 	}
 }
@@ -247,6 +255,7 @@ func serveMain(args []string) {
 
 		autoscale  = fs.Bool("autoscale", false, "run the MVA autoscaler on this primary (mm, id 0): spawn/retire loopback replicas to track the live load")
 		modelcheck = fs.Bool("modelcheck", false, "continuously evaluate the MVA model against this cluster and export replicadb_model_* residual gauges (mm, id 0)")
+		recal      = fs.Bool("recalibrate", false, "fold live-measured commit-path stage demands into the model's calibrated profile (-autoscale and -modelcheck)")
 		minRep     = fs.Int("min", 1, "autoscaler: minimum replica count")
 		maxRep     = fs.Int("max", 4, "autoscaler: maximum replica count")
 		profMix    = fs.String("profile-mix", "tpcw-shopping", "autoscaler: standalone profile supplying the model's service demands")
@@ -426,12 +435,31 @@ func serveMain(args []string) {
 		src = elastic.NewWireSource(srv.Addr(), "mm", 2*time.Second)
 		ctl, err := elastic.NewController(elastic.Config{
 			Min: *minRep, Max: *maxRep,
-			Base:  baseMix,
-			Think: *think,
+			Base:        baseMix,
+			Think:       *think,
+			Recalibrate: *recal,
 		}, scaler, src)
 		if err != nil {
 			fatal("autoscaler: %v", err)
 		}
+		// Every attempted scaling step lands in the node's event journal
+		// with the MVA inputs that motivated it.
+		ctl.OnDecision(func(d elastic.Decision) {
+			msg := fmt.Sprintf("scale %s: %d -> %d replicas (util %.2f, ~%.0f clients)",
+				d.Direction, d.Current, d.Target, d.Util, d.Clients)
+			fields := map[string]string{
+				"direction": d.Direction,
+				"target":    strconv.Itoa(d.Target),
+				"current":   strconv.Itoa(d.Current),
+				"clients":   fmt.Sprintf("%.1f", d.Clients),
+				"util":      fmt.Sprintf("%.3f", d.Util),
+			}
+			if d.Err != nil {
+				fields["error"] = d.Err.Error()
+				msg += ": " + d.Err.Error()
+			}
+			srv.Events().Emit(events.ScaleDecision, msg, fields)
+		})
 		ctlStop = make(chan struct{})
 		go ctl.Run(ctlStop)
 		fmt.Printf("replicadb: autoscaling %d..%d replicas against the %s profile\n", *minRep, *maxRep, baseMix.ID())
@@ -442,6 +470,7 @@ func serveMain(args []string) {
 	if *modelcheck {
 		monSrc = elastic.NewWireSource(srv.Addr(), "mm", 2*time.Second)
 		mon := elastic.NewMonitor(srv.Registry(), baseMix, *think, monSrc)
+		mon.SetRecalibrate(*recal)
 		monStop = make(chan struct{})
 		go mon.Run(time.Second, monStop)
 		fmt.Printf("replicadb: exporting MVA model residuals against the %s profile\n", baseMix.ID())
@@ -672,6 +701,299 @@ func benchMain(args []string) {
 		} else if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
 			fatal("json: %v", err)
 		}
+	}
+}
+
+// statusReplica is one replica's row in a status report. A replica
+// that failed to answer the poll carries only Addr and Error.
+type statusReplica struct {
+	Addr       string  `json:"addr"`
+	ID         int64   `json:"id"`
+	Leading    bool    `json:"leading"`
+	Epoch      int64   `json:"epoch"`
+	Applied    int64   `json:"applied"`
+	Behind     int64   `json:"versions_behind"`
+	QueueDepth int64   `json:"queue_depth"`
+	ActiveTxns int64   `json:"active_txns"`
+	Commits    int64   `json:"commits"`
+	Aborts     int64   `json:"aborts"`
+	LagCount   int64   `json:"repl_lag_count"`
+	LagMeanMs  float64 `json:"repl_lag_mean_ms"`
+	LagMaxMs   float64 `json:"repl_lag_max_ms"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// statusReport is the machine-readable cluster snapshot `replicadb
+// status` renders; -json emits one document per poll.
+type statusReport struct {
+	When        string              `json:"when"`
+	Design      string              `json:"design"`
+	Leader      int64               `json:"leader"` // replica id, -1 unknown
+	Epoch       int64               `json:"epoch"`
+	MaxApplied  int64               `json:"max_applied"`
+	Up          int                 `json:"replicas_up"`
+	Polled      int                 `json:"replicas_polled"`
+	Replicas    []statusReplica     `json:"replicas"`
+	StageMeanUs map[string]float64  `json:"stage_mean_us,omitempty"`
+	Model       *elastic.ModelError `json:"model,omitempty"`
+}
+
+// statusPoller polls every known replica's Stats counters and keeps a
+// profiler across polls so watch mode reports the model residual of
+// each inter-poll window.
+type statusPoller struct {
+	design string
+	links  map[string]*client.Link
+	addrs  []string // stable poll order; grows as members are discovered
+	prof   *elastic.Profiler
+}
+
+func newStatusPoller(servers []string, design string, mix workload.Mix) *statusPoller {
+	p := &statusPoller{
+		design: design,
+		links:  make(map[string]*client.Link),
+		// The status profiler evaluates the model at think 0: the
+		// populations it infers come from closed-loop bench clients.
+		prof: elastic.NewProfiler(mix, 0),
+	}
+	for _, a := range servers {
+		p.addAddr(a)
+	}
+	return p
+}
+
+func (p *statusPoller) addAddr(addr string) {
+	if addr == "" {
+		return
+	}
+	if _, ok := p.links[addr]; ok {
+		return
+	}
+	p.links[addr] = client.NewLink(addr, p.design, -1, 2*time.Second)
+	p.addrs = append(p.addrs, addr)
+}
+
+func (p *statusPoller) close() {
+	for _, l := range p.links {
+		l.Close()
+	}
+}
+
+// poll takes one cluster snapshot. Membership is re-discovered from
+// the first replica that answers Members, so replicas that joined
+// after the -servers list was written still show up.
+func (p *statusPoller) poll() statusReport {
+	for _, addr := range p.addrs {
+		_, members, err := p.links[addr].Members()
+		if err != nil {
+			continue
+		}
+		for _, m := range members {
+			p.addAddr(m.Addr)
+		}
+		break
+	}
+
+	rep := statusReport{
+		When:   time.Now().Format(time.RFC3339),
+		Design: p.design,
+		Leader: -1,
+	}
+	sample := elastic.Sample{When: time.Now()}
+	var polled []string
+	for _, addr := range p.addrs {
+		row := statusReplica{Addr: addr}
+		st, err := p.links[addr].Stats()
+		if err != nil {
+			row.Error = err.Error()
+			rep.Replicas = append(rep.Replicas, row)
+			continue
+		}
+		row.ID = st.ReplicaID
+		row.Leading = st.Leading
+		row.Epoch = st.Epoch
+		row.Applied = st.Applied
+		row.QueueDepth = st.QueueDepth
+		row.ActiveTxns = st.ActiveTxns
+		row.Commits = st.ReadCommits + st.UpdateCommits
+		row.Aborts = st.Aborts
+		row.LagCount = st.LagCount
+		if st.LagCount > 0 {
+			row.LagMeanMs = float64(st.LagSumNs) / float64(st.LagCount) / 1e6
+		}
+		row.LagMaxMs = float64(st.LagMaxNs) / 1e6
+		if st.Leading {
+			rep.Leader = st.ReplicaID
+		}
+		if st.Epoch > rep.Epoch {
+			rep.Epoch = st.Epoch
+		}
+		if st.Applied > rep.MaxApplied {
+			rep.MaxApplied = st.Applied
+		}
+		rep.Up++
+		rep.Replicas = append(rep.Replicas, row)
+
+		polled = append(polled, addr)
+		sample.ReadCommits += st.ReadCommits
+		sample.UpdateCommits += st.UpdateCommits
+		sample.Aborts += st.Aborts
+		sample.ReadNs += st.ReadNs
+		sample.UpdateNs += st.UpdateNs
+		for i := range sample.StageCounts {
+			sample.StageCounts[i] += st.StageCounts[i]
+			sample.StageNs[i] += st.StageNs[i]
+		}
+		sample.Members++
+	}
+	rep.Polled = len(p.addrs)
+	for i := range rep.Replicas {
+		if rep.Replicas[i].Error == "" {
+			rep.Replicas[i].Behind = rep.MaxApplied - rep.Replicas[i].Applied
+		}
+	}
+	// Cumulative per-stage means across the cluster (lifetime, not
+	// windowed — status is a snapshot tool).
+	stages := make(map[string]float64, pipeline.NumStages)
+	for i := range sample.StageCounts {
+		if sample.StageCounts[i] > 0 {
+			stages[pipeline.StageNames[i]] =
+				float64(sample.StageNs[i]) / float64(sample.StageCounts[i]) / 1e3
+		}
+	}
+	if len(stages) > 0 {
+		rep.StageMeanUs = stages
+	}
+	// Model residual over the window since the previous poll (mm only;
+	// the first poll just seeds the baseline).
+	sort.Strings(polled)
+	sample.Cohort = strings.Join(polled, ",")
+	if load, ok := p.prof.Observe(sample); ok && p.design == "mm" {
+		if me, ok := elastic.EvalModel(p.prof, load, load.Members); ok {
+			rep.Model = &me
+		}
+	}
+	return rep
+}
+
+// render prints one report as an operator-facing table.
+func (r statusReport) render(w *os.File) {
+	fmt.Fprintf(w, "replicadb status @ %s — %s, %d/%d replicas up\n",
+		r.When, r.Design, r.Up, r.Polled)
+	switch {
+	case r.Leader >= 0:
+		fmt.Fprintf(w, "leader: node %d (epoch %d), max applied version %d\n",
+			r.Leader, r.Epoch, r.MaxApplied)
+	default:
+		fmt.Fprintf(w, "leader: unknown (epoch %d), max applied version %d\n",
+			r.Epoch, r.MaxApplied)
+	}
+	fmt.Fprintf(w, "%-22s %4s %-6s %9s %7s %6s %9s %7s %16s\n",
+		"addr", "id", "role", "applied", "behind", "queue", "commits", "aborts", "repl-lag avg/max")
+	for _, rep := range r.Replicas {
+		if rep.Error != "" {
+			fmt.Fprintf(w, "%-22s DOWN: %s\n", rep.Addr, rep.Error)
+			continue
+		}
+		role := "repl"
+		if rep.Leading {
+			role = "lead"
+		}
+		lag := "-"
+		if rep.LagCount > 0 {
+			lag = fmt.Sprintf("%.2f/%.2fms", rep.LagMeanMs, rep.LagMaxMs)
+		}
+		fmt.Fprintf(w, "%-22s %4d %-6s %9d %7d %6d %9d %7d %16s\n",
+			rep.Addr, rep.ID, role, rep.Applied, rep.Behind, rep.QueueDepth,
+			rep.Commits, rep.Aborts, lag)
+	}
+	if len(r.StageMeanUs) > 0 {
+		keys := make([]string, 0, len(r.StageMeanUs))
+		for k := range r.StageMeanUs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s %.0fµs", k, r.StageMeanUs[k]))
+		}
+		fmt.Fprintf(w, "stage means: %s\n", strings.Join(parts, " | "))
+	}
+	if r.Model != nil {
+		fmt.Fprintf(w, "model: predicted %.1f tps vs observed %.1f tps (residual %+.1f%%)\n",
+			r.Model.PredictedTPS, r.Model.ObservedTPS, r.Model.TPSError*100)
+	}
+}
+
+// statusMain polls a live cluster's Stats counters and renders the
+// operator dashboard: leadership, per-replica apply and replication
+// lag, commit-path stage means, and the live MVA residual.
+func statusMain(args []string) {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	var (
+		design   = fs.String("design", "mm", "replication design of the target cluster: mm or sm")
+		servers  = fs.String("servers", "", "comma-separated replica server addresses (required; membership is re-discovered from live members)")
+		profMix  = fs.String("profile-mix", "tpcw-shopping", "standalone profile supplying the model's service demands for the residual")
+		jsonOut  = fs.Bool("json", false, "emit one JSON document per poll instead of the table")
+		watch    = fs.Bool("watch", false, "poll repeatedly until interrupted")
+		interval = fs.Duration("interval", time.Second, "poll interval with -watch")
+		window   = fs.Duration("window", 0, "one-shot: wait this long between two polls so the report carries a model residual (0 skips it)")
+	)
+	fs.Parse(args)
+
+	if *design != "mm" && *design != "sm" {
+		usageExit(fs, "unknown design %q (mm|sm)", *design)
+	}
+	if *servers == "" {
+		usageExit(fs, "status requires -servers")
+	}
+	if *interval <= 0 {
+		usageExit(fs, "-interval must be positive (got %s)", *interval)
+	}
+	mix := mustMix(fs, *profMix)
+
+	p := newStatusPoller(splitAddrs(*servers), *design, mix)
+	defer p.close()
+
+	emit := func(r statusReport) {
+		if *jsonOut {
+			buf, err := json.MarshalIndent(r, "", "  ")
+			if err != nil {
+				fatal("json: %v", err)
+			}
+			os.Stdout.Write(append(buf, '\n'))
+			return
+		}
+		r.render(os.Stdout)
+	}
+
+	if *watch {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		ticker := time.NewTicker(*interval)
+		defer ticker.Stop()
+		emit(p.poll())
+		for {
+			select {
+			case <-sig:
+				return
+			case <-ticker.C:
+				if !*jsonOut {
+					fmt.Println()
+				}
+				emit(p.poll())
+			}
+		}
+	}
+
+	rep := p.poll()
+	if *window > 0 {
+		time.Sleep(*window)
+		rep = p.poll()
+	}
+	emit(rep)
+	if rep.Up == 0 {
+		fatal("status: no replica answered")
 	}
 }
 

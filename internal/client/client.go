@@ -354,7 +354,7 @@ func (c *Client) beginOn(idx int, readOnly bool) (*Txn, error) {
 		}
 		switch m := reply.(type) {
 		case *wire.BeginOK:
-			return &Txn{client: c, idx: idx, rep: rep, conn: conn, readOnly: readOnly}, nil
+			return &Txn{client: c, idx: idx, rep: rep, conn: conn, readOnly: readOnly, trace: m.Trace}, nil
 		case *wire.Err:
 			pool.put(conn)
 			return nil, &protocolError{code: m.Code, msg: fmt.Sprintf("client: begin on %s: %s", pool.addr, m.Msg)}
@@ -374,9 +374,16 @@ type Txn struct {
 	conn     *wconn
 	readOnly bool
 	done     bool
+	trace    uint64
 }
 
 var _ repl.Txn = (*Txn)(nil)
+
+// Trace returns the server-assigned trace id of this transaction, or
+// zero when the replica negotiated a pre-v4 protocol or runs with
+// tracing disabled. The id stitches the client's view of a commit to
+// the certify/apply spans exported at /debug/slowtxns on every node.
+func (t *Txn) Trace() uint64 { return t.trace }
 
 // fail tears the transaction down after a transport error: the
 // connection state is unknown, so it is discarded, and the replica is

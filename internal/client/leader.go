@@ -52,6 +52,7 @@ type LeaderRing struct {
 	links map[string]*Link // one per discovered address
 	ring  []string         // candidate addresses, seed order first
 	cur   int              // index of the current leader guess
+	meta  func(version int64, trace uint64, commitNs int64)
 }
 
 // ErrNoLeader reports that the redirect budget ran out without
@@ -122,9 +123,22 @@ func (r *LeaderRing) linkForLocked(addr string) *Link {
 	l, ok := r.links[addr]
 	if !ok {
 		l = NewLink(addr, r.design, r.peerID, r.dialTimeout)
+		l.OnRecordMeta(r.meta)
 		r.links[addr] = l
 	}
 	return l
+}
+
+// OnRecordMeta installs a per-record trace-metadata observer on every
+// link the ring has dialed or will dial (see Link.OnRecordMeta).
+// Install before the propagation loop starts.
+func (r *LeaderRing) OnRecordMeta(fn func(version int64, trace uint64, commitNs int64)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.meta = fn
+	for _, l := range r.links {
+		l.OnRecordMeta(fn)
+	}
 }
 
 // follow moves the leader guess after a NotLeaderError: directly to
@@ -214,9 +228,14 @@ func asNotLeader(err error) (NotLeaderError, bool) {
 // Certify submits a commit-time certification to the leader, following
 // redirects across a failover.
 func (r *LeaderRing) Certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error) {
+	return r.CertifyTraced(snapshot, ws, 0)
+}
+
+// CertifyTraced is Certify carrying the transaction's trace id.
+func (r *LeaderRing) CertifyTraced(snapshot int64, ws writeset.Writeset, trace uint64) (certifier.Outcome, error) {
 	var out certifier.Outcome
 	err := r.do(func(l *Link) error {
-		o, err := l.Certify(snapshot, ws)
+		o, err := l.CertifyTraced(snapshot, ws, trace)
 		if err != nil {
 			return err
 		}

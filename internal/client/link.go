@@ -22,6 +22,10 @@ import (
 // loop its own Link rather than sharing the commit path's.
 type Link struct {
 	pool *connPool
+	// meta, when set, observes the v4 per-record trace id and leader
+	// commit timestamp during FetchSince decoding (both zero on
+	// downgraded connections or untraced leaders).
+	meta func(version int64, trace uint64, commitNs int64)
 }
 
 // linkRPCDeadline bounds ordinary link RPCs so a one-way partition
@@ -40,9 +44,22 @@ func NewLink(addr, design string, peerID int, dialTimeout time.Duration) *Link {
 // polls by invalidating the pool.
 func (l *Link) Close() { l.pool.closeAll() }
 
+// OnRecordMeta installs an observer for per-record trace metadata
+// decoded from FetchSince replies. Install before the propagation loop
+// starts; the Link does not synchronize replacement.
+func (l *Link) OnRecordMeta(fn func(version int64, trace uint64, commitNs int64)) {
+	l.meta = fn
+}
+
 // Certify submits a commit-time certification request to the primary.
 func (l *Link) Certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error) {
-	reply, err := l.pool.rpc(&wire.Certify{Snapshot: snapshot, WS: ws}, linkRPCDeadline)
+	return l.CertifyTraced(snapshot, ws, 0)
+}
+
+// CertifyTraced is Certify carrying the submitting transaction's trace
+// id (protocol v4; silently dropped on downgraded connections).
+func (l *Link) CertifyTraced(snapshot int64, ws writeset.Writeset, trace uint64) (certifier.Outcome, error) {
+	reply, err := l.pool.rpc(&wire.Certify{Snapshot: snapshot, WS: ws, Trace: trace}, linkRPCDeadline)
 	if err != nil {
 		return certifier.Outcome{}, err
 	}
@@ -255,6 +272,9 @@ func (l *Link) FetchSince(v int64, wait time.Duration) ([]certifier.Record, erro
 	recs := make([]certifier.Record, len(m.Recs))
 	for i, r := range m.Recs {
 		recs[i] = certifier.Record{Version: r.Version, Writeset: r.WS}
+		if l.meta != nil && (r.Trace != 0 || r.CommitNs != 0) {
+			l.meta(r.Version, r.Trace, r.CommitNs)
+		}
 	}
 	return recs, nil
 }

@@ -229,9 +229,13 @@ func handshake(c *wconn, wantDesign string, peerID int64) error {
 	}
 	switch m := msg.(type) {
 	case *wire.HelloOK:
-		if m.Proto != wire.ProtoVersion {
+		// The server negotiates down to min(client, server); accept any
+		// version in [MinProto, ours] and pin the connection to it so
+		// version-dependent encodings (v4 trace fields) match both ends.
+		if m.Proto < wire.MinProto || m.Proto > wire.ProtoVersion {
 			return fmt.Errorf("%w: server %d, client %d", wire.ErrVersionMismatch, m.Proto, wire.ProtoVersion)
 		}
+		c.wc.SetProto(m.Proto)
 		if wantDesign != "" && m.Design != wantDesign {
 			return fmt.Errorf("client: server replica %d serves design %q, client configured for %q",
 				m.ID, m.Design, wantDesign)

@@ -57,6 +57,10 @@ type Config struct {
 	Base workload.Mix
 	// Think is the live clients' think time; zero uses Base.Think.
 	Think float64
+	// Recalibrate folds each usable window's live stage-derived
+	// service demands into the calibrated profile (EWMA), so the
+	// predictor steers with demands the real servers exhibit.
+	Recalibrate bool
 }
 
 func (c *Config) fill() error {
@@ -87,6 +91,17 @@ func (c *Config) fill() error {
 	return nil
 }
 
+// Decision describes one attempted scaling action together with the
+// MVA model inputs that motivated it, for the event journal and logs.
+type Decision struct {
+	Direction string  // "up" or "down"
+	Target    int     // computed target replica count
+	Current   int     // cluster size when the decision fired
+	Clients   float64 // live closed-loop client estimate (Little's law)
+	Util      float64 // predicted busiest-resource utilization at Current
+	Err       error   // nil when the scaler accepted the step
+}
+
 // Status is a snapshot of the controller's latest decision state.
 type Status struct {
 	Ups, Downs int // scaling operations issued
@@ -109,7 +124,20 @@ type Controller struct {
 	mu        sync.Mutex
 	lastScale time.Time
 	status    Status
+	onDecide  func(Decision)
 }
+
+// OnDecision registers a hook fired after every attempted scaling
+// step (successful or not), outside the controller's lock. At most
+// one hook; call before Run.
+func (c *Controller) OnDecision(fn func(Decision)) { c.onDecide = fn }
+
+// Recalibrate replaces the profiler's service demands with
+// live-measured per-operation demands (seconds per transaction at the
+// given resource), folding them in through the profiler's EWMA so one
+// noisy measurement window cannot whipsaw the model. Zero-valued
+// fields leave the corresponding demand untouched.
+func (c *Controller) Recalibrate(d Demands) { c.prof.Recalibrate(d) }
 
 // NewController validates the configuration and builds a controller.
 func NewController(cfg Config, scaler Scaler, src Source) (*Controller, error) {
@@ -160,6 +188,11 @@ func (c *Controller) Step(now time.Time) {
 	if !ok {
 		return
 	}
+	if c.cfg.Recalibrate {
+		if d, ok := LiveDemands(load); ok {
+			c.prof.Recalibrate(d)
+		}
+	}
 	params := c.prof.Params(load)
 	cur := c.scaler.Replicas()
 	target := Decide(c.cfg, params, load.Clients, cur)
@@ -177,9 +210,11 @@ func (c *Controller) Step(now time.Time) {
 	c.lastScale = now
 	c.mu.Unlock()
 
+	dir := "up"
 	if target > cur {
 		err = c.scaler.ScaleUp()
 	} else {
+		dir = "down"
 		err = c.scaler.ScaleDown()
 	}
 	c.mu.Lock()
@@ -190,7 +225,18 @@ func (c *Controller) Step(now time.Time) {
 	} else {
 		c.status.Downs++
 	}
+	util := c.status.Util
 	c.mu.Unlock()
+	if c.onDecide != nil {
+		c.onDecide(Decision{
+			Direction: dir,
+			Target:    target,
+			Current:   cur,
+			Clients:   load.Clients,
+			Util:      util,
+			Err:       err,
+		})
+	}
 }
 
 // maxModelClients bounds the per-replica client population fed to the

@@ -1,10 +1,23 @@
 package elastic
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/workload"
+)
+
+// Stage indexes into Sample.StageCounts and Load.StageMeans. They
+// mirror pipeline.Stage* and are kept literal so the model layer does
+// not depend on the replication pipeline.
+const (
+	stageCertify = 0
+	stagePaxos   = 1
+	stageJournal = 2
+	stageFsync   = 3
+	stageApply   = 4
+	stageAck     = 5
 )
 
 // Sample is a cumulative snapshot of cluster-wide serving counters,
@@ -71,6 +84,7 @@ type Load struct {
 // fractions, abort rate, conflict window L1, offered population) is
 // refreshed from the samples.
 type Profiler struct {
+	mu    sync.Mutex
 	base  workload.Mix
 	think float64
 	have  bool
@@ -88,7 +102,11 @@ func NewProfiler(base workload.Mix, think float64) *Profiler {
 }
 
 // Reset forgets the previous sample (after membership churn).
-func (p *Profiler) Reset() { p.have = false }
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	p.have = false
+	p.mu.Unlock()
+}
 
 // Observe folds in one cumulative sample. It returns the Load over
 // the window since the previous sample, or ok=false when there is no
@@ -97,8 +115,11 @@ func (p *Profiler) Reset() { p.have = false }
 // a counter that moved backwards. Unusable windows are discarded and
 // the baseline reset.
 func (p *Profiler) Observe(s Sample) (Load, bool) {
+	p.mu.Lock()
 	prev, had := p.prev, p.have
 	p.prev, p.have = s, true
+	think := p.think
+	p.mu.Unlock()
 	if !had || s.Cohort != prev.Cohort {
 		return Load{}, false
 	}
@@ -130,7 +151,7 @@ func (p *Profiler) Observe(s Sample) (Load, bool) {
 	// one transaction (mean response R, weighted by class) plus think.
 	if l.Throughput > 0 {
 		r := (l.MeanRead*l.ReadRate + l.MeanUpdate*l.UpdateRate) / l.Throughput
-		l.Clients = l.Throughput * (r + p.think)
+		l.Clients = l.Throughput * (r + think)
 	}
 	l.Members = s.Members
 	// Stage means are advisory: a stage counter moving backwards (a
@@ -156,8 +177,11 @@ const maxAbort = 0.5
 // and live conflict window. Mix.Clients is left at the base value —
 // the controller overrides it per candidate replica count.
 func (p *Profiler) Params(l Load) core.Params {
+	p.mu.Lock()
 	mix := p.base
-	mix.Think = p.think
+	think := p.think
+	p.mu.Unlock()
+	mix.Think = think
 	if l.Throughput > 0 {
 		mix.Pr = l.ReadRate / l.Throughput
 		mix.Pw = 1 - mix.Pr
@@ -179,4 +203,82 @@ func (p *Profiler) Params(l Load) core.Params {
 		params.L1 = core.EstimateL1(params)
 	}
 	return params
+}
+
+// Demands carries per-class service demand measurements for
+// recalibration. Zero-valued resource entries mean "no measurement":
+// Recalibrate leaves the corresponding calibrated demand untouched.
+type Demands struct {
+	RC workload.Demand // read-only transaction demand
+	WC workload.Demand // update transaction demand
+	WS workload.Demand // propagated writeset demand
+}
+
+// demandEWMA is the weight of the newest live measurement when folding
+// into the calibrated base demands. Live windows are noisy (they
+// include queueing, and short windows carry few transactions), so the
+// calibrated profile dominates and live data corrects it gradually.
+const demandEWMA = 0.3
+
+// LiveDemands derives approximate per-class service demands from one
+// observed window, using the commit-path stage breakdown exported by
+// the servers' tracers. The derivation follows the paper's resource
+// mapping (§4.1.1): certification, apply, and ack burn replica CPU,
+// while the journal append and fsync are the disk visit. Read-only
+// transactions never enter the commit path, so their whole measured
+// latency is charged to CPU — an upper bound that includes queueing
+// and therefore tightens as the system idles. ok=false when the
+// window carries no usable stage data (tracing disabled, or an idle
+// window).
+func LiveDemands(l Load) (Demands, bool) {
+	var d Demands
+	ok := false
+	if l.MeanRead > 0 {
+		d.RC[workload.CPU] = l.MeanRead
+		ok = true
+	}
+	wsCPU := l.StageMeans[stageApply]
+	wsDisk := l.StageMeans[stageJournal] + l.StageMeans[stageFsync]
+	if wsCPU > 0 || wsDisk > 0 {
+		d.WS[workload.CPU] = wsCPU
+		d.WS[workload.Disk] = wsDisk
+		ok = true
+	}
+	wcCPU := l.StageMeans[stageCertify] + l.StageMeans[stagePaxos] +
+		l.StageMeans[stageApply] + l.StageMeans[stageAck]
+	if wcCPU > 0 || wsDisk > 0 {
+		d.WC[workload.CPU] = wcCPU
+		d.WC[workload.Disk] = wsDisk
+		ok = true
+	}
+	return d, ok
+}
+
+// Recalibrate folds live-measured service demands into the calibrated
+// base profile through an EWMA, so the MVA predictor (and the residual
+// monitor built on the same profiler) runs against demands the real
+// server exhibited rather than the standalone calibration alone.
+// Zero-valued entries leave the calibrated value untouched.
+func (p *Profiler) Recalibrate(d Demands) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fold := func(base *workload.Demand, live workload.Demand) {
+		for r := range live {
+			if live[r] > 0 {
+				base[r] = (1-demandEWMA)*base[r] + demandEWMA*live[r]
+			}
+		}
+	}
+	fold(&p.base.RC, d.RC)
+	fold(&p.base.WC, d.WC)
+	fold(&p.base.WS, d.WS)
+}
+
+// Demands reports the profiler's current per-class service demands
+// (calibrated base folded with any live recalibration), for status
+// displays and tests.
+func (p *Profiler) Demands() Demands {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Demands{RC: p.base.RC, WC: p.base.WC, WS: p.base.WS}
 }

@@ -86,10 +86,23 @@ type Monitor struct {
 	predLat, obsLat, errLat       *obs.Gauge
 	predAbort, obsAbort, replicas *obs.Gauge
 
+	recal bool
+
 	mu   sync.Mutex
 	last ModelError
 	ok   bool
 }
+
+// SetRecalibrate enables live demand recalibration: every usable
+// window's stage-derived demands are folded into the profiler before
+// the model is evaluated, so the exported residual measures the model
+// the autoscaler would actually steer with — live-profiled demands,
+// not the standalone calibration alone. Call before Run.
+func (m *Monitor) SetRecalibrate(on bool) { m.recal = on }
+
+// Profiler exposes the monitor's profiler, so callers can share its
+// live-recalibrated demands (e.g. `replicadb status` renders them).
+func (m *Monitor) Profiler() *Profiler { return m.prof }
 
 // NewMonitor builds a monitor over a calibrated base mix and a stats
 // source, registering its gauges on reg. think overrides the base
@@ -128,6 +141,11 @@ func (m *Monitor) Step() (ModelError, bool) {
 	load, ok := m.prof.Observe(s)
 	if !ok {
 		return ModelError{}, false
+	}
+	if m.recal {
+		if d, ok := LiveDemands(load); ok {
+			m.prof.Recalibrate(d)
+		}
 	}
 	me, ok := EvalModel(m.prof, load, load.Members)
 	if !ok {

@@ -1,0 +1,152 @@
+package events
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestJournalBasics(t *testing.T) {
+	j := NewJournal(2, 4)
+	if j.Len() != 0 || j.Emitted() != 0 || len(j.Recent(0)) != 0 {
+		t.Fatal("fresh journal not empty")
+	}
+	j.Emit(LeaderElected, "won", map[string]string{"epoch": "1"})
+	j.Emit(MemberJoined, "j1", nil)
+	evs := j.Recent(0)
+	if len(evs) != 2 {
+		t.Fatalf("Recent = %d events, want 2", len(evs))
+	}
+	// Newest first.
+	if evs[0].Type != MemberJoined || evs[1].Type != LeaderElected {
+		t.Fatalf("order wrong: %v, %v", evs[0].Type, evs[1].Type)
+	}
+	if evs[1].Node != 2 || evs[1].Fields["epoch"] != "1" || evs[1].Msg != "won" {
+		t.Fatalf("event fields wrong: %+v", evs[1])
+	}
+	if evs[0].Seq <= evs[1].Seq {
+		t.Fatalf("seq not increasing: %d then %d", evs[1].Seq, evs[0].Seq)
+	}
+}
+
+func TestJournalRingOverwrite(t *testing.T) {
+	j := NewJournal(0, 4)
+	for i := 0; i < 10; i++ {
+		j.Emit(SlowTxn, strconv.Itoa(i), nil)
+	}
+	if j.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", j.Len())
+	}
+	if j.Emitted() != 10 {
+		t.Fatalf("Emitted = %d, want 10", j.Emitted())
+	}
+	evs := j.Recent(0)
+	for i, want := range []string{"9", "8", "7", "6"} {
+		if evs[i].Msg != want {
+			t.Fatalf("Recent[%d] = %q, want %q", i, evs[i].Msg, want)
+		}
+	}
+	if got := j.Recent(2); len(got) != 2 || got[0].Msg != "9" || got[1].Msg != "8" {
+		t.Fatalf("Recent(2) = %+v", got)
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.SetObserver(func(Type) {})
+	j.Emit(LeaderLost, "x", nil)
+	if j.Len() != 0 || j.Emitted() != 0 || j.Recent(5) != nil {
+		t.Fatal("nil journal not inert")
+	}
+}
+
+// TestJournalConcurrentEmitters hammers one journal from many
+// goroutines (run under -race in CI): the ring must stay bounded, the
+// emit counter exact, the observer called once per emit, and every
+// retained event internally consistent.
+func TestJournalConcurrentEmitters(t *testing.T) {
+	const (
+		workers = 8
+		each    = 500
+		cap     = 64
+	)
+	j := NewJournal(1, cap)
+	var observed atomic.Int64
+	j.SetObserver(func(Type) { observed.Add(1) })
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			typ := Types[w%len(Types)]
+			for i := 0; i < each; i++ {
+				j.Emit(typ, "m", map[string]string{"w": strconv.Itoa(w)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := j.Emitted(); got != workers*each {
+		t.Fatalf("Emitted = %d, want %d", got, workers*each)
+	}
+	if got := observed.Load(); got != workers*each {
+		t.Fatalf("observer ran %d times, want %d", got, workers*each)
+	}
+	if j.Len() != cap {
+		t.Fatalf("Len = %d, want %d", j.Len(), cap)
+	}
+	evs := j.Recent(0)
+	if len(evs) != cap {
+		t.Fatalf("Recent = %d events, want %d", len(evs), cap)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq >= evs[i-1].Seq {
+			t.Fatalf("Recent not newest-first at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	for _, e := range evs {
+		if e.Node != 1 || e.Msg != "m" || e.Fields["w"] == "" {
+			t.Fatalf("torn event: %+v", e)
+		}
+	}
+}
+
+func TestMergeTimeline(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	n0 := []Event{
+		{Seq: 1, Time: base, Type: LeaderElected, Node: 0},
+		{Seq: 2, Time: base.Add(2 * time.Second), Type: LeaderLost, Node: 0},
+	}
+	n1 := []Event{
+		{Seq: 1, Time: base.Add(time.Second), Type: MemberJoined, Node: 1},
+		{Seq: 2, Time: base.Add(2 * time.Second), Type: LeaderElected, Node: 1},
+	}
+	got := Merge(n1, n0)
+	want := []struct {
+		node int
+		typ  Type
+	}{
+		{0, LeaderElected},
+		{1, MemberJoined},
+		{0, LeaderLost}, // time tie at +2s: node 0 before node 1
+		{1, LeaderElected},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d events, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Node != w.node || got[i].Type != w.typ {
+			t.Fatalf("merged[%d] = node %d %s, want node %d %s",
+				i, got[i].Node, got[i].Type, w.node, w.typ)
+		}
+	}
+	// Within one node the seq order must survive the merge.
+	lastSeq := map[int]int64{}
+	for _, e := range got {
+		if e.Seq <= lastSeq[e.Node] {
+			t.Fatalf("node %d seq order broken", e.Node)
+		}
+		lastSeq[e.Node] = e.Seq
+	}
+}

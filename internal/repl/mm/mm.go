@@ -44,6 +44,15 @@ type CertService interface {
 	Since(v int64) []certifier.Record
 }
 
+// TracedCertService is optionally implemented by certification
+// services that carry a cross-node trace id with each request
+// (pipeline.HostCert locally, the wire Link/LeaderRing remotely). The
+// cluster routes through it when available so commit-path spans stitch
+// across nodes; plain CertServices keep working untraced.
+type TracedCertService interface {
+	CertifyTraced(snapshot int64, ws writeset.Writeset, trace uint64) (certifier.Outcome, error)
+}
+
 // Options configure a multi-master cluster.
 type Options struct {
 	// Replicas is the number of database replicas (>= 1).
@@ -180,10 +189,14 @@ func New(opts Options) (*Cluster, error) {
 }
 
 // certify submits one commit-time certification request, through the
-// group-commit batcher when enabled.
-func (c *Cluster) certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error) {
+// group-commit batcher when enabled, forwarding the transaction's
+// trace id when the service accepts one.
+func (c *Cluster) certify(snapshot int64, ws writeset.Writeset, trace uint64) (certifier.Outcome, error) {
 	if c.batcher != nil {
 		return c.batcher.Certify(snapshot, ws)
+	}
+	if tc, ok := c.cert.(TracedCertService); ok {
+		return tc.CertifyTraced(snapshot, ws, trace)
 	}
 	return c.cert.Certify(snapshot, ws)
 }
@@ -552,11 +565,17 @@ type Txn struct {
 	cluster  *Cluster
 	replica  *replica
 	inner    *sidb.Txn
-	snapshot int64 // global (certifier) version of the GSI snapshot
-	version  int64 // global version assigned at commit (0 until then)
+	snapshot int64  // global (certifier) version of the GSI snapshot
+	version  int64  // global version assigned at commit (0 until then)
+	trace    uint64 // cross-node trace id (0 untraced)
 	readOnly bool
 	done     bool
 }
+
+// SetTrace attaches the transaction's cross-node trace id; the commit
+// path forwards it to the certification service so spans stitch
+// end-to-end. Call before Commit.
+func (t *Txn) SetTrace(trace uint64) { t.trace = trace }
 
 var _ repl.Txn = (*Txn)(nil)
 
@@ -638,7 +657,7 @@ func (t *Txn) Commit() error {
 		return err
 	}
 	snapshot := t.snapshot
-	outcome, err := t.cluster.certify(snapshot, ws)
+	outcome, err := t.cluster.certify(snapshot, ws, t.trace)
 	if err != nil {
 		t.inner.Abort()
 		return err

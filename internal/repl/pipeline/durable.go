@@ -41,6 +41,10 @@ type Durability struct {
 	W            Log
 	compactAfter int64
 	lastCursor   atomic.Int64
+	// OnCompact, when set, observes every compaction attempt with the
+	// segment size before and after the rewrite — the event journal's
+	// WAL-compaction feed. Set before traffic; not synchronized.
+	OnCompact func(sizeBefore, sizeAfter int64)
 	// compactMu makes a snapshot capture and the WAL rewrite around it
 	// one atomic unit (see MaybeCompact).
 	compactMu sync.Mutex
@@ -143,8 +147,13 @@ func (d *Durability) MaybeCompact(capture func() (base, snapGlobal, snapLocal, k
 	for name := range state {
 		names = append(names, name)
 	}
+	sizeBefore := d.W.Size()
 	_ = d.W.Compact(base, snapGlobal, snapLocal, keepApplies, names, state)
 	// Record the post-attempt size whether or not the rewrite shrank
 	// (or succeeded at all): due() only re-arms after real growth.
-	d.lastCompact.Store(d.W.Size())
+	sizeAfter := d.W.Size()
+	d.lastCompact.Store(sizeAfter)
+	if d.OnCompact != nil {
+		d.OnCompact(sizeBefore, sizeAfter)
+	}
 }

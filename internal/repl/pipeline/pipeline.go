@@ -225,6 +225,15 @@ type HostCert struct {
 // Certify submits one commit-time certification request, waking
 // long-pollers on commit.
 func (h *HostCert) Certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error) {
+	return h.CertifyTraced(snapshot, ws, 0)
+}
+
+// CertifyTraced is Certify carrying the submitting transaction's
+// cross-node trace id (0 for untraced callers). On commit the host
+// stamps the authoritative commit wall-clock and records both against
+// the assigned version, which is what propagated Records carry to the
+// replicas and what the replication-lag observer measures against.
+func (h *HostCert) CertifyTraced(snapshot int64, ws writeset.Writeset, trace uint64) (certifier.Outcome, error) {
 	start := time.Now()
 	var out certifier.Outcome
 	var err error
@@ -237,7 +246,9 @@ func (h *HostCert) Certify(snapshot int64, ws writeset.Writeset) (certifier.Outc
 		h.Observe(time.Since(start))
 	}
 	if err == nil && out.Committed {
-		h.Tracer.CommitSpan(out.Version, len(ws.Entries), start, time.Now())
+		done := time.Now()
+		h.Tracer.NoteCommitMeta(out.Version, trace, done.UnixNano())
+		h.Tracer.CommitSpan(out.Version, len(ws.Entries), start, done)
 		h.Notify.Bump(out.Version)
 	}
 	return out, err

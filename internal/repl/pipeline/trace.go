@@ -51,8 +51,9 @@ var stageIndex = map[string]int{"paxos": StagePaxos, "journal": StageJournal, "f
 // update stream).
 type Span struct {
 	Version int64     `json:"version"`
-	Kind    string    `json:"kind"` // "commit" or "propagate"
-	Keys    int       `json:"keys"` // writeset entries
+	Kind    string    `json:"kind"`            // "commit" or "propagate"
+	Keys    int       `json:"keys"`            // writeset entries
+	Trace   uint64    `json:"trace,omitempty"` // cross-node trace id (0 when unknown)
 	Start   time.Time `json:"start"`
 	// Stages holds elapsed nanoseconds per stage, indexed by the
 	// Stage* constants; zero means the stage was not traversed (or
@@ -98,11 +99,44 @@ type Tracer struct {
 	pendOrder []int64
 	recent    spanRing
 	slowRing  spanRing
+
+	// meta is the bounded version → cross-node trace metadata map:
+	// the trace id the transaction carried on the wire and the
+	// certifier leader's commit wall-clock (UnixNano). Written by the
+	// certification path (host) or the FetchSince decoder (replicas),
+	// read by span assembly and the replication-lag observer.
+	meta      map[int64]commitMeta
+	metaOrder []int64
+
+	// lagObs, when set, observes commit-to-visible replication lag for
+	// every applied version whose commit timestamp is known.
+	lagObs func(time.Duration)
+
+	// stallObs, when set, observes any single stage wait at or above
+	// the slow threshold — the event journal's fsync-stall feed.
+	stallObs func(stage int, d time.Duration)
+
+	// slowObs, when set, observes every finalized span at or above the
+	// slow threshold. Called under the tracer lock: the hook must be
+	// cheap and must not call back into the Tracer.
+	slowObs func(sp Span)
+
+	lagCount atomic.Int64
+	lagSumNs atomic.Int64
+	lagMaxNs atomic.Int64
+}
+
+// commitMeta is a transaction's cross-node identity: its wire trace id
+// and the certifier leader's commit wall-clock (UnixNano, 0 unknown).
+type commitMeta struct {
+	trace    uint64
+	commitNs int64
 }
 
 const (
 	maxOpen    = 4096
 	maxPending = 4096
+	maxMeta    = 4096
 	recentCap  = 256
 	slowCap    = 64
 	// DefaultSlowTxn is the default slow-transaction threshold.
@@ -120,6 +154,7 @@ func NewTracer(reg *obs.Registry, slow time.Duration) *Tracer {
 		slow:     slow,
 		open:     make(map[int64]*Span),
 		pending:  make(map[int64][NumStages]time.Duration),
+		meta:     make(map[int64]commitMeta),
 		recent:   spanRing{buf: make([]*Span, recentCap)},
 		slowRing: spanRing{buf: make([]*Span, slowCap)},
 	}
@@ -146,6 +181,29 @@ func (t *Tracer) observe(stage int, d time.Duration, n int) {
 	}
 	t.counts[stage].Add(int64(n))
 	t.nanos[stage].Add(int64(d))
+	if t.stallObs != nil && d >= t.slow {
+		t.stallObs(stage, d)
+	}
+}
+
+// SetStallObserver installs the per-stage stall hook, fired whenever a
+// single stage wait reaches the slow threshold. Install before
+// traffic; the Tracer does not synchronize replacement.
+func (t *Tracer) SetStallObserver(fn func(stage int, d time.Duration)) {
+	if t == nil {
+		return
+	}
+	t.stallObs = fn
+}
+
+// SetSlowObserver installs the slow-span hook, fired once per
+// finalized span at or above the slow threshold. The hook runs under
+// the tracer lock: keep it cheap and do not call back into the Tracer.
+func (t *Tracer) SetSlowObserver(fn func(sp Span)) {
+	if t == nil {
+		return
+	}
+	t.slowObs = fn
 }
 
 // ObserveStage records one stage observation (d covering n writesets)
@@ -204,6 +262,94 @@ func (t *Tracer) CertStages() func(stage string, versions []int64, d time.Durati
 	}
 }
 
+// NoteCommitMeta records a version's cross-node trace metadata: the
+// trace id the transaction carried and the certifier leader's commit
+// wall-clock (UnixNano). Nonzero fields win over zero on merge, so
+// the certification path (trace known, timestamp stamped at the
+// leader) and the FetchSince decoder (both relayed) compose. The map
+// is bounded; span assembly and the lag observer read it.
+func (t *Tracer) NoteCommitMeta(version int64, trace uint64, commitNs int64) {
+	if t == nil || version <= 0 || (trace == 0 && commitNs == 0) {
+		return
+	}
+	t.mu.Lock()
+	m, ok := t.meta[version]
+	if !ok {
+		if len(t.metaOrder) >= maxMeta {
+			delete(t.meta, t.metaOrder[0])
+			t.metaOrder = t.metaOrder[1:]
+		}
+		t.metaOrder = append(t.metaOrder, version)
+	}
+	if trace != 0 {
+		m.trace = trace
+	}
+	if commitNs != 0 {
+		m.commitNs = commitNs
+	}
+	t.meta[version] = m
+	// A span already open for this version (apply racing ahead of the
+	// meta arriving is the common order on the host) picks the id up.
+	if sp := t.open[version]; sp != nil && sp.Trace == 0 {
+		sp.Trace = m.trace
+	}
+	t.mu.Unlock()
+}
+
+// CommitMeta returns a version's recorded trace id and leader commit
+// timestamp (zero values when unknown) — the FetchSince reply fill.
+func (t *Tracer) CommitMeta(version int64) (trace uint64, commitNs int64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	m := t.meta[version]
+	t.mu.Unlock()
+	return m.trace, m.commitNs
+}
+
+// SetLagObserver installs the commit-to-visible replication-lag hook,
+// fired once per applied version whose leader commit timestamp is
+// known. Install before traffic; the Tracer does not synchronize
+// replacement.
+func (t *Tracer) SetLagObserver(fn func(time.Duration)) {
+	if t == nil {
+		return
+	}
+	t.lagObs = fn
+}
+
+// LagTotals returns the cumulative replication-lag observations:
+// count, summed nanoseconds, and the worst single observation — the
+// wire Stats reply's lag block.
+func (t *Tracer) LagTotals() (count, sumNs, maxNs int64) {
+	if t == nil {
+		return
+	}
+	return t.lagCount.Load(), t.lagSumNs.Load(), t.lagMaxNs.Load()
+}
+
+// observeLag records one commit-to-visible lag observation. Lag is
+// measured across machines (leader commit clock vs local apply clock),
+// so clock skew can drive it negative; clamp at zero rather than
+// poisoning the histogram.
+func (t *Tracer) observeLag(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.lagCount.Add(1)
+	t.lagSumNs.Add(int64(d))
+	for {
+		cur := t.lagMaxNs.Load()
+		if int64(d) <= cur || t.lagMaxNs.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	if t.lagObs != nil {
+		t.lagObs(d)
+	}
+}
+
 // CommitSpan opens the commit span for a freshly certified writeset:
 // start is when the submitting node enqueued the certification
 // request, done is when the verdict returned. The measured sub-stages
@@ -216,6 +362,7 @@ func (t *Tracer) CommitSpan(version int64, keys int, start, done time.Time) {
 	}
 	sp := &Span{Version: version, Kind: "commit", Keys: keys, Start: start, ackStart: done}
 	t.mu.Lock()
+	sp.Trace = t.meta[version].trace
 	if st, ok := t.pending[version]; ok {
 		sp.Stages = st
 		delete(t.pending, version)
@@ -241,6 +388,7 @@ func (t *Tracer) PropagateSpan(version int64, keys int, fetched time.Time) {
 	}
 	sp := &Span{Version: version, Kind: "propagate", Keys: keys, Start: fetched}
 	t.mu.Lock()
+	sp.Trace = t.meta[version].trace
 	if _, exists := t.open[version]; !exists {
 		t.insertOpenLocked(version, sp)
 	}
@@ -272,11 +420,21 @@ func (t *Tracer) ApplyBatch(from, to int64, d time.Duration, end time.Time) {
 		return
 	}
 	t.observe(StageApply, d, int(to-from))
+	var lags []time.Duration
 	t.mu.Lock()
 	for v := from + 1; v <= to; v++ {
+		if m := t.meta[v]; m.commitNs > 0 {
+			// Commit-to-visible replication lag: leader commit clock to
+			// local apply completion (cross-machine, clamped in
+			// observeLag against clock skew).
+			lags = append(lags, end.Sub(time.Unix(0, m.commitNs)))
+		}
 		sp := t.open[v]
 		if sp == nil {
 			continue
+		}
+		if sp.Trace == 0 {
+			sp.Trace = t.meta[v].trace
 		}
 		sp.Stages[StageApply] = d
 		if sp.Kind == "propagate" {
@@ -286,6 +444,9 @@ func (t *Tracer) ApplyBatch(from, to int64, d time.Duration, end time.Time) {
 		}
 	}
 	t.mu.Unlock()
+	for _, lag := range lags {
+		t.observeLag(lag)
+	}
 }
 
 // Ack completes a commit span: the client-visible acknowledgement for
@@ -336,6 +497,9 @@ func (t *Tracer) finalizeLocked(sp *Span) {
 	t.recent.push(sp)
 	if sp.Total() >= t.slow {
 		t.slowRing.push(sp)
+		if t.slowObs != nil {
+			t.slowObs(*sp)
+		}
 	}
 }
 

@@ -361,6 +361,9 @@ func TestV1PeerRejectsMembershipMessages(t *testing.T) {
 	if !ok || hello.Proto != 1 {
 		t.Fatalf("handshake did not negotiate down to v1: %+v", reply)
 	}
+	// Frame at the negotiated version, as any correct client does —
+	// v1 messages carry none of the v4 trace fields.
+	wc.SetProto(hello.Proto)
 
 	for _, msg := range []wire.Message{&wire.Members{}, &wire.Join{Addr: "x"}, &wire.Leave{ID: 1}, &wire.SnapshotReq{}, &wire.Stats{}} {
 		_ = nc.SetDeadline(time.Now().Add(2 * time.Second)) // a hang fails the test, not the suite

@@ -3,12 +3,14 @@ package server
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/certifier"
 	"repro/internal/client"
 	"repro/internal/elastic"
+	"repro/internal/obs/events"
 	"repro/internal/paxos"
 	"repro/internal/repl"
 	"repro/internal/repl/mm"
@@ -52,8 +54,9 @@ type engine interface {
 	// errUnsupported unless this node is the primary. peer is the
 	// requester's replica id (negative for non-peer clients):
 	// long-poll cursors are tracked per replica so the primary can
-	// garbage-collect what everyone applied.
-	certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error)
+	// garbage-collect what everyone applied. trace is the submitting
+	// transaction's cross-node trace id (0 untraced).
+	certify(snapshot int64, ws writeset.Writeset, trace uint64) (certifier.Outcome, error)
 	check(snapshot int64, ws writeset.Writeset) (bool, int64, error)
 	fetchSince(peer int64, v int64, wait time.Duration) ([]certifier.Record, error)
 	// peerGone drops a peer's propagation cursor when its connection
@@ -120,15 +123,33 @@ type remoteCert struct {
 }
 
 var _ mm.CertService = (*remoteCert)(nil)
+var _ mm.TracedCertService = (*remoteCert)(nil)
 
 func (r *remoteCert) Certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error) {
+	return r.CertifyTraced(snapshot, ws, 0)
+}
+
+// CertifyTraced forwards the transaction's trace id over the wire
+// (protocol v4; dropped on downgraded links) so the certifier host can
+// stitch its certify/paxos/journal/fsync spans under the same id.
+func (r *remoteCert) CertifyTraced(snapshot int64, ws writeset.Writeset, trace uint64) (certifier.Outcome, error) {
 	start := time.Now()
-	out, err := r.svc.Certify(snapshot, ws)
+	var out certifier.Outcome
+	var err error
+	if tc, ok := r.svc.(mm.TracedCertService); ok {
+		out, err = tc.CertifyTraced(snapshot, ws, trace)
+	} else {
+		out, err = r.svc.Certify(snapshot, ws)
+	}
 	r.m.observeCert(time.Since(start))
 	if err == nil && out.Committed {
 		// The commit span at a non-host node: the certify stage spans
-		// the full network round trip to the certifier host.
-		r.t.CommitSpan(out.Version, len(ws.Entries), start, time.Now())
+		// the full network round trip to the certifier host. The trace
+		// id binds locally too; the authoritative commit timestamp
+		// arrives later with the propagated record.
+		done := time.Now()
+		r.t.NoteCommitMeta(out.Version, trace, 0)
+		r.t.CommitSpan(out.Version, len(ws.Entries), start, done)
 	}
 	return out, err
 }
@@ -186,6 +207,7 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 		if e.dur, rec, err = openDurability(opts); err != nil {
 			return nil, err
 		}
+		e.dur.OnCompact = m.compactEvent
 	}
 	var svc mm.CertService
 	async := false
@@ -212,6 +234,10 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 		e.sw = &switchCert{}
 		e.sw.set(&remoteCert{svc: px.ring, m: m, t: m.tracer})
 		svc = e.sw
+		// Backup-side propagation decodes the leader's trace id and
+		// commit timestamp per record; feed them to the tracer so
+		// replication lag is measured against the leader's clock.
+		px.ring.OnRecordMeta(m.tracer.NoteCommitMeta)
 		// The role loop applies the log (as leader) or pulls it (as
 		// backup); commits must not synchronously re-fetch the backlog.
 		async = true
@@ -255,6 +281,7 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 	} else {
 		e.link = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
 		e.puller = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
+		e.puller.OnRecordMeta(m.tracer.NoteCommitMeta)
 		svc = &remoteCert{svc: e.link, m: m, t: m.tracer}
 		// The propagation loop applies writesets here; re-fetching the
 		// backlog synchronously on every commit would double the
@@ -370,7 +397,7 @@ func (e *mmEngine) applyStats() pipeline.ApplyStats {
 	return e.ap.Stats()
 }
 
-func (e *mmEngine) certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error) {
+func (e *mmEngine) certify(snapshot int64, ws writeset.Writeset, trace uint64) (certifier.Outcome, error) {
 	h := e.hostCert()
 	if h == nil {
 		if e.px != nil {
@@ -378,7 +405,7 @@ func (e *mmEngine) certify(snapshot int64, ws writeset.Writeset) (certifier.Outc
 		}
 		return certifier.Outcome{}, errUnsupported
 	}
-	return h.Certify(snapshot, ws)
+	return h.CertifyTraced(snapshot, ws, trace)
 }
 
 func (e *mmEngine) check(snapshot int64, ws writeset.Writeset) (bool, int64, error) {
@@ -449,6 +476,9 @@ func (e *mmEngine) join(addr string) (*wire.JoinOK, error) {
 		return nil, errUnsupported
 	}
 	id, epoch, members := e.membership.Join(addr, time.Now())
+	e.m.events.Emit(events.MemberJoined,
+		fmt.Sprintf("admitted replica %d at %s (epoch %d)", id, addr, epoch),
+		map[string]string{"replica": strconv.FormatInt(id, 10), "addr": addr, "epoch": strconv.FormatInt(epoch, 10)})
 	return &wire.JoinOK{ID: id, Epoch: epoch, Members: members}, nil
 }
 
@@ -466,6 +496,9 @@ func (e *mmEngine) leave(id int64) error {
 	}
 	e.membership.Leave(id)
 	e.cursors.Drop(id)
+	e.m.events.Emit(events.MemberLeft,
+		fmt.Sprintf("replica %d deregistered", id),
+		map[string]string{"replica": strconv.FormatInt(id, 10)})
 	return nil
 }
 
@@ -518,6 +551,17 @@ func (e *mmEngine) selfLeave(id int64) error {
 		return errUnsupported
 	}
 	return e.link.Leave(id)
+}
+
+// evictStale evicts elastic members that stopped proving liveness and
+// drops their cursors, journaling each eviction.
+func (e *mmEngine) evictStale() {
+	for _, id := range e.membership.EvictStale(time.Now(), e.staleAfter) {
+		e.cursors.Drop(id)
+		e.m.events.Emit(events.MemberEvicted,
+			fmt.Sprintf("evicted silent replica %d after %s", id, e.staleAfter),
+			map[string]string{"replica": strconv.FormatInt(id, 10)})
+	}
 }
 
 // maybeGC prunes the certification log up to what every replica
@@ -612,9 +656,7 @@ func (e *mmEngine) run(stop <-chan struct{}) {
 			// joiner that crashed mid-state-transfer, or a replica
 			// that died without a Leave. Their ghost cursors would
 			// otherwise block certification-log GC forever.
-			for _, id := range e.membership.EvictStale(time.Now(), e.staleAfter) {
-				e.cursors.Drop(id)
-			}
+			e.evictStale()
 		}
 	}
 	p := &pipeline.Puller{
@@ -717,6 +759,7 @@ func newSMEngine(opts Options, m *metrics, stop <-chan struct{}) (*smEngine, err
 		if e.dur, rec, err = openDurability(opts); err != nil {
 			return nil, err
 		}
+		e.dur.OnCompact = m.compactEvent
 		if err := rec.Restore(e.db); err != nil {
 			e.dur.W.Close()
 			return nil, fmt.Errorf("server: wal replay: %w", err)
@@ -749,6 +792,7 @@ func newSMEngine(opts Options, m *metrics, stop <-chan struct{}) (*smEngine, err
 		}
 		e.link = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
 		e.puller = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
+		e.puller.OnRecordMeta(m.tracer.NoteCommitMeta)
 	}
 	return e, nil
 }
@@ -868,7 +912,7 @@ func (e *smEngine) applyStats() pipeline.ApplyStats {
 	return e.ap.Stats()
 }
 
-func (e *smEngine) certify(int64, writeset.Writeset) (certifier.Outcome, error) {
+func (e *smEngine) certify(int64, writeset.Writeset, uint64) (certifier.Outcome, error) {
 	return certifier.Outcome{}, errUnsupported // sm needs no certifier (§2)
 }
 
@@ -989,12 +1033,18 @@ func (e *smEngine) close() {
 type smTxn struct {
 	e        *smEngine
 	inner    *sidb.Txn
-	version  int64 // master version assigned at commit (0 until then)
+	version  int64  // master version assigned at commit (0 until then)
+	trace    uint64 // cross-node trace id (0 untraced)
 	readOnly bool
 	done     bool
 }
 
 var _ repl.Txn = (*smTxn)(nil)
+
+// SetTrace attaches the transaction's cross-node trace id before
+// Commit; the master records it against the assigned version so
+// propagated records carry it to the slaves.
+func (t *smTxn) SetTrace(trace uint64) { t.trace = trace }
 
 func (t *smTxn) Read(table string, row int64) (string, bool, error) {
 	return t.inner.Read(table, row)
@@ -1041,6 +1091,7 @@ func (t *smTxn) Commit() error {
 			t.e.m.tracer.ObserveStage(pipeline.StageFsync, time.Since(syncStart), 1)
 		}
 		t.e.wlog.Append(version, ws)
+		t.e.m.tracer.NoteCommitMeta(version, t.trace, time.Now().UnixNano())
 		t.e.notify.Bump(version)
 	}
 	return nil

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/events"
 	"repro/internal/repl/pipeline"
 	"repro/internal/stats"
 	"repro/internal/wire"
@@ -27,6 +29,7 @@ type metrics struct {
 
 	reg    *obs.Registry
 	tracer *pipeline.Tracer // nil when tracing is disabled
+	events *events.Journal  // cluster event journal (always on)
 
 	commits            *obs.Counter
 	aborts             *obs.Counter
@@ -65,12 +68,60 @@ func newMetrics(design string, id int, disableTrace bool, slowTxn time.Duration)
 		design:    design,
 		id:        id,
 		reg:       reg,
+		events:    events.NewJournal(id, 0),
 		certLat:   stats.NewLatency(),
 		readLat:   stats.NewLatency(),
 		updateLat: stats.NewLatency(),
 	}
+	// Every journal emit also bumps a per-type counter, so dashboards
+	// see event rates while /debug/events serves the last-N detail.
+	eventCounters := make(map[events.Type]*obs.Counter, len(events.Types))
+	for _, t := range events.Types {
+		eventCounters[t] = reg.Counter("replicadb_events",
+			"Cluster events recorded in the journal, by type.", obs.L("type", string(t)))
+	}
+	m.events.SetObserver(func(t events.Type) {
+		if c := eventCounters[t]; c != nil {
+			c.Inc()
+		}
+	})
 	if !disableTrace {
 		m.tracer = pipeline.NewTracer(reg, slowTxn)
+		// Commit-to-visible replication lag, observed at this replica
+		// for every applied version whose leader commit timestamp is
+		// known (protocol v4 peers; the certifier host observes its own
+		// apply lag the same way). The max gauge is the node's staleness
+		// bound: no committed-elsewhere write has taken longer than this
+		// to become visible here.
+		replica := obs.L("replica", strconv.Itoa(id))
+		lagHist := reg.Histogram("replicadb_replication_lag_seconds",
+			"Commit-to-visible replication lag observed at this replica.", nil, replica)
+		m.tracer.SetLagObserver(lagHist.ObserveDuration)
+		reg.GaugeFunc("replicadb_replication_lag_max_seconds",
+			"Largest commit-to-visible replication lag observed (staleness bound).",
+			func() float64 {
+				_, _, maxNs := m.tracer.LagTotals()
+				return float64(maxNs) / 1e9
+			}, replica)
+		// Tracer-sourced journal entries: group-fsync waits past the
+		// slow threshold, and every slow commit-path span.
+		m.tracer.SetStallObserver(func(stage int, d time.Duration) {
+			if stage != pipeline.StageFsync {
+				return
+			}
+			m.events.Emit(events.FsyncStall, "group fsync wait "+d.String(),
+				map[string]string{"wait_us": strconv.FormatInt(d.Microseconds(), 10)})
+		})
+		m.tracer.SetSlowObserver(func(sp pipeline.Span) {
+			m.events.Emit(events.SlowTxn,
+				fmt.Sprintf("%s span for version %d took %s", sp.Kind, sp.Version, sp.Total()),
+				map[string]string{
+					"version":  strconv.FormatInt(sp.Version, 10),
+					"kind":     sp.Kind,
+					"trace":    traceHex(sp.Trace),
+					"total_us": strconv.FormatInt(sp.Total().Microseconds(), 10),
+				})
+		})
 	}
 	reg.GaugeFunc("replicadb_info", "Static build/identity info.",
 		func() float64 { return 1 },
@@ -201,6 +252,17 @@ func (m *metrics) bindEngine(eng engine) {
 		})
 }
 
+// compactEvent journals one WAL compaction attempt — the Durability
+// OnCompact hook.
+func (m *metrics) compactEvent(sizeBefore, sizeAfter int64) {
+	m.events.Emit(events.WALCompacted,
+		fmt.Sprintf("segment rewritten: %d -> %d bytes", sizeBefore, sizeAfter),
+		map[string]string{
+			"bytes_before": strconv.FormatInt(sizeBefore, 10),
+			"bytes_after":  strconv.FormatInt(sizeAfter, 10),
+		})
+}
+
 // observeCert records one certification round trip.
 func (m *metrics) observeCert(d time.Duration) {
 	m.certMu.Lock()
@@ -241,11 +303,20 @@ func (m *metrics) statsOK(eng engine) *wire.StatsOK {
 	}
 	counts, nanos := m.tracer.StageTotals()
 	ok.StageCounts, ok.StageNs = counts, nanos
+	ok.ReplicaID = int64(m.id)
+	ok.Epoch, ok.Leading = eng.epochInfo()
+	ok.LagCount, ok.LagSumNs, ok.LagMaxNs = m.tracer.LagTotals()
 	return ok
 }
 
+// maxEventsServe caps how many journal entries one /debug/events
+// response carries; together with the bounded slow-span ring this
+// keeps every debug endpoint's response size bounded.
+const maxEventsServe = events.DefaultCapacity
+
 // handler serves the metrics listener: the Prometheus exposition on
-// /metrics (and /), the slow-transaction log on /debug/slowtxns.
+// /metrics (and /), the slow-transaction log on /debug/slowtxns, the
+// cluster event journal on /debug/events.
 func (m *metrics) handler(eng engine) http.Handler {
 	exposition := m.reg.Handler()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -254,17 +325,70 @@ func (m *metrics) handler(eng engine) http.Handler {
 			exposition.ServeHTTP(w, r)
 		case "/debug/slowtxns":
 			m.serveSlowTxns(w)
+		case "/debug/events":
+			m.serveEvents(w, r)
 		default:
-			http.NotFound(w, r)
+			serveJSONError(w, http.StatusNotFound, "unknown path (try /metrics, /debug/slowtxns, /debug/events)")
 		}
 	})
 }
 
-// slowTxnEntry is the JSON shape of one slow-transaction span.
+// serveJSONError writes a structured JSON error body, keeping the
+// debug endpoints machine-parseable even on failure.
+func serveJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+// traceHex renders a nonzero trace id as fixed-width hex, "" for the
+// zero (unknown) id.
+func traceHex(id uint64) string {
+	if id == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", id)
+}
+
+// serveEvents renders the event journal, newest first. ?limit=N bounds
+// the count (capped at maxEventsServe either way).
+func (m *metrics) serveEvents(w http.ResponseWriter, r *http.Request) {
+	limit := maxEventsServe
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			serveJSONError(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	out := struct {
+		Node    int            `json:"node"`
+		Emitted int64          `json:"emitted"`
+		Events  []events.Event `json:"events"`
+	}{
+		Node:    m.id,
+		Emitted: m.events.Emitted(),
+		Events:  m.events.Recent(limit),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+// slowTxnEntry is the JSON shape of one slow-transaction span. The
+// trace id renders as a fixed-width hex string: a JSON number would
+// lose bits past 2^53 in standard decoders.
 type slowTxnEntry struct {
 	Version int64            `json:"version"`
 	Kind    string           `json:"kind"`
 	Keys    int              `json:"keys"`
+	Trace   string           `json:"trace,omitempty"`
 	Start   time.Time        `json:"start"`
 	TotalUs int64            `json:"total_us"`
 	Stages  map[string]int64 `json:"stages_us"`
@@ -274,7 +398,7 @@ type slowTxnEntry struct {
 // first, with per-stage microsecond breakdowns.
 func (m *metrics) serveSlowTxns(w http.ResponseWriter) {
 	if m.tracer == nil {
-		http.Error(w, "tracing disabled", http.StatusNotFound)
+		serveJSONError(w, http.StatusNotFound, "tracing disabled (node started with -notrace)")
 		return
 	}
 	spans := m.tracer.Slow()
@@ -290,6 +414,7 @@ func (m *metrics) serveSlowTxns(w http.ResponseWriter) {
 			Version: sp.Version,
 			Kind:    sp.Kind,
 			Keys:    sp.Keys,
+			Trace:   traceHex(sp.Trace),
 			Start:   sp.Start,
 			TotalUs: sp.Total().Microseconds(),
 			Stages:  make(map[string]int64, pipeline.NumStages),

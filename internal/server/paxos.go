@@ -2,11 +2,13 @@ package server
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/certifier"
 	"repro/internal/client"
+	"repro/internal/obs/events"
 	"repro/internal/paxos"
 	"repro/internal/paxoslog"
 	"repro/internal/repl/mm"
@@ -27,6 +29,7 @@ type switchCert struct {
 }
 
 var _ mm.CertService = (*switchCert)(nil)
+var _ mm.TracedCertService = (*switchCert)(nil)
 
 func (s *switchCert) set(svc mm.CertService) {
 	s.mu.Lock()
@@ -41,7 +44,17 @@ func (s *switchCert) get() mm.CertService {
 }
 
 func (s *switchCert) Certify(snapshot int64, ws writeset.Writeset) (certifier.Outcome, error) {
-	return s.get().Certify(snapshot, ws)
+	return s.CertifyTraced(snapshot, ws, 0)
+}
+
+// CertifyTraced forwards the trace id when the current role's service
+// accepts one (both the hosted certifier and the remote ring do).
+func (s *switchCert) CertifyTraced(snapshot int64, ws writeset.Writeset, trace uint64) (certifier.Outcome, error) {
+	svc := s.get()
+	if tc, ok := svc.(mm.TracedCertService); ok {
+		return tc.CertifyTraced(snapshot, ws, trace)
+	}
+	return svc.Certify(snapshot, ws)
 }
 
 func (s *switchCert) Check(snapshot int64, ws writeset.Writeset) (bool, int64) {
@@ -201,6 +214,9 @@ func (e *mmEngine) promoteSelf() error {
 	e.hostMu.Unlock()
 	e.sw.set(h)
 	e.px.setLeading(epoch)
+	e.m.events.Emit(events.LeaderElected,
+		fmt.Sprintf("won certifier election at epoch round %d", epoch.Round),
+		map[string]string{"epoch": strconv.Itoa(epoch.Round)})
 	return nil
 }
 
@@ -218,6 +234,9 @@ func (e *mmEngine) stepDown(by paxos.Ballot) {
 	if addr := e.px.addrOf(by.Proposer); addr != "" {
 		e.px.ring.Point(addr)
 	}
+	e.m.events.Emit(events.LeaderLost,
+		fmt.Sprintf("stepped down, deposed by node %d at epoch round %d", by.Proposer, by.Round),
+		map[string]string{"epoch": strconv.Itoa(by.Round), "deposed_by": strconv.Itoa(by.Proposer)})
 }
 
 // runPaxos is the role loop of a Paxos-enabled node: leaders apply
@@ -255,9 +274,7 @@ func (e *mmEngine) runPaxos(stop <-chan struct{}) {
 				e.noteApplied()
 				e.maybeCompactDurable()
 			}
-			for _, id := range e.membership.EvictStale(time.Now(), e.staleAfter) {
-				e.cursors.Drop(id)
-			}
+			e.evictStale()
 			continue
 		}
 		// Backup: long-poll the leader for writesets. Any successful

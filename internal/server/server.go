@@ -17,6 +17,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"runtime"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/certifier"
 	"repro/internal/client"
 	"repro/internal/obs"
+	"repro/internal/obs/events"
 	"repro/internal/paxos"
 	"repro/internal/repl"
 	"repro/internal/sidb"
@@ -340,6 +342,11 @@ func (s *Server) Resumed() (version int64, ok bool) { return s.eng.resume() }
 // appear on this node's /metrics exposition.
 func (s *Server) Registry() *obs.Registry { return s.m.reg }
 
+// Events returns the node's cluster-event journal. External components
+// (the autoscaler's decision hook) emit through it so their events
+// appear on this node's /debug/events alongside the server's own.
+func (s *Server) Events() *events.Journal { return s.m.events }
+
 // MetricsAddr returns the bound metrics address, or "" when disabled.
 func (s *Server) MetricsAddr() string {
 	if s.httpLn == nil {
@@ -548,6 +555,11 @@ func (ss *snapshotStream) next() *wire.SnapshotOK {
 // aborted if the connection dies.
 func (s *Server) handleConn(nc net.Conn) {
 	wc := wire.NewConn(nc)
+	// Decode the handshake at the floor version: the first frame must
+	// be Hello (whose shape is version-independent), and a misuse frame
+	// from any vintage still decodes far enough to be answered with a
+	// structured error instead of a dropped connection.
+	wc.SetProto(wire.MinProto)
 	_ = nc.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
 	msg, err := wc.Recv()
 	if err != nil {
@@ -568,6 +580,9 @@ func (s *Server) handleConn(nc net.Conn) {
 	if err := wc.Send(&wire.HelloOK{Proto: proto, Design: s.opts.Design, ID: int64(s.opts.ID)}); err != nil {
 		return
 	}
+	// All subsequent frames encode at the negotiated version: v4 fields
+	// are dropped symmetrically on both ends of a downgraded connection.
+	wc.SetProto(proto)
 
 	// Peer links announce their replica id; that keys their
 	// propagation cursor so reconnects collapse onto one cursor.
@@ -602,6 +617,18 @@ func (s *Server) handleConn(nc net.Conn) {
 // peer cannot park a connection goroutine for arbitrarily long.
 const maxFetchWait = 5 * time.Second
 
+// newTraceID mints a nonzero random cross-node trace id. 64 random
+// bits collide with ~10^-9 probability at a million concurrent
+// transactions — good enough for an observability correlator, which
+// only ever groups spans for display.
+func newTraceID() uint64 {
+	for {
+		if id := rand.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
 // dispatch executes one request against the node engine and builds
 // the reply. st carries the connection's negotiated protocol, cursor
 // key (the announced replica id for peer links, a negative value for
@@ -631,7 +658,20 @@ func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
 		st.readOnly = m.ReadOnly
 		st.txStart = time.Now()
 		s.m.activeTxns.Add(1)
-		return &wire.BeginOK{Applied: s.eng.applied()}
+		// Cross-node trace id: adopt the client's (v4 connections that
+		// pre-assign one), otherwise mint one here so the id exists even
+		// for untraced or downgraded clients. Read-only transactions
+		// never certify or propagate, so they carry no id.
+		trace := m.Trace
+		if !m.ReadOnly && s.m.tracer != nil {
+			if trace == 0 {
+				trace = newTraceID()
+			}
+			if tt, ok := tx.(interface{ SetTrace(uint64) }); ok {
+				tt.SetTrace(trace)
+			}
+		}
+		return &wire.BeginOK{Applied: s.eng.applied(), Trace: trace}
 
 	case *wire.Read:
 		if st.cur == nil {
@@ -730,7 +770,7 @@ func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
 		return reply
 
 	case *wire.Certify:
-		out, err := s.eng.certify(m.Snapshot, m.WS)
+		out, err := s.eng.certify(m.Snapshot, m.WS, m.Trace)
 		if err != nil {
 			return s.errReply(st, err)
 		}
@@ -754,7 +794,8 @@ func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
 		}
 		reply := &wire.Records{Recs: make([]wire.Record, len(recs))}
 		for i, r := range recs {
-			reply.Recs[i] = wire.Record{Version: r.Version, WS: r.Writeset}
+			trace, commitNs := s.m.tracer.CommitMeta(r.Version)
+			reply.Recs[i] = wire.Record{Version: r.Version, WS: r.Writeset, Trace: trace, CommitNs: commitNs}
 		}
 		return reply
 

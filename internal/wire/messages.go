@@ -243,23 +243,60 @@ func (m *HelloOK) decode(d *decoder) {
 }
 
 // Begin starts a transaction on this connection (one at a time).
+// Trace (protocol v4) is the client-chosen commit-path trace id; 0
+// asks the server to assign one. On v3 connections the field is
+// neither sent nor expected.
 type Begin struct {
 	ReadOnly bool
+	Trace    uint64
 }
 
 func (*Begin) msgType() MsgType         { return TBegin }
-func (m *Begin) encode(b []byte) []byte { return appendBool(b, m.ReadOnly) }
-func (m *Begin) decode(d *decoder)      { m.ReadOnly = d.bool() }
+func (m *Begin) encode(b []byte) []byte { return m.encodeV(b, ProtoVersion) }
+func (m *Begin) decode(d *decoder)      { m.decodeV(d, ProtoVersion) }
+func (m *Begin) encodeV(b []byte, proto uint32) []byte {
+	b = appendBool(b, m.ReadOnly)
+	if proto >= 4 {
+		b = appendUvarint(b, m.Trace)
+	}
+	return b
+}
+func (m *Begin) decodeV(d *decoder, proto uint32) {
+	m.ReadOnly = d.bool()
+	if proto >= 4 {
+		m.Trace = d.uvarint()
+	} else {
+		m.Trace = 0
+	}
+}
 
 // BeginOK acknowledges Begin; Applied is the replica's applied global
-// version at begin time (informational — the GSI snapshot).
+// version at begin time (informational — the GSI snapshot). Trace
+// (protocol v4) echoes the transaction's trace id, server-assigned
+// when the Begin carried 0.
 type BeginOK struct {
 	Applied int64
+	Trace   uint64
 }
 
 func (*BeginOK) msgType() MsgType         { return TBeginOK }
-func (m *BeginOK) encode(b []byte) []byte { return appendVarint(b, m.Applied) }
-func (m *BeginOK) decode(d *decoder)      { m.Applied = d.varint() }
+func (m *BeginOK) encode(b []byte) []byte { return m.encodeV(b, ProtoVersion) }
+func (m *BeginOK) decode(d *decoder)      { m.decodeV(d, ProtoVersion) }
+func (m *BeginOK) encodeV(b []byte, proto uint32) []byte {
+	b = appendVarint(b, m.Applied)
+	if proto >= 4 {
+		b = appendUvarint(b, m.Trace)
+	}
+	return b
+}
+func (m *BeginOK) decodeV(d *decoder, proto uint32) {
+	m.Applied = d.varint()
+	if proto >= 4 {
+		m.Trace = d.uvarint()
+	} else {
+		m.Trace = 0
+	}
+}
 
 // Read asks for one row inside the connection's transaction.
 type Read struct {
@@ -495,20 +532,38 @@ func (m *DumpOK) decode(d *decoder) {
 }
 
 // Certify submits a commit-time certification request to the
-// certifier host (replica 0 in the mm design).
+// certifier host (replica 0 in the mm design). Trace (protocol v4)
+// carries the submitting transaction's trace id so the leader's
+// certify/paxos/journal/fsync spans stitch to the client's.
 type Certify struct {
 	Snapshot int64
 	WS       writeset.Writeset
+	Trace    uint64
 }
 
 func (*Certify) msgType() MsgType { return TCertify }
 func (m *Certify) encode(b []byte) []byte {
-	b = appendVarint(b, m.Snapshot)
-	return appendWriteset(b, m.WS)
+	return m.encodeV(b, ProtoVersion)
 }
 func (m *Certify) decode(d *decoder) {
+	m.decodeV(d, ProtoVersion)
+}
+func (m *Certify) encodeV(b []byte, proto uint32) []byte {
+	b = appendVarint(b, m.Snapshot)
+	b = appendWriteset(b, m.WS)
+	if proto >= 4 {
+		b = appendUvarint(b, m.Trace)
+	}
+	return b
+}
+func (m *Certify) decodeV(d *decoder, proto uint32) {
 	m.Snapshot = d.varint()
 	m.WS = decodeWriteset(d)
+	if proto >= 4 {
+		m.Trace = d.uvarint()
+	} else {
+		m.Trace = 0
+	}
 }
 
 // CertifyOK carries the certification outcome.
@@ -582,10 +637,17 @@ func (m *FetchSince) decode(d *decoder) {
 	m.WaitMillis = uint32(d.uvarint())
 }
 
-// Record is one certified writeset with its global version.
+// Record is one certified writeset with its global version. Trace and
+// CommitNs (protocol v4) carry the originating transaction's trace id
+// and the leader's commit wall-clock (UnixNano), letting every
+// replica stitch its apply span onto the transaction's trace and
+// measure commit-to-visible replication lag. Both are 0 on v3
+// connections or when the leader has tracing disabled.
 type Record struct {
-	Version int64
-	WS      writeset.Writeset
+	Version  int64
+	WS       writeset.Writeset
+	Trace    uint64
+	CommitNs int64
 }
 
 // Records answers FetchSince with an ascending run of records.
@@ -595,14 +657,24 @@ type Records struct {
 
 func (*Records) msgType() MsgType { return TRecords }
 func (m *Records) encode(b []byte) []byte {
+	return m.encodeV(b, ProtoVersion)
+}
+func (m *Records) decode(d *decoder) {
+	m.decodeV(d, ProtoVersion)
+}
+func (m *Records) encodeV(b []byte, proto uint32) []byte {
 	b = appendUvarint(b, uint64(len(m.Recs)))
 	for _, r := range m.Recs {
 		b = appendVarint(b, r.Version)
 		b = appendWriteset(b, r.WS)
+		if proto >= 4 {
+			b = appendUvarint(b, r.Trace)
+			b = appendVarint(b, r.CommitNs)
+		}
 	}
 	return b
 }
-func (m *Records) decode(d *decoder) {
+func (m *Records) decodeV(d *decoder, proto uint32) {
 	n := d.uvarint()
 	if d.err != nil {
 		return
@@ -616,6 +688,10 @@ func (m *Records) decode(d *decoder) {
 		var r Record
 		r.Version = d.varint()
 		r.WS = decodeWriteset(d)
+		if proto >= 4 {
+			r.Trace = d.uvarint()
+			r.CommitNs = d.varint()
+		}
 		m.Recs = append(m.Recs, r)
 	}
 }
@@ -856,6 +932,18 @@ type StatsOK struct {
 	// is disabled at the replica.
 	StageCounts [6]int64
 	StageNs     [6]int64
+	// Identity and replication-lag block (added with protocol v4,
+	// though the message itself grows in place per the lockstep note
+	// above): the answering replica's id, its view of the certifier
+	// election epoch and whether it currently leads, and cumulative
+	// commit-to-visible replication-lag observations (count, summed
+	// nanoseconds, worst single observation).
+	ReplicaID int64
+	Epoch     int64
+	Leading   bool
+	LagCount  int64
+	LagSumNs  int64
+	LagMaxNs  int64
 }
 
 func (*StatsOK) msgType() MsgType { return TStatsOK }
@@ -876,7 +964,12 @@ func (m *StatsOK) encode(b []byte) []byte {
 	for _, ns := range m.StageNs {
 		b = appendVarint(b, ns)
 	}
-	return b
+	b = appendVarint(b, m.ReplicaID)
+	b = appendVarint(b, m.Epoch)
+	b = appendBool(b, m.Leading)
+	b = appendVarint(b, m.LagCount)
+	b = appendVarint(b, m.LagSumNs)
+	return appendVarint(b, m.LagMaxNs)
 }
 func (m *StatsOK) decode(d *decoder) {
 	m.ReadCommits = d.varint()
@@ -895,6 +988,12 @@ func (m *StatsOK) decode(d *decoder) {
 	for i := range m.StageNs {
 		m.StageNs[i] = d.varint()
 	}
+	m.ReplicaID = d.varint()
+	m.Epoch = d.varint()
+	m.Leading = d.bool()
+	m.LagCount = d.varint()
+	m.LagSumNs = d.varint()
+	m.LagMaxNs = d.varint()
 }
 
 // PaxosPrepare is phase 1a of the replicated certification log

@@ -33,8 +33,12 @@ const (
 	// as long as it is at least MinProto. Version 2 added the elastic
 	// membership messages (Join/Leave/Snapshot/Members/Stats); version
 	// 3 adds replicated certification (Paxos Prepare/Accept/Learn
-	// frames and the NotLeader redirect).
-	ProtoVersion = 3
+	// frames and the NotLeader redirect); version 4 adds commit-path
+	// trace ids on Begin/BeginOK/Certify and trace ids + commit
+	// timestamps on propagated Records, so spans stitch across nodes.
+	// No new message types: a v3 peer simply never sees the extra
+	// fields (they are encoded only on v4-negotiated connections).
+	ProtoVersion = 4
 
 	// MinProto is the oldest protocol version this build still
 	// accepts. A v1 peer can run the full transaction, load and
@@ -105,22 +109,46 @@ var (
 // for concurrent use; callers own a connection for the duration of a
 // transaction or RPC, which is how the client pool hands them out.
 type Conn struct {
-	rw   io.ReadWriter
-	rbuf []byte
-	wbuf []byte
-	hdr  [4]byte
+	rw    io.ReadWriter
+	rbuf  []byte
+	wbuf  []byte
+	hdr   [4]byte
+	proto uint32
 }
 
-// NewConn wraps a byte stream (normally a *net.TCPConn).
+// NewConn wraps a byte stream (normally a *net.TCPConn). The
+// connection assumes ProtoVersion until SetProto records the
+// handshake's negotiated version.
 func NewConn(rw io.ReadWriter) *Conn {
-	return &Conn{rw: rw}
+	return &Conn{rw: rw, proto: ProtoVersion}
+}
+
+// SetProto records the negotiated protocol version; messages whose
+// encoding is version-dependent (the versioned interface) encode and
+// decode against it. Both ends call it right after Hello/HelloOK.
+func (c *Conn) SetProto(v uint32) { c.proto = v }
+
+// Proto returns the connection's negotiated protocol version.
+func (c *Conn) Proto() uint32 { return c.proto }
+
+// versioned is implemented by messages whose payload depends on the
+// negotiated protocol version. Plain encode/decode remain the
+// ProtoVersion shape (used by tests and by callers without a Conn);
+// Send/Recv route through the versioned variants.
+type versioned interface {
+	encodeV(b []byte, proto uint32) []byte
+	decodeV(d *decoder, proto uint32)
 }
 
 // Send encodes and writes one message as a single frame.
 func (c *Conn) Send(m Message) error {
 	c.wbuf = c.wbuf[:0]
 	c.wbuf = append(c.wbuf, 0, 0, 0, 0, byte(m.msgType()))
-	c.wbuf = m.encode(c.wbuf)
+	if vm, ok := m.(versioned); ok {
+		c.wbuf = vm.encodeV(c.wbuf, c.proto)
+	} else {
+		c.wbuf = m.encode(c.wbuf)
+	}
 	n := len(c.wbuf) - 4
 	if n > MaxFrame {
 		return ErrFrameTooLarge
@@ -156,7 +184,11 @@ func (c *Conn) Recv() (Message, error) {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownMessage, c.rbuf[0])
 	}
 	d := decoder{b: c.rbuf[1:]}
-	m.decode(&d)
+	if vm, ok := m.(versioned); ok {
+		vm.decodeV(&d, c.proto)
+	} else {
+		m.decode(&d)
+	}
 	if d.err != nil {
 		return nil, d.err
 	}

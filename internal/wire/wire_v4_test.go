@@ -1,0 +1,188 @@
+package wire
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/writeset"
+)
+
+// pipeConnsAt returns two wire.Conns framing at the given negotiated
+// protocol version, as both sides do after a real handshake.
+func pipeConnsAt(t *testing.T, proto uint32) (*Conn, *Conn, func()) {
+	t.Helper()
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	ca.SetProto(proto)
+	cb.SetProto(proto)
+	return ca, cb, func() { a.Close(); b.Close() }
+}
+
+// roundTripAt sends m across a pipe negotiated at proto.
+func roundTripAt(t *testing.T, proto uint32, m Message) Message {
+	t.Helper()
+	ca, cb, done := pipeConnsAt(t, proto)
+	defer done()
+	errc := make(chan error, 1)
+	go func() { errc <- ca.Send(m) }()
+	got, err := cb.Recv()
+	if err != nil {
+		t.Fatalf("proto %d: recv %T: %v", proto, m, err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("proto %d: send %T: %v", proto, m, err)
+	}
+	return got
+}
+
+// TestTraceRoundTripV4 checks that the protocol-4 trace-id fields on
+// the commit-path messages survive the wire at the newest version.
+func TestTraceRoundTripV4(t *testing.T) {
+	ws := writeset.New([]writeset.Entry{
+		{Key: writeset.Key{Table: "item", Row: 7}, Value: "v7"},
+	})
+	if got := roundTripAt(t, ProtoVersion, &Begin{Trace: 0xDEADBEEFCAFE}).(*Begin); got.Trace != 0xDEADBEEFCAFE {
+		t.Fatalf("Begin.Trace = %#x", got.Trace)
+	}
+	if got := roundTripAt(t, ProtoVersion, &BeginOK{Applied: 9, Trace: 1}).(*BeginOK); got.Trace != 1 || got.Applied != 9 {
+		t.Fatalf("BeginOK = %+v", got)
+	}
+	cert := roundTripAt(t, ProtoVersion, &Certify{Snapshot: 4, WS: ws, Trace: 1 << 63}).(*Certify)
+	if cert.Trace != 1<<63 || cert.Snapshot != 4 || !wsEqual(cert.WS, ws) {
+		t.Fatalf("Certify = %+v", cert)
+	}
+	recs := roundTripAt(t, ProtoVersion, &Records{Recs: []Record{
+		{Version: 10, WS: ws, Trace: 77, CommitNs: 1234567890},
+		{Version: 11}, // zero meta must stay zero
+	}}).(*Records)
+	if recs.Recs[0].Trace != 77 || recs.Recs[0].CommitNs != 1234567890 {
+		t.Fatalf("Records[0] meta = %+v", recs.Recs[0])
+	}
+	if recs.Recs[1].Trace != 0 || recs.Recs[1].CommitNs != 0 {
+		t.Fatalf("Records[1] meta = %+v", recs.Recs[1])
+	}
+}
+
+// TestTraceDowngradeV3 proves interop with a pre-trace peer: on a
+// connection negotiated at protocol 3, the trace fields are silently
+// dropped — messages round-trip without frame errors or hangs, and
+// the connection keeps working afterwards.
+func TestTraceDowngradeV3(t *testing.T) {
+	ws := writeset.New([]writeset.Entry{
+		{Key: writeset.Key{Table: "item", Row: 1}, Value: "x"},
+	})
+	ca, cb, done := pipeConnsAt(t, 3)
+	defer done()
+	msgs := []Message{
+		&Begin{ReadOnly: true, Trace: 42},
+		&BeginOK{Applied: 5, Trace: 42},
+		&Certify{Snapshot: 2, WS: ws, Trace: 42},
+		&Records{Recs: []Record{{Version: 3, WS: ws, Trace: 42, CommitNs: 99}}},
+		&Commit{}, // the frame after the dropped fields must still parse
+	}
+	errc := make(chan error, 1)
+	go func() {
+		for _, m := range msgs {
+			if err := ca.Send(m); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for i := range msgs {
+		got, err := cb.Recv()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		switch g := got.(type) {
+		case *Begin:
+			if g.Trace != 0 || !g.ReadOnly {
+				t.Fatalf("v3 Begin = %+v, trace must be dropped", g)
+			}
+		case *BeginOK:
+			if g.Trace != 0 || g.Applied != 5 {
+				t.Fatalf("v3 BeginOK = %+v", g)
+			}
+		case *Certify:
+			if g.Trace != 0 || !wsEqual(g.WS, ws) {
+				t.Fatalf("v3 Certify = %+v", g)
+			}
+		case *Records:
+			if g.Recs[0].Trace != 0 || g.Recs[0].CommitNs != 0 || g.Recs[0].Version != 3 {
+				t.Fatalf("v3 Records = %+v", g.Recs[0])
+			}
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+}
+
+// TestTraceVersionAsymmetry pins the framing rule the downgrade rests
+// on: a message encoded at v3 carries no trace bytes, so a v3 frame
+// decoded at v3 never sees trailing bytes, and a v4 frame at v4 round
+// trips including a max-valued trace.
+func TestTraceVersionAsymmetry(t *testing.T) {
+	for _, proto := range []uint32{1, 2, 3, ProtoVersion} {
+		got := roundTripAt(t, proto, &Begin{Trace: ^uint64(0)}).(*Begin)
+		want := uint64(0)
+		if proto >= 4 {
+			want = ^uint64(0)
+		}
+		if got.Trace != want {
+			t.Fatalf("proto %d: Begin.Trace = %#x, want %#x", proto, got.Trace, want)
+		}
+	}
+}
+
+// FuzzTraceRecordV4 fuzzes the v4 Record metadata through a full
+// encode/decode cycle at both the newest and the pre-trace protocol.
+func FuzzTraceRecordV4(f *testing.F) {
+	f.Add(uint64(0), int64(0), int64(1), "item", int64(7), "v")
+	f.Add(uint64(1), int64(-1), int64(1<<40), "", int64(-9), "")
+	f.Add(^uint64(0), int64(1<<62), int64(2), "orders", int64(0), "long value \x00 with bytes")
+	f.Fuzz(func(t *testing.T, trace uint64, commitNs, version int64, table string, row int64, value string) {
+		ws := writeset.New([]writeset.Entry{
+			{Key: writeset.Key{Table: table, Row: row}, Value: value},
+		})
+		rec := Record{Version: version, WS: ws, Trace: trace, CommitNs: commitNs}
+
+		got := roundTripAt(t, ProtoVersion, &Records{Recs: []Record{rec}}).(*Records)
+		g := got.Recs[0]
+		if g.Trace != trace || g.CommitNs != commitNs || g.Version != version || !wsEqual(g.WS, ws) {
+			t.Fatalf("v4 record mismatch: %+v vs %+v", g, rec)
+		}
+
+		old := roundTripAt(t, 3, &Records{Recs: []Record{rec}}).(*Records)
+		o := old.Recs[0]
+		if o.Trace != 0 || o.CommitNs != 0 || o.Version != version || !wsEqual(o.WS, ws) {
+			t.Fatalf("v3 record mismatch: %+v", o)
+		}
+	})
+}
+
+// FuzzTraceBeginCertify fuzzes the scalar trace carriers.
+func FuzzTraceBeginCertify(f *testing.F) {
+	f.Add(uint64(0), int64(0), true)
+	f.Add(^uint64(0), int64(-5), false)
+	f.Add(uint64(1<<53), int64(1<<60), true)
+	f.Fuzz(func(t *testing.T, trace uint64, snapshot int64, readOnly bool) {
+		b := roundTripAt(t, ProtoVersion, &Begin{ReadOnly: readOnly, Trace: trace}).(*Begin)
+		if b.Trace != trace || b.ReadOnly != readOnly {
+			t.Fatalf("Begin mismatch: %+v", b)
+		}
+		ok := roundTripAt(t, ProtoVersion, &BeginOK{Applied: snapshot, Trace: trace}).(*BeginOK)
+		if ok.Trace != trace || ok.Applied != snapshot {
+			t.Fatalf("BeginOK mismatch: %+v", ok)
+		}
+		c := roundTripAt(t, ProtoVersion, &Certify{Snapshot: snapshot, Trace: trace}).(*Certify)
+		if c.Trace != trace || c.Snapshot != snapshot {
+			t.Fatalf("Certify mismatch: %+v", c)
+		}
+		bo := roundTripAt(t, 3, &Begin{ReadOnly: readOnly, Trace: trace}).(*Begin)
+		if bo.Trace != 0 {
+			t.Fatalf("v3 Begin kept trace %#x", bo.Trace)
+		}
+	})
+}
