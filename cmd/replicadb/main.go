@@ -243,6 +243,8 @@ func serveMain(args []string) {
 		join    = fs.String("join", "", "elastic join: primary address to join at startup (mm; the primary assigns the id and transfers a snapshot)")
 		metrics = fs.String("metrics", "", "optional HTTP /metrics listen address")
 		batch   = fs.Bool("groupcommit", false, "batch commit certification on the certifier host (mm, id 0)")
+		groupW  = fs.Duration("groupwindow", 0, "cap the adaptive group-commit accumulation window (0: adaptive default; negative: flush backlog batches immediately; requires -groupcommit)")
+		nocomp  = fs.Bool("nocompress", false, "disable DEFLATE compression of propagated record bodies on v5 connections")
 		eager   = fs.Bool("eager", false, "eager certification on writes (mm; remote probe per write on non-primary nodes)")
 		walDir  = fs.String("wal-dir", "", "durable commits: write-ahead log directory (replayed on start; a restarted replica resumes via FetchSince)")
 		fsync   = fs.Bool("fsync", false, "fsync WAL commits (group commit) before acknowledging; requires -wal-dir")
@@ -312,6 +314,9 @@ func serveMain(args []string) {
 	if *batch && !*paxos && (*id != 0 || *join != "") {
 		usageExit(fs, "-groupcommit only applies to the certifier host (id 0, or any node with -paxos)")
 	}
+	if *groupW != 0 && !*batch {
+		usageExit(fs, "-groupwindow requires -groupcommit")
+	}
 	if *autoscale && (*design != "mm" || *id != 0) {
 		usageExit(fs, "-autoscale requires -design mm and -id 0 (the membership authority)")
 	}
@@ -341,6 +346,8 @@ func serveMain(args []string) {
 		Listen:       *listen,
 		MetricsAddr:  *metrics,
 		GroupCommit:  *batch,
+		GroupWindow:  *groupW,
+		NoCompress:   *nocomp,
 		EagerCert:    *eager,
 		Replicas:     len(peerList),
 		Members:      peerList,
@@ -518,6 +525,15 @@ type benchResult struct {
 	ReplicasStart int     `json:"replicas_start"`
 	ReplicasEnd   int     `json:"replicas_end"`
 	Converged     bool    `json:"converged"`
+	Pipelined     bool    `json:"pipelined"`
+	// Ramp-up exclusion: TPS above includes connection warm-up and
+	// joiner catch-up inside its window. RampSec/RampCommits report the
+	// excluded warm-up slice, and SteadyTPS is the cluster commit rate
+	// over the post-ramp window only (absent when the run finished
+	// inside the ramp, or the cluster's counters could not be sampled).
+	RampSec     float64 `json:"ramp_sec,omitempty"`
+	RampCommits int64   `json:"ramp_commits,omitempty"`
+	SteadyTPS   float64 `json:"steady_tps,omitempty"`
 	// StageMeanUs is the cluster-wide mean per-writeset latency of each
 	// commit-path stage over the run, in microseconds (absent when the
 	// target cluster runs with tracing disabled).
@@ -584,6 +600,23 @@ func (w *benchWindow) close(out *benchResult, design string) {
 	}
 }
 
+// clusterCommits samples the cluster-wide cumulative commit count for
+// the ramp-up exclusion window.
+func clusterCommits(src *elastic.WireSource) (int64, bool) {
+	s, err := src.Sample()
+	if err != nil {
+		return 0, false
+	}
+	return s.ReadCommits + s.UpdateCommits, true
+}
+
+// rampPoint marks the cluster commit counter at the ramp boundary.
+type rampPoint struct {
+	commits int64
+	at      time.Time
+	ok      bool
+}
+
 // benchMain drives a networked cluster through the pooled client.
 func benchMain(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
@@ -598,12 +631,29 @@ func benchMain(args []string) {
 		load     = fs.Bool("load", true, "create and load the schema before driving")
 		converge = fs.Bool("converge", true, "verify replica convergence after the run")
 		watch    = fs.Bool("watch", false, "watch cluster membership and spread load onto replicas that join mid-run (mm)")
+		pipe     = fs.Bool("pipeline", false, "pipeline update operations: stream writes without per-op acks, drain at commit")
+		ramp     = fs.Duration("ramp", 500*time.Millisecond, "with -json: exclude this warm-up window from steady_tps (0 disables)")
 		jsonOut  = fs.String("json", "", "write a machine-readable result to this file (\"-\" for stdout)")
+		matrix   = fs.Bool("matrix", false, "run the in-process scaling matrix (apply-workers x pipelining x compression) instead of targeting -servers")
+		matOut   = fs.String("matrix-out", "BENCH_PR9.json", "with -matrix: write the matrix report to this file (\"-\" for stdout)")
 	)
 	fs.Parse(args)
 
 	if *design != "mm" && *design != "sm" {
 		usageExit(fs, "unknown design %q (mm|sm)", *design)
+	}
+	if *matrix {
+		if *design != "mm" {
+			usageExit(fs, "-matrix boots multi-master clusters (-design mm)")
+		}
+		if *servers != "" {
+			usageExit(fs, "-matrix boots its own loopback clusters; drop -servers")
+		}
+		if *clients < 1 || *txns < 1 || *factor < 1 {
+			usageExit(fs, "-clients, -txns and -factor must be >= 1")
+		}
+		matrixMain(fs, *mixID, *clients, *txns, *factor, *seed, *matOut)
+		return
 	}
 	if *servers == "" {
 		usageExit(fs, "bench requires -servers")
@@ -624,9 +674,10 @@ func benchMain(args []string) {
 	}
 
 	cl, err := client.New(client.Options{
-		Servers: splitAddrs(*servers),
-		Design:  *design,
-		Watch:   *watch,
+		Servers:  splitAddrs(*servers),
+		Design:   *design,
+		Watch:    *watch,
+		Pipeline: *pipe,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -643,13 +694,40 @@ func benchMain(args []string) {
 	fmt.Printf("driving %d clients x %d transactions over TCP (%s mix: %.0f%% reads / %.0f%% updates)...\n",
 		*clients, *txns, mix.Name, mix.Pr*100, mix.Pw*100)
 	var bw *benchWindow
+	var rampSrc *elastic.WireSource
+	var startCommits int64
+	var startOK bool
+	rampCh := make(chan rampPoint, 1)
 	if *jsonOut != "" {
 		bw = openBenchWindow(splitAddrs(*servers)[0], *design, mix)
+		if *ramp > 0 {
+			// Sample the cluster's cumulative commit counter at the start
+			// and again at the ramp boundary, so the steady-state rate can
+			// be computed without the connection warm-up and catch-up
+			// transients the wall-clock TPS folds in.
+			rampSrc = elastic.NewWireSource(splitAddrs(*servers)[0], *design, 2*time.Second)
+			defer rampSrc.Close()
+			startCommits, startOK = clusterCommits(rampSrc)
+			wait := *ramp
+			go func() {
+				time.Sleep(wait)
+				c, ok := clusterCommits(rampSrc)
+				rampCh <- rampPoint{commits: c, at: time.Now(), ok: ok}
+			}()
+		}
 	}
 	replicasStart := cl.Replicas()
 	start := time.Now()
 	res := repl.Drive(cl, cat, mix, *clients, *txns, *factor, *seed)
 	elapsed := time.Since(start)
+	// The end-of-drive counter sample must land before the convergence
+	// check below, whose read transactions would inflate it.
+	var endCommits int64
+	var endOK bool
+	endAt := time.Now()
+	if rampSrc != nil {
+		endCommits, endOK = clusterCommits(rampSrc)
+	}
 	printDriveResult(res, elapsed)
 	if res.Errors > 0 {
 		fatal("unexpected errors during the run")
@@ -689,6 +767,17 @@ func benchMain(args []string) {
 			ReplicasStart: replicasStart,
 			ReplicasEnd:   cl.Replicas(),
 			Converged:     converged,
+			Pipelined:     *pipe,
+		}
+		var rp rampPoint
+		select {
+		case rp = <-rampCh:
+		default: // the run finished inside the ramp window
+		}
+		if rp.ok && startOK && endOK && endAt.After(rp.at) && endCommits >= rp.commits {
+			out.RampSec = rp.at.Sub(start).Seconds()
+			out.RampCommits = rp.commits - startCommits
+			out.SteadyTPS = float64(endCommits-rp.commits) / endAt.Sub(rp.at).Seconds()
 		}
 		bw.close(&out, *design)
 		buf, err := json.MarshalIndent(out, "", "  ")

@@ -1,0 +1,274 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// matrixCell is one configuration point of the scaling matrix: a fresh
+// loopback cluster booted with the cell's knobs and driven with the
+// shared workload.
+type matrixCell struct {
+	ApplyWorkers int     `json:"apply_workers"`
+	Pipeline     bool    `json:"pipeline"`
+	Compress     bool    `json:"compress"`
+	Clients      int     `json:"clients"`
+	Commits      int64   `json:"commits"`
+	Aborts       int64   `json:"aborts"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	TPS          float64 `json:"tps"`
+	UpdateP50Ms  float64 `json:"update_p50_ms"`
+	UpdateP99Ms  float64 `json:"update_p99_ms"`
+	Converged    bool    `json:"converged"`
+}
+
+// wireBytes compares the bytes-on-wire of one propagation stream (the
+// full certified-record log of a matrix run) encoded as v4 flat
+// records, v5 delta records, and v5 delta records with a DEFLATE body.
+type wireBytes struct {
+	Records      int   `json:"records"`
+	V4Bytes      int64 `json:"v4_bytes"`
+	V5Bytes      int64 `json:"v5_bytes"`
+	V5FlateBytes int64 `json:"v5_flate_bytes"`
+	// Reduction ratios relative to the v4 wire shape.
+	V4OverV5      float64 `json:"v4_over_v5"`
+	V4OverV5Flate float64 `json:"v4_over_v5_flate"`
+}
+
+// matrixReport is the BENCH_PR9.json document: every cell plus the
+// propagation-stream byte comparison and enough context to re-run it.
+type matrixReport struct {
+	When          string       `json:"when"`
+	Mix           string       `json:"mix"`
+	Clients       int          `json:"clients"`
+	TxnsPerClient int          `json:"txns_per_client"`
+	Factor        int          `json:"factor"`
+	Seed          uint64       `json:"seed"`
+	Replicas      int          `json:"replicas"`
+	Shards        int          `json:"shards"` // sidb row partitions (compile-time constant)
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	Note          string       `json:"note"`
+	Cells         []matrixCell `json:"cells"`
+	Propagation   wireBytes    `json:"propagation"`
+}
+
+// matrixReplicas is the loopback cluster size each cell boots: a
+// certifier-hosting primary plus two elastic joiners.
+const matrixReplicas = 3
+
+// matrixMain runs the scaling matrix: apply-workers x pipelining x
+// compression, each cell on a fresh loopback cluster, plus the
+// propagation bytes-on-wire comparison from the final cell's record
+// stream.
+func matrixMain(fs *flag.FlagSet, mixID string, clients, txns, factor int, seed uint64, out string) {
+	mix := mustMix(fs, mixID)
+	cat, err := workload.CatalogFor(mix)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	workerDims := []int{1, runtime.GOMAXPROCS(0)}
+	if workerDims[1] <= workerDims[0] {
+		workerDims = workerDims[:1]
+	}
+	rep := matrixReport{
+		When:          time.Now().Format(time.RFC3339),
+		Mix:           mix.ID(),
+		Clients:       clients,
+		TxnsPerClient: txns,
+		Factor:        factor,
+		Seed:          seed,
+		Replicas:      matrixReplicas,
+		Shards:        32,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Note: "cells share one process; apply-worker scaling and pipelining gains " +
+			"need a multicore host (GOMAXPROCS > 2) to separate from noise",
+	}
+
+	var lastAddr string
+	var lastCluster func()
+	for _, workers := range workerDims {
+		for _, pipe := range []bool{false, true} {
+			for _, compress := range []bool{false, true} {
+				fmt.Printf("matrix: apply-workers=%d pipeline=%v compress=%v ... ", workers, pipe, compress)
+				cell, primaryAddr, closeCluster := runMatrixCell(cat, mix, workers, pipe, compress, clients, txns, factor, seed)
+				rep.Cells = append(rep.Cells, cell)
+				fmt.Printf("%.0f tps\n", cell.TPS)
+				// Keep the last cluster alive: its record stream feeds the
+				// propagation byte comparison below.
+				if lastCluster != nil {
+					lastCluster()
+				}
+				lastAddr, lastCluster = primaryAddr, closeCluster
+			}
+		}
+	}
+	rep.Propagation = measurePropagation(lastAddr)
+	if lastCluster != nil {
+		lastCluster()
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("json: %v", err)
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		os.Stdout.Write(buf)
+	} else {
+		if err := os.WriteFile(out, buf, 0o644); err != nil {
+			fatal("json: %v", err)
+		}
+		fmt.Printf("matrix: wrote %d cells to %s (v4/v5+flate propagation ratio %.2fx)\n",
+			len(rep.Cells), out, rep.Propagation.V4OverV5Flate)
+	}
+}
+
+// runMatrixCell boots a fresh loopback cluster with the cell's knobs,
+// loads the schema, drives the workload, and verifies convergence. It
+// returns the cell, the primary's address, and a closer; the cluster
+// stays up so the caller can harvest its propagation log.
+func runMatrixCell(cat workload.Catalog, mix workload.Mix, workers int, pipe, compress bool,
+	clients, txns, factor int, seed uint64) (matrixCell, string, func()) {
+	cell := matrixCell{
+		ApplyWorkers: workers,
+		Pipeline:     pipe,
+		Compress:     compress,
+		Clients:      clients,
+	}
+	primary, err := server.New(server.Options{
+		Design:       "mm",
+		ID:           0,
+		Listen:       "127.0.0.1:0",
+		GroupCommit:  true,
+		ApplyWorkers: workers,
+		NoCompress:   !compress,
+	})
+	if err != nil {
+		fatal("matrix: primary: %v", err)
+	}
+	primary.Start()
+	servers := []*server.Server{primary}
+	closeAll := func() {
+		for i := len(servers) - 1; i >= 0; i-- {
+			servers[i].Close()
+		}
+	}
+
+	// Load before the joiners arrive; they catch up via the join-time
+	// snapshot instead of replaying the load through propagation.
+	loader, err := client.New(client.Options{Servers: []string{primary.Addr()}, Design: "mm"})
+	if err != nil {
+		closeAll()
+		fatal("matrix: loader: %v", err)
+	}
+	err = repl.LoadCatalog(loader, cat, factor)
+	loader.Close()
+	if err != nil {
+		closeAll()
+		fatal("matrix: load: %v", err)
+	}
+	addrs := []string{primary.Addr()}
+	for i := 1; i < matrixReplicas; i++ {
+		rep, err := server.New(server.Options{
+			Design:       "mm",
+			Listen:       "127.0.0.1:0",
+			Join:         true,
+			Primary:      primary.Addr(),
+			ApplyWorkers: workers,
+			NoCompress:   !compress,
+		})
+		if err != nil {
+			closeAll()
+			fatal("matrix: joiner: %v", err)
+		}
+		rep.Start()
+		servers = append(servers, rep)
+		addrs = append(addrs, rep.Addr())
+	}
+
+	cl, err := client.New(client.Options{Servers: addrs, Design: "mm", Pipeline: pipe})
+	if err != nil {
+		closeAll()
+		fatal("matrix: client: %v", err)
+	}
+	start := time.Now()
+	res := repl.Drive(cl, cat, mix, clients, txns, factor, seed)
+	elapsed := time.Since(start)
+	if res.Errors > 0 {
+		closeAll()
+		fatal("matrix: drive errors: %s", res.FirstError)
+	}
+	if err := repl.CheckConvergence(cl, tableNames(cat)); err != nil {
+		closeAll()
+		fatal("matrix: convergence: %v", err)
+	}
+	cl.Close()
+
+	cell.Commits = res.Commits
+	cell.Aborts = res.Aborts
+	cell.ElapsedSec = elapsed.Seconds()
+	cell.TPS = float64(res.Commits) / elapsed.Seconds()
+	cell.UpdateP50Ms = ms(res.UpdateLatency.Quantile(0.50))
+	cell.UpdateP99Ms = ms(res.UpdateLatency.Quantile(0.99))
+	cell.Converged = true
+	return cell, primary.Addr(), closeAll
+}
+
+// countConn satisfies io.ReadWriter for a send-only wire.Conn: writes
+// are counted and discarded, reads report EOF.
+type countConn struct{ n int64 }
+
+func (c *countConn) Write(p []byte) (int, error) { c.n += int64(len(p)); return len(p), nil }
+func (c *countConn) Read([]byte) (int, error)    { return 0, io.EOF }
+
+// measurePropagation pulls the full certified-record stream from the
+// given primary and re-encodes it at protocol 4 (flat records), 5
+// (delta + dictionary), and 5 with compression, counting the bytes
+// each shape would put on the wire.
+func measurePropagation(addr string) wireBytes {
+	link := client.NewLink(addr, "mm", -1, 2*time.Second)
+	defer link.Close()
+	recs, err := link.FetchSince(0, 0)
+	if err != nil {
+		fatal("matrix: propagation fetch: %v", err)
+	}
+	frame := &wire.Records{Recs: make([]wire.Record, len(recs))}
+	for i, r := range recs {
+		frame.Recs[i] = wire.Record{Version: r.Version, WS: r.Writeset}
+	}
+	encodeAt := func(proto uint32, compress bool) int64 {
+		var cc countConn
+		conn := wire.NewConn(&cc)
+		conn.SetProto(proto)
+		frame.Compress = compress
+		if err := conn.Send(frame); err != nil {
+			fatal("matrix: encode at proto %d: %v", proto, err)
+		}
+		return cc.n
+	}
+	out := wireBytes{
+		Records:      len(recs),
+		V4Bytes:      encodeAt(4, false),
+		V5Bytes:      encodeAt(5, false),
+		V5FlateBytes: encodeAt(5, true),
+	}
+	if out.V5Bytes > 0 {
+		out.V4OverV5 = float64(out.V4Bytes) / float64(out.V5Bytes)
+	}
+	if out.V5FlateBytes > 0 {
+		out.V4OverV5Flate = float64(out.V4Bytes) / float64(out.V5FlateBytes)
+	}
+	return out
+}

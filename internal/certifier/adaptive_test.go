@@ -1,0 +1,194 @@
+package certifier
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/writeset"
+)
+
+func oneRow(row int64) writeset.Writeset {
+	return writeset.New([]writeset.Entry{
+		{Key: writeset.Key{Table: "t", Row: row}, Value: "v"},
+	})
+}
+
+// fillPending enqueues n parked requests directly, as arrivals during
+// an in-flight flush would.
+func fillPending(b *Batcher, start int64, n int) {
+	b.mu.Lock()
+	for i := 0; i < n; i++ {
+		b.pending = append(b.pending, &pendingCert{
+			req:  Request{Snapshot: b.cert.Version(), Writeset: oneRow(start + int64(i))},
+			done: make(chan struct{}),
+		})
+	}
+	b.mu.Unlock()
+}
+
+func window(b *Batcher) time.Duration {
+	_, _, w := b.BatchStats()
+	return w
+}
+
+// TestAdaptiveWindowWidensAndCollapses drives flushOnce directly and
+// pins the window state machine: zero at rest, minWindow after the
+// first full batch, doubling up to the cap under sustained pressure,
+// collapsing back to zero once batches run down to one request.
+func TestAdaptiveWindowWidensAndCollapses(t *testing.T) {
+	const maxBatch = 16
+	b := NewBatcher(New(), maxBatch)
+	if w := window(b); w != 0 {
+		t.Fatalf("initial window = %v, want 0", w)
+	}
+
+	row := int64(0)
+	full := func() {
+		fillPending(b, row, maxBatch)
+		row += maxBatch
+		b.flushOnce()
+	}
+	full()
+	if w := window(b); w != minWindow {
+		t.Fatalf("window after first full batch = %v, want %v", w, minWindow)
+	}
+	full()
+	if w := window(b); w != 2*minWindow {
+		t.Fatalf("window after second full batch = %v, want %v", w, 2*minWindow)
+	}
+	for i := 0; i < 10; i++ {
+		full()
+	}
+	if w := window(b); w != DefaultMaxWindow {
+		t.Fatalf("window under sustained pressure = %v, want cap %v", w, DefaultMaxWindow)
+	}
+
+	// Small partial batches (n < maxBatch/4) halve the window...
+	fillPending(b, row, 3)
+	row += 3
+	b.flushOnce()
+	if w := window(b); w != DefaultMaxWindow/2 {
+		t.Fatalf("window after small batch = %v, want %v", w, DefaultMaxWindow/2)
+	}
+	// ...and a batch of one collapses it outright.
+	fillPending(b, row, 1)
+	row++
+	b.flushOnce()
+	if w := window(b); w != 0 {
+		t.Fatalf("window after batch of one = %v, want 0", w)
+	}
+}
+
+// TestSetMaxWindowDisables: a zero cap pins the window at zero no
+// matter the pressure, and clamps an already-widened window down.
+func TestSetMaxWindowDisables(t *testing.T) {
+	const maxBatch = 8
+	b := NewBatcher(New(), maxBatch)
+	fillPending(b, 0, maxBatch)
+	b.flushOnce()
+	if w := window(b); w == 0 {
+		t.Fatal("precondition: window should have widened")
+	}
+	b.SetMaxWindow(0)
+	if w := window(b); w != 0 {
+		t.Fatalf("SetMaxWindow(0) left window at %v", w)
+	}
+	fillPending(b, 100, maxBatch)
+	b.flushOnce()
+	if w := window(b); w != 0 {
+		t.Fatalf("window widened to %v with a zero cap", w)
+	}
+}
+
+// TestFirstArriverFlushesImmediately: with no flush in flight a lone
+// request must not wait out any accumulation window.
+func TestFirstArriverFlushesImmediately(t *testing.T) {
+	b := NewBatcher(New(), 0)
+	b.SetMaxWindow(500 * time.Millisecond)
+	start := time.Now()
+	out, err := b.Certify(b.cert.Version(), oneRow(1))
+	if err != nil || !out.Committed {
+		t.Fatalf("Certify = %+v, %v", out, err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("lone request took %v; the first arriver must flush immediately", d)
+	}
+}
+
+// TestDrainCutsBatches parks a backlog the way arrivals during a flush
+// do, runs the backlog drainer exactly as a retiring flusher would,
+// and checks the batching arithmetic: every request answered, one
+// batch per maxBatch requests (so the accumulation window actually
+// amortizes), and the flusher role released at the end.
+func TestDrainCutsBatches(t *testing.T) {
+	const maxBatch = 64
+	const n = 400
+	b := NewBatcher(New(), maxBatch)
+	fillPending(b, 0, n)
+	b.mu.Lock()
+	b.flushing = true
+	parked := append([]*pendingCert(nil), b.pending...)
+	b.mu.Unlock()
+
+	b.drain()
+
+	for i, p := range parked {
+		select {
+		case <-p.done:
+		default:
+			t.Fatalf("request %d never completed", i)
+		}
+		if p.res.Err != nil || !p.res.Outcome.Committed {
+			t.Fatalf("disjoint request %d = %+v", i, p.res)
+		}
+	}
+	batches, requests, _ := b.BatchStats()
+	if requests != n {
+		t.Fatalf("BatchStats requests = %d, want %d", requests, n)
+	}
+	if want := int64((n + maxBatch - 1) / maxBatch); batches != want {
+		t.Fatalf("backlog of %d cut into %d batches, want %d", n, batches, want)
+	}
+	if v := b.cert.Version(); v != n {
+		t.Fatalf("certifier version = %d, want %d", v, n)
+	}
+	b.mu.Lock()
+	flushing := b.flushing
+	b.mu.Unlock()
+	if flushing {
+		t.Fatal("drain retired without releasing the flusher role")
+	}
+}
+
+// TestAdaptiveBatcherConcurrent is the black-box smoke: a concurrent
+// burst of disjoint certifications all commit with distinct versions.
+func TestAdaptiveBatcherConcurrent(t *testing.T) {
+	b := NewBatcher(New(), 0)
+	const n = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(row int64) {
+			defer wg.Done()
+			out, err := b.Certify(0, oneRow(row))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !out.Committed {
+				errs <- fmt.Errorf("disjoint row %d aborted", row)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if v := b.cert.Version(); v != n {
+		t.Fatalf("certifier version = %d, want %d", v, n)
+	}
+}

@@ -53,6 +53,17 @@ type Options struct {
 	Watch bool
 	// WatchInterval is the membership poll period (default 250ms).
 	WatchInterval time.Duration
+	// Pipeline streams a transaction's Write/Delete frames without
+	// waiting for each ack; the acks are drained at the next
+	// synchronous point (Read, Commit or Abort — the wire protocol is
+	// strict in-order request/reply, so frame alignment is preserved).
+	// One round trip per transaction's write burst instead of one per
+	// op. Typed semantics are preserved: a drained non-ack dooms the
+	// transaction with the same error the unpipelined op would have
+	// returned, surfaced before Commit is ever sent — except that an
+	// eager-certification abort now surfaces at the next sync point
+	// rather than at the offending Write.
+	Pipeline bool
 }
 
 // Client is a pooled driver over a set of replica servers. It is safe
@@ -354,7 +365,8 @@ func (c *Client) beginOn(idx int, readOnly bool) (*Txn, error) {
 		}
 		switch m := reply.(type) {
 		case *wire.BeginOK:
-			return &Txn{client: c, idx: idx, rep: rep, conn: conn, readOnly: readOnly, trace: m.Trace}, nil
+			return &Txn{client: c, idx: idx, rep: rep, conn: conn, readOnly: readOnly,
+				trace: m.Trace, pipeline: c.opts.Pipeline}, nil
 		case *wire.Err:
 			pool.put(conn)
 			return nil, &protocolError{code: m.Code, msg: fmt.Sprintf("client: begin on %s: %s", pool.addr, m.Msg)}
@@ -375,6 +387,13 @@ type Txn struct {
 	readOnly bool
 	done     bool
 	trace    uint64
+
+	// Pipelining state (Options.Pipeline): Write/Delete frames are
+	// sent without waiting for their acks; inflight counts acks owed,
+	// and doomed records the first typed error a drained ack carried.
+	pipeline bool
+	inflight int
+	doomed   error
 }
 
 var _ repl.Txn = (*Txn)(nil)
@@ -445,8 +464,72 @@ func mapErr(m *wire.Err) error {
 	}
 }
 
+// pipelineOp streams one Write/Delete frame without waiting for its
+// ack. The wire protocol is strict in-order request/reply, so the acks
+// arrive in send order and are drained at the next synchronous point.
+func (t *Txn) pipelineOp(req wire.Message) error {
+	if t.done {
+		return errDone
+	}
+	if t.doomed != nil {
+		return t.doomed
+	}
+	if err := t.conn.wc.Send(req); err != nil {
+		return t.failAborted(err)
+	}
+	t.inflight++
+	return nil
+}
+
+// drainAcks consumes the acks owed for pipelined ops. The first
+// non-WriteOK reply dooms the transaction with the typed error the
+// unpipelined op would have returned; draining continues regardless so
+// the connection stays frame-aligned. A transport failure here is
+// retry-safe (Commit has not been sent), so it surfaces as an abort.
+func (t *Txn) drainAcks() error {
+	for t.inflight > 0 {
+		reply, err := t.conn.wc.Recv()
+		if err != nil {
+			t.inflight = 0
+			return t.failAborted(err)
+		}
+		t.inflight--
+		if t.doomed != nil {
+			continue
+		}
+		switch m := reply.(type) {
+		case *wire.WriteOK:
+		case *wire.CommitAborted:
+			// Eager certification doomed the transaction at the server.
+			t.doomed = &repl.AbortedError{ConflictWith: m.ConflictWith}
+		case *wire.NotLeader:
+			t.doomed = &repl.AbortedError{}
+		case *wire.Err:
+			t.doomed = mapErr(m)
+		default:
+			t.inflight = 0
+			return t.fail(fmt.Errorf("client: unexpected pipelined ack %T", reply))
+		}
+	}
+	return nil
+}
+
+// syncPoint drains pipelined acks and surfaces a recorded doom before
+// the caller issues a synchronous exchange.
+func (t *Txn) syncPoint() error {
+	if t.inflight > 0 {
+		if err := t.drainAcks(); err != nil {
+			return err
+		}
+	}
+	return t.doomed
+}
+
 // Read implements repl.Txn.
 func (t *Txn) Read(table string, row int64) (string, bool, error) {
+	if err := t.syncPoint(); err != nil {
+		return "", false, err
+	}
 	reply, err := t.exchange(&wire.Read{Table: table, Row: row})
 	if err != nil {
 		return "", false, err
@@ -462,8 +545,14 @@ func (t *Txn) Read(table string, row int64) (string, bool, error) {
 }
 
 // Write implements repl.Txn. A CommitAborted reply means eager
-// certification already doomed the transaction.
+// certification already doomed the transaction. With Options.Pipeline
+// the frame streams without waiting for its ack (drained at the next
+// sync point), so errors — including eager-certification aborts —
+// surface there instead of here.
 func (t *Txn) Write(table string, row int64, value string) error {
+	if t.pipeline {
+		return t.pipelineOp(&wire.Write{Table: table, Row: row, Value: value})
+	}
 	reply, err := t.exchange(&wire.Write{Table: table, Row: row, Value: value})
 	if err != nil {
 		return err
@@ -487,6 +576,9 @@ func (t *Txn) Write(table string, row int64, value string) error {
 
 // Delete implements repl.Txn.
 func (t *Txn) Delete(table string, row int64) error {
+	if t.pipeline {
+		return t.pipelineOp(&wire.Delete{Table: table, Row: row})
+	}
 	reply, err := t.exchange(&wire.Delete{Table: table, Row: row})
 	if err != nil {
 		return err
@@ -521,6 +613,21 @@ func (t *Txn) Commit() error {
 	if t.done {
 		return errDone
 	}
+	// Drain pipelined acks BEFORE sending Commit: a transport failure
+	// here is still retry-safe (abort, not unknown outcome), and a
+	// doomed transaction must not be committed — the server kept it
+	// open after the failed op, so close it out and surface the typed
+	// error the unpipelined path would have returned from the op.
+	if t.inflight > 0 {
+		if err := t.drainAcks(); err != nil {
+			return err
+		}
+	}
+	if t.doomed != nil {
+		err := t.doomed
+		t.Abort()
+		return err
+	}
 	reply, err := roundTrip(t.conn, &wire.Commit{})
 	if err != nil {
 		t.fail(err)
@@ -554,6 +661,11 @@ func (t *Txn) Abort() {
 	if t.done {
 		return
 	}
+	if t.inflight > 0 {
+		if t.drainAcks() != nil {
+			return // transport failure already tore the txn down
+		}
+	}
 	reply, err := roundTrip(t.conn, &wire.Abort{})
 	if err != nil {
 		t.fail(err)
@@ -579,6 +691,10 @@ func (t *Txn) Abort() {
 // dumps will fail loudly if anyone asks.
 func (c *Client) Sync() {
 	deadline := time.Now().Add(8 * time.Second)
+	// Each re-check costs one Sync RPC per replica (and each of those
+	// can trigger a fetch at the primary), so the disagreement loop
+	// backs off exponentially instead of polling at a fixed beat.
+	backoff := 25 * time.Millisecond
 	for {
 		agree := true
 		var v int64
@@ -601,8 +717,22 @@ func (c *Client) Sync() {
 		if agree || time.Now().After(deadline) {
 			return
 		}
-		time.Sleep(25 * time.Millisecond)
+		time.Sleep(backoff)
+		if backoff < 200*time.Millisecond {
+			backoff *= 2
+		}
 	}
+}
+
+// RoundTrips sums the pooled request/reply exchanges across every
+// replica pool (Sync, dumps, loads, membership — not per-transaction
+// ops, which own their connection). Steady-state tests difference it.
+func (c *Client) RoundTrips() int64 {
+	var n int64
+	for _, r := range c.slots() {
+		n += r.pool.rpcs.Load()
+	}
+	return n
 }
 
 // TableDump implements repl.System over the live replicas (departed

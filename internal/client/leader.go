@@ -48,11 +48,12 @@ type LeaderRing struct {
 	peerID      int
 	dialTimeout time.Duration
 
-	mu    sync.Mutex
-	links map[string]*Link // one per discovered address
-	ring  []string         // candidate addresses, seed order first
-	cur   int              // index of the current leader guess
-	meta  func(version int64, trace uint64, commitNs int64)
+	mu        sync.Mutex
+	links     map[string]*Link // one per discovered address
+	ring      []string         // candidate addresses, seed order first
+	cur       int              // index of the current leader guess
+	meta      func(version int64, trace uint64, commitNs int64)
+	sinceWait time.Duration // long-poll window for Since (see Link)
 }
 
 // ErrNoLeader reports that the redirect budget ran out without
@@ -256,10 +257,35 @@ func (r *LeaderRing) Check(snapshot int64, ws writeset.Writeset) (conflict bool,
 	return conflict, with
 }
 
+// SetSinceWait makes Since long-poll with the given window instead of
+// returning immediately when the leader has nothing new (see
+// Link.SetSinceWait). Install before the loops that call Since.
+func (r *LeaderRing) SetSinceWait(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sinceWait = d
+}
+
+// RoundTrips sums the request/reply exchanges across every link the
+// ring has dialed.
+func (r *LeaderRing) RoundTrips() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, l := range r.links {
+		n += l.RoundTrips()
+	}
+	return n
+}
+
 // Since returns every certified record with version > v from the
-// leader, or nil when no leader is reachable.
+// leader, or nil when no leader is reachable. With a SetSinceWait
+// window installed the call long-polls when nothing is new.
 func (r *LeaderRing) Since(v int64) []certifier.Record {
-	recs, err := r.FetchSince(v, 0)
+	r.mu.Lock()
+	wait := r.sinceWait
+	r.mu.Unlock()
+	recs, err := r.FetchSince(v, wait)
 	if err != nil {
 		return nil
 	}

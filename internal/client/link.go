@@ -26,6 +26,14 @@ type Link struct {
 	// commit timestamp during FetchSince decoding (both zero on
 	// downgraded connections or untraced leaders).
 	meta func(version int64, trace uint64, commitNs int64)
+	// sinceWait is the long-poll window Since passes to FetchSince.
+	// Zero keeps Since immediate (commit-path latency); catch-up and
+	// sync loops set a small window so a caller already at the
+	// primary's version parks there instead of busy polling.
+	sinceWait time.Duration
+	// noCompress asks the primary to skip DEFLATE on Records replies
+	// (protocol v5; ignored by older servers).
+	noCompress bool
 }
 
 // linkRPCDeadline bounds ordinary link RPCs so a one-way partition
@@ -85,11 +93,27 @@ func (l *Link) Check(snapshot int64, ws writeset.Writeset) (conflict bool, with 
 	return m.Conflict, m.With
 }
 
+// SetSinceWait makes Since long-poll with the given window instead of
+// returning immediately when the primary has nothing new. Install
+// before the loops that call Since; the Link does not synchronize
+// replacement.
+func (l *Link) SetSinceWait(d time.Duration) { l.sinceWait = d }
+
+// SetNoCompress disables DEFLATE on this link's Records replies
+// (protocol v5; older servers ignore the request).
+func (l *Link) SetNoCompress(v bool) { l.noCompress = v }
+
+// RoundTrips returns the cumulative request/reply exchanges this link
+// has attempted — the observable a steady-state regression test pins
+// to prove catch-up long-polls instead of busy polling.
+func (l *Link) RoundTrips() int64 { return l.pool.rpcs.Load() }
+
 // Since returns every certified record with version > v, or nil when
 // the primary is unreachable (the caller simply makes no propagation
-// progress this round).
+// progress this round). With a SetSinceWait window installed the call
+// long-polls at the primary when nothing is new.
 func (l *Link) Since(v int64) []certifier.Record {
-	recs, err := l.FetchSince(v, 0)
+	recs, err := l.FetchSince(v, l.sinceWait)
 	if err != nil {
 		return nil
 	}
@@ -257,7 +281,7 @@ func (l *Link) PaxosLearn() (paxos.LearnReply, error) {
 // FetchSince retrieves records with version > v; wait > 0 long-polls
 // at the primary until records arrive or the wait expires.
 func (l *Link) FetchSince(v int64, wait time.Duration) ([]certifier.Record, error) {
-	req := &wire.FetchSince{Version: v}
+	req := &wire.FetchSince{Version: v, NoCompress: l.noCompress}
 	if wait > 0 {
 		req.WaitMillis = uint32(wait / time.Millisecond)
 	}

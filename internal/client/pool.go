@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
@@ -61,6 +62,11 @@ type connPool struct {
 	// peerID is sent in the handshake: the replica id when this pool
 	// belongs to a server's peer link, -1 for ordinary clients.
 	peerID int64
+
+	// rpcs counts request/reply exchanges attempted through rpc(),
+	// including retries. Steady-state regression tests read it to
+	// prove catch-up paths long-poll instead of busy polling.
+	rpcs atomic.Int64
 
 	mu      sync.Mutex
 	idle    []*wconn
@@ -274,6 +280,7 @@ func (p *connPool) rpc(req wire.Message, deadline time.Duration) (wire.Message, 
 		if deadline > 0 {
 			_ = c.nc.SetDeadline(time.Now().Add(deadline))
 		}
+		p.rpcs.Add(1)
 		reply, err := roundTrip(c, req)
 		if deadline > 0 {
 			_ = c.nc.SetDeadline(time.Time{})

@@ -112,6 +112,25 @@ type engine interface {
 // primary.
 const pollInterval = 250 * time.Millisecond
 
+// syncLongPoll is the long-poll window for commit-path catch-up
+// fetches (Link.Since, ring Since, smEngine.sync). Shorter than
+// pollInterval because these run inside client-visible operations, but
+// long enough that a caught-up replica parks on the primary instead of
+// spinning wait=0 round trips.
+const syncLongPoll = 25 * time.Millisecond
+
+// applyGroupWindow translates the Options.GroupWindow convention onto
+// a batcher: 0 keeps the adaptive default, < 0 disables accumulation.
+func applyGroupWindow(b *certifier.Batcher, w time.Duration) {
+	if w == 0 {
+		return
+	}
+	if w < 0 {
+		w = 0
+	}
+	b.SetMaxWindow(w)
+}
+
 // remoteCert instruments a remote certification service (a Link to
 // the certifier host, or a LeaderRing under Paxos) with the local
 // certification-latency histogram (which then measures the full
@@ -191,6 +210,7 @@ type mmEngine struct {
 	sw          *switchCert
 	m           *metrics
 	groupCommit bool
+	groupWindow time.Duration
 
 	// membership is the primary's authoritative member registry
 	// (nil on non-primary nodes); staleAfter is the liveness grace
@@ -226,6 +246,7 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 		}
 		e.px = px
 		e.groupCommit = opts.GroupCommit
+		e.groupWindow = opts.GroupWindow
 		e.membership = elastic.NewMembership()
 		e.membership.SeedStatic(opts.PaxosPeers)
 		e.cursors = pipeline.NewDynamicPeerCursors(func() int {
@@ -238,6 +259,9 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 		// commit timestamp per record; feed them to the tracer so
 		// replication lag is measured against the leader's clock.
 		px.ring.OnRecordMeta(m.tracer.NoteCommitMeta)
+		// Backup catch-up rides Since(); long-poll so a caught-up backup
+		// parks on the leader instead of spinning wait=0 fetches.
+		px.ring.SetSinceWait(syncLongPoll)
 		// The role loop applies the log (as leader) or pulls it (as
 		// backup); commits must not synchronously re-fetch the backlog.
 		async = true
@@ -256,6 +280,7 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 		var batcher *certifier.Batcher
 		if opts.GroupCommit {
 			batcher = certifier.NewBatcher(base, 0)
+			applyGroupWindow(batcher, opts.GroupWindow)
 		}
 		e.host = &pipeline.HostCert{Base: base, Batcher: batcher, Notify: pipeline.NewNotify(), Observe: m.observeCert, Tracer: m.tracer}
 		e.membership = elastic.NewMembership()
@@ -280,7 +305,10 @@ func newMMEngine(opts Options, m *metrics, stop <-chan struct{}) (*mmEngine, err
 		svc = e.host
 	} else {
 		e.link = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
+		e.link.SetSinceWait(syncLongPoll)
+		e.link.SetNoCompress(opts.NoCompress)
 		e.puller = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
+		e.puller.SetNoCompress(opts.NoCompress)
 		e.puller.OnRecordMeta(m.tracer.NoteCommitMeta)
 		svc = &remoteCert{svc: e.link, m: m, t: m.tracer}
 		// The propagation loop applies writesets here; re-fetching the
@@ -791,7 +819,9 @@ func newSMEngine(opts Options, m *metrics, stop <-chan struct{}) (*smEngine, err
 			return nil, err
 		}
 		e.link = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
+		e.link.SetNoCompress(opts.NoCompress)
 		e.puller = client.NewLink(opts.Primary, opts.Design, opts.ID, opts.DialTimeout)
+		e.puller.SetNoCompress(opts.NoCompress)
 		e.puller.OnRecordMeta(m.tracer.NoteCommitMeta)
 	}
 	return e, nil
@@ -882,7 +912,10 @@ func (e *smEngine) sync() {
 	if e.isMaster {
 		return // the master is always current
 	}
-	recs, err := e.link.FetchSince(e.applied(), 0)
+	// Long-poll instead of wait=0: a caught-up slave pinged by a
+	// client's Sync loop parks briefly on the master rather than
+	// burning a round trip per ping.
+	recs, err := e.link.FetchSince(e.applied(), syncLongPoll)
 	if err != nil {
 		return
 	}

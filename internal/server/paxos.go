@@ -207,6 +207,7 @@ func (e *mmEngine) promoteSelf() error {
 	var batcher *certifier.Batcher
 	if e.groupCommit {
 		batcher = certifier.NewBatcher(cert, 0)
+		applyGroupWindow(batcher, e.groupWindow)
 	}
 	h := &pipeline.HostCert{Base: cert, Notify: pipeline.NewNotify(), Batcher: batcher, Observe: e.m.observeCert, Tracer: e.m.tracer}
 	e.hostMu.Lock()

@@ -86,6 +86,15 @@ type Options struct {
 	// GroupCommit batches commit certification on the certifier host
 	// (mm, ID 0 only).
 	GroupCommit bool
+	// GroupWindow caps the batcher's adaptive accumulation window
+	// (default certifier.DefaultMaxWindow; < 0 disables accumulation
+	// so every backlog batch cuts immediately). Ignored without
+	// GroupCommit.
+	GroupWindow time.Duration
+	// NoCompress disables DEFLATE on outgoing v5 Records bodies and
+	// asks this node's own propagation pulls to skip it too — for
+	// benchmarking the wire formats and for CPU-bound deployments.
+	NoCompress bool
 	// EagerCert enables eager certification on writes (mm only; on a
 	// non-primary node every probe is a network round trip).
 	EagerCert bool
@@ -792,7 +801,10 @@ func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
 		if err != nil {
 			return s.errReply(st, err)
 		}
-		reply := &wire.Records{Recs: make([]wire.Record, len(recs))}
+		reply := &wire.Records{
+			Recs:     make([]wire.Record, len(recs)),
+			Compress: !m.NoCompress && !s.opts.NoCompress,
+		}
 		for i, r := range recs {
 			trace, commitNs := s.m.tracer.CommitMeta(r.Version)
 			reply.Recs[i] = wire.Record{Version: r.Version, WS: r.Writeset, Trace: trace, CommitNs: commitNs}

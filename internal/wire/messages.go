@@ -625,16 +625,31 @@ func (m *CheckOK) decode(d *decoder) {
 type FetchSince struct {
 	Version    int64
 	WaitMillis uint32
+	// NoCompress (protocol v5) asks the server to skip DEFLATE on the
+	// Records reply body for this fetch — for benchmarking and
+	// CPU-bound pullers. Older connections never carry it.
+	NoCompress bool
 }
 
-func (*FetchSince) msgType() MsgType { return TFetchSince }
-func (m *FetchSince) encode(b []byte) []byte {
+func (*FetchSince) msgType() MsgType         { return TFetchSince }
+func (m *FetchSince) encode(b []byte) []byte { return m.encodeV(b, ProtoVersion) }
+func (m *FetchSince) decode(d *decoder)      { m.decodeV(d, ProtoVersion) }
+func (m *FetchSince) encodeV(b []byte, proto uint32) []byte {
 	b = appendVarint(b, m.Version)
-	return appendUvarint(b, uint64(m.WaitMillis))
+	b = appendUvarint(b, uint64(m.WaitMillis))
+	if proto >= 5 {
+		b = appendBool(b, m.NoCompress)
+	}
+	return b
 }
-func (m *FetchSince) decode(d *decoder) {
+func (m *FetchSince) decodeV(d *decoder, proto uint32) {
 	m.Version = d.varint()
 	m.WaitMillis = uint32(d.uvarint())
+	if proto >= 5 {
+		m.NoCompress = d.bool()
+	} else {
+		m.NoCompress = false
+	}
 }
 
 // Record is one certified writeset with its global version. Trace and
@@ -650,9 +665,18 @@ type Record struct {
 	CommitNs int64
 }
 
-// Records answers FetchSince with an ascending run of records.
+// Records answers FetchSince with an ascending run of records. On
+// protocol v5 connections the payload uses the compact propagation
+// shape (per-frame table dictionary, delta-encoded versions, optional
+// DEFLATE body — see records_v5.go); older connections keep the flat
+// per-record shape.
 type Records struct {
 	Recs []Record
+	// Compress asks the encoder to DEFLATE the v5 body. It is
+	// sender-side intent, never transmitted: the frame's flags byte
+	// records what actually happened (the encoder falls back to the
+	// plain body when compression does not pay).
+	Compress bool
 }
 
 func (*Records) msgType() MsgType { return TRecords }
@@ -663,6 +687,9 @@ func (m *Records) decode(d *decoder) {
 	m.decodeV(d, ProtoVersion)
 }
 func (m *Records) encodeV(b []byte, proto uint32) []byte {
+	if proto >= 5 {
+		return m.encodeV5(b)
+	}
 	b = appendUvarint(b, uint64(len(m.Recs)))
 	for _, r := range m.Recs {
 		b = appendVarint(b, r.Version)
@@ -675,6 +702,10 @@ func (m *Records) encodeV(b []byte, proto uint32) []byte {
 	return b
 }
 func (m *Records) decodeV(d *decoder, proto uint32) {
+	if proto >= 5 {
+		m.decodeV5(d)
+		return
+	}
 	n := d.uvarint()
 	if d.err != nil {
 		return

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/writeset"
 )
@@ -36,9 +37,13 @@ const (
 	// frames and the NotLeader redirect); version 4 adds commit-path
 	// trace ids on Begin/BeginOK/Certify and trace ids + commit
 	// timestamps on propagated Records, so spans stitch across nodes.
-	// No new message types: a v3 peer simply never sees the extra
-	// fields (they are encoded only on v4-negotiated connections).
-	ProtoVersion = 4
+	// Version 5 re-frames Records for propagation efficiency — a
+	// per-frame table dictionary, delta-encoded versions and an
+	// optional DEFLATE-compressed body (see records_v5.go) — and adds
+	// a client-side compression opt-out on FetchSince. No new message
+	// types: an older peer simply never sees the extra fields or the
+	// compact shape (they are used only on new-enough connections).
+	ProtoVersion = 5
 
 	// MinProto is the oldest protocol version this build still
 	// accepts. A v1 peer can run the full transaction, load and
@@ -114,6 +119,14 @@ type Conn struct {
 	wbuf  []byte
 	hdr   [4]byte
 	proto uint32
+	// hot caches one reusable decode target per hot message type so
+	// steady-state Recv does not allocate a fresh struct per frame.
+	// Indexed by MsgType; only types marked in hotReusable are cached.
+	hot [TRecords + 1]Message
+	// dec is Recv's decoder. It lives on the Conn because handing a
+	// stack decoder to the dynamic decodeV call makes it escape — one
+	// heap allocation per received frame.
+	dec decoder
 }
 
 // NewConn wraps a byte stream (normally a *net.TCPConn). The
@@ -158,9 +171,35 @@ func (c *Conn) Send(m Message) error {
 	return err
 }
 
+// recvRetain bounds the read-buffer capacity a Conn keeps between
+// frames. Typical transaction frames are tens of bytes, but bulk
+// loads and snapshot chunks approach MaxFrame; keeping such a buffer
+// would pin megabytes per connection for its remaining lifetime.
+// Frames above the threshold borrow a buffer from a shared pool and
+// release it before Recv returns (safe: decoded messages copy every
+// retained byte out of the read buffer).
+const recvRetain = 64 << 10
+
+// bigRecvPool recycles oversized read buffers across connections.
+var bigRecvPool sync.Pool
+
+// grabBig returns a pooled buffer with capacity >= n.
+func grabBig(n int) *[]byte {
+	if v := bigRecvPool.Get(); v != nil {
+		b := v.(*[]byte)
+		if cap(*b) >= n {
+			return b
+		}
+	}
+	b := make([]byte, n)
+	return &b
+}
+
 // Recv reads one frame and decodes it into a typed message. The
-// returned message owns its data; the internal buffer is reused by the
-// next Recv.
+// returned message owns its variable-size data (strings, slices), but
+// hot message structs themselves are reused by the next Recv of the
+// same type on this connection — callers must not retain them across
+// Recv calls (the request/reply discipline already guarantees this).
 func (c *Conn) Recv() (Message, error) {
 	if _, err := io.ReadFull(c.rw, c.hdr[:]); err != nil {
 		return nil, err
@@ -172,22 +211,30 @@ func (c *Conn) Recv() (Message, error) {
 	if n > MaxFrame {
 		return nil, ErrFrameTooLarge
 	}
-	if cap(c.rbuf) < int(n) {
-		c.rbuf = make([]byte, n)
+	var buf []byte
+	if int(n) <= recvRetain {
+		if cap(c.rbuf) < int(n) {
+			c.rbuf = make([]byte, n)
+		}
+		buf = c.rbuf[:n]
+	} else {
+		pooled := grabBig(int(n))
+		buf = (*pooled)[:n]
+		defer bigRecvPool.Put(pooled)
 	}
-	c.rbuf = c.rbuf[:n]
-	if _, err := io.ReadFull(c.rw, c.rbuf); err != nil {
+	if _, err := io.ReadFull(c.rw, buf); err != nil {
 		return nil, err
 	}
-	m := newMessage(MsgType(c.rbuf[0]))
+	m := c.messageFor(MsgType(buf[0]))
 	if m == nil {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownMessage, c.rbuf[0])
+		return nil, fmt.Errorf("%w: %d", ErrUnknownMessage, buf[0])
 	}
-	d := decoder{b: c.rbuf[1:]}
+	c.dec = decoder{b: buf[1:]}
+	d := &c.dec
 	if vm, ok := m.(versioned); ok {
-		vm.decodeV(&d, c.proto)
+		vm.decodeV(d, c.proto)
 	} else {
-		m.decode(&d)
+		m.decode(d)
 	}
 	if d.err != nil {
 		return nil, d.err
@@ -196,6 +243,34 @@ func (c *Conn) Recv() (Message, error) {
 		return nil, ErrTrailingBytes
 	}
 	return m, nil
+}
+
+// hotReusable marks the message types whose decode target Recv reuses
+// across frames: the per-transaction hot path plus propagation. A
+// type qualifies only when no caller retains the struct past its
+// processing — the bulk and lockstep replies (Load/Dump/Snapshot/
+// Stats/Members/Join) and the paxos frames are excluded because
+// callers hold onto them.
+var hotReusable = [TRecords + 1]bool{
+	TErr: true, TBegin: true, TBeginOK: true, TRead: true, TReadOK: true,
+	TWrite: true, TWriteOK: true, TDelete: true, TCommit: true,
+	TCommitOK: true, TCommitAborted: true, TAbort: true, TAbortOK: true,
+	TSync: true, TSyncOK: true, TCertify: true, TCertifyOK: true,
+	TCheck: true, TCheckOK: true, TFetchSince: true, TRecords: true,
+}
+
+// messageFor returns the decode target for a type byte: the cached
+// hot struct when the type is reusable, a fresh one otherwise.
+func (c *Conn) messageFor(t MsgType) Message {
+	if int(t) < len(c.hot) && hotReusable[t] {
+		if m := c.hot[t]; m != nil {
+			return m
+		}
+		m := newMessage(t)
+		c.hot[t] = m
+		return m
+	}
+	return newMessage(t)
 }
 
 // decoder consumes a payload with sticky error handling.

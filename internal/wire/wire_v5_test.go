@@ -1,0 +1,232 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/writeset"
+)
+
+// propagationRun builds a Records frame shaped like a real propagation
+// stream: n records over a handful of tables, ascending versions,
+// values with the repetitive structure TPC-W rows have.
+func propagationRun(n int) []Record {
+	tables := []string{"item", "orders", "order_line", "shopping_cart"}
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Version: int64(1000 + i),
+			WS: writeset.New([]writeset.Entry{
+				{Key: writeset.Key{Table: tables[i%len(tables)], Row: int64(i * 7)},
+					Value: fmt.Sprintf("qty=%d subject=ARTS stock=%d thumb=img/thumb_%d.gif", i, 90-i%10, i)},
+				{Key: writeset.Key{Table: tables[(i+1)%len(tables)], Row: int64(i)},
+					Delete: i%5 == 0, Value: "total=104.99 status=SHIPPED"},
+			}),
+			Trace:    uint64(i) << 13,
+			CommitNs: int64(1754600000000000000 + i*1000),
+		}
+	}
+	return recs
+}
+
+func recordsEqual(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Version != w.Version || g.Trace != w.Trace || g.CommitNs != w.CommitNs || !wsEqual(g.WS, w.WS) {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+}
+
+// TestRecordsRoundTripV5 round-trips the compact propagation shape at
+// the newest protocol, plain and compressed, including the awkward
+// cases: version deltas that run backwards, empty writesets, deletes.
+func TestRecordsRoundTripV5(t *testing.T) {
+	recs := []Record{
+		{Version: 50, WS: writeset.New([]writeset.Entry{
+			{Key: writeset.Key{Table: "item", Row: -3}, Value: "x"},
+			{Key: writeset.Key{Table: "item", Row: 9}, Delete: true},
+		}), Trace: ^uint64(0), CommitNs: -1},
+		{Version: 7}, // non-monotonic: negative delta, empty writeset
+		{Version: 8, WS: writeset.New([]writeset.Entry{
+			{Key: writeset.Key{Table: "orders", Row: 0}, Value: ""},
+		})},
+	}
+	for _, compress := range []bool{false, true} {
+		got := roundTripAt(t, ProtoVersion, &Records{Recs: recs, Compress: compress}).(*Records)
+		recordsEqual(t, got.Recs, recs)
+	}
+	if got := roundTripAt(t, ProtoVersion, &Records{}).(*Records); len(got.Recs) != 0 {
+		t.Fatalf("empty Records came back with %d records", len(got.Recs))
+	}
+}
+
+// TestRecordsV5Compresses pins the two sides of the compression
+// bargain: a body with real redundancy gets smaller than both its
+// plain-v5 and its v4 encoding, and the frame is marked compressed.
+func TestRecordsV5Compresses(t *testing.T) {
+	recs := propagationRun(200)
+	plain := (&Records{Recs: recs}).encodeV(nil, ProtoVersion)
+	comp := (&Records{Recs: recs, Compress: true}).encodeV(nil, ProtoVersion)
+	v4 := (&Records{Recs: recs}).encodeV(nil, 4)
+	if plain[0] != 0 {
+		t.Fatalf("plain payload flags = %#x", plain[0])
+	}
+	if comp[0] != recFlate {
+		t.Fatalf("compressed payload flags = %#x, want recFlate", comp[0])
+	}
+	if len(comp) >= len(plain) {
+		t.Fatalf("compression did not shrink: %d -> %d bytes", len(plain), len(comp))
+	}
+	if len(plain) >= len(v4) {
+		t.Fatalf("v5 dictionary+delta shape not smaller than v4: %d vs %d", len(plain), len(v4))
+	}
+}
+
+// TestRecordsV5CompressionFallback: bodies below compressMin, and
+// bodies compression cannot shrink, fall back to the plain shape — the
+// Compress intent never grows a frame.
+func TestRecordsV5CompressionFallback(t *testing.T) {
+	tiny := []Record{{Version: 1, WS: writeset.New([]writeset.Entry{
+		{Key: writeset.Key{Table: "t", Row: 1}, Value: "v"},
+	})}}
+	if b := (&Records{Recs: tiny, Compress: true}).encodeV(nil, ProtoVersion); b[0] != 0 {
+		t.Fatalf("tiny body was compressed (flags %#x)", b[0])
+	}
+	got := roundTripAt(t, ProtoVersion, &Records{Recs: tiny, Compress: true}).(*Records)
+	recordsEqual(t, got.Recs, tiny)
+}
+
+// TestRecordsDowngradeV5toV4 proves interop with a v4 peer: on a
+// connection negotiated at protocol 4 the Records keep the flat shape
+// with trace metadata, FetchSince drops the v5 opt-out silently, and
+// the connection keeps framing afterwards.
+func TestRecordsDowngradeV5toV4(t *testing.T) {
+	recs := propagationRun(8)
+	ca, cb, done := pipeConnsAt(t, 4)
+	defer done()
+	msgs := []Message{
+		&FetchSince{Version: 3, WaitMillis: 250, NoCompress: true},
+		&Records{Recs: recs, Compress: true}, // intent must be ignored at v4
+		&Commit{},                            // the next frame must still align
+	}
+	errc := make(chan error, 1)
+	go func() {
+		for _, m := range msgs {
+			if err := ca.Send(m); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for i := range msgs {
+		got, err := cb.Recv()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		switch g := got.(type) {
+		case *FetchSince:
+			if g.NoCompress || g.Version != 3 || g.WaitMillis != 250 {
+				t.Fatalf("v4 FetchSince = %+v (NoCompress must be dropped)", g)
+			}
+		case *Records:
+			recordsEqual(t, g.Recs, recs)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+}
+
+// TestFetchSinceNoCompressV5 pins the new field's version gate.
+func TestFetchSinceNoCompressV5(t *testing.T) {
+	for _, proto := range []uint32{1, 3, 4, ProtoVersion} {
+		got := roundTripAt(t, proto, &FetchSince{Version: 11, NoCompress: true}).(*FetchSince)
+		want := proto >= 5
+		if got.NoCompress != want || got.Version != 11 {
+			t.Fatalf("proto %d: FetchSince = %+v, want NoCompress=%v", proto, got, want)
+		}
+	}
+}
+
+// TestRecordsV5RejectsUnknownFlags: a flags byte with bits this decoder
+// does not understand is a hard error, not silent misparsing — the
+// escape hatch for future codec changes.
+func TestRecordsV5RejectsUnknownFlags(t *testing.T) {
+	payload := (&Records{Recs: propagationRun(1)}).encodeV(nil, ProtoVersion)
+	payload[0] = 0x80
+	d := &decoder{b: payload}
+	(&Records{}).decodeV(d, ProtoVersion)
+	if d.err == nil {
+		t.Fatal("unknown flags decoded without error")
+	}
+}
+
+// TestRecordsV5BadDictIndex: an entry referencing past the table
+// dictionary must fail cleanly.
+func TestRecordsV5BadDictIndex(t *testing.T) {
+	var body []byte
+	body = appendUvarint(body, 1) // one record
+	body = appendUvarint(body, 0) // empty dictionary
+	body = appendVarint(body, 1)  // version
+	body = appendUvarint(body, 0) // trace
+	body = appendVarint(body, 0)  // commitNs
+	body = appendUvarint(body, 1) // one entry
+	body = appendUvarint(body, 0) // table index 0 — out of range
+	payload := append([]byte{0}, body...)
+	d := &decoder{b: payload}
+	(&Records{}).decodeV(d, ProtoVersion)
+	if d.err == nil {
+		t.Fatal("out-of-range dictionary index decoded without error")
+	}
+}
+
+// TestRecordsV5CompressedTrailing: bytes after a well-formed body
+// inside the compressed stream are an error, mirroring the frame-level
+// trailing-bytes rule.
+func TestRecordsV5CompressedTrailing(t *testing.T) {
+	body := appendRecordsBody(nil, propagationRun(20))
+	body = append(body, 0xAA) // junk beyond the declared records
+	payload, ok := appendFlate(nil, body)
+	if !ok {
+		t.Skip("junk body did not compress; cannot exercise the path")
+	}
+	d := &decoder{b: payload}
+	(&Records{}).decodeV(d, ProtoVersion)
+	if d.err == nil {
+		t.Fatal("trailing bytes inside the compressed body decoded without error")
+	}
+}
+
+// FuzzRecordsV5 fuzzes the delta/dictionary/compression codec through
+// full frames at the newest protocol and at v4, mirroring
+// FuzzTraceRecordV4 for the new shape.
+func FuzzRecordsV5(f *testing.F) {
+	f.Add(int64(1), int64(1), uint64(0), int64(0), "item", int64(7), "v", false, false)
+	f.Add(int64(-9), int64(-1), ^uint64(0), int64(-5), "", int64(0), "", true, true)
+	f.Add(int64(1<<40), int64(3), uint64(77), int64(1<<50), "orders", int64(-2),
+		strings.Repeat("stock=91 ", 40), false, true)
+	f.Fuzz(func(t *testing.T, v1, delta int64, trace uint64, commitNs int64,
+		table string, row int64, value string, del, compress bool) {
+		recs := []Record{
+			{Version: v1, WS: writeset.New([]writeset.Entry{
+				{Key: writeset.Key{Table: table, Row: row}, Delete: del, Value: value},
+				{Key: writeset.Key{Table: "fixed"}, Value: value},
+			}), Trace: trace, CommitNs: commitNs},
+			{Version: v1 + delta, WS: writeset.New([]writeset.Entry{
+				{Key: writeset.Key{Table: table, Row: row + 1}, Value: value},
+			})},
+		}
+		got := roundTripAt(t, ProtoVersion, &Records{Recs: recs, Compress: compress}).(*Records)
+		recordsEqual(t, got.Recs, recs)
+
+		old := roundTripAt(t, 4, &Records{Recs: recs, Compress: compress}).(*Records)
+		recordsEqual(t, old.Recs, recs)
+	})
+}
