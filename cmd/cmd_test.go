@@ -21,7 +21,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/obs"
+	"repro/internal/repl"
+	"repro/internal/router"
 )
 
 // buildAll compiles the four binaries once per test binary run.
@@ -263,6 +266,7 @@ type statusOut struct {
 	Replicas   []struct {
 		Addr     string `json:"addr"`
 		ID       int64  `json:"id"`
+		Shard    int64  `json:"shard"`
 		Leading  bool   `json:"leading"`
 		Applied  int64  `json:"applied"`
 		Behind   int64  `json:"versions_behind"`
@@ -654,5 +658,183 @@ func TestReplicadbPaxosLeaderKill(t *testing.T) {
 	}
 	if !strings.Contains(events, "leader_elected") {
 		t.Fatalf("new leader's journal has no leader_elected event:\n%s", events)
+	}
+}
+
+// TestReplicadbShardedCluster is the horizontal-scaling acceptance
+// path across OS processes: two shard groups of two mm replicas each
+// (four `replicadb serve -shard i -shards 2` processes with fsync'd
+// WALs), fronted in-test by the router over pooled clients. Cross-shard
+// transactions commit through 2PC over the wire; `status -json` reports
+// each replica's shard; one group's certifier-hosting primary is
+// SIGKILLed mid-deployment and restarted from its WAL, after which
+// cross-shard commits resume and all four replicas converge.
+func TestReplicadbShardedCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildAll(t)
+	bin := bins["replicadb"]
+	addrs := reservePorts(t, 4)
+	groupAddrs := [][]string{{addrs[0], addrs[1]}, {addrs[2], addrs[3]}}
+	walDirs := make([]string, 4)
+	for i := range walDirs {
+		walDirs[i] = t.TempDir()
+	}
+	logDir := t.TempDir()
+
+	serve := func(g, i int, logName string) *exec.Cmd {
+		logFile, err := os.Create(filepath.Join(logDir, logName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(bin, "serve",
+			"-design", "mm",
+			"-id", strconv.Itoa(i),
+			"-listen", groupAddrs[g][i],
+			"-peers", strings.Join(groupAddrs[g], ","),
+			"-shard", strconv.Itoa(g),
+			"-shards", "2",
+			"-wal-dir", walDirs[2*g+i],
+			"-fsync")
+		cmd.Stdout, cmd.Stderr = logFile, logFile
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start group %d replica %d: %v", g, i, err)
+		}
+		logFile.Close()
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+		waitReachable(t, groupAddrs[g][i])
+		return cmd
+	}
+	var procs [2][2]*exec.Cmd
+	for g := 0; g < 2; g++ {
+		for i := 0; i < 2; i++ {
+			procs[g][i] = serve(g, i, fmt.Sprintf("g%dr%d.log", g, i))
+		}
+	}
+
+	// Router over one pooled client per group — the servers are real
+	// processes; only the driver is in-test.
+	var groups []router.Group
+	for g := 0; g < 2; g++ {
+		cl, err := client.New(client.Options{Servers: groupAddrs[g], Design: "mm"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cl.Close)
+		groups = append(groups, cl)
+	}
+	r, err := router.New(1, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CreateTable("item"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Load("item", 64, func(row int64) string {
+		return fmt.Sprintf("load-%d", row)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// One owned row per group for the cross-shard pairs.
+	rows := map[int]int64{}
+	for row := int64(0); row < 64; row++ {
+		g := r.Map().Locate("item", row)
+		if _, ok := rows[g]; !ok {
+			rows[g] = row
+		}
+	}
+
+	crossCommit := func(tag string) error {
+		txn, err := r.BeginUpdate()
+		if err != nil {
+			return err
+		}
+		if err := txn.Write("item", rows[0], tag+"-0"); err != nil {
+			txn.Abort()
+			return err
+		}
+		if err := txn.Write("item", rows[1], tag+"-1"); err != nil {
+			txn.Abort()
+			return err
+		}
+		return txn.Commit()
+	}
+	for i := 0; i < 5; i++ {
+		if err := crossCommit(fmt.Sprintf("pre%d", i)); err != nil {
+			t.Fatalf("cross-shard commit %d: %v", i, err)
+		}
+	}
+
+	// The status dashboard reports each replica's shard (wire v6
+	// StatsOK.ShardID).
+	rep := statusJSON(t, bin, strings.Join(groupAddrs[1], ","))
+	for _, row := range rep.Replicas {
+		if row.Error == "" && row.Shard != 1 {
+			t.Fatalf("group 1 replica %s reports shard %d, want 1", row.Addr, row.Shard)
+		}
+	}
+
+	// SIGKILL group 1's certifier-hosting primary: its 2PC participant
+	// state is only in the WAL now.
+	if err := procs[1][0].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	procs[1][0].Wait()
+
+	// A cross-shard transaction against the dead participant must fail
+	// cleanly — explicit abort or unknown outcome, never a false ack.
+	if err := crossCommit("while-down"); err == nil {
+		t.Fatal("cross-shard commit succeeded with group 1's primary dead")
+	}
+
+	// Restart the primary from its WAL.
+	serve(1, 0, "g1r0-restarted.log")
+	restartLog := filepath.Join(logDir, "g1r0-restarted.log")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b, _ := os.ReadFile(restartLog)
+		if strings.Contains(string(b), "resumed from WAL at version") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted primary never announced WAL recovery:\n%s", b)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Cross-shard commits resume (the pooled client redials the
+	// restarted primary; retry while it settles).
+	deadline = time.Now().Add(15 * time.Second)
+	for i := 0; ; i++ {
+		err := crossCommit(fmt.Sprintf("post%d", i))
+		if err == nil && i >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cross-shard commits never resumed: %v", err)
+		}
+		if err != nil {
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+
+	// All four replicas converge on the routed state — the aborted
+	// while-down fragment must be absent everywhere.
+	r.Sync()
+	if err := repl.CheckConvergence(r, []string{"item"}); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := r.TableDump(0, "item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row, v := range dump {
+		if strings.HasPrefix(v, "while-down") {
+			t.Fatalf("aborted cross-shard fragment leaked at row %d: %q", row, v)
+		}
 	}
 }

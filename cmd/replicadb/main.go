@@ -252,6 +252,9 @@ func serveMain(args []string) {
 		paxos   = fs.Bool("paxos", false, "replicate the certifier over the -peers group with leader election and automatic failover (mm; composes with -wal-dir/-fsync)")
 		electTO = fs.Duration("elect-timeout", time.Second, "paxos: how long a backup goes without leader progress before campaigning")
 
+		shard  = fs.Int("shard", 0, "hash-partitioned deployment: this replica group's shard id (every replica of a group serves the same -shard)")
+		shards = fs.Int("shards", 1, "hash-partitioned deployment: total shard groups in the map (1: unsharded; clients route by the map stamped on Join/Members)")
+
 		notrace = fs.Bool("notrace", false, "disable commit-path stage tracing (per-stage histograms, /debug/slowtxns)")
 		slowMs  = fs.Int("slow-ms", 0, "slow-transaction threshold in milliseconds for /debug/slowtxns (0: default 50ms)")
 
@@ -338,6 +341,15 @@ func serveMain(args []string) {
 	if *workers < 1 {
 		usageExit(fs, "-apply-workers must be >= 1 (got %d; 1 disables parallel apply)", *workers)
 	}
+	if *shards < 1 {
+		usageExit(fs, "-shards must be >= 1 (got %d)", *shards)
+	}
+	if *shard < 0 || *shard >= *shards {
+		usageExit(fs, "-shard %d out of range for %d shard groups", *shard, *shards)
+	}
+	if *shards > 1 && *design != "mm" {
+		usageExit(fs, "-shards requires -design mm (cross-shard commit runs 2PC over certification)")
+	}
 	baseMix := mustMix(fs, *profMix)
 
 	opts := server.Options{
@@ -356,6 +368,8 @@ func serveMain(args []string) {
 		ApplyWorkers: *workers,
 		DisableTrace: *notrace,
 		SlowTxn:      time.Duration(*slowMs) * time.Millisecond,
+		ShardID:      *shard,
+		ShardCount:   *shards,
 	}
 	if *paxos {
 		opts.Paxos = true
@@ -385,6 +399,9 @@ func serveMain(args []string) {
 		role = "master"
 	}
 	fmt.Printf("replicadb: serving %s %s on %s\n", *design, role, srv.Addr())
+	if *shards > 1 {
+		fmt.Printf("replicadb: shard group %d of %d (clients route by the published shard map)\n", *shard, *shards)
+	}
 	if *paxos {
 		fmt.Printf("replicadb: certification replicated over %d nodes (election timeout %s)\n",
 			len(peerList), *electTO)
@@ -635,12 +652,17 @@ func benchMain(args []string) {
 		ramp     = fs.Duration("ramp", 500*time.Millisecond, "with -json: exclude this warm-up window from steady_tps (0 disables)")
 		jsonOut  = fs.String("json", "", "write a machine-readable result to this file (\"-\" for stdout)")
 		matrix   = fs.Bool("matrix", false, "run the in-process scaling matrix (apply-workers x pipelining x compression) instead of targeting -servers")
-		matOut   = fs.String("matrix-out", "BENCH_PR9.json", "with -matrix: write the matrix report to this file (\"-\" for stdout)")
+		matOut   = fs.String("matrix-out", "", "with -matrix: write the matrix report to this file (default BENCH_PR9.json, or BENCH_PR10.json with -shards; \"-\" for stdout)")
+		shards   = fs.String("shards", "", "with -matrix: run the shard-count dimension instead — comma-separated group counts to sweep (e.g. 1,2,4), each as a disjoint and a -cross mixed cell")
+		cross    = fs.Float64("cross", 0.10, "with -matrix -shards: fraction of transactions writing a second row on a different shard group (2PC path)")
 	)
 	fs.Parse(args)
 
 	if *design != "mm" && *design != "sm" {
 		usageExit(fs, "unknown design %q (mm|sm)", *design)
+	}
+	if *shards != "" && !*matrix {
+		usageExit(fs, "-shards requires -matrix (the shard dimension boots its own loopback groups)")
 	}
 	if *matrix {
 		if *design != "mm" {
@@ -652,7 +674,30 @@ func benchMain(args []string) {
 		if *clients < 1 || *txns < 1 || *factor < 1 {
 			usageExit(fs, "-clients, -txns and -factor must be >= 1")
 		}
-		matrixMain(fs, *mixID, *clients, *txns, *factor, *seed, *matOut)
+		if *shards != "" {
+			if *cross < 0 || *cross > 1 {
+				usageExit(fs, "-cross must be in [0,1] (got %g)", *cross)
+			}
+			var counts []int
+			for _, s := range splitAddrs(*shards) {
+				n, err := strconv.Atoi(s)
+				if err != nil || n < 1 {
+					usageExit(fs, "-shards: bad group count %q", s)
+				}
+				counts = append(counts, n)
+			}
+			out := *matOut
+			if out == "" {
+				out = "BENCH_PR10.json"
+			}
+			shardMatrixMain(counts, *cross, *clients, *txns, *seed, out)
+			return
+		}
+		out := *matOut
+		if out == "" {
+			out = "BENCH_PR9.json"
+		}
+		matrixMain(fs, *mixID, *clients, *txns, *factor, *seed, out)
 		return
 	}
 	if *servers == "" {
@@ -798,6 +843,7 @@ func benchMain(args []string) {
 type statusReplica struct {
 	Addr       string  `json:"addr"`
 	ID         int64   `json:"id"`
+	Shard      int64   `json:"shard"`
 	Leading    bool    `json:"leading"`
 	Epoch      int64   `json:"epoch"`
 	Applied    int64   `json:"applied"`
@@ -899,6 +945,7 @@ func (p *statusPoller) poll() statusReport {
 			continue
 		}
 		row.ID = st.ReplicaID
+		row.Shard = st.ShardID
 		row.Leading = st.Leading
 		row.Epoch = st.Epoch
 		row.Applied = st.Applied
@@ -977,8 +1024,8 @@ func (r statusReport) render(w *os.File) {
 		fmt.Fprintf(w, "leader: unknown (epoch %d), max applied version %d\n",
 			r.Epoch, r.MaxApplied)
 	}
-	fmt.Fprintf(w, "%-22s %4s %-6s %9s %7s %6s %9s %7s %16s\n",
-		"addr", "id", "role", "applied", "behind", "queue", "commits", "aborts", "repl-lag avg/max")
+	fmt.Fprintf(w, "%-22s %4s %5s %-6s %9s %7s %6s %9s %7s %16s\n",
+		"addr", "id", "shard", "role", "applied", "behind", "queue", "commits", "aborts", "repl-lag avg/max")
 	for _, rep := range r.Replicas {
 		if rep.Error != "" {
 			fmt.Fprintf(w, "%-22s DOWN: %s\n", rep.Addr, rep.Error)
@@ -992,8 +1039,8 @@ func (r statusReport) render(w *os.File) {
 		if rep.LagCount > 0 {
 			lag = fmt.Sprintf("%.2f/%.2fms", rep.LagMeanMs, rep.LagMaxMs)
 		}
-		fmt.Fprintf(w, "%-22s %4d %-6s %9d %7d %6d %9d %7d %16s\n",
-			rep.Addr, rep.ID, role, rep.Applied, rep.Behind, rep.QueueDepth,
+		fmt.Fprintf(w, "%-22s %4d %5d %-6s %9d %7d %6d %9d %7d %16s\n",
+			rep.Addr, rep.ID, rep.Shard, role, rep.Applied, rep.Behind, rep.QueueDepth,
 			rep.Commits, rep.Aborts, lag)
 	}
 	if len(r.StageMeanUs) > 0 {

@@ -1,0 +1,322 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/repl"
+	"repro/internal/router"
+	"repro/internal/server"
+)
+
+// shardCell is one configuration point of the shard-scaling matrix: a
+// fresh hash-partitioned deployment of Groups replica groups on
+// loopback, driven with a synthetic update workload whose cross-shard
+// fraction is controlled exactly (disjoint vs mixed), so the fast-path
+// cost of sharding and the 2PC tax are separable.
+type shardCell struct {
+	Groups    int     `json:"groups"`
+	CrossFrac float64 `json:"cross_frac"`
+	// Routed is false only for the baseline cell: the same workload on
+	// the same one-group cluster driven DIRECTLY through the pooled
+	// client, no router in the path. The 1-group routed cell against it
+	// measures the fast-path tax of sharding-aware routing, which the
+	// design holds at zero extra hops.
+	Routed     bool    `json:"routed"`
+	Clients    int     `json:"clients"`
+	Commits    int64   `json:"commits"`
+	CrossTxns  int64   `json:"cross_txns"` // committed transactions that spanned two groups
+	Aborts     int64   `json:"aborts"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	TPS        float64 `json:"tps"`
+	// SpeedupVs1 is this cell's TPS over the routed 1-group cell — the
+	// horizontal write-scaling factor. For the routed 1-group cell
+	// itself it is TPS over the unrouted baseline: the fast-path tax of
+	// routing, which must stay ~1.0. On a single-CPU host all groups
+	// share one core and the expected multi-group value is ~1.0
+	// (equivalence), not ~Groups.
+	SpeedupVs1 float64 `json:"speedup_vs_1_group"`
+	Converged  bool    `json:"converged"`
+}
+
+// shardMatrixReport is the BENCH_PR10.json document.
+type shardMatrixReport struct {
+	When             string      `json:"when"`
+	Clients          int         `json:"clients"`
+	TxnsPerClient    int         `json:"txns_per_client"`
+	Rows             int         `json:"rows"`
+	Seed             uint64      `json:"seed"`
+	ReplicasPerGroup int         `json:"replicas_per_group"`
+	GOMAXPROCS       int         `json:"gomaxprocs"`
+	Note             string      `json:"note"`
+	Cells            []shardCell `json:"cells"`
+}
+
+// shardMatrixRows is the keyspace each cell partitions; large enough
+// that write-write conflicts stay rare at the default client count.
+const shardMatrixRows = 512
+
+// shardMatrixReplicas is the per-group replica count each cell boots:
+// a certifier-hosting primary plus one elastic joiner, so convergence
+// within every group is exercised without doubling the process count
+// of the 4-group cells.
+const shardMatrixReplicas = 2
+
+// shardMatrixMain runs the shard-count dimension of the scaling
+// matrix: for every group count, a disjoint (single-shard only) cell
+// and a mixed cell where crossFrac of the transactions write a second
+// row owned by a different group and commit through 2PC over
+// certification.
+func shardMatrixMain(counts []int, crossFrac float64, clients, txns int, seed uint64, out string) {
+	rep := shardMatrixReport{
+		When:             time.Now().Format(time.RFC3339),
+		Clients:          clients,
+		TxnsPerClient:    txns,
+		Rows:             shardMatrixRows,
+		Seed:             seed,
+		ReplicasPerGroup: shardMatrixReplicas,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Note: "cells share one process; horizontal scaling with group count " +
+			"needs a multicore host (GOMAXPROCS >= groups) to separate from noise — " +
+			"on one CPU the expected speedup is ~1.0 (equivalence) and the mixed " +
+			"cells isolate the 2PC tax instead",
+	}
+
+	// A discarded warm-up cell first: the first cluster of the process
+	// measures faster than the rest (cold heap, no GC debt), which
+	// would flatter whichever cell ran first.
+	fmt.Printf("matrix: warm-up (discarded) ... ")
+	warm := runShardCell(1, 0, clients, txns/4+1, seed, false)
+	fmt.Printf("%.0f tps\n", warm.TPS)
+
+	// Baseline: one group, no router — the unsharded stack.
+	fmt.Printf("matrix: baseline (unrouted, 1 group) ... ")
+	baseline := bestShardCell(1, 0, clients, txns, seed, false)
+	fmt.Printf("%.0f tps\n", baseline.TPS)
+	rep.Cells = append(rep.Cells, baseline)
+
+	base := make(map[float64]float64) // cross fraction -> 1-group routed TPS
+	for _, n := range counts {
+		for _, cross := range []float64{0, crossFrac} {
+			if cross > 0 && n == 1 {
+				// One group has no cross-shard pairs; the mixed cell's
+				// baseline is the disjoint 1-group cell.
+				continue
+			}
+			fmt.Printf("matrix: groups=%d cross=%.0f%% ... ", n, cross*100)
+			cell := bestShardCell(n, cross, clients, txns, seed, true)
+			if n == 1 {
+				base[0] = cell.TPS
+				base[crossFrac] = cell.TPS
+				if baseline.TPS > 0 {
+					cell.SpeedupVs1 = cell.TPS / baseline.TPS // routing tax
+				}
+			} else if b := base[cell.CrossFrac]; b > 0 {
+				cell.SpeedupVs1 = cell.TPS / b
+			}
+			rep.Cells = append(rep.Cells, cell)
+			fmt.Printf("%.0f tps (%d cross-shard commits)\n", cell.TPS, cell.CrossTxns)
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("json: %v", err)
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fatal("json: %v", err)
+	}
+	fmt.Printf("matrix: wrote %d shard cells to %s\n", len(rep.Cells), out)
+}
+
+// bestShardCell runs the cell twice and keeps the faster run: one
+// shared CPU hosts every cluster of the sweep, and best-of-2 damps the
+// scheduling noise that would otherwise dominate the cell-to-cell
+// deltas. The counters reported are the kept run's.
+func bestShardCell(n int, cross float64, clients, txns int, seed uint64, routed bool) shardCell {
+	best := runShardCell(n, cross, clients, txns, seed, routed)
+	if again := runShardCell(n, cross, clients, txns, seed+1, routed); again.TPS > best.TPS {
+		best = again
+	}
+	return best
+}
+
+// runShardCell boots n shard groups of shardMatrixReplicas mm servers
+// each on loopback, fronts them with the router over pooled clients,
+// drives the synthetic workload, and verifies per-group convergence.
+func runShardCell(n int, cross float64, clients, txns int, seed uint64, routed bool) shardCell {
+	cell := shardCell{Groups: n, CrossFrac: cross, Clients: clients, Routed: routed}
+
+	var servers []*server.Server
+	closeAll := func() {
+		for i := len(servers) - 1; i >= 0; i-- {
+			servers[i].Close()
+		}
+	}
+	var groups []router.Group
+	var pools []*client.Client
+	for g := 0; g < n; g++ {
+		primary, err := server.New(server.Options{
+			Design:      "mm",
+			Listen:      "127.0.0.1:0",
+			GroupCommit: true,
+			ShardID:     g,
+			ShardCount:  n,
+		})
+		if err != nil {
+			closeAll()
+			fatal("matrix: shard %d primary: %v", g, err)
+		}
+		primary.Start()
+		servers = append(servers, primary)
+		addrs := []string{primary.Addr()}
+		for i := 1; i < shardMatrixReplicas; i++ {
+			joiner, err := server.New(server.Options{
+				Design:     "mm",
+				Listen:     "127.0.0.1:0",
+				Join:       true,
+				Primary:    primary.Addr(),
+				ShardID:    g,
+				ShardCount: n,
+			})
+			if err != nil {
+				closeAll()
+				fatal("matrix: shard %d joiner: %v", g, err)
+			}
+			joiner.Start()
+			servers = append(servers, joiner)
+			addrs = append(addrs, joiner.Addr())
+		}
+		cl, err := client.New(client.Options{Servers: addrs, Design: "mm"})
+		if err != nil {
+			closeAll()
+			fatal("matrix: shard %d client: %v", g, err)
+		}
+		pools = append(pools, cl)
+		groups = append(groups, cl)
+	}
+	defer func() {
+		for _, cl := range pools {
+			cl.Close()
+		}
+		closeAll()
+	}()
+
+	r, err := router.New(1, groups)
+	if err != nil {
+		fatal("matrix: router: %v", err)
+	}
+	// The baseline cell drives the single group's client directly —
+	// same workload, same cluster shape, no router in the path.
+	var sys repl.System = r
+	if !routed {
+		sys = pools[0]
+	}
+	if err := r.CreateTable("item"); err != nil {
+		fatal("matrix: schema: %v", err)
+	}
+	if err := r.Load("item", shardMatrixRows, func(row int64) string {
+		return fmt.Sprintf("load-%d", row)
+	}); err != nil {
+		fatal("matrix: load: %v", err)
+	}
+
+	var commits, crossTxns, aborts int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seed) + int64(c)))
+			var myCommits, myCross, myAborts int64
+			for t := 0; t < txns; t++ {
+				// Retry the intent until it commits, counting the aborts —
+				// the same closed-loop contract as repl.Drive.
+				for attempt := 0; ; attempt++ {
+					if attempt > 100 {
+						fatal("matrix: client %d txn %d aborted %d times", c, t, attempt)
+					}
+					isCross, err := driveShardTxn(sys, r.Map(), rng, n, cross, c, t)
+					if err == nil {
+						myCommits++
+						if isCross {
+							myCross++
+						}
+						break
+					}
+					if errors.Is(err, repl.ErrAborted) {
+						myAborts++
+						continue
+					}
+					fatal("matrix: client %d: %v", c, err)
+				}
+			}
+			mu.Lock()
+			commits += myCommits
+			crossTxns += myCross
+			aborts += myAborts
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r.Sync()
+	if err := repl.CheckConvergence(r, []string{"item"}); err != nil {
+		fatal("matrix: convergence: %v", err)
+	}
+	cell.Commits = commits
+	cell.CrossTxns = crossTxns
+	cell.Aborts = aborts
+	cell.ElapsedSec = elapsed.Seconds()
+	cell.TPS = float64(commits) / elapsed.Seconds()
+	cell.Converged = true
+	return cell
+}
+
+// driveShardTxn runs one synthetic update transaction: a write to one
+// uniformly random row and, with probability cross, a second write to
+// a row owned by a DIFFERENT group — forcing the 2PC path at exactly
+// the configured rate. Returns whether the transaction spanned groups.
+func driveShardTxn(sys repl.System, m router.Map, rng *rand.Rand, n int, cross float64, c, t int) (bool, error) {
+	txn, err := sys.BeginUpdate()
+	if err != nil {
+		return false, err
+	}
+	row := rng.Int63n(shardMatrixRows)
+	if err := txn.Write("item", row, fmt.Sprintf("c%d-t%d", c, t)); err != nil {
+		txn.Abort()
+		return false, err
+	}
+	isCross := false
+	if n > 1 && rng.Float64() < cross {
+		home := m.Locate("item", row)
+		for {
+			row2 := rng.Int63n(shardMatrixRows)
+			if m.Locate("item", row2) == home {
+				continue
+			}
+			if err := txn.Write("item", row2, fmt.Sprintf("c%d-t%d-x", c, t)); err != nil {
+				txn.Abort()
+				return false, err
+			}
+			isCross = true
+			break
+		}
+	}
+	return isCross, txn.Commit()
+}

@@ -134,6 +134,12 @@ type Certifier struct {
 	// certification sub-stage, for commit-path tracing.
 	stageObs func(stage string, versions []int64, d time.Duration)
 
+	// Two-phase commit state (twopc.go), allocated lazily: in-doubt
+	// prepared fragments, their key locks, and recorded decisions.
+	prepared  map[string]PreparedTxn
+	prepIndex map[writeset.Key]string
+	decisions map[string]TwoPCDecision
+
 	commits int64
 	aborts  int64
 }
@@ -297,6 +303,7 @@ func Promote(id int, peers []int, tr paxos.Transport) (*Certifier, paxos.Ballot,
 	if err != nil {
 		return nil, paxos.Ballot{}, err
 	}
+	c.RestoreTwoPCFromLog(log) // inherit in-doubt locks and decisions
 	c.proposer = p
 	return c, epoch, nil
 }
@@ -318,6 +325,7 @@ func (c *Certifier) Campaign() (paxos.Ballot, error) {
 	if err := c.ReconcileLog(log); err != nil {
 		return paxos.Ballot{}, err
 	}
+	c.RestoreTwoPCFromLog(log)
 	return epoch, nil
 }
 
@@ -468,6 +476,13 @@ func (c *Certifier) Certify(snapshot int64, ws writeset.Writeset) (Outcome, erro
 		c.mu.Unlock()
 		return Outcome{Committed: false, ConflictWith: with}, nil
 	}
+	if c.prepConflictLocked("", ws) {
+		// A key is locked by an in-doubt cross-shard fragment; nothing
+		// may certify past its binding yes-vote (retry after it decides).
+		c.aborts++
+		c.mu.Unlock()
+		return Outcome{Committed: false}, nil
+	}
 	rec := Record{Version: c.version + 1, Writeset: ws}
 	replicated := c.proposer != nil
 	if replicated {
@@ -507,6 +522,11 @@ func (c *Certifier) Certify(snapshot int64, ws writeset.Writeset) (Outcome, erro
 				c.aborts++
 				c.mu.Unlock()
 				return Outcome{Committed: false, ConflictWith: with}, nil
+			}
+			if c.prepConflictLocked("", ws) {
+				c.aborts++
+				c.mu.Unlock()
+				return Outcome{Committed: false}, nil
 			}
 			rec.Version = c.version + 1
 		}
@@ -647,6 +667,12 @@ func (c *Certifier) CertifyBatch(reqs []Request) ([]Result, error) {
 			if newest > 0 {
 				aborts++
 				results[i].Outcome = Outcome{Committed: false, ConflictWith: newest}
+				continue
+			}
+			if c.prepConflictLocked("", req.Writeset) {
+				// Locked by an in-doubt cross-shard fragment (see Certify).
+				aborts++
+				results[i].Outcome = Outcome{Committed: false}
 				continue
 			}
 			version++

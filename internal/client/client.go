@@ -79,6 +79,11 @@ type Client struct {
 	reps      []*replicaConns
 	memberIdx map[int64]int // member id -> slot index
 	epoch     int64
+	// Shard-map fields as last published by the primary (protocol v6;
+	// all zero on unsharded or pre-v6 deployments).
+	shardID    int64
+	shardCount int64
+	mapVersion int64
 
 	stopWatch chan struct{}
 	watchWG   sync.WaitGroup
@@ -214,6 +219,7 @@ func (c *Client) pollMembership() {
 		return
 	}
 	c.mu.Lock()
+	c.shardID, c.shardCount, c.mapVersion = m.ShardID, m.ShardCount, m.MapVersion
 	if m.Epoch == c.epoch {
 		c.mu.Unlock()
 		return
@@ -394,6 +400,11 @@ type Txn struct {
 	pipeline bool
 	inflight int
 	doomed   error
+
+	// writes counts staged Write/Delete ops — the client-side signal a
+	// sharded router uses to tell writing participants from read-only
+	// bystanders (the server holds the actual writeset).
+	writes int
 }
 
 var _ repl.Txn = (*Txn)(nil)
@@ -550,6 +561,7 @@ func (t *Txn) Read(table string, row int64) (string, bool, error) {
 // sync point), so errors — including eager-certification aborts —
 // surface there instead of here.
 func (t *Txn) Write(table string, row int64, value string) error {
+	t.writes++
 	if t.pipeline {
 		return t.pipelineOp(&wire.Write{Table: table, Row: row, Value: value})
 	}
@@ -576,6 +588,7 @@ func (t *Txn) Write(table string, row int64, value string) error {
 
 // Delete implements repl.Txn.
 func (t *Txn) Delete(table string, row int64) error {
+	t.writes++
 	if t.pipeline {
 		return t.pipelineOp(&wire.Delete{Table: table, Row: row})
 	}

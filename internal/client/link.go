@@ -93,6 +93,79 @@ func (l *Link) Check(snapshot int64, ws writeset.Writeset) (conflict bool, with 
 	return m.Conflict, m.With
 }
 
+// PrepareTxn forwards a cross-shard fragment prepare to the primary
+// (protocol v6): the raw form carrying snapshot and writeset, used when
+// this node is not the certifier host. The primary's vote is binding —
+// a transport failure leaves the outcome unknown and must surface as an
+// error, never as a silent no-vote.
+func (l *Link) PrepareTxn(p certifier.PreparedTxn) (vote bool, conflictWith int64, err error) {
+	reply, err := l.pool.rpc(&wire.PrepareTxn{
+		TxnID: p.ID, Coord: p.Coord, Snapshot: p.Snapshot, WS: p.Writeset,
+	}, linkRPCDeadline)
+	if err != nil {
+		return false, 0, err
+	}
+	switch m := reply.(type) {
+	case *wire.PrepareTxnOK:
+		return m.Vote, m.ConflictWith, nil
+	case *wire.Err:
+		return false, 0, fmt.Errorf("client: prepare: %s", m.Msg)
+	default:
+		return false, 0, fmt.Errorf("client: unexpected prepare reply %T", reply)
+	}
+}
+
+// DecideTxn forwards the coordinator's commit/abort decision for a
+// prepared fragment (protocol v6).
+func (l *Link) DecideTxn(id string, commit bool) (int64, error) {
+	reply, err := l.pool.rpc(&wire.DecideTxn{TxnID: id, Commit: commit}, linkRPCDeadline)
+	if err != nil {
+		return 0, err
+	}
+	switch m := reply.(type) {
+	case *wire.DecideTxnOK:
+		return m.Version, nil
+	case *wire.Err:
+		return 0, fmt.Errorf("client: decide: %s", m.Msg)
+	default:
+		return 0, fmt.Errorf("client: unexpected decide reply %T", reply)
+	}
+}
+
+// ResolveTxn asks the primary for the recorded outcome of an in-doubt
+// cross-shard transaction (protocol v6; presumed abort if unrecorded).
+func (l *Link) ResolveTxn(id string) (bool, error) {
+	reply, err := l.pool.rpc(&wire.ResolveTxn{TxnID: id}, linkRPCDeadline)
+	if err != nil {
+		return false, err
+	}
+	switch m := reply.(type) {
+	case *wire.ResolveTxnOK:
+		return m.Commit, nil
+	case *wire.Err:
+		return false, fmt.Errorf("client: resolve: %s", m.Msg)
+	default:
+		return false, fmt.Errorf("client: unexpected resolve reply %T", reply)
+	}
+}
+
+// ForgetTxn retires a fully acknowledged decision at the primary
+// (protocol v6).
+func (l *Link) ForgetTxn(id string) error {
+	reply, err := l.pool.rpc(&wire.ForgetTxn{TxnID: id}, linkRPCDeadline)
+	if err != nil {
+		return err
+	}
+	switch m := reply.(type) {
+	case *wire.ForgetTxnOK:
+		return nil
+	case *wire.Err:
+		return fmt.Errorf("client: forget: %s", m.Msg)
+	default:
+		return fmt.Errorf("client: unexpected forget reply %T", reply)
+	}
+}
+
 // SetSinceWait makes Since long-poll with the given window instead of
 // returning immediately when the primary has nothing new. Install
 // before the loops that call Since; the Link does not synchronize

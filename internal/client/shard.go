@@ -1,0 +1,179 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/repl"
+	"repro/internal/wire"
+)
+
+// This file is the sharded deployment surface of the driver: the
+// per-transaction prepare verb and the cluster-level decision verbs
+// that internal/router needs to treat one networked replica group as
+// one shard (router.Group + router.Preparer). Single-group deployments
+// never touch any of it.
+
+// shardRPCDeadline bounds the 2PC decision verbs. They are short
+// metadata exchanges; a partition must surface quickly so the router
+// can leave the transaction in doubt rather than park the workload.
+const shardRPCDeadline = 30 * time.Second
+
+// HasWrites reports whether this transaction staged any Write/Delete
+// operations — the router's test for whether a group is a writing
+// participant (2PC) or a read-only bystander (free local commit).
+func (t *Txn) HasWrites() bool {
+	return !t.done && !t.readOnly && t.writes > 0
+}
+
+// Prepare runs the first 2PC phase for this transaction as one
+// fragment of cross-shard transaction id, coordinated by shard group
+// coord. The server holds the transaction's snapshot and writeset, so
+// the frame carries only the identifiers; the connection's transaction
+// is consumed either way — a yes-vote fragment lives on, locked and
+// journaled, in the group's certifier until the decision arrives.
+//
+// A transport failure after the frame may have been sent leaves the
+// vote outcome unknown; it surfaces as repl.UnknownOutcomeError and the
+// router aborts the fragment explicitly (always safe before the commit
+// point) rather than guessing.
+func (t *Txn) Prepare(id string, coord int64) (bool, int64, error) {
+	if t.done {
+		return false, 0, errDone
+	}
+	if t.inflight > 0 {
+		if err := t.drainAcks(); err != nil {
+			// The transport died before Prepare was sent: nothing is
+			// prepared, a no-vote is safe.
+			return false, 0, err
+		}
+	}
+	if t.doomed != nil {
+		// Eager certification already doomed the transaction; close out
+		// the server side and convert the doom into a binding no-vote.
+		err := t.doomed
+		t.Abort()
+		var ab *repl.AbortedError
+		if errors.As(err, &ab) {
+			return false, ab.ConflictWith, nil
+		}
+		return false, 0, err
+	}
+	reply, err := roundTrip(t.conn, &wire.PrepareTxn{TxnID: id, Coord: coord})
+	if err != nil {
+		t.fail(err)
+		return false, 0, &repl.UnknownOutcomeError{Err: err}
+	}
+	switch m := reply.(type) {
+	case *wire.PrepareTxnOK:
+		t.finish()
+		return m.Vote, m.ConflictWith, nil
+	case *wire.CommitAborted:
+		// The server-side prepare lost certification outright.
+		t.finish()
+		return false, m.ConflictWith, nil
+	case *wire.NotLeader:
+		t.finish()
+		return false, 0, &repl.UnknownOutcomeError{Err: NotLeaderError{
+			Leader: int(m.Leader), Epoch: m.Epoch, Addr: m.Addr,
+		}}
+	case *wire.Err:
+		t.finish()
+		return false, 0, mapErr(m)
+	default:
+		return false, 0, t.fail(fmt.Errorf("client: unexpected prepare reply %T", reply))
+	}
+}
+
+// rpcPrimary round-trips one request on the primary's pool (member id
+// 0 — the certifier host, where the 2PC decision verbs land directly;
+// any member would forward, the primary just skips the hop).
+func (c *Client) rpcPrimary(req wire.Message) (wire.Message, error) {
+	c.mu.Lock()
+	idx, ok := c.memberIdx[0]
+	c.mu.Unlock()
+	if !ok {
+		return nil, errors.New("client: primary membership unknown")
+	}
+	return c.rep(idx).pool.rpc(req, shardRPCDeadline)
+}
+
+// DecideTxn delivers the coordinator's commit/abort decision for a
+// prepared fragment to this group. Implements router.Group.
+func (c *Client) DecideTxn(id string, commit bool) (int64, error) {
+	reply, err := c.rpcPrimary(&wire.DecideTxn{TxnID: id, Commit: commit})
+	if err != nil {
+		return 0, err
+	}
+	switch m := reply.(type) {
+	case *wire.DecideTxnOK:
+		return m.Version, nil
+	case *wire.Err:
+		return 0, fmt.Errorf("client: decide: %s", m.Msg)
+	default:
+		return 0, fmt.Errorf("client: unexpected decide reply %T", reply)
+	}
+}
+
+// ResolveTxn asks this group (as coordinator) for the recorded outcome
+// of an in-doubt cross-shard transaction. Implements router.Group.
+func (c *Client) ResolveTxn(id string) (bool, error) {
+	reply, err := c.rpcPrimary(&wire.ResolveTxn{TxnID: id})
+	if err != nil {
+		return false, err
+	}
+	switch m := reply.(type) {
+	case *wire.ResolveTxnOK:
+		return m.Commit, nil
+	case *wire.Err:
+		return false, fmt.Errorf("client: resolve: %s", m.Msg)
+	default:
+		return false, fmt.Errorf("client: unexpected resolve reply %T", reply)
+	}
+}
+
+// ForgetTxn retires a fully acknowledged decision at this group.
+// Implements router.Group.
+func (c *Client) ForgetTxn(id string) error {
+	reply, err := c.rpcPrimary(&wire.ForgetTxn{TxnID: id})
+	if err != nil {
+		return err
+	}
+	switch m := reply.(type) {
+	case *wire.ForgetTxnOK:
+		return nil
+	case *wire.Err:
+		return fmt.Errorf("client: forget: %s", m.Msg)
+	default:
+		return fmt.Errorf("client: unexpected forget reply %T", reply)
+	}
+}
+
+// ShardInfo returns this group's place in the shard map as last
+// published over MembersOK/JoinOK (protocol v6): shard id, total
+// groups, and the map version. All zero until the first membership
+// exchange on an unsharded or pre-v6 deployment.
+func (c *Client) ShardInfo() (id, count, version int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shardID, c.shardCount, c.mapVersion
+}
+
+// FetchShardInfo polls the primary's member list once and records the
+// shard-map fields — for clients that run without Options.Watch but
+// still need to learn the topology before routing.
+func (c *Client) FetchShardInfo() (id, count, version int64, err error) {
+	reply, err := c.rpcPrimary(&wire.Members{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	m, ok := reply.(*wire.MembersOK)
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("client: unexpected members reply %T", reply)
+	}
+	c.mu.Lock()
+	c.shardID, c.shardCount, c.mapVersion = m.ShardID, m.ShardCount, m.MapVersion
+	c.mu.Unlock()
+	return m.ShardID, m.ShardCount, m.MapVersion, nil
+}

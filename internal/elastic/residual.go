@@ -108,25 +108,39 @@ func (m *Monitor) Profiler() *Profiler { return m.prof }
 // source, registering its gauges on reg. think overrides the base
 // mix's think time when positive.
 func NewMonitor(reg *obs.Registry, base workload.Mix, think float64, src Source) *Monitor {
+	return newMonitor(reg, base, think, src, nil)
+}
+
+// NewShardMonitor is NewMonitor for one replica group of a
+// hash-partitioned deployment: every gauge carries a `shard` label, so
+// one registry (one /metrics endpoint, one scrape) exports each
+// group's residual side by side. Each group's load profile is its own
+// — the hash partitions the keyspace, not the offered mix, so the MVA
+// model applies per group exactly as it does to a standalone cluster.
+func NewShardMonitor(reg *obs.Registry, base workload.Mix, think float64, src Source, shard string) *Monitor {
+	return newMonitor(reg, base, think, src, []obs.Label{obs.L("shard", shard)})
+}
+
+func newMonitor(reg *obs.Registry, base workload.Mix, think float64, src Source, labels []obs.Label) *Monitor {
 	m := &Monitor{prof: NewProfiler(base, think), src: src}
 	m.predTPS = reg.Gauge("replicadb_model_predicted_tps",
-		"MVA-predicted system throughput for the last observed window.")
+		"MVA-predicted system throughput for the last observed window.", labels...)
 	m.obsTPS = reg.Gauge("replicadb_model_observed_tps",
-		"Observed system throughput over the last window.")
+		"Observed system throughput over the last window.", labels...)
 	m.errTPS = reg.Gauge("replicadb_model_tps_error",
-		"Signed relative throughput residual (predicted-observed)/observed.")
+		"Signed relative throughput residual (predicted-observed)/observed.", labels...)
 	m.predLat = reg.Gauge("replicadb_model_predicted_latency_seconds",
-		"MVA-predicted mean transaction response time.")
+		"MVA-predicted mean transaction response time.", labels...)
 	m.obsLat = reg.Gauge("replicadb_model_observed_latency_seconds",
-		"Observed mean transaction response time over the last window.")
+		"Observed mean transaction response time over the last window.", labels...)
 	m.errLat = reg.Gauge("replicadb_model_latency_error",
-		"Signed relative latency residual (predicted-observed)/observed.")
+		"Signed relative latency residual (predicted-observed)/observed.", labels...)
 	m.predAbort = reg.Gauge("replicadb_model_predicted_abort_rate",
-		"MVA-predicted abort probability.")
+		"MVA-predicted abort probability.", labels...)
 	m.obsAbort = reg.Gauge("replicadb_model_observed_abort_rate",
-		"Observed abort fraction over the last window.")
+		"Observed abort fraction over the last window.", labels...)
 	m.replicas = reg.Gauge("replicadb_model_replicas",
-		"Replica count the model was evaluated at.")
+		"Replica count the model was evaluated at.", labels...)
 	return m
 }
 

@@ -1,0 +1,85 @@
+package elastic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// TestShardMonitorsShareRegistry: two per-group monitors export their
+// residuals side by side on ONE registry, distinguished by the shard
+// label — the sharded deployment's single /metrics endpoint.
+func TestShardMonitorsShareRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+
+	// Two synthetic groups with different observed throughput so the
+	// label series are tellable apart in the exposition.
+	mkSrc := func(tps int64) Source {
+		samples := []Sample{
+			{When: at(1), Cohort: "a,b", Members: 2},
+			{When: at(2), Cohort: "a,b", Members: 2,
+				ReadCommits: tps * 2 / 3, UpdateCommits: tps / 3,
+				ReadNs: tps * 2 / 3 * 10e6, UpdateNs: tps / 3 * 30e6,
+				StageCounts: [6]int64{tps, 0, tps / 3, tps / 3, tps, tps},
+				StageNs:     [6]int64{tps * 1e6, 0, tps / 3 * 2e5, tps / 3 * 3e6, tps * 4e5, tps * 1e5}},
+		}
+		i := 0
+		return FuncSource(func() (Sample, error) {
+			s := samples[i]
+			if i < len(samples)-1 {
+				i++
+			}
+			return s, nil
+		})
+	}
+
+	m0 := NewShardMonitor(reg, workload.TPCWShopping(), 0.5, mkSrc(150), "0")
+	m1 := NewShardMonitor(reg, workload.TPCWShopping(), 0.5, mkSrc(300), "1")
+	for _, m := range []*Monitor{m0, m1} {
+		if _, ok := m.Step(); ok {
+			t.Fatal("first sample closed a window")
+		}
+		if _, ok := m.Step(); !ok {
+			t.Fatal("second sample closed no window")
+		}
+	}
+
+	var b strings.Builder
+	reg.WriteText(&b)
+	out := b.String()
+	for _, line := range []string{
+		`replicadb_model_observed_tps{shard="0"} 150`,
+		`replicadb_model_observed_tps{shard="1"} 300`,
+		`replicadb_model_replicas{shard="0"} 2`,
+		`replicadb_model_replicas{shard="1"} 2`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+	// One family header, not two.
+	if n := strings.Count(out, "# TYPE replicadb_model_observed_tps gauge"); n != 1 {
+		t.Errorf("observed_tps TYPE lines = %d, want 1", n)
+	}
+}
+
+// TestShardMonitorLabelIsolation: an unsharded monitor and a sharded
+// one can coexist only on separate registries; on one registry the
+// label sets keep per-shard monitors distinct (duplicate labels would
+// panic at registration).
+func TestShardMonitorLabelIsolation(t *testing.T) {
+	reg := obs.NewRegistry()
+	NewShardMonitor(reg, workload.TPCWShopping(), 0.5, FuncSource(func() (Sample, error) {
+		return Sample{}, nil
+	}), "0")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate shard label registered without panic")
+		}
+	}()
+	NewShardMonitor(reg, workload.TPCWShopping(), 0.5, FuncSource(func() (Sample, error) {
+		return Sample{}, nil
+	}), "0")
+}

@@ -53,6 +53,17 @@ type TracedCertService interface {
 	CertifyTraced(snapshot int64, ws writeset.Writeset, trace uint64) (certifier.Outcome, error)
 }
 
+// TwoPCService is optionally implemented by certification services
+// that support the cross-shard two-phase commit protocol
+// (pipeline.HostCert locally, the wire Link remotely). A cluster whose
+// service lacks it cannot participate in cross-shard transactions.
+type TwoPCService interface {
+	PrepareTxn(p certifier.PreparedTxn) (vote bool, conflictWith int64, err error)
+	DecideTxn(id string, commit bool) (version int64, err error)
+	ResolveTxn(id string) (commit bool, err error)
+	ForgetTxn(id string) error
+}
+
 // Options configure a multi-master cluster.
 type Options struct {
 	// Replicas is the number of database replicas (>= 1).
@@ -199,6 +210,70 @@ func (c *Cluster) certify(snapshot int64, ws writeset.Writeset, trace uint64) (c
 		return tc.CertifyTraced(snapshot, ws, trace)
 	}
 	return c.cert.Certify(snapshot, ws)
+}
+
+// twoPC resolves the cluster's 2PC endpoint: a service that speaks the
+// protocol natively, or the local certifier directly.
+func (c *Cluster) twoPC() (TwoPCService, error) {
+	if s, ok := c.cert.(TwoPCService); ok {
+		return s, nil
+	}
+	if cert, ok := c.cert.(*certifier.Certifier); ok {
+		return certTwoPC{cert}, nil
+	}
+	return nil, fmt.Errorf("mm: certification service %T does not support 2pc", c.cert)
+}
+
+// certTwoPC adapts a bare certifier to the TwoPCService method set.
+type certTwoPC struct{ c *certifier.Certifier }
+
+func (a certTwoPC) PrepareTxn(p certifier.PreparedTxn) (bool, int64, error) { return a.c.Prepare(p) }
+func (a certTwoPC) DecideTxn(id string, commit bool) (int64, error)         { return a.c.Decide(id, commit) }
+func (a certTwoPC) ResolveTxn(id string) (bool, error)                      { return a.c.Resolve(id) }
+func (a certTwoPC) ForgetTxn(id string) error                               { return a.c.Forget(id) }
+
+// PrepareTxn runs the first 2PC phase for a cross-shard fragment
+// against this group's certifier.
+func (c *Cluster) PrepareTxn(p certifier.PreparedTxn) (bool, int64, error) {
+	s, err := c.twoPC()
+	if err != nil {
+		return false, 0, err
+	}
+	return s.PrepareTxn(p)
+}
+
+// DecideTxn applies the coordinator's decision at this group. A commit
+// enters the record log like any certified writeset; the replicas are
+// synced so the fragment is immediately readable.
+func (c *Cluster) DecideTxn(id string, commit bool) (int64, error) {
+	s, err := c.twoPC()
+	if err != nil {
+		return 0, err
+	}
+	version, err := s.DecideTxn(id, commit)
+	if err == nil && commit && !c.opts.AsyncApply {
+		c.Sync()
+	}
+	return version, err
+}
+
+// ResolveTxn answers an in-doubt inquiry at this group (used when this
+// group coordinated the transaction).
+func (c *Cluster) ResolveTxn(id string) (bool, error) {
+	s, err := c.twoPC()
+	if err != nil {
+		return false, err
+	}
+	return s.ResolveTxn(id)
+}
+
+// ForgetTxn retires a fully acknowledged decision at this group.
+func (c *Cluster) ForgetTxn(id string) error {
+	s, err := c.twoPC()
+	if err != nil {
+		return err
+	}
+	return s.ForgetTxn(id)
 }
 
 // live returns the current non-removed replicas in slot order.
@@ -683,6 +758,38 @@ func (t *Txn) Commit() error {
 		}
 	}
 	return nil
+}
+
+// HasWrites reports whether the transaction has staged any writes —
+// the router's test for whether this group is a real participant of a
+// cross-shard commit or just a read-side bystander.
+func (t *Txn) HasWrites() bool {
+	if t.done || t.readOnly {
+		return false
+	}
+	return !t.inner.Writeset().Empty()
+}
+
+// Prepare runs the first 2PC phase for this transaction's writeset as
+// one fragment of cross-shard transaction id, coordinated by shard
+// group coord. The local speculative state is discarded either way —
+// on a yes-vote the fragment lives on, locked and journaled, in the
+// group's certifier until the coordinator's decision arrives via
+// Cluster.DecideTxn. An empty writeset votes yes with nothing to lock.
+func (t *Txn) Prepare(id string, coord int64) (vote bool, conflictWith int64, err error) {
+	if t.done {
+		return false, 0, sidb.ErrTxnDone
+	}
+	t.done = true
+	defer t.cluster.balancer.Release(t.replica.id)
+	ws := t.inner.Writeset()
+	t.inner.Abort()
+	if ws.Empty() {
+		return true, 0, nil
+	}
+	return t.cluster.PrepareTxn(certifier.PreparedTxn{
+		ID: id, Coord: coord, Snapshot: t.snapshot, Writeset: ws,
+	})
 }
 
 // CommitVersion returns the global version a successful update commit

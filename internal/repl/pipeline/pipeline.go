@@ -259,5 +259,33 @@ func (h *HostCert) Check(snapshot int64, ws writeset.Writeset) (bool, int64) {
 	return h.Base.Check(snapshot, ws)
 }
 
+// PrepareTxn runs the first 2PC phase for a cross-shard fragment. It
+// bypasses the batcher — prepares are rare, lock-holding operations
+// that must not be reordered into a commit batch.
+func (h *HostCert) PrepareTxn(p certifier.PreparedTxn) (bool, int64, error) {
+	start := time.Now()
+	vote, with, err := h.Base.Prepare(p)
+	if h.Observe != nil {
+		h.Observe(time.Since(start))
+	}
+	return vote, with, err
+}
+
+// DecideTxn applies the coordinator's decision; a commit lands in the
+// record log, so long-pollers are woken just like an ordinary commit.
+func (h *HostCert) DecideTxn(id string, commit bool) (int64, error) {
+	version, err := h.Base.Decide(id, commit)
+	if err == nil && commit && version > 0 {
+		h.Notify.Bump(version)
+	}
+	return version, err
+}
+
+// ResolveTxn answers an in-doubt inquiry (coordinator side).
+func (h *HostCert) ResolveTxn(id string) (bool, error) { return h.Base.Resolve(id) }
+
+// ForgetTxn retires a fully acknowledged decision.
+func (h *HostCert) ForgetTxn(id string) error { return h.Base.Forget(id) }
+
 // Since implements CertSource.
 func (h *HostCert) Since(v int64) []certifier.Record { return h.Base.Since(v) }

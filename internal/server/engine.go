@@ -59,6 +59,14 @@ type engine interface {
 	certify(snapshot int64, ws writeset.Writeset, trace uint64) (certifier.Outcome, error)
 	check(snapshot int64, ws writeset.Writeset) (bool, int64, error)
 	fetchSince(peer int64, v int64, wait time.Duration) ([]certifier.Record, error)
+	// prepareTxn / decideTxn / resolveTxn / forgetTxn serve the
+	// cross-shard 2PC-over-certification surface (protocol v6, routed
+	// by a sharded client's coordinator). Like certify they answer
+	// errUnsupported unless this node hosts the certifier.
+	prepareTxn(p certifier.PreparedTxn) (vote bool, conflictWith int64, err error)
+	decideTxn(id string, commit bool) (version int64, err error)
+	resolveTxn(id string) (commit bool, err error)
+	forgetTxn(id string) error
 	// peerGone drops a peer's propagation cursor when its connection
 	// dies (the next long poll re-adds it).
 	peerGone(peer int64)
@@ -178,6 +186,41 @@ func (r *remoteCert) Check(snapshot int64, ws writeset.Writeset) (bool, int64) {
 }
 
 func (r *remoteCert) Since(v int64) []certifier.Record { return r.svc.Since(v) }
+
+// The 2PC verbs forward to the primary when the underlying service
+// supports them (a Link on a plain non-primary node); under Paxos the
+// leader serves them directly through its hosted certifier instead.
+func (r *remoteCert) PrepareTxn(p certifier.PreparedTxn) (bool, int64, error) {
+	tp, ok := r.svc.(mm.TwoPCService)
+	if !ok {
+		return false, 0, errUnsupported
+	}
+	return tp.PrepareTxn(p)
+}
+
+func (r *remoteCert) DecideTxn(id string, commit bool) (int64, error) {
+	tp, ok := r.svc.(mm.TwoPCService)
+	if !ok {
+		return 0, errUnsupported
+	}
+	return tp.DecideTxn(id, commit)
+}
+
+func (r *remoteCert) ResolveTxn(id string) (bool, error) {
+	tp, ok := r.svc.(mm.TwoPCService)
+	if !ok {
+		return false, errUnsupported
+	}
+	return tp.ResolveTxn(id)
+}
+
+func (r *remoteCert) ForgetTxn(id string) error {
+	tp, ok := r.svc.(mm.TwoPCService)
+	if !ok {
+		return errUnsupported
+	}
+	return tp.ForgetTxn(id)
+}
 
 // mmEngine is one multi-master node: a single-replica mm.Cluster whose
 // certification service is either hosted here (node 0) or reached over
@@ -446,6 +489,53 @@ func (e *mmEngine) check(snapshot int64, ws writeset.Writeset) (bool, int64, err
 	}
 	conflict, with := h.Check(snapshot, ws)
 	return conflict, with, nil
+}
+
+// The 2PC verbs route through the cluster: on the certifier host the
+// service is the hosted certifier itself (and a commit decision applies
+// locally before acking, like any commit); on a plain non-primary node
+// it is a remoteCert forwarding over the link to the primary, so a
+// sharded client may address any member of a group. Under Paxos the
+// leader serves from its hosted certifier and everyone else redirects —
+// the leader's log is the only authority.
+func (e *mmEngine) prepareTxn(p certifier.PreparedTxn) (bool, int64, error) {
+	if e.px != nil {
+		if h := e.hostCert(); h != nil {
+			return h.PrepareTxn(p)
+		}
+		return false, 0, e.px.notLeaderErr()
+	}
+	return e.cl.PrepareTxn(p)
+}
+
+func (e *mmEngine) decideTxn(id string, commit bool) (int64, error) {
+	if e.px != nil {
+		if h := e.hostCert(); h != nil {
+			return h.DecideTxn(id, commit)
+		}
+		return 0, e.px.notLeaderErr()
+	}
+	return e.cl.DecideTxn(id, commit)
+}
+
+func (e *mmEngine) resolveTxn(id string) (bool, error) {
+	if e.px != nil {
+		if h := e.hostCert(); h != nil {
+			return h.ResolveTxn(id)
+		}
+		return false, e.px.notLeaderErr()
+	}
+	return e.cl.ResolveTxn(id)
+}
+
+func (e *mmEngine) forgetTxn(id string) error {
+	if e.px != nil {
+		if h := e.hostCert(); h != nil {
+			return h.ForgetTxn(id)
+		}
+		return e.px.notLeaderErr()
+	}
+	return e.cl.ForgetTxn(id)
 }
 
 func (e *mmEngine) logLen() int {
@@ -952,6 +1042,13 @@ func (e *smEngine) certify(int64, writeset.Writeset, uint64) (certifier.Outcome,
 func (e *smEngine) check(int64, writeset.Writeset) (bool, int64, error) {
 	return false, 0, errUnsupported
 }
+
+func (e *smEngine) prepareTxn(certifier.PreparedTxn) (bool, int64, error) {
+	return false, 0, errUnsupported // 2PC needs a certifier (mm only)
+}
+func (e *smEngine) decideTxn(string, bool) (int64, error) { return 0, errUnsupported }
+func (e *smEngine) resolveTxn(string) (bool, error)       { return false, errUnsupported }
+func (e *smEngine) forgetTxn(string) error                { return errUnsupported }
 
 func (e *smEngine) logLen() int {
 	if !e.isMaster {

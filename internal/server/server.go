@@ -150,7 +150,22 @@ type Options struct {
 	// SlowTxn is the slow-transaction threshold for /debug/slowtxns
 	// (default pipeline.DefaultSlowTxn).
 	SlowTxn time.Duration
+	// ShardID / ShardCount place this replica group inside a
+	// hash-partitioned deployment: the group owns the keys that
+	// internal/router's table-aware hash maps to ShardID out of
+	// ShardCount groups. Both default to the unsharded single group
+	// (0 of 1). The values are stamped onto JoinOK/MembersOK replies
+	// (protocol v6) so clients learn the shard map from any member;
+	// routing itself happens client-side, the server only answers the
+	// per-fragment 2PC verbs for keys it owns.
+	ShardID    int
+	ShardCount int
 }
+
+// shardMapVersion is the version stamped on the published shard map.
+// The map is boot-static in this PR (resharding would bump it), so a
+// constant marks "a sharded deployment" vs the zero "unsharded".
+const shardMapVersion = 1
 
 // Server is a running replica server.
 type Server struct {
@@ -792,6 +807,58 @@ func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
 		}
 		return &wire.CheckOK{Conflict: conflict, With: with}
 
+	case *wire.PrepareTxn:
+		// Two forms. With a transaction open on this connection the verb
+		// prepares THAT transaction as one fragment of cross-shard txn
+		// m.TxnID — the server already holds its snapshot and writeset,
+		// so the frame carries neither (the sharded client's path).
+		// Without one it is a raw fragment prepare carrying both, used
+		// by coordinator recovery and peer forwarding.
+		if st.cur != nil {
+			p, ok := st.cur.(interface {
+				Prepare(id string, coord int64) (bool, int64, error)
+			})
+			if !ok {
+				return s.errReply(st, errUnsupported)
+			}
+			// Prepare consumes the transaction either way: a yes-vote
+			// fragment lives on in the certifier, not on this conn.
+			vote, with, err := p.Prepare(m.TxnID, m.Coord)
+			st.cur = nil
+			s.m.activeTxns.Add(-1)
+			if err != nil {
+				return s.errReply(st, err)
+			}
+			return &wire.PrepareTxnOK{Vote: vote, ConflictWith: with}
+		}
+		vote, with, err := s.eng.prepareTxn(certifier.PreparedTxn{
+			ID: m.TxnID, Coord: m.Coord, Snapshot: m.Snapshot, Writeset: m.WS,
+		})
+		if err != nil {
+			return s.errReply(st, err)
+		}
+		return &wire.PrepareTxnOK{Vote: vote, ConflictWith: with}
+
+	case *wire.DecideTxn:
+		version, err := s.eng.decideTxn(m.TxnID, m.Commit)
+		if err != nil {
+			return s.errReply(st, err)
+		}
+		return &wire.DecideTxnOK{Version: version}
+
+	case *wire.ResolveTxn:
+		commit, err := s.eng.resolveTxn(m.TxnID)
+		if err != nil {
+			return s.errReply(st, err)
+		}
+		return &wire.ResolveTxnOK{Commit: commit}
+
+	case *wire.ForgetTxn:
+		if err := s.eng.forgetTxn(m.TxnID); err != nil {
+			return s.errReply(st, err)
+		}
+		return &wire.ForgetTxnOK{}
+
 	case *wire.FetchSince:
 		wait := time.Duration(m.WaitMillis) * time.Millisecond
 		if wait > maxFetchWait {
@@ -853,6 +920,7 @@ func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
 		if err != nil {
 			return s.errReply(st, err)
 		}
+		s.stampShard(&jo.ShardID, &jo.ShardCount, &jo.MapVersion)
 		return jo
 
 	case *wire.Leave:
@@ -866,7 +934,9 @@ func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
 		if err != nil {
 			return s.errReply(st, err)
 		}
-		return &wire.MembersOK{Epoch: epoch, Members: members}
+		reply := &wire.MembersOK{Epoch: epoch, Members: members}
+		s.stampShard(&reply.ShardID, &reply.ShardCount, &reply.MapVersion)
+		return reply
 
 	case *wire.SnapshotReq:
 		s.eng.touch(st.peer) // a chunk request is liveness proof mid-transfer
@@ -899,7 +969,9 @@ func (s *Server) dispatch(st *connState, msg wire.Message) wire.Message {
 		return reply
 
 	case *wire.Stats:
-		return s.m.statsOK(s.eng)
+		reply := s.m.statsOK(s.eng)
+		reply.ShardID = int64(s.opts.ShardID)
+		return reply
 
 	default:
 		return &wire.Err{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("unexpected message %T", msg)}
@@ -925,9 +997,29 @@ func msgType(m wire.Message) wire.MsgType {
 		return wire.TPaxosAccept
 	case *wire.PaxosLearn:
 		return wire.TPaxosLearn
+	case *wire.PrepareTxn:
+		return wire.TPrepareTxn
+	case *wire.DecideTxn:
+		return wire.TDecideTxn
+	case *wire.ResolveTxn:
+		return wire.TResolveTxn
+	case *wire.ForgetTxn:
+		return wire.TForgetTxn
 	default:
 		return 0 // v1 message: no gating needed
 	}
+}
+
+// stampShard writes this group's place in the shard map onto a
+// membership reply. Unsharded deployments (ShardCount <= 1 and no
+// explicit id) publish all-zero fields, the exact v5 shape.
+func (s *Server) stampShard(id, count, mapv *int64) {
+	if s.opts.ShardCount <= 1 && s.opts.ShardID == 0 {
+		return
+	}
+	*id = int64(s.opts.ShardID)
+	*count = int64(s.opts.ShardCount)
+	*mapv = shardMapVersion
 }
 
 func noTxn() wire.Message {

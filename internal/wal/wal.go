@@ -74,6 +74,19 @@ const (
 	// KindCursor journals the propagation cursor: {global version this
 	// replica has applied}, written after a batch of applies lands.
 	KindCursor byte = 7
+	// KindPrepare journals an in-doubt cross-shard fragment: {txn id,
+	// coordinator shard, snapshot, writeset}. The fragment holds key
+	// locks until a KindDecision (or, on recovery, a coordinator
+	// Resolve) settles it.
+	KindPrepare byte = 8
+	// KindDecision journals a 2PC decision: {txn id, commit, version}.
+	// A commit decision is written in the SAME write as — and ahead of
+	// — the decided record's KindWriteset/KindCommit frames, so a torn
+	// tail can lose the record but never a record-less decision
+	// (recovery re-commits from the prepared writeset).
+	KindDecision byte = 9
+	// KindForget drops a fully acknowledged decision: {txn id}.
+	KindForget byte = 10
 )
 
 const (
@@ -144,6 +157,15 @@ type Recovered struct {
 	// Cursor is the highest propagation cursor on disk (global version
 	// this replica had applied), at least Base.
 	Cursor int64
+	// Prepared are the cross-shard fragments still relevant at the end
+	// of replay: in-doubt (no decision on disk) or commit-decided —
+	// the latter kept so RestoreTwoPC can re-commit a decision whose
+	// record frames were torn off. Abort-decided and forgotten
+	// fragments are dropped during replay.
+	Prepared []certifier.PreparedTxn
+	// Decisions maps txn ids to their durable 2PC decisions (forgotten
+	// ones removed during replay).
+	Decisions map[string]certifier.TwoPCDecision
 	// TornBytes is how much tail was truncated at Open.
 	TornBytes int64
 }
@@ -435,9 +457,14 @@ func decodeInto(rec *Recovered, staged *[]certifier.Record, payload []byte) {
 			return
 		}
 		rec.Snapshot, rec.SnapGlobal, rec.SnapLocal = tables, global, local
-		// The snapshot supersedes everything replayed so far.
+		// The snapshot supersedes everything replayed so far. 2PC state
+		// is reset too: compaction rewrites the segment with the
+		// snapshot first and re-carries still-live prepare/decision
+		// frames after it.
 		rec.Applies = nil
 		rec.Records = nil
+		rec.Prepared = nil
+		rec.Decisions = nil
 		*staged = nil
 		if rec.Cursor < global {
 			rec.Cursor = global
@@ -452,6 +479,53 @@ func decodeInto(rec *Recovered, staged *[]certifier.Record, payload []byte) {
 		v := d.varint()
 		if d.err == nil && v > rec.Cursor {
 			rec.Cursor = v
+		}
+	case KindPrepare:
+		id := d.str()
+		coord := d.varint()
+		snap := d.varint()
+		ws := d.writeset()
+		if d.err != nil || id == "" {
+			return
+		}
+		for _, p := range rec.Prepared {
+			if p.ID == id {
+				return // duplicate prepare frame: the first one stands
+			}
+		}
+		rec.Prepared = append(rec.Prepared, certifier.PreparedTxn{
+			ID: id, Coord: coord, Snapshot: snap, Writeset: ws,
+		})
+	case KindDecision:
+		id := d.str()
+		commit := d.byte() != 0
+		v := d.varint()
+		if d.err != nil || id == "" {
+			return
+		}
+		if rec.Decisions == nil {
+			rec.Decisions = make(map[string]certifier.TwoPCDecision)
+		}
+		rec.Decisions[id] = certifier.TwoPCDecision{Commit: commit, Version: v}
+		if !commit {
+			dropPrepared(rec, id) // locks released; the fragment is gone
+		}
+	case KindForget:
+		id := d.str()
+		if d.err != nil || id == "" {
+			return
+		}
+		delete(rec.Decisions, id)
+		dropPrepared(rec, id)
+	}
+}
+
+// dropPrepared removes one prepared fragment from the recovered state.
+func dropPrepared(rec *Recovered, id string) {
+	for i, p := range rec.Prepared {
+		if p.ID == id {
+			rec.Prepared = append(rec.Prepared[:i], rec.Prepared[i+1:]...)
+			return
 		}
 	}
 }
@@ -537,6 +611,47 @@ func (w *WAL) AppendCursor(global int64) error {
 	buf := appendFrame(nil, encodeCursor(nil, global))
 	_, err := w.write(buf)
 	return err
+}
+
+// AppendPrepare journals an in-doubt cross-shard fragment; implements
+// certifier.TxnJournal. Sync the returned sequence before voting yes.
+func (w *WAL) AppendPrepare(p certifier.PreparedTxn) (int64, error) {
+	buf := w.takeBuf()
+	buf = appendFrame(buf, encodePrepare(nil, p))
+	seq, err := w.write(buf)
+	w.putBuf(buf)
+	return seq, err
+}
+
+// AppendDecision journals a 2PC decision and, for commits, the decided
+// record's writeset and commit marker — all in ONE write, decision
+// frame first. The ordering is the recovery argument: a torn tail cuts
+// a suffix, so the surviving prefixes are exactly {nothing},
+// {decision}, {decision+writeset} or everything; a record can never
+// outlive its decision, while a record-less commit decision is
+// re-committed from the prepared writeset at recovery.
+func (w *WAL) AppendDecision(txn string, commit bool, version int64, recs []certifier.Record) (int64, error) {
+	buf := w.takeBuf()
+	buf = appendFrame(buf, encodeDecision(nil, txn, commit, version))
+	if commit && len(recs) > 0 {
+		max := int64(0)
+		for _, r := range recs {
+			buf = appendFrame(buf, encodeWriteset(nil, r.Version, r.Writeset))
+			if r.Version > max {
+				max = r.Version
+			}
+		}
+		buf = appendFrame(buf, encodeCommit(nil, max))
+	}
+	seq, err := w.write(buf)
+	w.putBuf(buf)
+	return seq, err
+}
+
+// AppendForget journals the retirement of a decision record.
+func (w *WAL) AppendForget(txn string) (int64, error) {
+	buf := appendFrame(nil, encodeForget(nil, txn))
+	return w.write(buf)
 }
 
 // takeBuf/putBuf reuse one append buffer across calls (appends already
@@ -662,14 +777,16 @@ func (w *WAL) Compact(base, snapGlobal, snapLocal, keepApplies int64, tables []s
 	buf = appendFrame(buf, encodeSnapshot(nil, snapGlobal, snapLocal, state))
 
 	// Carry over the still-needed tail of the old segment, frame by
-	// frame, bytes verbatim.
+	// frame, bytes verbatim. The pre-pass collects settled 2PC txns so
+	// their prepare/decision frames can be dropped.
+	settled := settledTxns(old)
 	off := 0
 	for {
 		payload, n := nextFrame(old[off:])
 		if payload == nil {
 			break
 		}
-		if keepFrame(payload, base, keepApplies) {
+		if keepFrame(payload, base, keepApplies, settled) {
 			buf = append(buf, old[off:off+n]...)
 		}
 		off += n
@@ -726,10 +843,48 @@ func (w *WAL) Compact(base, snapGlobal, snapLocal, keepApplies int64, tables []s
 	return nil
 }
 
+// settledSet is the compaction pre-pass result over 2PC frames:
+// prepDone holds txns whose prepare frames are droppable
+// (abort-decided or forgotten — their locks are released and nothing
+// re-commits them), decDone holds txns whose decision frames are
+// droppable (forgotten).
+type settledSet struct {
+	prepDone map[string]bool
+	decDone  map[string]bool
+}
+
+// settledTxns scans a segment for the settled 2PC transactions.
+func settledTxns(data []byte) settledSet {
+	s := settledSet{prepDone: map[string]bool{}, decDone: map[string]bool{}}
+	off := 0
+	for {
+		payload, n := nextFrame(data[off:])
+		if payload == nil {
+			return s
+		}
+		off += n
+		d := &walDecoder{b: payload[1:]}
+		switch payload[0] {
+		case KindDecision:
+			id := d.str()
+			if commit := d.byte() != 0; d.err == nil && !commit {
+				s.prepDone[id] = true
+			}
+		case KindForget:
+			if id := d.str(); d.err == nil {
+				s.prepDone[id] = true
+				s.decDone[id] = true
+			}
+		}
+	}
+}
+
 // keepFrame reports whether an old-segment frame survives compaction.
 // Commit markers follow the writesets they cover: one at or below base
-// can only cover dropped writesets.
-func keepFrame(payload []byte, base, keepApplies int64) bool {
+// can only cover dropped writesets. Prepare and decision frames of
+// settled transactions are dropped; live ones are carried so recovery
+// still finds every in-doubt lock and unforgotten decision.
+func keepFrame(payload []byte, base, keepApplies int64, settled settledSet) bool {
 	if len(payload) == 0 {
 		return false
 	}
@@ -744,6 +899,12 @@ func keepFrame(payload []byte, base, keepApplies int64) bool {
 		// in the old segment but not in the captured state; keep every
 		// table frame (replay dedups) so it cannot be lost.
 		return true
+	case KindPrepare:
+		return !settled.prepDone[d.str()]
+	case KindDecision:
+		return !settled.decDone[d.str()]
+	case KindForget:
+		return false // its targets' frames were dropped with it
 	default: // old epoch header, old snapshot (rewritten fresh)
 		return false
 	}
@@ -796,6 +957,30 @@ func encodeApply(b []byte, local int64, ws writeset.Writeset) []byte {
 func encodeCursor(b []byte, global int64) []byte {
 	b = append(b, KindCursor)
 	return binary.AppendVarint(b, global)
+}
+
+func encodePrepare(b []byte, p certifier.PreparedTxn) []byte {
+	b = append(b, KindPrepare)
+	b = appendWALString(b, p.ID)
+	b = binary.AppendVarint(b, p.Coord)
+	b = binary.AppendVarint(b, p.Snapshot)
+	return appendWALWriteset(b, p.Writeset)
+}
+
+func encodeDecision(b []byte, txn string, commit bool, version int64) []byte {
+	b = append(b, KindDecision)
+	b = appendWALString(b, txn)
+	if commit {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return binary.AppendVarint(b, version)
+}
+
+func encodeForget(b []byte, txn string) []byte {
+	b = append(b, KindForget)
+	return appendWALString(b, txn)
 }
 
 func encodeSnapshot(b []byte, global, local int64, state map[string]map[int64]string) []byte {
@@ -947,4 +1132,7 @@ func (d *walDecoder) writeset() writeset.Writeset {
 	return writeset.New(entries)
 }
 
-var _ certifier.Journal = (*WAL)(nil)
+var (
+	_ certifier.Journal    = (*WAL)(nil)
+	_ certifier.TxnJournal = (*WAL)(nil)
+)

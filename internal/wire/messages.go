@@ -61,6 +61,20 @@ const (
 	TPaxosLearn     MsgType = 44
 	TPaxosLearnOK   MsgType = 45
 	TNotLeader      MsgType = 46
+
+	// Protocol version 6: horizontal partitioning. The router's
+	// cross-shard two-phase commit speaks these against each
+	// participating shard group's certifier leader; the shard map
+	// itself rides on JoinOK/MembersOK/StatsOK fields appended at
+	// proto >= 6.
+	TPrepareTxn   MsgType = 47
+	TPrepareTxnOK MsgType = 48
+	TDecideTxn    MsgType = 49
+	TDecideTxnOK  MsgType = 50
+	TResolveTxn   MsgType = 51
+	TResolveTxnOK MsgType = 52
+	TForgetTxn    MsgType = 53
+	TForgetTxnOK  MsgType = 54
 )
 
 // Error codes carried by Err.
@@ -177,6 +191,22 @@ func newMessage(t MsgType) Message {
 		return &PaxosLearnOK{}
 	case TNotLeader:
 		return &NotLeader{}
+	case TPrepareTxn:
+		return &PrepareTxn{}
+	case TPrepareTxnOK:
+		return &PrepareTxnOK{}
+	case TDecideTxn:
+		return &DecideTxn{}
+	case TDecideTxnOK:
+		return &DecideTxnOK{}
+	case TResolveTxn:
+		return &ResolveTxn{}
+	case TResolveTxnOK:
+		return &ResolveTxnOK{}
+	case TForgetTxn:
+		return &ForgetTxn{}
+	case TForgetTxnOK:
+		return &ForgetTxnOK{}
 	default:
 		return nil
 	}
@@ -786,18 +816,39 @@ type JoinOK struct {
 	ID      int64
 	Epoch   int64
 	Members []Member
+	// Shard map block (protocol v6): which shard group this server
+	// belongs to, how many groups partition the keyspace, and the map
+	// version clients use to detect a re-partition. ShardCount 0 means
+	// unsharded (a pre-v6 server or a standalone deployment).
+	ShardID    int64
+	ShardCount int64
+	MapVersion int64
 }
 
-func (*JoinOK) msgType() MsgType { return TJoinOK }
-func (m *JoinOK) encode(b []byte) []byte {
+func (*JoinOK) msgType() MsgType         { return TJoinOK }
+func (m *JoinOK) encode(b []byte) []byte { return m.encodeV(b, ProtoVersion) }
+func (m *JoinOK) decode(d *decoder)      { m.decodeV(d, ProtoVersion) }
+func (m *JoinOK) encodeV(b []byte, proto uint32) []byte {
 	b = appendVarint(b, m.ID)
 	b = appendVarint(b, m.Epoch)
-	return appendMembers(b, m.Members)
+	b = appendMembers(b, m.Members)
+	if proto >= 6 {
+		b = appendVarint(b, m.ShardID)
+		b = appendVarint(b, m.ShardCount)
+		b = appendVarint(b, m.MapVersion)
+	}
+	return b
 }
-func (m *JoinOK) decode(d *decoder) {
+func (m *JoinOK) decodeV(d *decoder, proto uint32) {
 	m.ID = d.varint()
 	m.Epoch = d.varint()
 	m.Members = decodeMembers(d)
+	m.ShardID, m.ShardCount, m.MapVersion = 0, 0, 0
+	if proto >= 6 {
+		m.ShardID = d.varint()
+		m.ShardCount = d.varint()
+		m.MapVersion = d.varint()
+	}
 }
 
 // Leave deregisters replica ID from the cluster (protocol v2): its
@@ -914,16 +965,37 @@ func (m *Members) decode(*decoder)        {}
 type MembersOK struct {
 	Epoch   int64
 	Members []Member
+	// Shard map block (protocol v6), mirroring JoinOK: the answering
+	// group's shard id, the group count and the map version. Clients
+	// poll Members anyway for membership churn, so the shard map rides
+	// along for free.
+	ShardID    int64
+	ShardCount int64
+	MapVersion int64
 }
 
-func (*MembersOK) msgType() MsgType { return TMembersOK }
-func (m *MembersOK) encode(b []byte) []byte {
+func (*MembersOK) msgType() MsgType         { return TMembersOK }
+func (m *MembersOK) encode(b []byte) []byte { return m.encodeV(b, ProtoVersion) }
+func (m *MembersOK) decode(d *decoder)      { m.decodeV(d, ProtoVersion) }
+func (m *MembersOK) encodeV(b []byte, proto uint32) []byte {
 	b = appendVarint(b, m.Epoch)
-	return appendMembers(b, m.Members)
+	b = appendMembers(b, m.Members)
+	if proto >= 6 {
+		b = appendVarint(b, m.ShardID)
+		b = appendVarint(b, m.ShardCount)
+		b = appendVarint(b, m.MapVersion)
+	}
+	return b
 }
-func (m *MembersOK) decode(d *decoder) {
+func (m *MembersOK) decodeV(d *decoder, proto uint32) {
 	m.Epoch = d.varint()
 	m.Members = decodeMembers(d)
+	m.ShardID, m.ShardCount, m.MapVersion = 0, 0, 0
+	if proto >= 6 {
+		m.ShardID = d.varint()
+		m.ShardCount = d.varint()
+		m.MapVersion = d.varint()
+	}
 }
 
 // Stats asks a replica for its cumulative serving counters (protocol
@@ -975,10 +1047,15 @@ type StatsOK struct {
 	LagCount  int64
 	LagSumNs  int64
 	LagMaxNs  int64
+	// ShardID identifies the shard group this replica serves
+	// (protocol v6; 0 in unsharded deployments).
+	ShardID int64
 }
 
-func (*StatsOK) msgType() MsgType { return TStatsOK }
-func (m *StatsOK) encode(b []byte) []byte {
+func (*StatsOK) msgType() MsgType         { return TStatsOK }
+func (m *StatsOK) encode(b []byte) []byte { return m.encodeV(b, ProtoVersion) }
+func (m *StatsOK) decode(d *decoder)      { m.decodeV(d, ProtoVersion) }
+func (m *StatsOK) encodeV(b []byte, proto uint32) []byte {
 	b = appendVarint(b, m.ReadCommits)
 	b = appendVarint(b, m.UpdateCommits)
 	b = appendVarint(b, m.Aborts)
@@ -1000,9 +1077,13 @@ func (m *StatsOK) encode(b []byte) []byte {
 	b = appendBool(b, m.Leading)
 	b = appendVarint(b, m.LagCount)
 	b = appendVarint(b, m.LagSumNs)
-	return appendVarint(b, m.LagMaxNs)
+	b = appendVarint(b, m.LagMaxNs)
+	if proto >= 6 {
+		b = appendVarint(b, m.ShardID)
+	}
+	return b
 }
-func (m *StatsOK) decode(d *decoder) {
+func (m *StatsOK) decodeV(d *decoder, proto uint32) {
 	m.ReadCommits = d.varint()
 	m.UpdateCommits = d.varint()
 	m.Aborts = d.varint()
@@ -1025,6 +1106,10 @@ func (m *StatsOK) decode(d *decoder) {
 	m.LagCount = d.varint()
 	m.LagSumNs = d.varint()
 	m.LagMaxNs = d.varint()
+	m.ShardID = 0
+	if proto >= 6 {
+		m.ShardID = d.varint()
+	}
 }
 
 // PaxosPrepare is phase 1a of the replicated certification log
@@ -1171,3 +1256,119 @@ func (m *NotLeader) decode(d *decoder) {
 	m.Epoch = d.varint()
 	m.Addr = d.str()
 }
+
+// PrepareTxn runs the first two-phase-commit phase for one fragment
+// of cross-shard transaction TxnID at this shard group (protocol v6):
+// certify WS against Snapshot and, on a yes vote, journal the fragment
+// in doubt and lock its keys until the decision arrives. Coord is the
+// shard group id coordinating the transaction — where a recovering
+// participant sends ResolveTxn.
+type PrepareTxn struct {
+	TxnID    string
+	Coord    int64
+	Snapshot int64
+	WS       writeset.Writeset
+}
+
+func (*PrepareTxn) msgType() MsgType { return TPrepareTxn }
+func (m *PrepareTxn) encode(b []byte) []byte {
+	b = appendString(b, m.TxnID)
+	b = appendVarint(b, m.Coord)
+	b = appendVarint(b, m.Snapshot)
+	return appendWriteset(b, m.WS)
+}
+func (m *PrepareTxn) decode(d *decoder) {
+	m.TxnID = d.str()
+	m.Coord = d.varint()
+	m.Snapshot = d.varint()
+	m.WS = decodeWriteset(d)
+}
+
+// PrepareTxnOK answers PrepareTxn. Vote=true is the group's binding
+// promise to commit the fragment whenever the decision says so;
+// Vote=false reports a certification conflict (ConflictWith is the
+// committed version responsible, 0 when the blocker is another
+// in-doubt transaction).
+type PrepareTxnOK struct {
+	Vote         bool
+	ConflictWith int64
+}
+
+func (*PrepareTxnOK) msgType() MsgType { return TPrepareTxnOK }
+func (m *PrepareTxnOK) encode(b []byte) []byte {
+	b = appendBool(b, m.Vote)
+	return appendVarint(b, m.ConflictWith)
+}
+func (m *PrepareTxnOK) decode(d *decoder) {
+	m.Vote = d.bool()
+	m.ConflictWith = d.varint()
+}
+
+// DecideTxn delivers the coordinator's decision for a prepared
+// transaction to a participant group (protocol v6). Commit routes the
+// fragment through the group's ordinary record log; abort releases
+// its locks.
+type DecideTxn struct {
+	TxnID  string
+	Commit bool
+}
+
+func (*DecideTxn) msgType() MsgType { return TDecideTxn }
+func (m *DecideTxn) encode(b []byte) []byte {
+	b = appendString(b, m.TxnID)
+	return appendBool(b, m.Commit)
+}
+func (m *DecideTxn) decode(d *decoder) {
+	m.TxnID = d.str()
+	m.Commit = d.bool()
+}
+
+// DecideTxnOK acknowledges DecideTxn with the global version the
+// fragment committed at (0 for aborts).
+type DecideTxnOK struct {
+	Version int64
+}
+
+func (*DecideTxnOK) msgType() MsgType         { return TDecideTxnOK }
+func (m *DecideTxnOK) encode(b []byte) []byte { return appendVarint(b, m.Version) }
+func (m *DecideTxnOK) decode(d *decoder)      { m.Version = d.varint() }
+
+// ResolveTxn asks the coordinator group for the fate of an in-doubt
+// transaction (protocol v6). A coordinator with no durable decision
+// answers abort — and records that abort durably first (presumed
+// abort), so a late commit can never contradict the answer.
+type ResolveTxn struct {
+	TxnID string
+}
+
+func (*ResolveTxn) msgType() MsgType         { return TResolveTxn }
+func (m *ResolveTxn) encode(b []byte) []byte { return appendString(b, m.TxnID) }
+func (m *ResolveTxn) decode(d *decoder)      { m.TxnID = d.str() }
+
+// ResolveTxnOK answers ResolveTxn.
+type ResolveTxnOK struct {
+	Commit bool
+}
+
+func (*ResolveTxnOK) msgType() MsgType         { return TResolveTxnOK }
+func (m *ResolveTxnOK) encode(b []byte) []byte { return appendBool(b, m.Commit) }
+func (m *ResolveTxnOK) decode(d *decoder)      { m.Commit = d.bool() }
+
+// ForgetTxn retires a fully acknowledged decision at a group
+// (protocol v6): every participant has applied the outcome, so the
+// decision record can stop occupying the journal and the decisions
+// map.
+type ForgetTxn struct {
+	TxnID string
+}
+
+func (*ForgetTxn) msgType() MsgType         { return TForgetTxn }
+func (m *ForgetTxn) encode(b []byte) []byte { return appendString(b, m.TxnID) }
+func (m *ForgetTxn) decode(d *decoder)      { m.TxnID = d.str() }
+
+// ForgetTxnOK acknowledges ForgetTxn.
+type ForgetTxnOK struct{}
+
+func (*ForgetTxnOK) msgType() MsgType         { return TForgetTxnOK }
+func (m *ForgetTxnOK) encode(b []byte) []byte { return b }
+func (m *ForgetTxnOK) decode(*decoder)        {}

@@ -43,7 +43,15 @@ const (
 	// a client-side compression opt-out on FetchSince. No new message
 	// types: an older peer simply never sees the extra fields or the
 	// compact shape (they are used only on new-enough connections).
-	ProtoVersion = 5
+	// Version 6 adds horizontal partitioning: JoinOK/MembersOK carry
+	// the shard map (this group's id, the group count and the map
+	// version), StatsOK identifies its shard, and the cross-shard
+	// two-phase-commit frames (PrepareTxn/DecideTxn/ResolveTxn/
+	// ForgetTxn) let a router coordinate one transaction across
+	// several groups. A v5 peer sees none of it — the shard fields are
+	// appended only on proto>=6 connections and the 2PC messages are
+	// refused below 6.
+	ProtoVersion = 6
 
 	// MinProto is the oldest protocol version this build still
 	// accepts. A v1 peer can run the full transaction, load and
@@ -78,6 +86,9 @@ func Negotiate(clientProto uint32) (uint32, error) {
 // else is part of the version-1 surface.
 func MinProtoFor(t MsgType) uint32 {
 	switch t {
+	case TPrepareTxn, TPrepareTxnOK, TDecideTxn, TDecideTxnOK,
+		TResolveTxn, TResolveTxnOK, TForgetTxn, TForgetTxnOK:
+		return 6
 	case TPaxosPrepare, TPaxosPrepareOK, TPaxosAccept, TPaxosAcceptOK,
 		TPaxosLearn, TPaxosLearnOK, TNotLeader:
 		return 3
